@@ -1,0 +1,160 @@
+//! Host (CPU) implementation of the KMeans assignment round, using the
+//! NOrec STM for centroid updates — the baseline of Fig. 7a / Fig. 8.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::norec::HostTm;
+
+/// Parameters of a host KMeans run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostKmeansConfig {
+    /// Number of clusters (`k`).
+    pub clusters: usize,
+    /// Point dimensionality (`d`).
+    pub dimensions: usize,
+    /// Total number of input points.
+    pub points: usize,
+    /// Worker threads (the paper uses 4 for KMeans).
+    pub threads: usize,
+    /// Assignment rounds (the paper uses 3).
+    pub rounds: usize,
+    /// PRNG seed for the synthetic input points.
+    pub seed: u64,
+}
+
+impl HostKmeansConfig {
+    /// Low-contention configuration matching the DPU-side benchmark
+    /// (k = 15, d = 14).
+    pub fn low_contention(points: usize, threads: usize) -> Self {
+        HostKmeansConfig { clusters: 15, dimensions: 14, points, threads, rounds: 3, seed: 42 }
+    }
+
+    /// High-contention configuration (k = 2, d = 14).
+    pub fn high_contention(points: usize, threads: usize) -> Self {
+        HostKmeansConfig { clusters: 2, ..Self::low_contention(points, threads) }
+    }
+}
+
+/// Result of a host KMeans run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostKmeansResult {
+    /// Wall-clock execution time in seconds.
+    pub elapsed_seconds: f64,
+    /// Final per-cluster membership counts (summed over rounds).
+    pub membership: Vec<u64>,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Transaction attempts aborted.
+    pub aborts: u64,
+}
+
+fn splitmix(seed: &mut u64) -> u64 {
+    *seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *seed;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Runs the transactional KMeans assignment rounds on host threads and
+/// measures wall time.
+///
+/// # Panics
+///
+/// Panics if `threads` or `clusters` is zero.
+pub fn run(config: &HostKmeansConfig) -> HostKmeansResult {
+    assert!(config.threads > 0, "at least one thread is required");
+    assert!(config.clusters > 0, "at least one cluster is required");
+    let d = config.dimensions;
+    let k = config.clusters;
+    let mut seed = config.seed;
+    let points: Vec<Vec<u64>> = (0..config.points)
+        .map(|_| (0..d).map(|_| splitmix(&mut seed) % (1 << 16)).collect())
+        .collect();
+    let reference: Vec<u64> = (0..k * d).map(|_| splitmix(&mut seed) % (1 << 16)).collect();
+
+    // Shared accumulators: per cluster, d running sums plus a count.
+    let sums: Vec<AtomicU64> = (0..k * d).map(|_| AtomicU64::new(0)).collect();
+    let counts: Vec<AtomicU64> = (0..k).map(|_| AtomicU64::new(0)).collect();
+    let tm = HostTm::new();
+
+    let start = Instant::now();
+    for _ in 0..config.rounds {
+        std::thread::scope(|scope| {
+            for chunk in points.chunks(points.len().div_ceil(config.threads).max(1)) {
+                let tm = &tm;
+                let sums = &sums;
+                let counts = &counts;
+                let reference = &reference;
+                scope.spawn(move || {
+                    for point in chunk {
+                        // Nearest centroid: non-transactional, like STAMP.
+                        let mut best = 0usize;
+                        let mut best_distance = u64::MAX;
+                        for c in 0..k {
+                            let distance: u64 = (0..d)
+                                .map(|dim| {
+                                    let diff = reference[c * d + dim].abs_diff(point[dim]);
+                                    diff.saturating_mul(diff)
+                                })
+                                .fold(0, u64::saturating_add);
+                            if distance < best_distance {
+                                best_distance = distance;
+                                best = c;
+                            }
+                        }
+                        // Transactional fold into the chosen centroid.
+                        tm.run(|tx| {
+                            for dim in 0..d {
+                                let cell = &sums[best * d + dim];
+                                let sum = tx.read(cell)?;
+                                tx.write(cell, sum.wrapping_add(point[dim]))?;
+                            }
+                            let count = tx.read(&counts[best])?;
+                            tx.write(&counts[best], count + 1)
+                        });
+                    }
+                });
+            }
+        });
+    }
+    let elapsed_seconds = start.elapsed().as_secs_f64();
+
+    HostKmeansResult {
+        elapsed_seconds,
+        membership: counts.iter().map(|c| c.load(Ordering::SeqCst)).collect(),
+        commits: tm.commits(),
+        aborts: tm.aborts(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_point_is_assigned_each_round() {
+        let config = HostKmeansConfig::high_contention(2_000, 4);
+        let result = run(&config);
+        let total: u64 = result.membership.iter().sum();
+        assert_eq!(total, (config.points * config.rounds) as u64);
+        assert_eq!(result.commits, (config.points * config.rounds) as u64);
+        assert!(result.elapsed_seconds > 0.0);
+    }
+
+    #[test]
+    fn low_contention_uses_all_clusters() {
+        let config = HostKmeansConfig::low_contention(3_000, 2);
+        let result = run(&config);
+        let populated = result.membership.iter().filter(|&&c| c > 0).count();
+        assert!(populated > 1, "synthetic points should spread over several clusters");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_is_rejected() {
+        let config = HostKmeansConfig { threads: 0, ..HostKmeansConfig::low_contention(10, 1) };
+        let _ = run(&config);
+    }
+}

@@ -1,0 +1,255 @@
+//! A NOrec software transactional memory for host CPU threads.
+//!
+//! This is the algorithm the paper uses for its CPU baselines: a single
+//! global sequence lock, invisible reads validated by value, and a redo log
+//! applied at commit while the sequence lock is held. Transactional data is
+//! any set of [`AtomicU64`] cells owned by the application.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Error returned when a transaction attempt must be retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostAbort;
+
+impl std::fmt::Display for HostAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("host transaction aborted")
+    }
+}
+
+impl std::error::Error for HostAbort {}
+
+/// The shared state of the host STM: the NOrec sequence lock.
+#[derive(Debug, Default)]
+pub struct HostTm {
+    seqlock: AtomicU64,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+}
+
+impl HostTm {
+    /// Creates a new transactional-memory instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Transactions committed so far.
+    pub fn commits(&self) -> u64 {
+        self.commits.load(Ordering::Relaxed)
+    }
+
+    /// Transaction attempts aborted so far.
+    pub fn aborts(&self) -> u64 {
+        self.aborts.load(Ordering::Relaxed)
+    }
+
+    fn wait_until_even(&self) -> u64 {
+        loop {
+            let s = self.seqlock.load(Ordering::Acquire);
+            if s % 2 == 0 {
+                return s;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Runs `body` as a transaction, retrying until it commits, and returns
+    /// its result. The body receives a [`HostTx`] through which all shared
+    /// cells must be accessed; plain loads/stores of shared state inside the
+    /// body would break atomicity.
+    pub fn run<'env, R>(
+        &'env self,
+        mut body: impl FnMut(&mut HostTx<'env>) -> Result<R, HostAbort>,
+    ) -> R {
+        let mut backoff = 0u32;
+        loop {
+            let snapshot = self.wait_until_even();
+            let mut tx = HostTx {
+                tm: self,
+                snapshot,
+                read_set: Vec::new(),
+                write_set: Vec::new(),
+            };
+            match body(&mut tx).and_then(|value| tx.commit().map(|()| value)) {
+                Ok(value) => {
+                    self.commits.fetch_add(1, Ordering::Relaxed);
+                    return value;
+                }
+                Err(HostAbort) => {
+                    self.aborts.fetch_add(1, Ordering::Relaxed);
+                    backoff = (backoff + 1).min(10);
+                    for _ in 0..(1u32 << backoff) {
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// An in-flight host transaction.
+#[derive(Debug)]
+pub struct HostTx<'env> {
+    tm: &'env HostTm,
+    snapshot: u64,
+    read_set: Vec<(&'env AtomicU64, u64)>,
+    write_set: Vec<(&'env AtomicU64, u64)>,
+}
+
+impl<'env> HostTx<'env> {
+    fn validate(&mut self) -> Result<u64, HostAbort> {
+        loop {
+            let time = self.tm.wait_until_even();
+            for (cell, value) in &self.read_set {
+                if cell.load(Ordering::Acquire) != *value {
+                    return Err(HostAbort);
+                }
+            }
+            if self.tm.seqlock.load(Ordering::Acquire) == time {
+                return Ok(time);
+            }
+        }
+    }
+
+    /// Transactional read of a shared cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HostAbort`] if a concurrent commit invalidated this
+    /// transaction's snapshot.
+    pub fn read(&mut self, cell: &'env AtomicU64) -> Result<u64, HostAbort> {
+        if let Some((_, value)) =
+            self.write_set.iter().rev().find(|(written, _)| std::ptr::eq(*written, cell))
+        {
+            return Ok(*value);
+        }
+        let mut value = cell.load(Ordering::Acquire);
+        while self.tm.seqlock.load(Ordering::Acquire) != self.snapshot {
+            self.snapshot = self.validate()?;
+            value = cell.load(Ordering::Acquire);
+        }
+        self.read_set.push((cell, value));
+        Ok(value)
+    }
+
+    /// Transactional write of a shared cell (buffered until commit).
+    ///
+    /// # Errors
+    ///
+    /// Never fails under NOrec, but returns a `Result` for interface
+    /// symmetry with the DPU-side library.
+    pub fn write(&mut self, cell: &'env AtomicU64, value: u64) -> Result<(), HostAbort> {
+        if let Some(entry) =
+            self.write_set.iter_mut().find(|(written, _)| std::ptr::eq(*written, cell))
+        {
+            entry.1 = value;
+        } else {
+            self.write_set.push((cell, value));
+        }
+        Ok(())
+    }
+
+    fn commit(mut self) -> Result<(), HostAbort> {
+        if self.write_set.is_empty() {
+            return Ok(());
+        }
+        loop {
+            match self.tm.seqlock.compare_exchange(
+                self.snapshot,
+                self.snapshot + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(_) => {
+                    self.snapshot = self.validate()?;
+                }
+            }
+        }
+        for (cell, value) in &self.write_set {
+            cell.store(*value, Ordering::Release);
+        }
+        self.tm.seqlock.store(self.snapshot + 2, Ordering::Release);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_read_write_roundtrip() {
+        let tm = HostTm::new();
+        let cell = AtomicU64::new(5);
+        let observed = tm.run(|tx| {
+            let v = tx.read(&cell)?;
+            tx.write(&cell, v * 2)?;
+            tx.read(&cell)
+        });
+        assert_eq!(observed, 10);
+        assert_eq!(cell.load(Ordering::SeqCst), 10);
+        assert_eq!(tm.commits(), 1);
+        assert_eq!(tm.aborts(), 0);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let tm = HostTm::new();
+        let counter = AtomicU64::new(0);
+        let threads = 8;
+        let per_thread = 500;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    for _ in 0..per_thread {
+                        tm.run(|tx| {
+                            let v = tx.read(&counter)?;
+                            tx.write(&counter, v + 1)
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), threads * per_thread);
+        assert_eq!(tm.commits(), threads * per_thread);
+    }
+
+    #[test]
+    fn transfers_preserve_the_total() {
+        let tm = HostTm::new();
+        let accounts: Vec<AtomicU64> = (0..16).map(|_| AtomicU64::new(100)).collect();
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let tm = &tm;
+                let accounts = &accounts;
+                scope.spawn(move || {
+                    for i in 0..1_000usize {
+                        let from = (t * 7 + i) % accounts.len();
+                        let to = (t * 13 + i * 3) % accounts.len();
+                        if from == to {
+                            continue;
+                        }
+                        tm.run(|tx| {
+                            let a = tx.read(&accounts[from])?;
+                            let b = tx.read(&accounts[to])?;
+                            tx.write(&accounts[from], a.wrapping_sub(1))?;
+                            tx.write(&accounts[to], b.wrapping_add(1))
+                        });
+                    }
+                });
+            }
+        });
+        let total: u64 = accounts.iter().map(|a| a.load(Ordering::SeqCst)).sum();
+        assert_eq!(total, 1600);
+    }
+
+    #[test]
+    fn read_only_transactions_do_not_bump_the_lock() {
+        let tm = HostTm::new();
+        let cell = AtomicU64::new(3);
+        let v = tm.run(|tx| tx.read(&cell));
+        assert_eq!(v, 3);
+        assert_eq!(tm.seqlock.load(Ordering::SeqCst), 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Figure 4 (ArrayBench columns): throughput, abort rate and time breakdown
+//! of every STM design on ArrayBench A and B with metadata in MRAM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use pim_bench::{BENCH_SCALE, BENCH_SEED, BENCH_TASKLETS};
+use pim_exp::design_space::DesignSpaceSweep;
+use pim_stm::{MetadataPlacement, StmKind};
+use pim_workloads::{RunSpec, Workload};
+
+fn print_figure() {
+    for workload in [Workload::ArrayA, Workload::ArrayB] {
+        let sweep = DesignSpaceSweep::run(
+            workload,
+            MetadataPlacement::Mram,
+            &BENCH_TASKLETS,
+            BENCH_SCALE,
+            BENCH_SEED,
+        );
+        eprintln!("{}", sweep.throughput_table());
+        eprintln!("{}", sweep.abort_table());
+        eprintln!("{}", sweep.breakdown_table());
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+    let mut group = c.benchmark_group("fig4_arraybench");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for workload in [Workload::ArrayA, Workload::ArrayB] {
+        for kind in StmKind::ALL {
+            group.bench_function(format!("{workload}/{kind}/11t"), |b| {
+                b.iter(|| {
+                    RunSpec::new(workload, kind, MetadataPlacement::Mram, 11)
+                        .with_scale(0.02)
+                        .run()
+                        .total_commits()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Figure 5 (KMeans columns): throughput, abort rate and time breakdown of
+//! every STM design on KMeans LC (k = 15) and HC (k = 2) with metadata in
+//! MRAM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use pim_bench::{BENCH_SCALE, BENCH_SEED, BENCH_TASKLETS};
+use pim_exp::design_space::DesignSpaceSweep;
+use pim_stm::{MetadataPlacement, StmKind};
+use pim_workloads::{RunSpec, Workload};
+
+fn print_figure() {
+    for workload in [Workload::KmeansLc, Workload::KmeansHc] {
+        let sweep = DesignSpaceSweep::run(
+            workload,
+            MetadataPlacement::Mram,
+            &BENCH_TASKLETS,
+            BENCH_SCALE,
+            BENCH_SEED,
+        );
+        eprintln!("{}", sweep.throughput_table());
+        eprintln!("{}", sweep.abort_table());
+        eprintln!("{}", sweep.breakdown_table());
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+    let mut group = c.benchmark_group("fig5_kmeans");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for workload in [Workload::KmeansLc, Workload::KmeansHc] {
+        for kind in StmKind::ALL {
+            group.bench_function(format!("{workload}/{kind}/11t"), |b| {
+                b.iter(|| {
+                    RunSpec::new(workload, kind, MetadataPlacement::Mram, 11)
+                        .with_scale(0.1)
+                        .run()
+                        .total_commits()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Figure 5 (Labyrinth columns): throughput, abort rate and time breakdown
+//! of every STM design on the Lee router, small (16×16×3) and large
+//! (128×128×3) grids, with metadata in MRAM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use pim_bench::{BENCH_SEED, BENCH_TASKLETS};
+use pim_exp::design_space::DesignSpaceSweep;
+use pim_stm::{MetadataPlacement, StmKind};
+use pim_workloads::{RunSpec, Workload};
+
+fn print_figure() {
+    // The large grid is simulated with a reduced path count (the per-path
+    // cost is what matters for the figure's shape).
+    for (workload, scale) in [(Workload::LabyrinthS, 0.3), (Workload::LabyrinthL, 0.12)] {
+        let sweep = DesignSpaceSweep::run(
+            workload,
+            MetadataPlacement::Mram,
+            &BENCH_TASKLETS,
+            scale,
+            BENCH_SEED,
+        );
+        eprintln!("{}", sweep.throughput_table());
+        eprintln!("{}", sweep.abort_table());
+        eprintln!("{}", sweep.breakdown_table());
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+    let mut group = c.benchmark_group("fig5_labyrinth");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for kind in StmKind::ALL {
+        group.bench_function(format!("labyrinth-s/{kind}/5t"), |b| {
+            b.iter(|| {
+                RunSpec::new(Workload::LabyrinthS, kind, MetadataPlacement::Mram, 5)
+                    .with_scale(0.15)
+                    .run()
+                    .total_commits()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

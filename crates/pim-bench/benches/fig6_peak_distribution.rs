@@ -1,0 +1,48 @@
+//! Figure 6: distribution, across workloads, of each design's peak
+//! throughput normalised to the per-workload best — for MRAM and WRAM
+//! metadata.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use pim_bench::{BENCH_SCALE, BENCH_SEED, BENCH_TASKLETS};
+use pim_exp::peak::PeakDistribution;
+use pim_stm::MetadataPlacement;
+use pim_workloads::Workload;
+
+fn print_figure() {
+    for placement in [MetadataPlacement::Mram, MetadataPlacement::Wram] {
+        let dist = PeakDistribution::run(
+            placement,
+            &Workload::FIGURE_4_5,
+            &BENCH_TASKLETS,
+            BENCH_SCALE,
+            BENCH_SEED,
+        );
+        eprintln!("== Fig. 6 ({placement} metadata): best-to-design peak throughput ratio ==");
+        eprintln!("{}", dist.table());
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+    let mut group = c.benchmark_group("fig6_peak_distribution");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.bench_function("mram/array-b+list-hc", |b| {
+        b.iter(|| {
+            PeakDistribution::run(
+                MetadataPlacement::Mram,
+                &[Workload::ArrayB, Workload::ListHc],
+                &[4],
+                0.05,
+                BENCH_SEED,
+            )
+            .ranking()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Figures 9 and 10 (appendix): the design-space study with STM metadata
+//! hosted in WRAM instead of MRAM (ArrayBench, Linked-List and KMeans;
+//! Labyrinth is excluded because its logs do not fit in WRAM).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use pim_bench::{BENCH_SCALE, BENCH_SEED, BENCH_TASKLETS};
+use pim_exp::design_space::DesignSpaceSweep;
+use pim_stm::{MetadataPlacement, StmKind};
+use pim_workloads::{RunSpec, Workload};
+
+fn print_figure() {
+    for workload in [
+        Workload::ArrayA,
+        Workload::ArrayB,
+        Workload::ListLc,
+        Workload::ListHc,
+        Workload::KmeansLc,
+        Workload::KmeansHc,
+    ] {
+        let sweep = DesignSpaceSweep::run(
+            workload,
+            MetadataPlacement::Wram,
+            &BENCH_TASKLETS,
+            BENCH_SCALE,
+            BENCH_SEED,
+        );
+        eprintln!("{}", sweep.throughput_table());
+        eprintln!("{}", sweep.abort_table());
+        eprintln!("{}", sweep.breakdown_table());
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+    let mut group = c.benchmark_group("fig9_fig10_wram");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    // The WRAM-vs-MRAM speed-up of a transaction-heavy workload is the
+    // headline number of §4.2.3; track both placements for the same designs.
+    for placement in [MetadataPlacement::Wram, MetadataPlacement::Mram] {
+        for kind in [StmKind::Norec, StmKind::TinyEtlWb] {
+            group.bench_function(format!("array-b/{kind}/{placement}/11t"), |b| {
+                b.iter(|| {
+                    RunSpec::new(Workload::ArrayB, kind, placement, 11)
+                        .with_scale(0.05)
+                        .run()
+                        .total_commits()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Micro-benchmarks of the STM primitives themselves (not a paper figure,
+//! but the ablation data behind the design-space discussion): per-design
+//! cost of read-modify-write transactions on the simulator for both metadata
+//! placements, and of the threaded executor under real concurrency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use pim_sim::{Dpu, DpuConfig, TaskletCtx, TaskletStats, Tier};
+use pim_stm::threaded::ThreadedDpu;
+use pim_stm::{
+    algorithm_for, run_transaction, MetadataPlacement, StmConfig, StmKind, StmShared,
+};
+
+/// Runs `transactions` read-modify-write transactions over a 64-word
+/// footprint on a single simulated tasklet and returns the committed count.
+fn simulated_transactions(kind: StmKind, placement: MetadataPlacement, transactions: u32) -> u64 {
+    let mut dpu = Dpu::new(DpuConfig::small());
+    let config = StmConfig::new(kind, placement).with_lock_table_entries(256);
+    let shared = StmShared::allocate(&mut dpu, config).expect("metadata fits");
+    let mut slot = shared.register_tasklet(&mut dpu, 0).expect("slot fits");
+    let data = dpu.alloc(Tier::Mram, 64).expect("data fits");
+    let alg = algorithm_for(kind);
+    let mut stats = TaskletStats::new();
+    for i in 0..transactions {
+        let mut ctx = TaskletCtx::new(&mut dpu, &mut stats, 0, 1, 0);
+        run_transaction(alg, &shared, &mut slot, &mut ctx, |tx| {
+            let addr = data.offset(i % 64);
+            let value = tx.read(addr)?;
+            tx.write(addr, value + 1)?;
+            Ok(())
+        });
+    }
+    stats.commits
+}
+
+fn bench_simulated(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stm_primitives/simulated");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for kind in StmKind::ALL {
+        for placement in [MetadataPlacement::Wram, MetadataPlacement::Mram] {
+            group.bench_function(format!("{kind}/{placement}/rmw"), |b| {
+                b.iter(|| simulated_transactions(kind, placement, 200))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_threaded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stm_primitives/threaded");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for kind in [StmKind::Norec, StmKind::TinyEtlWb, StmKind::VrEtlWt] {
+        group.bench_function(format!("{kind}/4threads/counter"), |b| {
+            b.iter(|| {
+                let config = StmConfig::new(kind, MetadataPlacement::Wram)
+                    .with_lock_table_entries(128);
+                let mut dpu = ThreadedDpu::new(config).expect("metadata fits");
+                let counter = dpu.alloc(pim_stm::Tier::Mram, 1).expect("data fits");
+                dpu.run(4, |mut tx| {
+                    for _ in 0..100 {
+                        tx.transaction(|view| {
+                            let v = view.read(counter)?;
+                            view.write(counter, v + 1)?;
+                            Ok(())
+                        });
+                    }
+                });
+                dpu.peek(counter)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulated, bench_threaded);
+criterion_main!(benches);

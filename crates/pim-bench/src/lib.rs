@@ -1,0 +1,25 @@
+//! # pim-bench — Criterion benchmark harness
+//!
+//! One bench target per figure of the PIM-STM paper. Each bench does two
+//! things:
+//!
+//! 1. prints the corresponding figure's data (at a reduced workload scale, so
+//!    `cargo bench` finishes in minutes — use the `pim-exp` binary with
+//!    `--scale 1.0` for paper-sized runs), and
+//! 2. registers Criterion measurements of representative configurations so
+//!    regressions in the simulator or the STM algorithms show up as timing
+//!    changes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Workload scale factor used by the benches: keeps a full `cargo bench`
+/// pass in the minutes range while preserving the relative ordering of the
+/// STM designs.
+pub const BENCH_SCALE: f64 = 0.05;
+
+/// Tasklet counts swept when printing figure data from the benches.
+pub const BENCH_TASKLETS: [usize; 3] = [1, 4, 8];
+
+/// Seed used by all benches so printed figures are reproducible.
+pub const BENCH_SEED: u64 = 42;

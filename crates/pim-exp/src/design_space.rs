@@ -1,0 +1,209 @@
+//! Figures 4, 5, 9 and 10: throughput, abort rate and time breakdown of
+//! every STM design as the number of tasklets grows, for one workload and
+//! one metadata placement.
+
+use pim_sim::{Phase, PhaseBreakdown};
+use pim_stm::{MetadataPlacement, StmKind};
+use pim_workloads::{RunSpec, Workload};
+use serde::{Deserialize, Serialize};
+
+use crate::report::{fmt_f64, render_table};
+
+/// One simulated configuration: a workload run with one STM design and one
+/// tasklet count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DesignSpacePoint {
+    /// The STM design.
+    pub kind: StmKind,
+    /// Number of tasklets.
+    pub tasklets: usize,
+    /// Committed transactions per simulated second.
+    pub throughput_tx_per_sec: f64,
+    /// Aborted attempts / all attempts, in `[0, 1]`.
+    pub abort_rate: f64,
+    /// Total committed transactions.
+    pub commits: u64,
+    /// Total aborted attempts.
+    pub aborts: u64,
+    /// Per-phase cycle breakdown summed over tasklets.
+    pub breakdown: PhaseBreakdown,
+    /// Simulated makespan in seconds.
+    pub makespan_seconds: f64,
+}
+
+/// The full sweep for one workload/placement: the data behind one column of
+/// Fig. 4/5 (MRAM metadata) or Fig. 9/10 (WRAM metadata).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DesignSpaceSweep {
+    /// The workload that was run.
+    pub workload: Workload,
+    /// Where the STM metadata lived.
+    pub placement: MetadataPlacement,
+    /// Scale factor applied to the workload size.
+    pub scale: f64,
+    /// All simulated points.
+    pub points: Vec<DesignSpacePoint>,
+}
+
+impl DesignSpaceSweep {
+    /// Runs the sweep: every STM design × every tasklet count in
+    /// `tasklet_counts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload cannot host its metadata in the requested tier
+    /// (e.g. Labyrinth with WRAM metadata).
+    pub fn run(
+        workload: Workload,
+        placement: MetadataPlacement,
+        tasklet_counts: &[usize],
+        scale: f64,
+        seed: u64,
+    ) -> Self {
+        let mut points = Vec::new();
+        for &kind in &StmKind::ALL {
+            for &tasklets in tasklet_counts {
+                eprintln!("[design-space] {} {} {} tasklets={}", workload, placement.name(), kind.name(), tasklets);
+                let report = RunSpec::new(workload, kind, placement, tasklets)
+                    .with_scale(scale)
+                    .with_seed(seed)
+                    .run();
+                points.push(DesignSpacePoint {
+                    kind,
+                    tasklets,
+                    throughput_tx_per_sec: report.throughput_tx_per_sec(),
+                    abort_rate: report.abort_rate(),
+                    commits: report.total_commits(),
+                    aborts: report.total_aborts(),
+                    breakdown: report.breakdown(),
+                    makespan_seconds: report.makespan_seconds(),
+                });
+            }
+        }
+        DesignSpaceSweep { workload, placement, scale, points }
+    }
+
+    /// The point for a specific design and tasklet count, if it was swept.
+    pub fn point(&self, kind: StmKind, tasklets: usize) -> Option<&DesignSpacePoint> {
+        self.points.iter().find(|p| p.kind == kind && p.tasklets == tasklets)
+    }
+
+    /// Peak throughput (over the swept tasklet counts) of one design.
+    pub fn peak_throughput(&self, kind: StmKind) -> f64 {
+        self.points
+            .iter()
+            .filter(|p| p.kind == kind)
+            .map(|p| p.throughput_tx_per_sec)
+            .fold(0.0, f64::max)
+    }
+
+    /// The design with the highest peak throughput in this sweep.
+    pub fn best_design(&self) -> StmKind {
+        StmKind::ALL
+            .into_iter()
+            .max_by(|a, b| {
+                self.peak_throughput(*a)
+                    .partial_cmp(&self.peak_throughput(*b))
+                    .expect("throughputs are finite")
+            })
+            .expect("at least one design")
+    }
+
+    /// Renders the throughput panel (tx/s per design and tasklet count),
+    /// matching the top rows of Fig. 4/5.
+    pub fn throughput_table(&self) -> String {
+        self.metric_table("throughput (tx/s)", |p| fmt_f64(p.throughput_tx_per_sec))
+    }
+
+    /// Renders the abort-rate panel (%), matching the middle rows of
+    /// Fig. 4/5.
+    pub fn abort_table(&self) -> String {
+        self.metric_table("abort rate (%)", |p| fmt_f64(p.abort_rate * 100.0))
+    }
+
+    fn metric_table(
+        &self,
+        metric: &str,
+        value: impl Fn(&DesignSpacePoint) -> String,
+    ) -> String {
+        let mut tasklet_counts: Vec<usize> =
+            self.points.iter().map(|p| p.tasklets).collect::<Vec<_>>();
+        tasklet_counts.sort_unstable();
+        tasklet_counts.dedup();
+        let mut header = vec![format!("{} [{}]", self.workload, metric)];
+        header.extend(tasklet_counts.iter().map(|t| format!("{t} taskl.")));
+        let rows = StmKind::ALL
+            .iter()
+            .map(|&kind| {
+                let mut row = vec![kind.name().to_string()];
+                for &t in &tasklet_counts {
+                    row.push(self.point(kind, t).map(&value).unwrap_or_else(|| "-".into()));
+                }
+                row
+            })
+            .collect::<Vec<_>>();
+        render_table(&header, &rows)
+    }
+
+    /// Renders the time-breakdown panel (fraction of cycles per phase at the
+    /// largest swept tasklet count), matching the bottom rows of Fig. 4/5.
+    pub fn breakdown_table(&self) -> String {
+        let max_tasklets =
+            self.points.iter().map(|p| p.tasklets).max().expect("sweep is not empty");
+        let mut header = vec![format!("{} phases @{} tasklets", self.workload, max_tasklets)];
+        header.extend(Phase::ALL.iter().map(|p| p.label().to_string()));
+        let rows = StmKind::ALL
+            .iter()
+            .filter_map(|&kind| self.point(kind, max_tasklets).map(|p| (kind, p)))
+            .map(|(kind, point)| {
+                let mut row = vec![kind.name().to_string()];
+                for phase in Phase::ALL {
+                    row.push(format!("{:.1}%", point.breakdown.fraction(phase) * 100.0));
+                }
+                row
+            })
+            .collect::<Vec<_>>();
+        render_table(&header, &rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_sweep(workload: Workload, placement: MetadataPlacement) -> DesignSpaceSweep {
+        DesignSpaceSweep::run(workload, placement, &[1, 4], 0.05, 9)
+    }
+
+    #[test]
+    fn sweep_covers_every_design_and_tasklet_count() {
+        let sweep = tiny_sweep(Workload::ArrayB, MetadataPlacement::Mram);
+        assert_eq!(sweep.points.len(), StmKind::ALL.len() * 2);
+        for kind in StmKind::ALL {
+            assert!(sweep.point(kind, 1).is_some());
+            assert!(sweep.peak_throughput(kind) > 0.0, "{kind} produced no throughput");
+        }
+        let _ = sweep.best_design();
+    }
+
+    #[test]
+    fn tables_render_for_all_metrics() {
+        let sweep = tiny_sweep(Workload::KmeansHc, MetadataPlacement::Wram);
+        for table in
+            [sweep.throughput_table(), sweep.abort_table(), sweep.breakdown_table()]
+        {
+            assert!(table.contains("NOrec"));
+            assert!(table.contains("VR CTLWB"));
+        }
+    }
+
+    #[test]
+    fn more_tasklets_do_not_reduce_total_commits() {
+        let sweep = tiny_sweep(Workload::ArrayB, MetadataPlacement::Mram);
+        for kind in StmKind::ALL {
+            let one = sweep.point(kind, 1).unwrap().commits;
+            let four = sweep.point(kind, 4).unwrap().commits;
+            assert!(four >= one, "{kind}: commits shrank with more tasklets");
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # pim-exp — the experiment harness
+//!
+//! One module per experiment of the PIM-STM paper. Each function builds the
+//! workloads, sweeps the requested parameter space on the simulator (and, for
+//! §4.3, measures the host CPU baseline natively), and returns plain data
+//! structures that the `pim-exp` binary prints as the same series/rows the
+//! paper plots:
+//!
+//! * [`design_space`] — Fig. 4, 5, 9 and 10: throughput, abort rate and time
+//!   breakdown for every STM design as the tasklet count grows, with STM
+//!   metadata in MRAM or WRAM;
+//! * [`peak`] — Fig. 6: distribution across workloads of each design's peak
+//!   throughput normalised to the per-workload best;
+//! * [`multi_dpu`] — Fig. 7 and 8: multi-DPU KMeans/Labyrinth speed-up over
+//!   the CPU baseline and the TDP-based energy comparison;
+//! * [`latency`] — the §3.1 measurement that motivates DPU-local
+//!   transactions (local MRAM read vs CPU-mediated remote read).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod design_space;
+pub mod latency;
+pub mod multi_dpu;
+pub mod peak;
+pub mod report;
+
+pub use design_space::{DesignSpacePoint, DesignSpaceSweep};
+pub use latency::LatencyComparison;
+pub use multi_dpu::{MultiDpuBenchmark, MultiDpuStudy, SpeedupPoint};
+pub use peak::PeakDistribution;
+pub use report::render_table;

@@ -1,0 +1,250 @@
+//! Command-line entry point of the experiment harness.
+//!
+//! ```text
+//! pim-exp --figure fig4            # ArrayBench + Linked-List, MRAM metadata
+//! pim-exp --figure fig5            # KMeans + Labyrinth, MRAM metadata
+//! pim-exp --figure fig6            # normalised peak-throughput distribution
+//! pim-exp --figure fig9            # ArrayBench + Linked-List, WRAM metadata
+//! pim-exp --figure fig10           # KMeans, WRAM metadata
+//! pim-exp --figure fig7            # multi-DPU speed-up curves
+//! pim-exp --figure fig8            # speed-up + energy gain at 2500 DPUs
+//! pim-exp --figure latency         # local vs CPU-mediated read latency
+//! pim-exp --workload array-a --tier wram --tasklets 1,3,5,7,9,11
+//! ```
+//!
+//! `--scale` (default 0.25) shrinks every workload proportionally so a full
+//! figure regenerates in minutes; use `--scale 1.0` for the paper-sized
+//! runs.
+
+use pim_exp::design_space::DesignSpaceSweep;
+use pim_exp::latency::LatencyComparison;
+use pim_exp::multi_dpu::{figure8_table, MultiDpuBenchmark, MultiDpuStudy};
+use pim_exp::peak::PeakDistribution;
+use pim_stm::MetadataPlacement;
+use pim_workloads::Workload;
+use std::process::ExitCode;
+
+#[derive(Debug, Clone)]
+struct Options {
+    figure: Option<String>,
+    workload: Option<Workload>,
+    placement: MetadataPlacement,
+    tasklets: Vec<usize>,
+    dpus: Vec<usize>,
+    scale: f64,
+    seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            figure: None,
+            workload: None,
+            placement: MetadataPlacement::Mram,
+            tasklets: vec![1, 3, 5, 7, 9, 11],
+            dpus: vec![1, 250, 500, 1000, 1500, 2000, 2500],
+            scale: 0.25,
+            seed: 42,
+        }
+    }
+}
+
+fn parse_list(value: &str) -> Result<Vec<usize>, String> {
+    value
+        .split(',')
+        .map(|part| part.trim().parse::<usize>().map_err(|e| format!("bad list entry {part:?}: {e}")))
+        .collect()
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = || {
+            iter.next().cloned().ok_or_else(|| format!("missing value after {arg}"))
+        };
+        match arg.as_str() {
+            "--figure" => options.figure = Some(value()?),
+            "--workload" => {
+                let name = value()?;
+                options.workload =
+                    Some(Workload::parse(&name).ok_or_else(|| format!("unknown workload {name}"))?);
+            }
+            "--tier" => {
+                let name = value()?;
+                options.placement = match name.as_str() {
+                    "wram" => MetadataPlacement::Wram,
+                    "mram" => MetadataPlacement::Mram,
+                    other => return Err(format!("unknown tier {other} (expected wram|mram)")),
+                };
+            }
+            "--tasklets" => options.tasklets = parse_list(&value()?)?,
+            "--dpus" => options.dpus = parse_list(&value()?)?,
+            "--scale" => {
+                options.scale =
+                    value()?.parse().map_err(|e| format!("bad --scale value: {e}"))?
+            }
+            "--seed" => {
+                options.seed = value()?.parse().map_err(|e| format!("bad --seed value: {e}"))?
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument {other}\n{}", usage())),
+        }
+    }
+    Ok(options)
+}
+
+fn usage() -> String {
+    "usage: pim-exp [--figure fig4|fig5|fig6|fig7|fig8|fig9|fig10|latency]\n\
+     \x20              [--workload <name>] [--tier wram|mram]\n\
+     \x20              [--tasklets 1,3,5,...] [--dpus 1,500,...]\n\
+     \x20              [--scale <f>] [--seed <n>]"
+        .to_string()
+}
+
+fn print_sweep(workload: Workload, placement: MetadataPlacement, options: &Options) {
+    println!("== {workload} ({} metadata, {}) ==", placement, workload.figure());
+    let sweep =
+        DesignSpaceSweep::run(workload, placement, &options.tasklets, options.scale, options.seed);
+    println!("{}", sweep.throughput_table());
+    println!("{}", sweep.abort_table());
+    println!("{}", sweep.breakdown_table());
+}
+
+fn run_figure(figure: &str, options: &Options) -> Result<(), String> {
+    match figure {
+        "fig4" => {
+            for workload in
+                [Workload::ArrayA, Workload::ArrayB, Workload::ListLc, Workload::ListHc]
+            {
+                print_sweep(workload, MetadataPlacement::Mram, options);
+            }
+        }
+        "fig5" => {
+            for workload in [
+                Workload::KmeansLc,
+                Workload::KmeansHc,
+                Workload::LabyrinthS,
+                Workload::LabyrinthL,
+            ] {
+                print_sweep(workload, MetadataPlacement::Mram, options);
+            }
+        }
+        "fig9" => {
+            for workload in
+                [Workload::ArrayA, Workload::ArrayB, Workload::ListLc, Workload::ListHc]
+            {
+                print_sweep(workload, MetadataPlacement::Wram, options);
+            }
+        }
+        "fig10" => {
+            for workload in [Workload::KmeansLc, Workload::KmeansHc] {
+                print_sweep(workload, MetadataPlacement::Wram, options);
+            }
+        }
+        "fig6" => {
+            for placement in [MetadataPlacement::Mram, MetadataPlacement::Wram] {
+                println!("== Fig. 6: normalised peak throughput ({placement} metadata) ==");
+                let dist = PeakDistribution::run(
+                    placement,
+                    &Workload::FIGURE_4_5,
+                    &options.tasklets,
+                    options.scale,
+                    options.seed,
+                );
+                println!("{}", dist.table());
+            }
+        }
+        "fig7" => {
+            for benchmark in [
+                MultiDpuBenchmark::KmeansLc,
+                MultiDpuBenchmark::KmeansHc,
+                MultiDpuBenchmark::LabyrinthS,
+                MultiDpuBenchmark::LabyrinthM,
+                MultiDpuBenchmark::LabyrinthL,
+            ] {
+                println!("== Fig. 7: speed-up vs CPU ({benchmark}) ==");
+                let study =
+                    MultiDpuStudy::run(benchmark, &options.dpus, options.scale, options.seed);
+                println!("{}", study.speedup_table());
+            }
+        }
+        "fig8" => {
+            println!("== Fig. 8: speed-up and energy gain at {} DPUs ==", 2500);
+            let studies: Vec<MultiDpuStudy> = MultiDpuBenchmark::ALL
+                .into_iter()
+                .map(|b| MultiDpuStudy::run(b, &[2500], options.scale, options.seed))
+                .collect();
+            println!("{}", figure8_table(&studies));
+        }
+        "latency" => {
+            println!("== §3.1: local vs CPU-mediated word read ==");
+            println!("{}", LatencyComparison::measure().table());
+        }
+        other => return Err(format!("unknown figure {other}\n{}", usage())),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = if let Some(figure) = &options.figure {
+        run_figure(figure, &options)
+    } else if let Some(workload) = options.workload {
+        print_sweep(workload, options.placement, &options);
+        Ok(())
+    } else {
+        Err(usage())
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argument_parsing_covers_the_main_flags() {
+        let args: Vec<String> = [
+            "--figure", "fig4", "--tier", "wram", "--tasklets", "1,2,3", "--scale", "0.5",
+            "--seed", "7", "--dpus", "1,10",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let options = parse_args(&args).unwrap();
+        assert_eq!(options.figure.as_deref(), Some("fig4"));
+        assert_eq!(options.placement, MetadataPlacement::Wram);
+        assert_eq!(options.tasklets, vec![1, 2, 3]);
+        assert_eq!(options.dpus, vec![1, 10]);
+        assert!((options.scale - 0.5).abs() < 1e-12);
+        assert_eq!(options.seed, 7);
+    }
+
+    #[test]
+    fn bad_arguments_are_rejected() {
+        assert!(parse_args(&["--tier".into(), "sram".into()]).is_err());
+        assert!(parse_args(&["--workload".into(), "nope".into()]).is_err());
+        assert!(parse_args(&["--bogus".into()]).is_err());
+        assert!(parse_args(&["--scale".into()]).is_err());
+    }
+
+    #[test]
+    fn unknown_figures_are_rejected() {
+        let options = Options::default();
+        assert!(run_figure("fig99", &options).is_err());
+    }
+}

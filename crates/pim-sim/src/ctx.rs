@@ -1,0 +1,333 @@
+//! [`TaskletCtx`]: the cycle-charging window through which running tasklet
+//! code touches the DPU.
+//!
+//! Every memory access, compute block and atomic-register operation advances
+//! the tasklet's virtual clock according to the [`crate::LatencyModel`] and
+//! attributes the cycles to the current [`Phase`]. The STM library switches
+//! phases as a transaction moves between reading, writing, validating and
+//! committing, which is how the paper's time-breakdown plots are produced.
+
+use crate::dpu::Dpu;
+use crate::latency::Cycles;
+use crate::mem::{Addr, Tier};
+use crate::stats::{Phase, TaskletStats};
+
+/// Execution context handed to a tasklet for the duration of one program
+/// step.
+#[derive(Debug)]
+pub struct TaskletCtx<'a> {
+    dpu: &'a mut Dpu,
+    stats: &'a mut TaskletStats,
+    tasklet_id: usize,
+    active_tasklets: usize,
+    now: Cycles,
+    phase: Phase,
+    transactional: bool,
+}
+
+impl<'a> TaskletCtx<'a> {
+    /// Creates a context for `tasklet_id` whose clock currently reads `now`.
+    ///
+    /// `active_tasklets` is the number of tasklets still running on the DPU;
+    /// it determines instruction-issue contention beyond the pipeline depth.
+    pub fn new(
+        dpu: &'a mut Dpu,
+        stats: &'a mut TaskletStats,
+        tasklet_id: usize,
+        active_tasklets: usize,
+        now: Cycles,
+    ) -> Self {
+        TaskletCtx {
+            dpu,
+            stats,
+            tasklet_id,
+            active_tasklets: active_tasklets.max(1),
+            now,
+            phase: Phase::OtherExec,
+            transactional: false,
+        }
+    }
+
+    /// Identifier of the tasklet executing this step (0-based).
+    pub fn tasklet_id(&self) -> usize {
+        self.tasklet_id
+    }
+
+    /// Number of tasklets still running on the DPU.
+    pub fn active_tasklets(&self) -> usize {
+        self.active_tasklets
+    }
+
+    /// Current virtual time of this tasklet, in cycles.
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// The phase to which subsequent cycles will be attributed.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Switches the accounting phase, returning the previous one so callers
+    /// can restore it.
+    pub fn set_phase(&mut self, phase: Phase) -> Phase {
+        std::mem::replace(&mut self.phase, phase)
+    }
+
+    /// Marks the start of a transaction attempt: subsequent cycles are
+    /// buffered so they can be re-attributed to wasted time if the attempt
+    /// aborts.
+    pub fn begin_attempt(&mut self) {
+        self.transactional = true;
+    }
+
+    /// Resolves the in-flight attempt as committed.
+    pub fn commit_attempt(&mut self) {
+        self.transactional = false;
+        self.stats.resolve_commit();
+    }
+
+    /// Resolves the in-flight attempt as aborted: all buffered cycles become
+    /// wasted time.
+    pub fn abort_attempt(&mut self) {
+        self.transactional = false;
+        self.stats.resolve_abort();
+    }
+
+    /// Whether a transaction attempt is currently being accounted.
+    pub fn in_attempt(&self) -> bool {
+        self.transactional
+    }
+
+    /// Charges `cycles` to the current phase and advances the tasklet clock.
+    pub fn charge(&mut self, cycles: Cycles) {
+        self.now += cycles;
+        if self.transactional {
+            self.stats.charge_attempt(self.phase, cycles);
+        } else {
+            self.stats.charge_direct(self.phase, cycles);
+        }
+    }
+
+    /// Charges `cycles` to an explicit phase (without changing the current
+    /// phase), advancing the clock.
+    pub fn charge_phase(&mut self, phase: Phase, cycles: Cycles) {
+        let prev = self.set_phase(phase);
+        self.charge(cycles);
+        self.phase = prev;
+    }
+
+    /// Models `instructions` pipeline instructions of computation.
+    pub fn compute(&mut self, instructions: u64) {
+        let cost = self.dpu.latency().instruction_cycles(self.active_tasklets) * instructions;
+        self.charge(cost);
+    }
+
+    fn access_cost(&mut self, tier: Tier, words: u32) -> Cycles {
+        let latency = *self.dpu.latency();
+        let instr = latency.instruction_cycles(self.active_tasklets);
+        match tier {
+            Tier::Wram => instr,
+            Tier::Mram => {
+                // The issuing instruction executes, then the DMA waits for the
+                // shared MRAM port.
+                let issue_done = self.now + instr;
+                let dma_start = issue_done.max(self.dpu.mram_port_free_at());
+                let dma_done = dma_start + latency.mram_transfer_cycles(words);
+                self.dpu.set_mram_port_free_at(dma_done);
+                dma_done - self.now
+            }
+        }
+    }
+
+    /// Transactionally-timed load of one word.
+    pub fn load(&mut self, addr: Addr) -> u64 {
+        let cost = self.access_cost(addr.tier, 1);
+        self.charge(cost);
+        self.dpu.memory(addr.tier).read(addr.word)
+    }
+
+    /// Transactionally-timed store of one word.
+    pub fn store(&mut self, addr: Addr, value: u64) {
+        let cost = self.access_cost(addr.tier, 1);
+        self.charge(cost);
+        self.dpu.memory_mut(addr.tier).write(addr.word, value);
+    }
+
+    /// Copies `words` words from `src` to `dst`, charging one block DMA per
+    /// MRAM side touched (models the UPMEM `mram_read`/`mram_write` DMA
+    /// helpers used to stage data into WRAM).
+    pub fn copy_block(&mut self, src: Addr, dst: Addr, words: u32) {
+        let mram_sides =
+            u32::from(src.tier == Tier::Mram) + u32::from(dst.tier == Tier::Mram);
+        let latency = *self.dpu.latency();
+        let instr = latency.instruction_cycles(self.active_tasklets);
+        let mut cost = instr;
+        for _ in 0..mram_sides {
+            let issue_done = self.now + cost;
+            let dma_start = issue_done.max(self.dpu.mram_port_free_at());
+            let dma_done = dma_start + latency.mram_transfer_cycles(words);
+            self.dpu.set_mram_port_free_at(dma_done);
+            cost = dma_done - self.now;
+        }
+        // WRAM-to-WRAM copies still execute one instruction per word.
+        if mram_sides == 0 {
+            cost = instr * u64::from(words.max(1));
+        }
+        self.charge(cost);
+        let values = self.dpu.peek_block(src, words);
+        self.dpu.poke_block(dst, &values);
+    }
+
+    /// Attempts to acquire the hardware logical lock hashed from `key`.
+    ///
+    /// On real hardware a failed acquire blocks the tasklet; in the
+    /// discrete-event simulator steps are atomic, so the caller (the STM
+    /// library keeps its critical sections within a single operation) decides
+    /// how to react to a `false` return.
+    pub fn try_acquire(&mut self, key: u64) -> bool {
+        let instr = self.dpu.latency().atomic_op_instructions
+            * self.dpu.latency().instruction_cycles(self.active_tasklets);
+        self.charge(instr);
+        self.dpu.atomic_register_mut().try_acquire(key, self.tasklet_id)
+    }
+
+    /// Releases the hardware logical lock hashed from `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is not held (see [`crate::AtomicBitRegister`]).
+    pub fn release(&mut self, key: u64) {
+        let instr = self.dpu.latency().atomic_op_instructions
+            * self.dpu.latency().instruction_cycles(self.active_tasklets);
+        self.charge(instr);
+        self.dpu.atomic_register_mut().release(key);
+    }
+
+    /// Direct, *untimed* access to the DPU. Intended for assertions inside
+    /// tests and for program bookkeeping that does not correspond to DPU
+    /// instructions; regular workload code should use the timed accessors.
+    pub fn dpu(&self) -> &Dpu {
+        self.dpu
+    }
+
+    /// Direct, untimed mutable access to the DPU (see [`TaskletCtx::dpu`]).
+    pub fn dpu_mut(&mut self) -> &mut Dpu {
+        self.dpu
+    }
+
+    /// The statistics record of this tasklet.
+    pub fn stats(&self) -> &TaskletStats {
+        self.stats
+    }
+
+    /// Consumes the context, returning the advanced clock value.
+    pub(crate) fn finish(self) -> Cycles {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dpu::DpuConfig;
+
+    fn setup() -> (Dpu, TaskletStats) {
+        (Dpu::new(DpuConfig::small()), TaskletStats::new())
+    }
+
+    #[test]
+    fn wram_access_is_cheaper_than_mram() {
+        let (mut dpu, mut stats) = setup();
+        let w = dpu.alloc(Tier::Wram, 1).unwrap();
+        let m = dpu.alloc(Tier::Mram, 1).unwrap();
+        let mut ctx = TaskletCtx::new(&mut dpu, &mut stats, 0, 1, 0);
+        ctx.store(w, 1);
+        let wram_cost = ctx.now();
+        ctx.store(m, 1);
+        let mram_cost = ctx.now() - wram_cost;
+        assert!(mram_cost > 3 * wram_cost, "MRAM ({mram_cost}) should dwarf WRAM ({wram_cost})");
+    }
+
+    #[test]
+    fn loads_return_stored_values_and_charge_phase() {
+        let (mut dpu, mut stats) = setup();
+        let a = dpu.alloc(Tier::Mram, 2).unwrap();
+        let mut ctx = TaskletCtx::new(&mut dpu, &mut stats, 0, 1, 0);
+        ctx.set_phase(Phase::Writing);
+        ctx.store(a, 17);
+        ctx.set_phase(Phase::Reading);
+        assert_eq!(ctx.load(a), 17);
+        assert!(stats.breakdown.get(Phase::Reading) > 0);
+        assert!(stats.breakdown.get(Phase::Writing) > 0);
+    }
+
+    #[test]
+    fn mram_port_is_a_shared_resource() {
+        let (mut dpu, mut stats0) = setup();
+        let mut stats1 = TaskletStats::new();
+        let a = dpu.alloc(Tier::Mram, 2).unwrap();
+        // Tasklet 0 issues an MRAM access at t=0.
+        let mut ctx0 = TaskletCtx::new(&mut dpu, &mut stats0, 0, 2, 0);
+        ctx0.load(a);
+        let t0_done = ctx0.finish();
+        // Tasklet 1 issues at t=0 too, but the port is busy until t0_done's
+        // DMA finished, so it must finish strictly later.
+        let mut ctx1 = TaskletCtx::new(&mut dpu, &mut stats1, 1, 2, 0);
+        ctx1.load(a.offset(1));
+        let t1_done = ctx1.finish();
+        assert!(t1_done > t0_done);
+    }
+
+    #[test]
+    fn attempt_buffering_reclassifies_aborted_work() {
+        let (mut dpu, mut stats) = setup();
+        let a = dpu.alloc(Tier::Wram, 1).unwrap();
+        {
+            let mut ctx = TaskletCtx::new(&mut dpu, &mut stats, 0, 1, 0);
+            ctx.begin_attempt();
+            ctx.set_phase(Phase::Reading);
+            ctx.load(a);
+            ctx.abort_attempt();
+        }
+        assert_eq!(stats.aborts, 1);
+        assert_eq!(stats.breakdown.get(Phase::Reading), 0);
+        assert!(stats.breakdown.get(Phase::Wasted) > 0);
+    }
+
+    #[test]
+    fn atomic_register_ops_are_cheap_and_tracked() {
+        let (mut dpu, mut stats) = setup();
+        let mut ctx = TaskletCtx::new(&mut dpu, &mut stats, 3, 1, 0);
+        assert!(ctx.try_acquire(0xabc));
+        ctx.release(0xabc);
+        let t_atomic = ctx.now();
+        let m = ctx.dpu_mut().alloc(Tier::Mram, 1).unwrap();
+        ctx.load(m);
+        let t_mram = ctx.now() - t_atomic;
+        assert!(t_atomic < t_mram, "register ops must be much cheaper than MRAM accesses");
+        assert_eq!(ctx.dpu().atomic_register().stats().acquires, 1);
+    }
+
+    #[test]
+    fn copy_block_moves_data_and_charges_dma() {
+        let (mut dpu, mut stats) = setup();
+        let src = dpu.alloc(Tier::Mram, 8).unwrap();
+        let dst = dpu.alloc(Tier::Wram, 8).unwrap();
+        dpu.poke_block(src, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut ctx = TaskletCtx::new(&mut dpu, &mut stats, 0, 1, 0);
+        ctx.copy_block(src, dst, 8);
+        assert!(ctx.now() > 0);
+        assert_eq!(dpu.peek_block(dst, 8), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn compute_scales_with_instruction_count() {
+        let (mut dpu, mut stats) = setup();
+        let mut ctx = TaskletCtx::new(&mut dpu, &mut stats, 0, 1, 0);
+        ctx.compute(10);
+        let ten = ctx.now();
+        ctx.compute(20);
+        assert_eq!(ctx.now() - ten, 2 * ten);
+    }
+}

@@ -1,0 +1,337 @@
+//! The lowest-virtual-time discrete-event scheduler that interleaves tasklet
+//! programs on one DPU.
+
+use serde::{Deserialize, Serialize};
+
+use crate::atomic_reg::AtomicRegisterStats;
+use crate::ctx::TaskletCtx;
+use crate::dpu::Dpu;
+use crate::latency::Cycles;
+use crate::program::{StepStatus, TaskletProgram};
+use crate::stats::{PhaseBreakdown, TaskletStats};
+
+/// Deterministic tasklet scheduler.
+///
+/// On every iteration the runnable tasklet with the smallest virtual clock
+/// executes one program step; the cycles the step charges advance that
+/// tasklet's clock. Ties are broken by tasklet id, so runs are fully
+/// reproducible.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    max_steps: u64,
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler {
+    /// Creates a scheduler with a large step budget (far above what any
+    /// legitimate experiment needs, but small enough that a livelocked or
+    /// non-terminating program fails fast instead of hanging the test
+    /// suite).
+    pub fn new() -> Self {
+        Scheduler { max_steps: 200_000_000 }
+    }
+
+    /// Overrides the safety step budget.
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Runs `programs` (one per tasklet) to completion on `dpu` and returns
+    /// the run report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of programs exceeds the DPU's `max_tasklets`, or
+    /// if the step budget is exhausted (which indicates a non-terminating
+    /// program).
+    pub fn run(&self, dpu: &mut Dpu, mut programs: Vec<Box<dyn TaskletProgram>>) -> DpuRunReport {
+        assert!(
+            programs.len() <= dpu.config().max_tasklets,
+            "{} programs exceed the DPU's {} hardware threads",
+            programs.len(),
+            dpu.config().max_tasklets
+        );
+        let n = programs.len();
+        let mut clocks: Vec<Cycles> = vec![0; n];
+        let mut finished: Vec<bool> = vec![false; n];
+        let mut stats: Vec<TaskletStats> = vec![TaskletStats::new(); n];
+        let mut remaining = n;
+        let mut steps: u64 = 0;
+
+        while remaining > 0 {
+            assert!(
+                steps < self.max_steps,
+                "scheduler step budget of {} exhausted; a tasklet program is not terminating",
+                self.max_steps
+            );
+            steps += 1;
+
+            // Pick the unfinished tasklet with the smallest clock (ties: id).
+            let tid = (0..n)
+                .filter(|&i| !finished[i])
+                .min_by_key(|&i| (clocks[i], i))
+                .expect("remaining > 0 implies an unfinished tasklet");
+
+            let start = clocks[tid];
+            let instr_floor = dpu.latency().instruction_cycles(remaining);
+            let (status, end) = {
+                let mut ctx = TaskletCtx::new(dpu, &mut stats[tid], tid, remaining, start);
+                let status = programs[tid].step(&mut ctx);
+                (status, ctx.finish())
+            };
+            // Guarantee forward progress even if a step charged nothing.
+            clocks[tid] = if end > start { end } else { start + instr_floor };
+
+            if status == StepStatus::Finished {
+                finished[tid] = true;
+                stats[tid].finish_cycles = clocks[tid];
+                remaining -= 1;
+            }
+        }
+
+        DpuRunReport::from_parts(dpu, stats)
+    }
+}
+
+/// Aggregated result of running a set of tasklet programs on one DPU.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DpuRunReport {
+    /// Per-tasklet statistics, indexed by tasklet id.
+    pub tasklet_stats: Vec<TaskletStats>,
+    /// Virtual time at which the last tasklet finished.
+    pub makespan_cycles: Cycles,
+    /// DPU clock frequency used to convert cycles to seconds.
+    pub clock_hz: u64,
+    /// Usage statistics of the hardware atomic register.
+    pub atomic_stats: AtomicRegisterStats,
+}
+
+impl DpuRunReport {
+    fn from_parts(dpu: &Dpu, tasklet_stats: Vec<TaskletStats>) -> Self {
+        let makespan_cycles =
+            tasklet_stats.iter().map(|s| s.finish_cycles).max().unwrap_or(0);
+        DpuRunReport {
+            tasklet_stats,
+            makespan_cycles,
+            clock_hz: dpu.latency().clock_hz,
+            atomic_stats: dpu.atomic_register().stats(),
+        }
+    }
+
+    /// Total committed transactions across all tasklets.
+    pub fn total_commits(&self) -> u64 {
+        self.tasklet_stats.iter().map(|s| s.commits).sum()
+    }
+
+    /// Total aborted transaction attempts across all tasklets.
+    pub fn total_aborts(&self) -> u64 {
+        self.tasklet_stats.iter().map(|s| s.aborts).sum()
+    }
+
+    /// Abort rate in `[0, 1]` across all tasklets.
+    pub fn abort_rate(&self) -> f64 {
+        let commits = self.total_commits();
+        let aborts = self.total_aborts();
+        if commits + aborts == 0 {
+            0.0
+        } else {
+            aborts as f64 / (commits + aborts) as f64
+        }
+    }
+
+    /// Wall-clock duration of the run in (simulated) seconds.
+    pub fn makespan_seconds(&self) -> f64 {
+        self.makespan_cycles as f64 / self.clock_hz as f64
+    }
+
+    /// Committed transactions per simulated second — the paper's throughput
+    /// metric.
+    pub fn throughput_tx_per_sec(&self) -> f64 {
+        let secs = self.makespan_seconds();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.total_commits() as f64 / secs
+        }
+    }
+
+    /// Phase breakdown summed over all tasklets.
+    pub fn breakdown(&self) -> PhaseBreakdown {
+        self.tasklet_stats.iter().fold(PhaseBreakdown::new(), |acc, s| acc + s.breakdown)
+    }
+
+    /// Number of tasklets that took part in the run.
+    pub fn tasklets(&self) -> usize {
+        self.tasklet_stats.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dpu::DpuConfig;
+    use crate::mem::Tier;
+    use crate::program::{FnProgram, IdleProgram};
+    use crate::stats::Phase;
+
+    #[test]
+    fn empty_program_set_produces_empty_report() {
+        let mut dpu = Dpu::new(DpuConfig::small());
+        let report = Scheduler::new().run(&mut dpu, Vec::new());
+        assert_eq!(report.tasklets(), 0);
+        assert_eq!(report.makespan_cycles, 0);
+        assert_eq!(report.throughput_tx_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn single_tasklet_counter_increments_accumulate() {
+        let mut dpu = Dpu::new(DpuConfig::small());
+        let counter = dpu.alloc(Tier::Mram, 1).unwrap();
+        let mut remaining = 25u32;
+        let prog = FnProgram::new(move |ctx: &mut TaskletCtx<'_>| {
+            if remaining == 0 {
+                return StepStatus::Finished;
+            }
+            let v = ctx.load(counter);
+            ctx.store(counter, v + 1);
+            remaining -= 1;
+            StepStatus::Running
+        });
+        let report = Scheduler::new().run(&mut dpu, vec![Box::new(prog)]);
+        assert_eq!(dpu.peek(counter), 25);
+        assert!(report.makespan_cycles > 0);
+    }
+
+    #[test]
+    fn interleaving_is_fair_and_deterministic() {
+        // Two tasklets append their id to a log; with equal per-step costs the
+        // scheduler must alternate them deterministically.
+        fn run_once() -> Vec<u64> {
+            let mut dpu = Dpu::new(DpuConfig::small());
+            let log = dpu.alloc(Tier::Mram, 64).unwrap();
+            let cursor = dpu.alloc(Tier::Mram, 1).unwrap();
+            let mk = |id: u64| {
+                let mut remaining = 8u32;
+                FnProgram::new(move |ctx: &mut TaskletCtx<'_>| {
+                    if remaining == 0 {
+                        return StepStatus::Finished;
+                    }
+                    let c = ctx.load(cursor);
+                    ctx.store(log.offset(c as u32), id);
+                    ctx.store(cursor, c + 1);
+                    remaining -= 1;
+                    StepStatus::Running
+                })
+            };
+            let report = Scheduler::new().run(
+                &mut dpu,
+                vec![Box::new(mk(1)) as Box<dyn TaskletProgram>, Box::new(mk(2))],
+            );
+            assert_eq!(report.tasklets(), 2);
+            dpu.peek_block(log, 16)
+        }
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a, b, "scheduler must be deterministic");
+        assert!(a.contains(&1) && a.contains(&2), "both tasklets must run");
+    }
+
+    #[test]
+    fn makespan_grows_sublinearly_up_to_pipeline_depth() {
+        // Pure-compute tasklets: per-tasklet time is independent of the
+        // tasklet count up to the pipeline depth, so makespan stays flat while
+        // total work scales — this is the linear-scaling property of the DPU.
+        let run = |tasklets: usize| {
+            let mut dpu = Dpu::new(DpuConfig::small());
+            let programs: Vec<Box<dyn TaskletProgram>> = (0..tasklets)
+                .map(|_| {
+                    let mut remaining = 50u32;
+                    Box::new(FnProgram::new(move |ctx: &mut TaskletCtx<'_>| {
+                        if remaining == 0 {
+                            return StepStatus::Finished;
+                        }
+                        ctx.compute(4);
+                        remaining -= 1;
+                        StepStatus::Running
+                    })) as Box<dyn TaskletProgram>
+                })
+                .collect();
+            Scheduler::new().run(&mut dpu, programs).makespan_cycles
+        };
+        let one = run(1);
+        let eleven = run(11);
+        let twentyfour = run(24);
+        assert_eq!(one, eleven, "1..=11 tasklets of pure compute should not dilate each other");
+        assert!(twentyfour > eleven, "beyond the pipeline depth issue slots are shared");
+    }
+
+    #[test]
+    fn commits_and_phase_cycles_roll_up_into_report() {
+        let mut dpu = Dpu::new(DpuConfig::small());
+        let word = dpu.alloc(Tier::Wram, 1).unwrap();
+        let mk = || {
+            let mut remaining = 5u32;
+            FnProgram::new(move |ctx: &mut TaskletCtx<'_>| {
+                if remaining == 0 {
+                    return StepStatus::Finished;
+                }
+                ctx.begin_attempt();
+                ctx.set_phase(Phase::Reading);
+                ctx.load(word);
+                ctx.commit_attempt();
+                remaining -= 1;
+                StepStatus::Running
+            })
+        };
+        let report = Scheduler::new()
+            .run(&mut dpu, vec![Box::new(mk()) as Box<dyn TaskletProgram>, Box::new(mk())]);
+        assert_eq!(report.total_commits(), 10);
+        assert_eq!(report.total_aborts(), 0);
+        assert_eq!(report.abort_rate(), 0.0);
+        assert!(report.breakdown().get(Phase::Reading) > 0);
+        assert!(report.throughput_tx_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn zero_cost_steps_still_make_progress() {
+        let mut dpu = Dpu::new(DpuConfig::small());
+        let mut remaining = 3u32;
+        let prog = FnProgram::new(move |_ctx: &mut TaskletCtx<'_>| {
+            if remaining == 0 {
+                return StepStatus::Finished;
+            }
+            remaining -= 1;
+            StepStatus::Running
+        });
+        let report = Scheduler::new().run(&mut dpu, vec![Box::new(prog) as Box<dyn TaskletProgram>]);
+        assert!(report.makespan_cycles > 0, "scheduler must advance time even for no-op steps");
+    }
+
+    #[test]
+    #[should_panic(expected = "step budget")]
+    fn runaway_program_hits_step_budget() {
+        let mut dpu = Dpu::new(DpuConfig::small());
+        let prog = FnProgram::new(|ctx: &mut TaskletCtx<'_>| {
+            ctx.compute(1);
+            StepStatus::Running
+        });
+        Scheduler::new()
+            .with_max_steps(100)
+            .run(&mut dpu, vec![Box::new(prog) as Box<dyn TaskletProgram>]);
+    }
+
+    #[test]
+    #[should_panic(expected = "hardware threads")]
+    fn too_many_programs_panics() {
+        let mut dpu = Dpu::new(DpuConfig::small());
+        let programs: Vec<Box<dyn TaskletProgram>> =
+            (0..25).map(|_| Box::new(IdleProgram) as Box<dyn TaskletProgram>).collect();
+        Scheduler::new().run(&mut dpu, programs);
+    }
+}

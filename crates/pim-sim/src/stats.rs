@@ -1,0 +1,296 @@
+//! Execution phases and per-tasklet statistics.
+//!
+//! The paper's time-breakdown plots (Fig. 4/5 bottom rows, Fig. 9/10) divide
+//! transaction time into reading, writing, validation (during execution and
+//! at commit), other execution work, other commit work, and time wasted on
+//! attempts that eventually aborted. The simulator attributes every cycle a
+//! tasklet spends to one of those categories; the STM library switches the
+//! current [`Phase`] as it moves through a transaction.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+use crate::latency::Cycles;
+
+/// Number of phase categories tracked.
+pub const PHASES: usize = 7;
+
+/// Execution-time categories used in the paper's breakdown plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Executing transactional read operations.
+    Reading,
+    /// Executing transactional write operations.
+    Writing,
+    /// Validating the readset while the transaction is still executing.
+    ValidatingExec,
+    /// Non-STM work performed inside the transaction (application logic).
+    OtherExec,
+    /// Validating the readset during commit.
+    ValidatingCommit,
+    /// Commit work other than validation (lock acquisition, write-back,
+    /// version updates, releases).
+    OtherCommit,
+    /// Cycles spent in attempts that aborted ("Time Wasted" in the paper).
+    Wasted,
+}
+
+impl Phase {
+    /// All phases, in the order used by reports.
+    pub const ALL: [Phase; PHASES] = [
+        Phase::Reading,
+        Phase::Writing,
+        Phase::ValidatingExec,
+        Phase::OtherExec,
+        Phase::ValidatingCommit,
+        Phase::OtherCommit,
+        Phase::Wasted,
+    ];
+
+    /// Stable index of the phase in breakdown arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Reading => 0,
+            Phase::Writing => 1,
+            Phase::ValidatingExec => 2,
+            Phase::OtherExec => 3,
+            Phase::ValidatingCommit => 4,
+            Phase::OtherCommit => 5,
+            Phase::Wasted => 6,
+        }
+    }
+
+    /// Human-readable label matching the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Reading => "Reading",
+            Phase::Writing => "Writing",
+            Phase::ValidatingExec => "Validating (Executing)",
+            Phase::OtherExec => "Other (Executing)",
+            Phase::ValidatingCommit => "Validating (Commit)",
+            Phase::OtherCommit => "Other (Commit)",
+            Phase::Wasted => "Time Wasted",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Cycles attributed to each [`Phase`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    cycles: [Cycles; PHASES],
+}
+
+impl PhaseBreakdown {
+    /// An all-zero breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `cycles` to `phase`.
+    pub fn charge(&mut self, phase: Phase, cycles: Cycles) {
+        self.cycles[phase.index()] += cycles;
+    }
+
+    /// Cycles attributed to `phase`.
+    pub fn get(&self, phase: Phase) -> Cycles {
+        self.cycles[phase.index()]
+    }
+
+    /// Sum over all phases.
+    pub fn total(&self) -> Cycles {
+        self.cycles.iter().sum()
+    }
+
+    /// Iterates over `(phase, cycles)` pairs in report order.
+    pub fn iter(&self) -> impl Iterator<Item = (Phase, Cycles)> + '_ {
+        Phase::ALL.iter().map(move |&p| (p, self.get(p)))
+    }
+
+    /// Fraction of total time spent in `phase` (0.0 if the breakdown is
+    /// empty).
+    pub fn fraction(&self, phase: Phase) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(phase) as f64 / total as f64
+        }
+    }
+
+    /// Moves every recorded cycle into [`Phase::Wasted`]; used when a
+    /// transaction attempt aborts.
+    pub fn collapse_into_wasted(&mut self) {
+        let total = self.total();
+        self.cycles = [0; PHASES];
+        self.cycles[Phase::Wasted.index()] = total;
+    }
+}
+
+impl Add for PhaseBreakdown {
+    type Output = PhaseBreakdown;
+
+    fn add(mut self, rhs: PhaseBreakdown) -> PhaseBreakdown {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for PhaseBreakdown {
+    fn add_assign(&mut self, rhs: PhaseBreakdown) {
+        for i in 0..PHASES {
+            self.cycles[i] += rhs.cycles[i];
+        }
+    }
+}
+
+/// Statistics for one tasklet over one simulated run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TaskletStats {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted transaction attempts.
+    pub aborts: u64,
+    /// Cycles attributed to committed work, by phase.
+    pub breakdown: PhaseBreakdown,
+    /// Cycles charged in the current (not yet resolved) transaction attempt.
+    pub attempt: PhaseBreakdown,
+    /// Virtual time at which the tasklet finished its program.
+    pub finish_cycles: Cycles,
+}
+
+impl TaskletStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Abort rate in `[0, 1]`: aborts / (aborts + commits).
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.aborts + self.commits;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / attempts as f64
+        }
+    }
+
+    /// Charges cycles to the in-flight transaction attempt.
+    pub fn charge_attempt(&mut self, phase: Phase, cycles: Cycles) {
+        self.attempt.charge(phase, cycles);
+    }
+
+    /// Charges cycles directly to the committed breakdown, bypassing the
+    /// attempt buffer (used for non-transactional work).
+    pub fn charge_direct(&mut self, phase: Phase, cycles: Cycles) {
+        self.breakdown.charge(phase, cycles);
+    }
+
+    /// Resolves the in-flight attempt as committed: its cycles keep their
+    /// phase attribution.
+    pub fn resolve_commit(&mut self) {
+        self.commits += 1;
+        let attempt = std::mem::take(&mut self.attempt);
+        self.breakdown += attempt;
+    }
+
+    /// Resolves the in-flight attempt as aborted: all its cycles become
+    /// wasted time.
+    pub fn resolve_abort(&mut self) {
+        self.aborts += 1;
+        let mut attempt = std::mem::take(&mut self.attempt);
+        attempt.collapse_into_wasted();
+        self.breakdown += attempt;
+    }
+
+    /// Merges another tasklet's statistics into this one (used for DPU-level
+    /// aggregation).
+    pub fn merge(&mut self, other: &TaskletStats) {
+        self.commits += other.commits;
+        self.aborts += other.aborts;
+        self.breakdown += other.breakdown;
+        self.attempt += other.attempt;
+        self.finish_cycles = self.finish_cycles.max(other.finish_cycles);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_indices_are_stable_and_unique() {
+        let mut seen = [false; PHASES];
+        for p in Phase::ALL {
+            assert!(!seen[p.index()], "duplicate index for {p}");
+            seen[p.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn breakdown_charge_and_total() {
+        let mut b = PhaseBreakdown::new();
+        b.charge(Phase::Reading, 10);
+        b.charge(Phase::Reading, 5);
+        b.charge(Phase::OtherCommit, 20);
+        assert_eq!(b.get(Phase::Reading), 15);
+        assert_eq!(b.total(), 35);
+        assert!((b.fraction(Phase::OtherCommit) - 20.0 / 35.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collapse_moves_everything_to_wasted() {
+        let mut b = PhaseBreakdown::new();
+        b.charge(Phase::Reading, 7);
+        b.charge(Phase::Writing, 3);
+        b.collapse_into_wasted();
+        assert_eq!(b.get(Phase::Wasted), 10);
+        assert_eq!(b.get(Phase::Reading), 0);
+        assert_eq!(b.total(), 10);
+    }
+
+    #[test]
+    fn commit_and_abort_resolution() {
+        let mut s = TaskletStats::new();
+        s.charge_attempt(Phase::Reading, 100);
+        s.resolve_commit();
+        assert_eq!(s.commits, 1);
+        assert_eq!(s.breakdown.get(Phase::Reading), 100);
+
+        s.charge_attempt(Phase::Writing, 40);
+        s.resolve_abort();
+        assert_eq!(s.aborts, 1);
+        assert_eq!(s.breakdown.get(Phase::Wasted), 40);
+        assert_eq!(s.breakdown.get(Phase::Writing), 0);
+        assert!((s.abort_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = TaskletStats::new();
+        a.charge_attempt(Phase::Reading, 10);
+        a.resolve_commit();
+        a.finish_cycles = 500;
+        let mut b = TaskletStats::new();
+        b.charge_attempt(Phase::Reading, 30);
+        b.resolve_abort();
+        b.finish_cycles = 900;
+        a.merge(&b);
+        assert_eq!(a.commits, 1);
+        assert_eq!(a.aborts, 1);
+        assert_eq!(a.finish_cycles, 900);
+        assert_eq!(a.breakdown.total(), 40);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_abort_rate() {
+        assert_eq!(TaskletStats::new().abort_rate(), 0.0);
+    }
+}

@@ -1,0 +1,280 @@
+//! The [`TmAlgorithm`] trait implemented by every STM design, the factory
+//! that maps an [`StmKind`] to its implementation, and a convenience
+//! retry-loop for closure-style transactions.
+
+use pim_sim::{Addr, Phase};
+
+use crate::config::{LockTiming, StmKind, WritePolicy};
+use crate::error::Abort;
+use crate::norec::Norec;
+use crate::platform::Platform;
+use crate::shared::StmShared;
+use crate::tiny::Tiny;
+use crate::txslot::TxSlot;
+use crate::vr::Vr;
+
+/// A word-based software transactional memory algorithm.
+///
+/// Implementations are stateless: all shared state lives in DPU memory
+/// behind [`StmShared`] and all per-transaction state in the [`TxSlot`], so
+/// a single `&'static dyn TmAlgorithm` can serve every tasklet.
+///
+/// # Abort contract
+///
+/// When `read`, `write` or `commit` return [`Abort`], the algorithm has
+/// already rolled back its side effects (released ownership records and
+/// read/write locks, undone write-through stores). The caller only needs to
+/// account the abort ([`Platform::abort_attempt`]) and restart the
+/// transaction from [`TmAlgorithm::begin`].
+pub trait TmAlgorithm: Send + Sync {
+    /// Which point of the design space this algorithm implements.
+    fn kind(&self) -> StmKind;
+
+    /// Starts (or restarts) a transaction attempt.
+    fn begin(&self, shared: &StmShared, tx: &mut TxSlot, p: &mut dyn Platform);
+
+    /// Transactional read of one word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] if a conflict with a concurrent transaction was
+    /// detected; the attempt must be retried.
+    fn read(
+        &self,
+        shared: &StmShared,
+        tx: &mut TxSlot,
+        p: &mut dyn Platform,
+        addr: Addr,
+    ) -> Result<u64, Abort>;
+
+    /// Transactional write of one word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] if a conflict with a concurrent transaction was
+    /// detected; the attempt must be retried.
+    fn write(
+        &self,
+        shared: &StmShared,
+        tx: &mut TxSlot,
+        p: &mut dyn Platform,
+        addr: Addr,
+        value: u64,
+    ) -> Result<(), Abort>;
+
+    /// Attempts to commit the transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] if final validation or commit-time lock acquisition
+    /// failed; the attempt must be retried.
+    fn commit(&self, shared: &StmShared, tx: &mut TxSlot, p: &mut dyn Platform)
+        -> Result<(), Abort>;
+
+    /// Explicitly abandons the current attempt: rolls back any exposed
+    /// writes and releases every lock, exactly as an internally detected
+    /// conflict would. Used by workloads (e.g. Labyrinth) that decide to
+    /// restart after observing application-level interference; the caller
+    /// still accounts the abort via [`Platform::abort_attempt`].
+    fn cancel(&self, shared: &StmShared, tx: &mut TxSlot, p: &mut dyn Platform) {
+        let _ = (shared, tx, p);
+    }
+}
+
+static NOREC: Norec = Norec;
+static TINY_CTL_WB: Tiny = Tiny::new(LockTiming::Commit, WritePolicy::WriteBack);
+static TINY_ETL_WB: Tiny = Tiny::new(LockTiming::Encounter, WritePolicy::WriteBack);
+static TINY_ETL_WT: Tiny = Tiny::new(LockTiming::Encounter, WritePolicy::WriteThrough);
+static VR_CTL_WB: Vr = Vr::new(LockTiming::Commit, WritePolicy::WriteBack);
+static VR_ETL_WB: Vr = Vr::new(LockTiming::Encounter, WritePolicy::WriteBack);
+static VR_ETL_WT: Vr = Vr::new(LockTiming::Encounter, WritePolicy::WriteThrough);
+
+/// Returns the (stateless, statically allocated) implementation of `kind`.
+pub fn algorithm_for(kind: StmKind) -> &'static dyn TmAlgorithm {
+    match kind {
+        StmKind::Norec => &NOREC,
+        StmKind::TinyCtlWb => &TINY_CTL_WB,
+        StmKind::TinyEtlWb => &TINY_ETL_WB,
+        StmKind::TinyEtlWt => &TINY_ETL_WT,
+        StmKind::VrCtlWb => &VR_CTL_WB,
+        StmKind::VrEtlWb => &VR_ETL_WB,
+        StmKind::VrEtlWt => &VR_ETL_WT,
+    }
+}
+
+/// Handle passed to the body of [`run_transaction`].
+pub struct TxView<'a> {
+    alg: &'a dyn TmAlgorithm,
+    shared: &'a StmShared,
+    tx: &'a mut TxSlot,
+    p: &'a mut dyn Platform,
+}
+
+impl TxView<'_> {
+    /// Transactional read.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Abort`]; the body should return it via `?` so the retry
+    /// loop can restart the transaction.
+    pub fn read(&mut self, addr: Addr) -> Result<u64, Abort> {
+        self.alg.read(self.shared, self.tx, self.p, addr)
+    }
+
+    /// Transactional write.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Abort`]; the body should return it via `?`.
+    pub fn write(&mut self, addr: Addr, value: u64) -> Result<(), Abort> {
+        self.alg.write(self.shared, self.tx, self.p, addr, value)
+    }
+
+    /// Models non-transactional computation inside the transaction body.
+    pub fn compute(&mut self, instructions: u64) {
+        self.p.compute(instructions);
+    }
+
+    /// Identifier of the executing tasklet.
+    pub fn tasklet_id(&self) -> usize {
+        self.p.tasklet_id()
+    }
+}
+
+/// Runs `body` as a transaction, retrying on abort until it commits, and
+/// returns the body's result.
+///
+/// The whole transaction executes within the caller's time slice, so this
+/// helper is intended for the threaded executor and for examples; the
+/// experiment harness uses step-granular tasklet programs instead (see
+/// `pim-workloads`), which interleave individual operations of concurrent
+/// transactions.
+pub fn run_transaction<R>(
+    alg: &dyn TmAlgorithm,
+    shared: &StmShared,
+    tx: &mut TxSlot,
+    p: &mut dyn Platform,
+    mut body: impl FnMut(&mut TxView<'_>) -> Result<R, Abort>,
+) -> R {
+    loop {
+        p.begin_attempt();
+        alg.begin(shared, tx, p);
+        let result = {
+            let mut view = TxView { alg, shared, tx, p };
+            body(&mut view)
+        };
+        match result {
+            Ok(value) => match alg.commit(shared, tx, p) {
+                Ok(()) => {
+                    p.commit_attempt();
+                    tx.note_commit();
+                    p.set_phase(Phase::OtherExec);
+                    return value;
+                }
+                Err(_) => {
+                    p.abort_attempt();
+                    tx.note_abort();
+                    backoff(p, tx.consecutive_aborts());
+                }
+            },
+            Err(_) => {
+                p.abort_attempt();
+                tx.note_abort();
+                backoff(p, tx.consecutive_aborts());
+            }
+        }
+        p.set_phase(Phase::OtherExec);
+    }
+}
+
+/// Bounded randomised exponential back-off charged as spin-wait
+/// instructions.
+///
+/// The jitter term (derived deterministically from the tasklet id and the
+/// attempt number, so simulated runs stay reproducible) is essential on the
+/// discrete-event executor: tasklets that abort in lockstep would otherwise
+/// retry in lockstep forever — the classic symmetric-livelock problem that
+/// real hardware escapes through timing noise.
+pub fn backoff(p: &mut dyn Platform, consecutive_aborts: u64) {
+    if consecutive_aborts == 0 {
+        return;
+    }
+    // The window keeps doubling well past the length of a typical
+    // transaction: designs that are prone to symmetric duels (most notably
+    // the commit-time-locking visible-reads variant, whose readers block each
+    // other's upgrades) need some competitor's window to grow large enough
+    // that the others can drain completely.
+    let exp = consecutive_aborts.min(14) as u32;
+    let seed = (p.tasklet_id() as u64 + 1)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(consecutive_aborts.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    let jitter = (seed >> 33) % (1u64 << exp);
+    p.spin_wait((1u64 << exp) + 3 * jitter);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MetadataPlacement, StmConfig};
+    use pim_sim::{Dpu, DpuConfig, TaskletCtx, TaskletStats, Tier};
+
+    #[test]
+    fn factory_returns_matching_kinds() {
+        for kind in StmKind::ALL {
+            assert_eq!(algorithm_for(kind).kind(), kind);
+        }
+    }
+
+    #[test]
+    fn run_transaction_commits_simple_increments_for_every_design() {
+        for kind in StmKind::ALL {
+            let mut dpu = Dpu::new(DpuConfig::small());
+            let cfg = StmConfig::new(kind, MetadataPlacement::Wram);
+            let shared = StmShared::allocate(&mut dpu, cfg).unwrap();
+            let mut slot = shared.register_tasklet(&mut dpu, 0).unwrap();
+            let counter = dpu.alloc(Tier::Mram, 1).unwrap();
+            let mut stats = TaskletStats::new();
+            let alg = algorithm_for(kind);
+            for _ in 0..10 {
+                let mut ctx = TaskletCtx::new(&mut dpu, &mut stats, 0, 1, 0);
+                run_transaction(alg, &shared, &mut slot, &mut ctx, |tx| {
+                    let v = tx.read(counter)?;
+                    tx.write(counter, v + 1)?;
+                    Ok(())
+                });
+            }
+            assert_eq!(dpu.peek(counter), 10, "{kind} lost updates");
+            assert_eq!(stats.commits, 10, "{kind} commit count");
+            assert_eq!(stats.aborts, 0, "{kind} should not abort single-threaded");
+        }
+    }
+
+    #[test]
+    fn backoff_grows_with_attempts_and_stays_bounded() {
+        let measure = |tasklet: usize, attempts: u64| {
+            let mut dpu = Dpu::new(DpuConfig::small());
+            let mut stats = TaskletStats::new();
+            let mut ctx = TaskletCtx::new(&mut dpu, &mut stats, tasklet, 1, 0);
+            backoff(&mut ctx, attempts);
+            ctx.now()
+        };
+        assert_eq!(measure(0, 0), 0, "no back-off before the first abort");
+        let after_one = measure(0, 1);
+        let after_ten = measure(0, 10);
+        assert!(after_one > 0);
+        assert!(after_ten > after_one, "back-off must grow with consecutive aborts");
+        // Bounded: even after absurdly many aborts the wait stays within the
+        // saturation window (2^10 base + jitter).
+        let after_many = measure(0, 1_000);
+        assert!(after_many <= measure_upper_bound());
+        // Different tasklets receive different jitter (this is what breaks
+        // deterministic livelock in the simulator).
+        assert_ne!(measure(0, 5), measure(1, 5));
+    }
+
+    fn measure_upper_bound() -> u64 {
+        // (2^14 + 3 * (2^14 - 1)) instructions, each costing at most 24
+        // cycles (the deepest issue contention possible).
+        (16384 + 3 * 16383) * 24
+    }
+}

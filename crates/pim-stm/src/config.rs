@@ -1,0 +1,351 @@
+//! Configuration of the STM library: which algorithm to use, where to place
+//! its metadata, and how large the per-tasklet transaction logs are.
+//!
+//! The original C library selects the algorithm and metadata placement with
+//! compile-time macros; the idiomatic Rust equivalent used here is a runtime
+//! [`StmConfig`], which additionally lets a single experiment binary sweep
+//! the whole design space.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use pim_sim::Tier;
+
+/// Where STM metadata (lock table, sequence lock, global clock, per-tasklet
+/// read/write sets) is allocated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MetadataPlacement {
+    /// Fast 64 KB scratchpad — low latency but steals capacity from the
+    /// application.
+    Wram,
+    /// 64 MB DRAM bank — plentiful but every metadata access pays DMA
+    /// latency.
+    Mram,
+}
+
+impl MetadataPlacement {
+    /// Both placements, for sweeps.
+    pub const ALL: [MetadataPlacement; 2] = [MetadataPlacement::Wram, MetadataPlacement::Mram];
+
+    /// The memory tier this placement corresponds to.
+    pub fn tier(self) -> Tier {
+        match self {
+            MetadataPlacement::Wram => Tier::Wram,
+            MetadataPlacement::Mram => Tier::Mram,
+        }
+    }
+
+    /// Short lowercase name used by the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetadataPlacement::Wram => "wram",
+            MetadataPlacement::Mram => "mram",
+        }
+    }
+}
+
+impl fmt::Display for MetadataPlacement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Conflict-detection metadata granularity (the top level of the paper's
+/// taxonomy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MetadataGranularity {
+    /// Per-location ownership records (a hashed lock table).
+    Orec,
+    /// A single global sequence lock (the NOrec design).
+    NoOrec,
+}
+
+/// Whether transactional reads are observable by other transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReadVisibility {
+    /// Reads leave no trace; correctness relies on (re)validation.
+    Invisible,
+    /// Reads acquire a read-write lock in read mode.
+    Visible,
+}
+
+/// When write locks are acquired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LockTiming {
+    /// Encounter-time locking: at the first write to a location.
+    Encounter,
+    /// Commit-time locking: all locks are acquired during commit.
+    Commit,
+}
+
+/// When written values become visible in shared memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WritePolicy {
+    /// Writes are buffered in a redo log and applied at commit.
+    WriteBack,
+    /// Writes go straight to memory; an undo log restores old values on
+    /// abort.
+    WriteThrough,
+}
+
+/// The seven viable STM designs of the paper's taxonomy (Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum StmKind {
+    /// NOrec: global sequence lock, invisible reads, commit-time locking,
+    /// write-back, value-based validation.
+    Norec,
+    /// Tiny (TinySTM-like) with commit-time locking and write-back.
+    TinyCtlWb,
+    /// Tiny with encounter-time locking and write-back.
+    TinyEtlWb,
+    /// Tiny with encounter-time locking and write-through.
+    TinyEtlWt,
+    /// Visible reads with commit-time locking and write-back.
+    VrCtlWb,
+    /// Visible reads with encounter-time locking and write-back.
+    VrEtlWb,
+    /// Visible reads with encounter-time locking and write-through.
+    VrEtlWt,
+}
+
+impl StmKind {
+    /// All seven designs in the order used by the paper's plots.
+    pub const ALL: [StmKind; 7] = [
+        StmKind::TinyCtlWb,
+        StmKind::TinyEtlWb,
+        StmKind::TinyEtlWt,
+        StmKind::Norec,
+        StmKind::VrEtlWt,
+        StmKind::VrEtlWb,
+        StmKind::VrCtlWb,
+    ];
+
+    /// The display name used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            StmKind::Norec => "NOrec",
+            StmKind::TinyCtlWb => "Tiny CTLWB",
+            StmKind::TinyEtlWb => "Tiny ETLWB",
+            StmKind::TinyEtlWt => "Tiny ETLWT",
+            StmKind::VrCtlWb => "VR CTLWB",
+            StmKind::VrEtlWb => "VR ETLWB",
+            StmKind::VrEtlWt => "VR ETLWT",
+        }
+    }
+
+    /// Parses the CLI form of a kind name (case-insensitive, `-`/`_`/space
+    /// separators accepted), e.g. `norec`, `tiny-etlwb`, `vr_ctlwb`.
+    pub fn parse(name: &str) -> Option<StmKind> {
+        let canon: String =
+            name.to_ascii_lowercase().chars().filter(|c| c.is_ascii_alphanumeric()).collect();
+        match canon.as_str() {
+            "norec" => Some(StmKind::Norec),
+            "tinyctlwb" => Some(StmKind::TinyCtlWb),
+            "tinyetlwb" => Some(StmKind::TinyEtlWb),
+            "tinyetlwt" => Some(StmKind::TinyEtlWt),
+            "vrctlwb" => Some(StmKind::VrCtlWb),
+            "vretlwb" => Some(StmKind::VrEtlWb),
+            "vretlwt" => Some(StmKind::VrEtlWt),
+            _ => None,
+        }
+    }
+
+    /// Position of this design in the metadata-granularity dimension.
+    pub fn granularity(self) -> MetadataGranularity {
+        match self {
+            StmKind::Norec => MetadataGranularity::NoOrec,
+            _ => MetadataGranularity::Orec,
+        }
+    }
+
+    /// Position of this design in the read-visibility dimension.
+    pub fn read_visibility(self) -> ReadVisibility {
+        match self {
+            StmKind::VrCtlWb | StmKind::VrEtlWb | StmKind::VrEtlWt => ReadVisibility::Visible,
+            _ => ReadVisibility::Invisible,
+        }
+    }
+
+    /// Position of this design in the lock-timing dimension.
+    pub fn lock_timing(self) -> LockTiming {
+        match self {
+            StmKind::Norec | StmKind::TinyCtlWb | StmKind::VrCtlWb => LockTiming::Commit,
+            _ => LockTiming::Encounter,
+        }
+    }
+
+    /// Position of this design in the write-policy dimension.
+    pub fn write_policy(self) -> WritePolicy {
+        match self {
+            StmKind::TinyEtlWt | StmKind::VrEtlWt => WritePolicy::WriteThrough,
+            _ => WritePolicy::WriteBack,
+        }
+    }
+
+    /// Whether this design needs a hashed lock table (all ORec designs do).
+    pub fn uses_lock_table(self) -> bool {
+        self.granularity() == MetadataGranularity::Orec
+    }
+}
+
+impl fmt::Display for StmKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Complete configuration of an STM instance on one DPU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StmConfig {
+    /// Which STM design to use.
+    pub kind: StmKind,
+    /// Tier in which STM metadata is allocated.
+    pub placement: MetadataPlacement,
+    /// Override for the lock table only (the paper's ArrayBench-A/WRAM runs
+    /// keep the lock table in MRAM because it does not fit in WRAM).
+    pub lock_table_placement: Option<MetadataPlacement>,
+    /// Number of entries in the hashed ORec/rw-lock table.
+    pub lock_table_entries: u32,
+    /// Per-tasklet read-set capacity, in entries.
+    pub read_set_capacity: u32,
+    /// Per-tasklet write/undo-log capacity, in entries.
+    pub write_set_capacity: u32,
+}
+
+impl StmConfig {
+    /// Creates a configuration with the library defaults (1024-entry lock
+    /// table, 256-entry read set, 64-entry write set).
+    pub fn new(kind: StmKind, placement: MetadataPlacement) -> Self {
+        StmConfig {
+            kind,
+            placement,
+            lock_table_placement: None,
+            lock_table_entries: 1024,
+            read_set_capacity: 256,
+            write_set_capacity: 64,
+        }
+    }
+
+    /// Sets the per-tasklet read-set capacity.
+    pub fn with_read_set_capacity(mut self, entries: u32) -> Self {
+        self.read_set_capacity = entries;
+        self
+    }
+
+    /// Sets the per-tasklet write/undo-log capacity.
+    pub fn with_write_set_capacity(mut self, entries: u32) -> Self {
+        self.write_set_capacity = entries;
+        self
+    }
+
+    /// Sets the lock-table size (ignored by NOrec).
+    pub fn with_lock_table_entries(mut self, entries: u32) -> Self {
+        self.lock_table_entries = entries;
+        self
+    }
+
+    /// Places the lock table in a different tier than the rest of the
+    /// metadata.
+    pub fn with_lock_table_placement(mut self, placement: MetadataPlacement) -> Self {
+        self.lock_table_placement = Some(placement);
+        self
+    }
+
+    /// Tier in which the lock table will be allocated.
+    pub fn lock_table_tier(&self) -> Tier {
+        self.lock_table_placement.unwrap_or(self.placement).tier()
+    }
+
+    /// Tier in which everything except the lock table will be allocated.
+    pub fn metadata_tier(&self) -> Tier {
+        self.placement.tier()
+    }
+
+    /// Words of metadata needed per tasklet (read set + write set), useful
+    /// for checking WRAM capacity before allocating.
+    pub fn per_tasklet_metadata_words(&self) -> u32 {
+        self.read_set_capacity * crate::txslot::READ_ENTRY_WORDS
+            + self.write_set_capacity * crate::txslot::WRITE_ENTRY_WORDS
+    }
+
+    /// Words of shared metadata (lock table and global words).
+    pub fn shared_metadata_words(&self) -> u32 {
+        let table = if self.kind.uses_lock_table() { self.lock_table_entries } else { 0 };
+        table + 2 // sequence lock / global clock words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_covers_exactly_the_papers_seven_designs() {
+        assert_eq!(StmKind::ALL.len(), 7);
+        // NOrec is the only NoOrec design and must be CTL + WB + invisible,
+        // since the other combinations are struck out in Fig. 2.
+        for kind in StmKind::ALL {
+            if kind.granularity() == MetadataGranularity::NoOrec {
+                assert_eq!(kind, StmKind::Norec);
+                assert_eq!(kind.lock_timing(), LockTiming::Commit);
+                assert_eq!(kind.write_policy(), WritePolicy::WriteBack);
+                assert_eq!(kind.read_visibility(), ReadVisibility::Invisible);
+            }
+            // Write-through is only viable with encounter-time locking.
+            if kind.write_policy() == WritePolicy::WriteThrough {
+                assert_eq!(kind.lock_timing(), LockTiming::Encounter);
+            }
+        }
+    }
+
+    #[test]
+    fn names_roundtrip_through_parse() {
+        for kind in StmKind::ALL {
+            assert_eq!(StmKind::parse(kind.name()), Some(kind), "parse({})", kind.name());
+        }
+        assert_eq!(StmKind::parse("tiny_etlwb"), Some(StmKind::TinyEtlWb));
+        assert_eq!(StmKind::parse("VR-CTLWB"), Some(StmKind::VrCtlWb));
+        assert_eq!(StmKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn placement_maps_to_tiers() {
+        assert_eq!(MetadataPlacement::Wram.tier(), Tier::Wram);
+        assert_eq!(MetadataPlacement::Mram.tier(), Tier::Mram);
+        assert_eq!(MetadataPlacement::Wram.to_string(), "wram");
+    }
+
+    #[test]
+    fn lock_table_placement_override() {
+        let cfg = StmConfig::new(StmKind::TinyEtlWb, MetadataPlacement::Wram)
+            .with_lock_table_placement(MetadataPlacement::Mram);
+        assert_eq!(cfg.metadata_tier(), Tier::Wram);
+        assert_eq!(cfg.lock_table_tier(), Tier::Mram);
+        let plain = StmConfig::new(StmKind::TinyEtlWb, MetadataPlacement::Wram);
+        assert_eq!(plain.lock_table_tier(), Tier::Wram);
+    }
+
+    #[test]
+    fn metadata_word_counts_reflect_capacities() {
+        let cfg = StmConfig::new(StmKind::TinyEtlWb, MetadataPlacement::Wram)
+            .with_read_set_capacity(10)
+            .with_write_set_capacity(5)
+            .with_lock_table_entries(128);
+        assert_eq!(
+            cfg.per_tasklet_metadata_words(),
+            10 * crate::txslot::READ_ENTRY_WORDS + 5 * crate::txslot::WRITE_ENTRY_WORDS
+        );
+        assert_eq!(cfg.shared_metadata_words(), 130);
+        let norec = StmConfig::new(StmKind::Norec, MetadataPlacement::Wram);
+        assert_eq!(norec.shared_metadata_words(), 2);
+    }
+
+    #[test]
+    fn only_vr_designs_use_visible_reads() {
+        let visible: Vec<_> = StmKind::ALL
+            .into_iter()
+            .filter(|k| k.read_visibility() == ReadVisibility::Visible)
+            .collect();
+        assert_eq!(visible, vec![StmKind::VrEtlWt, StmKind::VrEtlWb, StmKind::VrCtlWb]);
+    }
+}

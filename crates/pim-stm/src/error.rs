@@ -1,0 +1,97 @@
+//! Abort signalling for transactional operations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Reason a transaction attempt had to abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AbortReason {
+    /// A read observed a location locked (or being written) by another
+    /// transaction.
+    ReadConflict,
+    /// A write found the location locked by another transaction.
+    WriteConflict,
+    /// Readset (or snapshot) validation failed: a concurrently committed
+    /// transaction overwrote something this transaction read.
+    ValidationFailed,
+    /// A visible-reads transaction could not upgrade a read lock to a write
+    /// lock because other readers hold it.
+    UpgradeConflict,
+}
+
+impl AbortReason {
+    /// All reasons, for reporting.
+    pub const ALL: [AbortReason; 4] = [
+        AbortReason::ReadConflict,
+        AbortReason::WriteConflict,
+        AbortReason::ValidationFailed,
+        AbortReason::UpgradeConflict,
+    ];
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AbortReason::ReadConflict => "read conflict",
+            AbortReason::WriteConflict => "write conflict",
+            AbortReason::ValidationFailed => "validation failed",
+            AbortReason::UpgradeConflict => "lock upgrade conflict",
+        }
+    }
+}
+
+/// Error returned by transactional reads, writes and commits when the
+/// attempt must be retried.
+///
+/// By the time an operation returns `Abort`, the algorithm has already rolled
+/// back its side effects (released locks, undone write-through stores); the
+/// caller only needs to account the abort and restart the transaction body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Abort {
+    /// Why the attempt failed.
+    pub reason: AbortReason,
+}
+
+impl Abort {
+    /// Creates an abort with the given reason.
+    pub fn new(reason: AbortReason) -> Self {
+        Abort { reason }
+    }
+}
+
+impl fmt::Display for Abort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transaction aborted: {}", self.reason.label())
+    }
+}
+
+impl std::error::Error for Abort {}
+
+impl From<AbortReason> for Abort {
+    fn from(reason: AbortReason) -> Self {
+        Abort::new(reason)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Abort::new(AbortReason::UpgradeConflict);
+        assert_eq!(e.to_string(), "transaction aborted: lock upgrade conflict");
+    }
+
+    #[test]
+    fn conversion_from_reason() {
+        let e: Abort = AbortReason::ReadConflict.into();
+        assert_eq!(e.reason, AbortReason::ReadConflict);
+    }
+
+    #[test]
+    fn all_reasons_have_distinct_labels() {
+        let labels: std::collections::HashSet<_> =
+            AbortReason::ALL.iter().map(|r| r.label()).collect();
+        assert_eq!(labels.len(), AbortReason::ALL.len());
+    }
+}

@@ -1,0 +1,92 @@
+//! # pim-stm — software transactional memory for (simulated) UPMEM PIM devices
+//!
+//! This crate is a Rust reproduction of the **PIM-STM** library (Lopes,
+//! Castro, Romano — ASPLOS 2024): a family of word-based software
+//! transactional memory (STM) implementations designed for UPMEM Data
+//! Processing Units, where up to 24 hardware tasklets share a 64 KB WRAM
+//! scratchpad, a 64 MB MRAM bank and a 256-entry atomic bit register (and
+//! nothing else — no compare-and-swap, no read/write locks).
+//!
+//! The library covers the paper's full design-space taxonomy (Fig. 2):
+//!
+//! | [`StmKind`] | metadata | read visibility | lock timing | write policy |
+//! |---|---|---|---|---|
+//! | `Norec` | single sequence lock | invisible | commit time | write-back |
+//! | `TinyCtlWb` | ownership records | invisible | commit time | write-back |
+//! | `TinyEtlWb` | ownership records | invisible | encounter time | write-back |
+//! | `TinyEtlWt` | ownership records | invisible | encounter time | write-through |
+//! | `VrCtlWb` | rw-lock records | visible | commit time | write-back |
+//! | `VrEtlWb` | rw-lock records | visible | encounter time | write-back |
+//! | `VrEtlWt` | rw-lock records | visible | encounter time | write-through |
+//!
+//! STM metadata (lock table, sequence lock, global clock, per-tasklet read
+//! and write sets) can be placed in **WRAM** or **MRAM** via
+//! [`MetadataPlacement`], reproducing the paper's memory-tier study.
+//!
+//! The algorithms are written against the [`Platform`] abstraction, so the
+//! same code runs on two executors:
+//!
+//! * the deterministic, cycle-accounted simulator of [`pim_sim`] (used to
+//!   regenerate the paper's figures), and
+//! * [`threaded::ThreadedDpu`], which executes tasklets as real OS threads
+//!   over atomic shared memory (used to test the algorithms under genuine
+//!   concurrency and in the runnable examples).
+//!
+//! ## Quick example (threaded executor)
+//!
+//! ```
+//! use pim_stm::threaded::ThreadedDpu;
+//! use pim_stm::{MetadataPlacement, StmConfig, StmKind, Tier};
+//!
+//! // Two tasklets each transfer money between two accounts 100 times; the
+//! // total balance is preserved because transfers are transactions.
+//! let config = StmConfig::new(StmKind::Norec, MetadataPlacement::Wram);
+//! let mut dpu = ThreadedDpu::new(config).expect("metadata fits in WRAM");
+//! let accounts = dpu.alloc(Tier::Mram, 2).expect("data fits");
+//! dpu.poke(accounts, 5_000);
+//! dpu.poke(accounts.offset(1), 5_000);
+//!
+//! dpu.run(2, |mut tx_ctx| {
+//!     for _ in 0..100 {
+//!         tx_ctx.transaction(|tx| {
+//!             let a = tx.read(accounts)?;
+//!             let b = tx.read(accounts.offset(1))?;
+//!             tx.write(accounts, a - 10)?;
+//!             tx.write(accounts.offset(1), b + 10)?;
+//!             Ok(())
+//!         });
+//!     }
+//! });
+//!
+//! assert_eq!(dpu.peek(accounts) + dpu.peek(accounts.offset(1)), 10_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod config;
+pub mod error;
+pub mod locktable;
+pub mod norec;
+pub mod platform;
+pub mod rwlock;
+pub mod shared;
+pub mod threaded;
+pub mod tiny;
+pub mod txslot;
+pub mod vr;
+
+pub use algorithm::{algorithm_for, run_transaction, TmAlgorithm, TxView};
+pub use config::{
+    LockTiming, MetadataGranularity, MetadataPlacement, ReadVisibility, StmConfig, StmKind,
+    WritePolicy,
+};
+pub use error::{Abort, AbortReason};
+pub use platform::Platform;
+pub use shared::StmShared;
+pub use txslot::TxSlot;
+
+// Re-export the simulator types that appear in this crate's public API so
+// downstream users only need one import path.
+pub use pim_sim::{Addr, Phase, Tier};

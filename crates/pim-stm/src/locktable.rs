@@ -1,0 +1,118 @@
+//! Ownership-record (ORec) word encoding used by the Tiny designs.
+//!
+//! Each lock-table entry is a single word that is either
+//!
+//! * **unlocked** — the low bit is clear and the remaining bits hold the
+//!   version (commit timestamp) of the locations covered by the entry, or
+//! * **locked** — the low bit is set and the next bits identify the owning
+//!   tasklet.
+//!
+//! The word is updated through [`crate::Platform::atomic_update`], which on
+//! UPMEM maps onto the acquire/release bit register (there is no
+//! compare-and-swap instruction).
+
+/// Decoded view of an ORec word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrecWord(u64);
+
+const LOCKED_BIT: u64 = 1;
+const OWNER_SHIFT: u32 = 1;
+const VERSION_SHIFT: u32 = 1;
+
+impl OrecWord {
+    /// Wraps a raw word read from the lock table.
+    pub fn from_raw(raw: u64) -> Self {
+        OrecWord(raw)
+    }
+
+    /// The raw word to store back into the lock table.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// An unlocked ORec carrying `version`.
+    pub fn unlocked(version: u64) -> Self {
+        OrecWord(version << VERSION_SHIFT)
+    }
+
+    /// An ORec locked by `owner`.
+    pub fn locked_by(owner: usize) -> Self {
+        OrecWord(LOCKED_BIT | ((owner as u64) << OWNER_SHIFT))
+    }
+
+    /// Whether the ORec is currently locked.
+    pub fn is_locked(self) -> bool {
+        self.0 & LOCKED_BIT != 0
+    }
+
+    /// Owner tasklet, if locked.
+    pub fn owner(self) -> Option<usize> {
+        if self.is_locked() {
+            Some((self.0 >> OWNER_SHIFT) as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the ORec is locked by `tasklet`.
+    pub fn is_locked_by(self, tasklet: usize) -> bool {
+        self.owner() == Some(tasklet)
+    }
+
+    /// Version carried by an unlocked ORec.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the ORec is locked — a locked word carries
+    /// an owner, not a version.
+    pub fn version(self) -> u64 {
+        debug_assert!(!self.is_locked(), "version() called on a locked ORec");
+        self.0 >> VERSION_SHIFT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlocked_roundtrips_version() {
+        for v in [0u64, 1, 17, 1 << 40] {
+            let w = OrecWord::unlocked(v);
+            assert!(!w.is_locked());
+            assert_eq!(w.version(), v);
+            assert_eq!(OrecWord::from_raw(w.raw()), w);
+        }
+    }
+
+    #[test]
+    fn locked_roundtrips_owner() {
+        for owner in 0..24 {
+            let w = OrecWord::locked_by(owner);
+            assert!(w.is_locked());
+            assert_eq!(w.owner(), Some(owner));
+            assert!(w.is_locked_by(owner));
+            assert!(!w.is_locked_by(owner + 1));
+        }
+    }
+
+    #[test]
+    fn fresh_table_entry_is_unlocked_version_zero() {
+        let w = OrecWord::from_raw(0);
+        assert!(!w.is_locked());
+        assert_eq!(w.version(), 0);
+        assert_eq!(w.owner(), None);
+    }
+
+    #[test]
+    fn locked_and_unlocked_words_never_collide() {
+        // A locked word always has the low bit set; an unlocked word never
+        // does, regardless of version.
+        for v in 0..100u64 {
+            assert_ne!(OrecWord::unlocked(v).raw() & 1, 1);
+        }
+        for t in 0..24usize {
+            assert_eq!(OrecWord::locked_by(t).raw() & 1, 1);
+        }
+    }
+}

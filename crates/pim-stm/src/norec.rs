@@ -1,0 +1,320 @@
+//! The NOrec design (Dalessandro, Spear, Scott — PPoPP 2010), ported to the
+//! UPMEM platform.
+//!
+//! NOrec abolishes ownership records: the only shared metadata is a single
+//! *sequence lock* whose value is even when no writer is committing and odd
+//! while one is. Reads are invisible and validated **by value**: whenever a
+//! transaction observes that the sequence lock changed, it re-reads every
+//! location in its read set and compares against the values it saw before.
+//! Commits serialise on the sequence lock (commit-time locking) and apply a
+//! write-back log.
+//!
+//! Two properties the paper highlights fall straight out of this structure:
+//!
+//! * very little metadata is touched per read/write (fast instrumentation,
+//!   the reason NOrec is the most robust design overall), and
+//! * large read sets make the value-based re-validation expensive, which is
+//!   why NOrec loses up to ~2.5× on ArrayBench A.
+//!
+//! Waiting for the sequence lock to become even before starting doubles as a
+//! simple contention-management mechanism.
+
+use pim_sim::{Addr, Phase};
+
+use crate::config::StmKind;
+use crate::error::{Abort, AbortReason};
+use crate::platform::Platform;
+use crate::shared::StmShared;
+use crate::txslot::TxSlot;
+use crate::TmAlgorithm;
+
+/// The NOrec algorithm (commit-time locking, write-back, invisible reads,
+/// value-based validation).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Norec;
+
+impl Norec {
+    /// Spins until the sequence lock is even (no writer committing) and
+    /// returns its value.
+    fn wait_until_even(&self, shared: &StmShared, p: &mut dyn Platform) -> u64 {
+        loop {
+            let s = p.load(shared.seqlock_addr());
+            if s % 2 == 0 {
+                return s;
+            }
+            p.spin_wait(4);
+        }
+    }
+
+    /// Value-based read-set validation. Returns a new consistent snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] if any location in the read set no longer holds the
+    /// value this transaction observed.
+    fn validate(
+        &self,
+        shared: &StmShared,
+        tx: &mut TxSlot,
+        p: &mut dyn Platform,
+    ) -> Result<u64, Abort> {
+        loop {
+            let time = self.wait_until_even(shared, p);
+            for i in 0..tx.read_set_len() {
+                let entry = tx.read_entry(p, i);
+                if p.load(entry.addr) != entry.aux {
+                    return Err(AbortReason::ValidationFailed.into());
+                }
+            }
+            // If no commit happened while we were validating, the snapshot is
+            // consistent; otherwise validate again against the newer state.
+            if p.load(shared.seqlock_addr()) == time {
+                return Ok(time);
+            }
+        }
+    }
+}
+
+impl TmAlgorithm for Norec {
+    fn kind(&self) -> StmKind {
+        StmKind::Norec
+    }
+
+    fn begin(&self, shared: &StmShared, tx: &mut TxSlot, p: &mut dyn Platform) {
+        p.set_phase(Phase::OtherExec);
+        tx.reset_logs();
+        // Waiting for in-flight commits to drain before starting acts as a
+        // back-off under contention (§3.2.1 of the paper).
+        tx.snapshot = self.wait_until_even(shared, p);
+    }
+
+    fn read(
+        &self,
+        shared: &StmShared,
+        tx: &mut TxSlot,
+        p: &mut dyn Platform,
+        addr: Addr,
+    ) -> Result<u64, Abort> {
+        p.set_phase(Phase::Reading);
+        // Write-back requires a read-after-write lookup in the redo log.
+        if let Some((_, value)) = tx.find_write(p, addr) {
+            p.set_phase(Phase::OtherExec);
+            return Ok(value);
+        }
+        let mut value = p.load(addr);
+        // If any transaction committed since our snapshot, re-validate by
+        // value and re-read until the world holds still.
+        while p.load(shared.seqlock_addr()) != tx.snapshot {
+            p.set_phase(Phase::ValidatingExec);
+            match self.validate(shared, tx, p) {
+                Ok(snapshot) => tx.snapshot = snapshot,
+                Err(abort) => {
+                    p.set_phase(Phase::OtherExec);
+                    return Err(abort);
+                }
+            }
+            p.set_phase(Phase::Reading);
+            value = p.load(addr);
+        }
+        tx.push_read(p, addr, value);
+        p.set_phase(Phase::OtherExec);
+        Ok(value)
+    }
+
+    fn write(
+        &self,
+        _shared: &StmShared,
+        tx: &mut TxSlot,
+        p: &mut dyn Platform,
+        addr: Addr,
+        value: u64,
+    ) -> Result<(), Abort> {
+        p.set_phase(Phase::Writing);
+        // Keep at most one redo-log entry per address so read-after-write
+        // sees the latest value and the commit write-back stays minimal.
+        if let Some((index, _)) = tx.find_write(p, addr) {
+            tx.set_write_value(p, index, value);
+        } else {
+            tx.push_write(p, addr, value, 0, false);
+        }
+        p.set_phase(Phase::OtherExec);
+        Ok(())
+    }
+
+    fn commit(
+        &self,
+        shared: &StmShared,
+        tx: &mut TxSlot,
+        p: &mut dyn Platform,
+    ) -> Result<(), Abort> {
+        if tx.is_read_only() {
+            // Read-only transactions were continuously validated by the read
+            // path; nothing to publish.
+            p.set_phase(Phase::OtherExec);
+            return Ok(());
+        }
+        p.set_phase(Phase::OtherCommit);
+        // Acquire the sequence lock by moving it from our (even) snapshot to
+        // an odd value. Failure means someone committed after our snapshot:
+        // re-validate and retry from the new snapshot.
+        loop {
+            let outcome = p.compare_and_swap(shared.seqlock_addr(), tx.snapshot, tx.snapshot + 1);
+            if outcome.updated {
+                break;
+            }
+            p.set_phase(Phase::ValidatingCommit);
+            match self.validate(shared, tx, p) {
+                Ok(snapshot) => tx.snapshot = snapshot,
+                Err(abort) => {
+                    p.set_phase(Phase::OtherExec);
+                    return Err(abort);
+                }
+            }
+            p.set_phase(Phase::OtherCommit);
+        }
+        // Write back the redo log and release the sequence lock.
+        for i in 0..tx.write_set_len() {
+            let entry = tx.write_entry(p, i);
+            p.store(entry.addr, entry.value);
+        }
+        p.store(shared.seqlock_addr(), tx.snapshot + 2);
+        p.set_phase(Phase::OtherExec);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MetadataPlacement, StmConfig};
+    use pim_sim::{Dpu, DpuConfig, TaskletCtx, TaskletStats, Tier};
+
+    struct Fixture {
+        dpu: Dpu,
+        shared: StmShared,
+        slots: Vec<TxSlot>,
+        data: Addr,
+    }
+
+    fn fixture(tasklets: usize) -> Fixture {
+        let mut dpu = Dpu::new(DpuConfig::small());
+        let cfg = StmConfig::new(StmKind::Norec, MetadataPlacement::Wram);
+        let shared = StmShared::allocate(&mut dpu, cfg).unwrap();
+        let slots = (0..tasklets).map(|t| shared.register_tasklet(&mut dpu, t).unwrap()).collect();
+        let data = dpu.alloc(Tier::Mram, 16).unwrap();
+        Fixture { dpu, shared, slots, data }
+    }
+
+    #[test]
+    fn read_your_own_write_and_write_back_at_commit() {
+        let mut fx = fixture(1);
+        let mut stats = TaskletStats::new();
+        let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats, 0, 1, 0);
+        let alg = Norec;
+        alg.begin(&fx.shared, &mut fx.slots[0], &mut ctx);
+        alg.write(&fx.shared, &mut fx.slots[0], &mut ctx, fx.data, 5).unwrap();
+        // The store must not be visible before commit (write-back).
+        assert_eq!(ctx.dpu().peek(fx.data), 0);
+        assert_eq!(alg.read(&fx.shared, &mut fx.slots[0], &mut ctx, fx.data).unwrap(), 5);
+        alg.commit(&fx.shared, &mut fx.slots[0], &mut ctx).unwrap();
+        assert_eq!(ctx.dpu().peek(fx.data), 5);
+        // The sequence lock advanced by 2 (one full commit) and is even.
+        assert_eq!(ctx.dpu().peek(fx.shared.seqlock_addr()), 2);
+    }
+
+    #[test]
+    fn concurrent_commit_forces_value_validation_and_abort() {
+        let mut fx = fixture(2);
+        let mut stats0 = TaskletStats::new();
+        let mut stats1 = TaskletStats::new();
+        let alg = Norec;
+        let (slot0, rest) = fx.slots.split_at_mut(1);
+        let slot0 = &mut slot0[0];
+        let slot1 = &mut rest[0];
+
+        // T0 reads data[0].
+        {
+            let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats0, 0, 2, 0);
+            alg.begin(&fx.shared, slot0, &mut ctx);
+            assert_eq!(alg.read(&fx.shared, slot0, &mut ctx, fx.data).unwrap(), 0);
+        }
+        // T1 overwrites data[0] and commits.
+        {
+            let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats1, 1, 2, 0);
+            alg.begin(&fx.shared, slot1, &mut ctx);
+            alg.write(&fx.shared, slot1, &mut ctx, fx.data, 99).unwrap();
+            alg.commit(&fx.shared, slot1, &mut ctx).unwrap();
+        }
+        // T0 now writes and tries to commit: value validation must fail.
+        {
+            let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats0, 0, 2, 0);
+            alg.write(&fx.shared, slot0, &mut ctx, fx.data.offset(1), 7).unwrap();
+            let err = alg.commit(&fx.shared, slot0, &mut ctx).unwrap_err();
+            assert_eq!(err.reason, AbortReason::ValidationFailed);
+            // T0's write must not have leaked.
+            assert_eq!(ctx.dpu().peek(fx.data.offset(1)), 0);
+        }
+    }
+
+    #[test]
+    fn silent_rereads_of_unchanged_data_survive_concurrent_commits() {
+        // A concurrent commit to an *unrelated* location changes the sequence
+        // lock; value-based validation must let the reader continue.
+        let mut fx = fixture(2);
+        let mut stats0 = TaskletStats::new();
+        let mut stats1 = TaskletStats::new();
+        let alg = Norec;
+        let (slot0, rest) = fx.slots.split_at_mut(1);
+        let slot0 = &mut slot0[0];
+        let slot1 = &mut rest[0];
+
+        {
+            let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats0, 0, 2, 0);
+            alg.begin(&fx.shared, slot0, &mut ctx);
+            assert_eq!(alg.read(&fx.shared, slot0, &mut ctx, fx.data).unwrap(), 0);
+        }
+        {
+            let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats1, 1, 2, 0);
+            alg.begin(&fx.shared, slot1, &mut ctx);
+            alg.write(&fx.shared, slot1, &mut ctx, fx.data.offset(8), 123).unwrap();
+            alg.commit(&fx.shared, slot1, &mut ctx).unwrap();
+        }
+        {
+            let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats0, 0, 2, 0);
+            // Reading another word notices the sequence-lock change, validates
+            // by value, and succeeds because data[0] still holds 0.
+            assert_eq!(alg.read(&fx.shared, slot0, &mut ctx, fx.data.offset(2)).unwrap(), 0);
+            alg.write(&fx.shared, slot0, &mut ctx, fx.data.offset(3), 1).unwrap();
+            alg.commit(&fx.shared, slot0, &mut ctx).unwrap();
+            assert_eq!(ctx.dpu().peek(fx.data.offset(3)), 1);
+        }
+    }
+
+    #[test]
+    fn read_only_transactions_do_not_touch_the_sequence_lock() {
+        let mut fx = fixture(1);
+        let mut stats = TaskletStats::new();
+        let alg = Norec;
+        let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats, 0, 1, 0);
+        alg.begin(&fx.shared, &mut fx.slots[0], &mut ctx);
+        alg.read(&fx.shared, &mut fx.slots[0], &mut ctx, fx.data).unwrap();
+        alg.commit(&fx.shared, &mut fx.slots[0], &mut ctx).unwrap();
+        assert_eq!(ctx.dpu().peek(fx.shared.seqlock_addr()), 0);
+    }
+
+    #[test]
+    fn repeated_writes_to_same_address_keep_one_log_entry() {
+        let mut fx = fixture(1);
+        let mut stats = TaskletStats::new();
+        let alg = Norec;
+        let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats, 0, 1, 0);
+        alg.begin(&fx.shared, &mut fx.slots[0], &mut ctx);
+        for v in 1..=5 {
+            alg.write(&fx.shared, &mut fx.slots[0], &mut ctx, fx.data, v).unwrap();
+        }
+        assert_eq!(fx.slots[0].write_set_len(), 1);
+        assert_eq!(alg.read(&fx.shared, &mut fx.slots[0], &mut ctx, fx.data).unwrap(), 5);
+        alg.commit(&fx.shared, &mut fx.slots[0], &mut ctx).unwrap();
+        assert_eq!(ctx.dpu().peek(fx.data), 5);
+    }
+}

@@ -1,0 +1,382 @@
+//! A threaded executor: the same STM algorithms running on real OS threads
+//! over atomic shared memory.
+//!
+//! The deterministic simulator in [`pim_sim`] is what regenerates the paper's
+//! figures, but it interleaves tasklets cooperatively. To gain confidence
+//! that the algorithms are actually safe under arbitrary interleavings — and
+//! to give library users something they can run natively — this module
+//! provides [`ThreadedDpu`]: a "DPU" whose WRAM and MRAM are arrays of
+//! [`AtomicU64`] and whose tasklets are `std::thread`s. The
+//! [`crate::Platform`] implementation maps `atomic_update` onto a
+//! compare-and-swap loop (the role the acquire/release bit register plays on
+//! real hardware).
+//!
+//! Timing is *not* modelled here: `compute` and `spin_wait` are bounded spin
+//! hints. Use the simulator for performance questions and this executor for
+//! correctness and for host-side experimentation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use pim_sim::{Addr, AllocError, Phase, Tier};
+
+use crate::algorithm::{algorithm_for, run_transaction, TmAlgorithm, TxView};
+use crate::config::StmConfig;
+use crate::error::Abort;
+use crate::platform::{AtomicOutcome, Platform};
+use crate::shared::{MetadataAllocator, StmShared};
+use crate::txslot::TxSlot;
+
+/// Default WRAM capacity of a threaded DPU, in words (matches UPMEM: 64 KB).
+pub const DEFAULT_WRAM_WORDS: u32 = 64 * 1024 / 8;
+/// Default MRAM capacity of a threaded DPU, in words. Smaller than the real
+/// 64 MB bank to keep test fixtures cheap; use
+/// [`ThreadedDpu::with_capacity`] for the full size.
+pub const DEFAULT_MRAM_WORDS: u32 = 1 << 20;
+
+/// Atomic word storage shared by all tasklet threads.
+#[derive(Debug)]
+struct SharedMemory {
+    wram: Vec<AtomicU64>,
+    mram: Vec<AtomicU64>,
+    allocator: Mutex<[u32; 2]>,
+}
+
+impl SharedMemory {
+    fn new(wram_words: u32, mram_words: u32) -> Self {
+        SharedMemory {
+            wram: (0..wram_words).map(|_| AtomicU64::new(0)).collect(),
+            mram: (0..mram_words).map(|_| AtomicU64::new(0)).collect(),
+            allocator: Mutex::new([0, 0]),
+        }
+    }
+
+    fn bank(&self, tier: Tier) -> &[AtomicU64] {
+        match tier {
+            Tier::Wram => &self.wram,
+            Tier::Mram => &self.mram,
+        }
+    }
+
+    fn cell(&self, addr: Addr) -> &AtomicU64 {
+        &self.bank(addr.tier)[addr.word as usize]
+    }
+
+    fn alloc(&self, tier: Tier, words: u32) -> Result<Addr, AllocError> {
+        let mut state = self.allocator.lock().expect("allocator mutex poisoned");
+        let idx = match tier {
+            Tier::Wram => 0,
+            Tier::Mram => 1,
+        };
+        let capacity = self.bank(tier).len() as u32;
+        let used = state[idx];
+        if words > capacity - used {
+            return Err(AllocError { tier, requested_words: words, available_words: capacity - used });
+        }
+        state[idx] += words;
+        Ok(Addr { tier, word: used })
+    }
+}
+
+impl MetadataAllocator for &SharedMemory {
+    fn alloc_words(&mut self, tier: Tier, words: u32) -> Result<Addr, AllocError> {
+        self.alloc(tier, words)
+    }
+}
+
+/// Commit/abort counters shared by all tasklets of one [`ThreadedDpu::run`]
+/// call.
+#[derive(Debug, Default)]
+struct RunCounters {
+    commits: AtomicU64,
+    aborts: AtomicU64,
+}
+
+/// Per-thread [`Platform`] over the shared atomic memory.
+#[derive(Debug)]
+pub struct ThreadPlatform<'a> {
+    memory: &'a SharedMemory,
+    counters: &'a RunCounters,
+    tasklet_id: usize,
+    phase: Phase,
+}
+
+impl Platform for ThreadPlatform<'_> {
+    fn load(&mut self, addr: Addr) -> u64 {
+        self.memory.cell(addr).load(Ordering::SeqCst)
+    }
+
+    fn store(&mut self, addr: Addr, value: u64) {
+        self.memory.cell(addr).store(value, Ordering::SeqCst)
+    }
+
+    fn atomic_update(
+        &mut self,
+        addr: Addr,
+        update: &mut dyn FnMut(u64) -> Option<u64>,
+    ) -> AtomicOutcome {
+        let cell = self.memory.cell(addr);
+        let mut current = cell.load(Ordering::SeqCst);
+        loop {
+            match update(current) {
+                None => return AtomicOutcome { previous: current, updated: false },
+                Some(new) => {
+                    match cell.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst) {
+                        Ok(_) => return AtomicOutcome { previous: current, updated: true },
+                        Err(observed) => current = observed,
+                    }
+                }
+            }
+        }
+    }
+
+    fn set_phase(&mut self, phase: Phase) -> Phase {
+        std::mem::replace(&mut self.phase, phase)
+    }
+
+    fn begin_attempt(&mut self) {}
+
+    fn commit_attempt(&mut self) {
+        self.counters.commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn abort_attempt(&mut self) {
+        self.counters.aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn tasklet_id(&self) -> usize {
+        self.tasklet_id
+    }
+
+    fn compute(&mut self, instructions: u64) {
+        for _ in 0..instructions.min(1024) {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Handle given to each tasklet closure by [`ThreadedDpu::run`]; wraps the
+/// per-thread platform, transaction descriptor and algorithm.
+pub struct TaskletTx<'a> {
+    platform: ThreadPlatform<'a>,
+    slot: TxSlot,
+    shared: &'a StmShared,
+    alg: &'a dyn TmAlgorithm,
+}
+
+impl TaskletTx<'_> {
+    /// Runs `body` as a transaction, retrying until it commits, and returns
+    /// its result.
+    pub fn transaction<R>(&mut self, body: impl FnMut(&mut TxView<'_>) -> Result<R, Abort>) -> R {
+        run_transaction(self.alg, self.shared, &mut self.slot, &mut self.platform, body)
+    }
+
+    /// Identifier of this tasklet (0-based).
+    pub fn tasklet_id(&self) -> usize {
+        self.platform.tasklet_id
+    }
+}
+
+/// Commit/abort counts aggregated over a [`ThreadedDpu::run`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadedRunReport {
+    /// Committed transactions across all tasklets.
+    pub commits: u64,
+    /// Aborted attempts across all tasklets.
+    pub aborts: u64,
+}
+
+/// A DPU whose tasklets are real threads over atomic shared memory.
+#[derive(Debug)]
+pub struct ThreadedDpu {
+    memory: SharedMemory,
+    shared: StmShared,
+    config: StmConfig,
+}
+
+impl ThreadedDpu {
+    /// Creates a threaded DPU with the default memory capacities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] if the STM metadata does not fit in the
+    /// configured tier.
+    pub fn new(config: StmConfig) -> Result<Self, AllocError> {
+        Self::with_capacity(config, DEFAULT_WRAM_WORDS, DEFAULT_MRAM_WORDS)
+    }
+
+    /// Creates a threaded DPU with explicit WRAM/MRAM capacities (in words).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] if the STM metadata does not fit.
+    pub fn with_capacity(
+        config: StmConfig,
+        wram_words: u32,
+        mram_words: u32,
+    ) -> Result<Self, AllocError> {
+        let memory = SharedMemory::new(wram_words, mram_words);
+        let shared = StmShared::allocate(&mut (&memory), config)?;
+        Ok(ThreadedDpu { memory, shared, config })
+    }
+
+    /// The configuration this DPU was created with.
+    pub fn config(&self) -> &StmConfig {
+        &self.config
+    }
+
+    /// The shared STM metadata handles (addresses of the sequence lock,
+    /// clock and lock table).
+    pub fn stm_shared(&self) -> &StmShared {
+        &self.shared
+    }
+
+    /// Allocates `words` zeroed words of application data in `tier`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] if the tier is exhausted.
+    pub fn alloc(&mut self, tier: Tier, words: u32) -> Result<Addr, AllocError> {
+        self.memory.alloc(tier, words)
+    }
+
+    /// Reads a word without going through a transaction (only safe while no
+    /// tasklets are running — the host-side access pattern of UPMEM).
+    pub fn peek(&self, addr: Addr) -> u64 {
+        self.memory.cell(addr).load(Ordering::SeqCst)
+    }
+
+    /// Writes a word without going through a transaction (see
+    /// [`ThreadedDpu::peek`]).
+    pub fn poke(&mut self, addr: Addr, value: u64) {
+        self.memory.cell(addr).store(value, Ordering::SeqCst)
+    }
+
+    /// Launches `tasklets` OS threads, each running `body` with its own
+    /// [`TaskletTx`] handle, waits for all of them and returns the aggregate
+    /// commit/abort counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasklets` exceeds 24 (the UPMEM hardware-thread limit), if
+    /// allocating the per-tasklet transaction logs fails, or if a tasklet
+    /// thread panics.
+    pub fn run<F>(&mut self, tasklets: usize, body: F) -> ThreadedRunReport
+    where
+        F: Fn(TaskletTx<'_>) + Send + Sync,
+    {
+        assert!(tasklets <= 24, "UPMEM DPUs support at most 24 tasklets, got {tasklets}");
+        let slots: Vec<TxSlot> = (0..tasklets)
+            .map(|t| {
+                self.shared
+                    .register_tasklet(&mut (&self.memory), t)
+                    .expect("per-tasklet STM logs must fit in the metadata tier")
+            })
+            .collect();
+        let alg = algorithm_for(self.config.kind);
+        let memory = &self.memory;
+        let shared = &self.shared;
+        let counters = RunCounters::default();
+        let body = &body;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (tasklet_id, slot) in slots.into_iter().enumerate() {
+                let counters = &counters;
+                handles.push(scope.spawn(move || {
+                    let platform = ThreadPlatform {
+                        memory,
+                        counters,
+                        tasklet_id,
+                        phase: Phase::OtherExec,
+                    };
+                    body(TaskletTx { platform, slot, shared, alg });
+                }));
+            }
+            for handle in handles {
+                handle.join().expect("tasklet thread panicked");
+            }
+        });
+        ThreadedRunReport {
+            commits: counters.commits.load(Ordering::Relaxed),
+            aborts: counters.aborts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MetadataPlacement, StmKind};
+
+    fn small_config(kind: StmKind) -> StmConfig {
+        StmConfig::new(kind, MetadataPlacement::Wram)
+            .with_lock_table_entries(128)
+            .with_read_set_capacity(64)
+            .with_write_set_capacity(32)
+    }
+
+    #[test]
+    fn counter_increments_are_not_lost_under_real_concurrency() {
+        for kind in StmKind::ALL {
+            let mut dpu = ThreadedDpu::new(small_config(kind)).unwrap();
+            let counter = dpu.alloc(Tier::Mram, 1).unwrap();
+            let per_tasklet = 200u64;
+            let report = dpu.run(4, |mut tx| {
+                for _ in 0..per_tasklet {
+                    tx.transaction(|view| {
+                        let v = view.read(counter)?;
+                        view.write(counter, v + 1)?;
+                        Ok(())
+                    });
+                }
+            });
+            assert_eq!(dpu.peek(counter), 4 * per_tasklet, "{kind} lost increments");
+            assert_eq!(report.commits, 4 * per_tasklet, "{kind} commit count");
+        }
+    }
+
+    #[test]
+    fn disjoint_transfers_preserve_total_balance() {
+        for kind in [StmKind::Norec, StmKind::TinyEtlWt, StmKind::VrEtlWb] {
+            let mut dpu = ThreadedDpu::new(small_config(kind)).unwrap();
+            let accounts = dpu.alloc(Tier::Mram, 8).unwrap();
+            for i in 0..8 {
+                dpu.poke(accounts.offset(i), 1000);
+            }
+            dpu.run(8, |mut tx| {
+                let id = tx.tasklet_id() as u32;
+                for step in 0..100u32 {
+                    let from = accounts.offset((id + step) % 8);
+                    let to = accounts.offset((id + step + 3) % 8);
+                    if from == to {
+                        continue;
+                    }
+                    tx.transaction(|view| {
+                        let a = view.read(from)?;
+                        let b = view.read(to)?;
+                        view.write(from, a.wrapping_sub(1))?;
+                        view.write(to, b.wrapping_add(1))?;
+                        Ok(())
+                    });
+                }
+            });
+            let total: u64 = (0..8).map(|i| dpu.peek(accounts.offset(i))).sum();
+            assert_eq!(total, 8000, "{kind} violated balance conservation");
+        }
+    }
+
+    #[test]
+    fn allocation_failures_are_reported() {
+        let config = small_config(StmKind::TinyEtlWb).with_lock_table_entries(1_000_000);
+        assert!(ThreadedDpu::new(config).is_err());
+        let mut dpu = ThreadedDpu::new(small_config(StmKind::Norec)).unwrap();
+        assert!(dpu.alloc(Tier::Wram, 1_000_000).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 24 tasklets")]
+    fn too_many_tasklets_panics() {
+        let mut dpu = ThreadedDpu::new(small_config(StmKind::Norec)).unwrap();
+        dpu.run(25, |_| {});
+    }
+}

@@ -1,0 +1,627 @@
+//! The Tiny design family: TinySTM-style ownership records with invisible
+//! reads, a global version clock and snapshot extension (Felber, Fetzer,
+//! Riegel — PPoPP 2008 / TPDS 2010), ported to the UPMEM platform.
+//!
+//! Three variants cover the ORec + invisible-reads subtree of the paper's
+//! taxonomy:
+//!
+//! * **ETL-WT** — encounter-time locking, write-through (undo log);
+//! * **ETL-WB** — encounter-time locking, write-back (redo log);
+//! * **CTL-WB** — commit-time locking, write-back.
+//!
+//! Every memory word is covered by an entry of a hashed lock table (see
+//! [`crate::locktable`]); an unlocked entry carries the commit timestamp
+//! (*version*) of the covered words. Transactions read against a snapshot
+//! bound `rv` and may *extend* the snapshot by validating their read set when
+//! they encounter a newer version, which avoids many unnecessary aborts
+//! compared to TL2-style designs.
+
+use pim_sim::{Addr, Phase};
+
+use crate::config::{LockTiming, StmKind, WritePolicy};
+use crate::error::{Abort, AbortReason};
+use crate::locktable::OrecWord;
+use crate::platform::Platform;
+use crate::shared::StmShared;
+use crate::txslot::TxSlot;
+use crate::TmAlgorithm;
+
+/// Bounded number of lock/value re-read attempts a single transactional read
+/// performs before giving up and aborting.
+const READ_RETRIES: u32 = 8;
+
+/// A member of the Tiny family, parameterised by lock timing and write
+/// policy.
+#[derive(Debug, Clone, Copy)]
+pub struct Tiny {
+    timing: LockTiming,
+    policy: WritePolicy,
+}
+
+impl Tiny {
+    /// Creates the variant with the given lock timing and write policy.
+    ///
+    /// Write-through is only sound with encounter-time locking (a
+    /// commit-time-locking transaction may still abort after having exposed
+    /// its writes); this invariant is checked at construction.
+    pub const fn new(timing: LockTiming, policy: WritePolicy) -> Self {
+        assert!(
+            !(matches!(policy, WritePolicy::WriteThrough) && matches!(timing, LockTiming::Commit)),
+            "write-through requires encounter-time locking (see Fig. 2 of the paper)"
+        );
+        Tiny { timing, policy }
+    }
+
+    /// Lock timing of this variant.
+    pub fn timing(&self) -> LockTiming {
+        self.timing
+    }
+
+    /// Write policy of this variant.
+    pub fn policy(&self) -> WritePolicy {
+        self.policy
+    }
+
+    /// Checks that every read-set entry still holds the version observed when
+    /// it was read (or is locked by this transaction).
+    fn readset_valid(&self, shared: &StmShared, tx: &mut TxSlot, p: &mut dyn Platform) -> bool {
+        let me = p.tasklet_id();
+        for i in 0..tx.read_set_len() {
+            let entry = tx.read_entry(p, i);
+            let orec = OrecWord::from_raw(p.load(shared.orec_addr(entry.addr)));
+            if orec.is_locked_by(me) {
+                continue;
+            }
+            if orec.is_locked() || orec.version() != entry.aux {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Attempts to extend the snapshot bound to the current clock value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] if the read set is no longer valid.
+    fn extend(
+        &self,
+        shared: &StmShared,
+        tx: &mut TxSlot,
+        p: &mut dyn Platform,
+    ) -> Result<(), Abort> {
+        let now = p.load(shared.clock_addr());
+        if self.readset_valid(shared, tx, p) {
+            tx.snapshot = now;
+            Ok(())
+        } else {
+            Err(AbortReason::ValidationFailed.into())
+        }
+    }
+
+    /// Undoes write-through stores and restores the ownership records this
+    /// transaction acquired, leaving shared state as if the attempt never
+    /// ran.
+    fn rollback(&self, shared: &StmShared, tx: &mut TxSlot, p: &mut dyn Platform) {
+        // Undo data writes first so no other transaction can observe dirty
+        // values through an already-released ORec.
+        if self.policy == WritePolicy::WriteThrough {
+            for i in (0..tx.write_set_len()).rev() {
+                let entry = tx.write_entry(p, i);
+                p.store(entry.addr, entry.value);
+            }
+        }
+        for i in 0..tx.write_set_len() {
+            let entry = tx.write_entry(p, i);
+            if entry.flag {
+                p.store(shared.orec_addr(entry.addr), entry.extra);
+            }
+        }
+    }
+
+    /// Convenience: roll back and return the abort.
+    fn abort(
+        &self,
+        shared: &StmShared,
+        tx: &mut TxSlot,
+        p: &mut dyn Platform,
+        reason: AbortReason,
+    ) -> Abort {
+        self.rollback(shared, tx, p);
+        p.set_phase(Phase::OtherExec);
+        Abort::new(reason)
+    }
+
+    /// Acquires the ORec covering `addr` for this transaction.
+    ///
+    /// Returns `Some(previous_raw_word)` if the ORec was newly acquired,
+    /// `None` if it was already held by this transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the abort reason (without rolling back) on conflict.
+    fn acquire_orec(
+        &self,
+        shared: &StmShared,
+        tx: &mut TxSlot,
+        p: &mut dyn Platform,
+        addr: Addr,
+        validate_phase: Phase,
+    ) -> Result<Option<u64>, AbortReason> {
+        let me = p.tasklet_id();
+        let orec_addr = shared.orec_addr(addr);
+        let orec = OrecWord::from_raw(p.load(orec_addr));
+        if orec.is_locked_by(me) {
+            return Ok(None);
+        }
+        if orec.is_locked() {
+            return Err(AbortReason::WriteConflict);
+        }
+        if orec.version() > tx.snapshot {
+            // A newer committed version exists: extend the snapshot (validate
+            // the read set) or give up.
+            let prev_phase = p.set_phase(validate_phase);
+            let extended = self.extend(shared, tx, p);
+            p.set_phase(prev_phase);
+            if extended.is_err() {
+                return Err(AbortReason::ValidationFailed);
+            }
+        }
+        let outcome =
+            p.compare_and_swap(orec_addr, orec.raw(), OrecWord::locked_by(me).raw());
+        if outcome.updated {
+            Ok(Some(orec.raw()))
+        } else {
+            Err(AbortReason::WriteConflict)
+        }
+    }
+}
+
+impl TmAlgorithm for Tiny {
+    fn kind(&self) -> StmKind {
+        match (self.timing, self.policy) {
+            (LockTiming::Commit, WritePolicy::WriteBack) => StmKind::TinyCtlWb,
+            (LockTiming::Encounter, WritePolicy::WriteBack) => StmKind::TinyEtlWb,
+            (LockTiming::Encounter, WritePolicy::WriteThrough) => StmKind::TinyEtlWt,
+            (LockTiming::Commit, WritePolicy::WriteThrough) => {
+                unreachable!("rejected by Tiny::new")
+            }
+        }
+    }
+
+    fn begin(&self, shared: &StmShared, tx: &mut TxSlot, p: &mut dyn Platform) {
+        p.set_phase(Phase::OtherExec);
+        tx.reset_logs();
+        tx.snapshot = p.load(shared.clock_addr());
+    }
+
+    fn read(
+        &self,
+        shared: &StmShared,
+        tx: &mut TxSlot,
+        p: &mut dyn Platform,
+        addr: Addr,
+    ) -> Result<u64, Abort> {
+        p.set_phase(Phase::Reading);
+        let me = p.tasklet_id();
+
+        // Commit-time locking buffers writes without locking, so reads must
+        // first look for an earlier write by this very transaction.
+        if self.timing == LockTiming::Commit {
+            if let Some((_, value)) = tx.find_write(p, addr) {
+                p.set_phase(Phase::OtherExec);
+                return Ok(value);
+            }
+        }
+
+        let orec_addr = shared.orec_addr(addr);
+        let mut orec = OrecWord::from_raw(p.load(orec_addr));
+
+        // Encounter-time locking: the ORec may already be ours.
+        if orec.is_locked_by(me) {
+            let value = match self.policy {
+                // Redo log holds our latest value (unless the ORec is ours
+                // only through hash aliasing with another address).
+                WritePolicy::WriteBack => match tx.find_write(p, addr) {
+                    Some((_, value)) => value,
+                    None => p.load(addr),
+                },
+                // Write-through already updated memory.
+                WritePolicy::WriteThrough => p.load(addr),
+            };
+            p.set_phase(Phase::OtherExec);
+            return Ok(value);
+        }
+
+        for _ in 0..READ_RETRIES {
+            if orec.is_locked() {
+                return Err(self.abort(shared, tx, p, AbortReason::ReadConflict));
+            }
+            if orec.version() > tx.snapshot {
+                p.set_phase(Phase::ValidatingExec);
+                if self.extend(shared, tx, p).is_err() {
+                    return Err(self.abort(shared, tx, p, AbortReason::ValidationFailed));
+                }
+                p.set_phase(Phase::Reading);
+            }
+            let value = p.load(addr);
+            let recheck = OrecWord::from_raw(p.load(orec_addr));
+            if recheck.raw() == orec.raw() {
+                tx.push_read(p, addr, orec.version());
+                p.set_phase(Phase::OtherExec);
+                return Ok(value);
+            }
+            // The ORec changed between the two loads (a concurrent commit or
+            // lock); retry against the new ORec contents.
+            orec = recheck;
+        }
+        Err(self.abort(shared, tx, p, AbortReason::ReadConflict))
+    }
+
+    fn write(
+        &self,
+        shared: &StmShared,
+        tx: &mut TxSlot,
+        p: &mut dyn Platform,
+        addr: Addr,
+        value: u64,
+    ) -> Result<(), Abort> {
+        p.set_phase(Phase::Writing);
+        match self.timing {
+            LockTiming::Commit => {
+                // Just buffer; locks are taken at commit time.
+                if let Some((index, _)) = tx.find_write(p, addr) {
+                    tx.set_write_value(p, index, value);
+                } else {
+                    tx.push_write(p, addr, value, 0, false);
+                }
+            }
+            LockTiming::Encounter => {
+                let acquired = match self.acquire_orec(shared, tx, p, addr, Phase::ValidatingExec)
+                {
+                    Ok(acquired) => acquired,
+                    Err(reason) => return Err(self.abort(shared, tx, p, reason)),
+                };
+                match self.policy {
+                    WritePolicy::WriteBack => {
+                        let prev = acquired.unwrap_or(0);
+                        if let Some((index, _)) = tx.find_write(p, addr) {
+                            tx.set_write_value(p, index, value);
+                            if let Some(prev) = acquired {
+                                // First acquisition happened through an entry
+                                // for another (aliased) address; remember the
+                                // previous ORec on this one instead.
+                                tx.set_write_extra_flag(p, index, prev, true);
+                            }
+                        } else {
+                            tx.push_write(p, addr, value, prev, acquired.is_some());
+                        }
+                    }
+                    WritePolicy::WriteThrough => {
+                        // Log the old value once, then update memory in place.
+                        if tx.find_write(p, addr).is_none() {
+                            let old = p.load(addr);
+                            tx.push_write(p, addr, old, acquired.unwrap_or(0), acquired.is_some());
+                        }
+                        p.store(addr, value);
+                    }
+                }
+            }
+        }
+        p.set_phase(Phase::OtherExec);
+        Ok(())
+    }
+
+    fn commit(
+        &self,
+        shared: &StmShared,
+        tx: &mut TxSlot,
+        p: &mut dyn Platform,
+    ) -> Result<(), Abort> {
+        if tx.is_read_only() {
+            p.set_phase(Phase::OtherExec);
+            return Ok(());
+        }
+        p.set_phase(Phase::OtherCommit);
+        let me = p.tasklet_id();
+
+        // Commit-time locking acquires every ORec in the write set now.
+        if self.timing == LockTiming::Commit {
+            for i in 0..tx.write_set_len() {
+                let entry = tx.write_entry(p, i);
+                let orec = OrecWord::from_raw(p.load(shared.orec_addr(entry.addr)));
+                if orec.is_locked_by(me) {
+                    continue;
+                }
+                match self.acquire_orec(shared, tx, p, entry.addr, Phase::ValidatingCommit) {
+                    Ok(Some(prev)) => tx.set_write_extra_flag(p, i, prev, true),
+                    Ok(None) => {}
+                    Err(reason) => return Err(self.abort(shared, tx, p, reason)),
+                }
+            }
+            p.set_phase(Phase::OtherCommit);
+        }
+
+        // Take a new commit timestamp from the global clock.
+        let wv = p.fetch_add(shared.clock_addr(), 1) + 1;
+
+        // If other transactions committed since our snapshot, the read set
+        // must still be valid.
+        if wv > tx.snapshot + 1 {
+            p.set_phase(Phase::ValidatingCommit);
+            if !self.readset_valid(shared, tx, p) {
+                return Err(self.abort(shared, tx, p, AbortReason::ValidationFailed));
+            }
+            p.set_phase(Phase::OtherCommit);
+        }
+
+        // Publish buffered writes (write-back only; write-through already
+        // updated memory at encounter time).
+        if self.policy == WritePolicy::WriteBack {
+            for i in 0..tx.write_set_len() {
+                let entry = tx.write_entry(p, i);
+                p.store(entry.addr, entry.value);
+            }
+        }
+
+        // Release every ORec we acquired, stamping it with the new version.
+        let release = OrecWord::unlocked(wv).raw();
+        for i in 0..tx.write_set_len() {
+            let entry = tx.write_entry(p, i);
+            if entry.flag {
+                p.store(shared.orec_addr(entry.addr), release);
+            }
+        }
+        p.set_phase(Phase::OtherExec);
+        Ok(())
+    }
+
+    fn cancel(&self, shared: &StmShared, tx: &mut TxSlot, p: &mut dyn Platform) {
+        self.rollback(shared, tx, p);
+        p.set_phase(Phase::OtherExec);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MetadataPlacement, StmConfig};
+    use pim_sim::{Dpu, DpuConfig, TaskletCtx, TaskletStats, Tier};
+
+    const VARIANTS: [StmKind; 3] = [StmKind::TinyCtlWb, StmKind::TinyEtlWb, StmKind::TinyEtlWt];
+
+    struct Fixture {
+        dpu: Dpu,
+        shared: StmShared,
+        slots: Vec<TxSlot>,
+        data: Addr,
+    }
+
+    fn fixture(kind: StmKind, tasklets: usize) -> (Fixture, Tiny) {
+        let mut dpu = Dpu::new(DpuConfig::small());
+        let cfg = StmConfig::new(kind, MetadataPlacement::Wram).with_lock_table_entries(64);
+        let shared = StmShared::allocate(&mut dpu, cfg).unwrap();
+        let slots = (0..tasklets).map(|t| shared.register_tasklet(&mut dpu, t).unwrap()).collect();
+        let data = dpu.alloc(Tier::Mram, 16).unwrap();
+        let tiny = match kind {
+            StmKind::TinyCtlWb => Tiny::new(LockTiming::Commit, WritePolicy::WriteBack),
+            StmKind::TinyEtlWb => Tiny::new(LockTiming::Encounter, WritePolicy::WriteBack),
+            StmKind::TinyEtlWt => Tiny::new(LockTiming::Encounter, WritePolicy::WriteThrough),
+            _ => unreachable!(),
+        };
+        (Fixture { dpu, shared, slots, data }, tiny)
+    }
+
+    #[test]
+    fn kinds_match_parameters() {
+        for kind in VARIANTS {
+            let (_, tiny) = fixture(kind, 1);
+            assert_eq!(tiny.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn read_write_commit_updates_memory_and_versions() {
+        for kind in VARIANTS {
+            let (mut fx, tiny) = fixture(kind, 1);
+            let mut stats = TaskletStats::new();
+            let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats, 0, 1, 0);
+            let slot = &mut fx.slots[0];
+            tiny.begin(&fx.shared, slot, &mut ctx);
+            assert_eq!(tiny.read(&fx.shared, slot, &mut ctx, fx.data).unwrap(), 0);
+            tiny.write(&fx.shared, slot, &mut ctx, fx.data, 41).unwrap();
+            assert_eq!(
+                tiny.read(&fx.shared, slot, &mut ctx, fx.data).unwrap(),
+                41,
+                "{kind}: read-after-write must see the new value"
+            );
+            tiny.commit(&fx.shared, slot, &mut ctx).unwrap();
+            assert_eq!(ctx.dpu().peek(fx.data), 41, "{kind}");
+            // The global clock advanced and the covering ORec carries the new
+            // version, unlocked.
+            assert_eq!(ctx.dpu().peek(fx.shared.clock_addr()), 1, "{kind}");
+            let orec = OrecWord::from_raw(ctx.dpu().peek(fx.shared.orec_addr(fx.data)));
+            assert!(!orec.is_locked(), "{kind}: ORec must be released after commit");
+            assert_eq!(orec.version(), 1, "{kind}");
+        }
+    }
+
+    #[test]
+    fn write_policy_controls_when_stores_become_visible() {
+        let (mut fx, wb) = fixture(StmKind::TinyEtlWb, 1);
+        let mut stats = TaskletStats::new();
+        let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats, 0, 1, 0);
+        wb.begin(&fx.shared, &mut fx.slots[0], &mut ctx);
+        wb.write(&fx.shared, &mut fx.slots[0], &mut ctx, fx.data, 9).unwrap();
+        assert_eq!(ctx.dpu().peek(fx.data), 0, "write-back defers the store to commit");
+
+        let (mut fx, wt) = fixture(StmKind::TinyEtlWt, 1);
+        let mut stats = TaskletStats::new();
+        let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats, 0, 1, 0);
+        wt.begin(&fx.shared, &mut fx.slots[0], &mut ctx);
+        wt.write(&fx.shared, &mut fx.slots[0], &mut ctx, fx.data, 9).unwrap();
+        assert_eq!(ctx.dpu().peek(fx.data), 9, "write-through stores immediately");
+    }
+
+    #[test]
+    fn encounter_time_locking_detects_conflicts_at_write_time() {
+        let (mut fx, tiny) = fixture(StmKind::TinyEtlWb, 2);
+        let mut stats0 = TaskletStats::new();
+        let mut stats1 = TaskletStats::new();
+        let (s0, rest) = fx.slots.split_at_mut(1);
+        let (slot0, slot1) = (&mut s0[0], &mut rest[0]);
+        {
+            let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats0, 0, 2, 0);
+            tiny.begin(&fx.shared, slot0, &mut ctx);
+            tiny.write(&fx.shared, slot0, &mut ctx, fx.data, 1).unwrap();
+        }
+        {
+            let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats1, 1, 2, 0);
+            tiny.begin(&fx.shared, slot1, &mut ctx);
+            let err = tiny.write(&fx.shared, slot1, &mut ctx, fx.data, 2).unwrap_err();
+            assert_eq!(err.reason, AbortReason::WriteConflict);
+            // Tasklet 1 also cannot read the locked location.
+            tiny.begin(&fx.shared, slot1, &mut ctx);
+            let err = tiny.read(&fx.shared, slot1, &mut ctx, fx.data).unwrap_err();
+            assert_eq!(err.reason, AbortReason::ReadConflict);
+        }
+    }
+
+    #[test]
+    fn commit_time_locking_defers_conflicts_to_commit() {
+        let (mut fx, tiny) = fixture(StmKind::TinyCtlWb, 2);
+        let mut stats0 = TaskletStats::new();
+        let mut stats1 = TaskletStats::new();
+        let (s0, rest) = fx.slots.split_at_mut(1);
+        let (slot0, slot1) = (&mut s0[0], &mut rest[0]);
+        // Both transactions read then write the same word; with CTL neither
+        // notices until commit, and the loser aborts on validation.
+        {
+            let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats0, 0, 2, 0);
+            tiny.begin(&fx.shared, slot0, &mut ctx);
+            assert_eq!(tiny.read(&fx.shared, slot0, &mut ctx, fx.data).unwrap(), 0);
+            tiny.write(&fx.shared, slot0, &mut ctx, fx.data, 10).unwrap();
+        }
+        {
+            let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats1, 1, 2, 0);
+            tiny.begin(&fx.shared, slot1, &mut ctx);
+            assert_eq!(tiny.read(&fx.shared, slot1, &mut ctx, fx.data).unwrap(), 0);
+            tiny.write(&fx.shared, slot1, &mut ctx, fx.data, 20).unwrap();
+            tiny.commit(&fx.shared, slot1, &mut ctx).unwrap();
+            assert_eq!(ctx.dpu().peek(fx.data), 20);
+        }
+        {
+            let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats0, 0, 2, 0);
+            let err = tiny.commit(&fx.shared, slot0, &mut ctx).unwrap_err();
+            assert_eq!(err.reason, AbortReason::ValidationFailed);
+            // The winner's value survives; the loser's buffered write did not
+            // leak and its ORec was released.
+            assert_eq!(ctx.dpu().peek(fx.data), 20);
+            let orec = OrecWord::from_raw(ctx.dpu().peek(fx.shared.orec_addr(fx.data)));
+            assert!(!orec.is_locked());
+        }
+    }
+
+    #[test]
+    fn write_through_abort_restores_old_values() {
+        let (mut fx, tiny) = fixture(StmKind::TinyEtlWt, 2);
+        fx.dpu.poke(fx.data, 7);
+        fx.dpu.poke(fx.data.offset(1), 8);
+        let mut stats0 = TaskletStats::new();
+        let mut stats1 = TaskletStats::new();
+        let (s0, rest) = fx.slots.split_at_mut(1);
+        let (slot0, slot1) = (&mut s0[0], &mut rest[0]);
+        // T0 writes two words through to memory...
+        {
+            let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats0, 0, 2, 0);
+            tiny.begin(&fx.shared, slot0, &mut ctx);
+            tiny.write(&fx.shared, slot0, &mut ctx, fx.data, 100).unwrap();
+            tiny.write(&fx.shared, slot0, &mut ctx, fx.data.offset(1), 200).unwrap();
+            assert_eq!(ctx.dpu().peek(fx.data), 100);
+        }
+        // ...then aborts because another word it wants is locked by T1.
+        {
+            let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats1, 1, 2, 0);
+            tiny.begin(&fx.shared, slot1, &mut ctx);
+            tiny.write(&fx.shared, slot1, &mut ctx, fx.data.offset(2), 1).unwrap();
+        }
+        {
+            let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats0, 0, 2, 0);
+            let err =
+                tiny.write(&fx.shared, slot0, &mut ctx, fx.data.offset(2), 300).unwrap_err();
+            assert_eq!(err.reason, AbortReason::WriteConflict);
+            // The undo log restored the original contents and released ORecs.
+            assert_eq!(ctx.dpu().peek(fx.data), 7);
+            assert_eq!(ctx.dpu().peek(fx.data.offset(1)), 8);
+            let orec = OrecWord::from_raw(ctx.dpu().peek(fx.shared.orec_addr(fx.data)));
+            assert!(!orec.is_locked());
+        }
+    }
+
+    #[test]
+    fn snapshot_extension_spares_reads_of_unrelated_updates() {
+        // T1 commits to an unrelated word, bumping the clock past T0's
+        // snapshot. T0's next read of a *fresh* location (version 0 <= rv) is
+        // fine, and a read of the *updated* location triggers an extension
+        // that succeeds because T0's read set is untouched.
+        let (mut fx, tiny) = fixture(StmKind::TinyEtlWb, 2);
+        let mut stats0 = TaskletStats::new();
+        let mut stats1 = TaskletStats::new();
+        let (s0, rest) = fx.slots.split_at_mut(1);
+        let (slot0, slot1) = (&mut s0[0], &mut rest[0]);
+        {
+            let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats0, 0, 2, 0);
+            tiny.begin(&fx.shared, slot0, &mut ctx);
+            assert_eq!(tiny.read(&fx.shared, slot0, &mut ctx, fx.data).unwrap(), 0);
+        }
+        {
+            let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats1, 1, 2, 0);
+            tiny.begin(&fx.shared, slot1, &mut ctx);
+            tiny.write(&fx.shared, slot1, &mut ctx, fx.data.offset(8), 5).unwrap();
+            tiny.commit(&fx.shared, slot1, &mut ctx).unwrap();
+        }
+        {
+            let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats0, 0, 2, 0);
+            // Reading the word T1 just committed (version 1 > rv 0) forces an
+            // extension, which succeeds.
+            assert_eq!(tiny.read(&fx.shared, slot0, &mut ctx, fx.data.offset(8)).unwrap(), 5);
+            tiny.write(&fx.shared, slot0, &mut ctx, fx.data.offset(1), 1).unwrap();
+            tiny.commit(&fx.shared, slot0, &mut ctx).unwrap();
+            assert_eq!(ctx.dpu().peek(fx.data.offset(1)), 1);
+        }
+    }
+
+    #[test]
+    fn stale_read_set_fails_extension_and_aborts() {
+        let (mut fx, tiny) = fixture(StmKind::TinyEtlWb, 2);
+        let mut stats0 = TaskletStats::new();
+        let mut stats1 = TaskletStats::new();
+        let (s0, rest) = fx.slots.split_at_mut(1);
+        let (slot0, slot1) = (&mut s0[0], &mut rest[0]);
+        {
+            let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats0, 0, 2, 0);
+            tiny.begin(&fx.shared, slot0, &mut ctx);
+            assert_eq!(tiny.read(&fx.shared, slot0, &mut ctx, fx.data).unwrap(), 0);
+        }
+        // T1 overwrites the word T0 read.
+        {
+            let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats1, 1, 2, 0);
+            tiny.begin(&fx.shared, slot1, &mut ctx);
+            tiny.write(&fx.shared, slot1, &mut ctx, fx.data, 77).unwrap();
+            tiny.commit(&fx.shared, slot1, &mut ctx).unwrap();
+        }
+        // T0 now reads the updated word: extension validates the stale read
+        // set and must abort.
+        {
+            let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats0, 0, 2, 0);
+            let err = tiny.read(&fx.shared, slot0, &mut ctx, fx.data).unwrap_err();
+            assert_eq!(err.reason, AbortReason::ValidationFailed);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "write-through requires encounter-time locking")]
+    fn ctl_write_through_is_rejected() {
+        let _ = Tiny::new(LockTiming::Commit, WritePolicy::WriteThrough);
+    }
+}

@@ -1,0 +1,339 @@
+//! The per-tasklet transaction descriptor.
+//!
+//! A [`TxSlot`] owns the tasklet's read set and write/undo log. Crucially,
+//! the *entries themselves live in simulated DPU memory* (WRAM or MRAM,
+//! depending on [`crate::MetadataPlacement`]), so every time an algorithm
+//! appends to, scans or validates a log it pays the corresponding memory
+//! latency — this is precisely the instrumentation cost whose placement the
+//! paper studies.
+//!
+//! Log layouts (one entry per transactional access):
+//!
+//! * read-set entry (2 words): `[encoded address, aux]` where `aux` holds the
+//!   observed ORec version (Tiny), the observed value (NOrec) or is unused
+//!   (VR);
+//! * write/undo-log entry (3 words): `[encoded address (+flag bit), value,
+//!   extra]` where `value` is the new value (write-back) or the old value
+//!   (write-through undo) and `extra` stores the previous ORec word for lock
+//!   release/rollback.
+
+use pim_sim::Addr;
+
+use crate::platform::{decode_addr, encode_addr, Platform, ENC_FLAG_BIT};
+
+/// Words per read-set entry.
+pub const READ_ENTRY_WORDS: u32 = 2;
+/// Words per write/undo-log entry.
+pub const WRITE_ENTRY_WORDS: u32 = 3;
+
+/// A decoded write/undo-log entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteEntry {
+    /// Target data address.
+    pub addr: Addr,
+    /// New value (write-back) or saved old value (write-through undo).
+    pub value: u64,
+    /// Algorithm-specific extra word (previous ORec contents for Tiny).
+    pub extra: u64,
+    /// Algorithm-specific flag (e.g. "this entry acquired its ORec").
+    pub flag: bool,
+}
+
+/// A decoded read-set entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadEntry {
+    /// Data address that was read.
+    pub addr: Addr,
+    /// Observed ORec version (Tiny), observed value (NOrec) or unused (VR).
+    pub aux: u64,
+}
+
+/// Per-tasklet transaction descriptor: read set, write/undo log and snapshot
+/// bookkeeping.
+#[derive(Debug, Clone)]
+pub struct TxSlot {
+    tasklet_id: usize,
+    rs_base: Addr,
+    rs_cap: u32,
+    rs_len: u32,
+    ws_base: Addr,
+    ws_cap: u32,
+    ws_len: u32,
+    /// NOrec snapshot of the sequence lock, or Tiny's read version (snapshot
+    /// lower bound).
+    pub(crate) snapshot: u64,
+    /// Consecutive aborted attempts of the current transaction (reset on
+    /// commit); drives contention back-off policies.
+    consecutive_aborts: u64,
+}
+
+impl TxSlot {
+    /// Creates a descriptor whose logs live at `rs_base`/`ws_base` with the
+    /// given capacities (in entries). Normally constructed through
+    /// [`crate::StmShared::register_tasklet`].
+    pub fn new(tasklet_id: usize, rs_base: Addr, rs_cap: u32, ws_base: Addr, ws_cap: u32) -> Self {
+        TxSlot {
+            tasklet_id,
+            rs_base,
+            rs_cap,
+            rs_len: 0,
+            ws_base,
+            ws_cap,
+            ws_len: 0,
+            snapshot: 0,
+            consecutive_aborts: 0,
+        }
+    }
+
+    /// Identifier of the owning tasklet.
+    pub fn tasklet_id(&self) -> usize {
+        self.tasklet_id
+    }
+
+    /// Number of entries currently in the read set.
+    pub fn read_set_len(&self) -> u32 {
+        self.rs_len
+    }
+
+    /// Number of entries currently in the write/undo log.
+    pub fn write_set_len(&self) -> u32 {
+        self.ws_len
+    }
+
+    /// Read-set capacity in entries.
+    pub fn read_set_capacity(&self) -> u32 {
+        self.rs_cap
+    }
+
+    /// Write/undo-log capacity in entries.
+    pub fn write_set_capacity(&self) -> u32 {
+        self.ws_cap
+    }
+
+    /// Whether the transaction has performed no writes so far.
+    pub fn is_read_only(&self) -> bool {
+        self.ws_len == 0
+    }
+
+    /// Consecutive aborts of the transaction currently being attempted.
+    pub fn consecutive_aborts(&self) -> u64 {
+        self.consecutive_aborts
+    }
+
+    /// Clears the logs at the start of a new attempt (does not touch the
+    /// abort counter, which spans attempts of the same transaction).
+    pub fn reset_logs(&mut self) {
+        self.rs_len = 0;
+        self.ws_len = 0;
+    }
+
+    /// Records that the current attempt aborted.
+    pub fn note_abort(&mut self) {
+        self.consecutive_aborts += 1;
+    }
+
+    /// Records that the transaction finally committed.
+    pub fn note_commit(&mut self) {
+        self.consecutive_aborts = 0;
+    }
+
+    fn rs_entry_addr(&self, index: u32) -> Addr {
+        self.rs_base.offset(index * READ_ENTRY_WORDS)
+    }
+
+    fn ws_entry_addr(&self, index: u32) -> Addr {
+        self.ws_base.offset(index * WRITE_ENTRY_WORDS)
+    }
+
+    /// Appends an entry to the read set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the read set is full; size the capacity for the workload
+    /// (see [`crate::StmConfig::with_read_set_capacity`]).
+    pub fn push_read(&mut self, p: &mut dyn Platform, addr: Addr, aux: u64) {
+        assert!(
+            self.rs_len < self.rs_cap,
+            "read set overflow (capacity {} entries) on tasklet {}",
+            self.rs_cap,
+            self.tasklet_id
+        );
+        let entry = self.rs_entry_addr(self.rs_len);
+        p.store(entry, encode_addr(addr));
+        p.store(entry.offset(1), aux);
+        self.rs_len += 1;
+    }
+
+    /// Loads the `index`-th read-set entry.
+    pub fn read_entry(&self, p: &mut dyn Platform, index: u32) -> ReadEntry {
+        assert!(index < self.rs_len, "read entry {index} out of bounds");
+        let entry = self.rs_entry_addr(index);
+        let encoded = p.load(entry);
+        let aux = p.load(entry.offset(1));
+        ReadEntry { addr: decode_addr(encoded), aux }
+    }
+
+    /// Appends an entry to the write/undo log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the log is full; size the capacity for the workload (see
+    /// [`crate::StmConfig::with_write_set_capacity`]).
+    pub fn push_write(&mut self, p: &mut dyn Platform, addr: Addr, value: u64, extra: u64, flag: bool) {
+        assert!(
+            self.ws_len < self.ws_cap,
+            "write log overflow (capacity {} entries) on tasklet {}",
+            self.ws_cap,
+            self.tasklet_id
+        );
+        let entry = self.ws_entry_addr(self.ws_len);
+        let encoded = encode_addr(addr) | if flag { ENC_FLAG_BIT } else { 0 };
+        p.store(entry, encoded);
+        p.store(entry.offset(1), value);
+        p.store(entry.offset(2), extra);
+        self.ws_len += 1;
+    }
+
+    /// Loads the `index`-th write/undo-log entry.
+    pub fn write_entry(&self, p: &mut dyn Platform, index: u32) -> WriteEntry {
+        assert!(index < self.ws_len, "write entry {index} out of bounds");
+        let entry = self.ws_entry_addr(index);
+        let encoded = p.load(entry);
+        let value = p.load(entry.offset(1));
+        let extra = p.load(entry.offset(2));
+        WriteEntry {
+            addr: decode_addr(encoded),
+            value,
+            extra,
+            flag: encoded & ENC_FLAG_BIT != 0,
+        }
+    }
+
+    /// Overwrites the value of an existing write-log entry (used when a
+    /// transaction writes the same location twice).
+    pub fn set_write_value(&self, p: &mut dyn Platform, index: u32, value: u64) {
+        assert!(index < self.ws_len, "write entry {index} out of bounds");
+        p.store(self.ws_entry_addr(index).offset(1), value);
+    }
+
+    /// Rewrites the extra word and flag of an existing write-log entry.
+    /// Commit-time-locking designs use this to record the previous ORec
+    /// contents when they acquire locks during commit.
+    pub fn set_write_extra_flag(&self, p: &mut dyn Platform, index: u32, extra: u64, flag: bool) {
+        assert!(index < self.ws_len, "write entry {index} out of bounds");
+        let entry = self.ws_entry_addr(index);
+        let encoded = p.load(entry) & !ENC_FLAG_BIT;
+        p.store(entry, encoded | if flag { ENC_FLAG_BIT } else { 0 });
+        p.store(entry.offset(2), extra);
+    }
+
+    /// Scans the write log (newest first) for the latest value written to
+    /// `addr`. Each scanned entry costs a metadata load — this is the
+    /// read-after-write lookup cost that commit-time-locking and write-back
+    /// designs pay on every read.
+    pub fn find_write(&self, p: &mut dyn Platform, addr: Addr) -> Option<(u32, u64)> {
+        let target = encode_addr(addr);
+        for i in (0..self.ws_len).rev() {
+            let entry = self.ws_entry_addr(i);
+            let encoded = p.load(entry) & !ENC_FLAG_BIT;
+            if encoded == target {
+                let value = p.load(entry.offset(1));
+                return Some((i, value));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_sim::{Dpu, DpuConfig, TaskletCtx, TaskletStats, Tier};
+
+    fn with_platform<R>(f: impl FnOnce(&mut dyn Platform, &mut TxSlot) -> R) -> R {
+        let mut dpu = Dpu::new(DpuConfig::small());
+        let mut stats = TaskletStats::new();
+        let rs = dpu.alloc(Tier::Wram, 8 * READ_ENTRY_WORDS).unwrap();
+        let ws = dpu.alloc(Tier::Wram, 4 * WRITE_ENTRY_WORDS).unwrap();
+        let mut slot = TxSlot::new(3, rs, 8, ws, 4);
+        let mut ctx = TaskletCtx::new(&mut dpu, &mut stats, 3, 1, 0);
+        f(&mut ctx, &mut slot)
+    }
+
+    #[test]
+    fn read_log_roundtrip() {
+        with_platform(|p, slot| {
+            slot.push_read(p, Addr::mram(10), 42);
+            slot.push_read(p, Addr::wram(3), 7);
+            assert_eq!(slot.read_set_len(), 2);
+            assert_eq!(slot.read_entry(p, 0), ReadEntry { addr: Addr::mram(10), aux: 42 });
+            assert_eq!(slot.read_entry(p, 1), ReadEntry { addr: Addr::wram(3), aux: 7 });
+        });
+    }
+
+    #[test]
+    fn write_log_roundtrip_with_flags() {
+        with_platform(|p, slot| {
+            slot.push_write(p, Addr::mram(5), 100, 9, true);
+            slot.push_write(p, Addr::mram(6), 200, 0, false);
+            let e0 = slot.write_entry(p, 0);
+            assert_eq!(e0.addr, Addr::mram(5));
+            assert_eq!(e0.value, 100);
+            assert_eq!(e0.extra, 9);
+            assert!(e0.flag);
+            let e1 = slot.write_entry(p, 1);
+            assert!(!e1.flag);
+            assert!(!slot.is_read_only());
+        });
+    }
+
+    #[test]
+    fn find_write_returns_latest_value() {
+        with_platform(|p, slot| {
+            assert_eq!(slot.find_write(p, Addr::mram(5)), None);
+            slot.push_write(p, Addr::mram(5), 1, 0, false);
+            slot.push_write(p, Addr::mram(9), 2, 0, false);
+            slot.push_write(p, Addr::mram(5), 3, 0, false);
+            assert_eq!(slot.find_write(p, Addr::mram(5)), Some((2, 3)));
+            assert_eq!(slot.find_write(p, Addr::mram(9)), Some((1, 2)));
+            slot.set_write_value(p, 1, 20);
+            assert_eq!(slot.find_write(p, Addr::mram(9)), Some((1, 20)));
+        });
+    }
+
+    #[test]
+    fn reset_clears_logs_but_not_abort_counter() {
+        with_platform(|p, slot| {
+            slot.push_read(p, Addr::wram(1), 0);
+            slot.push_write(p, Addr::wram(2), 0, 0, false);
+            slot.note_abort();
+            slot.reset_logs();
+            assert_eq!(slot.read_set_len(), 0);
+            assert_eq!(slot.write_set_len(), 0);
+            assert!(slot.is_read_only());
+            assert_eq!(slot.consecutive_aborts(), 1);
+            slot.note_commit();
+            assert_eq!(slot.consecutive_aborts(), 0);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "read set overflow")]
+    fn read_set_overflow_panics() {
+        with_platform(|p, slot| {
+            for i in 0..9 {
+                slot.push_read(p, Addr::wram(i), 0);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "write log overflow")]
+    fn write_log_overflow_panics() {
+        with_platform(|p, slot| {
+            for i in 0..5 {
+                slot.push_write(p, Addr::wram(i), 0, 0, false);
+            }
+        });
+    }
+}

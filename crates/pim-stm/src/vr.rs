@@ -1,0 +1,552 @@
+//! The Visible Reads (VR) design family: read-write lock based concurrency
+//! control, adapted from classic DBMS lock-based protocols to provide
+//! opacity (the paper's own contribution, §3.2.1).
+//!
+//! Every memory word is covered by a read-write lock in a hashed lock table
+//! (see [`crate::rwlock`]). Transactions acquire the lock in read mode as
+//! soon as they read — making reads *visible* to writers — and in write mode
+//! either at encounter time or at commit time. Because writers can never
+//! invalidate something a live reader depends on, **no read-set validation is
+//! ever needed**; the price is the cost of tracking readers and spurious
+//! aborts when read locks cannot be upgraded.
+//!
+//! Three variants cover the visible-reads subtree of the taxonomy: ETL-WT,
+//! ETL-WB and CTL-WB.
+
+use pim_sim::{Addr, Phase};
+
+use crate::config::{LockTiming, StmKind, WritePolicy};
+use crate::error::{Abort, AbortReason};
+use crate::platform::Platform;
+use crate::rwlock::RwLockWord;
+use crate::shared::StmShared;
+use crate::txslot::TxSlot;
+use crate::TmAlgorithm;
+
+/// Result of trying to take a lock-table entry in read mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReadAcquire {
+    /// We now hold (or already held) the lock in read mode.
+    Held,
+    /// We already hold the lock in write mode.
+    OwnedWrite,
+    /// Another transaction holds the lock in write mode.
+    Conflict,
+}
+
+/// Result of trying to take a lock-table entry in write mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WriteAcquire {
+    /// We now hold (or already held) the lock in write mode.
+    Held,
+    /// Another transaction holds the lock in write mode.
+    Conflict,
+    /// Other transactions hold the lock in read mode, so it cannot be
+    /// upgraded.
+    Upgrade,
+}
+
+/// A member of the VR family, parameterised by lock timing and write policy.
+#[derive(Debug, Clone, Copy)]
+pub struct Vr {
+    timing: LockTiming,
+    policy: WritePolicy,
+}
+
+impl Vr {
+    /// Creates the variant with the given lock timing and write policy.
+    ///
+    /// As in [`crate::tiny::Tiny`], write-through with commit-time locking is
+    /// rejected because it would expose uncommitted writes.
+    pub const fn new(timing: LockTiming, policy: WritePolicy) -> Self {
+        assert!(
+            !(matches!(policy, WritePolicy::WriteThrough) && matches!(timing, LockTiming::Commit)),
+            "write-through requires encounter-time locking (see Fig. 2 of the paper)"
+        );
+        Vr { timing, policy }
+    }
+
+    /// Lock timing of this variant.
+    pub fn timing(&self) -> LockTiming {
+        self.timing
+    }
+
+    /// Write policy of this variant.
+    pub fn policy(&self) -> WritePolicy {
+        self.policy
+    }
+
+    fn acquire_read(&self, shared: &StmShared, p: &mut dyn Platform, addr: Addr) -> ReadAcquire {
+        let me = p.tasklet_id();
+        let mut result = ReadAcquire::Held;
+        p.atomic_update(shared.orec_addr(addr), &mut |raw| {
+            let word = RwLockWord::from_raw(raw);
+            match word.writer() {
+                Some(owner) if owner == me => {
+                    result = ReadAcquire::OwnedWrite;
+                    None
+                }
+                Some(_) => {
+                    result = ReadAcquire::Conflict;
+                    None
+                }
+                None => {
+                    result = ReadAcquire::Held;
+                    if word.has_reader(me) {
+                        None
+                    } else {
+                        Some(word.with_reader(me).raw())
+                    }
+                }
+            }
+        });
+        result
+    }
+
+    fn acquire_write(&self, shared: &StmShared, p: &mut dyn Platform, addr: Addr) -> WriteAcquire {
+        let me = p.tasklet_id();
+        let mut result = WriteAcquire::Held;
+        p.atomic_update(shared.orec_addr(addr), &mut |raw| {
+            let word = RwLockWord::from_raw(raw);
+            if word.is_write_locked_by(me) {
+                result = WriteAcquire::Held;
+                None
+            } else if word.writer().is_some() {
+                result = WriteAcquire::Conflict;
+                None
+            } else if word.is_free() || word.sole_reader_is(me) {
+                // Free, or an upgrade of our own read lock.
+                result = WriteAcquire::Held;
+                Some(RwLockWord::write_locked_by(me).raw())
+            } else {
+                result = WriteAcquire::Upgrade;
+                None
+            }
+        });
+        result
+    }
+
+    /// Releases every lock this transaction holds: write locks named by the
+    /// write/undo log and read locks named by the read set. Both operations
+    /// are idempotent, so hash aliasing and duplicate log entries are
+    /// harmless.
+    fn release_locks(&self, shared: &StmShared, tx: &mut TxSlot, p: &mut dyn Platform) {
+        let me = p.tasklet_id();
+        for i in 0..tx.write_set_len() {
+            let entry = tx.write_entry(p, i);
+            p.atomic_update(shared.orec_addr(entry.addr), &mut |raw| {
+                let word = RwLockWord::from_raw(raw);
+                if word.is_write_locked_by(me) {
+                    Some(RwLockWord::free().raw())
+                } else {
+                    None
+                }
+            });
+        }
+        for i in 0..tx.read_set_len() {
+            let entry = tx.read_entry(p, i);
+            p.atomic_update(shared.orec_addr(entry.addr), &mut |raw| {
+                let word = RwLockWord::from_raw(raw);
+                if word.has_reader(me) {
+                    Some(word.without_reader(me).raw())
+                } else {
+                    None
+                }
+            });
+        }
+    }
+
+    /// Rolls back the attempt (undoing write-through stores) and releases all
+    /// locks, then returns the abort to propagate.
+    fn abort(
+        &self,
+        shared: &StmShared,
+        tx: &mut TxSlot,
+        p: &mut dyn Platform,
+        reason: AbortReason,
+    ) -> Abort {
+        if self.policy == WritePolicy::WriteThrough {
+            for i in (0..tx.write_set_len()).rev() {
+                let entry = tx.write_entry(p, i);
+                p.store(entry.addr, entry.value);
+            }
+        }
+        self.release_locks(shared, tx, p);
+        p.set_phase(Phase::OtherExec);
+        Abort::new(reason)
+    }
+}
+
+impl TmAlgorithm for Vr {
+    fn kind(&self) -> StmKind {
+        match (self.timing, self.policy) {
+            (LockTiming::Commit, WritePolicy::WriteBack) => StmKind::VrCtlWb,
+            (LockTiming::Encounter, WritePolicy::WriteBack) => StmKind::VrEtlWb,
+            (LockTiming::Encounter, WritePolicy::WriteThrough) => StmKind::VrEtlWt,
+            (LockTiming::Commit, WritePolicy::WriteThrough) => unreachable!("rejected by Vr::new"),
+        }
+    }
+
+    fn begin(&self, _shared: &StmShared, tx: &mut TxSlot, p: &mut dyn Platform) {
+        p.set_phase(Phase::OtherExec);
+        tx.reset_logs();
+    }
+
+    fn read(
+        &self,
+        shared: &StmShared,
+        tx: &mut TxSlot,
+        p: &mut dyn Platform,
+        addr: Addr,
+    ) -> Result<u64, Abort> {
+        p.set_phase(Phase::Reading);
+
+        // Commit-time locking buffers writes unlocked, so read-after-write
+        // goes through the redo log.
+        if self.timing == LockTiming::Commit {
+            if let Some((_, value)) = tx.find_write(p, addr) {
+                p.set_phase(Phase::OtherExec);
+                return Ok(value);
+            }
+        }
+
+        let value = match self.acquire_read(shared, p, addr) {
+            ReadAcquire::Conflict => {
+                return Err(self.abort(shared, tx, p, AbortReason::ReadConflict))
+            }
+            ReadAcquire::OwnedWrite => match self.policy {
+                WritePolicy::WriteBack => match tx.find_write(p, addr) {
+                    Some((_, value)) => value,
+                    // We own the lock only through aliasing with another
+                    // address we wrote; memory still has the committed value.
+                    None => p.load(addr),
+                },
+                WritePolicy::WriteThrough => p.load(addr),
+            },
+            ReadAcquire::Held => {
+                let value = p.load(addr);
+                tx.push_read(p, addr, 0);
+                value
+            }
+        };
+        p.set_phase(Phase::OtherExec);
+        Ok(value)
+    }
+
+    fn write(
+        &self,
+        shared: &StmShared,
+        tx: &mut TxSlot,
+        p: &mut dyn Platform,
+        addr: Addr,
+        value: u64,
+    ) -> Result<(), Abort> {
+        p.set_phase(Phase::Writing);
+        match self.timing {
+            LockTiming::Commit => {
+                if let Some((index, _)) = tx.find_write(p, addr) {
+                    tx.set_write_value(p, index, value);
+                } else {
+                    tx.push_write(p, addr, value, 0, false);
+                }
+            }
+            LockTiming::Encounter => {
+                match self.acquire_write(shared, p, addr) {
+                    WriteAcquire::Conflict => {
+                        return Err(self.abort(shared, tx, p, AbortReason::WriteConflict))
+                    }
+                    WriteAcquire::Upgrade => {
+                        return Err(self.abort(shared, tx, p, AbortReason::UpgradeConflict))
+                    }
+                    WriteAcquire::Held => {}
+                }
+                match self.policy {
+                    WritePolicy::WriteBack => {
+                        if let Some((index, _)) = tx.find_write(p, addr) {
+                            tx.set_write_value(p, index, value);
+                        } else {
+                            tx.push_write(p, addr, value, 0, false);
+                        }
+                    }
+                    WritePolicy::WriteThrough => {
+                        if tx.find_write(p, addr).is_none() {
+                            let old = p.load(addr);
+                            tx.push_write(p, addr, old, 0, false);
+                        }
+                        p.store(addr, value);
+                    }
+                }
+            }
+        }
+        p.set_phase(Phase::OtherExec);
+        Ok(())
+    }
+
+    fn commit(
+        &self,
+        shared: &StmShared,
+        tx: &mut TxSlot,
+        p: &mut dyn Platform,
+    ) -> Result<(), Abort> {
+        p.set_phase(Phase::OtherCommit);
+
+        // Commit-time locking acquires write locks for the whole redo log
+        // now; encounter-time variants already hold them.
+        if self.timing == LockTiming::Commit {
+            for i in 0..tx.write_set_len() {
+                let entry = tx.write_entry(p, i);
+                match self.acquire_write(shared, p, entry.addr) {
+                    WriteAcquire::Held => {}
+                    WriteAcquire::Conflict => {
+                        return Err(self.abort(shared, tx, p, AbortReason::WriteConflict))
+                    }
+                    WriteAcquire::Upgrade => {
+                        return Err(self.abort(shared, tx, p, AbortReason::UpgradeConflict))
+                    }
+                }
+            }
+        }
+
+        // Publish buffered writes. Thanks to visible reads no validation is
+        // needed: every location we read is still read-locked by us, so no
+        // writer can have changed it.
+        if self.policy == WritePolicy::WriteBack {
+            for i in 0..tx.write_set_len() {
+                let entry = tx.write_entry(p, i);
+                p.store(entry.addr, entry.value);
+            }
+        }
+
+        self.release_locks(shared, tx, p);
+        p.set_phase(Phase::OtherExec);
+        Ok(())
+    }
+
+    fn cancel(&self, shared: &StmShared, tx: &mut TxSlot, p: &mut dyn Platform) {
+        if self.policy == WritePolicy::WriteThrough {
+            for i in (0..tx.write_set_len()).rev() {
+                let entry = tx.write_entry(p, i);
+                p.store(entry.addr, entry.value);
+            }
+        }
+        self.release_locks(shared, tx, p);
+        p.set_phase(Phase::OtherExec);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MetadataPlacement, StmConfig};
+    use crate::rwlock::RwMode;
+    use pim_sim::{Dpu, DpuConfig, TaskletCtx, TaskletStats, Tier};
+
+    const VARIANTS: [StmKind; 3] = [StmKind::VrCtlWb, StmKind::VrEtlWb, StmKind::VrEtlWt];
+
+    struct Fixture {
+        dpu: Dpu,
+        shared: StmShared,
+        slots: Vec<TxSlot>,
+        data: Addr,
+    }
+
+    fn fixture(kind: StmKind, tasklets: usize) -> (Fixture, Vr) {
+        let mut dpu = Dpu::new(DpuConfig::small());
+        let cfg = StmConfig::new(kind, MetadataPlacement::Wram).with_lock_table_entries(64);
+        let shared = StmShared::allocate(&mut dpu, cfg).unwrap();
+        let slots = (0..tasklets).map(|t| shared.register_tasklet(&mut dpu, t).unwrap()).collect();
+        let data = dpu.alloc(Tier::Mram, 16).unwrap();
+        let vr = match kind {
+            StmKind::VrCtlWb => Vr::new(LockTiming::Commit, WritePolicy::WriteBack),
+            StmKind::VrEtlWb => Vr::new(LockTiming::Encounter, WritePolicy::WriteBack),
+            StmKind::VrEtlWt => Vr::new(LockTiming::Encounter, WritePolicy::WriteThrough),
+            _ => unreachable!(),
+        };
+        (Fixture { dpu, shared, slots, data }, vr)
+    }
+
+    #[test]
+    fn kinds_match_parameters() {
+        for kind in VARIANTS {
+            let (_, vr) = fixture(kind, 1);
+            assert_eq!(vr.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn read_write_commit_releases_all_locks() {
+        for kind in VARIANTS {
+            let (mut fx, vr) = fixture(kind, 1);
+            let mut stats = TaskletStats::new();
+            let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats, 0, 1, 0);
+            let slot = &mut fx.slots[0];
+            vr.begin(&fx.shared, slot, &mut ctx);
+            assert_eq!(vr.read(&fx.shared, slot, &mut ctx, fx.data).unwrap(), 0);
+            vr.write(&fx.shared, slot, &mut ctx, fx.data.offset(1), 11).unwrap();
+            assert_eq!(vr.read(&fx.shared, slot, &mut ctx, fx.data.offset(1)).unwrap(), 11, "{kind}");
+            vr.commit(&fx.shared, slot, &mut ctx).unwrap();
+            assert_eq!(ctx.dpu().peek(fx.data.offset(1)), 11, "{kind}");
+            for w in 0..2 {
+                let lock =
+                    RwLockWord::from_raw(ctx.dpu().peek(fx.shared.orec_addr(fx.data.offset(w))));
+                assert!(lock.is_free(), "{kind}: lock {w} must be free after commit");
+            }
+        }
+    }
+
+    #[test]
+    fn reads_are_visible_while_the_transaction_runs() {
+        let (mut fx, vr) = fixture(StmKind::VrEtlWb, 1);
+        let mut stats = TaskletStats::new();
+        let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats, 0, 1, 0);
+        vr.begin(&fx.shared, &mut fx.slots[0], &mut ctx);
+        vr.read(&fx.shared, &mut fx.slots[0], &mut ctx, fx.data).unwrap();
+        let lock = RwLockWord::from_raw(ctx.dpu().peek(fx.shared.orec_addr(fx.data)));
+        assert_eq!(lock.mode(), RwMode::Read);
+        assert!(lock.has_reader(0));
+        assert_eq!(lock.reader_count(), 1);
+    }
+
+    #[test]
+    fn writer_aborts_when_location_is_read_locked_by_another() {
+        for kind in VARIANTS {
+            let (mut fx, vr) = fixture(kind, 2);
+            let mut stats0 = TaskletStats::new();
+            let mut stats1 = TaskletStats::new();
+            let (s0, rest) = fx.slots.split_at_mut(1);
+            let (slot0, slot1) = (&mut s0[0], &mut rest[0]);
+            // T0 read-locks the word.
+            {
+                let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats0, 0, 2, 0);
+                vr.begin(&fx.shared, slot0, &mut ctx);
+                vr.read(&fx.shared, slot0, &mut ctx, fx.data).unwrap();
+            }
+            // T1 tries to write it: encounter-time variants fail at write
+            // time, the commit-time variant at commit time.
+            {
+                let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats1, 1, 2, 0);
+                vr.begin(&fx.shared, slot1, &mut ctx);
+                let write = vr.write(&fx.shared, slot1, &mut ctx, fx.data, 5);
+                let outcome = match write {
+                    Err(abort) => Err(abort),
+                    Ok(()) => vr.commit(&fx.shared, slot1, &mut ctx),
+                };
+                let err = outcome.expect_err(&format!("{kind}: write to read-locked word"));
+                assert_eq!(err.reason, AbortReason::UpgradeConflict, "{kind}");
+                // T1's locks are all gone; T0 still holds its read lock.
+                let lock = RwLockWord::from_raw(ctx.dpu().peek(fx.shared.orec_addr(fx.data)));
+                assert_eq!(lock.mode(), RwMode::Read, "{kind}");
+                assert!(lock.has_reader(0), "{kind}");
+                assert!(!lock.has_reader(1), "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn upgrade_succeeds_when_sole_reader() {
+        let (mut fx, vr) = fixture(StmKind::VrEtlWb, 1);
+        let mut stats = TaskletStats::new();
+        let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats, 0, 1, 0);
+        let slot = &mut fx.slots[0];
+        vr.begin(&fx.shared, slot, &mut ctx);
+        vr.read(&fx.shared, slot, &mut ctx, fx.data).unwrap();
+        vr.write(&fx.shared, slot, &mut ctx, fx.data, 3).unwrap();
+        let lock = RwLockWord::from_raw(ctx.dpu().peek(fx.shared.orec_addr(fx.data)));
+        assert!(lock.is_write_locked_by(0), "read lock must have been upgraded");
+        vr.commit(&fx.shared, slot, &mut ctx).unwrap();
+        assert_eq!(ctx.dpu().peek(fx.data), 3);
+        assert!(RwLockWord::from_raw(ctx.dpu().peek(fx.shared.orec_addr(fx.data))).is_free());
+    }
+
+    #[test]
+    fn reader_aborts_on_write_locked_word() {
+        let (mut fx, vr) = fixture(StmKind::VrEtlWt, 2);
+        let mut stats0 = TaskletStats::new();
+        let mut stats1 = TaskletStats::new();
+        let (s0, rest) = fx.slots.split_at_mut(1);
+        let (slot0, slot1) = (&mut s0[0], &mut rest[0]);
+        {
+            let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats0, 0, 2, 0);
+            vr.begin(&fx.shared, slot0, &mut ctx);
+            vr.write(&fx.shared, slot0, &mut ctx, fx.data, 9).unwrap();
+        }
+        {
+            let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats1, 1, 2, 0);
+            vr.begin(&fx.shared, slot1, &mut ctx);
+            let err = vr.read(&fx.shared, slot1, &mut ctx, fx.data).unwrap_err();
+            assert_eq!(err.reason, AbortReason::ReadConflict);
+        }
+    }
+
+    #[test]
+    fn write_through_abort_undoes_stores_and_releases_locks() {
+        let (mut fx, vr) = fixture(StmKind::VrEtlWt, 2);
+        fx.dpu.poke(fx.data, 50);
+        let mut stats0 = TaskletStats::new();
+        let mut stats1 = TaskletStats::new();
+        let (s0, rest) = fx.slots.split_at_mut(1);
+        let (slot0, slot1) = (&mut s0[0], &mut rest[0]);
+        // T1 read-locks a second word so T0's later write to it must abort.
+        {
+            let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats1, 1, 2, 0);
+            vr.begin(&fx.shared, slot1, &mut ctx);
+            vr.read(&fx.shared, slot1, &mut ctx, fx.data.offset(1)).unwrap();
+        }
+        {
+            let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats0, 0, 2, 0);
+            vr.begin(&fx.shared, slot0, &mut ctx);
+            vr.write(&fx.shared, slot0, &mut ctx, fx.data, 99).unwrap();
+            assert_eq!(ctx.dpu().peek(fx.data), 99, "write-through stores eagerly");
+            let err = vr.write(&fx.shared, slot0, &mut ctx, fx.data.offset(1), 1).unwrap_err();
+            assert_eq!(err.reason, AbortReason::UpgradeConflict);
+            // The undo log restored the original value and T0 holds nothing.
+            assert_eq!(ctx.dpu().peek(fx.data), 50);
+            assert!(RwLockWord::from_raw(ctx.dpu().peek(fx.shared.orec_addr(fx.data))).is_free());
+        }
+    }
+
+    #[test]
+    fn ctl_buffered_writes_stay_invisible_until_commit() {
+        let (mut fx, vr) = fixture(StmKind::VrCtlWb, 1);
+        let mut stats = TaskletStats::new();
+        let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats, 0, 1, 0);
+        let slot = &mut fx.slots[0];
+        vr.begin(&fx.shared, slot, &mut ctx);
+        vr.write(&fx.shared, slot, &mut ctx, fx.data, 123).unwrap();
+        // No lock is taken and memory is untouched before commit.
+        assert!(RwLockWord::from_raw(ctx.dpu().peek(fx.shared.orec_addr(fx.data))).is_free());
+        assert_eq!(ctx.dpu().peek(fx.data), 0);
+        assert_eq!(vr.read(&fx.shared, slot, &mut ctx, fx.data).unwrap(), 123);
+        vr.commit(&fx.shared, slot, &mut ctx).unwrap();
+        assert_eq!(ctx.dpu().peek(fx.data), 123);
+    }
+
+    #[test]
+    fn two_readers_coexist_and_release_independently() {
+        let (mut fx, vr) = fixture(StmKind::VrEtlWb, 2);
+        let mut stats0 = TaskletStats::new();
+        let mut stats1 = TaskletStats::new();
+        let (s0, rest) = fx.slots.split_at_mut(1);
+        let (slot0, slot1) = (&mut s0[0], &mut rest[0]);
+        {
+            let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats0, 0, 2, 0);
+            vr.begin(&fx.shared, slot0, &mut ctx);
+            vr.read(&fx.shared, slot0, &mut ctx, fx.data).unwrap();
+        }
+        {
+            let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats1, 1, 2, 0);
+            vr.begin(&fx.shared, slot1, &mut ctx);
+            vr.read(&fx.shared, slot1, &mut ctx, fx.data).unwrap();
+            let lock = RwLockWord::from_raw(ctx.dpu().peek(fx.shared.orec_addr(fx.data)));
+            assert_eq!(lock.reader_count(), 2);
+            vr.commit(&fx.shared, slot1, &mut ctx).unwrap();
+        }
+        {
+            let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats0, 0, 2, 0);
+            let lock = RwLockWord::from_raw(ctx.dpu().peek(fx.shared.orec_addr(fx.data)));
+            assert_eq!(lock.reader_count(), 1, "tasklet 1 released, tasklet 0 still reading");
+            vr.commit(&fx.shared, slot0, &mut ctx).unwrap();
+            assert!(RwLockWord::from_raw(ctx.dpu().peek(fx.shared.orec_addr(fx.data))).is_free());
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! ArrayBench: the synthetic micro-benchmark of §4.1.
+//!
+//! Transactions manipulate a shared array split into a *read region* of `Y`
+//! entries and an *update region* of `K` entries:
+//!
+//! * **Workload A** (`N` = 12 500, `Y` = 2 500, `K` = 10 000): each
+//!   transaction reads 100 random entries of the read region and then
+//!   reads-and-modifies 20 random entries of the update region. Large read
+//!   sets, low contention — the workload where validation-based designs
+//!   (NOrec, Tiny) pay the most and visible reads shine.
+//! * **Workload B** (`K` = 10): each transaction only performs the second
+//!   phase on 4 random entries of a 10-entry region. Tiny transactions,
+//!   very high contention — the workload where NOrec's implicit back-off and
+//!   low abort cost win.
+
+use pim_sim::{Addr, Dpu, SimRng, StepStatus, TaskletCtx, TaskletProgram, Tier};
+use pim_stm::{algorithm_for, StmShared};
+
+use crate::driver::TxMachine;
+
+/// Parameters of an ArrayBench run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayBenchConfig {
+    /// Entries in the read-only region (`Y` in the paper).
+    pub read_region: u32,
+    /// Entries in the update region (`K` in the paper).
+    pub update_region: u32,
+    /// Random reads performed in the first phase of each transaction.
+    pub reads_per_tx: u32,
+    /// Random read-modify-writes performed in the second phase.
+    pub updates_per_tx: u32,
+    /// Transactions each tasklet executes.
+    pub transactions_per_tasklet: u32,
+}
+
+impl ArrayBenchConfig {
+    /// Workload A of the paper: 100 reads over 2 500 entries followed by 20
+    /// updates over 10 000 entries.
+    pub fn workload_a() -> Self {
+        ArrayBenchConfig {
+            read_region: 2_500,
+            update_region: 10_000,
+            reads_per_tx: 100,
+            updates_per_tx: 20,
+            transactions_per_tasklet: 100,
+        }
+    }
+
+    /// Workload B of the paper: 4 updates over a 10-entry region.
+    pub fn workload_b() -> Self {
+        ArrayBenchConfig {
+            read_region: 0,
+            update_region: 10,
+            reads_per_tx: 0,
+            updates_per_tx: 4,
+            transactions_per_tasklet: 400,
+        }
+    }
+
+    /// Scales the per-tasklet transaction count (used to shorten benchmark
+    /// runs); always keeps at least one transaction.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.transactions_per_tasklet =
+            ((self.transactions_per_tasklet as f64 * factor).round() as u32).max(1);
+        self
+    }
+
+    /// Total array size `N = Y + K`.
+    pub fn array_words(&self) -> u32 {
+        self.read_region + self.update_region
+    }
+
+    /// A reasonable read-set capacity for this configuration.
+    pub fn read_set_capacity(&self) -> u32 {
+        (self.reads_per_tx + self.updates_per_tx + 8).next_power_of_two()
+    }
+
+    /// A reasonable write-set capacity for this configuration.
+    pub fn write_set_capacity(&self) -> u32 {
+        (self.updates_per_tx + 8).next_power_of_two()
+    }
+}
+
+/// Shared state of the benchmark: the array in MRAM.
+#[derive(Debug, Clone, Copy)]
+pub struct ArrayBenchData {
+    /// Base address of the read region (`Y` entries), directly followed by
+    /// the update region.
+    pub array: Addr,
+    config: ArrayBenchConfig,
+}
+
+impl ArrayBenchData {
+    /// Allocates the shared array in MRAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if MRAM cannot hold the array (it always can on a real DPU for
+    /// the paper's sizes).
+    pub fn allocate(dpu: &mut Dpu, config: ArrayBenchConfig) -> Self {
+        let array = dpu
+            .alloc(Tier::Mram, config.array_words().max(1))
+            .expect("ArrayBench array must fit in MRAM");
+        ArrayBenchData { array, config }
+    }
+
+    fn read_entry_addr(&self, index: u32) -> Addr {
+        debug_assert!(index < self.config.read_region);
+        self.array.offset(index)
+    }
+
+    fn update_entry_addr(&self, index: u32) -> Addr {
+        debug_assert!(index < self.config.update_region);
+        self.array.offset(self.config.read_region + index)
+    }
+
+    /// Sum of the update region, read directly (host-side); used by tests to
+    /// check that committed increments are not lost.
+    pub fn update_region_sum(&self, dpu: &Dpu) -> u64 {
+        (0..self.config.update_region)
+            .map(|i| dpu.peek(self.update_entry_addr(i)))
+            .sum()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    NextTx,
+    Begin,
+    ReadPhase(u32),
+    UpdatePhase(u32),
+    Commit,
+}
+
+/// One tasklet of the ArrayBench benchmark.
+pub struct ArrayBenchProgram {
+    tm: TxMachine,
+    data: ArrayBenchData,
+    config: ArrayBenchConfig,
+    rng: SimRng,
+    remaining: u32,
+    read_targets: Vec<u32>,
+    update_targets: Vec<u32>,
+    state: State,
+}
+
+impl ArrayBenchProgram {
+    /// Creates one tasklet program.
+    pub fn new(tm: TxMachine, data: ArrayBenchData, rng: SimRng) -> Self {
+        let config = data.config;
+        ArrayBenchProgram {
+            tm,
+            data,
+            config,
+            rng,
+            remaining: config.transactions_per_tasklet,
+            read_targets: Vec::new(),
+            update_targets: Vec::new(),
+            state: State::NextTx,
+        }
+    }
+
+    /// Transactions committed so far.
+    pub fn commits(&self) -> u64 {
+        self.tm.commits()
+    }
+
+    fn pick_targets(&mut self) {
+        self.read_targets.clear();
+        self.update_targets.clear();
+        for _ in 0..self.config.reads_per_tx {
+            self.read_targets.push(self.rng.next_range(u64::from(self.config.read_region)) as u32);
+        }
+        for _ in 0..self.config.updates_per_tx {
+            self.update_targets
+                .push(self.rng.next_range(u64::from(self.config.update_region)) as u32);
+        }
+    }
+
+    fn restart(&mut self, ctx: &mut TaskletCtx<'_>) {
+        self.tm.on_abort(ctx);
+        self.state = State::Begin;
+    }
+}
+
+impl TaskletProgram for ArrayBenchProgram {
+    fn step(&mut self, ctx: &mut TaskletCtx<'_>) -> StepStatus {
+        match self.state {
+            State::NextTx => {
+                if self.remaining == 0 {
+                    return StepStatus::Finished;
+                }
+                self.remaining -= 1;
+                self.pick_targets();
+                self.state = State::Begin;
+            }
+            State::Begin => {
+                self.tm.begin(ctx);
+                self.state = if self.config.reads_per_tx > 0 {
+                    State::ReadPhase(0)
+                } else {
+                    State::UpdatePhase(0)
+                };
+            }
+            State::ReadPhase(i) => {
+                let addr = self.data.read_entry_addr(self.read_targets[i as usize]);
+                match self.tm.read(ctx, addr) {
+                    Ok(_) => {
+                        let next = i + 1;
+                        self.state = if next < self.config.reads_per_tx {
+                            State::ReadPhase(next)
+                        } else {
+                            State::UpdatePhase(0)
+                        };
+                    }
+                    Err(_) => self.restart(ctx),
+                }
+            }
+            State::UpdatePhase(i) => {
+                let addr = self.data.update_entry_addr(self.update_targets[i as usize]);
+                let result = self
+                    .tm
+                    .read(ctx, addr)
+                    .and_then(|value| self.tm.write(ctx, addr, value.wrapping_add(1)));
+                match result {
+                    Ok(()) => {
+                        let next = i + 1;
+                        self.state = if next < self.config.updates_per_tx {
+                            State::UpdatePhase(next)
+                        } else {
+                            State::Commit
+                        };
+                    }
+                    Err(_) => self.restart(ctx),
+                }
+            }
+            State::Commit => match self.tm.commit(ctx) {
+                Ok(()) => self.state = State::NextTx,
+                Err(_) => self.restart(ctx),
+            },
+        }
+        StepStatus::Running
+    }
+
+    fn label(&self) -> &str {
+        "array-bench"
+    }
+}
+
+/// Builds the per-tasklet programs for one ArrayBench run.
+///
+/// The caller has already allocated the STM instance (`shared`) on `dpu`; the
+/// returned programs share the same array.
+pub fn build(
+    dpu: &mut Dpu,
+    shared: &StmShared,
+    config: ArrayBenchConfig,
+    tasklets: usize,
+    seed: u64,
+) -> (ArrayBenchData, Vec<Box<dyn TaskletProgram>>) {
+    let data = ArrayBenchData::allocate(dpu, config);
+    let alg = algorithm_for(shared.config().kind);
+    let mut rng = SimRng::new(seed);
+    let programs = (0..tasklets)
+        .map(|t| {
+            let slot = shared
+                .register_tasklet(dpu, t)
+                .expect("per-tasklet STM logs must fit in the metadata tier");
+            let tm = TxMachine::new(shared.clone(), slot, alg);
+            Box::new(ArrayBenchProgram::new(tm, data, rng.fork(t as u64)))
+                as Box<dyn TaskletProgram>
+        })
+        .collect();
+    (data, programs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_sim::{DpuConfig, Scheduler};
+    use pim_stm::{MetadataPlacement, StmConfig, StmKind};
+
+    fn run_arraybench(kind: StmKind, cfg: ArrayBenchConfig, tasklets: usize) -> (u64, f64) {
+        let mut dpu = Dpu::new(DpuConfig::default());
+        let stm_cfg = StmConfig::new(kind, MetadataPlacement::Mram)
+            .with_read_set_capacity(cfg.read_set_capacity())
+            .with_write_set_capacity(cfg.write_set_capacity());
+        let shared = StmShared::allocate(&mut dpu, stm_cfg).unwrap();
+        let (data, programs) = build(&mut dpu, &shared, cfg, tasklets, 42);
+        let report = Scheduler::new().run(&mut dpu, programs);
+        let expected_commits = cfg.transactions_per_tasklet as u64 * tasklets as u64;
+        assert_eq!(report.total_commits(), expected_commits, "{kind}: committed tx count");
+        // Every committed transaction increments `updates_per_tx` array
+        // entries by one; lost updates would show up here.
+        let expected_sum = expected_commits * u64::from(cfg.updates_per_tx);
+        assert_eq!(data.update_region_sum(&dpu), expected_sum, "{kind}: lost updates");
+        (report.total_aborts(), report.throughput_tx_per_sec())
+    }
+
+    #[test]
+    fn workload_a_parameters_match_the_paper() {
+        let a = ArrayBenchConfig::workload_a();
+        assert_eq!(a.array_words(), 12_500);
+        assert_eq!(a.reads_per_tx, 100);
+        assert_eq!(a.updates_per_tx, 20);
+        let b = ArrayBenchConfig::workload_b();
+        assert_eq!(b.update_region, 10);
+        assert_eq!(b.updates_per_tx, 4);
+    }
+
+    #[test]
+    fn workload_b_is_linearizable_for_every_design() {
+        let cfg = ArrayBenchConfig::workload_b().scaled(0.2);
+        for kind in StmKind::ALL {
+            run_arraybench(kind, cfg, 4);
+        }
+    }
+
+    #[test]
+    fn workload_a_is_linearizable_for_norec_and_tiny() {
+        let cfg = ArrayBenchConfig { transactions_per_tasklet: 10, ..ArrayBenchConfig::workload_a() };
+        for kind in [StmKind::Norec, StmKind::TinyEtlWb, StmKind::VrEtlWt] {
+            run_arraybench(kind, cfg, 3);
+        }
+    }
+
+    #[test]
+    fn high_contention_workload_generates_aborts() {
+        let cfg = ArrayBenchConfig::workload_b().scaled(0.5);
+        let mut total_aborts = 0;
+        for kind in [StmKind::TinyEtlWb, StmKind::VrEtlWb, StmKind::Norec] {
+            let (aborts, _) = run_arraybench(kind, cfg, 8);
+            total_aborts += aborts;
+        }
+        assert!(total_aborts > 0, "workload B with 8 tasklets must conflict sometimes");
+    }
+
+    #[test]
+    fn scaling_keeps_at_least_one_transaction() {
+        let cfg = ArrayBenchConfig::workload_a().scaled(0.0001);
+        assert_eq!(cfg.transactions_per_tasklet, 1);
+    }
+}

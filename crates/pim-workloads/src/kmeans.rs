@@ -1,0 +1,348 @@
+//! KMeans: the STAMP machine-learning benchmark ported to PIM-STM (§4.1).
+//!
+//! Each tasklet owns a shard of the input points. For every point it
+//! computes the nearest centroid **outside** any transaction (distance
+//! computation over all `k` centroids), then runs one small transaction that
+//! folds the point into that centroid's running sums and membership count.
+//! Read and write sets therefore have `d + 1` entries, and the fraction of
+//! time spent in transactions shrinks as `k` grows — which is why the paper's
+//! low-contention configuration (`k` = 15) is insensitive to the STM choice
+//! while the high-contention one (`k` = 2) amplifies the differences.
+
+use pim_sim::{Addr, Dpu, SimRng, StepStatus, TaskletCtx, TaskletProgram, Tier};
+use pim_stm::{algorithm_for, Phase, StmShared};
+
+use crate::driver::TxMachine;
+
+/// Parameters of a KMeans run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KmeansConfig {
+    /// Number of clusters (`k`). The paper uses 15 (LC) and 2 (HC).
+    pub clusters: u32,
+    /// Point dimensionality (`d` = 14 in the paper).
+    pub dimensions: u32,
+    /// Input points assigned to each tasklet.
+    pub points_per_tasklet: u32,
+    /// Value range of point coordinates (fixed-point integers).
+    pub coordinate_range: u64,
+}
+
+impl KmeansConfig {
+    /// Low-contention configuration of the paper: `k` = 15, `d` = 14.
+    pub fn low_contention() -> Self {
+        KmeansConfig {
+            clusters: 15,
+            dimensions: 14,
+            points_per_tasklet: 100,
+            coordinate_range: 1 << 16,
+        }
+    }
+
+    /// High-contention configuration of the paper: `k` = 2, `d` = 14.
+    pub fn high_contention() -> Self {
+        KmeansConfig { clusters: 2, ..Self::low_contention() }
+    }
+
+    /// Scales the per-tasklet point count, keeping at least one point.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.points_per_tasklet =
+            ((self.points_per_tasklet as f64 * factor).round() as u32).max(1);
+        self
+    }
+
+    /// Words per centroid record: `d` running sums plus a membership count.
+    pub fn centroid_words(&self) -> u32 {
+        self.dimensions + 1
+    }
+
+    /// A sufficient read-set capacity (the transaction touches `d + 1`
+    /// shared words).
+    pub fn read_set_capacity(&self) -> u32 {
+        (self.centroid_words() + 8).next_power_of_two()
+    }
+
+    /// A sufficient write-set capacity.
+    pub fn write_set_capacity(&self) -> u32 {
+        (self.centroid_words() + 8).next_power_of_two()
+    }
+}
+
+/// Shared KMeans state: centroid accumulators in MRAM.
+#[derive(Debug, Clone, Copy)]
+pub struct KmeansData {
+    /// Base of the `k × (d + 1)` centroid accumulator array.
+    pub centroids: Addr,
+    config: KmeansConfig,
+}
+
+impl KmeansData {
+    /// Allocates the centroid accumulators (zero-initialised: sums and
+    /// counts start at zero for the assignment round).
+    ///
+    /// # Panics
+    ///
+    /// Panics if MRAM cannot hold the accumulators.
+    pub fn allocate(dpu: &mut Dpu, config: KmeansConfig) -> Self {
+        let centroids = dpu
+            .alloc(Tier::Mram, config.clusters * config.centroid_words())
+            .expect("centroid accumulators must fit in MRAM");
+        KmeansData { centroids, config }
+    }
+
+    /// Address of dimension `dim` of centroid `cluster`'s running sum.
+    pub fn sum_addr(&self, cluster: u32, dim: u32) -> Addr {
+        self.centroids.offset(cluster * self.config.centroid_words() + dim)
+    }
+
+    /// Address of centroid `cluster`'s membership count.
+    pub fn count_addr(&self, cluster: u32) -> Addr {
+        self.centroids.offset(cluster * self.config.centroid_words() + self.config.dimensions)
+    }
+
+    /// Host-side (untimed) totals: sum of all membership counts and the grand
+    /// total of all coordinate sums; used by tests to check no update was
+    /// lost.
+    pub fn totals(&self, dpu: &Dpu) -> (u64, u64) {
+        let mut members = 0;
+        let mut coord_total = 0u64;
+        for c in 0..self.config.clusters {
+            members += dpu.peek(self.count_addr(c));
+            for d in 0..self.config.dimensions {
+                coord_total = coord_total.wrapping_add(dpu.peek(self.sum_addr(c, d)));
+            }
+        }
+        (members, coord_total)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    NextPoint,
+    Scan { cluster: u32 },
+    Begin,
+    UpdateDim { dim: u32 },
+    UpdateCount,
+    Commit,
+}
+
+/// One tasklet of the KMeans benchmark.
+pub struct KmeansProgram {
+    tm: TxMachine,
+    data: KmeansData,
+    config: KmeansConfig,
+    rng: SimRng,
+    remaining: u32,
+    /// Coordinates of the point currently being processed.
+    point: Vec<u64>,
+    /// Reference centroid coordinates (private copy used only for the
+    /// distance heuristic, like STAMP's non-transactional read of the
+    /// centres).
+    reference: Vec<u64>,
+    best_cluster: u32,
+    best_distance: u64,
+    state: State,
+}
+
+impl KmeansProgram {
+    /// Creates one tasklet program.
+    pub fn new(tm: TxMachine, data: KmeansData, rng: SimRng) -> Self {
+        let config = data.config;
+        let reference: Vec<u64> = {
+            let mut seed_rng = SimRng::new(0xC0FFEE);
+            (0..config.clusters * config.dimensions)
+                .map(|_| seed_rng.next_range(config.coordinate_range))
+                .collect()
+        };
+        KmeansProgram {
+            tm,
+            data,
+            config,
+            rng,
+            remaining: config.points_per_tasklet,
+            point: Vec::new(),
+            reference,
+            best_cluster: 0,
+            best_distance: u64::MAX,
+            state: State::NextPoint,
+        }
+    }
+
+    fn restart(&mut self, ctx: &mut TaskletCtx<'_>) {
+        self.tm.on_abort(ctx);
+        self.state = State::Begin;
+    }
+
+    fn distance_to(&self, cluster: u32) -> u64 {
+        let d = self.config.dimensions;
+        (0..d)
+            .map(|dim| {
+                let c = self.reference[(cluster * d + dim) as usize];
+                let x = self.point[dim as usize];
+                let diff = c.abs_diff(x);
+                diff.saturating_mul(diff)
+            })
+            .fold(0u64, u64::saturating_add)
+    }
+}
+
+impl TaskletProgram for KmeansProgram {
+    fn step(&mut self, ctx: &mut TaskletCtx<'_>) -> StepStatus {
+        match self.state {
+            State::NextPoint => {
+                if self.remaining == 0 {
+                    return StepStatus::Finished;
+                }
+                self.remaining -= 1;
+                // Draw the point and model reading it from the tasklet's MRAM
+                // shard (d words of non-transactional input).
+                self.point =
+                    (0..self.config.dimensions).map(|_| self.rng.next_range(self.config.coordinate_range)).collect();
+                ctx.set_phase(Phase::OtherExec);
+                ctx.compute(4 * u64::from(self.config.dimensions));
+                self.best_cluster = 0;
+                self.best_distance = u64::MAX;
+                self.state = State::Scan { cluster: 0 };
+            }
+            State::Scan { cluster } => {
+                // Non-transactional distance computation against one centroid:
+                // d reference loads plus the arithmetic.
+                ctx.set_phase(Phase::OtherExec);
+                ctx.compute(6 * u64::from(self.config.dimensions));
+                let distance = self.distance_to(cluster);
+                if distance < self.best_distance {
+                    self.best_distance = distance;
+                    self.best_cluster = cluster;
+                }
+                let next = cluster + 1;
+                self.state = if next < self.config.clusters {
+                    State::Scan { cluster: next }
+                } else {
+                    State::Begin
+                };
+            }
+            State::Begin => {
+                self.tm.begin(ctx);
+                self.state = State::UpdateDim { dim: 0 };
+            }
+            State::UpdateDim { dim } => {
+                let addr = self.data.sum_addr(self.best_cluster, dim);
+                let x = self.point[dim as usize];
+                let result = self
+                    .tm
+                    .read(ctx, addr)
+                    .and_then(|sum| self.tm.write(ctx, addr, sum.wrapping_add(x)));
+                match result {
+                    Ok(()) => {
+                        let next = dim + 1;
+                        self.state = if next < self.config.dimensions {
+                            State::UpdateDim { dim: next }
+                        } else {
+                            State::UpdateCount
+                        };
+                    }
+                    Err(_) => self.restart(ctx),
+                }
+            }
+            State::UpdateCount => {
+                let addr = self.data.count_addr(self.best_cluster);
+                let result = self
+                    .tm
+                    .read(ctx, addr)
+                    .and_then(|count| self.tm.write(ctx, addr, count + 1));
+                match result {
+                    Ok(()) => self.state = State::Commit,
+                    Err(_) => self.restart(ctx),
+                }
+            }
+            State::Commit => match self.tm.commit(ctx) {
+                Ok(()) => self.state = State::NextPoint,
+                Err(_) => self.restart(ctx),
+            },
+        }
+        StepStatus::Running
+    }
+
+    fn label(&self) -> &str {
+        "kmeans"
+    }
+}
+
+/// Builds the per-tasklet programs for one KMeans run.
+pub fn build(
+    dpu: &mut Dpu,
+    shared: &StmShared,
+    config: KmeansConfig,
+    tasklets: usize,
+    seed: u64,
+) -> (KmeansData, Vec<Box<dyn TaskletProgram>>) {
+    let data = KmeansData::allocate(dpu, config);
+    let alg = algorithm_for(shared.config().kind);
+    let mut rng = SimRng::new(seed);
+    let programs = (0..tasklets)
+        .map(|t| {
+            let slot = shared
+                .register_tasklet(dpu, t)
+                .expect("per-tasklet STM logs must fit in the metadata tier");
+            let tm = TxMachine::new(shared.clone(), slot, alg);
+            Box::new(KmeansProgram::new(tm, data, rng.fork(t as u64))) as Box<dyn TaskletProgram>
+        })
+        .collect();
+    (data, programs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_sim::{DpuConfig, Scheduler};
+    use pim_stm::{MetadataPlacement, StmConfig, StmKind};
+
+    fn run_kmeans(kind: StmKind, config: KmeansConfig, tasklets: usize) -> (u64, u64, u64) {
+        let mut dpu = Dpu::new(DpuConfig::default());
+        let stm_cfg = StmConfig::new(kind, MetadataPlacement::Wram)
+            .with_read_set_capacity(config.read_set_capacity())
+            .with_write_set_capacity(config.write_set_capacity());
+        let shared = StmShared::allocate(&mut dpu, stm_cfg).unwrap();
+        let (data, programs) = build(&mut dpu, &shared, config, tasklets, 3);
+        let report = Scheduler::new().run(&mut dpu, programs);
+        let (members, _) = data.totals(&dpu);
+        (report.total_commits(), report.total_aborts(), members)
+    }
+
+    #[test]
+    fn paper_parameters() {
+        assert_eq!(KmeansConfig::low_contention().clusters, 15);
+        assert_eq!(KmeansConfig::high_contention().clusters, 2);
+        assert_eq!(KmeansConfig::low_contention().dimensions, 14);
+        assert_eq!(KmeansConfig::low_contention().centroid_words(), 15);
+    }
+
+    #[test]
+    fn every_point_is_assigned_exactly_once() {
+        let config = KmeansConfig::high_contention().scaled(0.3);
+        for kind in StmKind::ALL {
+            let (commits, _, members) = run_kmeans(kind, config, 4);
+            let expected = config.points_per_tasklet as u64 * 4;
+            assert_eq!(commits, expected, "{kind}");
+            assert_eq!(members, expected, "{kind}: membership counts must not lose updates");
+        }
+    }
+
+    #[test]
+    fn high_contention_aborts_more_than_low_contention() {
+        let lc = KmeansConfig::low_contention().scaled(0.5);
+        let hc = KmeansConfig::high_contention().scaled(0.5);
+        let (_, aborts_lc, _) = run_kmeans(StmKind::TinyEtlWb, lc, 8);
+        let (_, aborts_hc, _) = run_kmeans(StmKind::TinyEtlWb, hc, 8);
+        assert!(
+            aborts_hc > aborts_lc,
+            "k=2 ({aborts_hc} aborts) must conflict more than k=15 ({aborts_lc})"
+        );
+    }
+
+    #[test]
+    fn single_tasklet_never_aborts() {
+        let (_, aborts, members) = run_kmeans(StmKind::VrCtlWb, KmeansConfig::high_contention().scaled(0.2), 1);
+        assert_eq!(aborts, 0);
+        assert_eq!(members, KmeansConfig::high_contention().scaled(0.2).points_per_tasklet as u64);
+    }
+}

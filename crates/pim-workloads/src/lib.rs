@@ -1,0 +1,37 @@
+//! # pim-workloads — the PIM-STM evaluation workloads
+//!
+//! Rust ports of every benchmark used in §4.1 of the PIM-STM paper, written
+//! as step-granular [`pim_sim::TaskletProgram`]s over the `pim-stm` API so
+//! that the deterministic simulator interleaves individual transactional
+//! operations of concurrent tasklets (which is what makes conflicts, aborts
+//! and the time-breakdown plots meaningful):
+//!
+//! * [`array_bench`] — the synthetic ArrayBench micro-benchmark, workloads A
+//!   (large read phase, low contention) and B (tiny, highly contended
+//!   read-modify-write transactions);
+//! * [`linked_list`] — a sorted transactional linked list exercised with
+//!   `contains`/`add`/`remove` mixes (low- and high-contention variants);
+//! * [`kmeans`] — the STAMP KMeans port (non-transactional nearest-centroid
+//!   search, transactional centroid update), low and high contention;
+//! * [`labyrinth`] — the STAMP Labyrinth port (Lee maze router on a 3-D
+//!   grid; long transactions that copy the grid privately, route, then claim
+//!   the path transactionally), S/M/L grid sizes.
+//!
+//! [`spec`] ties everything together: a [`spec::Workload`] names a paper
+//! workload, and [`spec::RunSpec::run`] builds the DPU, the STM instance and
+//! the tasklet programs, runs the deterministic scheduler and returns the
+//! throughput / abort-rate / phase-breakdown report the figures are drawn
+//! from.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array_bench;
+pub mod driver;
+pub mod kmeans;
+pub mod labyrinth;
+pub mod linked_list;
+pub mod spec;
+
+pub use driver::TxMachine;
+pub use spec::{RunSpec, Workload};

@@ -1,0 +1,475 @@
+//! A sorted, transactional linked list (the concurrent data-structure
+//! benchmark of §4.1).
+//!
+//! The list stores unique keys in ascending order. Every operation —
+//! `contains`, `add`, `remove` — runs as one transaction that traverses the
+//! list from the head and then, for updates, splices a node in or out. The
+//! benchmark keeps the list size roughly constant by issuing the same number
+//! of `add` and `remove` operations.
+//!
+//! Two contention levels are used in the paper: **LC** with 90 % `contains`
+//! (read-only transactions) and **HC** with 50 % `contains`.
+
+use pim_sim::{Addr, Dpu, SimRng, StepStatus, TaskletCtx, TaskletProgram, Tier};
+use pim_stm::{algorithm_for, StmShared};
+
+use crate::driver::TxMachine;
+
+/// Null pointer encoding in `next` fields and the head word.
+const NULL: u64 = 0;
+/// Words per list node: `[key, next]`.
+const NODE_WORDS: u32 = 2;
+
+/// Parameters of a linked-list run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkedListConfig {
+    /// Number of keys inserted before the benchmark starts.
+    pub initial_size: u32,
+    /// Operations each tasklet performs.
+    pub ops_per_tasklet: u32,
+    /// Fraction of operations that are `contains` (read-only).
+    pub contains_fraction: f64,
+    /// Range keys are drawn from (`1 ..= key_range`).
+    pub key_range: u64,
+}
+
+impl LinkedListConfig {
+    /// Low-contention workload of the paper: 90 % `contains`, 100 ops per
+    /// tasklet, 10 initial elements.
+    pub fn low_contention() -> Self {
+        // A key range about twice the initial size keeps add/remove hit rates
+        // balanced, so the list size stays roughly constant as the paper
+        // requires.
+        LinkedListConfig {
+            initial_size: 10,
+            ops_per_tasklet: 100,
+            contains_fraction: 0.9,
+            key_range: 20,
+        }
+    }
+
+    /// High-contention workload of the paper: 50 % `contains`.
+    pub fn high_contention() -> Self {
+        LinkedListConfig { contains_fraction: 0.5, ..Self::low_contention() }
+    }
+
+    /// Scales the per-tasklet operation count, keeping at least one.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.ops_per_tasklet = ((self.ops_per_tasklet as f64 * factor).round() as u32).max(1);
+        self
+    }
+
+    /// A read-set capacity large enough for full traversals of the largest
+    /// list this run can produce.
+    pub fn read_set_capacity(&self) -> u32 {
+        // Each visited node costs up to two read-set entries (key and next)
+        // plus the head pointer; the list can transiently grow by one node
+        // per tasklet.
+        ((self.initial_size + 64) * 2 + 16).next_power_of_two()
+    }
+
+    /// A write-set capacity large enough for any single operation.
+    pub fn write_set_capacity(&self) -> u32 {
+        16
+    }
+}
+
+/// The list operations issued by the benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ListOp {
+    /// Membership test.
+    Contains(u64),
+    /// Insert (no-op if the key is present).
+    Add(u64),
+    /// Delete (no-op if the key is absent).
+    Remove(u64),
+}
+
+/// Shared list state plus per-run bookkeeping.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkedListData {
+    /// Word holding the pointer to the first node (or [`NULL`]).
+    pub head: Addr,
+    nodes: Addr,
+    node_capacity: u32,
+    /// First pool index not used by the initial list; tasklets carve their
+    /// private allocation ranges out of the remaining pool.
+    first_free_node: u32,
+}
+
+impl LinkedListData {
+    /// Allocates the head word and a node pool, and inserts
+    /// `config.initial_size` evenly spaced keys (host-side, before tasklets
+    /// start).
+    ///
+    /// # Panics
+    ///
+    /// Panics if MRAM cannot hold the node pool.
+    pub fn allocate(dpu: &mut Dpu, config: &LinkedListConfig, tasklets: usize) -> Self {
+        // One padding word keeps every node at a non-zero word index so that
+        // `NULL` (0) can never collide with a real node pointer.
+        let _pad = dpu.alloc(Tier::Mram, 1).expect("padding word");
+        let head = dpu.alloc(Tier::Mram, 1).expect("list head");
+        // Worst case every update op is an `add`.
+        let node_capacity = config.initial_size + config.ops_per_tasklet * tasklets as u32 + 1;
+        let nodes = dpu
+            .alloc(Tier::Mram, node_capacity * NODE_WORDS)
+            .expect("linked-list node pool must fit in MRAM");
+        let mut data = LinkedListData { head, nodes, node_capacity, first_free_node: 0 };
+        let mut next_node = 0;
+        for i in 0..config.initial_size {
+            // Spread the initial keys over the key range, keeping them sorted.
+            let key = (u64::from(i) + 1) * config.key_range / (u64::from(config.initial_size) + 1);
+            data.host_insert(dpu, key.max(1), &mut next_node);
+        }
+        data.first_free_node = next_node;
+        data
+    }
+
+    /// Pointer value (non-zero) for the node with pool index `index`.
+    fn node_ptr(&self, index: u32) -> u64 {
+        u64::from(self.nodes.offset(index * NODE_WORDS).word)
+    }
+
+    fn node_addr(ptr: u64) -> Addr {
+        Addr::mram(ptr as u32)
+    }
+
+    fn key_addr(ptr: u64) -> Addr {
+        Self::node_addr(ptr)
+    }
+
+    fn next_addr(ptr: u64) -> Addr {
+        Self::node_addr(ptr).offset(1)
+    }
+
+    /// Host-side (untimed) sorted insert used to build the initial list.
+    fn host_insert(&mut self, dpu: &mut Dpu, key: u64, next_node: &mut u32) {
+        let ptr = self.node_ptr(*next_node);
+        *next_node += 1;
+        let mut prev_link = self.head;
+        let mut cur = dpu.peek(prev_link);
+        while cur != NULL && dpu.peek(Self::key_addr(cur)) < key {
+            prev_link = Self::next_addr(cur);
+            cur = dpu.peek(prev_link);
+        }
+        dpu.poke(Self::key_addr(ptr), key);
+        dpu.poke(Self::next_addr(ptr), cur);
+        dpu.poke(prev_link, ptr);
+    }
+
+    /// Reads the whole list host-side (untimed); used by tests and examples.
+    pub fn snapshot(&self, dpu: &Dpu) -> Vec<u64> {
+        let mut keys = Vec::new();
+        let mut cur = dpu.peek(self.head);
+        while cur != NULL {
+            keys.push(dpu.peek(Self::key_addr(cur)));
+            cur = dpu.peek(Self::next_addr(cur));
+            assert!(keys.len() <= self.node_capacity as usize, "list is cyclic or corrupted");
+        }
+        keys
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    NextOp,
+    Begin,
+    LoadHead,
+    Traverse { prev_link_word: u32, cur: u64 },
+    Apply { prev_link_word: u32, cur: u64, found: bool },
+    Commit,
+}
+
+/// One tasklet performing a mix of list operations.
+pub struct LinkedListProgram {
+    tm: TxMachine,
+    data: LinkedListData,
+    config: LinkedListConfig,
+    rng: SimRng,
+    remaining: u32,
+    current_op: ListOp,
+    /// Node reserved for the current `add` (reused across retries of the same
+    /// operation so aborted attempts do not leak pool slots).
+    reserved_node: Option<u64>,
+    next_free_node: u32,
+    node_pool_end: u32,
+    /// Alternates add/remove so the list size stays roughly constant.
+    next_update_is_add: bool,
+    state: State,
+    commits_contains: u64,
+    commits_update: u64,
+}
+
+impl LinkedListProgram {
+    /// Creates one tasklet program. `pool_range` is the half-open range of
+    /// node-pool indices this tasklet may allocate from.
+    pub fn new(
+        tm: TxMachine,
+        data: LinkedListData,
+        config: LinkedListConfig,
+        rng: SimRng,
+        pool_range: (u32, u32),
+    ) -> Self {
+        LinkedListProgram {
+            tm,
+            data,
+            config,
+            rng,
+            remaining: config.ops_per_tasklet,
+            current_op: ListOp::Contains(1),
+            reserved_node: None,
+            next_free_node: pool_range.0,
+            node_pool_end: pool_range.1,
+            next_update_is_add: true,
+            state: State::NextOp,
+            commits_contains: 0,
+            commits_update: 0,
+        }
+    }
+
+    /// Committed read-only (`contains`) operations.
+    pub fn contains_commits(&self) -> u64 {
+        self.commits_contains
+    }
+
+    /// Committed update (`add`/`remove`) operations.
+    pub fn update_commits(&self) -> u64 {
+        self.commits_update
+    }
+
+    fn pick_op(&mut self) -> ListOp {
+        let key = self.rng.next_range(self.config.key_range) + 1;
+        if self.rng.next_bool(self.config.contains_fraction) {
+            ListOp::Contains(key)
+        } else if self.next_update_is_add {
+            self.next_update_is_add = false;
+            ListOp::Add(key)
+        } else {
+            self.next_update_is_add = true;
+            ListOp::Remove(key)
+        }
+    }
+
+    fn op_key(&self) -> u64 {
+        match self.current_op {
+            ListOp::Contains(k) | ListOp::Add(k) | ListOp::Remove(k) => k,
+        }
+    }
+
+    fn restart(&mut self, ctx: &mut TaskletCtx<'_>) {
+        self.tm.on_abort(ctx);
+        self.state = State::Begin;
+    }
+
+    fn reserve_node(&mut self) -> u64 {
+        if let Some(ptr) = self.reserved_node {
+            return ptr;
+        }
+        assert!(
+            self.next_free_node < self.node_pool_end,
+            "linked-list node pool exhausted for tasklet"
+        );
+        let ptr = self.data.node_ptr(self.next_free_node);
+        self.next_free_node += 1;
+        self.reserved_node = Some(ptr);
+        ptr
+    }
+}
+
+impl TaskletProgram for LinkedListProgram {
+    fn step(&mut self, ctx: &mut TaskletCtx<'_>) -> StepStatus {
+        match self.state {
+            State::NextOp => {
+                if self.remaining == 0 {
+                    return StepStatus::Finished;
+                }
+                self.remaining -= 1;
+                self.current_op = self.pick_op();
+                self.reserved_node = None;
+                self.state = State::Begin;
+            }
+            State::Begin => {
+                self.tm.begin(ctx);
+                self.state = State::LoadHead;
+            }
+            State::LoadHead => match self.tm.read(ctx, self.data.head) {
+                Ok(cur) => {
+                    self.state = State::Traverse { prev_link_word: self.data.head.word, cur }
+                }
+                Err(_) => self.restart(ctx),
+            },
+            State::Traverse { prev_link_word, cur } => {
+                if cur == NULL {
+                    self.state = State::Apply { prev_link_word, cur, found: false };
+                    return StepStatus::Running;
+                }
+                let key = match self.tm.read(ctx, LinkedListData::key_addr(cur)) {
+                    Ok(k) => k,
+                    Err(_) => {
+                        self.restart(ctx);
+                        return StepStatus::Running;
+                    }
+                };
+                let target = self.op_key();
+                if key < target {
+                    match self.tm.read(ctx, LinkedListData::next_addr(cur)) {
+                        Ok(next) => {
+                            self.state = State::Traverse {
+                                prev_link_word: LinkedListData::next_addr(cur).word,
+                                cur: next,
+                            }
+                        }
+                        Err(_) => self.restart(ctx),
+                    }
+                } else {
+                    self.state = State::Apply { prev_link_word, cur, found: key == target };
+                }
+            }
+            State::Apply { prev_link_word, cur, found } => {
+                let prev_link = Addr::mram(prev_link_word);
+                let result = match self.current_op {
+                    ListOp::Contains(_) => Ok(()),
+                    ListOp::Add(key) => {
+                        if found {
+                            Ok(())
+                        } else {
+                            let node = self.reserve_node();
+                            self.tm
+                                .write(ctx, LinkedListData::key_addr(node), key)
+                                .and_then(|()| {
+                                    self.tm.write(ctx, LinkedListData::next_addr(node), cur)
+                                })
+                                .and_then(|()| self.tm.write(ctx, prev_link, node))
+                        }
+                    }
+                    ListOp::Remove(_) => {
+                        if !found {
+                            Ok(())
+                        } else {
+                            self.tm
+                                .read(ctx, LinkedListData::next_addr(cur))
+                                .and_then(|next| self.tm.write(ctx, prev_link, next))
+                        }
+                    }
+                };
+                match result {
+                    Ok(()) => self.state = State::Commit,
+                    Err(_) => self.restart(ctx),
+                }
+            }
+            State::Commit => match self.tm.commit(ctx) {
+                Ok(()) => {
+                    match self.current_op {
+                        ListOp::Contains(_) => self.commits_contains += 1,
+                        _ => self.commits_update += 1,
+                    }
+                    self.reserved_node = None;
+                    self.state = State::NextOp;
+                }
+                Err(_) => self.restart(ctx),
+            },
+        }
+        StepStatus::Running
+    }
+
+    fn label(&self) -> &str {
+        "linked-list"
+    }
+}
+
+/// Builds the per-tasklet programs for one linked-list run.
+pub fn build(
+    dpu: &mut Dpu,
+    shared: &StmShared,
+    config: LinkedListConfig,
+    tasklets: usize,
+    seed: u64,
+) -> (LinkedListData, Vec<Box<dyn TaskletProgram>>) {
+    let data = LinkedListData::allocate(dpu, &config, tasklets);
+    let alg = algorithm_for(shared.config().kind);
+    let mut rng = SimRng::new(seed);
+    let per_tasklet_pool = config.ops_per_tasklet;
+    let programs = (0..tasklets)
+        .map(|t| {
+            let slot = shared
+                .register_tasklet(dpu, t)
+                .expect("per-tasklet STM logs must fit in the metadata tier");
+            let tm = TxMachine::new(shared.clone(), slot, alg);
+            let pool_start = data.first_free_node + t as u32 * per_tasklet_pool;
+            let pool_range = (pool_start, pool_start + per_tasklet_pool);
+            Box::new(LinkedListProgram::new(tm, data, config, rng.fork(t as u64), pool_range))
+                as Box<dyn TaskletProgram>
+        })
+        .collect();
+    (data, programs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_sim::{DpuConfig, Scheduler};
+    use pim_stm::{MetadataPlacement, StmConfig, StmKind};
+
+    fn run_list(kind: StmKind, config: LinkedListConfig, tasklets: usize) -> (Vec<u64>, u64) {
+        let mut dpu = Dpu::new(DpuConfig::default());
+        let stm_cfg = StmConfig::new(kind, MetadataPlacement::Mram)
+            .with_read_set_capacity(config.read_set_capacity())
+            .with_write_set_capacity(config.write_set_capacity());
+        let shared = StmShared::allocate(&mut dpu, stm_cfg).unwrap();
+        let (data, programs) = build(&mut dpu, &shared, config, tasklets, 7);
+        let report = Scheduler::new().run(&mut dpu, programs);
+        assert_eq!(
+            report.total_commits(),
+            config.ops_per_tasklet as u64 * tasklets as u64,
+            "{kind}: every operation must eventually commit"
+        );
+        (data.snapshot(&dpu), report.total_aborts())
+    }
+
+    fn assert_sorted_unique(keys: &[u64]) {
+        for pair in keys.windows(2) {
+            assert!(pair[0] < pair[1], "list not sorted/unique: {keys:?}");
+        }
+    }
+
+    #[test]
+    fn initial_list_is_sorted_with_requested_size() {
+        let mut dpu = Dpu::new(DpuConfig::default());
+        let config = LinkedListConfig::low_contention();
+        let data = LinkedListData::allocate(&mut dpu, &config, 1);
+        let keys = data.snapshot(&dpu);
+        assert_eq!(keys.len(), 10);
+        assert_sorted_unique(&keys);
+    }
+
+    #[test]
+    fn list_stays_sorted_and_unique_under_every_design() {
+        let config = LinkedListConfig::high_contention().scaled(0.3);
+        for kind in StmKind::ALL {
+            let (keys, _) = run_list(kind, config, 4);
+            assert_sorted_unique(&keys);
+        }
+    }
+
+    #[test]
+    fn high_contention_produces_more_aborts_than_low_contention() {
+        let lc = LinkedListConfig::low_contention().scaled(0.5);
+        let hc = LinkedListConfig::high_contention().scaled(0.5);
+        let (_, aborts_lc) = run_list(StmKind::VrEtlWb, lc, 8);
+        let (_, aborts_hc) = run_list(StmKind::VrEtlWb, hc, 8);
+        assert!(
+            aborts_hc >= aborts_lc,
+            "HC ({aborts_hc} aborts) should conflict at least as much as LC ({aborts_lc})"
+        );
+        assert!(aborts_hc > 0, "50% updates over a 10-element list must conflict");
+    }
+
+    #[test]
+    fn single_tasklet_never_aborts() {
+        let config = LinkedListConfig::high_contention().scaled(0.5);
+        let (keys, aborts) = run_list(StmKind::TinyEtlWt, config, 1);
+        assert_eq!(aborts, 0);
+        assert_sorted_unique(&keys);
+    }
+}

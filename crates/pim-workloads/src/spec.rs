@@ -1,0 +1,345 @@
+//! Run specifications: one place that knows how to set up and execute every
+//! workload of the paper's evaluation on the simulated DPU.
+
+use pim_sim::{Dpu, DpuConfig, DpuRunReport, Scheduler};
+use pim_stm::{MetadataPlacement, StmConfig, StmKind, StmShared};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::array_bench::{self, ArrayBenchConfig};
+use crate::kmeans::{self, KmeansConfig};
+use crate::labyrinth::{self, LabyrinthConfig};
+use crate::linked_list::{self, LinkedListConfig};
+
+/// The evaluation workloads of §4.1/§4.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Workload {
+    /// ArrayBench workload A (large read phase, low contention).
+    ArrayA,
+    /// ArrayBench workload B (tiny highly contended transactions).
+    ArrayB,
+    /// Linked list, low contention (90 % `contains`).
+    ListLc,
+    /// Linked list, high contention (50 % `contains`).
+    ListHc,
+    /// KMeans, low contention (k = 15).
+    KmeansLc,
+    /// KMeans, high contention (k = 2).
+    KmeansHc,
+    /// Labyrinth on the 16×16×3 grid.
+    LabyrinthS,
+    /// Labyrinth on the 32×32×3 grid.
+    LabyrinthM,
+    /// Labyrinth on the 128×128×3 grid.
+    LabyrinthL,
+}
+
+impl Workload {
+    /// All workloads, in the order the paper presents them.
+    pub const ALL: [Workload; 9] = [
+        Workload::ArrayA,
+        Workload::ArrayB,
+        Workload::ListLc,
+        Workload::ListHc,
+        Workload::KmeansLc,
+        Workload::KmeansHc,
+        Workload::LabyrinthS,
+        Workload::LabyrinthM,
+        Workload::LabyrinthL,
+    ];
+
+    /// The workloads used for the single-DPU design-space study (Fig. 4–6).
+    pub const FIGURE_4_5: [Workload; 8] = [
+        Workload::ArrayA,
+        Workload::ArrayB,
+        Workload::ListLc,
+        Workload::ListHc,
+        Workload::KmeansLc,
+        Workload::KmeansHc,
+        Workload::LabyrinthS,
+        Workload::LabyrinthL,
+    ];
+
+    /// CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::ArrayA => "array-a",
+            Workload::ArrayB => "array-b",
+            Workload::ListLc => "list-lc",
+            Workload::ListHc => "list-hc",
+            Workload::KmeansLc => "kmeans-lc",
+            Workload::KmeansHc => "kmeans-hc",
+            Workload::LabyrinthS => "labyrinth-s",
+            Workload::LabyrinthM => "labyrinth-m",
+            Workload::LabyrinthL => "labyrinth-l",
+        }
+    }
+
+    /// Parses a CLI name (case-insensitive).
+    pub fn parse(name: &str) -> Option<Workload> {
+        let canon = name.to_ascii_lowercase();
+        Workload::ALL.into_iter().find(|w| w.name() == canon)
+    }
+
+    /// Which figure panel of the paper this workload appears in.
+    pub fn figure(self) -> &'static str {
+        match self {
+            Workload::ArrayA => "Fig. 4a/e/i",
+            Workload::ArrayB => "Fig. 4b/f/j",
+            Workload::ListLc => "Fig. 4c/g/k",
+            Workload::ListHc => "Fig. 4d/h/l",
+            Workload::KmeansLc => "Fig. 5a/e/i",
+            Workload::KmeansHc => "Fig. 5b/f/j",
+            Workload::LabyrinthS => "Fig. 5c/g/k",
+            Workload::LabyrinthM => "Fig. 7b (multi-DPU)",
+            Workload::LabyrinthL => "Fig. 5d/h/l",
+        }
+    }
+
+    /// Whether the STM metadata of this workload fits in WRAM (the paper
+    /// excludes Labyrinth from the WRAM study because its read/write sets do
+    /// not fit).
+    pub fn supports_wram_metadata(self) -> bool {
+        !matches!(self, Workload::LabyrinthS | Workload::LabyrinthM | Workload::LabyrinthL)
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fully specified single-DPU run: workload × STM design × metadata
+/// placement × tasklet count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunSpec {
+    /// Which workload to run.
+    pub workload: Workload,
+    /// Which STM design to use.
+    pub kind: StmKind,
+    /// Where the STM metadata lives.
+    pub placement: MetadataPlacement,
+    /// Number of tasklets (1–24; the paper sweeps 1–11).
+    pub tasklets: usize,
+    /// PRNG seed (runs are deterministic given the same seed).
+    pub seed: u64,
+    /// Scale factor applied to the workload's operation counts; < 1.0 makes
+    /// runs proportionally shorter (used by the Criterion benches).
+    pub scale: f64,
+}
+
+impl RunSpec {
+    /// Creates a run specification with the default seed and full scale.
+    pub fn new(
+        workload: Workload,
+        kind: StmKind,
+        placement: MetadataPlacement,
+        tasklets: usize,
+    ) -> Self {
+        RunSpec { workload, kind, placement, tasklets, seed: 42, scale: 1.0 }
+    }
+
+    /// Overrides the operation-count scale factor.
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Overrides the PRNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The STM configuration (log capacities, lock-table size and placement)
+    /// appropriate for this workload, mirroring the sizing discussion in the
+    /// paper.
+    pub fn stm_config(&self) -> StmConfig {
+        let base = StmConfig::new(self.kind, self.placement);
+        match self.workload {
+            Workload::ArrayA => {
+                let cfg = ArrayBenchConfig::workload_a();
+                // The paper sizes the ORec lock table to the array and notes
+                // that it does not fit in WRAM for this workload, so the
+                // table stays in MRAM even when the rest of the metadata is
+                // promoted to WRAM.
+                let stm = base
+                    .with_read_set_capacity(cfg.read_set_capacity())
+                    .with_write_set_capacity(cfg.write_set_capacity())
+                    .with_lock_table_entries(16 * 1024);
+                if self.placement == MetadataPlacement::Wram {
+                    stm.with_lock_table_placement(MetadataPlacement::Mram)
+                } else {
+                    stm
+                }
+            }
+            Workload::ArrayB => {
+                let cfg = ArrayBenchConfig::workload_b();
+                base.with_read_set_capacity(cfg.read_set_capacity())
+                    .with_write_set_capacity(cfg.write_set_capacity())
+                    .with_lock_table_entries(1024)
+            }
+            Workload::ListLc | Workload::ListHc => {
+                let cfg = self.list_config();
+                base.with_read_set_capacity(cfg.read_set_capacity())
+                    .with_write_set_capacity(cfg.write_set_capacity())
+                    .with_lock_table_entries(1024)
+            }
+            Workload::KmeansLc | Workload::KmeansHc => {
+                let cfg = self.kmeans_config();
+                base.with_read_set_capacity(cfg.read_set_capacity())
+                    .with_write_set_capacity(cfg.write_set_capacity())
+                    .with_lock_table_entries(1024)
+            }
+            Workload::LabyrinthS | Workload::LabyrinthM | Workload::LabyrinthL => {
+                let cfg = self.labyrinth_config();
+                base.with_read_set_capacity(cfg.read_set_capacity())
+                    .with_write_set_capacity(cfg.write_set_capacity())
+                    .with_lock_table_entries(1024)
+            }
+        }
+    }
+
+    fn array_config(&self) -> ArrayBenchConfig {
+        match self.workload {
+            Workload::ArrayA => ArrayBenchConfig::workload_a().scaled(self.scale),
+            Workload::ArrayB => ArrayBenchConfig::workload_b().scaled(self.scale),
+            _ => unreachable!("not an ArrayBench workload"),
+        }
+    }
+
+    fn list_config(&self) -> LinkedListConfig {
+        match self.workload {
+            Workload::ListLc => LinkedListConfig::low_contention().scaled(self.scale),
+            Workload::ListHc => LinkedListConfig::high_contention().scaled(self.scale),
+            _ => unreachable!("not a linked-list workload"),
+        }
+    }
+
+    fn kmeans_config(&self) -> KmeansConfig {
+        match self.workload {
+            Workload::KmeansLc => KmeansConfig::low_contention().scaled(self.scale),
+            Workload::KmeansHc => KmeansConfig::high_contention().scaled(self.scale),
+            _ => unreachable!("not a KMeans workload"),
+        }
+    }
+
+    fn labyrinth_config(&self) -> LabyrinthConfig {
+        match self.workload {
+            Workload::LabyrinthS => LabyrinthConfig::small().scaled(self.scale),
+            Workload::LabyrinthM => LabyrinthConfig::medium().scaled(self.scale),
+            Workload::LabyrinthL => LabyrinthConfig::large().scaled(self.scale),
+            _ => unreachable!("not a Labyrinth workload"),
+        }
+    }
+
+    /// Builds the DPU, STM instance and tasklet programs, runs the
+    /// deterministic scheduler and returns the report (throughput, abort
+    /// rate, phase breakdown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is infeasible — e.g. WRAM metadata
+    /// placement for Labyrinth, whose transaction logs exceed WRAM capacity
+    /// (the paper excludes this combination for the same reason).
+    pub fn run(&self) -> DpuRunReport {
+        assert!(
+            self.placement == MetadataPlacement::Mram || self.workload.supports_wram_metadata(),
+            "{} cannot keep its STM metadata in WRAM (transaction logs exceed 64 KB)",
+            self.workload
+        );
+        let mut dpu = Dpu::new(DpuConfig::default());
+        let shared = StmShared::allocate(&mut dpu, self.stm_config())
+            .expect("STM metadata must fit in the configured tier");
+        let programs = match self.workload {
+            Workload::ArrayA | Workload::ArrayB => {
+                array_bench::build(&mut dpu, &shared, self.array_config(), self.tasklets, self.seed)
+                    .1
+            }
+            Workload::ListLc | Workload::ListHc => {
+                linked_list::build(&mut dpu, &shared, self.list_config(), self.tasklets, self.seed)
+                    .1
+            }
+            Workload::KmeansLc | Workload::KmeansHc => {
+                kmeans::build(&mut dpu, &shared, self.kmeans_config(), self.tasklets, self.seed).1
+            }
+            Workload::LabyrinthS | Workload::LabyrinthM | Workload::LabyrinthL => {
+                labyrinth::build(
+                    &mut dpu,
+                    &shared,
+                    self.labyrinth_config(),
+                    self.tasklets,
+                    self.seed,
+                )
+                .1
+            }
+        };
+        Scheduler::new().run(&mut dpu, programs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_names_roundtrip() {
+        for w in Workload::ALL {
+            assert_eq!(Workload::parse(w.name()), Some(w));
+            assert!(!w.figure().is_empty());
+        }
+        assert_eq!(Workload::parse("nope"), None);
+    }
+
+    #[test]
+    fn labyrinth_is_excluded_from_wram_metadata() {
+        assert!(!Workload::LabyrinthL.supports_wram_metadata());
+        assert!(Workload::ArrayA.supports_wram_metadata());
+    }
+
+    #[test]
+    fn array_a_wram_config_keeps_lock_table_in_mram() {
+        let spec =
+            RunSpec::new(Workload::ArrayA, StmKind::TinyEtlWb, MetadataPlacement::Wram, 4);
+        let cfg = spec.stm_config();
+        assert_eq!(cfg.metadata_tier(), pim_sim::Tier::Wram);
+        assert_eq!(cfg.lock_table_tier(), pim_sim::Tier::Mram);
+    }
+
+    #[test]
+    fn specs_run_end_to_end_for_a_sample_of_the_design_space() {
+        let samples = [
+            (Workload::ArrayB, StmKind::Norec, MetadataPlacement::Mram),
+            (Workload::ListHc, StmKind::VrEtlWb, MetadataPlacement::Wram),
+            (Workload::KmeansHc, StmKind::TinyCtlWb, MetadataPlacement::Wram),
+            (Workload::LabyrinthS, StmKind::TinyEtlWt, MetadataPlacement::Mram),
+        ];
+        for (workload, kind, placement) in samples {
+            let report =
+                RunSpec::new(workload, kind, placement, 4).with_scale(0.1).run();
+            assert!(report.total_commits() > 0, "{workload}/{kind} committed nothing");
+            assert!(report.throughput_tx_per_sec() > 0.0);
+            assert!(report.makespan_cycles > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot keep its STM metadata in WRAM")]
+    fn labyrinth_with_wram_metadata_panics() {
+        let _ = RunSpec::new(Workload::LabyrinthS, StmKind::Norec, MetadataPlacement::Wram, 2)
+            .with_scale(0.05)
+            .run();
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_a_fixed_seed() {
+        let spec = RunSpec::new(Workload::ArrayB, StmKind::TinyEtlWb, MetadataPlacement::Mram, 4)
+            .with_scale(0.2);
+        let a = spec.run();
+        let b = spec.run();
+        assert_eq!(a.makespan_cycles, b.makespan_cycles);
+        assert_eq!(a.total_commits(), b.total_commits());
+        assert_eq!(a.total_aborts(), b.total_aborts());
+    }
+}

@@ -1,0 +1,45 @@
+//! Design-space tour: sweep every STM design over a workload of your choice
+//! and print the three panels the paper plots (throughput, abort rate, time
+//! breakdown), for both metadata placements.
+//!
+//! ```text
+//! cargo run --example design_space [workload] [scale]
+//! cargo run --example design_space list-hc 0.5
+//! ```
+
+use pim_stm_suite::exp::design_space::DesignSpaceSweep;
+use pim_stm_suite::stm::MetadataPlacement;
+use pim_stm_suite::workloads::Workload;
+
+fn main() {
+    let workload = std::env::args()
+        .nth(1)
+        .map(|name| {
+            Workload::parse(&name).unwrap_or_else(|| {
+                panic!(
+                    "unknown workload {name:?}; expected one of {:?}",
+                    Workload::ALL.map(|w| w.name())
+                )
+            })
+        })
+        .unwrap_or(Workload::ArrayB);
+    let scale: f64 = std::env::args().nth(2).map(|s| s.parse().expect("scale must be a number")).unwrap_or(0.25);
+    let tasklets = [1, 3, 5, 7, 9, 11];
+
+    println!("design-space sweep for {workload} ({}), scale {scale}\n", workload.figure());
+    for placement in [MetadataPlacement::Mram, MetadataPlacement::Wram] {
+        if placement == MetadataPlacement::Wram && !workload.supports_wram_metadata() {
+            println!("(skipping WRAM metadata: {workload}'s transaction logs exceed 64 KB)\n");
+            continue;
+        }
+        println!("--- metadata in {placement} ---");
+        let sweep = DesignSpaceSweep::run(workload, placement, &tasklets, scale, 42);
+        println!("{}", sweep.throughput_table());
+        println!("{}", sweep.abort_table());
+        println!("{}", sweep.breakdown_table());
+        println!(
+            "best design at peak throughput: {}\n",
+            sweep.best_design().name()
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! KMeans on the simulated DPU: runs the paper's KMeans workload (low and
+//! high contention) with two STM designs, prints throughput, abort rate and
+//! the time breakdown, and compares against the host CPU baseline — a small
+//! end-to-end tour of the §4.2/§4.3 methodology.
+//!
+//! ```text
+//! cargo run --example kmeans_pim
+//! ```
+
+use pim_stm_suite::exp::report::fmt_f64;
+use pim_stm_suite::host::kmeans::{run as host_run, HostKmeansConfig};
+use pim_stm_suite::sim::Phase;
+use pim_stm_suite::stm::{MetadataPlacement, StmKind};
+use pim_stm_suite::workloads::{RunSpec, Workload};
+
+fn main() {
+    println!("KMeans on a simulated DPU (11 tasklets, metadata in WRAM)\n");
+    println!(
+        "{:<12} {:<12} {:>14} {:>12} {:>10} {:>10}",
+        "workload", "stm", "tx/s (sim)", "abort rate", "tx time", "other time"
+    );
+    for workload in [Workload::KmeansLc, Workload::KmeansHc] {
+        for kind in [StmKind::Norec, StmKind::TinyEtlWb, StmKind::VrCtlWb] {
+            let report = RunSpec::new(workload, kind, MetadataPlacement::Wram, 11)
+                .with_scale(0.5)
+                .run();
+            let breakdown = report.breakdown();
+            let tx_time: f64 = Phase::ALL
+                .iter()
+                .filter(|p| !matches!(p, Phase::OtherExec))
+                .map(|&p| breakdown.fraction(p))
+                .sum();
+            println!(
+                "{:<12} {:<12} {:>14} {:>11.1}% {:>9.1}% {:>9.1}%",
+                workload.name(),
+                kind.name(),
+                fmt_f64(report.throughput_tx_per_sec()),
+                report.abort_rate() * 100.0,
+                tx_time * 100.0,
+                breakdown.fraction(Phase::OtherExec) * 100.0,
+            );
+        }
+    }
+
+    println!("\nhost CPU baseline (NOrec, 4 threads, 20k points, 3 rounds):");
+    for (label, config) in [
+        ("kmeans-lc", HostKmeansConfig::low_contention(20_000, 4)),
+        ("kmeans-hc", HostKmeansConfig::high_contention(20_000, 4)),
+    ] {
+        let result = host_run(&config);
+        println!(
+            "  {label}: {:.3} s, {} commits, {} aborts",
+            result.elapsed_seconds, result.commits, result.aborts
+        );
+    }
+    println!("\nRun `pim-exp --figure fig7` for the full multi-DPU speed-up study.");
+}

@@ -1,0 +1,23 @@
+//! # pim-stm-suite — facade crate of the PIM-STM reproduction
+//!
+//! This crate re-exports the individual workspace members so that examples,
+//! integration tests and downstream users can depend on a single crate:
+//!
+//! * [`sim`] — the UPMEM DPU simulator substrate (`pim-sim`);
+//! * [`stm`] — the PIM-STM library itself (`pim-stm`);
+//! * [`workloads`] — the paper's evaluation workloads (`pim-workloads`);
+//! * [`host`] — the CPU-side NOrec baseline (`host-stm`);
+//! * [`exp`] — the experiment harness that regenerates every figure
+//!   (`pim-exp`).
+//!
+//! See the repository README for a tour and DESIGN.md / EXPERIMENTS.md for
+//! the reproduction methodology and results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use host_stm as host;
+pub use pim_exp as exp;
+pub use pim_sim as sim;
+pub use pim_stm as stm;
+pub use pim_workloads as workloads;
