@@ -28,7 +28,13 @@ pub struct HostLabyrinthConfig {
 
 impl HostLabyrinthConfig {
     /// The S/M/L grids of the paper with a configurable path count.
-    pub fn with_grid(width: usize, height: usize, depth: usize, paths: usize, threads: usize) -> Self {
+    pub fn with_grid(
+        width: usize,
+        height: usize,
+        depth: usize,
+        paths: usize,
+        threads: usize,
+    ) -> Self {
         HostLabyrinthConfig { width, height, depth, paths, threads, seed: 11 }
     }
 
@@ -114,8 +120,7 @@ impl Router<'_> {
             next.clear();
             for &cell in &frontier {
                 self.neighbours(cell, &mut scratch);
-                for i in 0..scratch.len() {
-                    let n = scratch[i];
+                for &n in &scratch {
                     if n == dst {
                         private[n] = wave + 1;
                         found = true;

@@ -46,7 +46,7 @@ impl HostTm {
     fn wait_until_even(&self) -> u64 {
         loop {
             let s = self.seqlock.load(Ordering::Acquire);
-            if s % 2 == 0 {
+            if s.is_multiple_of(2) {
                 return s;
             }
             std::hint::spin_loop();
@@ -64,12 +64,7 @@ impl HostTm {
         let mut backoff = 0u32;
         loop {
             let snapshot = self.wait_until_even();
-            let mut tx = HostTx {
-                tm: self,
-                snapshot,
-                read_set: Vec::new(),
-                write_set: Vec::new(),
-            };
+            let mut tx = HostTx { tm: self, snapshot, read_set: Vec::new(), write_set: Vec::new() };
             match body(&mut tx).and_then(|value| tx.commit().map(|()| value)) {
                 Ok(value) => {
                     self.commits.fetch_add(1, Ordering::Relaxed);

@@ -2,11 +2,11 @@
 //! of every STM design on ArrayBench A and B with metadata in MRAM.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use pim_bench::{BENCH_SCALE, BENCH_SEED, BENCH_TASKLETS};
 use pim_exp::design_space::DesignSpaceSweep;
 use pim_stm::{MetadataPlacement, StmKind};
 use pim_workloads::{RunSpec, Workload};
+use std::time::Duration;
 
 fn print_figure() {
     for workload in [Workload::ArrayA, Workload::ArrayB] {

@@ -3,11 +3,11 @@
 //! metadata.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use pim_bench::{BENCH_SCALE, BENCH_SEED, BENCH_TASKLETS};
 use pim_exp::peak::PeakDistribution;
 use pim_stm::MetadataPlacement;
 use pim_workloads::Workload;
+use std::time::Duration;
 
 fn print_figure() {
     for placement in [MetadataPlacement::Mram, MetadataPlacement::Wram] {

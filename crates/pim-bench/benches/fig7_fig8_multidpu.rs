@@ -3,9 +3,9 @@
 //! this machine; the DPU side is simulated and extrapolated (see DESIGN.md).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use pim_bench::BENCH_SEED;
 use pim_exp::multi_dpu::{figure8_table, MultiDpuBenchmark, MultiDpuStudy};
+use std::time::Duration;
 
 const DPU_COUNTS: [usize; 6] = [1, 250, 500, 1000, 1500, 2500];
 

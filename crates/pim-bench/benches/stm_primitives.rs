@@ -4,12 +4,10 @@
 //! placements, and of the threaded executor under real concurrency.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use pim_sim::{Dpu, DpuConfig, TaskletCtx, TaskletStats, Tier};
 use pim_stm::threaded::ThreadedDpu;
-use pim_stm::{
-    algorithm_for, run_transaction, MetadataPlacement, StmConfig, StmKind, StmShared,
-};
+use pim_stm::{algorithm_for, run_transaction, MetadataPlacement, StmConfig, StmKind, StmShared};
+use std::time::Duration;
 
 /// Runs `transactions` read-modify-write transactions over a 64-word
 /// footprint on a single simulated tasklet and returns the committed count.
@@ -56,8 +54,8 @@ fn bench_threaded(c: &mut Criterion) {
     for kind in [StmKind::Norec, StmKind::TinyEtlWb, StmKind::VrEtlWt] {
         group.bench_function(format!("{kind}/4threads/counter"), |b| {
             b.iter(|| {
-                let config = StmConfig::new(kind, MetadataPlacement::Wram)
-                    .with_lock_table_entries(128);
+                let config =
+                    StmConfig::new(kind, MetadataPlacement::Wram).with_lock_table_entries(128);
                 let mut dpu = ThreadedDpu::new(config).expect("metadata fits");
                 let counter = dpu.alloc(pim_stm::Tier::Mram, 1).expect("data fits");
                 dpu.run(4, |mut tx| {
@@ -68,7 +66,8 @@ fn bench_threaded(c: &mut Criterion) {
                             Ok(())
                         });
                     }
-                });
+                })
+                .expect("4 tasklets is within the hardware limit");
                 dpu.peek(counter)
             })
         });

@@ -63,7 +63,13 @@ impl DesignSpaceSweep {
         let mut points = Vec::new();
         for &kind in &StmKind::ALL {
             for &tasklets in tasklet_counts {
-                eprintln!("[design-space] {} {} {} tasklets={}", workload, placement.name(), kind.name(), tasklets);
+                eprintln!(
+                    "[design-space] {} {} {} tasklets={}",
+                    workload,
+                    placement.name(),
+                    kind.name(),
+                    tasklets
+                );
                 let report = RunSpec::new(workload, kind, placement, tasklets)
                     .with_scale(scale)
                     .with_seed(seed)
@@ -121,11 +127,7 @@ impl DesignSpaceSweep {
         self.metric_table("abort rate (%)", |p| fmt_f64(p.abort_rate * 100.0))
     }
 
-    fn metric_table(
-        &self,
-        metric: &str,
-        value: impl Fn(&DesignSpacePoint) -> String,
-    ) -> String {
+    fn metric_table(&self, metric: &str, value: impl Fn(&DesignSpacePoint) -> String) -> String {
         let mut tasklet_counts: Vec<usize> =
             self.points.iter().map(|p| p.tasklets).collect::<Vec<_>>();
         tasklet_counts.sort_unstable();
@@ -189,9 +191,7 @@ mod tests {
     #[test]
     fn tables_render_for_all_metrics() {
         let sweep = tiny_sweep(Workload::KmeansHc, MetadataPlacement::Wram);
-        for table in
-            [sweep.throughput_table(), sweep.abort_table(), sweep.breakdown_table()]
-        {
+        for table in [sweep.throughput_table(), sweep.abort_table(), sweep.breakdown_table()] {
             assert!(table.contains("NOrec"));
             assert!(table.contains("VR CTLWB"));
         }

@@ -52,7 +52,9 @@ impl Default for Options {
 fn parse_list(value: &str) -> Result<Vec<usize>, String> {
     value
         .split(',')
-        .map(|part| part.trim().parse::<usize>().map_err(|e| format!("bad list entry {part:?}: {e}")))
+        .map(|part| {
+            part.trim().parse::<usize>().map_err(|e| format!("bad list entry {part:?}: {e}"))
+        })
         .collect()
 }
 
@@ -60,9 +62,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut options = Options::default();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
-        let mut value = || {
-            iter.next().cloned().ok_or_else(|| format!("missing value after {arg}"))
-        };
+        let mut value = || iter.next().cloned().ok_or_else(|| format!("missing value after {arg}"));
         match arg.as_str() {
             "--figure" => options.figure = Some(value()?),
             "--workload" => {
@@ -81,8 +81,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--tasklets" => options.tasklets = parse_list(&value()?)?,
             "--dpus" => options.dpus = parse_list(&value()?)?,
             "--scale" => {
-                options.scale =
-                    value()?.parse().map_err(|e| format!("bad --scale value: {e}"))?
+                options.scale = value()?.parse().map_err(|e| format!("bad --scale value: {e}"))?
             }
             "--seed" => {
                 options.seed = value()?.parse().map_err(|e| format!("bad --seed value: {e}"))?
@@ -114,25 +113,20 @@ fn print_sweep(workload: Workload, placement: MetadataPlacement, options: &Optio
 fn run_figure(figure: &str, options: &Options) -> Result<(), String> {
     match figure {
         "fig4" => {
-            for workload in
-                [Workload::ArrayA, Workload::ArrayB, Workload::ListLc, Workload::ListHc]
+            for workload in [Workload::ArrayA, Workload::ArrayB, Workload::ListLc, Workload::ListHc]
             {
                 print_sweep(workload, MetadataPlacement::Mram, options);
             }
         }
         "fig5" => {
-            for workload in [
-                Workload::KmeansLc,
-                Workload::KmeansHc,
-                Workload::LabyrinthS,
-                Workload::LabyrinthL,
-            ] {
+            for workload in
+                [Workload::KmeansLc, Workload::KmeansHc, Workload::LabyrinthS, Workload::LabyrinthL]
+            {
                 print_sweep(workload, MetadataPlacement::Mram, options);
             }
         }
         "fig9" => {
-            for workload in
-                [Workload::ArrayA, Workload::ArrayB, Workload::ListLc, Workload::ListHc]
+            for workload in [Workload::ArrayA, Workload::ArrayB, Workload::ListLc, Workload::ListHc]
             {
                 print_sweep(workload, MetadataPlacement::Wram, options);
             }
@@ -219,8 +213,18 @@ mod tests {
     #[test]
     fn argument_parsing_covers_the_main_flags() {
         let args: Vec<String> = [
-            "--figure", "fig4", "--tier", "wram", "--tasklets", "1,2,3", "--scale", "0.5",
-            "--seed", "7", "--dpus", "1,10",
+            "--figure",
+            "fig4",
+            "--tier",
+            "wram",
+            "--tasklets",
+            "1,2,3",
+            "--scale",
+            "0.5",
+            "--seed",
+            "7",
+            "--dpus",
+            "1,10",
         ]
         .iter()
         .map(|s| s.to_string())

@@ -213,11 +213,8 @@ impl MultiDpuStudy {
             });
         }
 
-        let last = points
-            .iter()
-            .find(|p| p.n_dpus == max_dpus)
-            .copied()
-            .expect("dpu_counts is not empty");
+        let last =
+            points.iter().find(|p| p.n_dpus == max_dpus).copied().expect("dpu_counts is not empty");
         MultiDpuStudy {
             benchmark,
             points,
@@ -228,11 +225,7 @@ impl MultiDpuStudy {
 
     /// Simulates/measures the KMeans references and returns
     /// `(dpu_seconds_per_point_over_all_rounds, cpu_seconds_per_point_over_all_rounds, bytes_per_point)`.
-    fn kmeans_reference(
-        benchmark: MultiDpuBenchmark,
-        scale: f64,
-        seed: u64,
-    ) -> (f64, f64, u64) {
+    fn kmeans_reference(benchmark: MultiDpuBenchmark, scale: f64, seed: u64) -> (f64, f64, u64) {
         // DPU reference: one DPU at its best tasklet count, NOrec, WRAM
         // metadata (the paper's §4.3 configuration for KMeans).
         let spec = RunSpec::new(
@@ -266,11 +259,7 @@ impl MultiDpuStudy {
 
     /// Simulates/measures the Labyrinth references and returns
     /// `(dpu_seconds_per_instance, cpu_seconds_per_instance, 0)`.
-    fn labyrinth_reference(
-        benchmark: MultiDpuBenchmark,
-        scale: f64,
-        seed: u64,
-    ) -> (f64, f64, u64) {
+    fn labyrinth_reference(benchmark: MultiDpuBenchmark, scale: f64, seed: u64) -> (f64, f64, u64) {
         let workload = benchmark.single_dpu_workload();
         // DPU reference: NOrec with MRAM metadata (WRAM cannot hold the
         // logs), at the paper's saturation point of ~5 tasklets.

@@ -90,9 +90,7 @@ impl PeakDistribution {
     /// Renders the distribution as a table (min / median / mean / max per
     /// design, best-ranked first).
     pub fn table(&self) -> String {
-        let header = ["design", "min", "median", "mean", "max"]
-            .map(str::to_string)
-            .to_vec();
+        let header = ["design", "min", "median", "mean", "max"].map(str::to_string).to_vec();
         let rows = self
             .ranking()
             .into_iter()

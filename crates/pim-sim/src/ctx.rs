@@ -154,12 +154,53 @@ impl<'a> TaskletCtx<'a> {
         self.dpu.memory_mut(addr.tier).write(addr.word, value);
     }
 
+    /// Transactionally-timed load of `out.len()` consecutive words starting
+    /// at `addr`.
+    ///
+    /// An MRAM block is fetched as **one DMA burst** — the setup cost is paid
+    /// once and the streaming cost per word — which is how the UPMEM
+    /// `mram_read` helper moves multi-word records. A WRAM block still costs
+    /// one instruction per word (the scratchpad has no DMA engine).
+    pub fn load_block(&mut self, addr: Addr, out: &mut [u64]) {
+        let words = out.len() as u32;
+        if words == 0 {
+            return;
+        }
+        let cost = self.block_access_cost(addr.tier, words);
+        self.charge(cost);
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.dpu.memory(addr.tier).read(addr.word + i as u32);
+        }
+    }
+
+    /// Transactionally-timed store of `values` to consecutive words starting
+    /// at `addr`, charged like [`TaskletCtx::load_block`].
+    pub fn store_block(&mut self, addr: Addr, values: &[u64]) {
+        let words = values.len() as u32;
+        if words == 0 {
+            return;
+        }
+        let cost = self.block_access_cost(addr.tier, words);
+        self.charge(cost);
+        for (i, value) in values.iter().enumerate() {
+            self.dpu.memory_mut(addr.tier).write(addr.word + i as u32, *value);
+        }
+    }
+
+    fn block_access_cost(&mut self, tier: Tier, words: u32) -> Cycles {
+        match tier {
+            Tier::Wram => {
+                self.dpu.latency().instruction_cycles(self.active_tasklets) * u64::from(words)
+            }
+            Tier::Mram => self.access_cost(Tier::Mram, words),
+        }
+    }
+
     /// Copies `words` words from `src` to `dst`, charging one block DMA per
     /// MRAM side touched (models the UPMEM `mram_read`/`mram_write` DMA
     /// helpers used to stage data into WRAM).
     pub fn copy_block(&mut self, src: Addr, dst: Addr, words: u32) {
-        let mram_sides =
-            u32::from(src.tier == Tier::Mram) + u32::from(dst.tier == Tier::Mram);
+        let mram_sides = u32::from(src.tier == Tier::Mram) + u32::from(dst.tier == Tier::Mram);
         let latency = *self.dpu.latency();
         let instr = latency.instruction_cycles(self.active_tasklets);
         let mut cost = instr;
@@ -307,6 +348,62 @@ mod tests {
         let t_mram = ctx.now() - t_atomic;
         assert!(t_atomic < t_mram, "register ops must be much cheaper than MRAM accesses");
         assert_eq!(ctx.dpu().atomic_register().stats().acquires, 1);
+    }
+
+    #[test]
+    fn block_loads_pay_one_dma_setup_instead_of_n() {
+        // Two fresh DPUs so the second measurement does not queue behind the
+        // first one's DMA in the shared-port model.
+        let (mut dpu, mut stats) = setup();
+        let a = dpu.alloc(Tier::Mram, 8).unwrap();
+        dpu.poke_block(a, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        // Eight single-word loads: eight DMA setups.
+        let word_cost = {
+            let mut ctx = TaskletCtx::new(&mut dpu, &mut stats, 0, 1, 0);
+            for i in 0..8 {
+                ctx.load(a.offset(i));
+            }
+            ctx.now()
+        };
+        let (mut dpu, mut stats) = setup();
+        let a = dpu.alloc(Tier::Mram, 8).unwrap();
+        dpu.poke_block(a, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        // One 8-word burst: one setup plus streaming.
+        let mut buf = [0u64; 8];
+        let block_cost = {
+            let mut ctx = TaskletCtx::new(&mut dpu, &mut stats, 0, 1, 0);
+            ctx.load_block(a, &mut buf);
+            ctx.now()
+        };
+        assert_eq!(buf, [1, 2, 3, 4, 5, 6, 7, 8]);
+        assert!(
+            block_cost < word_cost / 2,
+            "8-word burst ({block_cost}) must amortise setup vs 8 loads ({word_cost})"
+        );
+    }
+
+    #[test]
+    fn block_stores_write_all_words_and_charge_the_port() {
+        let (mut dpu, mut stats) = setup();
+        let a = dpu.alloc(Tier::Mram, 4).unwrap();
+        let free_before = dpu.mram_port_free_at();
+        {
+            let mut ctx = TaskletCtx::new(&mut dpu, &mut stats, 0, 1, 0);
+            ctx.store_block(a, &[9, 8, 7, 6]);
+            assert!(ctx.now() > 0);
+        }
+        assert_eq!(dpu.peek_block(a, 4), vec![9, 8, 7, 6]);
+        assert!(dpu.mram_port_free_at() > free_before, "the burst must occupy the MRAM port");
+    }
+
+    #[test]
+    fn wram_block_access_costs_one_instruction_per_word() {
+        let (mut dpu, mut stats) = setup();
+        let a = dpu.alloc(Tier::Wram, 4).unwrap();
+        let mut ctx = TaskletCtx::new(&mut dpu, &mut stats, 0, 1, 0);
+        ctx.store_block(a, &[1, 2, 3, 4]);
+        let instr = ctx.dpu().latency().instruction_cycles(1);
+        assert_eq!(ctx.now(), 4 * instr);
     }
 
     #[test]

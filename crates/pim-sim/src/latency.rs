@@ -74,9 +74,7 @@ impl LatencyModel {
     pub fn word_access_cycles(&self, tier: Tier, active_tasklets: usize) -> (Cycles, Cycles) {
         match tier {
             Tier::Wram => (self.instruction_cycles(active_tasklets), 0),
-            Tier::Mram => {
-                (self.instruction_cycles(active_tasklets), self.mram_transfer_cycles(1))
-            }
+            Tier::Mram => (self.instruction_cycles(active_tasklets), self.mram_transfer_cycles(1)),
         }
     }
 

@@ -114,8 +114,7 @@ pub struct DpuRunReport {
 
 impl DpuRunReport {
     fn from_parts(dpu: &Dpu, tasklet_stats: Vec<TaskletStats>) -> Self {
-        let makespan_cycles =
-            tasklet_stats.iter().map(|s| s.finish_cycles).max().unwrap_or(0);
+        let makespan_cycles = tasklet_stats.iter().map(|s| s.finish_cycles).max().unwrap_or(0);
         DpuRunReport {
             tasklet_stats,
             makespan_cycles,
@@ -229,10 +228,8 @@ mod tests {
                     StepStatus::Running
                 })
             };
-            let report = Scheduler::new().run(
-                &mut dpu,
-                vec![Box::new(mk(1)) as Box<dyn TaskletProgram>, Box::new(mk(2))],
-            );
+            let report = Scheduler::new()
+                .run(&mut dpu, vec![Box::new(mk(1)) as Box<dyn TaskletProgram>, Box::new(mk(2))]);
             assert_eq!(report.tasklets(), 2);
             dpu.peek_block(log, 16)
         }
@@ -309,7 +306,8 @@ mod tests {
             remaining -= 1;
             StepStatus::Running
         });
-        let report = Scheduler::new().run(&mut dpu, vec![Box::new(prog) as Box<dyn TaskletProgram>]);
+        let report =
+            Scheduler::new().run(&mut dpu, vec![Box::new(prog) as Box<dyn TaskletProgram>]);
         assert!(report.makespan_cycles > 0, "scheduler must advance time even for no-op steps");
     }
 

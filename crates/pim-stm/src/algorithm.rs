@@ -2,7 +2,7 @@
 //! that maps an [`StmKind`] to its implementation, and a convenience
 //! retry-loop for closure-style transactions.
 
-use pim_sim::{Addr, Phase};
+use pim_sim::Addr;
 
 use crate::config::{LockTiming, StmKind, WritePolicy};
 use crate::error::Abort;
@@ -68,8 +68,12 @@ pub trait TmAlgorithm: Send + Sync {
     ///
     /// Returns [`Abort`] if final validation or commit-time lock acquisition
     /// failed; the attempt must be retried.
-    fn commit(&self, shared: &StmShared, tx: &mut TxSlot, p: &mut dyn Platform)
-        -> Result<(), Abort>;
+    fn commit(
+        &self,
+        shared: &StmShared,
+        tx: &mut TxSlot,
+        p: &mut dyn Platform,
+    ) -> Result<(), Abort>;
 
     /// Explicitly abandons the current attempt: rolls back any exposed
     /// writes and releases every lock, exactly as an internally detected
@@ -78,6 +82,55 @@ pub trait TmAlgorithm: Send + Sync {
     /// still accounts the abort via [`Platform::abort_attempt`].
     fn cancel(&self, shared: &StmShared, tx: &mut TxSlot, p: &mut dyn Platform) {
         let _ = (shared, tx, p);
+    }
+
+    /// Transactional read of `out.len()` consecutive words.
+    ///
+    /// The default implementation runs the full per-word read protocol, which
+    /// is sound for every design; designs whose validation can bracket a bulk
+    /// transfer override it to fetch the record as **one MRAM DMA burst**
+    /// (see [`crate::norec::Norec`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] on conflict, with side effects already rolled back
+    /// exactly as for [`TmAlgorithm::read`].
+    fn read_record(
+        &self,
+        shared: &StmShared,
+        tx: &mut TxSlot,
+        p: &mut dyn Platform,
+        addr: Addr,
+        out: &mut [u64],
+    ) -> Result<(), Abort> {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.read(shared, tx, p, addr.offset(i as u32))?;
+        }
+        Ok(())
+    }
+
+    /// Transactional write of consecutive words.
+    ///
+    /// The default implementation runs the full per-word write protocol
+    /// (sound for every design; write-back designs only touch their redo log
+    /// here, so there is no data DMA to batch until commit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] on conflict, with side effects already rolled back
+    /// exactly as for [`TmAlgorithm::write`].
+    fn write_record(
+        &self,
+        shared: &StmShared,
+        tx: &mut TxSlot,
+        p: &mut dyn Platform,
+        addr: Addr,
+        values: &[u64],
+    ) -> Result<(), Abort> {
+        for (i, value) in values.iter().enumerate() {
+            self.write(shared, tx, p, addr.offset(i as u32), *value)?;
+        }
+        Ok(())
     }
 }
 
@@ -102,12 +155,31 @@ pub fn algorithm_for(kind: StmKind) -> &'static dyn TmAlgorithm {
     }
 }
 
-/// Handle passed to the body of [`run_transaction`].
+/// Handle passed to transaction bodies by [`run_transaction`] and
+/// [`crate::TxEngine::transaction`] — i.e. by **both** executors.
+///
+/// Besides the word-based inherent methods kept for backwards compatibility,
+/// `TxView` implements the typed [`crate::var::TxOps`] facade, so bodies can
+/// be written once against `TxOps` and run anywhere.
 pub struct TxView<'a> {
     alg: &'a dyn TmAlgorithm,
     shared: &'a StmShared,
     tx: &'a mut TxSlot,
     p: &'a mut dyn Platform,
+}
+
+impl<'a> TxView<'a> {
+    /// Binds an algorithm, shared metadata, a transaction descriptor and a
+    /// platform into a body handle (used by the retry loop in
+    /// [`crate::engine`]).
+    pub(crate) fn new(
+        alg: &'a dyn TmAlgorithm,
+        shared: &'a StmShared,
+        tx: &'a mut TxSlot,
+        p: &'a mut dyn Platform,
+    ) -> Self {
+        TxView { alg, shared, tx, p }
+    }
 }
 
 impl TxView<'_> {
@@ -141,8 +213,39 @@ impl TxView<'_> {
     }
 }
 
+impl crate::var::TxOps for TxView<'_> {
+    fn read_word(&mut self, addr: Addr) -> Result<u64, Abort> {
+        self.alg.read(self.shared, self.tx, self.p, addr)
+    }
+
+    fn write_word(&mut self, addr: Addr, value: u64) -> Result<(), Abort> {
+        self.alg.write(self.shared, self.tx, self.p, addr, value)
+    }
+
+    fn read_words(&mut self, addr: Addr, out: &mut [u64]) -> Result<(), Abort> {
+        self.alg.read_record(self.shared, self.tx, self.p, addr, out)
+    }
+
+    fn write_words(&mut self, addr: Addr, values: &[u64]) -> Result<(), Abort> {
+        self.alg.write_record(self.shared, self.tx, self.p, addr, values)
+    }
+
+    fn compute(&mut self, instructions: u64) {
+        self.p.compute(instructions);
+    }
+
+    fn tasklet_id(&self) -> usize {
+        self.p.tasklet_id()
+    }
+}
+
 /// Runs `body` as a transaction, retrying on abort until it commits, and
 /// returns the body's result.
+///
+/// This is a thin wrapper over the shared retry core in [`crate::engine`]
+/// (see [`crate::engine::run_retry_loop`]); the step-granular
+/// [`crate::TxEngine`] API uses the same core, so accounting and back-off
+/// are identical across execution styles.
 ///
 /// The whole transaction executes within the caller's time slice, so this
 /// helper is intended for the threaded executor and for examples; the
@@ -154,63 +257,12 @@ pub fn run_transaction<R>(
     shared: &StmShared,
     tx: &mut TxSlot,
     p: &mut dyn Platform,
-    mut body: impl FnMut(&mut TxView<'_>) -> Result<R, Abort>,
+    body: impl FnMut(&mut TxView<'_>) -> Result<R, Abort>,
 ) -> R {
-    loop {
-        p.begin_attempt();
-        alg.begin(shared, tx, p);
-        let result = {
-            let mut view = TxView { alg, shared, tx, p };
-            body(&mut view)
-        };
-        match result {
-            Ok(value) => match alg.commit(shared, tx, p) {
-                Ok(()) => {
-                    p.commit_attempt();
-                    tx.note_commit();
-                    p.set_phase(Phase::OtherExec);
-                    return value;
-                }
-                Err(_) => {
-                    p.abort_attempt();
-                    tx.note_abort();
-                    backoff(p, tx.consecutive_aborts());
-                }
-            },
-            Err(_) => {
-                p.abort_attempt();
-                tx.note_abort();
-                backoff(p, tx.consecutive_aborts());
-            }
-        }
-        p.set_phase(Phase::OtherExec);
-    }
+    crate::engine::run_retry_loop(alg, shared, tx, p, None, body)
 }
 
-/// Bounded randomised exponential back-off charged as spin-wait
-/// instructions.
-///
-/// The jitter term (derived deterministically from the tasklet id and the
-/// attempt number, so simulated runs stay reproducible) is essential on the
-/// discrete-event executor: tasklets that abort in lockstep would otherwise
-/// retry in lockstep forever — the classic symmetric-livelock problem that
-/// real hardware escapes through timing noise.
-pub fn backoff(p: &mut dyn Platform, consecutive_aborts: u64) {
-    if consecutive_aborts == 0 {
-        return;
-    }
-    // The window keeps doubling well past the length of a typical
-    // transaction: designs that are prone to symmetric duels (most notably
-    // the commit-time-locking visible-reads variant, whose readers block each
-    // other's upgrades) need some competitor's window to grow large enough
-    // that the others can drain completely.
-    let exp = consecutive_aborts.min(14) as u32;
-    let seed = (p.tasklet_id() as u64 + 1)
-        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-        .wrapping_add(consecutive_aborts.wrapping_mul(0xbf58_476d_1ce4_e5b9));
-    let jitter = (seed >> 33) % (1u64 << exp);
-    p.spin_wait((1u64 << exp) + 3 * jitter);
-}
+pub use crate::engine::backoff;
 
 #[cfg(test)]
 mod tests {

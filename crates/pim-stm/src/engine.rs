@@ -1,0 +1,323 @@
+//! The transaction engine: the single retry / back-off / accounting core
+//! behind every way of running a transaction.
+//!
+//! Historically the closure API ([`crate::run_transaction`]) and the
+//! step-granular workload machines (`pim-workloads`' `TxMachine`) each
+//! carried their own copy of the begin/commit/abort bookkeeping. Both now sit
+//! on this module:
+//!
+//! * [`run_retry_loop`] is *the* retry loop — attempt accounting, bounded
+//!   randomised back-off, phase restoration. `run_transaction` is a thin
+//!   wrapper over it.
+//! * [`TxEngine`] bundles an algorithm, the shared STM metadata and one
+//!   tasklet's transaction descriptor. It exposes the same loop through
+//!   [`TxEngine::transaction`] and, for state machines that must yield to a
+//!   scheduler between operations, the step API ([`TxEngine::begin`],
+//!   [`TxEngine::read`], …, [`TxEngine::on_abort`]) whose accounting calls
+//!   the very same helpers the loop uses.
+
+use pim_sim::{Addr, Phase};
+
+use crate::algorithm::{algorithm_for, TmAlgorithm, TxView};
+use crate::error::Abort;
+use crate::platform::Platform;
+use crate::shared::StmShared;
+use crate::txslot::TxSlot;
+
+/// Commit/abort tallies of one engine (or one retry loop).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxCounters {
+    /// Transactions committed.
+    pub commits: u64,
+    /// Attempts aborted.
+    pub aborts: u64,
+}
+
+/// Accounts a committed attempt: resolves the platform's in-flight attempt
+/// and resets the descriptor's consecutive-abort counter.
+fn account_commit(tx: &mut TxSlot, p: &mut dyn Platform) {
+    p.commit_attempt();
+    tx.note_commit();
+}
+
+/// Accounts an aborted attempt and applies bounded exponential back-off.
+fn account_abort(tx: &mut TxSlot, p: &mut dyn Platform) {
+    p.abort_attempt();
+    tx.note_abort();
+    backoff(p, tx.consecutive_aborts());
+}
+
+/// Runs `body` as a transaction, retrying on abort until it commits, and
+/// returns the body's result. `counters`, when provided, receives the
+/// commit/abort tallies.
+///
+/// This is the shared core: every path that retries transactions — the
+/// closure API on either executor, [`TxEngine::transaction`] — funnels
+/// through this loop, so attempt accounting and back-off behave identically
+/// everywhere.
+pub fn run_retry_loop<R>(
+    alg: &dyn TmAlgorithm,
+    shared: &StmShared,
+    tx: &mut TxSlot,
+    p: &mut dyn Platform,
+    mut counters: Option<&mut TxCounters>,
+    mut body: impl FnMut(&mut TxView<'_>) -> Result<R, Abort>,
+) -> R {
+    loop {
+        p.begin_attempt();
+        alg.begin(shared, tx, p);
+        let result = {
+            let mut view = TxView::new(alg, shared, tx, p);
+            body(&mut view)
+        };
+        let committed = match result {
+            Ok(value) => match alg.commit(shared, tx, p) {
+                Ok(()) => Some(value),
+                Err(_) => None,
+            },
+            Err(_) => None,
+        };
+        match committed {
+            Some(value) => {
+                account_commit(tx, p);
+                if let Some(c) = counters.as_deref_mut() {
+                    c.commits += 1;
+                }
+                p.set_phase(Phase::OtherExec);
+                return value;
+            }
+            None => {
+                account_abort(tx, p);
+                if let Some(c) = counters.as_deref_mut() {
+                    c.aborts += 1;
+                }
+            }
+        }
+        p.set_phase(Phase::OtherExec);
+    }
+}
+
+/// Bounded randomised exponential back-off charged as spin-wait
+/// instructions.
+///
+/// The jitter term (derived deterministically from the tasklet id and the
+/// attempt number, so simulated runs stay reproducible) is essential on the
+/// discrete-event executor: tasklets that abort in lockstep would otherwise
+/// retry in lockstep forever — the classic symmetric-livelock problem that
+/// real hardware escapes through timing noise.
+pub fn backoff(p: &mut dyn Platform, consecutive_aborts: u64) {
+    if consecutive_aborts == 0 {
+        return;
+    }
+    // The window keeps doubling well past the length of a typical
+    // transaction: designs that are prone to symmetric duels (most notably
+    // the commit-time-locking visible-reads variant, whose readers block each
+    // other's upgrades) need some competitor's window to grow large enough
+    // that the others can drain completely.
+    let exp = consecutive_aborts.min(14) as u32;
+    let seed = (p.tasklet_id() as u64 + 1)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(consecutive_aborts.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    let jitter = (seed >> 33) % (1u64 << exp);
+    p.spin_wait((1u64 << exp) + 3 * jitter);
+}
+
+/// Per-tasklet transactional machinery: one STM algorithm plus the shared
+/// metadata and this tasklet's descriptor, usable from both execution styles.
+///
+/// * **Closure style** — [`TxEngine::transaction`] runs a body through
+///   [`run_retry_loop`]; the body receives a [`TxView`] and therefore the
+///   whole typed [`crate::var::TxOps`] facade.
+/// * **Step style** — workload state machines that must yield to the
+///   discrete-event scheduler between operations drive
+///   [`TxEngine::begin`] / [`TxEngine::read`] / [`TxEngine::write`] /
+///   [`TxEngine::commit`] themselves and call [`TxEngine::on_abort`] to
+///   rewind. [`TxEngine::ops`] briefly binds a platform to the engine so
+///   even individual steps can use the typed facade.
+pub struct TxEngine {
+    shared: StmShared,
+    slot: TxSlot,
+    alg: &'static dyn TmAlgorithm,
+    counters: TxCounters,
+}
+
+impl TxEngine {
+    /// Creates the machinery for one tasklet with an explicit algorithm.
+    pub fn new(shared: StmShared, slot: TxSlot, alg: &'static dyn TmAlgorithm) -> Self {
+        TxEngine { shared, slot, alg, counters: TxCounters::default() }
+    }
+
+    /// Creates the machinery for one tasklet, picking the algorithm from the
+    /// configuration recorded in `shared`.
+    pub fn for_shared(shared: StmShared, slot: TxSlot) -> Self {
+        let alg = algorithm_for(shared.config().kind);
+        Self::new(shared, slot, alg)
+    }
+
+    /// Runs `body` as a transaction, retrying until it commits, and returns
+    /// its result. Commits and aborts are tallied on this engine.
+    pub fn transaction<R>(
+        &mut self,
+        p: &mut dyn Platform,
+        body: impl FnMut(&mut TxView<'_>) -> Result<R, Abort>,
+    ) -> R {
+        run_retry_loop(self.alg, &self.shared, &mut self.slot, p, Some(&mut self.counters), body)
+    }
+
+    /// Binds `p` to this engine so one or more *individual* operations can go
+    /// through the typed [`crate::var::TxOps`] facade between scheduler
+    /// steps.
+    pub fn ops<'a>(&'a mut self, p: &'a mut dyn Platform) -> EngineOps<'a> {
+        EngineOps { engine: self, p }
+    }
+
+    /// Starts a transaction attempt (also used to restart after an abort).
+    pub fn begin(&mut self, p: &mut dyn Platform) {
+        p.begin_attempt();
+        self.alg.begin(&self.shared, &mut self.slot, p);
+    }
+
+    /// Transactional read of one word.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Abort`] from the underlying algorithm.
+    pub fn read(&mut self, p: &mut dyn Platform, addr: Addr) -> Result<u64, Abort> {
+        self.alg.read(&self.shared, &mut self.slot, p, addr)
+    }
+
+    /// Transactional write of one word.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Abort`] from the underlying algorithm.
+    pub fn write(&mut self, p: &mut dyn Platform, addr: Addr, value: u64) -> Result<(), Abort> {
+        self.alg.write(&self.shared, &mut self.slot, p, addr, value)
+    }
+
+    /// Transactional read of `out.len()` consecutive words (one MRAM DMA
+    /// burst where the design allows it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Abort`] from the underlying algorithm.
+    pub fn read_record(
+        &mut self,
+        p: &mut dyn Platform,
+        addr: Addr,
+        out: &mut [u64],
+    ) -> Result<(), Abort> {
+        self.alg.read_record(&self.shared, &mut self.slot, p, addr, out)
+    }
+
+    /// Transactional write of consecutive words (see
+    /// [`TxEngine::read_record`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Abort`] from the underlying algorithm.
+    pub fn write_record(
+        &mut self,
+        p: &mut dyn Platform,
+        addr: Addr,
+        values: &[u64],
+    ) -> Result<(), Abort> {
+        self.alg.write_record(&self.shared, &mut self.slot, p, addr, values)
+    }
+
+    /// Attempts to commit; on success the attempt is accounted as committed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Abort`]; the caller must then call
+    /// [`TxEngine::on_abort`] and restart the transaction body.
+    pub fn commit(&mut self, p: &mut dyn Platform) -> Result<(), Abort> {
+        self.alg.commit(&self.shared, &mut self.slot, p)?;
+        account_commit(&mut self.slot, p);
+        self.counters.commits += 1;
+        Ok(())
+    }
+
+    /// Explicitly abandons the current attempt (releasing locks and undoing
+    /// exposed writes) without the algorithm having detected a conflict.
+    /// The caller must still call [`TxEngine::on_abort`] afterwards.
+    pub fn cancel(&mut self, p: &mut dyn Platform) {
+        self.alg.cancel(&self.shared, &mut self.slot, p);
+    }
+
+    /// Accounts an aborted attempt (the cycles it consumed become wasted
+    /// time) and applies bounded exponential back-off.
+    pub fn on_abort(&mut self, p: &mut dyn Platform) {
+        account_abort(&mut self.slot, p);
+        self.counters.aborts += 1;
+    }
+
+    /// Shared STM metadata handles.
+    pub fn shared(&self) -> &StmShared {
+        &self.shared
+    }
+
+    /// The design this engine runs.
+    pub fn kind(&self) -> crate::config::StmKind {
+        self.alg.kind()
+    }
+
+    /// Transactions committed by this tasklet.
+    pub fn commits(&self) -> u64 {
+        self.counters.commits
+    }
+
+    /// Attempts aborted by this tasklet.
+    pub fn aborts(&self) -> u64 {
+        self.counters.aborts
+    }
+
+    /// Both tallies at once.
+    pub fn counters(&self) -> TxCounters {
+        self.counters
+    }
+}
+
+impl std::fmt::Debug for TxEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxEngine")
+            .field("kind", &self.alg.kind())
+            .field("commits", &self.counters.commits)
+            .field("aborts", &self.counters.aborts)
+            .finish()
+    }
+}
+
+/// A [`TxEngine`] with a platform bound for the duration of one or more
+/// operations; this is what lets step-granular state machines use the typed
+/// [`crate::var::TxOps`] facade.
+pub struct EngineOps<'a> {
+    engine: &'a mut TxEngine,
+    p: &'a mut dyn Platform,
+}
+
+impl crate::var::TxOps for EngineOps<'_> {
+    fn read_word(&mut self, addr: Addr) -> Result<u64, Abort> {
+        self.engine.read(self.p, addr)
+    }
+
+    fn write_word(&mut self, addr: Addr, value: u64) -> Result<(), Abort> {
+        self.engine.write(self.p, addr, value)
+    }
+
+    fn read_words(&mut self, addr: Addr, out: &mut [u64]) -> Result<(), Abort> {
+        self.engine.read_record(self.p, addr, out)
+    }
+
+    fn write_words(&mut self, addr: Addr, values: &[u64]) -> Result<(), Abort> {
+        self.engine.write_record(self.p, addr, values)
+    }
+
+    fn compute(&mut self, instructions: u64) {
+        self.p.compute(instructions);
+    }
+
+    fn tasklet_id(&self) -> usize {
+        self.p.tasklet_id()
+    }
+}

@@ -1,5 +1,7 @@
-//! Abort signalling for transactional operations.
+//! Abort signalling for transactional operations, and the error type of the
+//! executor entry points.
 
+use pim_sim::AllocError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -72,9 +74,54 @@ impl From<AbortReason> for Abort {
     }
 }
 
+/// Error returned by executor entry points such as
+/// [`crate::threaded::ThreadedDpu::run`].
+///
+/// Configuration problems (too many tasklets, metadata that does not fit)
+/// are reported as values instead of panics, so library users can surface
+/// them however they like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunError {
+    /// More tasklets were requested than the hardware supports.
+    TooManyTasklets {
+        /// Tasklets the caller asked for.
+        requested: usize,
+        /// Hardware limit (24 on UPMEM DPUs).
+        max: usize,
+    },
+    /// Allocating per-tasklet transaction logs (or other metadata) failed.
+    Alloc(AllocError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::TooManyTasklets { requested, max } => {
+                write!(f, "requested {requested} tasklets but the DPU supports at most {max}")
+            }
+            RunError::Alloc(e) => write!(f, "allocating STM metadata failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<AllocError> for RunError {
+    fn from(e: AllocError) -> Self {
+        RunError::Alloc(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn run_error_display_names_the_limit() {
+        let e = RunError::TooManyTasklets { requested: 25, max: 24 };
+        assert!(e.to_string().contains("25"));
+        assert!(e.to_string().contains("at most 24"));
+    }
 
     #[test]
     fn display_is_informative() {

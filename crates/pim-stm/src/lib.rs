@@ -32,40 +32,66 @@
 //!   over atomic shared memory (used to test the algorithms under genuine
 //!   concurrency and in the runnable examples).
 //!
-//! ## Quick example (threaded executor)
+//! ## Quickstart: the typed facade
+//!
+//! Application code uses the typed, executor-agnostic facade of [`var`]:
+//! [`TVar`] / [`TArray`] handles plus the [`TxOps`] operation set. A
+//! transaction body is written **once**, generic over `TxOps`, and runs
+//! unchanged on real threads and on the cycle-accounted simulator; the
+//! word-based API ([`TxView::read`] / [`TxView::write`] on raw [`Addr`]s)
+//! remains available underneath.
 //!
 //! ```
 //! use pim_stm::threaded::ThreadedDpu;
-//! use pim_stm::{MetadataPlacement, StmConfig, StmKind, Tier};
+//! use pim_stm::{Abort, MetadataPlacement, StmConfig, StmKind, TArray, Tier, TxOps};
+//!
+//! // The transaction body: typed, executor-agnostic. Abort propagates via
+//! // `?`; the retry loop rolls back and re-runs the body.
+//! fn transfer<O: TxOps>(
+//!     tx: &mut O,
+//!     accounts: TArray<u64>,
+//!     from: u32,
+//!     to: u32,
+//!     amount: u64,
+//! ) -> Result<(), Abort> {
+//!     let a = tx.get(accounts.at(from))?;
+//!     let b = tx.get(accounts.at(to))?;
+//!     tx.set(accounts.at(from), a - amount)?;
+//!     tx.set(accounts.at(to), b + amount)?;
+//!     Ok(())
+//! }
 //!
 //! // Two tasklets each transfer money between two accounts 100 times; the
 //! // total balance is preserved because transfers are transactions.
 //! let config = StmConfig::new(StmKind::Norec, MetadataPlacement::Wram);
 //! let mut dpu = ThreadedDpu::new(config).expect("metadata fits in WRAM");
-//! let accounts = dpu.alloc(Tier::Mram, 2).expect("data fits");
-//! dpu.poke(accounts, 5_000);
-//! dpu.poke(accounts.offset(1), 5_000);
+//! let accounts: TArray<u64> = dpu.alloc_array(Tier::Mram, 2).expect("data fits");
+//! dpu.poke_var(accounts.at(0), 5_000u64);
+//! dpu.poke_var(accounts.at(1), 5_000u64);
 //!
-//! dpu.run(2, |mut tx_ctx| {
+//! dpu.run(2, |mut tasklet| {
 //!     for _ in 0..100 {
-//!         tx_ctx.transaction(|tx| {
-//!             let a = tx.read(accounts)?;
-//!             let b = tx.read(accounts.offset(1))?;
-//!             tx.write(accounts, a - 10)?;
-//!             tx.write(accounts.offset(1), b + 10)?;
-//!             Ok(())
-//!         });
+//!         tasklet.transaction(|tx| transfer(tx, accounts, 0, 1, 10));
 //!     }
-//! });
+//! })
+//! .expect("2 tasklets is within the hardware limit");
 //!
-//! assert_eq!(dpu.peek(accounts) + dpu.peek(accounts.offset(1)), 10_000);
+//! assert_eq!(dpu.peek_var(accounts.at(0)) + dpu.peek_var(accounts.at(1)), 10_000);
 //! ```
+//!
+//! The same body runs on the simulator through [`TxEngine`] — see the [`var`]
+//! module documentation for the full `TxOps` contract (abort propagation,
+//! no side effects in bodies) and `examples/quickstart.rs` for the
+//! two-executor tour. Multi-word values ([`var::TxRecord`]) move through
+//! [`TxOps::read_record`] / [`TxOps::write_record`], which NOrec fetches as
+//! a single MRAM DMA burst.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod algorithm;
 pub mod config;
+pub mod engine;
 pub mod error;
 pub mod locktable;
 pub mod norec;
@@ -75,6 +101,7 @@ pub mod shared;
 pub mod threaded;
 pub mod tiny;
 pub mod txslot;
+pub mod var;
 pub mod vr;
 
 pub use algorithm::{algorithm_for, run_transaction, TmAlgorithm, TxView};
@@ -82,10 +109,12 @@ pub use config::{
     LockTiming, MetadataGranularity, MetadataPlacement, ReadVisibility, StmConfig, StmKind,
     WritePolicy,
 };
-pub use error::{Abort, AbortReason};
+pub use engine::{run_retry_loop, TxCounters, TxEngine};
+pub use error::{Abort, AbortReason, RunError};
 pub use platform::Platform;
 pub use shared::StmShared;
 pub use txslot::TxSlot;
+pub use var::{TArray, TVar, TxOps, TxRecord, TxWord};
 
 // Re-export the simulator types that appear in this crate's public API so
 // downstream users only need one import path.

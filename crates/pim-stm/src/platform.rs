@@ -30,6 +30,28 @@ pub trait Platform {
     /// Stores one word.
     fn store(&mut self, addr: Addr, value: u64);
 
+    /// Loads `out.len()` consecutive words starting at `addr`.
+    ///
+    /// The default implementation loads word by word; platforms with a DMA
+    /// engine override it so a multi-word record costs one burst (setup paid
+    /// once) instead of `out.len()` independent transfers. **No atomicity is
+    /// implied across the words** — algorithms must bracket the burst with
+    /// their own validation (as NOrec's record read does with the sequence
+    /// lock).
+    fn load_block(&mut self, addr: Addr, out: &mut [u64]) {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.load(addr.offset(i as u32));
+        }
+    }
+
+    /// Stores `values` to consecutive words starting at `addr` (see
+    /// [`Platform::load_block`] for the cost model and atomicity caveat).
+    fn store_block(&mut self, addr: Addr, values: &[u64]) {
+        for (i, value) in values.iter().enumerate() {
+            self.store(addr.offset(i as u32), *value);
+        }
+    }
+
     /// Atomically applies `update` to the word at `addr`.
     ///
     /// The closure receives the current value; returning `Some(new)` stores
@@ -112,6 +134,14 @@ impl Platform for TaskletCtx<'_> {
 
     fn store(&mut self, addr: Addr, value: u64) {
         TaskletCtx::store(self, addr, value)
+    }
+
+    fn load_block(&mut self, addr: Addr, out: &mut [u64]) {
+        TaskletCtx::load_block(self, addr, out)
+    }
+
+    fn store_block(&mut self, addr: Addr, values: &[u64]) {
+        TaskletCtx::store_block(self, addr, values)
     }
 
     fn atomic_update(

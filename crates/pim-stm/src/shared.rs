@@ -107,6 +107,11 @@ impl StmShared {
 
     /// Allocates the per-tasklet read and write logs for `tasklet_id`.
     ///
+    /// Both logs come from **one** allocation, so registration is
+    /// all-or-nothing: on failure the (bump-only, non-freeing) allocator has
+    /// consumed nothing and the caller can retry with a smaller
+    /// configuration.
+    ///
     /// # Errors
     ///
     /// Returns [`AllocError`] if the metadata tier cannot hold the logs.
@@ -116,8 +121,10 @@ impl StmShared {
         tasklet_id: usize,
     ) -> Result<TxSlot, AllocError> {
         let tier = self.config.metadata_tier();
-        let rs = alloc.alloc_words(tier, self.config.read_set_capacity * READ_ENTRY_WORDS)?;
-        let ws = alloc.alloc_words(tier, self.config.write_set_capacity * WRITE_ENTRY_WORDS)?;
+        let rs_words = self.config.read_set_capacity * READ_ENTRY_WORDS;
+        let ws_words = self.config.write_set_capacity * WRITE_ENTRY_WORDS;
+        let rs = alloc.alloc_words(tier, rs_words + ws_words)?;
+        let ws = rs.offset(rs_words);
         Ok(TxSlot::new(
             tasklet_id,
             rs,
@@ -189,8 +196,8 @@ mod tests {
     #[test]
     fn lock_index_is_stable_and_in_range() {
         let mut dpu = Dpu::new(DpuConfig::small());
-        let cfg = StmConfig::new(StmKind::TinyEtlWb, MetadataPlacement::Mram)
-            .with_lock_table_entries(64);
+        let cfg =
+            StmConfig::new(StmKind::TinyEtlWb, MetadataPlacement::Mram).with_lock_table_entries(64);
         let shared = StmShared::allocate(&mut dpu, cfg).unwrap();
         let mut seen = std::collections::HashSet::new();
         for w in 0..1000u32 {

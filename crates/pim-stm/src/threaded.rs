@@ -22,10 +22,13 @@ use pim_sim::{Addr, AllocError, Phase, Tier};
 
 use crate::algorithm::{algorithm_for, run_transaction, TmAlgorithm, TxView};
 use crate::config::StmConfig;
-use crate::error::Abort;
+use crate::error::{Abort, RunError};
 use crate::platform::{AtomicOutcome, Platform};
 use crate::shared::{MetadataAllocator, StmShared};
 use crate::txslot::TxSlot;
+use crate::var::{self, TArray, TVar, TxRecord};
+
+pub use crate::rwlock::MAX_TASKLETS;
 
 /// Default WRAM capacity of a threaded DPU, in words (matches UPMEM: 64 KB).
 pub const DEFAULT_WRAM_WORDS: u32 = 64 * 1024 / 8;
@@ -71,7 +74,11 @@ impl SharedMemory {
         let capacity = self.bank(tier).len() as u32;
         let used = state[idx];
         if words > capacity - used {
-            return Err(AllocError { tier, requested_words: words, available_words: capacity - used });
+            return Err(AllocError {
+                tier,
+                requested_words: words,
+                available_words: capacity - used,
+            });
         }
         state[idx] += words;
         Ok(Addr { tier, word: used })
@@ -156,10 +163,12 @@ impl Platform for ThreadPlatform<'_> {
 }
 
 /// Handle given to each tasklet closure by [`ThreadedDpu::run`]; wraps the
-/// per-thread platform, transaction descriptor and algorithm.
+/// per-thread platform, transaction descriptor and algorithm. The descriptor
+/// is borrowed from the DPU's slot pool, so repeated `run` calls reuse the
+/// same per-tasklet logs instead of exhausting the bump allocator.
 pub struct TaskletTx<'a> {
     platform: ThreadPlatform<'a>,
-    slot: TxSlot,
+    slot: &'a mut TxSlot,
     shared: &'a StmShared,
     alg: &'a dyn TmAlgorithm,
 }
@@ -168,12 +177,22 @@ impl TaskletTx<'_> {
     /// Runs `body` as a transaction, retrying until it commits, and returns
     /// its result.
     pub fn transaction<R>(&mut self, body: impl FnMut(&mut TxView<'_>) -> Result<R, Abort>) -> R {
-        run_transaction(self.alg, self.shared, &mut self.slot, &mut self.platform, body)
+        run_transaction(self.alg, self.shared, self.slot, &mut self.platform, body)
     }
 
     /// Identifier of this tasklet (0-based).
     pub fn tasklet_id(&self) -> usize {
         self.platform.tasklet_id
+    }
+}
+
+impl var::WordAccess for ThreadedDpu {
+    fn peek_word(&self, addr: Addr) -> u64 {
+        self.peek(addr)
+    }
+
+    fn poke_word(&mut self, addr: Addr, value: u64) {
+        self.poke(addr, value)
     }
 }
 
@@ -192,6 +211,10 @@ pub struct ThreadedDpu {
     memory: SharedMemory,
     shared: StmShared,
     config: StmConfig,
+    /// Per-tasklet transaction descriptors, registered on first use and
+    /// reused by every subsequent [`ThreadedDpu::run`] call (the metadata
+    /// allocator is bump-only, so re-registering each run would leak).
+    slots: Vec<TxSlot>,
 }
 
 impl ThreadedDpu {
@@ -217,7 +240,7 @@ impl ThreadedDpu {
     ) -> Result<Self, AllocError> {
         let memory = SharedMemory::new(wram_words, mram_words);
         let shared = StmShared::allocate(&mut (&memory), config)?;
-        Ok(ThreadedDpu { memory, shared, config })
+        Ok(ThreadedDpu { memory, shared, config, slots: Vec::new() })
     }
 
     /// The configuration this DPU was created with.
@@ -240,6 +263,29 @@ impl ThreadedDpu {
         self.memory.alloc(tier, words)
     }
 
+    /// Allocates one zeroed typed variable in `tier`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] if the tier is exhausted.
+    pub fn alloc_var<T: TxRecord>(&mut self, tier: Tier) -> Result<TVar<T>, AllocError> {
+        var::alloc_var(&mut (&self.memory), tier)
+    }
+
+    /// Allocates a zeroed typed array of `len` records in `tier`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] if the tier is exhausted (or the array's word
+    /// count overflows the address space).
+    pub fn alloc_array<T: TxRecord>(
+        &mut self,
+        tier: Tier,
+        len: u32,
+    ) -> Result<TArray<T>, AllocError> {
+        var::alloc_array(&mut (&self.memory), tier, len)
+    }
+
     /// Reads a word without going through a transaction (only safe while no
     /// tasklets are running — the host-side access pattern of UPMEM).
     pub fn peek(&self, addr: Addr) -> u64 {
@@ -252,27 +298,46 @@ impl ThreadedDpu {
         self.memory.cell(addr).store(value, Ordering::SeqCst)
     }
 
+    /// Reads a typed variable without going through a transaction (see
+    /// [`ThreadedDpu::peek`]).
+    pub fn peek_var<T: TxRecord>(&self, var: TVar<T>) -> T {
+        var::peek_var(self, var)
+    }
+
+    /// Writes a typed variable without going through a transaction (see
+    /// [`ThreadedDpu::peek`]).
+    pub fn poke_var<T: TxRecord>(&mut self, var: TVar<T>, value: T) {
+        var::poke_var(self, var, value)
+    }
+
     /// Launches `tasklets` OS threads, each running `body` with its own
     /// [`TaskletTx`] handle, waits for all of them and returns the aggregate
     /// commit/abort counts.
     ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::TooManyTasklets`] if `tasklets` exceeds
+    /// [`MAX_TASKLETS`] and [`RunError::Alloc`] if allocating the
+    /// per-tasklet transaction logs fails.
+    ///
     /// # Panics
     ///
-    /// Panics if `tasklets` exceeds 24 (the UPMEM hardware-thread limit), if
-    /// allocating the per-tasklet transaction logs fails, or if a tasklet
-    /// thread panics.
-    pub fn run<F>(&mut self, tasklets: usize, body: F) -> ThreadedRunReport
+    /// Panics if a tasklet thread panics.
+    pub fn run<F>(&mut self, tasklets: usize, body: F) -> Result<ThreadedRunReport, RunError>
     where
         F: Fn(TaskletTx<'_>) + Send + Sync,
     {
-        assert!(tasklets <= 24, "UPMEM DPUs support at most 24 tasklets, got {tasklets}");
-        let slots: Vec<TxSlot> = (0..tasklets)
-            .map(|t| {
-                self.shared
-                    .register_tasklet(&mut (&self.memory), t)
-                    .expect("per-tasklet STM logs must fit in the metadata tier")
-            })
-            .collect();
+        if tasklets > MAX_TASKLETS {
+            return Err(RunError::TooManyTasklets { requested: tasklets, max: MAX_TASKLETS });
+        }
+        // Register only the tasklets not yet in the pool; already-registered
+        // slots are reused, so repeated runs consume no further metadata.
+        // Each registration is a single all-or-nothing allocation, so a
+        // failure partway leaks nothing: the slots registered so far stay in
+        // the pool and serve any smaller run.
+        for t in self.slots.len()..tasklets {
+            self.slots.push(self.shared.register_tasklet(&mut (&self.memory), t)?);
+        }
         let alg = algorithm_for(self.config.kind);
         let memory = &self.memory;
         let shared = &self.shared;
@@ -280,15 +345,11 @@ impl ThreadedDpu {
         let body = &body;
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for (tasklet_id, slot) in slots.into_iter().enumerate() {
+            for (tasklet_id, slot) in self.slots.iter_mut().take(tasklets).enumerate() {
                 let counters = &counters;
                 handles.push(scope.spawn(move || {
-                    let platform = ThreadPlatform {
-                        memory,
-                        counters,
-                        tasklet_id,
-                        phase: Phase::OtherExec,
-                    };
+                    let platform =
+                        ThreadPlatform { memory, counters, tasklet_id, phase: Phase::OtherExec };
                     body(TaskletTx { platform, slot, shared, alg });
                 }));
             }
@@ -296,10 +357,10 @@ impl ThreadedDpu {
                 handle.join().expect("tasklet thread panicked");
             }
         });
-        ThreadedRunReport {
+        Ok(ThreadedRunReport {
             commits: counters.commits.load(Ordering::Relaxed),
             aborts: counters.aborts.load(Ordering::Relaxed),
-        }
+        })
     }
 }
 
@@ -321,15 +382,17 @@ mod tests {
             let mut dpu = ThreadedDpu::new(small_config(kind)).unwrap();
             let counter = dpu.alloc(Tier::Mram, 1).unwrap();
             let per_tasklet = 200u64;
-            let report = dpu.run(4, |mut tx| {
-                for _ in 0..per_tasklet {
-                    tx.transaction(|view| {
-                        let v = view.read(counter)?;
-                        view.write(counter, v + 1)?;
-                        Ok(())
-                    });
-                }
-            });
+            let report = dpu
+                .run(4, |mut tx| {
+                    for _ in 0..per_tasklet {
+                        tx.transaction(|view| {
+                            let v = view.read(counter)?;
+                            view.write(counter, v + 1)?;
+                            Ok(())
+                        });
+                    }
+                })
+                .unwrap();
             assert_eq!(dpu.peek(counter), 4 * per_tasklet, "{kind} lost increments");
             assert_eq!(report.commits, 4 * per_tasklet, "{kind} commit count");
         }
@@ -359,7 +422,8 @@ mod tests {
                         Ok(())
                     });
                 }
-            });
+            })
+            .unwrap();
             let total: u64 = (0..8).map(|i| dpu.peek(accounts.offset(i))).sum();
             assert_eq!(total, 8000, "{kind} violated balance conservation");
         }
@@ -374,9 +438,56 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at most 24 tasklets")]
-    fn too_many_tasklets_panics() {
+    fn too_many_tasklets_is_an_error_not_a_panic() {
+        use crate::error::RunError;
         let mut dpu = ThreadedDpu::new(small_config(StmKind::Norec)).unwrap();
-        dpu.run(25, |_| {});
+        let err = dpu.run(25, |_| {}).unwrap_err();
+        assert_eq!(err, RunError::TooManyTasklets { requested: 25, max: MAX_TASKLETS });
+        // The limit itself is fine.
+        assert!(dpu.run(MAX_TASKLETS, |_| {}).is_ok());
+    }
+
+    #[test]
+    fn failed_run_leaves_a_usable_dpu() {
+        // WRAM sized so 4 tasklets' logs fit but 5 do not (224 words per
+        // tasklet with small_config, plus 2 shared NOrec words).
+        let config = small_config(StmKind::Norec);
+        let mut dpu = ThreadedDpu::with_capacity(config, 1024, 1024).unwrap();
+        let err = dpu.run(5, |_| {}).unwrap_err();
+        assert!(matches!(err, crate::error::RunError::Alloc(_)), "got {err:?}");
+        // Registration is all-or-nothing per tasklet and successfully
+        // registered slots stay pooled, so a smaller run still fits.
+        assert!(dpu.run(4, |_| {}).is_ok());
+    }
+
+    #[test]
+    fn repeated_runs_reuse_tasklet_logs() {
+        // WRAM holds 4 tasklets' logs once, not twice: only slot pooling
+        // lets the DPU be driven repeatedly.
+        let mut dpu = ThreadedDpu::with_capacity(small_config(StmKind::Norec), 1024, 1024).unwrap();
+        let counter = dpu.alloc(Tier::Mram, 1).unwrap();
+        for round in 1..=10u64 {
+            dpu.run(4, |mut tx| {
+                tx.transaction(|view| {
+                    let v = view.read(counter)?;
+                    view.write(counter, v + 1)?;
+                    Ok(())
+                });
+            })
+            .unwrap_or_else(|e| panic!("round {round} failed: {e}"));
+            assert_eq!(dpu.peek(counter), 4 * round);
+        }
+    }
+
+    #[test]
+    fn typed_alloc_and_peek_poke_roundtrip() {
+        let mut dpu = ThreadedDpu::new(small_config(StmKind::Norec)).unwrap();
+        let var = dpu.alloc_var::<(u32, u32)>(Tier::Mram).unwrap();
+        dpu.poke_var(var, (7, 9));
+        assert_eq!(dpu.peek_var(var), (7, 9));
+        let arr = dpu.alloc_array::<[i64; 2]>(Tier::Mram, 3).unwrap();
+        dpu.poke_var(arr.at(2), [-1, 1]);
+        assert_eq!(dpu.peek_var(arr.at(2)), [-1, 1]);
+        assert_eq!(dpu.peek_var(arr.at(0)), [0, 0]);
     }
 }

@@ -167,8 +167,7 @@ impl Tiny {
                 return Err(AbortReason::ValidationFailed);
             }
         }
-        let outcome =
-            p.compare_and_swap(orec_addr, orec.raw(), OrecWord::locked_by(me).raw());
+        let outcome = p.compare_and_swap(orec_addr, orec.raw(), OrecWord::locked_by(me).raw());
         if outcome.updated {
             Ok(Some(orec.raw()))
         } else {
@@ -277,8 +276,7 @@ impl TmAlgorithm for Tiny {
                 }
             }
             LockTiming::Encounter => {
-                let acquired = match self.acquire_orec(shared, tx, p, addr, Phase::ValidatingExec)
-                {
+                let acquired = match self.acquire_orec(shared, tx, p, addr, Phase::ValidatingExec) {
                     Ok(acquired) => acquired,
                     Err(reason) => return Err(self.abort(shared, tx, p, reason)),
                 };
@@ -547,8 +545,7 @@ mod tests {
         }
         {
             let mut ctx = TaskletCtx::new(&mut fx.dpu, &mut stats0, 0, 2, 0);
-            let err =
-                tiny.write(&fx.shared, slot0, &mut ctx, fx.data.offset(2), 300).unwrap_err();
+            let err = tiny.write(&fx.shared, slot0, &mut ctx, fx.data.offset(2), 300).unwrap_err();
             assert_eq!(err.reason, AbortReason::WriteConflict);
             // The undo log restored the original contents and released ORecs.
             assert_eq!(ctx.dpu().peek(fx.data), 7);

@@ -179,7 +179,14 @@ impl TxSlot {
     ///
     /// Panics if the log is full; size the capacity for the workload (see
     /// [`crate::StmConfig::with_write_set_capacity`]).
-    pub fn push_write(&mut self, p: &mut dyn Platform, addr: Addr, value: u64, extra: u64, flag: bool) {
+    pub fn push_write(
+        &mut self,
+        p: &mut dyn Platform,
+        addr: Addr,
+        value: u64,
+        extra: u64,
+        flag: bool,
+    ) {
         assert!(
             self.ws_len < self.ws_cap,
             "write log overflow (capacity {} entries) on tasklet {}",
@@ -201,12 +208,7 @@ impl TxSlot {
         let encoded = p.load(entry);
         let value = p.load(entry.offset(1));
         let extra = p.load(entry.offset(2));
-        WriteEntry {
-            addr: decode_addr(encoded),
-            value,
-            extra,
-            flag: encoded & ENC_FLAG_BIT != 0,
-        }
+        WriteEntry { addr: decode_addr(encoded), value, extra, flag: encoded & ENC_FLAG_BIT != 0 }
     }
 
     /// Overwrites the value of an existing write-log entry (used when a

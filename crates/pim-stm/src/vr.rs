@@ -383,7 +383,11 @@ mod tests {
             vr.begin(&fx.shared, slot, &mut ctx);
             assert_eq!(vr.read(&fx.shared, slot, &mut ctx, fx.data).unwrap(), 0);
             vr.write(&fx.shared, slot, &mut ctx, fx.data.offset(1), 11).unwrap();
-            assert_eq!(vr.read(&fx.shared, slot, &mut ctx, fx.data.offset(1)).unwrap(), 11, "{kind}");
+            assert_eq!(
+                vr.read(&fx.shared, slot, &mut ctx, fx.data.offset(1)).unwrap(),
+                11,
+                "{kind}"
+            );
             vr.commit(&fx.shared, slot, &mut ctx).unwrap();
             assert_eq!(ctx.dpu().peek(fx.data.offset(1)), 11, "{kind}");
             for w in 0..2 {

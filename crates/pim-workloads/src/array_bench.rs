@@ -13,8 +13,9 @@
 //!   very high contention — the workload where NOrec's implicit back-off and
 //!   low abort cost win.
 
-use pim_sim::{Addr, Dpu, SimRng, StepStatus, TaskletCtx, TaskletProgram, Tier};
-use pim_stm::{algorithm_for, StmShared};
+use pim_sim::{Dpu, SimRng, StepStatus, TaskletCtx, TaskletProgram, Tier};
+use pim_stm::var::{self, TArray, TVar};
+use pim_stm::{algorithm_for, StmShared, TxOps};
 
 use crate::driver::TxMachine;
 
@@ -81,12 +82,13 @@ impl ArrayBenchConfig {
     }
 }
 
-/// Shared state of the benchmark: the array in MRAM.
+/// Shared state of the benchmark: the array in MRAM, handled through the
+/// typed [`TArray`] facade.
 #[derive(Debug, Clone, Copy)]
 pub struct ArrayBenchData {
-    /// Base address of the read region (`Y` entries), directly followed by
+    /// The whole array: the read region (`Y` entries) directly followed by
     /// the update region.
-    pub array: Addr,
+    pub array: TArray<u64>,
     config: ArrayBenchConfig,
 }
 
@@ -98,28 +100,25 @@ impl ArrayBenchData {
     /// Panics if MRAM cannot hold the array (it always can on a real DPU for
     /// the paper's sizes).
     pub fn allocate(dpu: &mut Dpu, config: ArrayBenchConfig) -> Self {
-        let array = dpu
-            .alloc(Tier::Mram, config.array_words().max(1))
+        let array = var::alloc_array(dpu, Tier::Mram, config.array_words())
             .expect("ArrayBench array must fit in MRAM");
         ArrayBenchData { array, config }
     }
 
-    fn read_entry_addr(&self, index: u32) -> Addr {
+    fn read_entry(&self, index: u32) -> TVar<u64> {
         debug_assert!(index < self.config.read_region);
-        self.array.offset(index)
+        self.array.at(index)
     }
 
-    fn update_entry_addr(&self, index: u32) -> Addr {
+    fn update_entry(&self, index: u32) -> TVar<u64> {
         debug_assert!(index < self.config.update_region);
-        self.array.offset(self.config.read_region + index)
+        self.array.at(self.config.read_region + index)
     }
 
     /// Sum of the update region, read directly (host-side); used by tests to
     /// check that committed increments are not lost.
     pub fn update_region_sum(&self, dpu: &Dpu) -> u64 {
-        (0..self.config.update_region)
-            .map(|i| dpu.peek(self.update_entry_addr(i)))
-            .sum()
+        (0..self.config.update_region).map(|i| var::peek_var(dpu, self.update_entry(i))).sum()
     }
 }
 
@@ -203,8 +202,8 @@ impl TaskletProgram for ArrayBenchProgram {
                 };
             }
             State::ReadPhase(i) => {
-                let addr = self.data.read_entry_addr(self.read_targets[i as usize]);
-                match self.tm.read(ctx, addr) {
+                let entry = self.data.read_entry(self.read_targets[i as usize]);
+                match self.tm.ops(ctx).get(entry) {
                     Ok(_) => {
                         let next = i + 1;
                         self.state = if next < self.config.reads_per_tx {
@@ -217,11 +216,9 @@ impl TaskletProgram for ArrayBenchProgram {
                 }
             }
             State::UpdatePhase(i) => {
-                let addr = self.data.update_entry_addr(self.update_targets[i as usize]);
-                let result = self
-                    .tm
-                    .read(ctx, addr)
-                    .and_then(|value| self.tm.write(ctx, addr, value.wrapping_add(1)));
+                let entry = self.data.update_entry(self.update_targets[i as usize]);
+                let mut ops = self.tm.ops(ctx);
+                let result = ops.get(entry).and_then(|value| ops.set(entry, value.wrapping_add(1)));
                 match result {
                     Ok(()) => {
                         let next = i + 1;
@@ -318,7 +315,8 @@ mod tests {
 
     #[test]
     fn workload_a_is_linearizable_for_norec_and_tiny() {
-        let cfg = ArrayBenchConfig { transactions_per_tasklet: 10, ..ArrayBenchConfig::workload_a() };
+        let cfg =
+            ArrayBenchConfig { transactions_per_tasklet: 10, ..ArrayBenchConfig::workload_a() };
         for kind in [StmKind::Norec, StmKind::TinyEtlWb, StmKind::VrEtlWt] {
             run_arraybench(kind, cfg, 3);
         }

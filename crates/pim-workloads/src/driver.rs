@@ -1,119 +1,25 @@
-//! Shared plumbing for workload tasklet programs: the [`TxMachine`] bundles
-//! the STM algorithm, shared metadata and this tasklet's transaction
-//! descriptor, and centralises the begin / commit / abort bookkeeping every
-//! workload state machine needs.
+//! Shared plumbing for workload tasklet programs.
+//!
+//! [`TxMachine`] used to be this crate's own copy of the begin / commit /
+//! abort bookkeeping; it is now an alias of [`pim_stm::TxEngine`], so the
+//! step-granular workload state machines and the closure-style executors run
+//! the *same* retry/back-off/accounting core (see `pim_stm::engine`).
+//!
+//! A workload program calls [`TxMachine::begin`] when it starts (or retries)
+//! a transaction, issues [`TxMachine::read`] / [`TxMachine::write`]
+//! operations from its `step` function — or typed operations through
+//! [`TxMachine::ops`] — and finishes with [`TxMachine::commit`]. When an
+//! operation aborts, the program calls [`TxMachine::on_abort`] and rewinds
+//! its own state to the beginning of the transaction body.
 
-use pim_sim::Addr;
-use pim_stm::algorithm::backoff;
-use pim_stm::{Abort, Platform, StmShared, TmAlgorithm, TxSlot};
-
-/// Per-tasklet transactional machinery used by the workload state machines.
-///
-/// A workload program calls [`TxMachine::begin`] when it starts (or retries)
-/// a transaction, issues [`TxMachine::read`] / [`TxMachine::write`]
-/// operations from its `step` function, and finishes with
-/// [`TxMachine::commit`]. When an operation aborts, the program calls
-/// [`TxMachine::on_abort`] and rewinds its own state to the beginning of the
-/// transaction body.
-pub struct TxMachine {
-    shared: StmShared,
-    slot: TxSlot,
-    alg: &'static dyn TmAlgorithm,
-    commits: u64,
-    aborts: u64,
-}
-
-impl TxMachine {
-    /// Creates the machinery for one tasklet.
-    pub fn new(shared: StmShared, slot: TxSlot, alg: &'static dyn TmAlgorithm) -> Self {
-        TxMachine { shared, slot, alg, commits: 0, aborts: 0 }
-    }
-
-    /// Starts a transaction attempt (also used to restart after an abort).
-    pub fn begin(&mut self, p: &mut dyn Platform) {
-        p.begin_attempt();
-        self.alg.begin(&self.shared, &mut self.slot, p);
-    }
-
-    /// Transactional read.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`Abort`] from the underlying algorithm.
-    pub fn read(&mut self, p: &mut dyn Platform, addr: Addr) -> Result<u64, Abort> {
-        self.alg.read(&self.shared, &mut self.slot, p, addr)
-    }
-
-    /// Transactional write.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`Abort`] from the underlying algorithm.
-    pub fn write(&mut self, p: &mut dyn Platform, addr: Addr, value: u64) -> Result<(), Abort> {
-        self.alg.write(&self.shared, &mut self.slot, p, addr, value)
-    }
-
-    /// Attempts to commit; on success the attempt is accounted as committed.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`Abort`]; the caller must then call
-    /// [`TxMachine::on_abort`] and restart the transaction body.
-    pub fn commit(&mut self, p: &mut dyn Platform) -> Result<(), Abort> {
-        self.alg.commit(&self.shared, &mut self.slot, p)?;
-        p.commit_attempt();
-        self.slot.note_commit();
-        self.commits += 1;
-        Ok(())
-    }
-
-    /// Explicitly abandons the current attempt (releasing locks and undoing
-    /// exposed writes) without the algorithm having detected a conflict.
-    /// The caller must still call [`TxMachine::on_abort`] afterwards.
-    pub fn cancel(&mut self, p: &mut dyn Platform) {
-        self.alg.cancel(&self.shared, &mut self.slot, p);
-    }
-
-    /// Accounts an aborted attempt (the cycles it consumed become wasted
-    /// time) and applies bounded exponential back-off.
-    pub fn on_abort(&mut self, p: &mut dyn Platform) {
-        p.abort_attempt();
-        self.slot.note_abort();
-        self.aborts += 1;
-        backoff(p, self.slot.consecutive_aborts());
-    }
-
-    /// Shared STM metadata handles.
-    pub fn shared(&self) -> &StmShared {
-        &self.shared
-    }
-
-    /// Transactions committed by this tasklet.
-    pub fn commits(&self) -> u64 {
-        self.commits
-    }
-
-    /// Attempts aborted by this tasklet.
-    pub fn aborts(&self) -> u64 {
-        self.aborts
-    }
-}
-
-impl std::fmt::Debug for TxMachine {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TxMachine")
-            .field("kind", &self.alg.kind())
-            .field("commits", &self.commits)
-            .field("aborts", &self.aborts)
-            .finish()
-    }
-}
+pub use pim_stm::engine::{EngineOps, TxCounters};
+pub use pim_stm::TxEngine as TxMachine;
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pim_sim::{Dpu, DpuConfig, TaskletCtx, TaskletStats, Tier};
-    use pim_stm::{algorithm_for, MetadataPlacement, StmConfig, StmKind};
+    use pim_stm::{algorithm_for, MetadataPlacement, StmConfig, StmKind, StmShared};
 
     #[test]
     fn machine_tracks_commits_and_aborts() {
@@ -153,5 +59,29 @@ mod tests {
         assert_eq!(stats0.commits, 1);
         assert_eq!(stats1.aborts, 1);
         assert!(format!("{m1:?}").contains("aborts"));
+    }
+
+    #[test]
+    fn machine_closure_transactions_share_the_retry_core() {
+        // The same TxEngine that drives step-granular programs can run
+        // closure transactions; counters accumulate across both styles.
+        let mut dpu = Dpu::new(DpuConfig::small());
+        let cfg = StmConfig::new(StmKind::Norec, MetadataPlacement::Wram);
+        let shared = StmShared::allocate(&mut dpu, cfg).unwrap();
+        let slot = shared.register_tasklet(&mut dpu, 0).unwrap();
+        let data = dpu.alloc(Tier::Mram, 1).unwrap();
+        let mut machine = TxMachine::for_shared(shared, slot);
+        let mut stats = TaskletStats::new();
+        for _ in 0..5 {
+            let mut ctx = TaskletCtx::new(&mut dpu, &mut stats, 0, 1, 0);
+            machine.transaction(&mut ctx, |tx| {
+                let v = tx.read(data)?;
+                tx.write(data, v + 1)?;
+                Ok(())
+            });
+        }
+        assert_eq!(machine.commits(), 5);
+        assert_eq!(stats.commits, 5);
+        assert_eq!(dpu.peek(data), 5);
     }
 }

@@ -45,8 +45,7 @@ impl KmeansConfig {
 
     /// Scales the per-tasklet point count, keeping at least one point.
     pub fn scaled(mut self, factor: f64) -> Self {
-        self.points_per_tasklet =
-            ((self.points_per_tasklet as f64 * factor).round() as u32).max(1);
+        self.points_per_tasklet = ((self.points_per_tasklet as f64 * factor).round() as u32).max(1);
         self
     }
 
@@ -195,8 +194,9 @@ impl TaskletProgram for KmeansProgram {
                 self.remaining -= 1;
                 // Draw the point and model reading it from the tasklet's MRAM
                 // shard (d words of non-transactional input).
-                self.point =
-                    (0..self.config.dimensions).map(|_| self.rng.next_range(self.config.coordinate_range)).collect();
+                self.point = (0..self.config.dimensions)
+                    .map(|_| self.rng.next_range(self.config.coordinate_range))
+                    .collect();
                 ctx.set_phase(Phase::OtherExec);
                 ctx.compute(4 * u64::from(self.config.dimensions));
                 self.best_cluster = 0;
@@ -245,10 +245,8 @@ impl TaskletProgram for KmeansProgram {
             }
             State::UpdateCount => {
                 let addr = self.data.count_addr(self.best_cluster);
-                let result = self
-                    .tm
-                    .read(ctx, addr)
-                    .and_then(|count| self.tm.write(ctx, addr, count + 1));
+                let result =
+                    self.tm.read(ctx, addr).and_then(|count| self.tm.write(ctx, addr, count + 1));
                 match result {
                     Ok(()) => self.state = State::Commit,
                     Err(_) => self.restart(ctx),
@@ -341,7 +339,8 @@ mod tests {
 
     #[test]
     fn single_tasklet_never_aborts() {
-        let (_, aborts, members) = run_kmeans(StmKind::VrCtlWb, KmeansConfig::high_contention().scaled(0.2), 1);
+        let (_, aborts, members) =
+            run_kmeans(StmKind::VrCtlWb, KmeansConfig::high_contention().scaled(0.2), 1);
         assert_eq!(aborts, 0);
         assert_eq!(members, KmeansConfig::high_contention().scaled(0.2).points_per_tasklet as u64);
     }

@@ -108,8 +108,7 @@ impl LabyrinthData {
     pub fn allocate(dpu: &mut Dpu, config: LabyrinthConfig, seed: u64) -> Self {
         let grid = dpu.alloc(Tier::Mram, config.cells()).expect("shared grid must fit in MRAM");
         let queue_head = dpu.alloc(Tier::Mram, 1).expect("queue head");
-        let queue =
-            dpu.alloc(Tier::Mram, config.paths * 2).expect("work queue must fit in MRAM");
+        let queue = dpu.alloc(Tier::Mram, config.paths * 2).expect("work queue must fit in MRAM");
         let mut rng = SimRng::new(seed);
         for i in 0..config.paths {
             let src = rng.next_range(u64::from(config.cells()));
@@ -131,8 +130,7 @@ impl LabyrinthData {
 
     /// Number of grid cells currently marked as occupied (host-side read).
     pub fn occupied_cells(&self, dpu: &Dpu) -> u32 {
-        (0..self.config.cells()).filter(|&i| dpu.peek(self.cell_addr(i)) == OCCUPIED).count()
-            as u32
+        (0..self.config.cells()).filter(|&i| dpu.peek(self.cell_addr(i)) == OCCUPIED).count() as u32
     }
 
     /// Number of jobs already claimed from the queue (host-side read).
@@ -501,7 +499,7 @@ mod tests {
         // we check indirectly by re-routing on a single tasklet and comparing
         // against a high-contention multi-tasklet run.
         let config = LabyrinthConfig::small().scaled(0.2);
-        let (data, dpu, _ ) = run_labyrinth(StmKind::TinyEtlWt, config, 6);
+        let (data, dpu, _) = run_labyrinth(StmKind::TinyEtlWt, config, 6);
         // If two committed paths overlapped, a cell would have been written
         // twice and the grid would contain fewer occupied cells than the sum
         // of path lengths; we cannot observe path lengths here, but we can at

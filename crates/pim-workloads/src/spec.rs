@@ -300,8 +300,7 @@ mod tests {
 
     #[test]
     fn array_a_wram_config_keeps_lock_table_in_mram() {
-        let spec =
-            RunSpec::new(Workload::ArrayA, StmKind::TinyEtlWb, MetadataPlacement::Wram, 4);
+        let spec = RunSpec::new(Workload::ArrayA, StmKind::TinyEtlWb, MetadataPlacement::Wram, 4);
         let cfg = spec.stm_config();
         assert_eq!(cfg.metadata_tier(), pim_sim::Tier::Wram);
         assert_eq!(cfg.lock_table_tier(), pim_sim::Tier::Mram);
@@ -316,8 +315,7 @@ mod tests {
             (Workload::LabyrinthS, StmKind::TinyEtlWt, MetadataPlacement::Mram),
         ];
         for (workload, kind, placement) in samples {
-            let report =
-                RunSpec::new(workload, kind, placement, 4).with_scale(0.1).run();
+            let report = RunSpec::new(workload, kind, placement, 4).with_scale(0.1).run();
             assert!(report.total_commits() > 0, "{workload}/{kind} committed nothing");
             assert!(report.throughput_tx_per_sec() > 0.0);
             assert!(report.makespan_cycles > 0);

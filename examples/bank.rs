@@ -3,17 +3,39 @@
 //! that the total balance is preserved — the canonical STM demo, here
 //! running on the threaded executor so the concurrency is real.
 //!
+//! The transaction bodies are written once against the typed, executor-
+//! agnostic [`TxOps`] facade (`TVar`/`TArray`); the same functions drive the
+//! cycle-accounted simulator in `tests/typed_facade.rs`.
+//!
 //! ```text
 //! cargo run --example bank [stm-kind]       # e.g. `cargo run --example bank vr-etlwt`
 //! ```
 
 use pim_stm_suite::stm::threaded::ThreadedDpu;
-use pim_stm_suite::stm::{MetadataPlacement, StmConfig, StmKind, Tier};
+use pim_stm_suite::stm::{Abort, MetadataPlacement, StmConfig, StmKind, TArray, Tier, TxOps};
 
 const ACCOUNTS: u32 = 64;
 const INITIAL_BALANCE: u64 = 1_000;
 const TRANSFERS_PER_TASKLET: u32 = 2_000;
 const TASKLETS: usize = 8;
+
+/// Moves one unit between two accounts. Generic over the executor.
+fn transfer<O: TxOps>(tx: &mut O, accounts: TArray<u64>, from: u32, to: u32) -> Result<(), Abort> {
+    let a = tx.get(accounts.at(from))?;
+    let b = tx.get(accounts.at(to))?;
+    tx.set(accounts.at(from), a.wrapping_sub(1))?;
+    tx.set(accounts.at(to), b.wrapping_add(1))?;
+    Ok(())
+}
+
+/// Sums every account inside one (read-only) transaction.
+fn audit<O: TxOps>(tx: &mut O, accounts: TArray<u64>) -> Result<u64, Abort> {
+    let mut total = 0u64;
+    for i in 0..accounts.len() {
+        total += tx.get(accounts.at(i))?;
+    }
+    Ok(total)
+}
 
 fn main() {
     let kind = std::env::args()
@@ -25,48 +47,38 @@ fn main() {
 
     let config = StmConfig::new(kind, MetadataPlacement::Wram).with_lock_table_entries(512);
     let mut dpu = ThreadedDpu::new(config).expect("STM metadata fits in WRAM");
-    let accounts = dpu.alloc(Tier::Mram, ACCOUNTS).expect("accounts fit in MRAM");
+    let accounts: TArray<u64> =
+        dpu.alloc_array(Tier::Mram, ACCOUNTS).expect("accounts fit in MRAM");
     for i in 0..ACCOUNTS {
-        dpu.poke(accounts.offset(i), INITIAL_BALANCE);
+        dpu.poke_var(accounts.at(i), INITIAL_BALANCE);
     }
 
-    let report = dpu.run(TASKLETS, |mut tasklet| {
-        let id = tasklet.tasklet_id() as u32;
-        for step in 0..TRANSFERS_PER_TASKLET {
-            // The last tasklet acts as an auditor: it sums every account
-            // inside one (read-only) transaction and asserts conservation.
-            if id as usize == TASKLETS - 1 {
-                let total = tasklet.transaction(|tx| {
-                    let mut total = 0u64;
-                    for i in 0..ACCOUNTS {
-                        total += tx.read(accounts.offset(i))?;
-                    }
-                    Ok(total)
-                });
-                assert_eq!(
-                    total,
-                    u64::from(ACCOUNTS) * INITIAL_BALANCE,
-                    "audit observed a torn total — opacity violated"
-                );
-                continue;
+    let report = dpu
+        .run(TASKLETS, |mut tasklet| {
+            let id = tasklet.tasklet_id() as u32;
+            for step in 0..TRANSFERS_PER_TASKLET {
+                // The last tasklet acts as an auditor and asserts conservation.
+                if id as usize == TASKLETS - 1 {
+                    let total = tasklet.transaction(|tx| audit(tx, accounts));
+                    assert_eq!(
+                        total,
+                        u64::from(ACCOUNTS) * INITIAL_BALANCE,
+                        "audit observed a torn total — opacity violated"
+                    );
+                    continue;
+                }
+                // Everyone else moves one unit between two pseudo-random accounts.
+                let from = (id * 31 + step * 17) % ACCOUNTS;
+                let to = (id * 13 + step * 29 + 1) % ACCOUNTS;
+                if from == to {
+                    continue;
+                }
+                tasklet.transaction(|tx| transfer(tx, accounts, from, to));
             }
-            // Everyone else moves one unit between two pseudo-random accounts.
-            let from = (id * 31 + step * 17) % ACCOUNTS;
-            let to = (id * 13 + step * 29 + 1) % ACCOUNTS;
-            if from == to {
-                continue;
-            }
-            tasklet.transaction(|tx| {
-                let a = tx.read(accounts.offset(from))?;
-                let b = tx.read(accounts.offset(to))?;
-                tx.write(accounts.offset(from), a.wrapping_sub(1))?;
-                tx.write(accounts.offset(to), b.wrapping_add(1))?;
-                Ok(())
-            });
-        }
-    });
+        })
+        .expect("tasklet count is within the hardware limit");
 
-    let total: u64 = (0..ACCOUNTS).map(|i| dpu.peek(accounts.offset(i))).sum();
+    let total: u64 = (0..ACCOUNTS).map(|i| dpu.peek_var(accounts.at(i))).sum();
     println!("final total balance: {total} (expected {})", u64::from(ACCOUNTS) * INITIAL_BALANCE);
     println!("commits: {}, aborts: {}", report.commits, report.aborts);
     assert_eq!(total, u64::from(ACCOUNTS) * INITIAL_BALANCE);

@@ -23,7 +23,8 @@ fn main() {
             })
         })
         .unwrap_or(Workload::ArrayB);
-    let scale: f64 = std::env::args().nth(2).map(|s| s.parse().expect("scale must be a number")).unwrap_or(0.25);
+    let scale: f64 =
+        std::env::args().nth(2).map(|s| s.parse().expect("scale must be a number")).unwrap_or(0.25);
     let tasklets = [1, 3, 5, 7, 9, 11];
 
     println!("design-space sweep for {workload} ({}), scale {scale}\n", workload.figure());
@@ -37,9 +38,6 @@ fn main() {
         println!("{}", sweep.throughput_table());
         println!("{}", sweep.abort_table());
         println!("{}", sweep.breakdown_table());
-        println!(
-            "best design at peak throughput: {}\n",
-            sweep.best_design().name()
-        );
+        println!("best design at peak throughput: {}\n", sweep.best_design().name());
     }
 }

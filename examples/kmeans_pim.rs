@@ -21,9 +21,8 @@ fn main() {
     );
     for workload in [Workload::KmeansLc, Workload::KmeansHc] {
         for kind in [StmKind::Norec, StmKind::TinyEtlWb, StmKind::VrCtlWb] {
-            let report = RunSpec::new(workload, kind, MetadataPlacement::Wram, 11)
-                .with_scale(0.5)
-                .run();
+            let report =
+                RunSpec::new(workload, kind, MetadataPlacement::Wram, 11).with_scale(0.5).run();
             let breakdown = report.breakdown();
             let tx_time: f64 = Phase::ALL
                 .iter()

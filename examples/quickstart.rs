@@ -1,5 +1,12 @@
-//! Quickstart: run a handful of transactions with every STM design of the
-//! PIM-STM library, on both executors.
+//! Quickstart: one typed transaction body, every STM design, both executors.
+//!
+//! The increment body below is written once against the executor-agnostic
+//! [`TxOps`] facade and then run
+//!
+//! 1. on the deterministic, cycle-accounted simulator (via [`TxEngine`]), and
+//! 2. on the threaded executor (real OS threads over atomic memory),
+//!
+//! for each of the paper's seven STM designs.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -7,9 +14,18 @@
 
 use pim_stm_suite::sim::{Dpu, DpuConfig, TaskletCtx, TaskletStats, Tier};
 use pim_stm_suite::stm::threaded::ThreadedDpu;
+use pim_stm_suite::stm::var::{self, TVar};
 use pim_stm_suite::stm::{
-    algorithm_for, run_transaction, MetadataPlacement, StmConfig, StmKind, StmShared,
+    Abort, MetadataPlacement, StmConfig, StmKind, StmShared, TxEngine, TxOps,
 };
+
+/// The transaction body: read-modify-write of one typed counter. Abort
+/// propagates via `?`; the retry loop re-runs the body until it commits.
+fn increment<O: TxOps>(tx: &mut O, counter: TVar<u64>) -> Result<(), Abort> {
+    let value = tx.get(counter)?;
+    tx.set(counter, value + 1)?;
+    Ok(())
+}
 
 fn main() {
     println!("PIM-STM quickstart\n==================\n");
@@ -20,24 +36,21 @@ fn main() {
         let mut dpu = Dpu::new(DpuConfig::default());
         let config = StmConfig::new(kind, MetadataPlacement::Wram);
         let shared = StmShared::allocate(&mut dpu, config).expect("metadata fits in WRAM");
-        let mut slot = shared.register_tasklet(&mut dpu, 0).expect("logs fit in WRAM");
-        let counter = dpu.alloc(Tier::Mram, 1).expect("MRAM has room for one word");
-        let alg = algorithm_for(kind);
+        let slot = shared.register_tasklet(&mut dpu, 0).expect("logs fit in WRAM");
+        let counter: TVar<u64> =
+            var::alloc_var(&mut dpu, Tier::Mram).expect("MRAM has room for one word");
+        let mut engine = TxEngine::for_shared(shared, slot);
         let mut stats = TaskletStats::new();
         let mut cycles = 0;
         for _ in 0..100 {
             let mut ctx = TaskletCtx::new(&mut dpu, &mut stats, 0, 1, cycles);
-            run_transaction(alg, &shared, &mut slot, &mut ctx, |tx| {
-                let value = tx.read(counter)?;
-                tx.write(counter, value + 1)?;
-                Ok(())
-            });
-            cycles = ctx_cycles(&ctx);
+            engine.transaction(&mut ctx, |tx| increment(tx, counter));
+            cycles = ctx.now();
         }
         println!(
             "  {:<11} 100 increments -> counter = {:>3}, {:>7} cycles ({:.1} us simulated)",
             kind.name(),
-            dpu.peek(counter),
+            var::peek_var(&dpu, counter),
             cycles,
             cycles as f64 / dpu.latency().clock_hz as f64 * 1e6,
         );
@@ -48,26 +61,20 @@ fn main() {
     for kind in [StmKind::Norec, StmKind::TinyEtlWb, StmKind::VrEtlWt] {
         let config = StmConfig::new(kind, MetadataPlacement::Wram);
         let mut dpu = ThreadedDpu::new(config).expect("metadata fits");
-        let counter = dpu.alloc(Tier::Mram, 1).expect("data fits");
-        let report = dpu.run(4, |mut tasklet| {
-            for _ in 0..1_000 {
-                tasklet.transaction(|tx| {
-                    let value = tx.read(counter)?;
-                    tx.write(counter, value + 1)?;
-                    Ok(())
-                });
-            }
-        });
+        let counter: TVar<u64> = dpu.alloc_var(Tier::Mram).expect("data fits");
+        let report = dpu
+            .run(4, |mut tasklet| {
+                for _ in 0..1_000 {
+                    tasklet.transaction(|tx| increment(tx, counter));
+                }
+            })
+            .expect("4 tasklets is within the hardware limit");
         println!(
             "  {:<11} 4 x 1000 increments -> counter = {}, commits = {}, aborts = {}",
             kind.name(),
-            dpu.peek(counter),
+            dpu.peek_var(counter),
             report.commits,
             report.aborts
         );
     }
-}
-
-fn ctx_cycles(ctx: &TaskletCtx<'_>) -> u64 {
-    ctx.now()
 }

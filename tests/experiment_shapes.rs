@@ -42,8 +42,7 @@ fn visible_reads_skip_validation_on_arraybench_a() {
 /// throughput beats the commit-time visible-reads variant.
 #[test]
 fn relative_ranking_flips_between_arraybench_a_and_b() {
-    let sweep_a =
-        DesignSpaceSweep::run(Workload::ArrayA, MetadataPlacement::Mram, &[8], 0.1, 42);
+    let sweep_a = DesignSpaceSweep::run(Workload::ArrayA, MetadataPlacement::Mram, &[8], 0.1, 42);
     let validation_share = |kind: StmKind| {
         let b = sweep_a.point(kind, 8).expect("point was swept").breakdown;
         b.fraction(Phase::ValidatingExec) + b.fraction(Phase::ValidatingCommit)
@@ -59,8 +58,7 @@ fn relative_ranking_flips_between_arraybench_a_and_b() {
         }
     }
 
-    let sweep_b =
-        DesignSpaceSweep::run(Workload::ArrayB, MetadataPlacement::Mram, &[8], 0.25, 42);
+    let sweep_b = DesignSpaceSweep::run(Workload::ArrayB, MetadataPlacement::Mram, &[8], 0.25, 42);
     assert!(
         sweep_b.peak_throughput(StmKind::Norec) > sweep_b.peak_throughput(StmKind::VrCtlWb),
         "ArrayBench B: NOrec should beat the commit-time visible-reads variant"
@@ -128,13 +126,16 @@ fn labyrinth_saturates_the_mram_port_before_eleven_tasklets() {
 /// paper's discussion of this plot).
 #[test]
 fn kmeans_lc_is_insensitive_to_the_stm_choice() {
-    let sweep =
-        DesignSpaceSweep::run(Workload::KmeansLc, MetadataPlacement::Mram, &[8], 0.3, 42);
-    let etl_designs =
-        [StmKind::Norec, StmKind::TinyEtlWb, StmKind::TinyEtlWt, StmKind::VrEtlWb, StmKind::VrEtlWt];
+    let sweep = DesignSpaceSweep::run(Workload::KmeansLc, MetadataPlacement::Mram, &[8], 0.3, 42);
+    let etl_designs = [
+        StmKind::Norec,
+        StmKind::TinyEtlWb,
+        StmKind::TinyEtlWt,
+        StmKind::VrEtlWb,
+        StmKind::VrEtlWt,
+    ];
     let best = etl_designs.iter().map(|&k| sweep.peak_throughput(k)).fold(0.0, f64::max);
-    let worst =
-        etl_designs.iter().map(|&k| sweep.peak_throughput(k)).fold(f64::INFINITY, f64::min);
+    let worst = etl_designs.iter().map(|&k| sweep.peak_throughput(k)).fold(f64::INFINITY, f64::min);
     assert!(
         best / worst < 2.5,
         "KMeans LC should not separate NOrec/ETL designs by more than ~2x (got {:.2}x)",

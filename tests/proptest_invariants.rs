@@ -127,7 +127,8 @@ proptest! {
                     Ok(())
                 });
             }
-        });
+        })
+        .expect("tasklet count is within the hardware limit");
         let total: u64 = (0..cells).map(|i| dpu.peek(table.offset(i))).sum();
         prop_assert_eq!(total, u64::from(per_tasklet) * tasklets as u64);
     }

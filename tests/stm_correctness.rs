@@ -2,13 +2,9 @@
 //! both metadata placements, must preserve the fundamental transactional
 //! invariants the workloads rely on.
 
-use pim_stm_suite::sim::{
-    Dpu, DpuConfig, Scheduler, StepStatus, TaskletCtx, TaskletProgram, Tier,
-};
+use pim_stm_suite::sim::{Dpu, DpuConfig, Scheduler, StepStatus, TaskletCtx, TaskletProgram, Tier};
 use pim_stm_suite::stm::threaded::ThreadedDpu;
-use pim_stm_suite::stm::{
-    algorithm_for, MetadataPlacement, StmConfig, StmKind, StmShared,
-};
+use pim_stm_suite::stm::{algorithm_for, MetadataPlacement, StmConfig, StmKind, StmShared};
 use pim_stm_suite::workloads::{RunSpec, TxMachine, Workload};
 
 /// A tasklet program that repeatedly moves one unit between two pseudo-random
@@ -79,8 +75,11 @@ impl TaskletProgram for TransferProgram {
                     .tm
                     .write(ctx, self.table.offset(self.from), self.from_balance.wrapping_sub(1))
                     .and_then(|()| {
-                        self.tm
-                            .write(ctx, self.table.offset(self.to), self.to_balance.wrapping_add(1))
+                        self.tm.write(
+                            ctx,
+                            self.table.offset(self.to),
+                            self.to_balance.wrapping_add(1),
+                        )
                     });
                 match result {
                     Ok(()) => self.state = 5,
@@ -197,7 +196,8 @@ fn threaded_executor_agrees_with_simulator_on_final_state() {
                     Ok(())
                 });
             }
-        });
+        })
+        .expect("6 tasklets is within the hardware limit");
         let total: u64 = (0..16).map(|i| dpu.peek(table.offset(i))).sum();
         assert_eq!(total, 16_000, "{kind}: threaded executor lost or duplicated money");
     }
@@ -217,14 +217,10 @@ fn every_workload_runs_under_every_design_at_tiny_scale() {
         Workload::LabyrinthS,
     ] {
         for kind in StmKind::ALL {
-            let report = RunSpec::new(workload, kind, MetadataPlacement::Mram, 3)
-                .with_scale(0.04)
-                .run();
+            let report =
+                RunSpec::new(workload, kind, MetadataPlacement::Mram, 3).with_scale(0.04).run();
             assert!(report.total_commits() > 0, "{workload}/{kind}: nothing committed");
-            assert!(
-                report.throughput_tx_per_sec() > 0.0,
-                "{workload}/{kind}: zero throughput"
-            );
+            assert!(report.throughput_tx_per_sec() > 0.0, "{workload}/{kind}: zero throughput");
         }
     }
 }

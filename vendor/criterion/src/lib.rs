@@ -1,0 +1,136 @@
+//! Offline mini-implementation of [criterion](https://crates.io/crates/criterion).
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! subset the workspace's bench targets use: `Criterion::benchmark_group`,
+//! group tuning knobs, `bench_function` with `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros. Instead of criterion's
+//! statistical pipeline it runs a fixed number of timed iterations and
+//! prints the mean and minimum per-iteration wall time — enough to eyeball
+//! regressions and to keep `cargo bench` working end to end.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver (a stand-in for criterion's `Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into(), sample_size: 10 }
+    }
+}
+
+/// A named set of benchmarks sharing tuning parameters.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub has no warm-up phase beyond
+    /// one untimed iteration.
+    pub fn warm_up_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub always runs `sample_size`
+    /// iterations regardless of elapsed time.
+    pub fn measurement_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Times `f` and prints per-iteration statistics.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { samples: self.sample_size, total: Duration::ZERO, min: None };
+        f(&mut bencher);
+        let iters = bencher.samples as u32;
+        let mean = bencher.total / iters.max(1);
+        let min = bencher.min.unwrap_or(Duration::ZERO);
+        println!("bench {}/{id}: mean {mean:?}, min {min:?} over {iters} iterations", self.name);
+        self
+    }
+
+    /// Ends the group (criterion finalises reports here; the stub prints as
+    /// it goes).
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    min: Option<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` once untimed, then `sample_size` timed iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            let elapsed = start.elapsed();
+            self.total += elapsed;
+            self.min = Some(self.min.map_or(elapsed, |m| m.min(elapsed)));
+        }
+    }
+}
+
+/// Opaque value barrier, so the optimiser cannot delete benchmarked work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3).warm_up_time(Duration::from_millis(1));
+        let mut runs = 0;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        // One warm-up + three timed iterations.
+        assert_eq!(runs, 4);
+    }
+}

@@ -1,0 +1,428 @@
+//! Offline mini-implementation of [proptest](https://crates.io/crates/proptest).
+//!
+//! The build environment has no crates.io access, so this crate reimplements
+//! the subset of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with an optional `#![proptest_config(..)]`
+//!   inner attribute) expanding each `fn name(arg in strategy, ..)` item into
+//!   an ordinary `#[test]` that samples the strategies `cases` times;
+//! * [`Strategy`] with `prop_map`, implemented for integer ranges, tuples
+//!   and the combinators below;
+//! * [`any`] for the primitive types the tests draw;
+//! * `prop::sample::select`, `prop::collection::vec` and
+//!   `prop::collection::btree_set`;
+//! * the `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` macros.
+//!
+//! Unlike real proptest there is no shrinking and no persisted failure seeds;
+//! generation is deterministic per test (seeded from the test name, with a
+//! `PROPTEST_SEED` environment override) so failures reproduce exactly.
+
+use std::ops::Range;
+
+/// SplitMix64 generator driving all value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Creates a generator seeded from the test name (stable across runs)
+    /// xor'd with the optional `PROPTEST_SEED` environment variable.
+    pub fn deterministic(name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed = (seed ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if let Ok(env) = std::env::var("PROPTEST_SEED") {
+            if let Ok(extra) = env.parse::<u64>() {
+                seed ^= extra;
+            }
+        }
+        TestRng(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range handed to a proptest strategy");
+        self.next_u64() % bound
+    }
+}
+
+/// Error produced by the `prop_assert*` macros; aborts the current case.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+/// How many cases each test runs (see `#![proptest_config(..)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),+) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $ty
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! { (A) (A, B) (A, B, C) (A, B, C, D) }
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($ty:ty),+) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )+};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy generating any value of `T` (proptest's `any::<T>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Combinator namespace mirroring proptest's `prop` module.
+pub mod prop {
+    /// Strategies drawing from explicit value sets.
+    pub mod sample {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy choosing uniformly from a fixed list.
+        #[derive(Debug, Clone)]
+        pub struct Select<T>(Vec<T>);
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.0[rng.below(self.0.len() as u64) as usize].clone()
+            }
+        }
+
+        /// Chooses one of `items` uniformly (panics on an empty list).
+        pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+            assert!(!items.is_empty(), "select requires a non-empty list");
+            Select(items)
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::collections::BTreeSet;
+        use std::ops::Range;
+
+        /// Strategy for `Vec`s with a size drawn from a range.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = self.size.generate(rng);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Vector of `size` elements drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        /// Strategy for `BTreeSet`s with a target size drawn from a range.
+        #[derive(Debug, Clone)]
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+        where
+            S::Value: Ord,
+        {
+            type Value = BTreeSet<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+                let target = self.size.generate(rng);
+                let mut set = BTreeSet::new();
+                // Bounded attempts: the element space may hold fewer than
+                // `target` distinct values.
+                for _ in 0..target.saturating_mul(16) {
+                    if set.len() >= target {
+                        break;
+                    }
+                    set.insert(self.element.generate(rng));
+                }
+                set
+            }
+        }
+
+        /// Set of up to `size` distinct elements drawn from `element`.
+        pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S> {
+            BTreeSetStrategy { element, size }
+        }
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {:?} == {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Fails the current case if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: {:?} != {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left != right, $($fmt)+);
+    }};
+}
+
+/// Expands `fn name(arg in strategy, ..) { body }` items into `#[test]`s.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: one test item per recursion step.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&$strategy, &mut rng);)+
+                let mut inputs = ::std::string::String::new();
+                $(
+                    inputs.push_str(&format!("{} = {:?}; ", stringify!($arg), &$arg));
+                )+
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {case} failed: {}\n  inputs: {}",
+                        e.0, inputs
+                    );
+                }
+            }
+        }
+        $crate::__proptest_each! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..1000 {
+            let v = (5u32..17).generate(&mut rng);
+            assert!((5..17).contains(&v));
+            let s = (-3i64..4).generate(&mut rng);
+            assert!((-3..4).contains(&s));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro front-end compiles and samples tuples, maps and
+        /// collections.
+        #[test]
+        fn macro_roundtrip(
+            pair in (0u32..10, any::<bool>()).prop_map(|(n, b)| (n * 2, b)),
+            items in prop::collection::vec(0u8..4, 0..8),
+            pick in prop::sample::select(vec![1u8, 2, 3]),
+        ) {
+            prop_assert!(pair.0 % 2 == 0);
+            prop_assert!(items.len() < 8);
+            prop_assert_ne!(pick, 0);
+            prop_assert_eq!(pick as usize, pick as usize);
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate provides just
+//! enough of serde's surface for the workspace to compile: the two derive
+//! macros (no-ops) and the trait names they nominally implement. Swapping in
+//! the real serde is a one-line change in the workspace manifest.
+
+/// Marker trait matching `serde::Serialize` by name.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize` by name.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! No-op derive macros standing in for `serde_derive` in offline builds.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! the workspace vendors the minimal surface it uses. Nothing in the
+//! reproduction serialises data yet — the `#[derive(Serialize, Deserialize)]`
+//! annotations exist so the types are ready for a real serde once the
+//! registry is reachable — so these derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts the same positions as serde's `Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts the same positions as serde's `Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
