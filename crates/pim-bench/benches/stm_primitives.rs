@@ -1,12 +1,21 @@
 //! Micro-benchmarks of the STM primitives themselves (not a paper figure,
 //! but the ablation data behind the design-space discussion): per-design
 //! cost of read-modify-write transactions on the simulator for both metadata
-//! placements, and of the threaded executor under real concurrency.
+//! placements, commit write-back strategies (coalesced vs word-wise) on
+//! ArrayBench-B, and the threaded executor under real concurrency.
+//!
+//! `PIM_BENCH_SMOKE=1` shrinks everything to a CI-sized correctness pass.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use pim_bench::{smoke_or, BENCH_SEED};
 use pim_sim::{Dpu, DpuConfig, TaskletCtx, TaskletStats, Tier};
 use pim_stm::threaded::ThreadedDpu;
-use pim_stm::{algorithm_for, run_transaction, MetadataPlacement, StmConfig, StmKind, StmShared};
+use pim_stm::{
+    algorithm_for, run_transaction, MetadataPlacement, StmConfig, StmKind, StmShared,
+    WriteBackStrategy,
+};
+use pim_workloads::spec::Executor;
+use pim_workloads::{RunSpec, Workload};
 use std::time::Duration;
 
 /// Runs `transactions` read-modify-write transactions over a 64-word
@@ -33,13 +42,47 @@ fn simulated_transactions(kind: StmKind, placement: MetadataPlacement, transacti
 
 fn bench_simulated(c: &mut Criterion) {
     let mut group = c.benchmark_group("stm_primitives/simulated");
-    group.sample_size(20);
+    group.sample_size(smoke_or(20, 2));
     group.warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_secs(1));
+    let transactions = smoke_or(200, 20) as u32;
     for kind in StmKind::ALL {
         for placement in [MetadataPlacement::Wram, MetadataPlacement::Mram] {
             group.bench_function(format!("{kind}/{placement}/rmw"), |b| {
-                b.iter(|| simulated_transactions(kind, placement, 200))
+                b.iter(|| simulated_transactions(kind, placement, transactions))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Commit write-back comparison: the same seeded ArrayBench-B cell run with
+/// word-wise and burst-coalesced redo-log publication. Prints the MRAM DMA
+/// setup counts (the metric coalescing improves) alongside the wall-time
+/// measurements.
+fn bench_writeback(c: &mut Criterion) {
+    let scale = if pim_bench::smoke() { 0.05 } else { pim_bench::BENCH_SCALE * 4.0 };
+    let mut group = c.benchmark_group("stm_primitives/writeback");
+    group.sample_size(smoke_or(10, 2));
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for kind in [StmKind::Norec, StmKind::TinyEtlWb, StmKind::VrCtlWb] {
+        for strategy in WriteBackStrategy::ALL {
+            let spec = RunSpec::new(Workload::ArrayB, kind, MetadataPlacement::Mram, 4)
+                .with_scale(scale)
+                .with_seed(BENCH_SEED)
+                .with_write_back(strategy);
+            let report = spec.run_on(Executor::Simulator);
+            report.assert_invariants();
+            let sim = report.sim.as_ref().expect("simulator report");
+            println!(
+                "writeback {kind}/{strategy}: {} MRAM DMA setups, {} words, {} commits",
+                sim.total_mram_dma_setups(),
+                sim.total_mram_dma_words(),
+                report.commits,
+            );
+            group.bench_function(format!("{kind}/{strategy}/array-b"), |b| {
+                b.iter(|| spec.run_on(Executor::Simulator).commits)
             });
         }
     }
@@ -48,7 +91,7 @@ fn bench_simulated(c: &mut Criterion) {
 
 fn bench_threaded(c: &mut Criterion) {
     let mut group = c.benchmark_group("stm_primitives/threaded");
-    group.sample_size(10);
+    group.sample_size(smoke_or(10, 2));
     group.warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_secs(1));
     for kind in [StmKind::Norec, StmKind::TinyEtlWb, StmKind::VrEtlWt] {
@@ -75,5 +118,5 @@ fn bench_threaded(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulated, bench_threaded);
+criterion_group!(benches, bench_simulated, bench_writeback, bench_threaded);
 criterion_main!(benches);

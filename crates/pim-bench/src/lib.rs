@@ -23,3 +23,20 @@ pub const BENCH_TASKLETS: [usize; 3] = [1, 4, 8];
 
 /// Seed used by all benches so printed figures are reproducible.
 pub const BENCH_SEED: u64 = 42;
+
+/// Whether the benches run in smoke mode (`PIM_BENCH_SMOKE=1`): minimal
+/// sample counts and workload sizes, used by CI to keep `cargo bench` as a
+/// fast correctness pass rather than a measurement run.
+pub fn smoke() -> bool {
+    std::env::var("PIM_BENCH_SMOKE").is_ok_and(|v| v != "0")
+}
+
+/// `full` normally, `smoke` under [`smoke`] mode — for sample counts and
+/// iteration budgets.
+pub fn smoke_or(full: usize, smoke_value: usize) -> usize {
+    if smoke() {
+        smoke_value
+    } else {
+        full
+    }
+}

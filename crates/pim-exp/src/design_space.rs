@@ -4,6 +4,7 @@
 
 use pim_sim::{Phase, PhaseBreakdown};
 use pim_stm::{MetadataPlacement, StmKind};
+use pim_workloads::spec::Executor;
 use pim_workloads::{RunSpec, Workload};
 use serde::{Deserialize, Serialize};
 
@@ -60,8 +61,26 @@ impl DesignSpaceSweep {
         scale: f64,
         seed: u64,
     ) -> Self {
+        Self::run_kinds(workload, placement, &StmKind::ALL, tasklet_counts, scale, seed)
+    }
+
+    /// Runs the sweep restricted to `kinds` — a single cell (or row) of the
+    /// design-space grid, for quick reruns via `pim-exp --stm <kind>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`DesignSpaceSweep::run`] does, or if `kinds` is empty.
+    pub fn run_kinds(
+        workload: Workload,
+        placement: MetadataPlacement,
+        kinds: &[StmKind],
+        tasklet_counts: &[usize],
+        scale: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(!kinds.is_empty(), "design-space sweep needs at least one STM design");
         let mut points = Vec::new();
-        for &kind in &StmKind::ALL {
+        for &kind in kinds {
             for &tasklets in tasklet_counts {
                 eprintln!(
                     "[design-space] {} {} {} tasklets={}",
@@ -73,16 +92,18 @@ impl DesignSpaceSweep {
                 let report = RunSpec::new(workload, kind, placement, tasklets)
                     .with_scale(scale)
                     .with_seed(seed)
-                    .run();
+                    .run_on(Executor::Simulator);
+                report.assert_invariants();
+                let sim = report.sim.as_ref().expect("simulator runs carry the cycle report");
                 points.push(DesignSpacePoint {
                     kind,
                     tasklets,
-                    throughput_tx_per_sec: report.throughput_tx_per_sec(),
+                    throughput_tx_per_sec: sim.throughput_tx_per_sec(),
                     abort_rate: report.abort_rate(),
-                    commits: report.total_commits(),
-                    aborts: report.total_aborts(),
-                    breakdown: report.breakdown(),
-                    makespan_seconds: report.makespan_seconds(),
+                    commits: report.commits,
+                    aborts: report.aborts,
+                    breakdown: sim.breakdown(),
+                    makespan_seconds: sim.makespan_seconds(),
                 });
             }
         }
@@ -92,6 +113,11 @@ impl DesignSpaceSweep {
     /// The point for a specific design and tasklet count, if it was swept.
     pub fn point(&self, kind: StmKind, tasklets: usize) -> Option<&DesignSpacePoint> {
         self.points.iter().find(|p| p.kind == kind && p.tasklets == tasklets)
+    }
+
+    /// The designs this sweep actually ran, in taxonomy order.
+    pub fn swept_kinds(&self) -> Vec<StmKind> {
+        StmKind::ALL.into_iter().filter(|k| self.points.iter().any(|p| p.kind == *k)).collect()
     }
 
     /// Peak throughput (over the swept tasklet counts) of one design.
@@ -134,7 +160,8 @@ impl DesignSpaceSweep {
         tasklet_counts.dedup();
         let mut header = vec![format!("{} [{}]", self.workload, metric)];
         header.extend(tasklet_counts.iter().map(|t| format!("{t} taskl.")));
-        let rows = StmKind::ALL
+        let rows = self
+            .swept_kinds()
             .iter()
             .map(|&kind| {
                 let mut row = vec![kind.name().to_string()];
@@ -195,6 +222,23 @@ mod tests {
             assert!(table.contains("NOrec"));
             assert!(table.contains("VR CTLWB"));
         }
+    }
+
+    #[test]
+    fn filtered_sweeps_run_a_single_design() {
+        let sweep = DesignSpaceSweep::run_kinds(
+            Workload::ArrayB,
+            MetadataPlacement::Mram,
+            &[StmKind::Norec],
+            &[2],
+            0.05,
+            9,
+        );
+        assert_eq!(sweep.points.len(), 1);
+        assert_eq!(sweep.swept_kinds(), vec![StmKind::Norec]);
+        let table = sweep.throughput_table();
+        assert!(table.contains("NOrec"));
+        assert!(!table.contains("VR CTLWB"), "unswept designs must not render as rows");
     }
 
     #[test]

@@ -20,7 +20,7 @@ use pim_exp::design_space::DesignSpaceSweep;
 use pim_exp::latency::LatencyComparison;
 use pim_exp::multi_dpu::{figure8_table, MultiDpuBenchmark, MultiDpuStudy};
 use pim_exp::peak::PeakDistribution;
-use pim_stm::MetadataPlacement;
+use pim_stm::{MetadataPlacement, StmKind};
 use pim_workloads::Workload;
 use std::process::ExitCode;
 
@@ -28,6 +28,7 @@ use std::process::ExitCode;
 struct Options {
     figure: Option<String>,
     workload: Option<Workload>,
+    stm: Option<StmKind>,
     placement: MetadataPlacement,
     tasklets: Vec<usize>,
     dpus: Vec<usize>,
@@ -40,6 +41,7 @@ impl Default for Options {
         Options {
             figure: None,
             workload: None,
+            stm: None,
             placement: MetadataPlacement::Mram,
             tasklets: vec![1, 3, 5, 7, 9, 11],
             dpus: vec![1, 250, 500, 1000, 1500, 2000, 2500],
@@ -70,6 +72,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 options.workload =
                     Some(Workload::parse(&name).ok_or_else(|| format!("unknown workload {name}"))?);
             }
+            "--stm" => {
+                let name = value()?;
+                options.stm = Some(StmKind::parse(&name).ok_or_else(|| {
+                    format!("unknown STM design {name} (e.g. norec, tiny-etlwb, vr-ctlwb)")
+                })?);
+            }
             "--tier" => {
                 let name = value()?;
                 options.placement = match name.as_str() {
@@ -95,22 +103,42 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 
 fn usage() -> String {
     "usage: pim-exp [--figure fig4|fig5|fig6|fig7|fig8|fig9|fig10|latency]\n\
-     \x20              [--workload <name>] [--tier wram|mram]\n\
+     \x20              [--workload <name>] [--stm <kind>] [--tier wram|mram]\n\
      \x20              [--tasklets 1,3,5,...] [--dpus 1,500,...]\n\
-     \x20              [--scale <f>] [--seed <n>]"
+     \x20              [--scale <f>] [--seed <n>]\n\
+     \x20 A --workload/--stm pair reruns a single cell of the design-space\n\
+     \x20 grid (e.g. --workload array-b --stm norec --tasklets 4)."
         .to_string()
 }
 
 fn print_sweep(workload: Workload, placement: MetadataPlacement, options: &Options) {
     println!("== {workload} ({} metadata, {}) ==", placement, workload.figure());
-    let sweep =
-        DesignSpaceSweep::run(workload, placement, &options.tasklets, options.scale, options.seed);
+    let kinds = match options.stm {
+        Some(kind) => vec![kind],
+        None => pim_stm::StmKind::ALL.to_vec(),
+    };
+    let sweep = DesignSpaceSweep::run_kinds(
+        workload,
+        placement,
+        &kinds,
+        &options.tasklets,
+        options.scale,
+        options.seed,
+    );
     println!("{}", sweep.throughput_table());
     println!("{}", sweep.abort_table());
     println!("{}", sweep.breakdown_table());
 }
 
 fn run_figure(figure: &str, options: &Options) -> Result<(), String> {
+    // Only the per-design sweep figures can honour a design filter; error
+    // out instead of silently running all seven designs.
+    if options.stm.is_some() && !matches!(figure, "fig4" | "fig5" | "fig9" | "fig10") {
+        return Err(format!(
+            "--stm applies to the design-space sweeps (fig4/fig5/fig9/fig10 or --workload), \
+             not to {figure}"
+        ));
+    }
     match figure {
         "fig4" => {
             for workload in [Workload::ArrayA, Workload::ArrayB, Workload::ListLc, Workload::ListHc]
@@ -231,6 +259,7 @@ mod tests {
         .collect();
         let options = parse_args(&args).unwrap();
         assert_eq!(options.figure.as_deref(), Some("fig4"));
+        assert_eq!(options.stm, None);
         assert_eq!(options.placement, MetadataPlacement::Wram);
         assert_eq!(options.tasklets, vec![1, 2, 3]);
         assert_eq!(options.dpus, vec![1, 10]);
@@ -242,13 +271,34 @@ mod tests {
     fn bad_arguments_are_rejected() {
         assert!(parse_args(&["--tier".into(), "sram".into()]).is_err());
         assert!(parse_args(&["--workload".into(), "nope".into()]).is_err());
+        assert!(parse_args(&["--stm".into(), "nope".into()]).is_err());
         assert!(parse_args(&["--bogus".into()]).is_err());
         assert!(parse_args(&["--scale".into()]).is_err());
+    }
+
+    #[test]
+    fn stm_filter_parses_cli_kind_names() {
+        let args: Vec<String> = ["--workload", "array-b", "--stm", "tiny-etlwb"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let options = parse_args(&args).unwrap();
+        assert_eq!(options.workload, Some(Workload::ArrayB));
+        assert_eq!(options.stm, Some(StmKind::TinyEtlWb));
     }
 
     #[test]
     fn unknown_figures_are_rejected() {
         let options = Options::default();
         assert!(run_figure("fig99", &options).is_err());
+    }
+
+    #[test]
+    fn stm_filter_is_rejected_for_figures_that_cannot_honour_it() {
+        let options = Options { stm: Some(StmKind::Norec), ..Options::default() };
+        for figure in ["fig6", "fig7", "fig8", "latency"] {
+            let err = run_figure(figure, &options).unwrap_err();
+            assert!(err.contains("--stm"), "{figure}: {err}");
+        }
     }
 }

@@ -131,6 +131,7 @@ impl<'a> TaskletCtx<'a> {
             Tier::Mram => {
                 // The issuing instruction executes, then the DMA waits for the
                 // shared MRAM port.
+                self.stats.note_mram_dma(words);
                 let issue_done = self.now + instr;
                 let dma_start = issue_done.max(self.dpu.mram_port_free_at());
                 let dma_done = dma_start + latency.mram_transfer_cycles(words);
@@ -205,6 +206,7 @@ impl<'a> TaskletCtx<'a> {
         let instr = latency.instruction_cycles(self.active_tasklets);
         let mut cost = instr;
         for _ in 0..mram_sides {
+            self.stats.note_mram_dma(words);
             let issue_done = self.now + cost;
             let dma_start = issue_done.max(self.dpu.mram_port_free_at());
             let dma_done = dma_start + latency.mram_transfer_cycles(words);
@@ -380,6 +382,29 @@ mod tests {
             block_cost < word_cost / 2,
             "8-word burst ({block_cost}) must amortise setup vs 8 loads ({word_cost})"
         );
+    }
+
+    #[test]
+    fn mram_dma_setups_are_counted_per_transfer_not_per_word() {
+        let (mut dpu, mut stats) = setup();
+        let a = dpu.alloc(Tier::Mram, 8).unwrap();
+        let w = dpu.alloc(Tier::Wram, 8).unwrap();
+        {
+            let mut ctx = TaskletCtx::new(&mut dpu, &mut stats, 0, 1, 0);
+            // Two single-word accesses: two setups, two words.
+            ctx.load(a);
+            ctx.store(a.offset(1), 5);
+            // One 8-word burst: one setup, eight words.
+            let mut buf = [0u64; 8];
+            ctx.load_block(a, &mut buf);
+            // WRAM traffic never touches the MRAM port.
+            ctx.store(w, 1);
+            ctx.store_block(w, &[1, 2]);
+            // A copy with one MRAM side: one more setup.
+            ctx.copy_block(a, w, 4);
+        }
+        assert_eq!(stats.mram_dma_setups, 4);
+        assert_eq!(stats.mram_dma_words, 2 + 8 + 4);
     }
 
     #[test]

@@ -165,6 +165,17 @@ impl DpuRunReport {
         self.tasklet_stats.iter().fold(PhaseBreakdown::new(), |acc, s| acc + s.breakdown)
     }
 
+    /// MRAM DMA transfers issued across all tasklets (each pays one setup).
+    /// Burst coalescing lowers this without changing the word count.
+    pub fn total_mram_dma_setups(&self) -> u64 {
+        self.tasklet_stats.iter().map(|s| s.mram_dma_setups).sum()
+    }
+
+    /// Words moved over the MRAM port across all tasklets.
+    pub fn total_mram_dma_words(&self) -> u64 {
+        self.tasklet_stats.iter().map(|s| s.mram_dma_words).sum()
+    }
+
     /// Number of tasklets that took part in the run.
     pub fn tasklets(&self) -> usize {
         self.tasklet_stats.len()

@@ -163,6 +163,11 @@ pub struct TaskletStats {
     pub attempt: PhaseBreakdown,
     /// Virtual time at which the tasklet finished its program.
     pub finish_cycles: Cycles,
+    /// MRAM DMA transfers issued (each pays one setup latency). A multi-word
+    /// burst counts once — this is the metric that burst coalescing improves.
+    pub mram_dma_setups: u64,
+    /// Total words moved over the MRAM port by those transfers.
+    pub mram_dma_words: u64,
 }
 
 impl TaskletStats {
@@ -209,6 +214,12 @@ impl TaskletStats {
         self.breakdown += attempt;
     }
 
+    /// Records one MRAM DMA transfer of `words` words (setup paid once).
+    pub fn note_mram_dma(&mut self, words: u32) {
+        self.mram_dma_setups += 1;
+        self.mram_dma_words += u64::from(words);
+    }
+
     /// Merges another tasklet's statistics into this one (used for DPU-level
     /// aggregation).
     pub fn merge(&mut self, other: &TaskletStats) {
@@ -217,6 +228,8 @@ impl TaskletStats {
         self.breakdown += other.breakdown;
         self.attempt += other.attempt;
         self.finish_cycles = self.finish_cycles.max(other.finish_cycles);
+        self.mram_dma_setups += other.mram_dma_setups;
+        self.mram_dma_words += other.mram_dma_words;
     }
 }
 
@@ -278,15 +291,28 @@ mod tests {
         a.charge_attempt(Phase::Reading, 10);
         a.resolve_commit();
         a.finish_cycles = 500;
+        a.note_mram_dma(8);
         let mut b = TaskletStats::new();
         b.charge_attempt(Phase::Reading, 30);
         b.resolve_abort();
         b.finish_cycles = 900;
+        b.note_mram_dma(1);
+        b.note_mram_dma(3);
         a.merge(&b);
         assert_eq!(a.commits, 1);
         assert_eq!(a.aborts, 1);
         assert_eq!(a.finish_cycles, 900);
         assert_eq!(a.breakdown.total(), 40);
+        assert_eq!(a.mram_dma_setups, 3);
+        assert_eq!(a.mram_dma_words, 12);
+    }
+
+    #[test]
+    fn dma_bursts_count_one_setup_regardless_of_length() {
+        let mut s = TaskletStats::new();
+        s.note_mram_dma(64);
+        assert_eq!(s.mram_dma_setups, 1);
+        assert_eq!(s.mram_dma_words, 64);
     }
 
     #[test]

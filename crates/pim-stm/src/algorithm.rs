@@ -237,6 +237,23 @@ impl crate::var::TxOps for TxView<'_> {
     fn tasklet_id(&self) -> usize {
         self.p.tasklet_id()
     }
+
+    fn cancel(&mut self) -> Abort {
+        self.alg.cancel(self.shared, self.tx, self.p);
+        Abort::new(crate::error::AbortReason::Explicit)
+    }
+
+    fn raw_load(&mut self, addr: Addr) -> u64 {
+        self.p.load(addr)
+    }
+
+    fn raw_store(&mut self, addr: Addr, value: u64) {
+        self.p.store(addr, value)
+    }
+
+    fn raw_copy(&mut self, src: Addr, dst: Addr, words: u32) {
+        self.p.copy(src, dst, words)
+    }
 }
 
 /// Runs `body` as a transaction, retrying on abort until it commits, and
@@ -299,6 +316,64 @@ mod tests {
             assert_eq!(stats.commits, 10, "{kind} commit count");
             assert_eq!(stats.aborts, 0, "{kind} should not abort single-threaded");
         }
+    }
+
+    #[test]
+    fn explicit_cancel_rolls_back_and_the_retry_succeeds() {
+        use crate::var::TxOps;
+        for kind in StmKind::ALL {
+            let mut dpu = Dpu::new(DpuConfig::small());
+            let cfg = StmConfig::new(kind, MetadataPlacement::Wram);
+            let shared = StmShared::allocate(&mut dpu, cfg).unwrap();
+            let mut slot = shared.register_tasklet(&mut dpu, 0).unwrap();
+            let data = dpu.alloc(Tier::Mram, 1).unwrap();
+            dpu.poke(data, 7);
+            let mut stats = TaskletStats::new();
+            let alg = algorithm_for(kind);
+            let mut attempts = 0;
+            let mut ctx = TaskletCtx::new(&mut dpu, &mut stats, 0, 1, 0);
+            run_transaction(alg, &shared, &mut slot, &mut ctx, |tx| {
+                attempts += 1;
+                let v = tx.read(data)?;
+                tx.write(data, v + 1)?;
+                if attempts == 1 {
+                    // Application-level restart: the write (even an exposed
+                    // write-through store) must be rolled back and every
+                    // lock released so the retry can reacquire them.
+                    return Err(tx.cancel());
+                }
+                Ok(())
+            });
+            assert_eq!(attempts, 2, "{kind}: cancel must trigger exactly one retry");
+            assert_eq!(dpu.peek(data), 8, "{kind}: only the committed increment survives");
+            assert_eq!(stats.aborts, 1, "{kind}: the cancelled attempt is accounted");
+            assert_eq!(stats.commits, 1, "{kind}");
+        }
+    }
+
+    #[test]
+    fn raw_ops_bypass_instrumentation() {
+        use crate::var::TxOps;
+        let mut dpu = Dpu::new(DpuConfig::small());
+        let cfg = StmConfig::new(StmKind::TinyEtlWb, MetadataPlacement::Wram);
+        let shared = StmShared::allocate(&mut dpu, cfg).unwrap();
+        let mut slot = shared.register_tasklet(&mut dpu, 0).unwrap();
+        let src = dpu.alloc(Tier::Mram, 4).unwrap();
+        let dst = dpu.alloc(Tier::Mram, 4).unwrap();
+        dpu.poke_block(src, &[1, 2, 3, 4]);
+        let mut stats = TaskletStats::new();
+        let alg = algorithm_for(StmKind::TinyEtlWb);
+        let mut ctx = TaskletCtx::new(&mut dpu, &mut stats, 0, 1, 0);
+        run_transaction(alg, &shared, &mut slot, &mut ctx, |tx| {
+            tx.raw_copy(src, dst, 4);
+            let v = tx.raw_load(dst.offset(1));
+            tx.raw_store(dst.offset(1), v * 10);
+            Ok(())
+        });
+        assert_eq!(dpu.peek_block(dst, 4), vec![1, 20, 3, 4]);
+        // Raw accesses leave no trace in the transaction logs.
+        assert_eq!(slot.read_set_len(), 0);
+        assert_eq!(slot.write_set_len(), 0);
     }
 
     #[test]

@@ -88,6 +88,47 @@ pub enum WritePolicy {
     WriteThrough,
 }
 
+/// How commit-time write-back publishes the redo log to memory.
+///
+/// Every write-back design ends its commit by copying the redo log into data
+/// memory. Doing that word by word pays one MRAM DMA setup per word;
+/// coalescing first sorts the log by address (cheap WRAM/pipeline work) and
+/// then issues one [`crate::Platform::store_block`] burst per maximal run of
+/// consecutive addresses, amortising the setup the way SimplePIM-style bulk
+/// transfers do. Both strategies produce byte-identical memory contents —
+/// the log holds at most one entry per address and every lock protecting the
+/// written range is held for the duration of the publish.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WriteBackStrategy {
+    /// One store per redo-log entry, in log order (the original PIM-STM
+    /// behaviour; kept as the comparison baseline).
+    WordWise,
+    /// Sort the staged log by address and publish each contiguous run as one
+    /// DMA burst.
+    #[default]
+    Coalesced,
+}
+
+impl WriteBackStrategy {
+    /// Both strategies, for sweeps and A/B tests.
+    pub const ALL: [WriteBackStrategy; 2] =
+        [WriteBackStrategy::WordWise, WriteBackStrategy::Coalesced];
+
+    /// Short lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            WriteBackStrategy::WordWise => "word-wise",
+            WriteBackStrategy::Coalesced => "coalesced",
+        }
+    }
+}
+
+impl fmt::Display for WriteBackStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// The seven viable STM designs of the paper's taxonomy (Fig. 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum StmKind {
@@ -210,6 +251,8 @@ pub struct StmConfig {
     pub read_set_capacity: u32,
     /// Per-tasklet write/undo-log capacity, in entries.
     pub write_set_capacity: u32,
+    /// How write-back commits publish their redo log.
+    pub write_back: WriteBackStrategy,
 }
 
 impl StmConfig {
@@ -223,7 +266,15 @@ impl StmConfig {
             lock_table_entries: 1024,
             read_set_capacity: 256,
             write_set_capacity: 64,
+            write_back: WriteBackStrategy::default(),
         }
+    }
+
+    /// Selects how write-back commits publish their redo log (the default is
+    /// [`WriteBackStrategy::Coalesced`]).
+    pub fn with_write_back(mut self, strategy: WriteBackStrategy) -> Self {
+        self.write_back = strategy;
+        self
     }
 
     /// Sets the per-tasklet read-set capacity.

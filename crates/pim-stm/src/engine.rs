@@ -320,4 +320,21 @@ impl crate::var::TxOps for EngineOps<'_> {
     fn tasklet_id(&self) -> usize {
         self.p.tasklet_id()
     }
+
+    fn cancel(&mut self) -> Abort {
+        self.engine.cancel(self.p);
+        Abort::new(crate::error::AbortReason::Explicit)
+    }
+
+    fn raw_load(&mut self, addr: Addr) -> u64 {
+        self.p.load(addr)
+    }
+
+    fn raw_store(&mut self, addr: Addr, value: u64) {
+        self.p.store(addr, value)
+    }
+
+    fn raw_copy(&mut self, src: Addr, dst: Addr, words: u32) {
+        self.p.copy(src, dst, words)
+    }
 }

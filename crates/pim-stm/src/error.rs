@@ -19,15 +19,21 @@ pub enum AbortReason {
     /// A visible-reads transaction could not upgrade a read lock to a write
     /// lock because other readers hold it.
     UpgradeConflict,
+    /// The application cancelled the attempt itself (via
+    /// [`crate::TxOps::cancel`]) after observing application-level
+    /// interference — e.g. Labyrinth finding a path cell already claimed by a
+    /// concurrently committed route.
+    Explicit,
 }
 
 impl AbortReason {
     /// All reasons, for reporting.
-    pub const ALL: [AbortReason; 4] = [
+    pub const ALL: [AbortReason; 5] = [
         AbortReason::ReadConflict,
         AbortReason::WriteConflict,
         AbortReason::ValidationFailed,
         AbortReason::UpgradeConflict,
+        AbortReason::Explicit,
     ];
 
     /// Human-readable label.
@@ -37,6 +43,7 @@ impl AbortReason {
             AbortReason::WriteConflict => "write conflict",
             AbortReason::ValidationFailed => "validation failed",
             AbortReason::UpgradeConflict => "lock upgrade conflict",
+            AbortReason::Explicit => "explicit application cancel",
         }
     }
 }

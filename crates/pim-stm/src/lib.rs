@@ -103,11 +103,12 @@ pub mod tiny;
 pub mod txslot;
 pub mod var;
 pub mod vr;
+pub mod writeback;
 
 pub use algorithm::{algorithm_for, run_transaction, TmAlgorithm, TxView};
 pub use config::{
     LockTiming, MetadataGranularity, MetadataPlacement, ReadVisibility, StmConfig, StmKind,
-    WritePolicy,
+    WriteBackStrategy, WritePolicy,
 };
 pub use engine::{run_retry_loop, TxCounters, TxEngine};
 pub use error::{Abort, AbortReason, RunError};

@@ -261,11 +261,10 @@ impl TmAlgorithm for Norec {
             }
             p.set_phase(Phase::OtherCommit);
         }
-        // Write back the redo log and release the sequence lock.
-        for i in 0..tx.write_set_len() {
-            let entry = tx.write_entry(p, i);
-            p.store(entry.addr, entry.value);
-        }
+        // Write back the redo log — the odd sequence lock serialises every
+        // other commit and validation, so the shared publication pass may
+        // reorder and batch stores — then release the sequence lock.
+        crate::writeback::publish_redo_log(tx, p, shared.config().write_back);
         p.store(shared.seqlock_addr(), tx.snapshot + 2);
         p.set_phase(Phase::OtherExec);
         Ok(())

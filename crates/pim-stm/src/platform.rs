@@ -52,6 +52,18 @@ pub trait Platform {
         }
     }
 
+    /// Copies `words` consecutive words from `src` to `dst` with plain
+    /// (uninstrumented) DMA, the way the UPMEM `mram_read`/`mram_write`
+    /// helpers move bulk data. **No atomicity across the words** — intended
+    /// for tasklet-private staging buffers and racy snapshots that are
+    /// transactionally re-validated before anything depends on them.
+    fn copy(&mut self, src: Addr, dst: Addr, words: u32) {
+        for i in 0..words {
+            let value = self.load(src.offset(i));
+            self.store(dst.offset(i), value);
+        }
+    }
+
     /// Atomically applies `update` to the word at `addr`.
     ///
     /// The closure receives the current value; returning `Some(new)` stores
@@ -142,6 +154,10 @@ impl Platform for TaskletCtx<'_> {
 
     fn store_block(&mut self, addr: Addr, values: &[u64]) {
         TaskletCtx::store_block(self, addr, values)
+    }
+
+    fn copy(&mut self, src: Addr, dst: Addr, words: u32) {
+        TaskletCtx::copy_block(self, src, dst, words)
     }
 
     fn atomic_update(

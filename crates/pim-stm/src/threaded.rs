@@ -186,6 +186,12 @@ impl TaskletTx<'_> {
     }
 }
 
+impl MetadataAllocator for ThreadedDpu {
+    fn alloc_words(&mut self, tier: Tier, words: u32) -> Result<Addr, AllocError> {
+        self.memory.alloc(tier, words)
+    }
+}
+
 impl var::WordAccess for ThreadedDpu {
     fn peek_word(&self, addr: Addr) -> u64 {
         self.peek(addr)

@@ -354,12 +354,10 @@ impl TmAlgorithm for Tiny {
         }
 
         // Publish buffered writes (write-back only; write-through already
-        // updated memory at encounter time).
+        // updated memory at encounter time). All ORecs covering the log are
+        // held, so the shared publication pass may reorder and batch stores.
         if self.policy == WritePolicy::WriteBack {
-            for i in 0..tx.write_set_len() {
-                let entry = tx.write_entry(p, i);
-                p.store(entry.addr, entry.value);
-            }
+            crate::writeback::publish_redo_log(tx, p, shared.config().write_back);
         }
 
         // Release every ORec we acquired, stamping it with the new version.

@@ -368,6 +368,36 @@ pub trait TxOps {
     /// Identifier of the executing tasklet (0-based).
     fn tasklet_id(&self) -> usize;
 
+    /// Cancels the current attempt at the application's request, rolling back
+    /// exactly as an internally detected conflict would (releasing locks,
+    /// undoing exposed write-through stores), and returns the [`Abort`] to
+    /// propagate.
+    ///
+    /// Use this when the body observes *application-level* interference a
+    /// committed value reveals — e.g. Labyrinth finding a path cell already
+    /// claimed — and must restart with fresh inputs. The returned abort
+    /// **must** be propagated immediately (`return Err(tx.cancel())`);
+    /// issuing further operations after a cancel is undefined.
+    fn cancel(&mut self) -> Abort;
+
+    /// Non-transactional read of one word: no conflict detection, no
+    /// read-set entry, no validation.
+    ///
+    /// Only sound for tasklet-private memory, or for racy snapshots whose
+    /// every consumed cell is transactionally re-validated before the
+    /// transaction commits (the STAMP Labyrinth pattern).
+    fn raw_load(&mut self, addr: Addr) -> u64;
+
+    /// Non-transactional write of one word (see [`TxOps::raw_load`] for when
+    /// this is sound). Raw stores are **not** undone on abort.
+    fn raw_store(&mut self, addr: Addr, value: u64);
+
+    /// Non-transactional bulk copy (plain DMA, one burst per MRAM side on
+    /// platforms with a DMA engine); the soundness caveats of
+    /// [`TxOps::raw_load`] apply to the source and of [`TxOps::raw_store`] to
+    /// the destination.
+    fn raw_copy(&mut self, src: Addr, dst: Addr, words: u32);
+
     /// Typed read of a single-word variable.
     ///
     /// # Errors

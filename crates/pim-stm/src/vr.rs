@@ -309,12 +309,10 @@ impl TmAlgorithm for Vr {
 
         // Publish buffered writes. Thanks to visible reads no validation is
         // needed: every location we read is still read-locked by us, so no
-        // writer can have changed it.
+        // writer can have changed it. Write locks cover the whole log, so
+        // the shared publication pass may reorder and batch stores.
         if self.policy == WritePolicy::WriteBack {
-            for i in 0..tx.write_set_len() {
-                let entry = tx.write_entry(p, i);
-                p.store(entry.addr, entry.value);
-            }
+            crate::writeback::publish_redo_log(tx, p, shared.config().write_back);
         }
 
         self.release_locks(shared, tx, p);

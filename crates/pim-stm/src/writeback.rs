@@ -1,0 +1,187 @@
+//! Commit-time redo-log publication, shared by every write-back design.
+//!
+//! Tiny (WB variants), VR (WB variants) and NOrec all end a successful
+//! commit the same way: copy the redo log into data memory. This module owns
+//! that loop so the write-back *strategy* is decided in one place:
+//!
+//! * [`WriteBackStrategy::WordWise`] stores entry by entry, paying one MRAM
+//!   DMA setup per written word — the original PIM-STM behaviour, kept as
+//!   the comparison baseline;
+//! * [`WriteBackStrategy::Coalesced`] stages the log (the entry loads are
+//!   the same metadata traffic the word-wise loop pays), sorts it by address
+//!   — pipeline instructions, charged via [`Platform::compute`] — and then
+//!   publishes each maximal run of consecutive same-tier addresses as **one**
+//!   [`Platform::store_block`] burst, amortising the DMA setup exactly like
+//!   the paper's (and SimplePIM's) bulk-transfer guidance prescribes.
+//!
+//! Both strategies write byte-identical memory contents: the redo log holds
+//! at most one entry per address (the algorithms merge repeated writes), and
+//! the locks protecting the written range — ORecs, rw-locks or NOrec's
+//! sequence lock — are held for the whole publication, so ordering within it
+//! is unobservable.
+
+use pim_sim::Addr;
+
+use crate::config::WriteBackStrategy;
+use crate::platform::{encode_addr, Platform};
+use crate::txslot::TxSlot;
+
+/// Instructions charged per element of the address sort (a WRAM-resident
+/// insertion/merge hybrid costs a handful of instructions per comparison).
+const SORT_INSTRUCTIONS_PER_ELEMENT: u64 = 4;
+
+/// Longest run published as a single burst. Runs beyond this are split —
+/// matching the bounded staging buffer a real tasklet would reserve in WRAM
+/// (and the hardware's 2 KB DMA transfer limit).
+pub const MAX_BURST_WORDS: usize = 64;
+
+/// Publishes the redo log of `tx` to data memory using `strategy`.
+///
+/// Caller contract: the transaction is committing, every lock covering the
+/// written addresses is held (or, for NOrec, the sequence lock is odd), and
+/// the log holds at most one entry per address.
+pub(crate) fn publish_redo_log(tx: &mut TxSlot, p: &mut dyn Platform, strategy: WriteBackStrategy) {
+    let len = tx.write_set_len();
+    match strategy {
+        WriteBackStrategy::WordWise => {
+            for i in 0..len {
+                let entry = tx.write_entry(p, i);
+                p.store(entry.addr, entry.value);
+            }
+        }
+        WriteBackStrategy::Coalesced => {
+            if len <= 1 {
+                // Nothing to merge; skip the staging pass.
+                for i in 0..len {
+                    let entry = tx.write_entry(p, i);
+                    p.store(entry.addr, entry.value);
+                }
+                return;
+            }
+            // Stage the log. Loading each entry costs the same metadata
+            // traffic the word-wise loop pays; the host-side Vec stands in
+            // for the tasklet's WRAM staging buffer.
+            let mut staged: Vec<(u64, u64)> = (0..len)
+                .map(|i| {
+                    let entry = tx.write_entry(p, i);
+                    (encode_addr(entry.addr), entry.value)
+                })
+                .collect();
+            // Sort by encoded address: the tier bit sits above the word
+            // index, so entries group by tier and ascend within a tier.
+            staged.sort_unstable_by_key(|&(addr, _)| addr);
+            p.compute(SORT_INSTRUCTIONS_PER_ELEMENT * u64::from(len));
+            flush_runs(p, &staged);
+        }
+    }
+}
+
+/// Emits the sorted `(encoded address, value)` pairs as maximal contiguous
+/// bursts.
+fn flush_runs(p: &mut dyn Platform, staged: &[(u64, u64)]) {
+    let mut values: Vec<u64> = Vec::with_capacity(MAX_BURST_WORDS);
+    let mut run_start = 0u64;
+    for &(addr, value) in staged {
+        let extends = !values.is_empty()
+            && addr == run_start + values.len() as u64
+            && values.len() < MAX_BURST_WORDS;
+        if !extends {
+            flush_one(p, run_start, &values);
+            values.clear();
+            run_start = addr;
+        }
+        values.push(value);
+    }
+    flush_one(p, run_start, &values);
+}
+
+fn flush_one(p: &mut dyn Platform, run_start: u64, values: &[u64]) {
+    match values {
+        [] => {}
+        // A single word needs no burst setup amortisation; a plain store is
+        // what the hardware would issue.
+        [value] => p.store(decode_run_addr(run_start), *value),
+        _ => p.store_block(decode_run_addr(run_start), values),
+    }
+}
+
+fn decode_run_addr(encoded: u64) -> Addr {
+    crate::platform::decode_addr(encoded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MetadataPlacement, StmConfig, StmKind};
+    use crate::shared::StmShared;
+    use pim_sim::{Dpu, DpuConfig, TaskletCtx, TaskletStats, Tier};
+
+    /// Pushes `addrs` (word offsets into an MRAM region) with distinct
+    /// values into a fresh write set and publishes it with `strategy`,
+    /// returning the DMA setup count of the publish phase alone and the
+    /// final contents of the region.
+    fn publish(addrs: &[u32], strategy: WriteBackStrategy) -> (u64, Vec<u64>) {
+        let mut dpu = Dpu::new(DpuConfig::small());
+        let cfg = StmConfig::new(StmKind::Norec, MetadataPlacement::Wram)
+            .with_write_set_capacity(addrs.len().max(1) as u32);
+        let shared = StmShared::allocate(&mut dpu, cfg).unwrap();
+        let mut slot = shared.register_tasklet(&mut dpu, 0).unwrap();
+        let region = dpu.alloc(Tier::Mram, 128).unwrap();
+        let mut stats = TaskletStats::new();
+        let mut ctx = TaskletCtx::new(&mut dpu, &mut stats, 0, 1, 0);
+        for (i, &offset) in addrs.iter().enumerate() {
+            slot.push_write(&mut ctx, region.offset(offset), 100 + i as u64, 0, false);
+        }
+        let before = ctx.stats().mram_dma_setups;
+        publish_redo_log(&mut slot, &mut ctx, strategy);
+        let setups = ctx.stats().mram_dma_setups - before;
+        (setups, dpu.peek_block(region, 128))
+    }
+
+    #[test]
+    fn contiguous_runs_collapse_into_one_burst() {
+        let (word_setups, word_mem) = publish(&[3, 4, 5, 6], WriteBackStrategy::WordWise);
+        let (burst_setups, burst_mem) = publish(&[3, 4, 5, 6], WriteBackStrategy::Coalesced);
+        assert_eq!(word_setups, 4);
+        assert_eq!(burst_setups, 1, "one contiguous run must cost one DMA setup");
+        assert_eq!(word_mem, burst_mem);
+    }
+
+    #[test]
+    fn unsorted_logs_still_coalesce_after_the_address_sort() {
+        let (setups, mem) = publish(&[9, 2, 8, 1, 3, 10], WriteBackStrategy::Coalesced);
+        // Sorted: [1,2,3] and [8,9,10] — two bursts.
+        assert_eq!(setups, 2);
+        assert_eq!(mem[1], 103);
+        assert_eq!(mem[2], 101);
+        assert_eq!(mem[3], 104);
+        assert_eq!(mem[8], 102);
+        assert_eq!(mem[9], 100);
+        assert_eq!(mem[10], 105);
+    }
+
+    #[test]
+    fn scattered_entries_degrade_to_word_wise_cost() {
+        let (setups, _) = publish(&[0, 10, 20, 30], WriteBackStrategy::Coalesced);
+        assert_eq!(setups, 4, "no contiguity, no savings — but no extra setups either");
+    }
+
+    #[test]
+    fn empty_and_singleton_logs_take_the_fast_path() {
+        let (setups, _) = publish(&[], WriteBackStrategy::Coalesced);
+        assert_eq!(setups, 0);
+        let (setups, mem) = publish(&[7], WriteBackStrategy::Coalesced);
+        assert_eq!(setups, 1);
+        assert_eq!(mem[7], 100);
+    }
+
+    #[test]
+    fn runs_longer_than_the_staging_buffer_are_split_not_dropped() {
+        let addrs: Vec<u32> = (0..(MAX_BURST_WORDS as u32 + 10)).collect();
+        let (setups, mem) = publish(&addrs, WriteBackStrategy::Coalesced);
+        assert_eq!(setups, 2, "a 74-word run must split into two bounded bursts");
+        for (i, _) in addrs.iter().enumerate() {
+            assert_eq!(mem[i], 100 + i as u64, "word {i}");
+        }
+    }
+}

@@ -12,12 +12,17 @@
 //!   phase on 4 random entries of a 10-entry region. Tiny transactions,
 //!   very high contention — the workload where NOrec's implicit back-off and
 //!   low abort cost win.
+//!
+//! The transaction logic lives in [`ArrayBenchBody`], written once against
+//! [`TxOps`] and driven by both executors (see [`crate::driver`]).
 
 use pim_sim::{Dpu, SimRng, StepStatus, TaskletCtx, TaskletProgram, Tier};
-use pim_stm::var::{self, TArray, TVar};
-use pim_stm::{algorithm_for, StmShared, TxOps};
+use pim_stm::shared::MetadataAllocator;
+use pim_stm::threaded::{ThreadedDpu, ThreadedRunReport};
+use pim_stm::var::{self, TArray, TVar, WordAccess};
+use pim_stm::{algorithm_for, Abort, RunError, StmShared, TxOps};
 
-use crate::driver::TxMachine;
+use crate::driver::{run_tx_body, tasklet_rng, BodyStep, SimTxRunner, TxBody, TxMachine, TxStatus};
 
 /// Parameters of an ArrayBench run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,14 +98,17 @@ pub struct ArrayBenchData {
 }
 
 impl ArrayBenchData {
-    /// Allocates the shared array in MRAM.
+    /// Allocates the shared array in MRAM on either executor.
     ///
     /// # Panics
     ///
     /// Panics if MRAM cannot hold the array (it always can on a real DPU for
     /// the paper's sizes).
-    pub fn allocate(dpu: &mut Dpu, config: ArrayBenchConfig) -> Self {
-        let array = var::alloc_array(dpu, Tier::Mram, config.array_words())
+    pub fn allocate<A: MetadataAllocator + ?Sized>(
+        alloc: &mut A,
+        config: ArrayBenchConfig,
+    ) -> Self {
+        let array = var::alloc_array(alloc, Tier::Mram, config.array_words())
             .expect("ArrayBench array must fit in MRAM");
         ArrayBenchData { array, config }
     }
@@ -117,124 +125,113 @@ impl ArrayBenchData {
 
     /// Sum of the update region, read directly (host-side); used by tests to
     /// check that committed increments are not lost.
-    pub fn update_region_sum(&self, dpu: &Dpu) -> u64 {
-        (0..self.config.update_region).map(|i| var::peek_var(dpu, self.update_entry(i))).sum()
+    pub fn update_region_sum<M: WordAccess + ?Sized>(&self, mem: &M) -> u64 {
+        (0..self.config.update_region).map(|i| var::peek_var(mem, self.update_entry(i))).sum()
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum State {
-    NextTx,
-    Begin,
-    ReadPhase(u32),
-    UpdatePhase(u32),
-    Commit,
-}
-
-/// One tasklet of the ArrayBench benchmark.
-pub struct ArrayBenchProgram {
-    tm: TxMachine,
+/// One ArrayBench transaction: the read phase followed by the update phase,
+/// one array entry per step. [`ArrayBenchBody::prepare`] draws the random
+/// targets for the next transaction (outside the body, so retries reuse
+/// them, like the original benchmark).
+#[derive(Debug)]
+pub struct ArrayBenchBody {
     data: ArrayBenchData,
-    config: ArrayBenchConfig,
-    rng: SimRng,
-    remaining: u32,
     read_targets: Vec<u32>,
     update_targets: Vec<u32>,
-    state: State,
+    position: usize,
+}
+
+impl ArrayBenchBody {
+    /// Creates a body over the shared array.
+    pub fn new(data: ArrayBenchData) -> Self {
+        ArrayBenchBody { data, read_targets: Vec::new(), update_targets: Vec::new(), position: 0 }
+    }
+
+    /// Draws the target entries of the next transaction.
+    pub fn prepare(&mut self, rng: &mut SimRng) {
+        let config = self.data.config;
+        self.read_targets.clear();
+        self.update_targets.clear();
+        for _ in 0..config.reads_per_tx {
+            self.read_targets.push(rng.next_range(u64::from(config.read_region)) as u32);
+        }
+        for _ in 0..config.updates_per_tx {
+            self.update_targets.push(rng.next_range(u64::from(config.update_region)) as u32);
+        }
+    }
+
+    fn total_ops(&self) -> usize {
+        self.read_targets.len() + self.update_targets.len()
+    }
+}
+
+impl TxBody for ArrayBenchBody {
+    fn reset(&mut self) {
+        self.position = 0;
+    }
+
+    fn step<O: TxOps>(&mut self, tx: &mut O) -> Result<BodyStep, Abort> {
+        let position = self.position;
+        if position < self.read_targets.len() {
+            tx.get(self.data.read_entry(self.read_targets[position]))?;
+        } else if position < self.total_ops() {
+            let entry =
+                self.data.update_entry(self.update_targets[position - self.read_targets.len()]);
+            let value = tx.get(entry)?;
+            tx.set(entry, value.wrapping_add(1))?;
+        }
+        self.position += 1;
+        if self.position >= self.total_ops() {
+            Ok(BodyStep::Done)
+        } else {
+            Ok(BodyStep::Continue)
+        }
+    }
+}
+
+/// One simulated tasklet of the ArrayBench benchmark: picks targets, then
+/// lets the shared [`SimTxRunner`] drive the body.
+pub struct ArrayBenchProgram {
+    runner: SimTxRunner,
+    body: ArrayBenchBody,
+    rng: SimRng,
+    remaining: u32,
+    in_transaction: bool,
 }
 
 impl ArrayBenchProgram {
     /// Creates one tasklet program.
     pub fn new(tm: TxMachine, data: ArrayBenchData, rng: SimRng) -> Self {
-        let config = data.config;
+        let remaining = data.config.transactions_per_tasklet;
         ArrayBenchProgram {
-            tm,
-            data,
-            config,
+            runner: SimTxRunner::new(tm),
+            body: ArrayBenchBody::new(data),
             rng,
-            remaining: config.transactions_per_tasklet,
-            read_targets: Vec::new(),
-            update_targets: Vec::new(),
-            state: State::NextTx,
+            remaining,
+            in_transaction: false,
         }
     }
 
     /// Transactions committed so far.
     pub fn commits(&self) -> u64 {
-        self.tm.commits()
-    }
-
-    fn pick_targets(&mut self) {
-        self.read_targets.clear();
-        self.update_targets.clear();
-        for _ in 0..self.config.reads_per_tx {
-            self.read_targets.push(self.rng.next_range(u64::from(self.config.read_region)) as u32);
-        }
-        for _ in 0..self.config.updates_per_tx {
-            self.update_targets
-                .push(self.rng.next_range(u64::from(self.config.update_region)) as u32);
-        }
-    }
-
-    fn restart(&mut self, ctx: &mut TaskletCtx<'_>) {
-        self.tm.on_abort(ctx);
-        self.state = State::Begin;
+        self.runner.machine().commits()
     }
 }
 
 impl TaskletProgram for ArrayBenchProgram {
     fn step(&mut self, ctx: &mut TaskletCtx<'_>) -> StepStatus {
-        match self.state {
-            State::NextTx => {
-                if self.remaining == 0 {
-                    return StepStatus::Finished;
-                }
-                self.remaining -= 1;
-                self.pick_targets();
-                self.state = State::Begin;
+        if !self.in_transaction {
+            if self.remaining == 0 {
+                return StepStatus::Finished;
             }
-            State::Begin => {
-                self.tm.begin(ctx);
-                self.state = if self.config.reads_per_tx > 0 {
-                    State::ReadPhase(0)
-                } else {
-                    State::UpdatePhase(0)
-                };
-            }
-            State::ReadPhase(i) => {
-                let entry = self.data.read_entry(self.read_targets[i as usize]);
-                match self.tm.ops(ctx).get(entry) {
-                    Ok(_) => {
-                        let next = i + 1;
-                        self.state = if next < self.config.reads_per_tx {
-                            State::ReadPhase(next)
-                        } else {
-                            State::UpdatePhase(0)
-                        };
-                    }
-                    Err(_) => self.restart(ctx),
-                }
-            }
-            State::UpdatePhase(i) => {
-                let entry = self.data.update_entry(self.update_targets[i as usize]);
-                let mut ops = self.tm.ops(ctx);
-                let result = ops.get(entry).and_then(|value| ops.set(entry, value.wrapping_add(1)));
-                match result {
-                    Ok(()) => {
-                        let next = i + 1;
-                        self.state = if next < self.config.updates_per_tx {
-                            State::UpdatePhase(next)
-                        } else {
-                            State::Commit
-                        };
-                    }
-                    Err(_) => self.restart(ctx),
-                }
-            }
-            State::Commit => match self.tm.commit(ctx) {
-                Ok(()) => self.state = State::NextTx,
-                Err(_) => self.restart(ctx),
-            },
+            self.remaining -= 1;
+            self.body.prepare(&mut self.rng);
+            self.in_transaction = true;
+            return StepStatus::Running;
+        }
+        if self.runner.step(ctx, &mut self.body) == TxStatus::Committed {
+            self.in_transaction = false;
         }
         StepStatus::Running
     }
@@ -257,18 +254,42 @@ pub fn build(
 ) -> (ArrayBenchData, Vec<Box<dyn TaskletProgram>>) {
     let data = ArrayBenchData::allocate(dpu, config);
     let alg = algorithm_for(shared.config().kind);
-    let mut rng = SimRng::new(seed);
     let programs = (0..tasklets)
         .map(|t| {
             let slot = shared
                 .register_tasklet(dpu, t)
                 .expect("per-tasklet STM logs must fit in the metadata tier");
             let tm = TxMachine::new(shared.clone(), slot, alg);
-            Box::new(ArrayBenchProgram::new(tm, data, rng.fork(t as u64)))
+            Box::new(ArrayBenchProgram::new(tm, data, tasklet_rng(seed, t)))
                 as Box<dyn TaskletProgram>
         })
         .collect();
     (data, programs)
+}
+
+/// Runs the same workload — the same [`ArrayBenchBody`] — on the threaded
+/// executor. `dpu` must already hold the STM instance this run uses.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if the tasklet count exceeds the hardware limit or
+/// the per-tasklet transaction logs do not fit.
+pub fn run_threaded(
+    dpu: &mut ThreadedDpu,
+    config: ArrayBenchConfig,
+    tasklets: usize,
+    seed: u64,
+) -> Result<(ArrayBenchData, ThreadedRunReport), RunError> {
+    let data = ArrayBenchData::allocate(dpu, config);
+    let report = dpu.run(tasklets, |mut tasklet| {
+        let mut rng = tasklet_rng(seed, tasklet.tasklet_id());
+        let mut body = ArrayBenchBody::new(data);
+        for _ in 0..config.transactions_per_tasklet {
+            body.prepare(&mut rng);
+            run_tx_body(&mut tasklet, &mut body);
+        }
+    })?;
+    Ok((data, report))
 }
 
 #[cfg(test)]
@@ -331,6 +352,19 @@ mod tests {
             total_aborts += aborts;
         }
         assert!(total_aborts > 0, "workload B with 8 tasklets must conflict sometimes");
+    }
+
+    #[test]
+    fn the_same_body_runs_threaded_without_losing_updates() {
+        let cfg = ArrayBenchConfig::workload_b().scaled(0.25);
+        let stm_cfg = StmConfig::new(StmKind::TinyEtlWb, MetadataPlacement::Wram)
+            .with_read_set_capacity(cfg.read_set_capacity())
+            .with_write_set_capacity(cfg.write_set_capacity());
+        let mut dpu = ThreadedDpu::new(stm_cfg).unwrap();
+        let (data, report) = run_threaded(&mut dpu, cfg, 4, 42).unwrap();
+        let expected = cfg.transactions_per_tasklet as u64 * 4;
+        assert_eq!(report.commits, expected);
+        assert_eq!(data.update_region_sum(&dpu), expected * u64::from(cfg.updates_per_tx));
     }
 
     #[test]

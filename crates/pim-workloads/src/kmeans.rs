@@ -8,11 +8,19 @@
 //! time spent in transactions shrinks as `k` grows — which is why the paper's
 //! low-contention configuration (`k` = 15) is insensitive to the STM choice
 //! while the high-contention one (`k` = 2) amplifies the differences.
+//!
+//! The transactional fold lives in [`KmeansTxBody`], written once against
+//! [`TxOps`] over a typed [`TArray`] of accumulators and driven by both
+//! executors (see [`crate::driver`]); the nearest-centroid scan is shared
+//! pure code ([`nearest_cluster`]).
 
-use pim_sim::{Addr, Dpu, SimRng, StepStatus, TaskletCtx, TaskletProgram, Tier};
-use pim_stm::{algorithm_for, Phase, StmShared};
+use pim_sim::{Dpu, SimRng, StepStatus, TaskletCtx, TaskletProgram, Tier};
+use pim_stm::shared::MetadataAllocator;
+use pim_stm::threaded::{ThreadedDpu, ThreadedRunReport};
+use pim_stm::var::{self, TArray, TVar, WordAccess};
+use pim_stm::{algorithm_for, Abort, Phase, RunError, StmShared, TxOps};
 
-use crate::driver::TxMachine;
+use crate::driver::{run_tx_body, tasklet_rng, BodyStep, SimTxRunner, TxBody, TxMachine, TxStatus};
 
 /// Parameters of a KMeans run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,130 +72,202 @@ impl KmeansConfig {
     pub fn write_set_capacity(&self) -> u32 {
         (self.centroid_words() + 8).next_power_of_two()
     }
+
+    /// MRAM words the centroid accumulators occupy; the sizing counterpart
+    /// of [`KmeansData::allocate`].
+    pub fn data_words(&self) -> u32 {
+        self.clusters * self.centroid_words()
+    }
 }
 
 /// Shared KMeans state: centroid accumulators in MRAM.
 #[derive(Debug, Clone, Copy)]
 pub struct KmeansData {
-    /// Base of the `k × (d + 1)` centroid accumulator array.
-    pub centroids: Addr,
+    /// The `k × (d + 1)` centroid accumulator array (`d` running sums
+    /// followed by the membership count, per centroid).
+    pub centroids: TArray<u64>,
     config: KmeansConfig,
 }
 
 impl KmeansData {
-    /// Allocates the centroid accumulators (zero-initialised: sums and
-    /// counts start at zero for the assignment round).
+    /// Allocates the centroid accumulators on either executor
+    /// (zero-initialised: sums and counts start at zero for the assignment
+    /// round).
     ///
     /// # Panics
     ///
     /// Panics if MRAM cannot hold the accumulators.
-    pub fn allocate(dpu: &mut Dpu, config: KmeansConfig) -> Self {
-        let centroids = dpu
-            .alloc(Tier::Mram, config.clusters * config.centroid_words())
-            .expect("centroid accumulators must fit in MRAM");
+    pub fn allocate<A: MetadataAllocator + ?Sized>(alloc: &mut A, config: KmeansConfig) -> Self {
+        let centroids =
+            var::alloc_array(alloc, Tier::Mram, config.clusters * config.centroid_words())
+                .expect("centroid accumulators must fit in MRAM");
         KmeansData { centroids, config }
     }
 
-    /// Address of dimension `dim` of centroid `cluster`'s running sum.
-    pub fn sum_addr(&self, cluster: u32, dim: u32) -> Addr {
-        self.centroids.offset(cluster * self.config.centroid_words() + dim)
+    /// Typed handle to dimension `dim` of centroid `cluster`'s running sum.
+    pub fn sum_var(&self, cluster: u32, dim: u32) -> TVar<u64> {
+        self.centroids.at(cluster * self.config.centroid_words() + dim)
     }
 
-    /// Address of centroid `cluster`'s membership count.
-    pub fn count_addr(&self, cluster: u32) -> Addr {
-        self.centroids.offset(cluster * self.config.centroid_words() + self.config.dimensions)
+    /// Typed handle to centroid `cluster`'s membership count.
+    pub fn count_var(&self, cluster: u32) -> TVar<u64> {
+        self.centroids.at(cluster * self.config.centroid_words() + self.config.dimensions)
     }
 
     /// Host-side (untimed) totals: sum of all membership counts and the grand
     /// total of all coordinate sums; used by tests to check no update was
     /// lost.
-    pub fn totals(&self, dpu: &Dpu) -> (u64, u64) {
+    pub fn totals<M: WordAccess + ?Sized>(&self, mem: &M) -> (u64, u64) {
         let mut members = 0;
         let mut coord_total = 0u64;
         for c in 0..self.config.clusters {
-            members += dpu.peek(self.count_addr(c));
+            members += var::peek_var(mem, self.count_var(c));
             for d in 0..self.config.dimensions {
-                coord_total = coord_total.wrapping_add(dpu.peek(self.sum_addr(c, d)));
+                coord_total = coord_total.wrapping_add(var::peek_var(mem, self.sum_var(c, d)));
             }
         }
         (members, coord_total)
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum State {
-    NextPoint,
-    Scan { cluster: u32 },
-    Begin,
-    UpdateDim { dim: u32 },
-    UpdateCount,
-    Commit,
+/// The reference centroid coordinates used by the (non-transactional)
+/// distance heuristic — a private copy per tasklet, like STAMP's
+/// non-transactional read of the centres. Deterministic regardless of seed
+/// or executor.
+pub fn reference_centroids(config: &KmeansConfig) -> Vec<u64> {
+    let mut seed_rng = SimRng::new(0xC0FFEE);
+    (0..config.clusters * config.dimensions)
+        .map(|_| seed_rng.next_range(config.coordinate_range))
+        .collect()
 }
 
-/// One tasklet of the KMeans benchmark.
-pub struct KmeansProgram {
-    tm: TxMachine,
+/// Squared Euclidean distance of `point` to centroid `cluster` of the
+/// private `reference` coordinates. Pure, shared by both executors.
+pub fn cluster_distance(
+    config: &KmeansConfig,
+    reference: &[u64],
+    point: &[u64],
+    cluster: u32,
+) -> u64 {
+    let d = config.dimensions;
+    (0..d)
+        .map(|dim| {
+            let c = reference[(cluster * d + dim) as usize];
+            let x = point[dim as usize];
+            let diff = c.abs_diff(x);
+            diff.saturating_mul(diff)
+        })
+        .fold(0u64, u64::saturating_add)
+}
+
+/// Nearest centroid of `point` (see [`cluster_distance`]). Pure, shared by
+/// both executors.
+pub fn nearest_cluster(config: &KmeansConfig, reference: &[u64], point: &[u64]) -> u32 {
+    let mut best_cluster = 0;
+    let mut best_distance = u64::MAX;
+    for cluster in 0..config.clusters {
+        let distance = cluster_distance(config, reference, point, cluster);
+        if distance < best_distance {
+            best_distance = distance;
+            best_cluster = cluster;
+        }
+    }
+    best_cluster
+}
+
+/// One KMeans transaction: fold the current point into its nearest
+/// centroid's accumulators, one dimension per step, then bump the
+/// membership count. [`KmeansTxBody::prepare`] installs the point and its
+/// (pre-computed, non-transactional) cluster assignment.
+#[derive(Debug)]
+pub struct KmeansTxBody {
     data: KmeansData,
+    cluster: u32,
+    point: Vec<u64>,
+    position: u32,
+}
+
+impl KmeansTxBody {
+    /// Creates a body over the shared accumulators.
+    pub fn new(data: KmeansData) -> Self {
+        KmeansTxBody { data, cluster: 0, point: Vec::new(), position: 0 }
+    }
+
+    /// Installs the next point and its target cluster.
+    pub fn prepare(&mut self, cluster: u32, point: Vec<u64>) {
+        self.cluster = cluster;
+        self.point = point;
+    }
+}
+
+impl TxBody for KmeansTxBody {
+    fn reset(&mut self) {
+        self.position = 0;
+    }
+
+    fn step<O: TxOps>(&mut self, tx: &mut O) -> Result<BodyStep, Abort> {
+        let dims = self.data.config.dimensions;
+        if self.position < dims {
+            let var = self.data.sum_var(self.cluster, self.position);
+            let sum = tx.get(var)?;
+            tx.set(var, sum.wrapping_add(self.point[self.position as usize]))?;
+            self.position += 1;
+            Ok(BodyStep::Continue)
+        } else {
+            let var = self.data.count_var(self.cluster);
+            let count = tx.get(var)?;
+            tx.set(var, count + 1)?;
+            Ok(BodyStep::Done)
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProgramState {
+    NextPoint,
+    Scan { cluster: u32 },
+    InTransaction,
+}
+
+/// One simulated tasklet of the KMeans benchmark.
+pub struct KmeansProgram {
+    runner: SimTxRunner,
+    body: KmeansTxBody,
     config: KmeansConfig,
     rng: SimRng,
     remaining: u32,
     /// Coordinates of the point currently being processed.
     point: Vec<u64>,
-    /// Reference centroid coordinates (private copy used only for the
-    /// distance heuristic, like STAMP's non-transactional read of the
-    /// centres).
+    /// Reference centroid coordinates (see [`reference_centroids`]).
     reference: Vec<u64>,
     best_cluster: u32,
     best_distance: u64,
-    state: State,
+    state: ProgramState,
 }
 
 impl KmeansProgram {
     /// Creates one tasklet program.
     pub fn new(tm: TxMachine, data: KmeansData, rng: SimRng) -> Self {
         let config = data.config;
-        let reference: Vec<u64> = {
-            let mut seed_rng = SimRng::new(0xC0FFEE);
-            (0..config.clusters * config.dimensions)
-                .map(|_| seed_rng.next_range(config.coordinate_range))
-                .collect()
-        };
         KmeansProgram {
-            tm,
-            data,
+            runner: SimTxRunner::new(tm),
+            body: KmeansTxBody::new(data),
             config,
             rng,
             remaining: config.points_per_tasklet,
             point: Vec::new(),
-            reference,
+            reference: reference_centroids(&config),
             best_cluster: 0,
             best_distance: u64::MAX,
-            state: State::NextPoint,
+            state: ProgramState::NextPoint,
         }
-    }
-
-    fn restart(&mut self, ctx: &mut TaskletCtx<'_>) {
-        self.tm.on_abort(ctx);
-        self.state = State::Begin;
-    }
-
-    fn distance_to(&self, cluster: u32) -> u64 {
-        let d = self.config.dimensions;
-        (0..d)
-            .map(|dim| {
-                let c = self.reference[(cluster * d + dim) as usize];
-                let x = self.point[dim as usize];
-                let diff = c.abs_diff(x);
-                diff.saturating_mul(diff)
-            })
-            .fold(0u64, u64::saturating_add)
     }
 }
 
 impl TaskletProgram for KmeansProgram {
     fn step(&mut self, ctx: &mut TaskletCtx<'_>) -> StepStatus {
         match self.state {
-            State::NextPoint => {
+            ProgramState::NextPoint => {
                 if self.remaining == 0 {
                     return StepStatus::Finished;
                 }
@@ -201,61 +281,35 @@ impl TaskletProgram for KmeansProgram {
                 ctx.compute(4 * u64::from(self.config.dimensions));
                 self.best_cluster = 0;
                 self.best_distance = u64::MAX;
-                self.state = State::Scan { cluster: 0 };
+                self.state = ProgramState::Scan { cluster: 0 };
             }
-            State::Scan { cluster } => {
-                // Non-transactional distance computation against one centroid:
-                // d reference loads plus the arithmetic.
+            ProgramState::Scan { cluster } => {
+                // Non-transactional distance computation against one centroid
+                // (one step per centroid so the scan interleaves): d
+                // reference loads plus the arithmetic.
                 ctx.set_phase(Phase::OtherExec);
                 ctx.compute(6 * u64::from(self.config.dimensions));
-                let distance = self.distance_to(cluster);
+                let distance =
+                    cluster_distance(&self.config, &self.reference, &self.point, cluster);
                 if distance < self.best_distance {
                     self.best_distance = distance;
                     self.best_cluster = cluster;
                 }
                 let next = cluster + 1;
-                self.state = if next < self.config.clusters {
-                    State::Scan { cluster: next }
+                if next < self.config.clusters {
+                    self.state = ProgramState::Scan { cluster: next };
                 } else {
-                    State::Begin
-                };
-            }
-            State::Begin => {
-                self.tm.begin(ctx);
-                self.state = State::UpdateDim { dim: 0 };
-            }
-            State::UpdateDim { dim } => {
-                let addr = self.data.sum_addr(self.best_cluster, dim);
-                let x = self.point[dim as usize];
-                let result = self
-                    .tm
-                    .read(ctx, addr)
-                    .and_then(|sum| self.tm.write(ctx, addr, sum.wrapping_add(x)));
-                match result {
-                    Ok(()) => {
-                        let next = dim + 1;
-                        self.state = if next < self.config.dimensions {
-                            State::UpdateDim { dim: next }
-                        } else {
-                            State::UpdateCount
-                        };
-                    }
-                    Err(_) => self.restart(ctx),
+                    // Hand the point over (NextPoint rebuilds it); cloning
+                    // here would allocate once per point in the hot loop.
+                    self.body.prepare(self.best_cluster, std::mem::take(&mut self.point));
+                    self.state = ProgramState::InTransaction;
                 }
             }
-            State::UpdateCount => {
-                let addr = self.data.count_addr(self.best_cluster);
-                let result =
-                    self.tm.read(ctx, addr).and_then(|count| self.tm.write(ctx, addr, count + 1));
-                match result {
-                    Ok(()) => self.state = State::Commit,
-                    Err(_) => self.restart(ctx),
+            ProgramState::InTransaction => {
+                if self.runner.step(ctx, &mut self.body) == TxStatus::Committed {
+                    self.state = ProgramState::NextPoint;
                 }
             }
-            State::Commit => match self.tm.commit(ctx) {
-                Ok(()) => self.state = State::NextPoint,
-                Err(_) => self.restart(ctx),
-            },
         }
         StepStatus::Running
     }
@@ -275,17 +329,45 @@ pub fn build(
 ) -> (KmeansData, Vec<Box<dyn TaskletProgram>>) {
     let data = KmeansData::allocate(dpu, config);
     let alg = algorithm_for(shared.config().kind);
-    let mut rng = SimRng::new(seed);
     let programs = (0..tasklets)
         .map(|t| {
             let slot = shared
                 .register_tasklet(dpu, t)
                 .expect("per-tasklet STM logs must fit in the metadata tier");
             let tm = TxMachine::new(shared.clone(), slot, alg);
-            Box::new(KmeansProgram::new(tm, data, rng.fork(t as u64))) as Box<dyn TaskletProgram>
+            Box::new(KmeansProgram::new(tm, data, tasklet_rng(seed, t))) as Box<dyn TaskletProgram>
         })
         .collect();
     (data, programs)
+}
+
+/// Runs the same workload — the same [`KmeansTxBody`] and the same
+/// [`nearest_cluster`] scan — on the threaded executor.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if the tasklet count exceeds the hardware limit or
+/// the per-tasklet transaction logs do not fit.
+pub fn run_threaded(
+    dpu: &mut ThreadedDpu,
+    config: KmeansConfig,
+    tasklets: usize,
+    seed: u64,
+) -> Result<(KmeansData, ThreadedRunReport), RunError> {
+    let data = KmeansData::allocate(dpu, config);
+    let report = dpu.run(tasklets, |mut tasklet| {
+        let mut rng = tasklet_rng(seed, tasklet.tasklet_id());
+        let reference = reference_centroids(&config);
+        let mut body = KmeansTxBody::new(data);
+        for _ in 0..config.points_per_tasklet {
+            let point: Vec<u64> =
+                (0..config.dimensions).map(|_| rng.next_range(config.coordinate_range)).collect();
+            let cluster = nearest_cluster(&config, &reference, &point);
+            body.prepare(cluster, point);
+            run_tx_body(&mut tasklet, &mut body);
+        }
+    })?;
+    Ok((data, report))
 }
 
 #[cfg(test)]
@@ -343,5 +425,31 @@ mod tests {
             run_kmeans(StmKind::VrCtlWb, KmeansConfig::high_contention().scaled(0.2), 1);
         assert_eq!(aborts, 0);
         assert_eq!(members, KmeansConfig::high_contention().scaled(0.2).points_per_tasklet as u64);
+    }
+
+    #[test]
+    fn the_same_body_folds_every_point_on_the_threaded_executor() {
+        let config = KmeansConfig::high_contention().scaled(0.3);
+        let stm_cfg = StmConfig::new(StmKind::Norec, MetadataPlacement::Wram)
+            .with_read_set_capacity(config.read_set_capacity())
+            .with_write_set_capacity(config.write_set_capacity());
+        let mut dpu = ThreadedDpu::new(stm_cfg).unwrap();
+        let (data, report) = run_threaded(&mut dpu, config, 4, 3).unwrap();
+        let expected = config.points_per_tasklet as u64 * 4;
+        assert_eq!(report.commits, expected);
+        assert_eq!(data.totals(&dpu).0, expected);
+    }
+
+    #[test]
+    fn scan_matches_the_programs_incremental_search() {
+        let config = KmeansConfig::low_contention();
+        let reference = reference_centroids(&config);
+        let mut rng = SimRng::new(5);
+        for _ in 0..20 {
+            let point: Vec<u64> =
+                (0..config.dimensions).map(|_| rng.next_range(config.coordinate_range)).collect();
+            let best = nearest_cluster(&config, &reference, &point);
+            assert!(best < config.clusters);
+        }
     }
 }

@@ -14,11 +14,21 @@
 //! The paper uses three grid sizes (S = 16×16×3, M = 32×32×3,
 //! L = 128×128×3); larger grids mean longer, more memory-bound transactions,
 //! which is what saturates the DPU pipeline below 11 tasklets in Fig. 5.
+//!
+//! Both transactions live in [`TxOps`]-generic bodies ([`PopTxBody`],
+//! [`RouteTxBody`]) driven by both executors (see [`crate::driver`]). The
+//! grid snapshot and the Lee expansion use the facade's *raw* (plain-DMA)
+//! operations — sound because every consumed cell is transactionally
+//! re-validated during the claim — and the application-level restart on a
+//! taken cell goes through [`TxOps::cancel`].
 
 use pim_sim::{Addr, Dpu, SimRng, StepStatus, TaskletCtx, TaskletProgram, Tier};
-use pim_stm::{algorithm_for, Phase, StmShared};
+use pim_stm::shared::MetadataAllocator;
+use pim_stm::threaded::{ThreadedDpu, ThreadedRunReport};
+use pim_stm::var::{self, TArray, TVar, WordAccess};
+use pim_stm::{algorithm_for, Abort, RunError, StmShared, TxOps};
 
-use crate::driver::TxMachine;
+use crate::driver::{run_tx_body, BodyStep, SimTxRunner, TxBody, TxMachine, TxStatus};
 
 /// Cell states in the shared grid.
 const FREE: u64 = 0;
@@ -84,124 +94,25 @@ impl LabyrinthConfig {
     pub fn write_set_capacity(&self) -> u32 {
         (self.max_path_cells() + 16).next_power_of_two()
     }
-}
 
-/// Shared Labyrinth state: the grid and the work queue.
-#[derive(Debug, Clone, Copy)]
-pub struct LabyrinthData {
-    /// Base of the shared grid (`cells()` words).
-    pub grid: Addr,
-    /// Word holding the index of the next unclaimed job.
-    pub queue_head: Addr,
-    /// Base of the job array (`2 × paths` words: source, destination).
-    pub queue: Addr,
-    config: LabyrinthConfig,
-}
-
-impl LabyrinthData {
-    /// Allocates the grid and the work queue and fills the queue with
-    /// `config.paths` random source/destination pairs.
-    ///
-    /// # Panics
-    ///
-    /// Panics if MRAM cannot hold the grid and queue.
-    pub fn allocate(dpu: &mut Dpu, config: LabyrinthConfig, seed: u64) -> Self {
-        let grid = dpu.alloc(Tier::Mram, config.cells()).expect("shared grid must fit in MRAM");
-        let queue_head = dpu.alloc(Tier::Mram, 1).expect("queue head");
-        let queue = dpu.alloc(Tier::Mram, config.paths * 2).expect("work queue must fit in MRAM");
-        let mut rng = SimRng::new(seed);
-        for i in 0..config.paths {
-            let src = rng.next_range(u64::from(config.cells()));
-            let mut dst = rng.next_range(u64::from(config.cells()));
-            while dst == src {
-                dst = rng.next_range(u64::from(config.cells()));
-            }
-            dpu.poke(queue.offset(2 * i), src);
-            dpu.poke(queue.offset(2 * i + 1), dst);
-        }
-        LabyrinthData { grid, queue_head, queue, config }
+    /// MRAM words of the shared data (grid + queue head + job queue); the
+    /// sizing counterpart of [`LabyrinthData::allocate`].
+    pub fn shared_data_words(&self) -> u32 {
+        self.cells() + 1 + 2 * self.paths
     }
 
-    /// Address of grid cell `index`.
-    pub fn cell_addr(&self, index: u32) -> Addr {
-        debug_assert!(index < self.config.cells());
-        self.grid.offset(index)
+    /// MRAM words including the `cells()`-word private grid copy each of
+    /// the `tasklets` tasklets owns.
+    pub fn data_words(&self, tasklets: usize) -> u32 {
+        self.shared_data_words() + self.cells() * tasklets as u32
     }
 
-    /// Number of grid cells currently marked as occupied (host-side read).
-    pub fn occupied_cells(&self, dpu: &Dpu) -> u32 {
-        (0..self.config.cells()).filter(|&i| dpu.peek(self.cell_addr(i)) == OCCUPIED).count() as u32
-    }
-
-    /// Number of jobs already claimed from the queue (host-side read).
-    pub fn jobs_claimed(&self, dpu: &Dpu) -> u64 {
-        dpu.peek(self.queue_head)
-    }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum State {
-    PopBegin,
-    PopHead,
-    PopEntry { head: u64 },
-    PopCommit { done: bool },
-    RouteBegin,
-    CopyGrid,
-    Route,
-    Claim { index: usize },
-    RouteCommit,
-    Finished,
-}
-
-/// One tasklet of the Labyrinth benchmark.
-pub struct LabyrinthProgram {
-    tm: TxMachine,
-    data: LabyrinthData,
-    config: LabyrinthConfig,
-    /// Private copy of the grid used by the Lee expansion.
-    private_grid: Addr,
-    state: State,
-    src: u32,
-    dst: u32,
-    path: Vec<u32>,
-    routed: u64,
-    route_failures: u64,
-}
-
-impl LabyrinthProgram {
-    /// Creates one tasklet program; `private_grid` must be a `cells()`-word
-    /// MRAM region owned exclusively by this tasklet.
-    pub fn new(tm: TxMachine, data: LabyrinthData, private_grid: Addr) -> Self {
-        let config = data.config;
-        LabyrinthProgram {
-            tm,
-            data,
-            config,
-            private_grid,
-            state: State::PopBegin,
-            src: 0,
-            dst: 0,
-            path: Vec::new(),
-            routed: 0,
-            route_failures: 0,
-        }
-    }
-
-    /// Paths successfully routed and committed by this tasklet.
-    pub fn routed(&self) -> u64 {
-        self.routed
-    }
-
-    /// Jobs for which no free path existed when this tasklet attempted them.
-    pub fn route_failures(&self) -> u64 {
-        self.route_failures
-    }
-
+    /// The six axis neighbours of `cell`, pushed into `out`.
     fn neighbours(&self, cell: u32, out: &mut Vec<u32>) {
         out.clear();
-        let w = self.config.width;
-        let h = self.config.height;
-        let d = self.config.depth;
+        let w = self.width;
+        let h = self.height;
+        let d = self.depth;
         let layer = w * h;
         let z = cell / layer;
         let y = (cell % layer) / w;
@@ -225,47 +136,247 @@ impl LabyrinthProgram {
             out.push(cell + layer);
         }
     }
+}
+
+/// Shared Labyrinth state: the grid and the work queue.
+#[derive(Debug, Clone, Copy)]
+pub struct LabyrinthData {
+    /// The shared grid (`cells()` words).
+    pub grid: TArray<u64>,
+    /// Word holding the index of the next unclaimed job.
+    pub queue_head: TVar<u64>,
+    /// The job array (`2 × paths` words: source, destination).
+    pub queue: TArray<u64>,
+    config: LabyrinthConfig,
+}
+
+impl LabyrinthData {
+    /// Allocates the grid and the work queue on either executor and fills
+    /// the queue with `config.paths` random source/destination pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if MRAM cannot hold the grid and queue.
+    pub fn allocate<M: MetadataAllocator + WordAccess>(
+        mem: &mut M,
+        config: LabyrinthConfig,
+        seed: u64,
+    ) -> Self {
+        let grid: TArray<u64> = var::alloc_array(mem, Tier::Mram, config.cells())
+            .expect("shared grid must fit in MRAM");
+        let queue_head: TVar<u64> =
+            var::alloc_var(mem, Tier::Mram).expect("queue head must fit in MRAM");
+        let queue: TArray<u64> = var::alloc_array(mem, Tier::Mram, config.paths * 2)
+            .expect("work queue must fit in MRAM");
+        let mut rng = SimRng::new(seed);
+        for i in 0..config.paths {
+            let src = rng.next_range(u64::from(config.cells()));
+            let mut dst = rng.next_range(u64::from(config.cells()));
+            while dst == src {
+                dst = rng.next_range(u64::from(config.cells()));
+            }
+            var::poke_var(mem, queue.at(2 * i), src);
+            var::poke_var(mem, queue.at(2 * i + 1), dst);
+        }
+        LabyrinthData { grid, queue_head, queue, config }
+    }
+
+    /// Typed handle to grid cell `index`.
+    pub fn cell(&self, index: u32) -> TVar<u64> {
+        self.grid.at(index)
+    }
+
+    /// Number of grid cells currently marked as occupied (host-side read).
+    pub fn occupied_cells<M: WordAccess + ?Sized>(&self, mem: &M) -> u32 {
+        (0..self.config.cells()).filter(|&i| var::peek_var(mem, self.cell(i)) == OCCUPIED).count()
+            as u32
+    }
+
+    /// Number of jobs already claimed from the queue (host-side read).
+    pub fn jobs_claimed<M: WordAccess + ?Sized>(&self, mem: &M) -> u64 {
+        var::peek_var(mem, self.queue_head)
+    }
+
+    /// Checks that the committed grid holds only free/occupied cells (no
+    /// wave values leaked from private copies) and that every job was
+    /// claimed exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate<M: WordAccess + ?Sized>(&self, mem: &M) -> Result<(), String> {
+        let claimed = self.jobs_claimed(mem);
+        if claimed != u64::from(self.config.paths) {
+            return Err(format!(
+                "queue head at {claimed}, expected all {} jobs claimed",
+                self.config.paths
+            ));
+        }
+        for i in 0..self.config.cells() {
+            let v = var::peek_var(mem, self.cell(i));
+            if v != FREE && v != OCCUPIED {
+                return Err(format!("grid cell {i} holds unexpected value {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The queue-pop transaction: read the head, read the job pair, advance the
+/// head. After commit, [`PopTxBody::job`] holds the claimed pair, or `None`
+/// when the queue is drained.
+#[derive(Debug)]
+pub struct PopTxBody {
+    data: LabyrinthData,
+    head: u64,
+    loaded_head: bool,
+    job: Option<(u32, u32)>,
+}
+
+impl PopTxBody {
+    /// Creates the body over the shared queue.
+    pub fn new(data: LabyrinthData) -> Self {
+        PopTxBody { data, head: 0, loaded_head: false, job: None }
+    }
+
+    /// The job claimed by the last committed pop (`None` = queue drained).
+    pub fn job(&self) -> Option<(u32, u32)> {
+        self.job
+    }
+}
+
+impl TxBody for PopTxBody {
+    fn reset(&mut self) {
+        self.loaded_head = false;
+        self.job = None;
+    }
+
+    fn step<O: TxOps>(&mut self, tx: &mut O) -> Result<BodyStep, Abort> {
+        if !self.loaded_head {
+            self.head = tx.get(self.data.queue_head)?;
+            self.loaded_head = true;
+            if self.head >= u64::from(self.data.config.paths) {
+                // Drained: commit an (empty, read-only) transaction.
+                return Ok(BodyStep::Done);
+            }
+            return Ok(BodyStep::Continue);
+        }
+        let index = self.head as u32;
+        let src = tx.get(self.data.queue.at(2 * index))?;
+        let dst = tx.get(self.data.queue.at(2 * index + 1))?;
+        tx.set(self.data.queue_head, self.head + 1)?;
+        self.job = Some((src as u32, dst as u32));
+        Ok(BodyStep::Done)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RouteStep {
+    CopyGrid,
+    Route,
+    Claim { index: usize },
+}
+
+/// The routing transaction: snapshot the shared grid into this tasklet's
+/// private MRAM buffer with plain DMA ([`TxOps::raw_copy`]), run the Lee
+/// expansion and backtrack on the private copy ([`TxOps::raw_load`] /
+/// [`TxOps::raw_store`] — the accesses that make the workload memory-bound),
+/// then transactionally claim the path one cell per step.
+///
+/// A claim step that finds a cell taken by a concurrently *committed* path
+/// cancels the attempt ([`TxOps::cancel`]); the retry re-snapshots the grid
+/// and re-routes, exactly like STAMP. STM-level conflicts rewind the same
+/// way through the normal abort path.
+#[derive(Debug)]
+pub struct RouteTxBody {
+    data: LabyrinthData,
+    /// Base of this tasklet's private `cells()`-word MRAM grid copy.
+    private_grid: Addr,
+    src: u32,
+    dst: u32,
+    step: RouteStep,
+    path: Vec<u32>,
+    /// Whether the last committed attempt claimed a path (`false` = no free
+    /// path existed in the snapshot and the commit was empty).
+    routed: bool,
+    /// Scratch for the expansion (kept across steps to avoid realloc).
+    frontier: Vec<u32>,
+    next_frontier: Vec<u32>,
+    scratch: Vec<u32>,
+}
+
+impl RouteTxBody {
+    /// Creates the body; `private_grid` must be a `cells()`-word MRAM region
+    /// owned exclusively by this tasklet.
+    pub fn new(data: LabyrinthData, private_grid: Addr) -> Self {
+        RouteTxBody {
+            data,
+            private_grid,
+            src: 0,
+            dst: 0,
+            step: RouteStep::CopyGrid,
+            path: Vec::new(),
+            routed: false,
+            frontier: Vec::new(),
+            next_frontier: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Installs the next job.
+    pub fn prepare(&mut self, src: u32, dst: u32) {
+        self.src = src;
+        self.dst = dst;
+    }
+
+    /// Whether the last committed attempt claimed a path.
+    pub fn routed(&self) -> bool {
+        self.routed
+    }
 
     fn private_cell(&self, index: u32) -> Addr {
         self.private_grid.offset(index)
     }
 
-    /// Lee expansion + backtrack on the private grid. Charges every cell
-    /// visit to the context (the grid is in MRAM, which is what makes this
-    /// workload memory bound). Returns the path (including both endpoints) or
-    /// `None` if the destination is unreachable.
-    fn route(&mut self, ctx: &mut TaskletCtx<'_>) -> Option<Vec<u32>> {
-        ctx.set_phase(Phase::OtherExec);
+    /// Lee expansion + backtrack on the private grid, through the raw
+    /// (uninstrumented, but cycle-charged) facade ops. Returns the path
+    /// (including both endpoints) or `None` if the destination is
+    /// unreachable in the snapshot.
+    fn route<O: TxOps>(&mut self, tx: &mut O) -> Option<Vec<u32>> {
+        let config = self.data.config;
         let src = self.src;
         let dst = self.dst;
-        if ctx.load(self.private_cell(src)) != FREE || ctx.load(self.private_cell(dst)) != FREE {
+        if tx.raw_load(self.private_cell(src)) != FREE
+            || tx.raw_load(self.private_cell(dst)) != FREE
+        {
             return None;
         }
-        ctx.store(self.private_cell(src), WAVE_BASE);
-        let mut frontier = vec![src];
-        let mut next = Vec::new();
-        let mut scratch = Vec::new();
+        tx.raw_store(self.private_cell(src), WAVE_BASE);
+        self.frontier.clear();
+        self.frontier.push(src);
+        self.next_frontier.clear();
         let mut wave = WAVE_BASE;
         let mut found = src == dst;
-        'expansion: while !frontier.is_empty() && !found {
-            next.clear();
-            for &cell in &frontier {
-                self.neighbours(cell, &mut scratch);
-                let neighbours = scratch.clone();
+        'expansion: while !self.frontier.is_empty() && !found {
+            self.next_frontier.clear();
+            for f in 0..self.frontier.len() {
+                let cell = self.frontier[f];
+                config.neighbours(cell, &mut self.scratch);
+                let neighbours = self.scratch.clone();
                 for n in neighbours {
-                    ctx.compute(4);
+                    tx.compute(4);
                     if n == dst {
-                        ctx.store(self.private_cell(n), wave + 1);
+                        tx.raw_store(self.private_cell(n), wave + 1);
                         found = true;
                         break 'expansion;
                     }
-                    if ctx.load(self.private_cell(n)) == FREE {
-                        ctx.store(self.private_cell(n), wave + 1);
-                        next.push(n);
+                    if tx.raw_load(self.private_cell(n)) == FREE {
+                        tx.raw_store(self.private_cell(n), wave + 1);
+                        self.next_frontier.push(n);
                     }
                 }
             }
-            std::mem::swap(&mut frontier, &mut next);
+            std::mem::swap(&mut self.frontier, &mut self.next_frontier);
             wave += 1;
         }
         if !found {
@@ -274,14 +385,14 @@ impl LabyrinthProgram {
         // Backtrack from the destination following decreasing wave values.
         let mut path = vec![dst];
         let mut cur = dst;
-        let mut value = ctx.load(self.private_cell(dst));
+        let mut value = tx.raw_load(self.private_cell(dst));
         while cur != src {
-            self.neighbours(cur, &mut scratch);
-            let neighbours = scratch.clone();
+            config.neighbours(cur, &mut self.scratch);
+            let neighbours = self.scratch.clone();
             let mut stepped = false;
             for n in neighbours {
-                ctx.compute(2);
-                if ctx.load(self.private_cell(n)) == value - 1 {
+                tx.compute(2);
+                if tx.raw_load(self.private_cell(n)) == value - 1 {
                     cur = n;
                     value -= 1;
                     path.push(n);
@@ -293,124 +404,131 @@ impl LabyrinthProgram {
         }
         Some(path)
     }
+}
 
-    fn restart_route(&mut self, ctx: &mut TaskletCtx<'_>) {
-        self.tm.on_abort(ctx);
-        self.state = State::RouteBegin;
+impl TxBody for RouteTxBody {
+    fn reset(&mut self) {
+        self.step = RouteStep::CopyGrid;
+        self.path.clear();
+        self.routed = false;
+    }
+
+    fn step<O: TxOps>(&mut self, tx: &mut O) -> Result<BodyStep, Abort> {
+        match self.step {
+            RouteStep::CopyGrid => {
+                // Snapshot the shared grid into the private buffer with plain
+                // DMA (no STM instrumentation), exactly like STAMP; the claim
+                // phase re-validates every consumed cell transactionally.
+                tx.raw_copy(self.data.grid.addr(), self.private_grid, self.data.config.cells());
+                self.step = RouteStep::Route;
+                Ok(BodyStep::Continue)
+            }
+            RouteStep::Route => match self.route(tx) {
+                Some(path) => {
+                    self.path = path;
+                    self.step = RouteStep::Claim { index: 0 };
+                    Ok(BodyStep::Continue)
+                }
+                None => {
+                    // No free path exists in the snapshot: give up on this
+                    // job (the transaction is empty, so commit is trivial).
+                    self.path.clear();
+                    Ok(BodyStep::Done)
+                }
+            },
+            RouteStep::Claim { index } => {
+                if index >= self.path.len() {
+                    self.routed = true;
+                    return Ok(BodyStep::Done);
+                }
+                let cell = self.data.cell(self.path[index]);
+                let value = tx.get(cell)?;
+                if value != FREE {
+                    // A concurrently committed path grabbed this cell:
+                    // application-level restart with a fresh grid copy.
+                    return Err(tx.cancel());
+                }
+                tx.set(cell, OCCUPIED)?;
+                self.step = RouteStep::Claim { index: index + 1 };
+                Ok(BodyStep::Continue)
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProgramState {
+    Popping,
+    Routing,
+    Finished,
+}
+
+/// One simulated tasklet of the Labyrinth benchmark.
+pub struct LabyrinthProgram {
+    runner: SimTxRunner,
+    pop: PopTxBody,
+    route: RouteTxBody,
+    state: ProgramState,
+    routed: u64,
+    route_failures: u64,
+}
+
+impl LabyrinthProgram {
+    /// Creates one tasklet program; `private_grid` must be a `cells()`-word
+    /// MRAM region owned exclusively by this tasklet.
+    pub fn new(tm: TxMachine, data: LabyrinthData, private_grid: Addr) -> Self {
+        LabyrinthProgram {
+            runner: SimTxRunner::new(tm),
+            pop: PopTxBody::new(data),
+            route: RouteTxBody::new(data, private_grid),
+            state: ProgramState::Popping,
+            routed: 0,
+            route_failures: 0,
+        }
+    }
+
+    /// Paths successfully routed and committed by this tasklet.
+    pub fn routed(&self) -> u64 {
+        self.routed
+    }
+
+    /// Jobs for which no free path existed when this tasklet attempted them.
+    pub fn route_failures(&self) -> u64 {
+        self.route_failures
     }
 }
 
 impl TaskletProgram for LabyrinthProgram {
     fn step(&mut self, ctx: &mut TaskletCtx<'_>) -> StepStatus {
         match self.state {
-            State::Finished => return StepStatus::Finished,
-            State::PopBegin => {
-                self.tm.begin(ctx);
-                self.state = State::PopHead;
-            }
-            State::PopHead => match self.tm.read(ctx, self.data.queue_head) {
-                Ok(head) if head >= u64::from(self.config.paths) => {
-                    self.state = State::PopCommit { done: true };
-                }
-                Ok(head) => self.state = State::PopEntry { head },
-                Err(_) => {
-                    self.tm.on_abort(ctx);
-                    self.state = State::PopBegin;
-                }
-            },
-            State::PopEntry { head } => {
-                let result = self
-                    .tm
-                    .read(ctx, self.data.queue.offset(2 * head as u32))
-                    .and_then(|src| {
-                        self.tm
-                            .read(ctx, self.data.queue.offset(2 * head as u32 + 1))
-                            .map(|dst| (src, dst))
-                    })
-                    .and_then(|(src, dst)| {
-                        self.tm.write(ctx, self.data.queue_head, head + 1).map(|()| (src, dst))
-                    });
-                match result {
-                    Ok((src, dst)) => {
-                        self.src = src as u32;
-                        self.dst = dst as u32;
-                        self.state = State::PopCommit { done: false };
-                    }
-                    Err(_) => {
-                        self.tm.on_abort(ctx);
-                        self.state = State::PopBegin;
+            ProgramState::Finished => StepStatus::Finished,
+            ProgramState::Popping => {
+                if self.runner.step(ctx, &mut self.pop) == TxStatus::Committed {
+                    match self.pop.job() {
+                        Some((src, dst)) => {
+                            self.route.prepare(src, dst);
+                            self.state = ProgramState::Routing;
+                        }
+                        None => {
+                            self.state = ProgramState::Finished;
+                            return StepStatus::Finished;
+                        }
                     }
                 }
+                StepStatus::Running
             }
-            State::PopCommit { done } => match self.tm.commit(ctx) {
-                Ok(()) => {
-                    self.state = if done { State::Finished } else { State::RouteBegin };
-                    if done {
-                        return StepStatus::Finished;
-                    }
-                }
-                Err(_) => {
-                    self.tm.on_abort(ctx);
-                    self.state = State::PopBegin;
-                }
-            },
-            State::RouteBegin => {
-                self.tm.begin(ctx);
-                self.state = State::CopyGrid;
-            }
-            State::CopyGrid => {
-                // Snapshot the shared grid into the private buffer with plain
-                // DMA (no STM instrumentation), exactly like STAMP.
-                ctx.set_phase(Phase::OtherExec);
-                ctx.copy_block(self.data.grid, self.private_grid, self.config.cells());
-                self.state = State::Route;
-            }
-            State::Route => {
-                match self.route(ctx) {
-                    Some(path) => {
-                        self.path = path;
-                        self.state = State::Claim { index: 0 };
-                    }
-                    None => {
-                        // No free path exists in the snapshot: give up on this
-                        // job (the transaction is empty, so commit is trivial).
-                        self.route_failures += 1;
-                        self.path.clear();
-                        self.state = State::RouteCommit;
-                    }
-                }
-            }
-            State::Claim { index } => {
-                if index >= self.path.len() {
-                    self.state = State::RouteCommit;
-                    return StepStatus::Running;
-                }
-                let cell = self.data.cell_addr(self.path[index]);
-                match self.tm.read(ctx, cell) {
-                    Ok(value) if value == FREE => match self.tm.write(ctx, cell, OCCUPIED) {
-                        Ok(()) => self.state = State::Claim { index: index + 1 },
-                        Err(_) => self.restart_route(ctx),
-                    },
-                    Ok(_) => {
-                        // A concurrently committed path grabbed this cell:
-                        // application-level restart with a fresh grid copy.
-                        self.tm.cancel(ctx);
-                        self.restart_route(ctx);
-                    }
-                    Err(_) => self.restart_route(ctx),
-                }
-            }
-            State::RouteCommit => match self.tm.commit(ctx) {
-                Ok(()) => {
-                    if !self.path.is_empty() {
+            ProgramState::Routing => {
+                if self.runner.step(ctx, &mut self.route) == TxStatus::Committed {
+                    if self.route.routed() {
                         self.routed += 1;
+                    } else {
+                        self.route_failures += 1;
                     }
-                    self.state = State::PopBegin;
+                    self.state = ProgramState::Popping;
                 }
-                Err(_) => self.restart_route(ctx),
-            },
+                StepStatus::Running
+            }
         }
-        StepStatus::Running
     }
 
     fn label(&self) -> &str {
@@ -441,6 +559,35 @@ pub fn build(
         })
         .collect();
     (data, programs)
+}
+
+/// Runs the same workload — the same [`PopTxBody`] and [`RouteTxBody`] — on
+/// the threaded executor.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if the tasklet count exceeds the hardware limit or
+/// the per-tasklet transaction logs / private grids do not fit.
+pub fn run_threaded(
+    dpu: &mut ThreadedDpu,
+    config: LabyrinthConfig,
+    tasklets: usize,
+    seed: u64,
+) -> Result<(LabyrinthData, ThreadedRunReport), RunError> {
+    let data = LabyrinthData::allocate(dpu, config, seed);
+    let private_grids: Vec<Addr> =
+        (0..tasklets).map(|_| dpu.alloc(Tier::Mram, config.cells())).collect::<Result<_, _>>()?;
+    let report = dpu.run(tasklets, |mut tasklet| {
+        let mut pop = PopTxBody::new(data);
+        let mut route = RouteTxBody::new(data, private_grids[tasklet.tasklet_id()]);
+        loop {
+            run_tx_body(&mut tasklet, &mut pop);
+            let Some((src, dst)) = pop.job() else { break };
+            route.prepare(src, dst);
+            run_tx_body(&mut tasklet, &mut route);
+        }
+    })?;
+    Ok((data, report))
 }
 
 #[cfg(test)]
@@ -494,19 +641,14 @@ mod tests {
 
     #[test]
     fn paths_never_overlap() {
-        // Claimed cells are written exactly once: the total number of
-        // occupied cells must equal the sum of committed path lengths, which
-        // we check indirectly by re-routing on a single tasklet and comparing
-        // against a high-contention multi-tasklet run.
+        // Claimed cells are written exactly once: if two committed paths
+        // overlapped, the second claim would have observed OCCUPIED and
+        // cancelled. After the run the grid may only contain FREE/OCCUPIED
+        // values (no wave values leaked from private copies).
         let config = LabyrinthConfig::small().scaled(0.2);
         let (data, dpu, _) = run_labyrinth(StmKind::TinyEtlWt, config, 6);
-        // If two committed paths overlapped, a cell would have been written
-        // twice and the grid would contain fewer occupied cells than the sum
-        // of path lengths; we cannot observe path lengths here, but we can at
-        // least assert the grid only contains FREE/OCCUPIED values (no wave
-        // values leaked from private copies).
         for i in 0..config.cells() {
-            let v = dpu.peek(data.cell_addr(i));
+            let v = var::peek_var(&dpu, data.cell(i));
             assert!(v == FREE || v == OCCUPIED, "cell {i} holds unexpected value {v}");
         }
     }
@@ -518,5 +660,22 @@ mod tests {
         // On a tiny single-layer grid concurrent paths inevitably collide, so
         // some aborts (STM- or application-level) must have happened.
         assert!(report.total_aborts() > 0, "expected contention on an 8x8x1 grid");
+    }
+
+    #[test]
+    fn the_same_bodies_route_on_the_threaded_executor() {
+        let config = LabyrinthConfig::small().scaled(0.2);
+        for kind in [StmKind::Norec, StmKind::TinyEtlWb] {
+            let stm_cfg = StmConfig::new(kind, MetadataPlacement::Mram)
+                .with_read_set_capacity(config.read_set_capacity())
+                .with_write_set_capacity(config.write_set_capacity());
+            let mut dpu = ThreadedDpu::new(stm_cfg).unwrap();
+            let (data, _report) = run_threaded(&mut dpu, config, 4, 11).unwrap();
+            assert_eq!(data.jobs_claimed(&dpu), u64::from(config.paths), "{kind}");
+            for i in 0..config.cells() {
+                let v = var::peek_var(&dpu, data.cell(i));
+                assert!(v == FREE || v == OCCUPIED, "{kind}: cell {i} holds {v}");
+            }
+        }
     }
 }

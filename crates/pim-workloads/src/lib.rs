@@ -1,10 +1,19 @@
 //! # pim-workloads — the PIM-STM evaluation workloads
 //!
-//! Rust ports of every benchmark used in §4.1 of the PIM-STM paper, written
-//! as step-granular [`pim_sim::TaskletProgram`]s over the `pim-stm` API so
-//! that the deterministic simulator interleaves individual transactional
-//! operations of concurrent tasklets (which is what makes conflicts, aborts
-//! and the time-breakdown plots meaningful):
+//! Rust ports of every benchmark used in §4.1 of the PIM-STM paper. Each
+//! workload's transaction logic is written **once**, against the typed
+//! [`pim_stm::TxOps`] facade, as a resumable [`TxBody`] — and that single
+//! body runs on both executors through [`spec::RunSpec::run_on`]:
+//!
+//! * on the deterministic **simulator**, [`driver::SimTxRunner`] steps the
+//!   body one operation per scheduler slot, so the discrete-event scheduler
+//!   interleaves individual transactional operations of concurrent tasklets
+//!   (which is what makes conflicts, aborts and the time-breakdown plots
+//!   meaningful);
+//! * on the **threaded executor**, [`driver::run_tx_body`] loops the same
+//!   body to completion inside one retry-managed transaction closure.
+//!
+//! The workloads:
 //!
 //! * [`array_bench`] — the synthetic ArrayBench micro-benchmark, workloads A
 //!   (large read phase, low contention) and B (tiny, highly contended
@@ -18,10 +27,44 @@
 //!   the path transactionally), S/M/L grid sizes.
 //!
 //! [`spec`] ties everything together: a [`spec::Workload`] names a paper
-//! workload, and [`spec::RunSpec::run`] builds the DPU, the STM instance and
-//! the tasklet programs, runs the deterministic scheduler and returns the
-//! throughput / abort-rate / phase-breakdown report the figures are drawn
-//! from.
+//! workload, and [`spec::RunSpec::run_on`] builds the DPU (simulated or
+//! threaded), the STM instance and the tasklet bodies, runs them and returns
+//! the unified [`spec::WorkloadReport`] (commits, aborts, final-state
+//! fingerprint, invariant checking, and — on the simulator — the full
+//! cycle-level report the figures are drawn from).
+//!
+//! # Writing a new `TxOps` workload body
+//!
+//! 1. **Shape the shared data with typed handles.** Allocate
+//!    [`pim_stm::TVar`]s / [`pim_stm::TArray`]s through
+//!    [`pim_stm::var::alloc_var`] / [`pim_stm::var::alloc_array`] — generic
+//!    over [`pim_stm::shared::MetadataAllocator`], so the same `Data` struct
+//!    builds on a simulated [`pim_sim::Dpu`] and on a
+//!    [`pim_stm::threaded::ThreadedDpu`]. Pointer-shaped structures wrap
+//!    their raw addresses in `TVar::new` (see [`linked_list`]).
+//! 2. **Implement [`TxBody`].** Keep a program counter in the struct;
+//!    [`TxBody::step`] issues roughly **one transactional operation per
+//!    call** and returns [`BodyStep::Done`] on the step that issues the
+//!    last one. [`TxBody::reset`] rewinds the counter — it is called at the
+//!    start of every attempt, including retries.
+//! 3. **Obey the transaction contract** (from the PR 1 `TxOps` contract):
+//!    *propagate aborts* with `?` — never swallow an
+//!    [`pim_stm::Abort`]; *no side effects* — anything outside the
+//!    transactional ops is repeated on every retry, so per-operation inputs
+//!    (random targets, reserved pool slots) are installed **before** the
+//!    body by a `prepare`-style method and reused across retries, while
+//!    outcomes are read **after** the commit. For application-level
+//!    restarts return `Err(tx.cancel())` — see [`labyrinth::RouteTxBody`].
+//!    Non-transactional bulk data (private scratch grids, racy snapshots
+//!    that are re-validated transactionally) moves through the raw facade
+//!    ops ([`pim_stm::TxOps::raw_copy`] and friends).
+//! 4. **Drive it on both executors.** A `build` function wires
+//!    per-tasklet programs ([`driver::SimTxRunner`] + your body) for the
+//!    scheduler; a `run_threaded` function loops
+//!    [`driver::run_tx_body`] over the same body. Derive per-tasklet RNG
+//!    streams with [`driver::tasklet_rng`] so seeded runs draw identical
+//!    sequences on both executors, then register the workload in [`spec`]
+//!    (fingerprint + invariants) to get cross-executor checking for free.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,5 +76,5 @@ pub mod labyrinth;
 pub mod linked_list;
 pub mod spec;
 
-pub use driver::TxMachine;
-pub use spec::{RunSpec, Workload};
+pub use driver::{run_tx_body, BodyStep, SimTxRunner, TxBody, TxMachine, TxStatus};
+pub use spec::{Executor, RunSpec, Workload, WorkloadReport};

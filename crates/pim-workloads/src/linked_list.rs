@@ -9,11 +9,19 @@
 //!
 //! Two contention levels are used in the paper: **LC** with 90 % `contains`
 //! (read-only transactions) and **HC** with 50 % `contains`.
+//!
+//! The transaction logic lives in [`ListTxBody`], written once against
+//! [`TxOps`] — nodes are pointer-addressed, so the body wraps the raw node
+//! words in typed [`TVar`] handles — and driven by both executors (see
+//! [`crate::driver`]).
 
 use pim_sim::{Addr, Dpu, SimRng, StepStatus, TaskletCtx, TaskletProgram, Tier};
-use pim_stm::{algorithm_for, StmShared};
+use pim_stm::shared::MetadataAllocator;
+use pim_stm::threaded::{ThreadedDpu, ThreadedRunReport};
+use pim_stm::var::{TVar, WordAccess};
+use pim_stm::{algorithm_for, Abort, RunError, StmShared, TxOps};
 
-use crate::driver::TxMachine;
+use crate::driver::{run_tx_body, tasklet_rng, BodyStep, SimTxRunner, TxBody, TxMachine, TxStatus};
 
 /// Null pointer encoding in `next` fields and the head word.
 const NULL: u64 = 0;
@@ -72,6 +80,18 @@ impl LinkedListConfig {
     pub fn write_set_capacity(&self) -> u32 {
         16
     }
+
+    /// Node-pool capacity for a run with `tasklets` tasklets (worst case
+    /// every update operation is an `add`).
+    pub fn node_capacity(&self, tasklets: usize) -> u32 {
+        self.initial_size + self.ops_per_tasklet * tasklets as u32 + 1
+    }
+
+    /// MRAM words the list data occupies (padding word + head + node pool);
+    /// the sizing counterpart of [`LinkedListData::allocate`].
+    pub fn data_words(&self, tasklets: usize) -> u32 {
+        2 + self.node_capacity(tasklets) * NODE_WORDS
+    }
 }
 
 /// The list operations issued by the benchmark.
@@ -85,11 +105,25 @@ pub enum ListOp {
     Remove(u64),
 }
 
+impl ListOp {
+    /// The key this operation targets.
+    pub fn key(self) -> u64 {
+        match self {
+            ListOp::Contains(k) | ListOp::Add(k) | ListOp::Remove(k) => k,
+        }
+    }
+
+    /// Whether this operation may modify the list.
+    pub fn is_update(self) -> bool {
+        !matches!(self, ListOp::Contains(_))
+    }
+}
+
 /// Shared list state plus per-run bookkeeping.
 #[derive(Debug, Clone, Copy)]
 pub struct LinkedListData {
-    /// Word holding the pointer to the first node (or [`NULL`]).
-    pub head: Addr,
+    /// Word holding the pointer to the first node (or null).
+    pub head: TVar<u64>,
     nodes: Addr,
     node_capacity: u32,
     /// First pool index not used by the initial list; tasklets carve their
@@ -98,29 +132,32 @@ pub struct LinkedListData {
 }
 
 impl LinkedListData {
-    /// Allocates the head word and a node pool, and inserts
-    /// `config.initial_size` evenly spaced keys (host-side, before tasklets
-    /// start).
+    /// Allocates the head word and a node pool on either executor, and
+    /// inserts `config.initial_size` evenly spaced keys (host-side, before
+    /// tasklets start).
     ///
     /// # Panics
     ///
     /// Panics if MRAM cannot hold the node pool.
-    pub fn allocate(dpu: &mut Dpu, config: &LinkedListConfig, tasklets: usize) -> Self {
+    pub fn allocate<M: MetadataAllocator + WordAccess>(
+        mem: &mut M,
+        config: &LinkedListConfig,
+        tasklets: usize,
+    ) -> Self {
         // One padding word keeps every node at a non-zero word index so that
-        // `NULL` (0) can never collide with a real node pointer.
-        let _pad = dpu.alloc(Tier::Mram, 1).expect("padding word");
-        let head = dpu.alloc(Tier::Mram, 1).expect("list head");
-        // Worst case every update op is an `add`.
-        let node_capacity = config.initial_size + config.ops_per_tasklet * tasklets as u32 + 1;
-        let nodes = dpu
-            .alloc(Tier::Mram, node_capacity * NODE_WORDS)
+        // null (0) can never collide with a real node pointer.
+        let _pad = mem.alloc_words(Tier::Mram, 1).expect("padding word");
+        let head = TVar::new(mem.alloc_words(Tier::Mram, 1).expect("list head"));
+        let node_capacity = config.node_capacity(tasklets);
+        let nodes = mem
+            .alloc_words(Tier::Mram, node_capacity * NODE_WORDS)
             .expect("linked-list node pool must fit in MRAM");
         let mut data = LinkedListData { head, nodes, node_capacity, first_free_node: 0 };
         let mut next_node = 0;
         for i in 0..config.initial_size {
             // Spread the initial keys over the key range, keeping them sorted.
             let key = (u64::from(i) + 1) * config.key_range / (u64::from(config.initial_size) + 1);
-            data.host_insert(dpu, key.max(1), &mut next_node);
+            data.host_insert(mem, key.max(1), &mut next_node);
         }
         data.first_free_node = next_node;
         data
@@ -131,40 +168,43 @@ impl LinkedListData {
         u64::from(self.nodes.offset(index * NODE_WORDS).word)
     }
 
-    fn node_addr(ptr: u64) -> Addr {
-        Addr::mram(ptr as u32)
+    /// Half-open node-pool index range reserved for `tasklet` when every
+    /// tasklet performs `ops_per_tasklet` operations.
+    fn pool_range(&self, tasklet: usize, ops_per_tasklet: u32) -> (u32, u32) {
+        let start = self.first_free_node + tasklet as u32 * ops_per_tasklet;
+        (start, start + ops_per_tasklet)
     }
 
-    fn key_addr(ptr: u64) -> Addr {
-        Self::node_addr(ptr)
+    fn key_var(ptr: u64) -> TVar<u64> {
+        TVar::new(Addr::mram(ptr as u32))
     }
 
-    fn next_addr(ptr: u64) -> Addr {
-        Self::node_addr(ptr).offset(1)
+    fn next_var(ptr: u64) -> TVar<u64> {
+        TVar::new(Addr::mram(ptr as u32).offset(1))
     }
 
     /// Host-side (untimed) sorted insert used to build the initial list.
-    fn host_insert(&mut self, dpu: &mut Dpu, key: u64, next_node: &mut u32) {
+    fn host_insert<M: WordAccess>(&mut self, mem: &mut M, key: u64, next_node: &mut u32) {
         let ptr = self.node_ptr(*next_node);
         *next_node += 1;
-        let mut prev_link = self.head;
-        let mut cur = dpu.peek(prev_link);
-        while cur != NULL && dpu.peek(Self::key_addr(cur)) < key {
-            prev_link = Self::next_addr(cur);
-            cur = dpu.peek(prev_link);
+        let mut prev_link = self.head.addr();
+        let mut cur = mem.peek_word(prev_link);
+        while cur != NULL && mem.peek_word(Self::key_var(cur).addr()) < key {
+            prev_link = Self::next_var(cur).addr();
+            cur = mem.peek_word(prev_link);
         }
-        dpu.poke(Self::key_addr(ptr), key);
-        dpu.poke(Self::next_addr(ptr), cur);
-        dpu.poke(prev_link, ptr);
+        mem.poke_word(Self::key_var(ptr).addr(), key);
+        mem.poke_word(Self::next_var(ptr).addr(), cur);
+        mem.poke_word(prev_link, ptr);
     }
 
     /// Reads the whole list host-side (untimed); used by tests and examples.
-    pub fn snapshot(&self, dpu: &Dpu) -> Vec<u64> {
+    pub fn snapshot<M: WordAccess + ?Sized>(&self, mem: &M) -> Vec<u64> {
         let mut keys = Vec::new();
-        let mut cur = dpu.peek(self.head);
+        let mut cur = mem.peek_word(self.head.addr());
         while cur != NULL {
-            keys.push(dpu.peek(Self::key_addr(cur)));
-            cur = dpu.peek(Self::next_addr(cur));
+            keys.push(mem.peek_word(Self::key_var(cur).addr()));
+            cur = mem.peek_word(Self::next_var(cur).addr());
             assert!(keys.len() <= self.node_capacity as usize, "list is cyclic or corrupted");
         }
         keys
@@ -172,94 +212,55 @@ impl LinkedListData {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum State {
-    NextOp,
-    Begin,
+enum ListStep {
     LoadHead,
-    Traverse { prev_link_word: u32, cur: u64 },
-    Apply { prev_link_word: u32, cur: u64, found: bool },
-    Commit,
+    Traverse { prev_link: Addr, cur: u64 },
+    Apply { prev_link: Addr, cur: u64, found: bool },
 }
 
-/// One tasklet performing a mix of list operations.
-pub struct LinkedListProgram {
-    tm: TxMachine,
+/// One list transaction (`contains`/`add`/`remove`): head load, sorted
+/// traversal one node per step, then the splice.
+///
+/// The body reserves `add` nodes from the tasklet's private pool range and
+/// reuses the reservation across retries of the same operation, so aborted
+/// attempts do not leak pool slots. Call [`ListTxBody::prepare`] before each
+/// operation and [`ListTxBody::committed_op`] after its commit.
+#[derive(Debug)]
+pub struct ListTxBody {
     data: LinkedListData,
-    config: LinkedListConfig,
-    rng: SimRng,
-    remaining: u32,
-    current_op: ListOp,
-    /// Node reserved for the current `add` (reused across retries of the same
-    /// operation so aborted attempts do not leak pool slots).
+    op: ListOp,
+    step: ListStep,
+    /// Node reserved for the current `add` (kept across retries).
     reserved_node: Option<u64>,
     next_free_node: u32,
     node_pool_end: u32,
-    /// Alternates add/remove so the list size stays roughly constant.
-    next_update_is_add: bool,
-    state: State,
-    commits_contains: u64,
-    commits_update: u64,
 }
 
-impl LinkedListProgram {
-    /// Creates one tasklet program. `pool_range` is the half-open range of
-    /// node-pool indices this tasklet may allocate from.
-    pub fn new(
-        tm: TxMachine,
-        data: LinkedListData,
-        config: LinkedListConfig,
-        rng: SimRng,
-        pool_range: (u32, u32),
-    ) -> Self {
-        LinkedListProgram {
-            tm,
+impl ListTxBody {
+    /// Creates a body for one tasklet. `pool_range` is the half-open range
+    /// of node-pool indices this tasklet may allocate from.
+    pub fn new(data: LinkedListData, pool_range: (u32, u32)) -> Self {
+        ListTxBody {
             data,
-            config,
-            rng,
-            remaining: config.ops_per_tasklet,
-            current_op: ListOp::Contains(1),
+            op: ListOp::Contains(1),
+            step: ListStep::LoadHead,
             reserved_node: None,
             next_free_node: pool_range.0,
             node_pool_end: pool_range.1,
-            next_update_is_add: true,
-            state: State::NextOp,
-            commits_contains: 0,
-            commits_update: 0,
         }
     }
 
-    /// Committed read-only (`contains`) operations.
-    pub fn contains_commits(&self) -> u64 {
-        self.commits_contains
+    /// Installs the next operation (releasing any unused reservation back to
+    /// the current pool cursor is unnecessary: a reservation is only made
+    /// when the splice actually executes, and committed adds consume it).
+    pub fn prepare(&mut self, op: ListOp) {
+        self.op = op;
+        self.reserved_node = None;
     }
 
-    /// Committed update (`add`/`remove`) operations.
-    pub fn update_commits(&self) -> u64 {
-        self.commits_update
-    }
-
-    fn pick_op(&mut self) -> ListOp {
-        let key = self.rng.next_range(self.config.key_range) + 1;
-        if self.rng.next_bool(self.config.contains_fraction) {
-            ListOp::Contains(key)
-        } else if self.next_update_is_add {
-            self.next_update_is_add = false;
-            ListOp::Add(key)
-        } else {
-            self.next_update_is_add = true;
-            ListOp::Remove(key)
-        }
-    }
-
-    fn op_key(&self) -> u64 {
-        match self.current_op {
-            ListOp::Contains(k) | ListOp::Add(k) | ListOp::Remove(k) => k,
-        }
-    }
-
-    fn restart(&mut self, ctx: &mut TaskletCtx<'_>) {
-        self.tm.on_abort(ctx);
-        self.state = State::Begin;
+    /// The operation the body is currently executing.
+    pub fn committed_op(&self) -> ListOp {
+        self.op
     }
 
     fn reserve_node(&mut self) -> u64 {
@@ -277,98 +278,153 @@ impl LinkedListProgram {
     }
 }
 
-impl TaskletProgram for LinkedListProgram {
-    fn step(&mut self, ctx: &mut TaskletCtx<'_>) -> StepStatus {
-        match self.state {
-            State::NextOp => {
-                if self.remaining == 0 {
-                    return StepStatus::Finished;
-                }
-                self.remaining -= 1;
-                self.current_op = self.pick_op();
-                self.reserved_node = None;
-                self.state = State::Begin;
+impl TxBody for ListTxBody {
+    fn reset(&mut self) {
+        self.step = ListStep::LoadHead;
+    }
+
+    fn step<O: TxOps>(&mut self, tx: &mut O) -> Result<BodyStep, Abort> {
+        match self.step {
+            ListStep::LoadHead => {
+                let cur = tx.get(self.data.head)?;
+                self.step = ListStep::Traverse { prev_link: self.data.head.addr(), cur };
+                Ok(BodyStep::Continue)
             }
-            State::Begin => {
-                self.tm.begin(ctx);
-                self.state = State::LoadHead;
-            }
-            State::LoadHead => match self.tm.read(ctx, self.data.head) {
-                Ok(cur) => {
-                    self.state = State::Traverse { prev_link_word: self.data.head.word, cur }
-                }
-                Err(_) => self.restart(ctx),
-            },
-            State::Traverse { prev_link_word, cur } => {
+            ListStep::Traverse { prev_link, cur } => {
                 if cur == NULL {
-                    self.state = State::Apply { prev_link_word, cur, found: false };
-                    return StepStatus::Running;
+                    self.step = ListStep::Apply { prev_link, cur, found: false };
+                    return Ok(BodyStep::Continue);
                 }
-                let key = match self.tm.read(ctx, LinkedListData::key_addr(cur)) {
-                    Ok(k) => k,
-                    Err(_) => {
-                        self.restart(ctx);
-                        return StepStatus::Running;
-                    }
-                };
-                let target = self.op_key();
+                let key = tx.get(LinkedListData::key_var(cur))?;
+                let target = self.op.key();
                 if key < target {
-                    match self.tm.read(ctx, LinkedListData::next_addr(cur)) {
-                        Ok(next) => {
-                            self.state = State::Traverse {
-                                prev_link_word: LinkedListData::next_addr(cur).word,
-                                cur: next,
-                            }
-                        }
-                        Err(_) => self.restart(ctx),
-                    }
+                    let next = tx.get(LinkedListData::next_var(cur))?;
+                    self.step = ListStep::Traverse {
+                        prev_link: LinkedListData::next_var(cur).addr(),
+                        cur: next,
+                    };
                 } else {
-                    self.state = State::Apply { prev_link_word, cur, found: key == target };
+                    self.step = ListStep::Apply { prev_link, cur, found: key == target };
                 }
+                Ok(BodyStep::Continue)
             }
-            State::Apply { prev_link_word, cur, found } => {
-                let prev_link = Addr::mram(prev_link_word);
-                let result = match self.current_op {
-                    ListOp::Contains(_) => Ok(()),
+            ListStep::Apply { prev_link, cur, found } => {
+                let prev_link = TVar::new(prev_link);
+                match self.op {
+                    ListOp::Contains(_) => {}
                     ListOp::Add(key) => {
-                        if found {
-                            Ok(())
-                        } else {
+                        if !found {
                             let node = self.reserve_node();
-                            self.tm
-                                .write(ctx, LinkedListData::key_addr(node), key)
-                                .and_then(|()| {
-                                    self.tm.write(ctx, LinkedListData::next_addr(node), cur)
-                                })
-                                .and_then(|()| self.tm.write(ctx, prev_link, node))
+                            tx.set(LinkedListData::key_var(node), key)?;
+                            tx.set(LinkedListData::next_var(node), cur)?;
+                            tx.set(prev_link, node)?;
                         }
                     }
                     ListOp::Remove(_) => {
-                        if !found {
-                            Ok(())
-                        } else {
-                            self.tm
-                                .read(ctx, LinkedListData::next_addr(cur))
-                                .and_then(|next| self.tm.write(ctx, prev_link, next))
+                        if found {
+                            let next = tx.get(LinkedListData::next_var(cur))?;
+                            tx.set(prev_link, next)?;
                         }
                     }
-                };
-                match result {
-                    Ok(()) => self.state = State::Commit,
-                    Err(_) => self.restart(ctx),
                 }
+                Ok(BodyStep::Done)
             }
-            State::Commit => match self.tm.commit(ctx) {
-                Ok(()) => {
-                    match self.current_op {
-                        ListOp::Contains(_) => self.commits_contains += 1,
-                        _ => self.commits_update += 1,
-                    }
-                    self.reserved_node = None;
-                    self.state = State::NextOp;
-                }
-                Err(_) => self.restart(ctx),
-            },
+        }
+    }
+}
+
+/// Draws the benchmark's operation mix, alternating add/remove so the list
+/// size stays roughly constant. Shared by both executors so seeded runs
+/// issue identical per-tasklet operation sequences.
+#[derive(Debug)]
+pub struct ListOpMix {
+    config: LinkedListConfig,
+    rng: SimRng,
+    next_update_is_add: bool,
+}
+
+impl ListOpMix {
+    /// Creates the mix for one tasklet.
+    pub fn new(config: LinkedListConfig, rng: SimRng) -> Self {
+        ListOpMix { config, rng, next_update_is_add: true }
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> ListOp {
+        let key = self.rng.next_range(self.config.key_range) + 1;
+        if self.rng.next_bool(self.config.contains_fraction) {
+            ListOp::Contains(key)
+        } else if self.next_update_is_add {
+            self.next_update_is_add = false;
+            ListOp::Add(key)
+        } else {
+            self.next_update_is_add = true;
+            ListOp::Remove(key)
+        }
+    }
+}
+
+/// One simulated tasklet performing a mix of list operations.
+pub struct LinkedListProgram {
+    runner: SimTxRunner,
+    body: ListTxBody,
+    mix: ListOpMix,
+    remaining: u32,
+    in_transaction: bool,
+    commits_contains: u64,
+    commits_update: u64,
+}
+
+impl LinkedListProgram {
+    /// Creates one tasklet program. `pool_range` is the half-open range of
+    /// node-pool indices this tasklet may allocate from.
+    pub fn new(
+        tm: TxMachine,
+        data: LinkedListData,
+        config: LinkedListConfig,
+        rng: SimRng,
+        pool_range: (u32, u32),
+    ) -> Self {
+        LinkedListProgram {
+            runner: SimTxRunner::new(tm),
+            body: ListTxBody::new(data, pool_range),
+            mix: ListOpMix::new(config, rng),
+            remaining: config.ops_per_tasklet,
+            in_transaction: false,
+            commits_contains: 0,
+            commits_update: 0,
+        }
+    }
+
+    /// Committed read-only (`contains`) operations.
+    pub fn contains_commits(&self) -> u64 {
+        self.commits_contains
+    }
+
+    /// Committed update (`add`/`remove`) operations.
+    pub fn update_commits(&self) -> u64 {
+        self.commits_update
+    }
+}
+
+impl TaskletProgram for LinkedListProgram {
+    fn step(&mut self, ctx: &mut TaskletCtx<'_>) -> StepStatus {
+        if !self.in_transaction {
+            if self.remaining == 0 {
+                return StepStatus::Finished;
+            }
+            self.remaining -= 1;
+            self.body.prepare(self.mix.next_op());
+            self.in_transaction = true;
+            return StepStatus::Running;
+        }
+        if self.runner.step(ctx, &mut self.body) == TxStatus::Committed {
+            if self.body.committed_op().is_update() {
+                self.commits_update += 1;
+            } else {
+                self.commits_contains += 1;
+            }
+            self.in_transaction = false;
         }
         StepStatus::Running
     }
@@ -388,21 +444,44 @@ pub fn build(
 ) -> (LinkedListData, Vec<Box<dyn TaskletProgram>>) {
     let data = LinkedListData::allocate(dpu, &config, tasklets);
     let alg = algorithm_for(shared.config().kind);
-    let mut rng = SimRng::new(seed);
-    let per_tasklet_pool = config.ops_per_tasklet;
     let programs = (0..tasklets)
         .map(|t| {
             let slot = shared
                 .register_tasklet(dpu, t)
                 .expect("per-tasklet STM logs must fit in the metadata tier");
             let tm = TxMachine::new(shared.clone(), slot, alg);
-            let pool_start = data.first_free_node + t as u32 * per_tasklet_pool;
-            let pool_range = (pool_start, pool_start + per_tasklet_pool);
-            Box::new(LinkedListProgram::new(tm, data, config, rng.fork(t as u64), pool_range))
+            let pool_range = data.pool_range(t, config.ops_per_tasklet);
+            Box::new(LinkedListProgram::new(tm, data, config, tasklet_rng(seed, t), pool_range))
                 as Box<dyn TaskletProgram>
         })
         .collect();
     (data, programs)
+}
+
+/// Runs the same workload — the same [`ListTxBody`] — on the threaded
+/// executor.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if the tasklet count exceeds the hardware limit or
+/// the per-tasklet transaction logs do not fit.
+pub fn run_threaded(
+    dpu: &mut ThreadedDpu,
+    config: LinkedListConfig,
+    tasklets: usize,
+    seed: u64,
+) -> Result<(LinkedListData, ThreadedRunReport), RunError> {
+    let data = LinkedListData::allocate(dpu, &config, tasklets);
+    let report = dpu.run(tasklets, |mut tasklet| {
+        let t = tasklet.tasklet_id();
+        let mut body = ListTxBody::new(data, data.pool_range(t, config.ops_per_tasklet));
+        let mut mix = ListOpMix::new(config, tasklet_rng(seed, t));
+        for _ in 0..config.ops_per_tasklet {
+            body.prepare(mix.next_op());
+            run_tx_body(&mut tasklet, &mut body);
+        }
+    })?;
+    Ok((data, report))
 }
 
 #[cfg(test)]
@@ -471,5 +550,19 @@ mod tests {
         let (keys, aborts) = run_list(StmKind::TinyEtlWt, config, 1);
         assert_eq!(aborts, 0);
         assert_sorted_unique(&keys);
+    }
+
+    #[test]
+    fn the_same_body_keeps_the_list_sorted_on_the_threaded_executor() {
+        let config = LinkedListConfig::high_contention().scaled(0.3);
+        for kind in [StmKind::Norec, StmKind::TinyEtlWb, StmKind::VrEtlWt] {
+            let stm_cfg = StmConfig::new(kind, MetadataPlacement::Wram)
+                .with_read_set_capacity(config.read_set_capacity())
+                .with_write_set_capacity(config.write_set_capacity());
+            let mut dpu = ThreadedDpu::new(stm_cfg).unwrap();
+            let (data, report) = run_threaded(&mut dpu, config, 4, 7).unwrap();
+            assert_eq!(report.commits, config.ops_per_tasklet as u64 * 4, "{kind}");
+            assert_sorted_unique(&data.snapshot(&dpu));
+        }
     }
 }

@@ -1,15 +1,26 @@
 //! Run specifications: one place that knows how to set up and execute every
-//! workload of the paper's evaluation on the simulated DPU.
+//! workload of the paper's evaluation — on the cycle-accounted simulator
+//! *and* on the threaded executor.
+//!
+//! [`RunSpec::run_on`] is the cross-executor entry point: the same seeded
+//! specification builds the same data structures and drives the same
+//! [`crate::driver::TxBody`] transaction bodies on either [`Executor`], and
+//! returns one unified [`WorkloadReport`] (commit/abort counts, a
+//! final-state fingerprint, invariant checking, and — on the simulator —
+//! the full cycle-level [`DpuRunReport`]). `pim-exp` and `pim-bench` both
+//! consume this report type.
 
 use pim_sim::{Dpu, DpuConfig, DpuRunReport, Scheduler};
-use pim_stm::{MetadataPlacement, StmConfig, StmKind, StmShared};
+use pim_stm::threaded::{ThreadedDpu, DEFAULT_MRAM_WORDS, DEFAULT_WRAM_WORDS};
+use pim_stm::var::WordAccess;
+use pim_stm::{MetadataPlacement, StmConfig, StmKind, StmShared, WriteBackStrategy};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-use crate::array_bench::{self, ArrayBenchConfig};
-use crate::kmeans::{self, KmeansConfig};
-use crate::labyrinth::{self, LabyrinthConfig};
-use crate::linked_list::{self, LinkedListConfig};
+use crate::array_bench::{self, ArrayBenchConfig, ArrayBenchData};
+use crate::kmeans::{self, KmeansConfig, KmeansData};
+use crate::labyrinth::{self, LabyrinthConfig, LabyrinthData};
+use crate::linked_list::{self, LinkedListConfig, LinkedListData};
 
 /// The evaluation workloads of §4.1/§4.2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -102,9 +113,54 @@ impl Workload {
     pub fn supports_wram_metadata(self) -> bool {
         !matches!(self, Workload::LabyrinthS | Workload::LabyrinthM | Workload::LabyrinthL)
     }
+
+    /// Whether the workload's final committed state is independent of the
+    /// interleaving (all its transactions commute — ArrayBench increments,
+    /// KMeans accumulator folds). For these workloads a seeded run produces
+    /// the **same fingerprint on every executor**; for the others
+    /// (linked list, Labyrinth) only the structural invariants are
+    /// executor-independent.
+    pub fn commutative(self) -> bool {
+        matches!(
+            self,
+            Workload::ArrayA | Workload::ArrayB | Workload::KmeansLc | Workload::KmeansHc
+        )
+    }
 }
 
 impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The two ways a [`RunSpec`] can be executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Executor {
+    /// The deterministic, cycle-accounted discrete-event simulator
+    /// ([`pim_sim`]): produces the full [`DpuRunReport`] behind the paper's
+    /// figures.
+    Simulator,
+    /// Real OS threads over atomic shared memory
+    /// ([`pim_stm::threaded::ThreadedDpu`]): no timing model, genuine
+    /// concurrency — the correctness cross-check.
+    Threaded,
+}
+
+impl Executor {
+    /// Both executors.
+    pub const ALL: [Executor; 2] = [Executor::Simulator, Executor::Threaded];
+
+    /// Short lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Executor::Simulator => "simulator",
+            Executor::Threaded => "threaded",
+        }
+    }
+}
+
+impl fmt::Display for Executor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
     }
@@ -127,6 +183,8 @@ pub struct RunSpec {
     /// Scale factor applied to the workload's operation counts; < 1.0 makes
     /// runs proportionally shorter (used by the Criterion benches).
     pub scale: f64,
+    /// How write-back commits publish their redo log.
+    pub write_back: WriteBackStrategy,
 }
 
 impl RunSpec {
@@ -137,7 +195,15 @@ impl RunSpec {
         placement: MetadataPlacement,
         tasklets: usize,
     ) -> Self {
-        RunSpec { workload, kind, placement, tasklets, seed: 42, scale: 1.0 }
+        RunSpec {
+            workload,
+            kind,
+            placement,
+            tasklets,
+            seed: 42,
+            scale: 1.0,
+            write_back: WriteBackStrategy::default(),
+        }
     }
 
     /// Overrides the operation-count scale factor.
@@ -152,11 +218,17 @@ impl RunSpec {
         self
     }
 
+    /// Overrides the commit write-back strategy (default: coalesced).
+    pub fn with_write_back(mut self, strategy: WriteBackStrategy) -> Self {
+        self.write_back = strategy;
+        self
+    }
+
     /// The STM configuration (log capacities, lock-table size and placement)
     /// appropriate for this workload, mirroring the sizing discussion in the
     /// paper.
     pub fn stm_config(&self) -> StmConfig {
-        let base = StmConfig::new(self.kind, self.placement);
+        let base = StmConfig::new(self.kind, self.placement).with_write_back(self.write_back);
         match self.workload {
             Workload::ArrayA => {
                 let cfg = ArrayBenchConfig::workload_a();
@@ -234,9 +306,21 @@ impl RunSpec {
         }
     }
 
+    fn assert_feasible(&self) {
+        assert!(
+            self.placement == MetadataPlacement::Mram || self.workload.supports_wram_metadata(),
+            "{} cannot keep its STM metadata in WRAM (transaction logs exceed 64 KB)",
+            self.workload
+        );
+    }
+
     /// Builds the DPU, STM instance and tasklet programs, runs the
-    /// deterministic scheduler and returns the report (throughput, abort
-    /// rate, phase breakdown).
+    /// deterministic scheduler and returns the raw simulator report
+    /// (throughput, abort rate, phase breakdown).
+    ///
+    /// This is the simulator-only shorthand kept for the figure pipeline;
+    /// [`RunSpec::run_on`] wraps the same run in the executor-agnostic
+    /// [`WorkloadReport`].
     ///
     /// # Panics
     ///
@@ -244,38 +328,336 @@ impl RunSpec {
     /// placement for Labyrinth, whose transaction logs exceed WRAM capacity
     /// (the paper excludes this combination for the same reason).
     pub fn run(&self) -> DpuRunReport {
-        assert!(
-            self.placement == MetadataPlacement::Mram || self.workload.supports_wram_metadata(),
-            "{} cannot keep its STM metadata in WRAM (transaction logs exceed 64 KB)",
-            self.workload
-        );
+        self.run_on(Executor::Simulator).sim.expect("simulator runs carry the full report")
+    }
+
+    /// Runs this specification on `executor` and returns the unified report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is infeasible (see [`RunSpec::run`]); on
+    /// the threaded executor additionally if the tasklet count exceeds the
+    /// hardware limit.
+    pub fn run_on(&self, executor: Executor) -> WorkloadReport {
+        self.assert_feasible();
+        match executor {
+            Executor::Simulator => self.run_simulated(),
+            Executor::Threaded => self.run_threaded(),
+        }
+    }
+
+    fn run_simulated(&self) -> WorkloadReport {
         let mut dpu = Dpu::new(DpuConfig::default());
         let shared = StmShared::allocate(&mut dpu, self.stm_config())
             .expect("STM metadata must fit in the configured tier");
-        let programs = match self.workload {
+        let (data, programs) = self.build_programs(&mut dpu, &shared);
+        let report = Scheduler::new().run(&mut dpu, programs);
+        self.finish_report(
+            Executor::Simulator,
+            data,
+            &dpu,
+            report.total_commits(),
+            report.total_aborts(),
+            Some(report),
+        )
+    }
+
+    fn build_programs(
+        &self,
+        dpu: &mut Dpu,
+        shared: &StmShared,
+    ) -> (DataHandles, Vec<Box<dyn pim_sim::TaskletProgram>>) {
+        match self.workload {
             Workload::ArrayA | Workload::ArrayB => {
-                array_bench::build(&mut dpu, &shared, self.array_config(), self.tasklets, self.seed)
-                    .1
+                let (data, programs) =
+                    array_bench::build(dpu, shared, self.array_config(), self.tasklets, self.seed);
+                (DataHandles::Array(data), programs)
             }
             Workload::ListLc | Workload::ListHc => {
-                linked_list::build(&mut dpu, &shared, self.list_config(), self.tasklets, self.seed)
-                    .1
+                let (data, programs) =
+                    linked_list::build(dpu, shared, self.list_config(), self.tasklets, self.seed);
+                (DataHandles::List(data), programs)
             }
             Workload::KmeansLc | Workload::KmeansHc => {
-                kmeans::build(&mut dpu, &shared, self.kmeans_config(), self.tasklets, self.seed).1
+                let (data, programs) =
+                    kmeans::build(dpu, shared, self.kmeans_config(), self.tasklets, self.seed);
+                (DataHandles::Kmeans(data), programs)
             }
             Workload::LabyrinthS | Workload::LabyrinthM | Workload::LabyrinthL => {
-                labyrinth::build(
+                let (data, programs) = labyrinth::build(
+                    dpu,
+                    shared,
+                    self.labyrinth_config(),
+                    self.tasklets,
+                    self.seed,
+                );
+                (DataHandles::Labyrinth(data), programs)
+            }
+        }
+    }
+
+    fn run_threaded(&self) -> WorkloadReport {
+        let mut dpu =
+            ThreadedDpu::with_capacity(self.stm_config(), DEFAULT_WRAM_WORDS, self.mram_words())
+                .expect("STM metadata must fit in the configured tier");
+        let (data, report) = match self.workload {
+            Workload::ArrayA | Workload::ArrayB => {
+                let (data, report) = array_bench::run_threaded(
                     &mut dpu,
-                    &shared,
+                    self.array_config(),
+                    self.tasklets,
+                    self.seed,
+                )
+                .expect("threaded ArrayBench run must be schedulable");
+                (DataHandles::Array(data), report)
+            }
+            Workload::ListLc | Workload::ListHc => {
+                let (data, report) = linked_list::run_threaded(
+                    &mut dpu,
+                    self.list_config(),
+                    self.tasklets,
+                    self.seed,
+                )
+                .expect("threaded linked-list run must be schedulable");
+                (DataHandles::List(data), report)
+            }
+            Workload::KmeansLc | Workload::KmeansHc => {
+                let (data, report) =
+                    kmeans::run_threaded(&mut dpu, self.kmeans_config(), self.tasklets, self.seed)
+                        .expect("threaded KMeans run must be schedulable");
+                (DataHandles::Kmeans(data), report)
+            }
+            Workload::LabyrinthS | Workload::LabyrinthM | Workload::LabyrinthL => {
+                let (data, report) = labyrinth::run_threaded(
+                    &mut dpu,
                     self.labyrinth_config(),
                     self.tasklets,
                     self.seed,
                 )
-                .1
+                .expect("threaded Labyrinth run must be schedulable");
+                (DataHandles::Labyrinth(data), report)
             }
         };
-        Scheduler::new().run(&mut dpu, programs)
+        self.finish_report(Executor::Threaded, data, &dpu, report.commits, report.aborts, None)
+    }
+
+    /// MRAM capacity for a threaded run: the default bank, grown if the
+    /// workload's data (for Labyrinth, including per-tasklet private grids)
+    /// plus MRAM-resident metadata needs more.
+    fn mram_words(&self) -> u32 {
+        let config = self.stm_config();
+        let metadata = config.shared_metadata_words()
+            + config.per_tasklet_metadata_words() * self.tasklets as u32;
+        let data = match self.workload {
+            Workload::ArrayA | Workload::ArrayB => self.array_config().array_words(),
+            Workload::ListLc | Workload::ListHc => self.list_config().data_words(self.tasklets),
+            Workload::KmeansLc | Workload::KmeansHc => self.kmeans_config().data_words(),
+            Workload::LabyrinthS | Workload::LabyrinthM | Workload::LabyrinthL => {
+                self.labyrinth_config().data_words(self.tasklets)
+            }
+        };
+        DEFAULT_MRAM_WORDS.max(data + metadata + 1024)
+    }
+
+    fn finish_report<M: WordAccess + ?Sized>(
+        &self,
+        executor: Executor,
+        data: DataHandles,
+        mem: &M,
+        commits: u64,
+        aborts: u64,
+        sim: Option<DpuRunReport>,
+    ) -> WorkloadReport {
+        let fingerprint = data.fingerprint(mem);
+        let invariant_violation = data.validate(mem, self, commits).err();
+        WorkloadReport {
+            spec: *self,
+            executor,
+            commits,
+            aborts,
+            fingerprint,
+            deterministic_final_state: self.workload.commutative(),
+            invariant_violation,
+            sim,
+        }
+    }
+}
+
+/// Typed handles to the shared data structures of one run, kept so the
+/// harness can observe the final committed state.
+enum DataHandles {
+    Array(ArrayBenchData),
+    List(LinkedListData),
+    Kmeans(KmeansData),
+    Labyrinth(LabyrinthData),
+}
+
+/// FNV-1a over a stream of words — the final-state fingerprint.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+impl DataHandles {
+    /// Hashes the observable committed state of the workload's shared data.
+    fn fingerprint<M: WordAccess + ?Sized>(&self, mem: &M) -> u64 {
+        let mut hash = Fnv::new();
+        match self {
+            DataHandles::Array(data) => {
+                for i in 0..data.array.len() {
+                    hash.write(pim_stm::var::peek_var(mem, data.array.at(i)));
+                }
+            }
+            DataHandles::List(data) => {
+                for key in data.snapshot(mem) {
+                    hash.write(key);
+                }
+            }
+            DataHandles::Kmeans(data) => {
+                for i in 0..data.centroids.len() {
+                    hash.write(pim_stm::var::peek_var(mem, data.centroids.at(i)));
+                }
+            }
+            DataHandles::Labyrinth(data) => {
+                hash.write(data.jobs_claimed(mem));
+                for i in 0..data.grid.len() {
+                    hash.write(pim_stm::var::peek_var(mem, data.cell(i)));
+                }
+            }
+        }
+        hash.0
+    }
+
+    /// Checks the workload's conservation invariants against the committed
+    /// state.
+    fn validate<M: WordAccess + ?Sized>(
+        &self,
+        mem: &M,
+        spec: &RunSpec,
+        commits: u64,
+    ) -> Result<(), String> {
+        let tasklets = spec.tasklets as u64;
+        match self {
+            DataHandles::Array(data) => {
+                let cfg = spec.array_config();
+                let expected_commits = u64::from(cfg.transactions_per_tasklet) * tasklets;
+                if commits != expected_commits {
+                    return Err(format!("committed {commits} txs, expected {expected_commits}"));
+                }
+                let expected_sum = expected_commits * u64::from(cfg.updates_per_tx);
+                let sum = data.update_region_sum(mem);
+                if sum != expected_sum {
+                    return Err(format!(
+                        "update region sums to {sum}, expected {expected_sum} (lost updates)"
+                    ));
+                }
+                Ok(())
+            }
+            DataHandles::List(data) => {
+                let cfg = spec.list_config();
+                let expected_commits = u64::from(cfg.ops_per_tasklet) * tasklets;
+                if commits != expected_commits {
+                    return Err(format!("committed {commits} ops, expected {expected_commits}"));
+                }
+                let keys = data.snapshot(mem);
+                for pair in keys.windows(2) {
+                    if pair[0] >= pair[1] {
+                        return Err(format!("list not sorted/unique around key {}", pair[0]));
+                    }
+                }
+                if let Some(&bad) = keys.iter().find(|&&k| k < 1 || k > cfg.key_range) {
+                    return Err(format!("key {bad} outside 1..={}", cfg.key_range));
+                }
+                Ok(())
+            }
+            DataHandles::Kmeans(data) => {
+                let cfg = spec.kmeans_config();
+                let expected = u64::from(cfg.points_per_tasklet) * tasklets;
+                if commits != expected {
+                    return Err(format!("committed {commits} folds, expected {expected}"));
+                }
+                let (members, _) = data.totals(mem);
+                if members != expected {
+                    return Err(format!(
+                        "membership counts sum to {members}, expected {expected} (lost updates)"
+                    ));
+                }
+                Ok(())
+            }
+            DataHandles::Labyrinth(data) => {
+                let cfg = spec.labyrinth_config();
+                // One pop per job, one final empty pop per tasklet, one
+                // route transaction per job.
+                let expected_commits = 2 * u64::from(cfg.paths) + tasklets;
+                if commits != expected_commits {
+                    return Err(format!("committed {commits} txs, expected {expected_commits}"));
+                }
+                data.validate(mem)
+            }
+        }
+    }
+}
+
+/// Executor-agnostic result of one [`RunSpec`] run — what the experiment
+/// harness and the benches consume.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadReport {
+    /// The specification that was run.
+    pub spec: RunSpec,
+    /// Which executor ran it.
+    pub executor: Executor,
+    /// Committed transactions across all tasklets.
+    pub commits: u64,
+    /// Aborted attempts across all tasklets.
+    pub aborts: u64,
+    /// FNV-1a hash of the final committed state of the workload's shared
+    /// data. For [`Workload::commutative`] workloads this is identical
+    /// across executors for the same seed; for all workloads it is identical
+    /// across repeated simulator runs.
+    pub fingerprint: u64,
+    /// Whether `fingerprint` is expected to be executor-independent.
+    pub deterministic_final_state: bool,
+    /// First violated conservation invariant, if any (`None` = the committed
+    /// state is consistent).
+    pub invariant_violation: Option<String>,
+    /// The full cycle-level report ([`Executor::Simulator`] only).
+    pub sim: Option<DpuRunReport>,
+}
+
+impl WorkloadReport {
+    /// Abort rate in `[0, 1]` across all tasklets.
+    pub fn abort_rate(&self) -> f64 {
+        if self.commits + self.aborts == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / (self.commits + self.aborts) as f64
+        }
+    }
+
+    /// Committed transactions per simulated second (simulator runs only).
+    pub fn throughput_tx_per_sec(&self) -> Option<f64> {
+        self.sim.as_ref().map(|r| r.throughput_tx_per_sec())
+    }
+
+    /// Panics if a conservation invariant was violated — the harness's
+    /// correctness gate.
+    pub fn assert_invariants(&self) {
+        if let Some(violation) = &self.invariant_violation {
+            panic!(
+                "{} on {} ({}, {} tasklets): {violation}",
+                self.spec.workload, self.executor, self.spec.kind, self.spec.tasklets
+            );
+        }
     }
 }
 
@@ -323,6 +705,29 @@ mod tests {
     }
 
     #[test]
+    fn run_on_simulator_carries_the_cycle_report_and_invariants() {
+        let spec = RunSpec::new(Workload::ArrayB, StmKind::Norec, MetadataPlacement::Mram, 4)
+            .with_scale(0.1);
+        let report = spec.run_on(Executor::Simulator);
+        assert_eq!(report.executor, Executor::Simulator);
+        assert!(report.sim.is_some());
+        assert!(report.commits > 0);
+        report.assert_invariants();
+        assert!(report.throughput_tx_per_sec().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn run_on_threaded_checks_the_same_invariants() {
+        let spec = RunSpec::new(Workload::KmeansHc, StmKind::TinyEtlWb, MetadataPlacement::Wram, 4)
+            .with_scale(0.1);
+        let report = spec.run_on(Executor::Threaded);
+        assert_eq!(report.executor, Executor::Threaded);
+        assert!(report.sim.is_none());
+        assert!(report.throughput_tx_per_sec().is_none());
+        report.assert_invariants();
+    }
+
+    #[test]
     #[should_panic(expected = "cannot keep its STM metadata in WRAM")]
     fn labyrinth_with_wram_metadata_panics() {
         let _ = RunSpec::new(Workload::LabyrinthS, StmKind::Norec, MetadataPlacement::Wram, 2)
@@ -339,5 +744,15 @@ mod tests {
         assert_eq!(a.makespan_cycles, b.makespan_cycles);
         assert_eq!(a.total_commits(), b.total_commits());
         assert_eq!(a.total_aborts(), b.total_aborts());
+    }
+
+    #[test]
+    fn commutative_workloads_fingerprint_identically_across_executors() {
+        let spec = RunSpec::new(Workload::ArrayB, StmKind::Norec, MetadataPlacement::Mram, 3)
+            .with_scale(0.1);
+        let sim = spec.run_on(Executor::Simulator);
+        let threaded = spec.run_on(Executor::Threaded);
+        assert!(sim.deterministic_final_state);
+        assert_eq!(sim.fingerprint, threaded.fingerprint);
     }
 }
