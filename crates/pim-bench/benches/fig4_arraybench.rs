@@ -20,6 +20,7 @@ fn print_figure() {
         eprintln!("{}", sweep.throughput_table());
         eprintln!("{}", sweep.abort_table());
         eprintln!("{}", sweep.breakdown_table());
+        eprintln!("{}", sweep.abort_reason_table());
     }
 }
 

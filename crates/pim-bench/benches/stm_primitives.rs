@@ -74,12 +74,12 @@ fn bench_writeback(c: &mut Criterion) {
                 .with_write_back(strategy);
             let report = spec.run_on(Executor::Simulator);
             report.assert_invariants();
-            let sim = report.sim.as_ref().expect("simulator report");
+            let profile = report.merged_profile();
             println!(
                 "writeback {kind}/{strategy}: {} MRAM DMA setups, {} words, {} commits",
-                sim.total_mram_dma_setups(),
-                sim.total_mram_dma_words(),
-                report.commits,
+                profile.dma_setups(),
+                profile.dma_words(),
+                profile.commits(),
             );
             group.bench_function(format!("{kind}/{strategy}/array-b"), |b| {
                 b.iter(|| spec.run_on(Executor::Simulator).commits)

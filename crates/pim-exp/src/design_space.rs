@@ -1,54 +1,67 @@
 //! Figures 4, 5, 9 and 10: throughput, abort rate and time breakdown of
 //! every STM design as the number of tasklets grows, for one workload and
-//! one metadata placement.
+//! one metadata placement — on either executor.
+//!
+//! Every point carries the unified [`ExecProfile`], so the same tables
+//! (phase breakdown, abort-reason histogram, DMA/back-off summary) render
+//! for simulator runs (cycle domain) and threaded runs (wall-clock domain);
+//! the header names the [`TimeDomain`] so the units are never confused.
+//! Cycle-only metrics (throughput, makespan) are simply absent from
+//! threaded sweeps.
 
-use pim_sim::{Phase, PhaseBreakdown};
-use pim_stm::{MetadataPlacement, StmKind};
+use pim_sim::Phase;
+use pim_stm::{AbortReason, ExecProfile, MetadataPlacement, StmKind, TimeDomain};
 use pim_workloads::spec::Executor;
 use pim_workloads::{RunSpec, Workload};
 use serde::{Deserialize, Serialize};
 
 use crate::report::{fmt_f64, render_table};
 
-/// One simulated configuration: a workload run with one STM design and one
-/// tasklet count.
+/// One configuration: a workload run with one STM design and one tasklet
+/// count on one executor.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DesignSpacePoint {
     /// The STM design.
     pub kind: StmKind,
     /// Number of tasklets.
     pub tasklets: usize,
-    /// Committed transactions per simulated second.
-    pub throughput_tx_per_sec: f64,
+    /// Committed transactions per simulated second (simulator runs only —
+    /// the threaded executor has no cycle model).
+    pub throughput_tx_per_sec: Option<f64>,
     /// Aborted attempts / all attempts, in `[0, 1]`.
     pub abort_rate: f64,
     /// Total committed transactions.
     pub commits: u64,
     /// Total aborted attempts.
     pub aborts: u64,
-    /// Per-phase cycle breakdown summed over tasklets.
-    pub breakdown: PhaseBreakdown,
-    /// Simulated makespan in seconds.
-    pub makespan_seconds: f64,
+    /// The unified execution profile, merged over all tasklets (phase
+    /// times in the executor's native unit, abort-reason histogram, DMA and
+    /// back-off counters).
+    pub profile: ExecProfile,
+    /// Simulated makespan in seconds (simulator runs only).
+    pub makespan_seconds: Option<f64>,
 }
 
-/// The full sweep for one workload/placement: the data behind one column of
-/// Fig. 4/5 (MRAM metadata) or Fig. 9/10 (WRAM metadata).
+/// The full sweep for one workload/placement/executor: the data behind one
+/// column of Fig. 4/5 (MRAM metadata) or Fig. 9/10 (WRAM metadata), or its
+/// threaded-executor counterpart.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DesignSpaceSweep {
     /// The workload that was run.
     pub workload: Workload,
     /// Where the STM metadata lived.
     pub placement: MetadataPlacement,
+    /// Which executor ran the sweep.
+    pub executor: Executor,
     /// Scale factor applied to the workload size.
     pub scale: f64,
-    /// All simulated points.
+    /// All points.
     pub points: Vec<DesignSpacePoint>,
 }
 
 impl DesignSpaceSweep {
-    /// Runs the sweep: every STM design × every tasklet count in
-    /// `tasklet_counts`.
+    /// Runs the sweep on the simulator: every STM design × every tasklet
+    /// count in `tasklet_counts`.
     ///
     /// # Panics
     ///
@@ -64,8 +77,9 @@ impl DesignSpaceSweep {
         Self::run_kinds(workload, placement, &StmKind::ALL, tasklet_counts, scale, seed)
     }
 
-    /// Runs the sweep restricted to `kinds` — a single cell (or row) of the
-    /// design-space grid, for quick reruns via `pim-exp --stm <kind>`.
+    /// Runs the sweep on the simulator restricted to `kinds` — a single cell
+    /// (or row) of the design-space grid, for quick reruns via
+    /// `pim-exp --stm <kind>`.
     ///
     /// # Panics
     ///
@@ -78,36 +92,63 @@ impl DesignSpaceSweep {
         scale: f64,
         seed: u64,
     ) -> Self {
+        Self::run_kinds_on(
+            workload,
+            placement,
+            kinds,
+            tasklet_counts,
+            scale,
+            seed,
+            Executor::Simulator,
+        )
+    }
+
+    /// Runs the sweep on an explicit executor (`pim-exp --executor
+    /// threaded`). Threaded points carry the full wall-clock profile but no
+    /// cycle-domain throughput/makespan.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`DesignSpaceSweep::run`] does, or if `kinds` is empty.
+    pub fn run_kinds_on(
+        workload: Workload,
+        placement: MetadataPlacement,
+        kinds: &[StmKind],
+        tasklet_counts: &[usize],
+        scale: f64,
+        seed: u64,
+        executor: Executor,
+    ) -> Self {
         assert!(!kinds.is_empty(), "design-space sweep needs at least one STM design");
         let mut points = Vec::new();
         for &kind in kinds {
             for &tasklets in tasklet_counts {
                 eprintln!(
-                    "[design-space] {} {} {} tasklets={}",
+                    "[design-space] {} {} {} {} tasklets={}",
                     workload,
                     placement.name(),
+                    executor.name(),
                     kind.name(),
                     tasklets
                 );
                 let report = RunSpec::new(workload, kind, placement, tasklets)
                     .with_scale(scale)
                     .with_seed(seed)
-                    .run_on(Executor::Simulator);
+                    .run_on(executor);
                 report.assert_invariants();
-                let sim = report.sim.as_ref().expect("simulator runs carry the cycle report");
                 points.push(DesignSpacePoint {
                     kind,
                     tasklets,
-                    throughput_tx_per_sec: sim.throughput_tx_per_sec(),
+                    throughput_tx_per_sec: report.throughput_tx_per_sec(),
                     abort_rate: report.abort_rate(),
                     commits: report.commits,
                     aborts: report.aborts,
-                    breakdown: sim.breakdown(),
-                    makespan_seconds: sim.makespan_seconds(),
+                    profile: report.merged_profile(),
+                    makespan_seconds: report.sim.as_ref().map(|s| s.makespan_seconds()),
                 });
             }
         }
-        DesignSpaceSweep { workload, placement, scale, points }
+        DesignSpaceSweep { workload, placement, executor, scale, points }
     }
 
     /// The point for a specific design and tasklet count, if it was swept.
@@ -120,12 +161,18 @@ impl DesignSpaceSweep {
         StmKind::ALL.into_iter().filter(|k| self.points.iter().any(|p| p.kind == *k)).collect()
     }
 
-    /// Peak throughput (over the swept tasklet counts) of one design.
+    /// The time domain of every profile in this sweep.
+    pub fn time_domain(&self) -> TimeDomain {
+        self.executor.time_domain()
+    }
+
+    /// Peak throughput (over the swept tasklet counts) of one design; 0.0
+    /// on the threaded executor, which has no cycle model.
     pub fn peak_throughput(&self, kind: StmKind) -> f64 {
         self.points
             .iter()
             .filter(|p| p.kind == kind)
-            .map(|p| p.throughput_tx_per_sec)
+            .filter_map(|p| p.throughput_tx_per_sec)
             .fold(0.0, f64::max)
     }
 
@@ -142,9 +189,11 @@ impl DesignSpaceSweep {
     }
 
     /// Renders the throughput panel (tx/s per design and tasklet count),
-    /// matching the top rows of Fig. 4/5.
+    /// matching the top rows of Fig. 4/5. Threaded cells render as `-`.
     pub fn throughput_table(&self) -> String {
-        self.metric_table("throughput (tx/s)", |p| fmt_f64(p.throughput_tx_per_sec))
+        self.metric_table("throughput (tx/s)", |p| {
+            p.throughput_tx_per_sec.map(fmt_f64).unwrap_or_else(|| "-".into())
+        })
     }
 
     /// Renders the abort-rate panel (%), matching the middle rows of
@@ -158,7 +207,7 @@ impl DesignSpaceSweep {
             self.points.iter().map(|p| p.tasklets).collect::<Vec<_>>();
         tasklet_counts.sort_unstable();
         tasklet_counts.dedup();
-        let mut header = vec![format!("{} [{}]", self.workload, metric)];
+        let mut header = vec![format!("{} [{}, {}]", self.workload, metric, self.executor)];
         header.extend(tasklet_counts.iter().map(|t| format!("{t} taskl.")));
         let rows = self
             .swept_kinds()
@@ -174,22 +223,100 @@ impl DesignSpaceSweep {
         render_table(&header, &rows)
     }
 
-    /// Renders the time-breakdown panel (fraction of cycles per phase at the
-    /// largest swept tasklet count), matching the bottom rows of Fig. 4/5.
-    pub fn breakdown_table(&self) -> String {
-        let max_tasklets =
-            self.points.iter().map(|p| p.tasklets).max().expect("sweep is not empty");
-        let mut header = vec![format!("{} phases @{} tasklets", self.workload, max_tasklets)];
-        header.extend(Phase::ALL.iter().map(|p| p.label().to_string()));
-        let rows = StmKind::ALL
+    /// The largest swept tasklet count (the column the per-phase tables
+    /// report).
+    fn max_tasklets(&self) -> usize {
+        self.points.iter().map(|p| p.tasklets).max().expect("sweep is not empty")
+    }
+
+    /// Rows of `(kind, point)` at the largest swept tasklet count.
+    fn max_tasklet_points(&self) -> Vec<(StmKind, &DesignSpacePoint)> {
+        let max_tasklets = self.max_tasklets();
+        StmKind::ALL
             .iter()
             .filter_map(|&kind| self.point(kind, max_tasklets).map(|p| (kind, p)))
+            .collect()
+    }
+
+    /// Renders the time-breakdown panel (fraction of time per phase at the
+    /// largest swept tasklet count), matching the bottom rows of Fig. 4/5.
+    /// The same table renders for both executors; the header names the
+    /// native unit (cycles vs wall-clock nanoseconds).
+    pub fn breakdown_table(&self) -> String {
+        let mut header = vec![format!(
+            "{} phases @{} tasklets [{}]",
+            self.workload,
+            self.max_tasklets(),
+            self.time_domain().unit()
+        )];
+        header.extend(Phase::ALL.iter().map(|p| p.label().to_string()));
+        let rows = self
+            .max_tasklet_points()
+            .into_iter()
             .map(|(kind, point)| {
                 let mut row = vec![kind.name().to_string()];
                 for phase in Phase::ALL {
-                    row.push(format!("{:.1}%", point.breakdown.fraction(phase) * 100.0));
+                    row.push(format!("{:.1}%", point.profile.phases().fraction(phase) * 100.0));
                 }
                 row
+            })
+            .collect::<Vec<_>>();
+        render_table(&header, &rows)
+    }
+
+    /// Renders the abort-reason histogram (at the largest swept tasklet
+    /// count): why attempts aborted, per design. The histogram always sums
+    /// to the abort count — the shared retry core tags every abort.
+    pub fn abort_reason_table(&self) -> String {
+        let mut header =
+            vec![format!("{} aborts by reason @{} tasklets", self.workload, self.max_tasklets())];
+        header.extend(AbortReason::ALL.iter().map(|r| r.label().to_string()));
+        header.push("total".to_string());
+        let rows = self
+            .max_tasklet_points()
+            .into_iter()
+            .map(|(kind, point)| {
+                let mut row = vec![kind.name().to_string()];
+                for reason in AbortReason::ALL {
+                    row.push(point.profile.aborts_for(reason).to_string());
+                }
+                row.push(point.profile.aborts().to_string());
+                row
+            })
+            .collect::<Vec<_>>();
+        render_table(&header, &rows)
+    }
+
+    /// Renders the profile summary (at the largest swept tasklet count):
+    /// attempts, memory movement and back-off/lock-wait time, in the
+    /// executor's native unit.
+    pub fn profile_table(&self) -> String {
+        let unit = self.time_domain().unit();
+        let header = vec![
+            format!("{} profile @{} tasklets [{}]", self.workload, self.max_tasklets(), unit),
+            "attempts".to_string(),
+            "commits".to_string(),
+            "aborts".to_string(),
+            "DMA setups".to_string(),
+            "DMA words".to_string(),
+            format!("backoff ({unit})"),
+            format!("total ({unit})"),
+        ];
+        let rows = self
+            .max_tasklet_points()
+            .into_iter()
+            .map(|(kind, point)| {
+                let p = &point.profile;
+                vec![
+                    kind.name().to_string(),
+                    p.attempts().to_string(),
+                    p.commits().to_string(),
+                    p.aborts().to_string(),
+                    p.dma_setups().to_string(),
+                    p.dma_words().to_string(),
+                    p.backoff_time().to_string(),
+                    p.total_time().to_string(),
+                ]
             })
             .collect::<Vec<_>>();
         render_table(&header, &rows)
@@ -208,6 +335,8 @@ mod tests {
     fn sweep_covers_every_design_and_tasklet_count() {
         let sweep = tiny_sweep(Workload::ArrayB, MetadataPlacement::Mram);
         assert_eq!(sweep.points.len(), StmKind::ALL.len() * 2);
+        assert_eq!(sweep.executor, Executor::Simulator);
+        assert_eq!(sweep.time_domain(), TimeDomain::Cycles);
         for kind in StmKind::ALL {
             assert!(sweep.point(kind, 1).is_some());
             assert!(sweep.peak_throughput(kind) > 0.0, "{kind} produced no throughput");
@@ -218,10 +347,17 @@ mod tests {
     #[test]
     fn tables_render_for_all_metrics() {
         let sweep = tiny_sweep(Workload::KmeansHc, MetadataPlacement::Wram);
-        for table in [sweep.throughput_table(), sweep.abort_table(), sweep.breakdown_table()] {
+        for table in [
+            sweep.throughput_table(),
+            sweep.abort_table(),
+            sweep.breakdown_table(),
+            sweep.abort_reason_table(),
+            sweep.profile_table(),
+        ] {
             assert!(table.contains("NOrec"));
             assert!(table.contains("VR CTLWB"));
         }
+        assert!(sweep.breakdown_table().contains("[cyc]"), "cycle domain must be named");
     }
 
     #[test]
@@ -242,6 +378,33 @@ mod tests {
     }
 
     #[test]
+    fn threaded_sweeps_share_the_schema_but_not_the_cycle_metrics() {
+        let sweep = DesignSpaceSweep::run_kinds_on(
+            Workload::ArrayB,
+            MetadataPlacement::Mram,
+            &[StmKind::Norec, StmKind::TinyEtlWb],
+            &[2],
+            0.05,
+            9,
+            Executor::Threaded,
+        );
+        assert_eq!(sweep.executor, Executor::Threaded);
+        assert_eq!(sweep.time_domain(), TimeDomain::WallNanos);
+        for point in &sweep.points {
+            assert_eq!(point.throughput_tx_per_sec, None);
+            assert_eq!(point.makespan_seconds, None);
+            assert_eq!(point.profile.time_domain, TimeDomain::WallNanos);
+            assert!(point.commits > 0);
+            assert_eq!(point.profile.commits(), point.commits);
+            assert_eq!(point.profile.histogram_total(), point.aborts);
+            assert!(point.profile.total_time() > 0, "wall-clock time must accrue");
+        }
+        assert!(sweep.breakdown_table().contains("[ns]"), "wall-clock domain must be named");
+        assert!(sweep.throughput_table().contains('-'), "no cycle throughput on threads");
+        let _ = sweep.abort_reason_table();
+    }
+
+    #[test]
     fn more_tasklets_do_not_reduce_total_commits() {
         let sweep = tiny_sweep(Workload::ArrayB, MetadataPlacement::Mram);
         for kind in StmKind::ALL {
@@ -249,5 +412,21 @@ mod tests {
             let four = sweep.point(kind, 4).unwrap().commits;
             assert!(four >= one, "{kind}: commits shrank with more tasklets");
         }
+    }
+
+    #[test]
+    fn profiles_agree_with_the_point_counters_on_the_simulator() {
+        let sweep = DesignSpaceSweep::run_kinds(
+            Workload::ArrayB,
+            MetadataPlacement::Mram,
+            &[StmKind::VrEtlWb],
+            &[4],
+            0.05,
+            9,
+        );
+        let point = sweep.point(StmKind::VrEtlWb, 4).unwrap();
+        assert_eq!(point.profile.commits(), point.commits);
+        assert_eq!(point.profile.aborts(), point.aborts);
+        assert_eq!(point.profile.histogram_total(), point.aborts);
     }
 }

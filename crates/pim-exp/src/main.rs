@@ -10,6 +10,8 @@
 //! pim-exp --figure fig8            # speed-up + energy gain at 2500 DPUs
 //! pim-exp --figure latency         # local vs CPU-mediated read latency
 //! pim-exp --workload array-a --tier wram --tasklets 1,3,5,7,9,11
+//! pim-exp --workload array-b --stm norec --executor both   # profile tables
+//!                                          # on the simulator AND on threads
 //! ```
 //!
 //! `--scale` (default 0.25) shrinks every workload proportionally so a full
@@ -21,6 +23,7 @@ use pim_exp::latency::LatencyComparison;
 use pim_exp::multi_dpu::{figure8_table, MultiDpuBenchmark, MultiDpuStudy};
 use pim_exp::peak::PeakDistribution;
 use pim_stm::{MetadataPlacement, StmKind};
+use pim_workloads::spec::Executor;
 use pim_workloads::Workload;
 use std::process::ExitCode;
 
@@ -30,6 +33,7 @@ struct Options {
     workload: Option<Workload>,
     stm: Option<StmKind>,
     placement: MetadataPlacement,
+    executors: Vec<Executor>,
     tasklets: Vec<usize>,
     dpus: Vec<usize>,
     scale: f64,
@@ -43,11 +47,21 @@ impl Default for Options {
             workload: None,
             stm: None,
             placement: MetadataPlacement::Mram,
+            executors: vec![Executor::Simulator],
             tasklets: vec![1, 3, 5, 7, 9, 11],
             dpus: vec![1, 250, 500, 1000, 1500, 2000, 2500],
             scale: 0.25,
             seed: 42,
         }
+    }
+}
+
+fn parse_executors(value: &str) -> Result<Vec<Executor>, String> {
+    match value {
+        "sim" | "simulator" => Ok(vec![Executor::Simulator]),
+        "threaded" => Ok(vec![Executor::Threaded]),
+        "both" => Ok(vec![Executor::Simulator, Executor::Threaded]),
+        other => Err(format!("unknown executor {other} (expected simulator|threaded|both)")),
     }
 }
 
@@ -86,6 +100,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     other => return Err(format!("unknown tier {other} (expected wram|mram)")),
                 };
             }
+            "--executor" => options.executors = parse_executors(&value()?)?,
             "--tasklets" => options.tasklets = parse_list(&value()?)?,
             "--dpus" => options.dpus = parse_list(&value()?)?,
             "--scale" => {
@@ -104,30 +119,40 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 fn usage() -> String {
     "usage: pim-exp [--figure fig4|fig5|fig6|fig7|fig8|fig9|fig10|latency]\n\
      \x20              [--workload <name>] [--stm <kind>] [--tier wram|mram]\n\
+     \x20              [--executor simulator|threaded|both]\n\
      \x20              [--tasklets 1,3,5,...] [--dpus 1,500,...]\n\
      \x20              [--scale <f>] [--seed <n>]\n\
      \x20 A --workload/--stm pair reruns a single cell of the design-space\n\
-     \x20 grid (e.g. --workload array-b --stm norec --tasklets 4)."
+     \x20 grid (e.g. --workload array-b --stm norec --tasklets 4);\n\
+     \x20 --executor threaded|both pipes the same profile tables (phase\n\
+     \x20 breakdown, abort reasons) through the threaded executor."
         .to_string()
 }
 
 fn print_sweep(workload: Workload, placement: MetadataPlacement, options: &Options) {
-    println!("== {workload} ({} metadata, {}) ==", placement, workload.figure());
     let kinds = match options.stm {
         Some(kind) => vec![kind],
         None => pim_stm::StmKind::ALL.to_vec(),
     };
-    let sweep = DesignSpaceSweep::run_kinds(
-        workload,
-        placement,
-        &kinds,
-        &options.tasklets,
-        options.scale,
-        options.seed,
-    );
-    println!("{}", sweep.throughput_table());
-    println!("{}", sweep.abort_table());
-    println!("{}", sweep.breakdown_table());
+    for &executor in &options.executors {
+        println!("== {workload} ({} metadata, {}, {executor}) ==", placement, workload.figure());
+        let sweep = DesignSpaceSweep::run_kinds_on(
+            workload,
+            placement,
+            &kinds,
+            &options.tasklets,
+            options.scale,
+            options.seed,
+            executor,
+        );
+        if executor == Executor::Simulator {
+            println!("{}", sweep.throughput_table());
+        }
+        println!("{}", sweep.abort_table());
+        println!("{}", sweep.breakdown_table());
+        println!("{}", sweep.abort_reason_table());
+        println!("{}", sweep.profile_table());
+    }
 }
 
 fn run_figure(figure: &str, options: &Options) -> Result<(), String> {
@@ -137,6 +162,15 @@ fn run_figure(figure: &str, options: &Options) -> Result<(), String> {
         return Err(format!(
             "--stm applies to the design-space sweeps (fig4/fig5/fig9/fig10 or --workload), \
              not to {figure}"
+        ));
+    }
+    // Likewise, only the sweeps can run on the threaded executor.
+    if options.executors != [Executor::Simulator]
+        && !matches!(figure, "fig4" | "fig5" | "fig9" | "fig10")
+    {
+        return Err(format!(
+            "--executor applies to the design-space sweeps (fig4/fig5/fig9/fig10 or \
+             --workload), not to {figure}"
         ));
     }
     match figure {
@@ -291,6 +325,27 @@ mod tests {
     fn unknown_figures_are_rejected() {
         let options = Options::default();
         assert!(run_figure("fig99", &options).is_err());
+    }
+
+    #[test]
+    fn executor_flag_parses_all_forms() {
+        assert_eq!(parse_executors("simulator").unwrap(), vec![Executor::Simulator]);
+        assert_eq!(parse_executors("sim").unwrap(), vec![Executor::Simulator]);
+        assert_eq!(parse_executors("threaded").unwrap(), vec![Executor::Threaded]);
+        assert_eq!(parse_executors("both").unwrap(), vec![Executor::Simulator, Executor::Threaded]);
+        assert!(parse_executors("gpu").is_err());
+        let args: Vec<String> =
+            ["--workload", "array-b", "--executor", "both"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(parse_args(&args).unwrap().executors.len(), 2);
+    }
+
+    #[test]
+    fn executor_filter_is_rejected_for_figures_that_cannot_honour_it() {
+        let options = Options { executors: vec![Executor::Threaded], ..Options::default() };
+        for figure in ["fig6", "fig7", "fig8", "latency"] {
+            let err = run_figure(figure, &options).unwrap_err();
+            assert!(err.contains("--executor"), "{figure}: {err}");
+        }
     }
 
     #[test]

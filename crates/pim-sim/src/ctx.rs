@@ -91,7 +91,25 @@ impl<'a> TaskletCtx<'a> {
     /// wasted time.
     pub fn abort_attempt(&mut self) {
         self.transactional = false;
-        self.stats.resolve_abort();
+        self.stats.resolve_abort(None);
+    }
+
+    /// Resolves the in-flight attempt as aborted under an abort-reason code
+    /// (see [`crate::stats::ProfileCore::resolve_abort`]; the STM layer
+    /// passes its `AbortReason::index()`).
+    pub fn abort_attempt_coded(&mut self, code: usize) {
+        self.transactional = false;
+        self.stats.resolve_abort(Some(code));
+    }
+
+    /// Busy-waits for `instructions` instructions, recording the elapsed
+    /// cycles as back-off / lock-wait time on top of the regular phase
+    /// attribution.
+    pub fn spin_wait(&mut self, instructions: u64) {
+        let before = self.now;
+        self.compute(instructions);
+        let waited = self.now - before;
+        self.stats.note_backoff(waited);
     }
 
     /// Whether a transaction attempt is currently being accounted.

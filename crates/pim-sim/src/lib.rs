@@ -78,5 +78,5 @@ pub use mem::{Addr, AllocError, Tier};
 pub use program::{StepStatus, TaskletProgram};
 pub use rng::SimRng;
 pub use scheduler::{DpuRunReport, Scheduler};
-pub use stats::{Phase, PhaseBreakdown, TaskletStats, PHASES};
+pub use stats::{Phase, PhaseBreakdown, ProfileCore, TaskletStats, ABORT_CODE_SLOTS, PHASES};
 pub use system::{CpuTransferModel, MultiDpuPlan, MultiDpuReport, RoundPlan};

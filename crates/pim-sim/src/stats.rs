@@ -6,15 +6,30 @@
 //! attempts that eventually aborted. The simulator attributes every cycle a
 //! tasklet spends to one of those categories; the STM library switches the
 //! current [`Phase`] as it moves through a transaction.
+//!
+//! The bookkeeping itself — commit/abort tallies, the abort-code histogram,
+//! the per-phase attempt buffer, DMA and back-off counters — lives in
+//! [`ProfileCore`], which is executor-agnostic: the simulator charges cycles
+//! into it (via [`TaskletStats`], a thin adapter that adds the
+//! simulator-only finish time), while the threaded executor charges
+//! wall-clock nanoseconds into the same structure (see `pim_stm::profile`,
+//! which wraps a core together with the time-domain tag).
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::ops::{Add, AddAssign};
+use std::ops::{Add, AddAssign, Deref, DerefMut};
 
 use crate::latency::Cycles;
 
 /// Number of phase categories tracked.
 pub const PHASES: usize = 7;
+
+/// Slots reserved for abort-reason codes in [`ProfileCore`].
+///
+/// The simulator substrate does not know *what* the codes mean — the STM
+/// layer assigns them (`pim_stm::AbortReason::index`) and guarantees it uses
+/// fewer than this many.
+pub const ABORT_CODE_SLOTS: usize = 8;
 
 /// Execution-time categories used in the paper's breakdown plots.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -81,7 +96,8 @@ impl fmt::Display for Phase {
     }
 }
 
-/// Cycles attributed to each [`Phase`].
+/// Time attributed to each [`Phase`], in an executor-native unit (simulator
+/// cycles or wall-clock nanoseconds — the containing profile knows which).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PhaseBreakdown {
     cycles: [Cycles; PHASES],
@@ -150,35 +166,53 @@ impl AddAssign for PhaseBreakdown {
     }
 }
 
-/// Statistics for one tasklet over one simulated run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-pub struct TaskletStats {
+/// The executor-agnostic transaction-profiling core: one tasklet's attempt
+/// tallies, abort-code histogram, per-phase time, DMA traffic and spin-wait
+/// time.
+///
+/// Time values are in whatever unit the charging executor uses (simulator
+/// cycles, wall-clock nanoseconds); the core itself is unit-blind. Abort
+/// *codes* are equally opaque here — the STM layer maps its `AbortReason`
+/// enum onto indices `< ABORT_CODE_SLOTS`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProfileCore {
     /// Committed transactions.
     pub commits: u64,
     /// Aborted transaction attempts.
     pub aborts: u64,
-    /// Cycles attributed to committed work, by phase.
+    /// Aborted attempts per abort-reason code. Aborts resolved without a
+    /// code count only in `aborts`.
+    pub abort_codes: [u64; ABORT_CODE_SLOTS],
+    /// Time attributed to resolved work, by phase.
     pub breakdown: PhaseBreakdown,
-    /// Cycles charged in the current (not yet resolved) transaction attempt.
+    /// Time charged in the current (not yet resolved) transaction attempt.
     pub attempt: PhaseBreakdown,
-    /// Virtual time at which the tasklet finished its program.
-    pub finish_cycles: Cycles,
     /// MRAM DMA transfers issued (each pays one setup latency). A multi-word
     /// burst counts once — this is the metric that burst coalescing improves.
     pub mram_dma_setups: u64,
     /// Total words moved over the MRAM port by those transfers.
     pub mram_dma_words: u64,
+    /// Time spent in bounded spin-waits: contention back-off after aborts
+    /// and lock-wait loops (e.g. NOrec waiting for an even sequence lock).
+    /// This is an *overlay* metric — the same time is also attributed to the
+    /// phase buckets.
+    pub backoff_time: u64,
 }
 
-impl TaskletStats {
-    /// Creates empty statistics.
+impl ProfileCore {
+    /// Creates an empty core.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Attempts started: commits + aborts.
+    pub fn attempts(&self) -> u64 {
+        self.commits + self.aborts
+    }
+
     /// Abort rate in `[0, 1]`: aborts / (aborts + commits).
     pub fn abort_rate(&self) -> f64 {
-        let attempts = self.aborts + self.commits;
+        let attempts = self.attempts();
         if attempts == 0 {
             0.0
         } else {
@@ -186,29 +220,43 @@ impl TaskletStats {
         }
     }
 
-    /// Charges cycles to the in-flight transaction attempt.
-    pub fn charge_attempt(&mut self, phase: Phase, cycles: Cycles) {
-        self.attempt.charge(phase, cycles);
+    /// Sum of the abort-code histogram (equals `aborts` when every abort was
+    /// resolved with a code, as the STM retry core guarantees).
+    pub fn coded_aborts(&self) -> u64 {
+        self.abort_codes.iter().sum()
     }
 
-    /// Charges cycles directly to the committed breakdown, bypassing the
+    /// Charges time to the in-flight transaction attempt.
+    pub fn charge_attempt(&mut self, phase: Phase, time: u64) {
+        self.attempt.charge(phase, time);
+    }
+
+    /// Charges time directly to the resolved breakdown, bypassing the
     /// attempt buffer (used for non-transactional work).
-    pub fn charge_direct(&mut self, phase: Phase, cycles: Cycles) {
-        self.breakdown.charge(phase, cycles);
+    pub fn charge_direct(&mut self, phase: Phase, time: u64) {
+        self.breakdown.charge(phase, time);
     }
 
-    /// Resolves the in-flight attempt as committed: its cycles keep their
-    /// phase attribution.
+    /// Resolves the in-flight attempt as committed: its time keeps its phase
+    /// attribution.
     pub fn resolve_commit(&mut self) {
         self.commits += 1;
         let attempt = std::mem::take(&mut self.attempt);
         self.breakdown += attempt;
     }
 
-    /// Resolves the in-flight attempt as aborted: all its cycles become
-    /// wasted time.
-    pub fn resolve_abort(&mut self) {
+    /// Resolves the in-flight attempt as aborted: all its time becomes
+    /// wasted. `code`, when given, selects the histogram slot (the STM layer
+    /// passes `AbortReason::index()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` is outside the reserved slots.
+    pub fn resolve_abort(&mut self, code: Option<usize>) {
         self.aborts += 1;
+        if let Some(code) = code {
+            self.abort_codes[code] += 1;
+        }
         let mut attempt = std::mem::take(&mut self.attempt);
         attempt.collapse_into_wasted();
         self.breakdown += attempt;
@@ -220,16 +268,65 @@ impl TaskletStats {
         self.mram_dma_words += u64::from(words);
     }
 
+    /// Records `time` spent spin-waiting (back-off or lock waits).
+    pub fn note_backoff(&mut self, time: u64) {
+        self.backoff_time += time;
+    }
+
+    /// Merges another core into this one (tasklet → DPU aggregation).
+    pub fn merge(&mut self, other: &ProfileCore) {
+        self.commits += other.commits;
+        self.aborts += other.aborts;
+        for (mine, theirs) in self.abort_codes.iter_mut().zip(other.abort_codes.iter()) {
+            *mine += theirs;
+        }
+        self.breakdown += other.breakdown;
+        self.attempt += other.attempt;
+        self.mram_dma_setups += other.mram_dma_setups;
+        self.mram_dma_words += other.mram_dma_words;
+        self.backoff_time += other.backoff_time;
+    }
+}
+
+/// Statistics for one tasklet over one simulated run: the shared
+/// [`ProfileCore`] (charged in cycles) plus the simulator-only finish time.
+///
+/// `TaskletStats` dereferences to its core, so the historical field accesses
+/// (`stats.commits`, `stats.breakdown`, …) keep working; the simulator no
+/// longer keeps any bookkeeping of its own beyond `finish_cycles`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TaskletStats {
+    /// The executor-agnostic profiling core, charged in simulator cycles.
+    pub profile: ProfileCore,
+    /// Virtual time at which the tasklet finished its program.
+    pub finish_cycles: Cycles,
+}
+
+impl TaskletStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// Merges another tasklet's statistics into this one (used for DPU-level
     /// aggregation).
     pub fn merge(&mut self, other: &TaskletStats) {
-        self.commits += other.commits;
-        self.aborts += other.aborts;
-        self.breakdown += other.breakdown;
-        self.attempt += other.attempt;
+        self.profile.merge(&other.profile);
         self.finish_cycles = self.finish_cycles.max(other.finish_cycles);
-        self.mram_dma_setups += other.mram_dma_setups;
-        self.mram_dma_words += other.mram_dma_words;
+    }
+}
+
+impl Deref for TaskletStats {
+    type Target = ProfileCore;
+
+    fn deref(&self) -> &ProfileCore {
+        &self.profile
+    }
+}
+
+impl DerefMut for TaskletStats {
+    fn deref_mut(&mut self) -> &mut ProfileCore {
+        &mut self.profile
     }
 }
 
@@ -278,11 +375,25 @@ mod tests {
         assert_eq!(s.breakdown.get(Phase::Reading), 100);
 
         s.charge_attempt(Phase::Writing, 40);
-        s.resolve_abort();
+        s.resolve_abort(None);
         assert_eq!(s.aborts, 1);
         assert_eq!(s.breakdown.get(Phase::Wasted), 40);
         assert_eq!(s.breakdown.get(Phase::Writing), 0);
         assert!((s.abort_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coded_aborts_fill_the_histogram() {
+        let mut core = ProfileCore::new();
+        core.resolve_abort(Some(2));
+        core.resolve_abort(Some(2));
+        core.resolve_abort(Some(0));
+        core.resolve_abort(None);
+        assert_eq!(core.aborts, 4);
+        assert_eq!(core.abort_codes[2], 2);
+        assert_eq!(core.abort_codes[0], 1);
+        assert_eq!(core.coded_aborts(), 3, "the uncoded abort stays out of the histogram");
+        assert_eq!(core.attempts(), 4);
     }
 
     #[test]
@@ -292,19 +403,23 @@ mod tests {
         a.resolve_commit();
         a.finish_cycles = 500;
         a.note_mram_dma(8);
+        a.note_backoff(3);
         let mut b = TaskletStats::new();
         b.charge_attempt(Phase::Reading, 30);
-        b.resolve_abort();
+        b.resolve_abort(Some(1));
         b.finish_cycles = 900;
         b.note_mram_dma(1);
         b.note_mram_dma(3);
+        b.note_backoff(4);
         a.merge(&b);
         assert_eq!(a.commits, 1);
         assert_eq!(a.aborts, 1);
+        assert_eq!(a.abort_codes[1], 1);
         assert_eq!(a.finish_cycles, 900);
         assert_eq!(a.breakdown.total(), 40);
         assert_eq!(a.mram_dma_setups, 3);
         assert_eq!(a.mram_dma_words, 12);
+        assert_eq!(a.backoff_time, 7);
     }
 
     #[test]

@@ -284,7 +284,7 @@ pub use crate::engine::backoff;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{MetadataPlacement, StmConfig};
+    use crate::config::StmConfig;
     use pim_sim::{Dpu, DpuConfig, TaskletCtx, TaskletStats, Tier};
 
     #[test]
@@ -298,7 +298,7 @@ mod tests {
     fn run_transaction_commits_simple_increments_for_every_design() {
         for kind in StmKind::ALL {
             let mut dpu = Dpu::new(DpuConfig::small());
-            let cfg = StmConfig::new(kind, MetadataPlacement::Wram);
+            let cfg = StmConfig::small_wram(kind);
             let shared = StmShared::allocate(&mut dpu, cfg).unwrap();
             let mut slot = shared.register_tasklet(&mut dpu, 0).unwrap();
             let counter = dpu.alloc(Tier::Mram, 1).unwrap();
@@ -323,7 +323,7 @@ mod tests {
         use crate::var::TxOps;
         for kind in StmKind::ALL {
             let mut dpu = Dpu::new(DpuConfig::small());
-            let cfg = StmConfig::new(kind, MetadataPlacement::Wram);
+            let cfg = StmConfig::small_wram(kind);
             let shared = StmShared::allocate(&mut dpu, cfg).unwrap();
             let mut slot = shared.register_tasklet(&mut dpu, 0).unwrap();
             let data = dpu.alloc(Tier::Mram, 1).unwrap();
@@ -355,7 +355,7 @@ mod tests {
     fn raw_ops_bypass_instrumentation() {
         use crate::var::TxOps;
         let mut dpu = Dpu::new(DpuConfig::small());
-        let cfg = StmConfig::new(StmKind::TinyEtlWb, MetadataPlacement::Wram);
+        let cfg = StmConfig::small_wram(StmKind::TinyEtlWb);
         let shared = StmShared::allocate(&mut dpu, cfg).unwrap();
         let mut slot = shared.register_tasklet(&mut dpu, 0).unwrap();
         let src = dpu.alloc(Tier::Mram, 4).unwrap();

@@ -253,11 +253,25 @@ pub struct StmConfig {
     pub write_set_capacity: u32,
     /// How write-back commits publish their redo log.
     pub write_back: WriteBackStrategy,
+    /// Longest run the coalesced write-back publishes as a single DMA burst,
+    /// in words — the size of the staging buffer a tasklet reserves in WRAM
+    /// (the hardware also caps one DMA transfer at 2 KB = 256 words).
+    /// Longer runs are split, never dropped.
+    pub max_burst_words: u32,
 }
+
+/// Default coalesced-write-back burst cap, in words (a 512-byte WRAM staging
+/// buffer, comfortably under the hardware's 2 KB DMA transfer limit).
+pub const DEFAULT_BURST_WORDS: u32 = 64;
+
+/// Largest burst one MRAM DMA transfer can carry: the UPMEM hardware caps a
+/// transfer at 2 KB = 256 words. Configuring a larger staging buffer would
+/// make the model count single setups for physically impossible transfers.
+pub const HARDWARE_MAX_BURST_WORDS: u32 = 256;
 
 impl StmConfig {
     /// Creates a configuration with the library defaults (1024-entry lock
-    /// table, 256-entry read set, 64-entry write set).
+    /// table, 256-entry read set, 64-entry write set, 64-word burst cap).
     pub fn new(kind: StmKind, placement: MetadataPlacement) -> Self {
         StmConfig {
             kind,
@@ -267,13 +281,43 @@ impl StmConfig {
             read_set_capacity: 256,
             write_set_capacity: 64,
             write_back: WriteBackStrategy::default(),
+            max_burst_words: DEFAULT_BURST_WORDS,
         }
+    }
+
+    /// A small WRAM-resident configuration shared by the unit-test suites:
+    /// capacities large enough for every micro-scenario, small enough that a
+    /// fixture DPU allocates instantly.
+    pub fn small_wram(kind: StmKind) -> Self {
+        StmConfig::new(kind, MetadataPlacement::Wram)
+            .with_lock_table_entries(128)
+            .with_read_set_capacity(64)
+            .with_write_set_capacity(32)
     }
 
     /// Selects how write-back commits publish their redo log (the default is
     /// [`WriteBackStrategy::Coalesced`]).
     pub fn with_write_back(mut self, strategy: WriteBackStrategy) -> Self {
         self.write_back = strategy;
+        self
+    }
+
+    /// Caps the coalesced write-back burst length (WRAM staging-buffer
+    /// pressure; see [`StmConfig::max_burst_words`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is zero (a burst must carry at least one word) or
+    /// exceeds [`HARDWARE_MAX_BURST_WORDS`] (one DMA transfer cannot move
+    /// more than 2 KB, so a larger cap would undercount DMA setups).
+    pub fn with_max_burst_words(mut self, words: u32) -> Self {
+        assert!(words > 0, "the write-back burst cap must be at least one word");
+        assert!(
+            words <= HARDWARE_MAX_BURST_WORDS,
+            "the write-back burst cap must not exceed the hardware DMA transfer \
+             limit of {HARDWARE_MAX_BURST_WORDS} words"
+        );
+        self.max_burst_words = words;
         self
     }
 
@@ -364,6 +408,34 @@ mod tests {
         assert_eq!(MetadataPlacement::Wram.tier(), Tier::Wram);
         assert_eq!(MetadataPlacement::Mram.tier(), Tier::Mram);
         assert_eq!(MetadataPlacement::Wram.to_string(), "wram");
+    }
+
+    #[test]
+    fn burst_cap_defaults_and_overrides() {
+        let cfg = StmConfig::new(StmKind::Norec, MetadataPlacement::Wram);
+        assert_eq!(cfg.max_burst_words, DEFAULT_BURST_WORDS);
+        assert_eq!(cfg.with_max_burst_words(8).max_burst_words, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one word")]
+    fn zero_burst_cap_is_rejected() {
+        let _ = StmConfig::new(StmKind::Norec, MetadataPlacement::Wram).with_max_burst_words(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hardware DMA transfer")]
+    fn burst_caps_beyond_the_hardware_transfer_limit_are_rejected() {
+        let _ = StmConfig::new(StmKind::Norec, MetadataPlacement::Wram)
+            .with_max_burst_words(HARDWARE_MAX_BURST_WORDS + 1);
+    }
+
+    #[test]
+    fn small_wram_is_wram_resident_with_reduced_capacities() {
+        let cfg = StmConfig::small_wram(StmKind::TinyEtlWb);
+        assert_eq!(cfg.metadata_tier(), Tier::Wram);
+        assert!(cfg.read_set_capacity < StmConfig::new(cfg.kind, cfg.placement).read_set_capacity);
+        assert!(cfg.per_tasklet_metadata_words() * 24 < 64 * 1024 / 8, "24 tasklets fit in WRAM");
     }
 
     #[test]

@@ -19,7 +19,7 @@
 use pim_sim::{Addr, Phase};
 
 use crate::algorithm::{algorithm_for, TmAlgorithm, TxView};
-use crate::error::Abort;
+use crate::error::{Abort, AbortReason};
 use crate::platform::Platform;
 use crate::shared::StmShared;
 use crate::txslot::TxSlot;
@@ -40,9 +40,11 @@ fn account_commit(tx: &mut TxSlot, p: &mut dyn Platform) {
     tx.note_commit();
 }
 
-/// Accounts an aborted attempt and applies bounded exponential back-off.
-fn account_abort(tx: &mut TxSlot, p: &mut dyn Platform) {
-    p.abort_attempt();
+/// Accounts an aborted attempt — recording *why* it aborted, so the
+/// platform's profile can keep its abort-reason histogram — and applies
+/// bounded exponential back-off.
+fn account_abort(tx: &mut TxSlot, p: &mut dyn Platform, reason: AbortReason) {
+    p.abort_attempt_with(reason);
     tx.note_abort();
     backoff(p, tx.consecutive_aborts());
 }
@@ -70,15 +72,9 @@ pub fn run_retry_loop<R>(
             let mut view = TxView::new(alg, shared, tx, p);
             body(&mut view)
         };
-        let committed = match result {
-            Ok(value) => match alg.commit(shared, tx, p) {
-                Ok(()) => Some(value),
-                Err(_) => None,
-            },
-            Err(_) => None,
-        };
+        let committed = result.and_then(|value| alg.commit(shared, tx, p).map(|()| value));
         match committed {
-            Some(value) => {
+            Ok(value) => {
                 account_commit(tx, p);
                 if let Some(c) = counters.as_deref_mut() {
                     c.commits += 1;
@@ -86,8 +82,8 @@ pub fn run_retry_loop<R>(
                 p.set_phase(Phase::OtherExec);
                 return value;
             }
-            None => {
-                account_abort(tx, p);
+            Err(abort) => {
+                account_abort(tx, p, abort.reason);
                 if let Some(c) = counters.as_deref_mut() {
                     c.aborts += 1;
                 }
@@ -246,9 +242,11 @@ impl TxEngine {
     }
 
     /// Accounts an aborted attempt (the cycles it consumed become wasted
-    /// time) and applies bounded exponential back-off.
-    pub fn on_abort(&mut self, p: &mut dyn Platform) {
-        account_abort(&mut self.slot, p);
+    /// time, `reason` feeds the profile's abort histogram) and applies
+    /// bounded exponential back-off. Callers hold the reason because the
+    /// step that failed returned it inside [`Abort`].
+    pub fn on_abort(&mut self, p: &mut dyn Platform, reason: AbortReason) {
+        account_abort(&mut self.slot, p, reason);
         self.counters.aborts += 1;
     }
 

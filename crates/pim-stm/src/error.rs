@@ -36,6 +36,21 @@ impl AbortReason {
         AbortReason::Explicit,
     ];
 
+    /// Number of distinct reasons.
+    pub const COUNT: usize = AbortReason::ALL.len();
+
+    /// Stable index of this reason in histogram arrays (the abort-code slot
+    /// used by [`pim_sim::ProfileCore`]).
+    pub fn index(self) -> usize {
+        match self {
+            AbortReason::ReadConflict => 0,
+            AbortReason::WriteConflict => 1,
+            AbortReason::ValidationFailed => 2,
+            AbortReason::UpgradeConflict => 3,
+            AbortReason::Explicit => 4,
+        }
+    }
+
     /// Human-readable label.
     pub fn label(self) -> &'static str {
         match self {
@@ -147,5 +162,17 @@ mod tests {
         let labels: std::collections::HashSet<_> =
             AbortReason::ALL.iter().map(|r| r.label()).collect();
         assert_eq!(labels.len(), AbortReason::ALL.len());
+    }
+
+    #[test]
+    fn reason_indices_are_dense_and_fit_the_histogram_slots() {
+        let mut seen = [false; AbortReason::COUNT];
+        for reason in AbortReason::ALL {
+            assert!(!seen[reason.index()], "duplicate index for {}", reason.label());
+            seen[reason.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // (That the indices fit pim_sim's histogram slots is enforced at
+        // compile time by the const assert in crate::profile.)
     }
 }

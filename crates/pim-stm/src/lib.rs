@@ -85,6 +85,36 @@
 //! two-executor tour. Multi-word values ([`var::TxRecord`]) move through
 //! [`TxOps::read_record`] / [`TxOps::write_record`], which NOrec fetches as
 //! a single MRAM DMA burst.
+//!
+//! ## Execution profiles: one instrumentation spine for both executors
+//!
+//! Every run — simulated or threaded — produces the same per-tasklet
+//! [`ExecProfile`] ([`profile`] module):
+//!
+//! * **attempts, commits, aborts** and an **abort histogram** keyed by
+//!   [`AbortReason`]: the shared retry core ([`engine`]) resolves every
+//!   abort with the reason the algorithm reported, so the histogram always
+//!   sums to the abort count, for all seven designs, with no per-algorithm
+//!   instrumentation;
+//! * **per-phase time** ([`Phase`]): where a transaction's time goes —
+//!   reading, writing, validating, committing, or wasted in attempts that
+//!   aborted. The unit is *executor-native* and tagged by
+//!   [`profile::TimeDomain`]: deterministic simulator **cycles**
+//!   ([`profile::TimeDomain::Cycles`], behind the paper's figures) or
+//!   monotonic **wall-clock nanoseconds** on the threaded executor
+//!   ([`profile::TimeDomain::WallNanos`]). Counts and *structure* (phase
+//!   fractions, abort mix) are comparable across executors; absolute times
+//!   are not, and [`ExecProfile::merge`] refuses to mix domains;
+//! * **MRAM DMA setups/words** (the burst-coalescing metric — both
+//!   executors count one setup per MRAM-addressed transfer) and **back-off /
+//!   lock-wait time** (an overlay over the phase buckets).
+//!
+//! On the simulator the profile is the cycle bookkeeping the scheduler
+//! already keeps (`pim_sim::TaskletStats` is a thin adapter over the same
+//! core — [`ExecProfile::from_sim`]); on the threaded executor each tasklet
+//! thread fills its profile as it runs and
+//! [`threaded::ThreadedDpu::run`] returns them in
+//! [`threaded::ThreadedRunReport::profiles`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -96,6 +126,7 @@ pub mod error;
 pub mod locktable;
 pub mod norec;
 pub mod platform;
+pub mod profile;
 pub mod rwlock;
 pub mod shared;
 pub mod threaded;
@@ -113,6 +144,7 @@ pub use config::{
 pub use engine::{run_retry_loop, TxCounters, TxEngine};
 pub use error::{Abort, AbortReason, RunError};
 pub use platform::Platform;
+pub use profile::{ExecProfile, TimeDomain};
 pub use shared::StmShared;
 pub use txslot::TxSlot;
 pub use var::{TArray, TVar, TxOps, TxRecord, TxWord};

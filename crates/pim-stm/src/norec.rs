@@ -264,7 +264,7 @@ impl TmAlgorithm for Norec {
         // Write back the redo log — the odd sequence lock serialises every
         // other commit and validation, so the shared publication pass may
         // reorder and batch stores — then release the sequence lock.
-        crate::writeback::publish_redo_log(tx, p, shared.config().write_back);
+        crate::writeback::publish_redo_log(tx, p, shared.config());
         p.store(shared.seqlock_addr(), tx.snapshot + 2);
         p.set_phase(Phase::OtherExec);
         Ok(())
@@ -274,7 +274,7 @@ impl TmAlgorithm for Norec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{MetadataPlacement, StmConfig};
+    use crate::config::StmConfig;
     use pim_sim::{Dpu, DpuConfig, TaskletCtx, TaskletStats, Tier};
 
     struct Fixture {
@@ -286,7 +286,7 @@ mod tests {
 
     fn fixture(tasklets: usize) -> Fixture {
         let mut dpu = Dpu::new(DpuConfig::small());
-        let cfg = StmConfig::new(StmKind::Norec, MetadataPlacement::Wram);
+        let cfg = StmConfig::small_wram(StmKind::Norec);
         let shared = StmShared::allocate(&mut dpu, cfg).unwrap();
         let slots = (0..tasklets).map(|t| shared.register_tasklet(&mut dpu, t).unwrap()).collect();
         let data = dpu.alloc(Tier::Mram, 16).unwrap();

@@ -90,6 +90,16 @@ pub trait Platform {
     /// time).
     fn abort_attempt(&mut self);
 
+    /// Resolves the current attempt as aborted *with the reason the
+    /// algorithm reported*, so the platform's profile can maintain the
+    /// abort-reason histogram. The shared retry core always uses this
+    /// variant; the default implementation discards the reason and falls
+    /// back to [`Platform::abort_attempt`].
+    fn abort_attempt_with(&mut self, reason: crate::error::AbortReason) {
+        let _ = reason;
+        self.abort_attempt();
+    }
+
     /// Identifier of the executing tasklet (0-based, < 24).
     fn tasklet_id(&self) -> usize;
 
@@ -205,12 +215,20 @@ impl Platform for TaskletCtx<'_> {
         TaskletCtx::abort_attempt(self)
     }
 
+    fn abort_attempt_with(&mut self, reason: crate::error::AbortReason) {
+        TaskletCtx::abort_attempt_coded(self, reason.index())
+    }
+
     fn tasklet_id(&self) -> usize {
         TaskletCtx::tasklet_id(self)
     }
 
     fn compute(&mut self, instructions: u64) {
         TaskletCtx::compute(self, instructions)
+    }
+
+    fn spin_wait(&mut self, instructions: u64) {
+        TaskletCtx::spin_wait(self, instructions)
     }
 }
 

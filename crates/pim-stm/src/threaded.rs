@@ -11,19 +11,26 @@
 //! compare-and-swap loop (the role the acquire/release bit register plays on
 //! real hardware).
 //!
-//! Timing is *not* modelled here: `compute` and `spin_wait` are bounded spin
-//! hints. Use the simulator for performance questions and this executor for
-//! correctness and for host-side experimentation.
+//! Simulated cycles are *not* modelled here, but execution **is** profiled:
+//! each tasklet thread charges monotonic wall-clock nanoseconds into the
+//! same [`ExecProfile`] schema the simulator fills with cycles (tagged
+//! [`TimeDomain::WallNanos`] so the units are never confused), including the
+//! abort-reason histogram, per-phase time, MRAM-addressed DMA traffic and
+//! spin-wait time. Threaded runs are therefore a second performance signal —
+//! directly comparable on counts and structure, not on absolute time — in
+//! addition to being the correctness cross-check.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use pim_sim::{Addr, AllocError, Phase, Tier};
 
 use crate::algorithm::{algorithm_for, run_transaction, TmAlgorithm, TxView};
 use crate::config::StmConfig;
-use crate::error::{Abort, RunError};
+use crate::error::{Abort, AbortReason, RunError};
 use crate::platform::{AtomicOutcome, Platform};
+use crate::profile::{ExecProfile, TimeDomain};
 use crate::shared::{MetadataAllocator, StmShared};
 use crate::txslot::TxSlot;
 use crate::var::{self, TArray, TVar, TxRecord};
@@ -91,30 +98,111 @@ impl MetadataAllocator for &SharedMemory {
     }
 }
 
-/// Commit/abort counters shared by all tasklets of one [`ThreadedDpu::run`]
-/// call.
-#[derive(Debug, Default)]
-struct RunCounters {
-    commits: AtomicU64,
-    aborts: AtomicU64,
-}
-
 /// Per-thread [`Platform`] over the shared atomic memory.
+///
+/// Besides executing operations, it maintains this tasklet's
+/// [`ExecProfile`] in wall-clock nanoseconds: time accrues to the current
+/// [`Phase`] (buffered per attempt and collapsed into wasted time on abort,
+/// exactly like the simulator's cycle accounting), MRAM-addressed traffic is
+/// counted as DMA setups/words with the simulator's per-transfer rules, and
+/// spin-waits are recorded as back-off time.
 #[derive(Debug)]
 pub struct ThreadPlatform<'a> {
     memory: &'a SharedMemory,
-    counters: &'a RunCounters,
+    profile: &'a mut ExecProfile,
     tasklet_id: usize,
     phase: Phase,
+    /// Start of the interval not yet charged to any phase.
+    mark: Instant,
+    /// Whether an attempt is being accounted (mirrors the simulator's
+    /// transactional flag).
+    in_attempt: bool,
+}
+
+impl<'a> ThreadPlatform<'a> {
+    fn new(memory: &'a SharedMemory, profile: &'a mut ExecProfile, tasklet_id: usize) -> Self {
+        ThreadPlatform {
+            memory,
+            profile,
+            tasklet_id,
+            phase: Phase::OtherExec,
+            mark: Instant::now(),
+            in_attempt: false,
+        }
+    }
+
+    /// Charges the wall-clock time since the last boundary to the current
+    /// phase and starts a new interval. One clock read serves both purposes
+    /// so no time falls between intervals.
+    fn flush_elapsed(&mut self) {
+        let now = Instant::now();
+        let nanos = u64::try_from((now - self.mark).as_nanos()).unwrap_or(u64::MAX);
+        self.mark = now;
+        if self.in_attempt {
+            self.profile.core.charge_attempt(self.phase, nanos);
+        } else {
+            self.profile.core.charge_direct(self.phase, nanos);
+        }
+    }
+
+    /// Counts `words` words moved to/from an MRAM address as one DMA
+    /// transfer, matching the simulator's setup-per-transfer accounting.
+    fn note_dma(&mut self, tier: Tier, words: u32) {
+        if tier == Tier::Mram {
+            self.profile.core.note_mram_dma(words);
+        }
+    }
+}
+
+impl Drop for ThreadPlatform<'_> {
+    fn drop(&mut self) {
+        // Charge the tail interval so the profile covers the whole thread.
+        self.flush_elapsed();
+    }
 }
 
 impl Platform for ThreadPlatform<'_> {
     fn load(&mut self, addr: Addr) -> u64 {
+        self.note_dma(addr.tier, 1);
         self.memory.cell(addr).load(Ordering::SeqCst)
     }
 
     fn store(&mut self, addr: Addr, value: u64) {
+        self.note_dma(addr.tier, 1);
         self.memory.cell(addr).store(value, Ordering::SeqCst)
+    }
+
+    fn load_block(&mut self, addr: Addr, out: &mut [u64]) {
+        if out.is_empty() {
+            return;
+        }
+        self.note_dma(addr.tier, out.len() as u32);
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.memory.cell(addr.offset(i as u32)).load(Ordering::SeqCst);
+        }
+    }
+
+    fn store_block(&mut self, addr: Addr, values: &[u64]) {
+        if values.is_empty() {
+            return;
+        }
+        self.note_dma(addr.tier, values.len() as u32);
+        for (i, value) in values.iter().enumerate() {
+            self.memory.cell(addr.offset(i as u32)).store(*value, Ordering::SeqCst);
+        }
+    }
+
+    fn copy(&mut self, src: Addr, dst: Addr, words: u32) {
+        if words == 0 {
+            return;
+        }
+        // One transfer per MRAM side, like the simulator's copy_block.
+        self.note_dma(src.tier, words);
+        self.note_dma(dst.tier, words);
+        for i in 0..words {
+            let value = self.memory.cell(src.offset(i)).load(Ordering::SeqCst);
+            self.memory.cell(dst.offset(i)).store(value, Ordering::SeqCst);
+        }
     }
 
     fn atomic_update(
@@ -124,31 +212,52 @@ impl Platform for ThreadPlatform<'_> {
     ) -> AtomicOutcome {
         let cell = self.memory.cell(addr);
         let mut current = cell.load(Ordering::SeqCst);
-        loop {
+        let outcome = loop {
             match update(current) {
-                None => return AtomicOutcome { previous: current, updated: false },
+                None => break AtomicOutcome { previous: current, updated: false },
                 Some(new) => {
                     match cell.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst) {
-                        Ok(_) => return AtomicOutcome { previous: current, updated: true },
+                        Ok(_) => break AtomicOutcome { previous: current, updated: true },
                         Err(observed) => current = observed,
                     }
                 }
             }
+        };
+        // The read-modify-write touches memory like a load (plus a store
+        // when it updates) — mirror the simulator's DMA counting.
+        self.note_dma(addr.tier, 1);
+        if outcome.updated {
+            self.note_dma(addr.tier, 1);
         }
+        outcome
     }
 
     fn set_phase(&mut self, phase: Phase) -> Phase {
+        self.flush_elapsed();
         std::mem::replace(&mut self.phase, phase)
     }
 
-    fn begin_attempt(&mut self) {}
+    fn begin_attempt(&mut self) {
+        self.flush_elapsed();
+        self.in_attempt = true;
+    }
 
     fn commit_attempt(&mut self) {
-        self.counters.commits.fetch_add(1, Ordering::Relaxed);
+        self.flush_elapsed();
+        self.in_attempt = false;
+        self.profile.core.resolve_commit();
     }
 
     fn abort_attempt(&mut self) {
-        self.counters.aborts.fetch_add(1, Ordering::Relaxed);
+        self.flush_elapsed();
+        self.in_attempt = false;
+        self.profile.core.resolve_abort(None);
+    }
+
+    fn abort_attempt_with(&mut self, reason: AbortReason) {
+        self.flush_elapsed();
+        self.in_attempt = false;
+        self.profile.core.resolve_abort(Some(reason.index()));
     }
 
     fn tasklet_id(&self) -> usize {
@@ -159,6 +268,13 @@ impl Platform for ThreadPlatform<'_> {
         for _ in 0..instructions.min(1024) {
             std::hint::spin_loop();
         }
+    }
+
+    fn spin_wait(&mut self, instructions: u64) {
+        let start = Instant::now();
+        self.compute(instructions);
+        let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.profile.core.note_backoff(nanos);
     }
 }
 
@@ -202,13 +318,25 @@ impl var::WordAccess for ThreadedDpu {
     }
 }
 
-/// Commit/abort counts aggregated over a [`ThreadedDpu::run`] call.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Result of a [`ThreadedDpu::run`] call: aggregate commit/abort counts plus
+/// the per-tasklet wall-clock execution profiles.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ThreadedRunReport {
     /// Committed transactions across all tasklets.
     pub commits: u64,
     /// Aborted attempts across all tasklets.
     pub aborts: u64,
+    /// One [`TimeDomain::WallNanos`] profile per tasklet, indexed by tasklet
+    /// id.
+    pub profiles: Vec<ExecProfile>,
+}
+
+impl ThreadedRunReport {
+    /// All tasklets' profiles merged into one (`None` for a zero-tasklet
+    /// run).
+    pub fn merged_profile(&self) -> Option<ExecProfile> {
+        ExecProfile::merged(&self.profiles)
+    }
 }
 
 /// A DPU whose tasklets are real threads over atomic shared memory.
@@ -347,15 +475,15 @@ impl ThreadedDpu {
         let alg = algorithm_for(self.config.kind);
         let memory = &self.memory;
         let shared = &self.shared;
-        let counters = RunCounters::default();
+        let mut profiles: Vec<ExecProfile> =
+            (0..tasklets).map(|_| ExecProfile::new(TimeDomain::WallNanos)).collect();
         let body = &body;
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for (tasklet_id, slot) in self.slots.iter_mut().take(tasklets).enumerate() {
-                let counters = &counters;
+            let slots = self.slots.iter_mut().take(tasklets);
+            for ((tasklet_id, slot), profile) in slots.enumerate().zip(profiles.iter_mut()) {
                 handles.push(scope.spawn(move || {
-                    let platform =
-                        ThreadPlatform { memory, counters, tasklet_id, phase: Phase::OtherExec };
+                    let platform = ThreadPlatform::new(memory, profile, tasklet_id);
                     body(TaskletTx { platform, slot, shared, alg });
                 }));
             }
@@ -364,8 +492,9 @@ impl ThreadedDpu {
             }
         });
         Ok(ThreadedRunReport {
-            commits: counters.commits.load(Ordering::Relaxed),
-            aborts: counters.aborts.load(Ordering::Relaxed),
+            commits: profiles.iter().map(ExecProfile::commits).sum(),
+            aborts: profiles.iter().map(ExecProfile::aborts).sum(),
+            profiles,
         })
     }
 }
@@ -373,19 +502,12 @@ impl ThreadedDpu {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{MetadataPlacement, StmKind};
-
-    fn small_config(kind: StmKind) -> StmConfig {
-        StmConfig::new(kind, MetadataPlacement::Wram)
-            .with_lock_table_entries(128)
-            .with_read_set_capacity(64)
-            .with_write_set_capacity(32)
-    }
+    use crate::config::StmKind;
 
     #[test]
     fn counter_increments_are_not_lost_under_real_concurrency() {
         for kind in StmKind::ALL {
-            let mut dpu = ThreadedDpu::new(small_config(kind)).unwrap();
+            let mut dpu = ThreadedDpu::new(StmConfig::small_wram(kind)).unwrap();
             let counter = dpu.alloc(Tier::Mram, 1).unwrap();
             let per_tasklet = 200u64;
             let report = dpu
@@ -407,7 +529,7 @@ mod tests {
     #[test]
     fn disjoint_transfers_preserve_total_balance() {
         for kind in [StmKind::Norec, StmKind::TinyEtlWt, StmKind::VrEtlWb] {
-            let mut dpu = ThreadedDpu::new(small_config(kind)).unwrap();
+            let mut dpu = ThreadedDpu::new(StmConfig::small_wram(kind)).unwrap();
             let accounts = dpu.alloc(Tier::Mram, 8).unwrap();
             for i in 0..8 {
                 dpu.poke(accounts.offset(i), 1000);
@@ -437,16 +559,16 @@ mod tests {
 
     #[test]
     fn allocation_failures_are_reported() {
-        let config = small_config(StmKind::TinyEtlWb).with_lock_table_entries(1_000_000);
+        let config = StmConfig::small_wram(StmKind::TinyEtlWb).with_lock_table_entries(1_000_000);
         assert!(ThreadedDpu::new(config).is_err());
-        let mut dpu = ThreadedDpu::new(small_config(StmKind::Norec)).unwrap();
+        let mut dpu = ThreadedDpu::new(StmConfig::small_wram(StmKind::Norec)).unwrap();
         assert!(dpu.alloc(Tier::Wram, 1_000_000).is_err());
     }
 
     #[test]
     fn too_many_tasklets_is_an_error_not_a_panic() {
         use crate::error::RunError;
-        let mut dpu = ThreadedDpu::new(small_config(StmKind::Norec)).unwrap();
+        let mut dpu = ThreadedDpu::new(StmConfig::small_wram(StmKind::Norec)).unwrap();
         let err = dpu.run(25, |_| {}).unwrap_err();
         assert_eq!(err, RunError::TooManyTasklets { requested: 25, max: MAX_TASKLETS });
         // The limit itself is fine.
@@ -456,8 +578,8 @@ mod tests {
     #[test]
     fn failed_run_leaves_a_usable_dpu() {
         // WRAM sized so 4 tasklets' logs fit but 5 do not (224 words per
-        // tasklet with small_config, plus 2 shared NOrec words).
-        let config = small_config(StmKind::Norec);
+        // tasklet with StmConfig::small_wram, plus 2 shared NOrec words).
+        let config = StmConfig::small_wram(StmKind::Norec);
         let mut dpu = ThreadedDpu::with_capacity(config, 1024, 1024).unwrap();
         let err = dpu.run(5, |_| {}).unwrap_err();
         assert!(matches!(err, crate::error::RunError::Alloc(_)), "got {err:?}");
@@ -470,7 +592,8 @@ mod tests {
     fn repeated_runs_reuse_tasklet_logs() {
         // WRAM holds 4 tasklets' logs once, not twice: only slot pooling
         // lets the DPU be driven repeatedly.
-        let mut dpu = ThreadedDpu::with_capacity(small_config(StmKind::Norec), 1024, 1024).unwrap();
+        let mut dpu =
+            ThreadedDpu::with_capacity(StmConfig::small_wram(StmKind::Norec), 1024, 1024).unwrap();
         let counter = dpu.alloc(Tier::Mram, 1).unwrap();
         for round in 1..=10u64 {
             dpu.run(4, |mut tx| {
@@ -486,8 +609,39 @@ mod tests {
     }
 
     #[test]
+    fn run_reports_per_tasklet_wall_clock_profiles() {
+        let mut dpu = ThreadedDpu::new(StmConfig::small_wram(StmKind::TinyEtlWb)).unwrap();
+        let counter = dpu.alloc(Tier::Mram, 1).unwrap();
+        let report = dpu
+            .run(4, |mut tx| {
+                for _ in 0..100 {
+                    tx.transaction(|view| {
+                        let v = view.read(counter)?;
+                        view.write(counter, v + 1)?;
+                        Ok(())
+                    });
+                }
+            })
+            .unwrap();
+        assert_eq!(report.profiles.len(), 4);
+        let merged = report.merged_profile().unwrap();
+        assert_eq!(merged.time_domain, TimeDomain::WallNanos);
+        assert_eq!(merged.commits(), report.commits);
+        assert_eq!(merged.aborts(), report.aborts);
+        // Every abort the retry core resolves carries its reason.
+        assert_eq!(merged.histogram_total(), report.aborts);
+        assert!(merged.total_time() > 0, "wall-clock time must accrue");
+        // The counter lives in MRAM: transactional traffic must show up as
+        // DMA words.
+        assert!(merged.dma_words() > 0);
+        for profile in &report.profiles {
+            assert_eq!(profile.commits(), 100);
+        }
+    }
+
+    #[test]
     fn typed_alloc_and_peek_poke_roundtrip() {
-        let mut dpu = ThreadedDpu::new(small_config(StmKind::Norec)).unwrap();
+        let mut dpu = ThreadedDpu::new(StmConfig::small_wram(StmKind::Norec)).unwrap();
         let var = dpu.alloc_var::<(u32, u32)>(Tier::Mram).unwrap();
         dpu.poke_var(var, (7, 9));
         assert_eq!(dpu.peek_var(var), (7, 9));

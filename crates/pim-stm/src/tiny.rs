@@ -357,7 +357,7 @@ impl TmAlgorithm for Tiny {
         // updated memory at encounter time). All ORecs covering the log are
         // held, so the shared publication pass may reorder and batch stores.
         if self.policy == WritePolicy::WriteBack {
-            crate::writeback::publish_redo_log(tx, p, shared.config().write_back);
+            crate::writeback::publish_redo_log(tx, p, shared.config());
         }
 
         // Release every ORec we acquired, stamping it with the new version.
@@ -381,7 +381,7 @@ impl TmAlgorithm for Tiny {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{MetadataPlacement, StmConfig};
+    use crate::config::StmConfig;
     use pim_sim::{Dpu, DpuConfig, TaskletCtx, TaskletStats, Tier};
 
     const VARIANTS: [StmKind; 3] = [StmKind::TinyCtlWb, StmKind::TinyEtlWb, StmKind::TinyEtlWt];
@@ -395,7 +395,7 @@ mod tests {
 
     fn fixture(kind: StmKind, tasklets: usize) -> (Fixture, Tiny) {
         let mut dpu = Dpu::new(DpuConfig::small());
-        let cfg = StmConfig::new(kind, MetadataPlacement::Wram).with_lock_table_entries(64);
+        let cfg = StmConfig::small_wram(kind);
         let shared = StmShared::allocate(&mut dpu, cfg).unwrap();
         let slots = (0..tasklets).map(|t| shared.register_tasklet(&mut dpu, t).unwrap()).collect();
         let data = dpu.alloc(Tier::Mram, 16).unwrap();

@@ -312,7 +312,7 @@ impl TmAlgorithm for Vr {
         // writer can have changed it. Write locks cover the whole log, so
         // the shared publication pass may reorder and batch stores.
         if self.policy == WritePolicy::WriteBack {
-            crate::writeback::publish_redo_log(tx, p, shared.config().write_back);
+            crate::writeback::publish_redo_log(tx, p, shared.config());
         }
 
         self.release_locks(shared, tx, p);
@@ -335,7 +335,7 @@ impl TmAlgorithm for Vr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{MetadataPlacement, StmConfig};
+    use crate::config::StmConfig;
     use crate::rwlock::RwMode;
     use pim_sim::{Dpu, DpuConfig, TaskletCtx, TaskletStats, Tier};
 
@@ -350,7 +350,7 @@ mod tests {
 
     fn fixture(kind: StmKind, tasklets: usize) -> (Fixture, Vr) {
         let mut dpu = Dpu::new(DpuConfig::small());
-        let cfg = StmConfig::new(kind, MetadataPlacement::Wram).with_lock_table_entries(64);
+        let cfg = StmConfig::small_wram(kind);
         let shared = StmShared::allocate(&mut dpu, cfg).unwrap();
         let slots = (0..tasklets).map(|t| shared.register_tasklet(&mut dpu, t).unwrap()).collect();
         let data = dpu.alloc(Tier::Mram, 16).unwrap();

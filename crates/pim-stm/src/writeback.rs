@@ -12,7 +12,11 @@
 //!   — pipeline instructions, charged via [`Platform::compute`] — and then
 //!   publishes each maximal run of consecutive same-tier addresses as **one**
 //!   [`Platform::store_block`] burst, amortising the DMA setup exactly like
-//!   the paper's (and SimplePIM's) bulk-transfer guidance prescribes.
+//!   the paper's (and SimplePIM's) bulk-transfer guidance prescribes. Runs
+//!   longer than the configured staging buffer
+//!   ([`StmConfig::max_burst_words`], default
+//!   [`crate::config::DEFAULT_BURST_WORDS`]) are split into bounded bursts,
+//!   so WRAM staging pressure is A/B-testable per run.
 //!
 //! Both strategies write byte-identical memory contents: the redo log holds
 //! at most one entry per address (the algorithms merge repeated writes), and
@@ -22,7 +26,7 @@
 
 use pim_sim::Addr;
 
-use crate::config::WriteBackStrategy;
+use crate::config::{StmConfig, WriteBackStrategy};
 use crate::platform::{encode_addr, Platform};
 use crate::txslot::TxSlot;
 
@@ -30,19 +34,15 @@ use crate::txslot::TxSlot;
 /// insertion/merge hybrid costs a handful of instructions per comparison).
 const SORT_INSTRUCTIONS_PER_ELEMENT: u64 = 4;
 
-/// Longest run published as a single burst. Runs beyond this are split —
-/// matching the bounded staging buffer a real tasklet would reserve in WRAM
-/// (and the hardware's 2 KB DMA transfer limit).
-pub const MAX_BURST_WORDS: usize = 64;
-
-/// Publishes the redo log of `tx` to data memory using `strategy`.
+/// Publishes the redo log of `tx` to data memory using the strategy and
+/// burst cap recorded in `config`.
 ///
 /// Caller contract: the transaction is committing, every lock covering the
 /// written addresses is held (or, for NOrec, the sequence lock is odd), and
 /// the log holds at most one entry per address.
-pub(crate) fn publish_redo_log(tx: &mut TxSlot, p: &mut dyn Platform, strategy: WriteBackStrategy) {
+pub(crate) fn publish_redo_log(tx: &mut TxSlot, p: &mut dyn Platform, config: &StmConfig) {
     let len = tx.write_set_len();
-    match strategy {
+    match config.write_back {
         WriteBackStrategy::WordWise => {
             for i in 0..len {
                 let entry = tx.write_entry(p, i);
@@ -71,20 +71,20 @@ pub(crate) fn publish_redo_log(tx: &mut TxSlot, p: &mut dyn Platform, strategy: 
             // index, so entries group by tier and ascend within a tier.
             staged.sort_unstable_by_key(|&(addr, _)| addr);
             p.compute(SORT_INSTRUCTIONS_PER_ELEMENT * u64::from(len));
-            flush_runs(p, &staged);
+            flush_runs(p, &staged, config.max_burst_words as usize);
         }
     }
 }
 
 /// Emits the sorted `(encoded address, value)` pairs as maximal contiguous
-/// bursts.
-fn flush_runs(p: &mut dyn Platform, staged: &[(u64, u64)]) {
-    let mut values: Vec<u64> = Vec::with_capacity(MAX_BURST_WORDS);
+/// bursts of at most `max_burst_words` words each.
+fn flush_runs(p: &mut dyn Platform, staged: &[(u64, u64)], max_burst_words: usize) {
+    let mut values: Vec<u64> = Vec::with_capacity(max_burst_words);
     let mut run_start = 0u64;
     for &(addr, value) in staged {
         let extends = !values.is_empty()
             && addr == run_start + values.len() as u64
-            && values.len() < MAX_BURST_WORDS;
+            && values.len() < max_burst_words;
         if !extends {
             flush_one(p, run_start, &values);
             values.clear();
@@ -112,30 +112,40 @@ fn decode_run_addr(encoded: u64) -> Addr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{MetadataPlacement, StmConfig, StmKind};
+    use crate::config::{StmConfig, StmKind, DEFAULT_BURST_WORDS};
     use crate::shared::StmShared;
     use pim_sim::{Dpu, DpuConfig, TaskletCtx, TaskletStats, Tier};
 
     /// Pushes `addrs` (word offsets into an MRAM region) with distinct
-    /// values into a fresh write set and publishes it with `strategy`,
-    /// returning the DMA setup count of the publish phase alone and the
-    /// final contents of the region.
-    fn publish(addrs: &[u32], strategy: WriteBackStrategy) -> (u64, Vec<u64>) {
+    /// values into a fresh write set and publishes it with `strategy` under
+    /// `burst_cap`, returning the DMA setup count of the publish phase alone
+    /// and the final contents of the region.
+    fn publish_capped(
+        addrs: &[u32],
+        strategy: WriteBackStrategy,
+        burst_cap: u32,
+    ) -> (u64, Vec<u64>) {
         let mut dpu = Dpu::new(DpuConfig::small());
-        let cfg = StmConfig::new(StmKind::Norec, MetadataPlacement::Wram)
-            .with_write_set_capacity(addrs.len().max(1) as u32);
+        let cfg = StmConfig::small_wram(StmKind::Norec)
+            .with_write_set_capacity(addrs.len().max(1) as u32)
+            .with_write_back(strategy)
+            .with_max_burst_words(burst_cap);
         let shared = StmShared::allocate(&mut dpu, cfg).unwrap();
         let mut slot = shared.register_tasklet(&mut dpu, 0).unwrap();
-        let region = dpu.alloc(Tier::Mram, 128).unwrap();
+        let region = dpu.alloc(Tier::Mram, 256).unwrap();
         let mut stats = TaskletStats::new();
         let mut ctx = TaskletCtx::new(&mut dpu, &mut stats, 0, 1, 0);
         for (i, &offset) in addrs.iter().enumerate() {
             slot.push_write(&mut ctx, region.offset(offset), 100 + i as u64, 0, false);
         }
         let before = ctx.stats().mram_dma_setups;
-        publish_redo_log(&mut slot, &mut ctx, strategy);
+        publish_redo_log(&mut slot, &mut ctx, &cfg);
         let setups = ctx.stats().mram_dma_setups - before;
-        (setups, dpu.peek_block(region, 128))
+        (setups, dpu.peek_block(region, 256))
+    }
+
+    fn publish(addrs: &[u32], strategy: WriteBackStrategy) -> (u64, Vec<u64>) {
+        publish_capped(addrs, strategy, DEFAULT_BURST_WORDS)
     }
 
     #[test]
@@ -177,11 +187,33 @@ mod tests {
 
     #[test]
     fn runs_longer_than_the_staging_buffer_are_split_not_dropped() {
-        let addrs: Vec<u32> = (0..(MAX_BURST_WORDS as u32 + 10)).collect();
+        let addrs: Vec<u32> = (0..(DEFAULT_BURST_WORDS + 10)).collect();
         let (setups, mem) = publish(&addrs, WriteBackStrategy::Coalesced);
         assert_eq!(setups, 2, "a 74-word run must split into two bounded bursts");
         for (i, _) in addrs.iter().enumerate() {
             assert_eq!(mem[i], 100 + i as u64, "word {i}");
+        }
+    }
+
+    #[test]
+    fn the_burst_cap_is_a_config_knob() {
+        let addrs: Vec<u32> = (0..32).collect();
+        // A tighter staging buffer splits the same run into more bursts...
+        let (tight, tight_mem) = publish_capped(&addrs, WriteBackStrategy::Coalesced, 8);
+        assert_eq!(tight, 4, "32 contiguous words under an 8-word cap = 4 bursts");
+        // ...a roomier one leaves a single burst — same bytes either way.
+        let (roomy, roomy_mem) = publish_capped(&addrs, WriteBackStrategy::Coalesced, 64);
+        assert_eq!(roomy, 1);
+        assert_eq!(tight_mem, roomy_mem);
+    }
+
+    #[test]
+    fn a_one_word_cap_degenerates_to_word_wise() {
+        let addrs: Vec<u32> = (0..5).collect();
+        let (setups, mem) = publish_capped(&addrs, WriteBackStrategy::Coalesced, 1);
+        assert_eq!(setups, 5);
+        for (i, word) in mem.iter().take(5).enumerate() {
+            assert_eq!(*word, 100 + i as u64);
         }
     }
 }

@@ -139,8 +139,8 @@ impl SimTxRunner {
                 match body.step(&mut self.machine.ops(ctx)) {
                     Ok(BodyStep::Continue) => {}
                     Ok(BodyStep::Done) => self.state = RunnerState::Commit,
-                    Err(_) => {
-                        self.machine.on_abort(ctx);
+                    Err(abort) => {
+                        self.machine.on_abort(ctx, abort.reason);
                         self.state = RunnerState::Begin;
                     }
                 }
@@ -151,8 +151,8 @@ impl SimTxRunner {
                     self.state = RunnerState::Begin;
                     TxStatus::Committed
                 }
-                Err(_) => {
-                    self.machine.on_abort(ctx);
+                Err(abort) => {
+                    self.machine.on_abort(ctx, abort.reason);
                     self.state = RunnerState::Begin;
                     TxStatus::InFlight
                 }
@@ -228,8 +228,8 @@ mod tests {
         {
             let mut ctx = TaskletCtx::new(&mut dpu, &mut stats1, 1, 2, 0);
             m1.begin(&mut ctx);
-            assert!(m1.write(&mut ctx, data, 3).is_err());
-            m1.on_abort(&mut ctx);
+            let abort = m1.write(&mut ctx, data, 3).unwrap_err();
+            m1.on_abort(&mut ctx, abort.reason);
         }
         assert_eq!(m0.commits(), 1);
         assert_eq!(m1.aborts(), 1);

@@ -13,7 +13,9 @@
 use pim_sim::{Dpu, DpuConfig, DpuRunReport, Scheduler};
 use pim_stm::threaded::{ThreadedDpu, DEFAULT_MRAM_WORDS, DEFAULT_WRAM_WORDS};
 use pim_stm::var::WordAccess;
-use pim_stm::{MetadataPlacement, StmConfig, StmKind, StmShared, WriteBackStrategy};
+use pim_stm::{
+    ExecProfile, MetadataPlacement, StmConfig, StmKind, StmShared, TimeDomain, WriteBackStrategy,
+};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -156,6 +158,14 @@ impl Executor {
         match self {
             Executor::Simulator => "simulator",
             Executor::Threaded => "threaded",
+        }
+    }
+
+    /// The native unit this executor's profiles measure time in.
+    pub fn time_domain(self) -> TimeDomain {
+        match self {
+            Executor::Simulator => TimeDomain::Cycles,
+            Executor::Threaded => TimeDomain::WallNanos,
         }
     }
 }
@@ -352,12 +362,15 @@ impl RunSpec {
             .expect("STM metadata must fit in the configured tier");
         let (data, programs) = self.build_programs(&mut dpu, &shared);
         let report = Scheduler::new().run(&mut dpu, programs);
+        let profiles: Vec<ExecProfile> =
+            report.tasklet_stats.iter().map(ExecProfile::from_sim).collect();
         self.finish_report(
             Executor::Simulator,
             data,
             &dpu,
             report.total_commits(),
             report.total_aborts(),
+            profiles,
             Some(report),
         )
     }
@@ -438,7 +451,15 @@ impl RunSpec {
                 (DataHandles::Labyrinth(data), report)
             }
         };
-        self.finish_report(Executor::Threaded, data, &dpu, report.commits, report.aborts, None)
+        self.finish_report(
+            Executor::Threaded,
+            data,
+            &dpu,
+            report.commits,
+            report.aborts,
+            report.profiles,
+            None,
+        )
     }
 
     /// MRAM capacity for a threaded run: the default bank, grown if the
@@ -459,6 +480,7 @@ impl RunSpec {
         DEFAULT_MRAM_WORDS.max(data + metadata + 1024)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn finish_report<M: WordAccess + ?Sized>(
         &self,
         executor: Executor,
@@ -466,6 +488,7 @@ impl RunSpec {
         mem: &M,
         commits: u64,
         aborts: u64,
+        profiles: Vec<ExecProfile>,
         sim: Option<DpuRunReport>,
     ) -> WorkloadReport {
         let fingerprint = data.fingerprint(mem);
@@ -475,6 +498,7 @@ impl RunSpec {
             executor,
             commits,
             aborts,
+            profiles,
             fingerprint,
             deterministic_final_state: self.workload.commutative(),
             invariant_violation,
@@ -620,6 +644,12 @@ pub struct WorkloadReport {
     pub commits: u64,
     /// Aborted attempts across all tasklets.
     pub aborts: u64,
+    /// One [`ExecProfile`] per tasklet (indexed by tasklet id), in the
+    /// executor's native time domain: simulator cycles or wall-clock
+    /// nanoseconds. This is the unified instrumentation schema — phase
+    /// breakdown, abort-reason histogram, DMA traffic, back-off time — that
+    /// both executors fill.
+    pub profiles: Vec<ExecProfile>,
     /// FNV-1a hash of the final committed state of the workload's shared
     /// data. For [`Workload::commutative`] workloads this is identical
     /// across executors for the same seed; for all workloads it is identical
@@ -630,7 +660,8 @@ pub struct WorkloadReport {
     /// First violated conservation invariant, if any (`None` = the committed
     /// state is consistent).
     pub invariant_violation: Option<String>,
-    /// The full cycle-level report ([`Executor::Simulator`] only).
+    /// The full cycle-level report ([`Executor::Simulator`] only) — extra
+    /// detail (makespan, atomic-register stats) beyond the unified profile.
     pub sim: Option<DpuRunReport>,
 }
 
@@ -642,6 +673,17 @@ impl WorkloadReport {
         } else {
             self.aborts as f64 / (self.commits + self.aborts) as f64
         }
+    }
+
+    /// The time domain of this run's profiles.
+    pub fn time_domain(&self) -> TimeDomain {
+        self.executor.time_domain()
+    }
+
+    /// All tasklets' profiles merged into one (an empty profile in the
+    /// executor's time domain for a zero-tasklet run).
+    pub fn merged_profile(&self) -> ExecProfile {
+        ExecProfile::merged(&self.profiles).unwrap_or_else(|| ExecProfile::new(self.time_domain()))
     }
 
     /// Committed transactions per simulated second (simulator runs only).
@@ -714,6 +756,16 @@ mod tests {
         assert!(report.commits > 0);
         report.assert_invariants();
         assert!(report.throughput_tx_per_sec().unwrap() > 0.0);
+        // The unified profile mirrors the cycle report, in the cycle domain.
+        assert_eq!(report.time_domain(), TimeDomain::Cycles);
+        assert_eq!(report.profiles.len(), 4);
+        let profile = report.merged_profile();
+        assert_eq!(profile.commits(), report.commits);
+        assert_eq!(profile.aborts(), report.aborts);
+        assert_eq!(profile.histogram_total(), report.aborts);
+        let sim = report.sim.as_ref().unwrap();
+        assert_eq!(profile.phases().total(), sim.breakdown().total());
+        assert_eq!(profile.dma_setups(), sim.total_mram_dma_setups());
     }
 
     #[test]
@@ -725,6 +777,15 @@ mod tests {
         assert!(report.sim.is_none());
         assert!(report.throughput_tx_per_sec().is_none());
         report.assert_invariants();
+        // ...and carries the same profile schema, in wall-clock nanoseconds.
+        assert_eq!(report.time_domain(), TimeDomain::WallNanos);
+        assert_eq!(report.profiles.len(), 4);
+        let profile = report.merged_profile();
+        assert_eq!(profile.time_domain, TimeDomain::WallNanos);
+        assert_eq!(profile.commits(), report.commits);
+        assert_eq!(profile.histogram_total(), report.aborts);
+        assert!(profile.total_time() > 0, "threads must accrue wall-clock time");
+        assert!(profile.dma_words() > 0, "MRAM-addressed traffic must be counted");
     }
 
     #[test]

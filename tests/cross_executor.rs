@@ -15,7 +15,7 @@
 //!   show through.
 
 use pim_stm_suite::stm::MetadataPlacement;
-use pim_stm_suite::stm::StmKind;
+use pim_stm_suite::stm::{AbortReason, StmKind, TimeDomain};
 use pim_stm_suite::workloads::spec::Executor;
 use pim_stm_suite::workloads::{RunSpec, Workload};
 
@@ -74,6 +74,64 @@ fn commutative_workloads_produce_identical_state_on_both_executors() {
                 sim.fingerprint, threaded.fingerprint,
                 "{workload}/{kind}: executors disagree on the committed state"
             );
+        }
+    }
+}
+
+#[test]
+fn deterministic_runs_agree_on_commits_and_abort_reason_totals() {
+    // Single-tasklet runs are fully deterministic on *both* executors: no
+    // concurrency means no conflicts and no application-level cancels, so
+    // the unified profiles must agree exactly on commit counts and on every
+    // abort-reason bucket — while carrying different time domains.
+    for (workload, scale) in CASES {
+        for kind in StmKind::ALL {
+            let base = RunSpec::new(workload, kind, MetadataPlacement::Mram, 1)
+                .with_scale(scale)
+                .with_seed(1234);
+            let sim = base.run_on(Executor::Simulator);
+            let threaded = base.run_on(Executor::Threaded);
+            let sim_profile = sim.merged_profile();
+            let threaded_profile = threaded.merged_profile();
+            assert_eq!(sim_profile.time_domain, TimeDomain::Cycles);
+            assert_eq!(threaded_profile.time_domain, TimeDomain::WallNanos);
+            assert_eq!(
+                sim_profile.commits(),
+                threaded_profile.commits(),
+                "{workload}/{kind}: profiles disagree on commit counts"
+            );
+            for reason in AbortReason::ALL {
+                assert_eq!(
+                    sim_profile.aborts_for(reason),
+                    threaded_profile.aborts_for(reason),
+                    "{workload}/{kind}: profiles disagree on {} aborts",
+                    reason.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn profiles_stay_internally_consistent_under_contention() {
+    // Multi-tasklet abort counts legitimately differ across executors, but
+    // each profile must stay internally consistent (histogram == aborts)
+    // and both executors must commit the same fixed amount of work.
+    for (workload, scale) in CASES {
+        for kind in [StmKind::Norec, StmKind::TinyEtlWt, StmKind::VrCtlWb] {
+            let sim = spec(workload, scale, kind).run_on(Executor::Simulator);
+            let threaded = spec(workload, scale, kind).run_on(Executor::Threaded);
+            for report in [&sim, &threaded] {
+                let profile = report.merged_profile();
+                assert_eq!(profile.commits(), report.commits, "{workload}/{kind}");
+                assert_eq!(
+                    profile.histogram_total(),
+                    report.aborts,
+                    "{workload}/{kind} on {}: unattributed aborts",
+                    report.executor
+                );
+            }
+            assert_eq!(sim.commits, threaded.commits, "{workload}/{kind}");
         }
     }
 }

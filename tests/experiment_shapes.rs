@@ -44,7 +44,7 @@ fn visible_reads_skip_validation_on_arraybench_a() {
 fn relative_ranking_flips_between_arraybench_a_and_b() {
     let sweep_a = DesignSpaceSweep::run(Workload::ArrayA, MetadataPlacement::Mram, &[8], 0.1, 42);
     let validation_share = |kind: StmKind| {
-        let b = sweep_a.point(kind, 8).expect("point was swept").breakdown;
+        let b = sweep_a.point(kind, 8).expect("point was swept").profile.phases();
         b.fraction(Phase::ValidatingExec) + b.fraction(Phase::ValidatingCommit)
     };
     // The invisible-reads designs pay for (re)validating their large read

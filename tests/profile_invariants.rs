@@ -1,0 +1,103 @@
+//! Property tests over the unified execution profile (`pim_stm::profile`):
+//! for every STM design, on **both** executors, the profile a run reports
+//! must be internally consistent — attempts decompose into commits plus
+//! aborts, the abort-reason histogram accounts for every abort (the shared
+//! retry core tags each one), and doing more work never shrinks the phase
+//! totals.
+
+use proptest::prelude::*;
+
+use pim_stm_suite::stm::{StmKind, TimeDomain};
+use pim_stm_suite::workloads::spec::Executor;
+use pim_stm_suite::workloads::{RunSpec, Workload};
+
+fn arb_kind() -> impl Strategy<Value = StmKind> {
+    prop::sample::select(StmKind::ALL.to_vec())
+}
+
+fn arb_executor() -> impl Strategy<Value = Executor> {
+    prop::sample::select(Executor::ALL.to_vec())
+}
+
+/// A small, contended ArrayBench-B cell: every design commits and most
+/// multi-tasklet runs also abort, so the histogram is exercised.
+fn spec(kind: StmKind, tasklets: usize, seed: u64) -> RunSpec {
+    RunSpec::new(kind_workload(), kind, pim_stm_suite::stm::MetadataPlacement::Mram, tasklets)
+        .with_scale(0.04)
+        .with_seed(seed)
+}
+
+fn kind_workload() -> Workload {
+    Workload::ArrayB
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// attempts = commits + aborts and the abort-reason histogram sums to
+    /// the abort count, per tasklet and in aggregate, on both executors.
+    #[test]
+    fn attempts_decompose_and_histograms_account_for_every_abort(
+        kind in arb_kind(),
+        executor in arb_executor(),
+        tasklets in 1usize..4,
+        seed in 0u64..1024,
+    ) {
+        let report = spec(kind, tasklets, seed).run_on(executor);
+        report.assert_invariants();
+        prop_assert_eq!(report.profiles.len(), tasklets);
+        let expected_domain = executor.time_domain();
+        for profile in &report.profiles {
+            prop_assert_eq!(profile.time_domain, expected_domain);
+            prop_assert_eq!(profile.attempts(), profile.commits() + profile.aborts());
+            prop_assert_eq!(
+                profile.histogram_total(),
+                profile.aborts(),
+                "{} on {}: every abort must carry its reason",
+                kind,
+                executor
+            );
+        }
+        let merged = report.merged_profile();
+        prop_assert_eq!(merged.commits(), report.commits);
+        prop_assert_eq!(merged.aborts(), report.aborts);
+        prop_assert_eq!(merged.histogram_total(), report.aborts);
+    }
+
+    /// On the deterministic executor, scaling the workload up can only grow
+    /// the phase totals (monotone in work done) — and the committed work
+    /// grows with it.
+    #[test]
+    fn phase_totals_are_monotone_in_work_done(
+        kind in arb_kind(),
+        tasklets in 1usize..4,
+        seed in 0u64..1024,
+    ) {
+        let small = spec(kind, tasklets, seed).run_on(Executor::Simulator);
+        let large = spec(kind, tasklets, seed)
+            .with_scale(0.12)
+            .run_on(Executor::Simulator);
+        let small_profile = small.merged_profile();
+        let large_profile = large.merged_profile();
+        prop_assert!(large.commits > small.commits);
+        prop_assert!(
+            large_profile.total_time() >= small_profile.total_time(),
+            "{}: tripling the work shrank the phase total ({} -> {})",
+            kind,
+            small_profile.total_time(),
+            large_profile.total_time()
+        );
+        prop_assert!(large_profile.dma_words() >= small_profile.dma_words());
+    }
+}
+
+/// The threaded executor's wall-clock domain actually accrues time: a run
+/// that commits work must report non-zero phase time in nanoseconds.
+#[test]
+fn threaded_profiles_accrue_wall_clock_time() {
+    let report = spec(StmKind::TinyEtlWb, 2, 7).run_on(Executor::Threaded);
+    let profile = report.merged_profile();
+    assert_eq!(profile.time_domain, TimeDomain::WallNanos);
+    assert!(profile.commits() > 0);
+    assert!(profile.total_time() > 0, "threads must charge wall-clock nanoseconds");
+}

@@ -55,8 +55,8 @@ impl TaskletProgram for TransferProgram {
                     self.from_balance = balance;
                     self.state = 3;
                 }
-                Err(_) => {
-                    self.tm.on_abort(ctx);
+                Err(abort) => {
+                    self.tm.on_abort(ctx, abort.reason);
                     self.state = 1;
                 }
             },
@@ -65,8 +65,8 @@ impl TaskletProgram for TransferProgram {
                     self.to_balance = balance;
                     self.state = 4;
                 }
-                Err(_) => {
-                    self.tm.on_abort(ctx);
+                Err(abort) => {
+                    self.tm.on_abort(ctx, abort.reason);
                     self.state = 1;
                 }
             },
@@ -83,16 +83,16 @@ impl TaskletProgram for TransferProgram {
                     });
                 match result {
                     Ok(()) => self.state = 5,
-                    Err(_) => {
-                        self.tm.on_abort(ctx);
+                    Err(abort) => {
+                        self.tm.on_abort(ctx, abort.reason);
                         self.state = 1;
                     }
                 }
             }
             5 => match self.tm.commit(ctx) {
                 Ok(()) => self.state = 0,
-                Err(_) => {
-                    self.tm.on_abort(ctx);
+                Err(abort) => {
+                    self.tm.on_abort(ctx, abort.reason);
                     self.state = 1;
                 }
             },
