@@ -11,7 +11,7 @@ use pim_bench::{smoke_or, BENCH_SEED};
 use pim_sim::{Dpu, DpuConfig, TaskletCtx, TaskletStats, Tier};
 use pim_stm::threaded::ThreadedDpu;
 use pim_stm::{
-    algorithm_for, run_transaction, MetadataPlacement, StmConfig, StmKind, StmShared,
+    algorithm_for, run_transaction, MetadataPlacement, ReadStrategy, StmConfig, StmKind, StmShared,
     WriteBackStrategy,
 };
 use pim_workloads::spec::Executor;
@@ -89,6 +89,37 @@ fn bench_writeback(c: &mut Criterion) {
     group.finish();
 }
 
+/// Record-read comparison: the read-dominated ArrayBench-A cell run with
+/// word-wise and batched record reads. Prints MRAM DMA setups per commit
+/// (the metric batching improves) alongside the wall-time measurements.
+fn bench_read_batching(c: &mut Criterion) {
+    let scale = if pim_bench::smoke() { 0.03 } else { pim_bench::BENCH_SCALE };
+    let mut group = c.benchmark_group("stm_primitives/read_batching");
+    group.sample_size(smoke_or(10, 2));
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for kind in [StmKind::Norec, StmKind::TinyEtlWb, StmKind::VrCtlWb] {
+        for strategy in ReadStrategy::ALL {
+            let spec = RunSpec::new(Workload::ArrayA, kind, MetadataPlacement::Mram, 4)
+                .with_scale(scale)
+                .with_seed(BENCH_SEED)
+                .with_read_strategy(strategy);
+            let report = spec.run_on(Executor::Simulator);
+            report.assert_invariants();
+            let profile = report.merged_profile();
+            println!(
+                "read {kind}/{strategy}: {:.1} MRAM DMA setups/commit, {:.1} words/commit",
+                profile.dma_setups_per_commit(),
+                profile.dma_words_per_commit(),
+            );
+            group.bench_function(format!("{kind}/{strategy}/array-a"), |b| {
+                b.iter(|| spec.run_on(Executor::Simulator).commits)
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_threaded(c: &mut Criterion) {
     let mut group = c.benchmark_group("stm_primitives/threaded");
     group.sample_size(smoke_or(10, 2));
@@ -118,5 +149,5 @@ fn bench_threaded(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulated, bench_writeback, bench_threaded);
+criterion_group!(benches, bench_simulated, bench_writeback, bench_read_batching, bench_threaded);
 criterion_main!(benches);

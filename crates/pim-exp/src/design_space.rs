@@ -10,12 +10,52 @@
 //! threaded sweeps.
 
 use pim_sim::Phase;
-use pim_stm::{AbortReason, ExecProfile, MetadataPlacement, StmKind, TimeDomain};
+use pim_stm::{AbortReason, ExecProfile, MetadataPlacement, ReadStrategy, StmKind, TimeDomain};
 use pim_workloads::spec::Executor;
 use pim_workloads::{RunSpec, Workload};
 use serde::{Deserialize, Serialize};
 
 use crate::report::{fmt_f64, render_table};
+
+/// Tuning knobs of a design-space sweep beyond the workload × design ×
+/// tasklet grid itself.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SweepOptions {
+    /// Scale factor applied to the workload size.
+    pub scale: f64,
+    /// PRNG seed.
+    pub seed: u64,
+    /// Which executor runs the sweep.
+    pub executor: Executor,
+    /// Median-of-N aggregation: run every cell `repeat` times and keep the
+    /// run with the median merged total time. `1` (the default) runs each
+    /// cell once; larger values make the noisy wall-clock cells of threaded
+    /// sweeps sturdy enough for A/B comparisons (simulator cells are
+    /// deterministic, so repeating them only re-confirms the same numbers).
+    pub repeat: usize,
+    /// How record reads move their data (A/B knob; default batched).
+    pub read_strategy: ReadStrategy,
+    /// DMA burst cap shared by coalesced write-back and batched reads.
+    pub max_burst_words: u32,
+    /// Override for ArrayBench's read-phase record grouping; `Some(1)`
+    /// restores the paper's original scattered single-entry reads. Ignored
+    /// by other workloads.
+    pub record_words: Option<u32>,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            scale: 1.0,
+            seed: 42,
+            executor: Executor::Simulator,
+            repeat: 1,
+            read_strategy: ReadStrategy::default(),
+            max_burst_words: pim_stm::config::DEFAULT_BURST_WORDS,
+            record_words: None,
+        }
+    }
+}
 
 /// One configuration: a workload run with one STM design and one tasklet
 /// count on one executor.
@@ -55,6 +95,15 @@ pub struct DesignSpaceSweep {
     pub executor: Executor,
     /// Scale factor applied to the workload size.
     pub scale: f64,
+    /// PRNG seed every cell ran under.
+    pub seed: u64,
+    /// How record reads moved their data in every cell.
+    pub read_strategy: ReadStrategy,
+    /// The DMA burst cap every cell ran under.
+    pub max_burst_words: u32,
+    /// ArrayBench record-grouping override in force (`None` = the
+    /// workload's default).
+    pub record_words: Option<u32>,
     /// All points.
     pub points: Vec<DesignSpacePoint>,
 }
@@ -119,36 +168,94 @@ impl DesignSpaceSweep {
         seed: u64,
         executor: Executor,
     ) -> Self {
+        let options = SweepOptions { scale, seed, executor, ..SweepOptions::default() };
+        Self::run_with(workload, placement, kinds, tasklet_counts, options)
+    }
+
+    /// Runs the sweep with the full option set ([`SweepOptions`]): executor
+    /// choice, median-of-N repetition and the DMA knobs (read strategy and
+    /// burst cap).
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`DesignSpaceSweep::run`] does, if `kinds` is empty, or if
+    /// `options.repeat` is zero.
+    pub fn run_with(
+        workload: Workload,
+        placement: MetadataPlacement,
+        kinds: &[StmKind],
+        tasklet_counts: &[usize],
+        options: SweepOptions,
+    ) -> Self {
         assert!(!kinds.is_empty(), "design-space sweep needs at least one STM design");
+        assert!(options.repeat >= 1, "median-of-N needs at least one run per cell");
+        let executor = options.executor;
+        // Simulator cells are deterministic — every repeat provably returns
+        // identical results — so they run (and report) once regardless.
+        let repeat = if executor == Executor::Simulator { 1 } else { options.repeat };
         let mut points = Vec::new();
         for &kind in kinds {
             for &tasklets in tasklet_counts {
                 eprintln!(
-                    "[design-space] {} {} {} {} tasklets={}",
+                    "[design-space] {} {} {} {} tasklets={}{}",
                     workload,
                     placement.name(),
                     executor.name(),
                     kind.name(),
-                    tasklets
-                );
-                let report = RunSpec::new(workload, kind, placement, tasklets)
-                    .with_scale(scale)
-                    .with_seed(seed)
-                    .run_on(executor);
-                report.assert_invariants();
-                points.push(DesignSpacePoint {
-                    kind,
                     tasklets,
-                    throughput_tx_per_sec: report.throughput_tx_per_sec(),
-                    abort_rate: report.abort_rate(),
-                    commits: report.commits,
-                    aborts: report.aborts,
-                    profile: report.merged_profile(),
-                    makespan_seconds: report.sim.as_ref().map(|s| s.makespan_seconds()),
-                });
+                    if repeat > 1 { format!(" (median of {repeat})") } else { String::new() }
+                );
+                let mut spec = RunSpec::new(workload, kind, placement, tasklets)
+                    .with_scale(options.scale)
+                    .with_seed(options.seed)
+                    .with_read_strategy(options.read_strategy)
+                    .with_max_burst_words(options.max_burst_words);
+                if let Some(words) = options.record_words {
+                    spec = spec.with_record_words(words);
+                }
+                points.push(Self::run_cell(&spec, executor, repeat));
             }
         }
-        DesignSpaceSweep { workload, placement, executor, scale, points }
+        DesignSpaceSweep {
+            workload,
+            placement,
+            executor,
+            scale: options.scale,
+            seed: options.seed,
+            read_strategy: options.read_strategy,
+            max_burst_words: options.max_burst_words,
+            record_words: options.record_words,
+            points,
+        }
+    }
+
+    /// Runs one cell `repeat` times (already clamped to 1 for deterministic
+    /// simulator cells by the caller) and keeps the run with the median
+    /// merged total time (commit/abort counts and the whole profile come
+    /// from that run, so the point stays internally consistent).
+    fn run_cell(spec: &RunSpec, executor: Executor, repeat: usize) -> DesignSpacePoint {
+        let mut reports: Vec<_> = (0..repeat)
+            .map(|_| {
+                let report = spec.run_on(executor);
+                report.assert_invariants();
+                report
+            })
+            .collect();
+        reports.sort_by_cached_key(|r| r.merged_profile().total_time());
+        // Lower median: for an even repeat count this keeps the *faster*
+        // middle run rather than degenerating to worst-of-N (repeat = 2
+        // would otherwise always keep the slower run).
+        let report = reports.swap_remove((reports.len() - 1) / 2);
+        DesignSpacePoint {
+            kind: spec.kind,
+            tasklets: spec.tasklets,
+            throughput_tx_per_sec: report.throughput_tx_per_sec(),
+            abort_rate: report.abort_rate(),
+            commits: report.commits,
+            aborts: report.aborts,
+            profile: report.merged_profile(),
+            makespan_seconds: report.sim.as_ref().map(|s| s.makespan_seconds()),
+        }
     }
 
     /// The point for a specific design and tasklet count, if it was swept.
@@ -288,8 +395,9 @@ impl DesignSpaceSweep {
     }
 
     /// Renders the profile summary (at the largest swept tasklet count):
-    /// attempts, memory movement and back-off/lock-wait time, in the
-    /// executor's native unit.
+    /// attempts, memory movement — absolute and per commit, the
+    /// DMA-efficiency metric the burst knobs move — and back-off/lock-wait
+    /// time, in the executor's native unit.
     pub fn profile_table(&self) -> String {
         let unit = self.time_domain().unit();
         let header = vec![
@@ -299,6 +407,8 @@ impl DesignSpaceSweep {
             "aborts".to_string(),
             "DMA setups".to_string(),
             "DMA words".to_string(),
+            "setups/commit".to_string(),
+            "words/commit".to_string(),
             format!("backoff ({unit})"),
             format!("total ({unit})"),
         ];
@@ -314,9 +424,156 @@ impl DesignSpaceSweep {
                     p.aborts().to_string(),
                     p.dma_setups().to_string(),
                     p.dma_words().to_string(),
+                    fmt_f64(p.dma_setups_per_commit()),
+                    fmt_f64(p.dma_words_per_commit()),
                     p.backoff_time().to_string(),
                     p.total_time().to_string(),
                 ]
+            })
+            .collect::<Vec<_>>();
+        render_table(&header, &rows)
+    }
+}
+
+/// The `--burst-words` study: the same cell run under a ladder of DMA
+/// burst caps, reporting MRAM DMA setups per commit for each cap. This
+/// ties the Fig. 9/10 WRAM/staging-pressure discussion to the
+/// [`pim_stm::StmConfig::max_burst_words`] knob — a tight cap splits the
+/// batched-read and coalesced-write-back bursts into more transfers, a
+/// roomy one amortises more setups, and the words moved stay constant.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BurstSweep {
+    /// The workload that was run.
+    pub workload: Workload,
+    /// Where the STM metadata lived.
+    pub placement: MetadataPlacement,
+    /// Which executor ran the cells.
+    pub executor: Executor,
+    /// Tasklet count of every cell.
+    pub tasklets: usize,
+    /// The burst caps swept, in the order they were run.
+    pub caps: Vec<u32>,
+    /// One full design-space sweep per cap (same order as `caps`), so the
+    /// per-cap cells can be dumped or inspected like any other sweep.
+    pub sweeps: Vec<DesignSpaceSweep>,
+}
+
+impl BurstSweep {
+    /// Runs `kinds` × `caps` at one tasklet count; everything else
+    /// (executor, repeat, read strategy) comes from `options` —
+    /// `options.max_burst_words` is overridden by each cap in turn. When a
+    /// cap matches a `base` sweep that already ran the same cells (same
+    /// knobs, same kinds, same tasklet count), those cells are reused
+    /// instead of re-run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kinds` or `caps` is empty, or as
+    /// [`DesignSpaceSweep::run_with`] does.
+    pub fn run(
+        workload: Workload,
+        placement: MetadataPlacement,
+        kinds: &[StmKind],
+        tasklets: usize,
+        caps: &[u32],
+        options: SweepOptions,
+        base: Option<&DesignSpaceSweep>,
+    ) -> Self {
+        assert!(!caps.is_empty(), "the burst-cap sweep needs at least one cap");
+        let sweeps = caps
+            .iter()
+            .map(|&cap| {
+                if let Some(reused) = base.and_then(|b| {
+                    Self::reuse_base(b, workload, placement, kinds, tasklets, cap, options)
+                }) {
+                    return reused;
+                }
+                DesignSpaceSweep::run_with(
+                    workload,
+                    placement,
+                    kinds,
+                    &[tasklets],
+                    SweepOptions { max_burst_words: cap, ..options },
+                )
+            })
+            .collect();
+        BurstSweep {
+            workload,
+            placement,
+            executor: options.executor,
+            tasklets,
+            caps: caps.to_vec(),
+            sweeps,
+        }
+    }
+
+    /// The single-tasklet-count sub-sweep of `base` for `cap`, if `base`
+    /// ran exactly these cells under the same knobs.
+    fn reuse_base(
+        base: &DesignSpaceSweep,
+        workload: Workload,
+        placement: MetadataPlacement,
+        kinds: &[StmKind],
+        tasklets: usize,
+        cap: u32,
+        options: SweepOptions,
+    ) -> Option<DesignSpaceSweep> {
+        let matches = base.workload == workload
+            && base.placement == placement
+            && base.executor == options.executor
+            && base.scale == options.scale
+            && base.seed == options.seed
+            && base.read_strategy == options.read_strategy
+            && base.record_words == options.record_words
+            && base.max_burst_words == cap
+            && kinds.iter().all(|&kind| base.point(kind, tasklets).is_some());
+        if !matches {
+            return None;
+        }
+        let mut sub = base.clone();
+        sub.points.retain(|p| p.tasklets == tasklets && kinds.contains(&p.kind));
+        Some(sub)
+    }
+
+    /// The merged profile of one design under each cap, in cap order.
+    fn profiles_for(&self, kind: StmKind) -> Vec<&ExecProfile> {
+        self.sweeps
+            .iter()
+            .map(|sweep| &sweep.point(kind, self.tasklets).expect("cell was swept").profile)
+            .collect()
+    }
+
+    /// Renders MRAM DMA setups per commit under each cap, plus the words
+    /// moved per commit for context. Words are usually cap-invariant (the
+    /// same data moves either way), but contention can perturb them (extra
+    /// re-issued bursts, word-wise fallbacks), so the column shows the
+    /// range across caps whenever they diverge.
+    pub fn table(&self) -> String {
+        let mut header = vec![format!(
+            "{} DMA setups/commit @{} tasklets ({}, {})",
+            self.workload,
+            self.tasklets,
+            self.placement.name(),
+            self.executor
+        )];
+        header.extend(self.caps.iter().map(|cap| format!("cap {cap}")));
+        header.push("words/commit".to_string());
+        let kinds = self.sweeps.first().map(DesignSpaceSweep::swept_kinds).unwrap_or_default();
+        let rows = kinds
+            .into_iter()
+            .map(|kind| {
+                let profiles = self.profiles_for(kind);
+                let mut row = vec![kind.name().to_string()];
+                row.extend(profiles.iter().map(|p| fmt_f64(p.dma_setups_per_commit())));
+                let words: Vec<f64> = profiles.iter().map(|p| p.dma_words_per_commit()).collect();
+                let lo = words.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = words.iter().copied().fold(0.0, f64::max);
+                row.push(if fmt_f64(lo) == fmt_f64(hi) {
+                    fmt_f64(hi)
+                } else {
+                    format!("{}..{}", fmt_f64(lo), fmt_f64(hi))
+                });
+                row
             })
             .collect::<Vec<_>>();
         render_table(&header, &rows)

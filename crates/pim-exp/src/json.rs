@@ -1,0 +1,427 @@
+//! Minimal JSON emission and validation for `pim-exp --json-out`.
+//!
+//! The workspace's `serde` is an offline no-op stub (see `vendor/README.md`),
+//! so profile dumps are serialised by hand: [`Json`] is a tiny value model
+//! with a spec-compliant writer (string escaping, `null` for non-finite
+//! floats) and [`parse`] is a strict recursive-descent reader used by the CI
+//! smoke test to prove the emitted files parse. Once the real serde lands,
+//! this module shrinks to a `serde_json` call.
+//!
+//! [`crate::design_space::DesignSpaceSweep`] dumps through
+//! [`sweeps_to_json`]: one object per swept cell carrying the run
+//! coordinates (workload, design, placement, executor, tasklets) and the
+//! full [`pim_stm::ExecProfile`] — counts, abort histogram, per-phase times
+//! in the executor-native unit, DMA traffic and the per-commit efficiency
+//! metrics — so external plotting needs no re-run.
+
+use pim_sim::Phase;
+use pim_stm::AbortReason;
+
+use crate::design_space::DesignSpaceSweep;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer, emitted exactly (no f64 rounding, so 64-bit
+    /// seeds and counters survive the dump bit-for-bit).
+    UInt(u64),
+    /// A number (emitted as `null` when not finite).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Shorthand for an unsigned counter or identifier (exact at full
+    /// 64-bit precision).
+    pub fn u64(value: u64) -> Json {
+        Json::UInt(value)
+    }
+
+    /// Shorthand for a string value.
+    pub fn str(value: impl Into<String>) -> Json {
+        Json::Str(value.into())
+    }
+
+    /// Looks up a key in an object; `None` for non-objects/missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(n) => out.push_str(&format!("{n}")),
+            Json::Num(n) if n.is_finite() => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            // JSON has no NaN/Infinity literal.
+            Json::Num(_) => out.push_str("null"),
+            Json::Str(s) => write_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Serialises the value as compact JSON (the `ToString` surface).
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document, rejecting trailing garbage.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the byte offset of the first
+/// syntax error.
+pub fn parse(input: &str) -> Result<Json, String> {
+    let mut parser = Parser { bytes: input.as_bytes(), pos: 0 };
+    parser.skip_ws();
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing characters at byte {}", parser.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", byte as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.bytes.get(self.pos) {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected character at byte {}", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so byte
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let c = s.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number {text:?} at byte {start}: {e}"))
+    }
+}
+
+/// Serialises every cell of `sweeps` as one flat JSON array of per-cell
+/// objects (see the [module documentation](self) for the schema).
+pub fn sweeps_to_json(sweeps: &[DesignSpaceSweep]) -> Json {
+    let mut cells = Vec::new();
+    for sweep in sweeps {
+        for point in &sweep.points {
+            let p = &point.profile;
+            let phases = Json::Obj(
+                Phase::ALL
+                    .iter()
+                    .map(|&ph| (ph.label().to_string(), Json::u64(p.phase(ph))))
+                    .collect(),
+            );
+            let aborts_by_reason = Json::Obj(
+                AbortReason::ALL
+                    .iter()
+                    .map(|&r| (r.label().to_string(), Json::u64(p.aborts_for(r))))
+                    .collect(),
+            );
+            cells.push(Json::Obj(vec![
+                ("workload".into(), Json::str(sweep.workload.name())),
+                ("placement".into(), Json::str(sweep.placement.name())),
+                ("executor".into(), Json::str(sweep.executor.name())),
+                ("stm".into(), Json::str(point.kind.name())),
+                ("tasklets".into(), Json::u64(point.tasklets as u64)),
+                ("scale".into(), Json::Num(sweep.scale)),
+                ("seed".into(), Json::u64(sweep.seed)),
+                ("read_strategy".into(), Json::str(sweep.read_strategy.name())),
+                ("max_burst_words".into(), Json::u64(u64::from(sweep.max_burst_words))),
+                (
+                    "record_words".into(),
+                    sweep.record_words.map_or(Json::Null, |w| Json::u64(u64::from(w))),
+                ),
+                ("time_unit".into(), Json::str(p.time_domain.unit())),
+                ("commits".into(), Json::u64(point.commits)),
+                ("aborts".into(), Json::u64(point.aborts)),
+                ("abort_rate".into(), Json::Num(point.abort_rate)),
+                (
+                    "throughput_tx_per_sec".into(),
+                    point.throughput_tx_per_sec.map_or(Json::Null, Json::Num),
+                ),
+                ("makespan_seconds".into(), point.makespan_seconds.map_or(Json::Null, Json::Num)),
+                ("dma_setups".into(), Json::u64(p.dma_setups())),
+                ("dma_words".into(), Json::u64(p.dma_words())),
+                ("dma_setups_per_commit".into(), Json::Num(p.dma_setups_per_commit())),
+                ("dma_words_per_commit".into(), Json::Num(p.dma_words_per_commit())),
+                ("dma_bytes_per_commit".into(), Json::Num(p.dma_bytes_per_commit())),
+                ("backoff_time".into(), Json::u64(p.backoff_time())),
+                ("total_time".into(), Json::u64(p.total_time())),
+                ("phases".into(), phases),
+                ("aborts_by_reason".into(), aborts_by_reason),
+            ]));
+        }
+    }
+    Json::Arr(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_roundtrip_through_the_parser() {
+        let doc = Json::Obj(vec![
+            ("name".into(), Json::str("Tiny \"ETLWB\"\n")),
+            ("count".into(), Json::u64(42)),
+            ("rate".into(), Json::Num(0.125)),
+            ("nan".into(), Json::Num(f64::NAN)),
+            ("flags".into(), Json::Arr(vec![Json::Bool(true), Json::Null])),
+            ("empty".into(), Json::Obj(vec![])),
+        ]);
+        let text = doc.to_string();
+        let parsed = parse(&text).expect("writer output must parse");
+        assert_eq!(parsed.get("count"), Some(&Json::Num(42.0)));
+        assert_eq!(parsed.get("rate"), Some(&Json::Num(0.125)));
+        // Non-finite numbers are emitted as null.
+        assert_eq!(parsed.get("nan"), Some(&Json::Null));
+        assert_eq!(parsed.get("name"), Some(&Json::Str("Tiny \"ETLWB\"\n".into())));
+    }
+
+    #[test]
+    fn u64_values_are_emitted_exactly() {
+        // 2^53 + 1 is the first integer an f64 cannot represent; a seed
+        // dumped through a float would come back as its rounded neighbour.
+        let big = (1u64 << 53) + 1;
+        assert_eq!(Json::u64(big).to_string(), "9007199254740993");
+        assert_eq!(Json::u64(u64::MAX).to_string(), u64::MAX.to_string());
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "[1] trailing", "nul", "\"open"] {
+            assert!(parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn sweep_dumps_parse_and_carry_the_efficiency_metrics() {
+        use pim_stm::{MetadataPlacement, StmKind};
+        use pim_workloads::Workload;
+        let sweep = DesignSpaceSweep::run_kinds(
+            Workload::ArrayB,
+            MetadataPlacement::Mram,
+            &[StmKind::Norec],
+            &[2],
+            0.05,
+            9,
+        );
+        let json = sweeps_to_json(std::slice::from_ref(&sweep));
+        let parsed = parse(&json.to_string()).expect("sweep dump must parse");
+        let Json::Arr(cells) = parsed else { panic!("dump must be an array") };
+        assert_eq!(cells.len(), 1);
+        let cell = &cells[0];
+        assert_eq!(cell.get("workload"), Some(&Json::Str("array-b".into())));
+        assert_eq!(cell.get("stm"), Some(&Json::Str("NOrec".into())));
+        assert_eq!(cell.get("time_unit"), Some(&Json::Str("cyc".into())));
+        assert_eq!(cell.get("seed"), Some(&Json::Num(9.0)));
+        assert_eq!(cell.get("record_words"), Some(&Json::Null));
+        assert!(matches!(cell.get("dma_setups_per_commit"), Some(Json::Num(n)) if *n > 0.0));
+        assert!(cell.get("phases").and_then(|p| p.get("Reading")).is_some());
+        assert!(cell.get("aborts_by_reason").is_some());
+    }
+}

@@ -20,12 +20,13 @@
 #![warn(missing_docs)]
 
 pub mod design_space;
+pub mod json;
 pub mod latency;
 pub mod multi_dpu;
 pub mod peak;
 pub mod report;
 
-pub use design_space::{DesignSpacePoint, DesignSpaceSweep};
+pub use design_space::{BurstSweep, DesignSpacePoint, DesignSpaceSweep, SweepOptions};
 pub use latency::LatencyComparison;
 pub use multi_dpu::{MultiDpuBenchmark, MultiDpuStudy, SpeedupPoint};
 pub use peak::PeakDistribution;

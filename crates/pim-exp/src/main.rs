@@ -18,11 +18,12 @@
 //! figure regenerates in minutes; use `--scale 1.0` for the paper-sized
 //! runs.
 
-use pim_exp::design_space::DesignSpaceSweep;
+use pim_exp::design_space::{BurstSweep, DesignSpaceSweep, SweepOptions};
+use pim_exp::json::sweeps_to_json;
 use pim_exp::latency::LatencyComparison;
 use pim_exp::multi_dpu::{figure8_table, MultiDpuBenchmark, MultiDpuStudy};
 use pim_exp::peak::PeakDistribution;
-use pim_stm::{MetadataPlacement, StmKind};
+use pim_stm::{MetadataPlacement, ReadStrategy, StmKind};
 use pim_workloads::spec::Executor;
 use pim_workloads::Workload;
 use std::process::ExitCode;
@@ -38,6 +39,11 @@ struct Options {
     dpus: Vec<usize>,
     scale: f64,
     seed: u64,
+    repeat: usize,
+    read_strategy: ReadStrategy,
+    record_words: Option<u32>,
+    burst_words: Option<Vec<u32>>,
+    json_out: Option<String>,
 }
 
 impl Default for Options {
@@ -52,6 +58,26 @@ impl Default for Options {
             dpus: vec![1, 250, 500, 1000, 1500, 2000, 2500],
             scale: 0.25,
             seed: 42,
+            repeat: 1,
+            read_strategy: ReadStrategy::default(),
+            record_words: None,
+            burst_words: None,
+            json_out: None,
+        }
+    }
+}
+
+impl Options {
+    /// The sweep knobs shared by every design-space run of this invocation.
+    fn sweep_options(&self, executor: Executor) -> SweepOptions {
+        SweepOptions {
+            scale: self.scale,
+            seed: self.seed,
+            executor,
+            repeat: self.repeat,
+            read_strategy: self.read_strategy,
+            record_words: self.record_words,
+            ..SweepOptions::default()
         }
     }
 }
@@ -65,12 +91,13 @@ fn parse_executors(value: &str) -> Result<Vec<Executor>, String> {
     }
 }
 
-fn parse_list(value: &str) -> Result<Vec<usize>, String> {
+fn parse_list<T: std::str::FromStr>(value: &str) -> Result<Vec<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
     value
         .split(',')
-        .map(|part| {
-            part.trim().parse::<usize>().map_err(|e| format!("bad list entry {part:?}: {e}"))
-        })
+        .map(|part| part.trim().parse::<T>().map_err(|e| format!("bad list entry {part:?}: {e}")))
         .collect()
 }
 
@@ -109,6 +136,55 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--seed" => {
                 options.seed = value()?.parse().map_err(|e| format!("bad --seed value: {e}"))?
             }
+            "--repeat" => {
+                options.repeat =
+                    value()?.parse().map_err(|e| format!("bad --repeat value: {e}"))?;
+                if options.repeat == 0 {
+                    return Err("--repeat needs at least one run per cell".to_string());
+                }
+            }
+            "--read-strategy" => {
+                let name = value()?;
+                options.read_strategy = ReadStrategy::parse(&name).ok_or_else(|| {
+                    format!("unknown read strategy {name} (expected word-wise|batched)")
+                })?;
+            }
+            "--record-words" => {
+                let words =
+                    value()?.parse().map_err(|e| format!("bad --record-words value: {e}"))?;
+                if words == 0 {
+                    return Err("--record-words needs at least one word per record".to_string());
+                }
+                // The flag only affects ArrayBench, whose read budget is a
+                // compile-time constant — validate here so an out-of-range
+                // value fails as a usage error, not a mid-sweep panic.
+                let limit = pim_workloads::array_bench::ArrayBenchConfig::workload_a().reads_per_tx;
+                if words > limit {
+                    return Err(format!(
+                        "--record-words {words} exceeds ArrayBench's read budget of {limit} \
+                         entries per transaction (records must tile the read phase)"
+                    ));
+                }
+                options.record_words = Some(words);
+            }
+            "--burst-words" => {
+                let caps: Vec<u32> = parse_list(&value()?)?;
+                if caps.is_empty() {
+                    return Err("--burst-words needs at least one cap".to_string());
+                }
+                if caps.contains(&0) {
+                    return Err("--burst-words caps must be at least one word".to_string());
+                }
+                let limit = pim_stm::config::HARDWARE_MAX_BURST_WORDS;
+                if let Some(&bad) = caps.iter().find(|&&cap| cap > limit) {
+                    return Err(format!(
+                        "--burst-words cap {bad} exceeds the hardware DMA transfer limit \
+                         of {limit} words"
+                    ));
+                }
+                options.burst_words = Some(caps);
+            }
+            "--json-out" => options.json_out = Some(value()?),
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument {other}\n{}", usage())),
         }
@@ -119,31 +195,43 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 fn usage() -> String {
     "usage: pim-exp [--figure fig4|fig5|fig6|fig7|fig8|fig9|fig10|latency]\n\
      \x20              [--workload <name>] [--stm <kind>] [--tier wram|mram]\n\
-     \x20              [--executor simulator|threaded|both]\n\
+     \x20              [--executor simulator|threaded|both] [--repeat <n>]\n\
+     \x20              [--read-strategy word-wise|batched] [--record-words <n>]\n\
+     \x20              [--burst-words 8,16,64,...] [--json-out <path>]\n\
      \x20              [--tasklets 1,3,5,...] [--dpus 1,500,...]\n\
      \x20              [--scale <f>] [--seed <n>]\n\
      \x20 A --workload/--stm pair reruns a single cell of the design-space\n\
      \x20 grid (e.g. --workload array-b --stm norec --tasklets 4);\n\
      \x20 --executor threaded|both pipes the same profile tables (phase\n\
-     \x20 breakdown, abort reasons) through the threaded executor."
+     \x20 breakdown, abort reasons) through the threaded executor, and\n\
+     \x20 --repeat N keeps the median-of-N run per cell (for noisy\n\
+     \x20 wall-clock cells). --burst-words sweeps the DMA burst cap and\n\
+     \x20 reports MRAM DMA setups per commit under each cap; --json-out\n\
+     \x20 dumps every swept cell's execution profile as JSON.\n\
+     \x20 --record-words overrides ArrayBench's read-phase record grouping\n\
+     \x20 (1 = the paper's original scattered single-entry reads; other\n\
+     \x20 workloads ignore it)."
         .to_string()
 }
 
-fn print_sweep(workload: Workload, placement: MetadataPlacement, options: &Options) {
+fn print_sweep(
+    workload: Workload,
+    placement: MetadataPlacement,
+    options: &Options,
+    collected: &mut Vec<DesignSpaceSweep>,
+) {
     let kinds = match options.stm {
         Some(kind) => vec![kind],
         None => pim_stm::StmKind::ALL.to_vec(),
     };
     for &executor in &options.executors {
         println!("== {workload} ({} metadata, {}, {executor}) ==", placement, workload.figure());
-        let sweep = DesignSpaceSweep::run_kinds_on(
+        let sweep = DesignSpaceSweep::run_with(
             workload,
             placement,
             &kinds,
             &options.tasklets,
-            options.scale,
-            options.seed,
-            executor,
+            options.sweep_options(executor),
         );
         if executor == Executor::Simulator {
             println!("{}", sweep.throughput_table());
@@ -152,50 +240,100 @@ fn print_sweep(workload: Workload, placement: MetadataPlacement, options: &Optio
         println!("{}", sweep.breakdown_table());
         println!("{}", sweep.abort_reason_table());
         println!("{}", sweep.profile_table());
+        if let Some(caps) = &options.burst_words {
+            let tasklets = sweep.points.iter().map(|p| p.tasklets).max().unwrap_or(1);
+            let burst = BurstSweep::run(
+                workload,
+                placement,
+                &kinds,
+                tasklets,
+                caps,
+                options.sweep_options(executor),
+                // A cap equal to the base sweep's reuses its cells instead
+                // of re-running them.
+                Some(&sweep),
+            );
+            println!("{}", burst.table());
+            // The per-cap cells are full sweeps; --json-out dumps them too —
+            // except a cap equal to the base sweep's, whose cells would be
+            // indistinguishable duplicates of rows the base sweep already
+            // contributes.
+            collected.extend(
+                burst.sweeps.into_iter().filter(|s| s.max_burst_words != sweep.max_burst_words),
+            );
+        }
+        collected.push(sweep);
     }
 }
 
-fn run_figure(figure: &str, options: &Options) -> Result<(), String> {
-    // Only the per-design sweep figures can honour a design filter; error
-    // out instead of silently running all seven designs.
-    if options.stm.is_some() && !matches!(figure, "fig4" | "fig5" | "fig9" | "fig10") {
+/// Writes every swept cell's profile as JSON to `path`.
+fn write_json(path: &str, sweeps: &[DesignSpaceSweep]) -> Result<(), String> {
+    let json = sweeps_to_json(sweeps).to_string();
+    std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!(
+        "[json-out] wrote {} cell profile(s) to {path}",
+        sweeps.iter().map(|s| s.points.len()).sum::<usize>()
+    );
+    Ok(())
+}
+
+fn run_figure(
+    figure: &str,
+    options: &Options,
+    collected: &mut Vec<DesignSpaceSweep>,
+) -> Result<(), String> {
+    let is_sweep_figure = matches!(figure, "fig4" | "fig5" | "fig9" | "fig10");
+    // Only the per-design sweep figures can honour the sweep-level flags;
+    // error out instead of silently ignoring them.
+    if options.stm.is_some() && !is_sweep_figure {
         return Err(format!(
             "--stm applies to the design-space sweeps (fig4/fig5/fig9/fig10 or --workload), \
              not to {figure}"
         ));
     }
-    // Likewise, only the sweeps can run on the threaded executor.
-    if options.executors != [Executor::Simulator]
-        && !matches!(figure, "fig4" | "fig5" | "fig9" | "fig10")
-    {
+    if options.executors != [Executor::Simulator] && !is_sweep_figure {
         return Err(format!(
             "--executor applies to the design-space sweeps (fig4/fig5/fig9/fig10 or \
              --workload), not to {figure}"
         ));
     }
+    for (flag, set) in [
+        ("--burst-words", options.burst_words.is_some()),
+        ("--json-out", options.json_out.is_some()),
+        ("--repeat", options.repeat > 1),
+        ("--read-strategy", options.read_strategy != ReadStrategy::default()),
+        ("--record-words", options.record_words.is_some()),
+    ] {
+        if set && !is_sweep_figure {
+            return Err(format!(
+                "{flag} applies to the design-space sweeps (fig4/fig5/fig9/fig10 or \
+                 --workload), not to {figure}"
+            ));
+        }
+    }
     match figure {
         "fig4" => {
             for workload in [Workload::ArrayA, Workload::ArrayB, Workload::ListLc, Workload::ListHc]
             {
-                print_sweep(workload, MetadataPlacement::Mram, options);
+                print_sweep(workload, MetadataPlacement::Mram, options, collected);
             }
         }
         "fig5" => {
             for workload in
                 [Workload::KmeansLc, Workload::KmeansHc, Workload::LabyrinthS, Workload::LabyrinthL]
             {
-                print_sweep(workload, MetadataPlacement::Mram, options);
+                print_sweep(workload, MetadataPlacement::Mram, options, collected);
             }
         }
         "fig9" => {
             for workload in [Workload::ArrayA, Workload::ArrayB, Workload::ListLc, Workload::ListHc]
             {
-                print_sweep(workload, MetadataPlacement::Wram, options);
+                print_sweep(workload, MetadataPlacement::Wram, options, collected);
             }
         }
         "fig10" => {
             for workload in [Workload::KmeansLc, Workload::KmeansHc] {
-                print_sweep(workload, MetadataPlacement::Wram, options);
+                print_sweep(workload, MetadataPlacement::Wram, options, collected);
             }
         }
         "fig6" => {
@@ -251,14 +389,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let mut collected = Vec::new();
     let result = if let Some(figure) = &options.figure {
-        run_figure(figure, &options)
+        run_figure(figure, &options, &mut collected)
     } else if let Some(workload) = options.workload {
-        print_sweep(workload, options.placement, &options);
+        print_sweep(workload, options.placement, &options, &mut collected);
         Ok(())
     } else {
         Err(usage())
     };
+    let result = result.and_then(|()| match &options.json_out {
+        Some(path) if !collected.is_empty() => write_json(path, &collected),
+        _ => Ok(()),
+    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
@@ -324,7 +467,56 @@ mod tests {
     #[test]
     fn unknown_figures_are_rejected() {
         let options = Options::default();
-        assert!(run_figure("fig99", &options).is_err());
+        assert!(run_figure("fig99", &options, &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn sweep_only_flags_parse_and_are_rejected_elsewhere() {
+        let args: Vec<String> = [
+            "--workload",
+            "array-a",
+            "--burst-words",
+            "8,16,64",
+            "--json-out",
+            "/tmp/cells.json",
+            "--repeat",
+            "3",
+            "--read-strategy",
+            "word-wise",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let options = parse_args(&args).unwrap();
+        assert_eq!(options.burst_words, Some(vec![8, 16, 64]));
+        assert_eq!(options.json_out.as_deref(), Some("/tmp/cells.json"));
+        assert_eq!(options.repeat, 3);
+        assert_eq!(options.read_strategy, ReadStrategy::WordWise);
+        // Zero repeats, zero-word caps/records and bad lists are rejected
+        // at parse time (a zero cap would otherwise panic deep inside
+        // StmConfig).
+        assert!(parse_args(&["--repeat".into(), "0".into()]).is_err());
+        assert!(parse_args(&["--burst-words".into(), "8,x".into()]).is_err());
+        assert!(parse_args(&["--burst-words".into(), "8,0".into()]).is_err());
+        assert!(parse_args(&["--burst-words".into(), "8,500".into()]).is_err());
+        assert!(parse_args(&["--record-words".into(), "0".into()]).is_err());
+        assert!(parse_args(&["--record-words".into(), "150".into()]).is_err());
+        assert!(parse_args(&["--read-strategy".into(), "bogus".into()]).is_err());
+        assert_eq!(
+            parse_args(&["--record-words".into(), "1".into()]).unwrap().record_words,
+            Some(1)
+        );
+        // The flags only make sense for design-space sweeps.
+        for (figure, options) in [
+            ("fig6", Options { burst_words: Some(vec![8]), ..Options::default() }),
+            ("fig7", Options { json_out: Some("x.json".into()), ..Options::default() }),
+            ("latency", Options { repeat: 5, ..Options::default() }),
+            ("fig8", Options { read_strategy: ReadStrategy::WordWise, ..Options::default() }),
+            ("fig6", Options { record_words: Some(1), ..Options::default() }),
+        ] {
+            let err = run_figure(figure, &options, &mut Vec::new()).unwrap_err();
+            assert!(err.contains("design-space sweeps"), "{figure}: {err}");
+        }
     }
 
     #[test]
@@ -343,7 +535,7 @@ mod tests {
     fn executor_filter_is_rejected_for_figures_that_cannot_honour_it() {
         let options = Options { executors: vec![Executor::Threaded], ..Options::default() };
         for figure in ["fig6", "fig7", "fig8", "latency"] {
-            let err = run_figure(figure, &options).unwrap_err();
+            let err = run_figure(figure, &options, &mut Vec::new()).unwrap_err();
             assert!(err.contains("--executor"), "{figure}: {err}");
         }
     }
@@ -352,7 +544,7 @@ mod tests {
     fn stm_filter_is_rejected_for_figures_that_cannot_honour_it() {
         let options = Options { stm: Some(StmKind::Norec), ..Options::default() };
         for figure in ["fig6", "fig7", "fig8", "latency"] {
-            let err = run_figure(figure, &options).unwrap_err();
+            let err = run_figure(figure, &options, &mut Vec::new()).unwrap_err();
             assert!(err.contains("--stm"), "{figure}: {err}");
         }
     }

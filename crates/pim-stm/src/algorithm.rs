@@ -86,10 +86,14 @@ pub trait TmAlgorithm: Send + Sync {
 
     /// Transactional read of `out.len()` consecutive words.
     ///
-    /// The default implementation runs the full per-word read protocol, which
-    /// is sound for every design; designs whose validation can bracket a bulk
-    /// transfer override it to fetch the record as **one MRAM DMA burst**
-    /// (see [`crate::norec::Norec`]).
+    /// The default implementation runs the full per-word read protocol
+    /// ([`crate::access::read_record_word_wise`]), which is sound for every
+    /// design. All seven built-in designs override it with the shared
+    /// record-access layer ([`crate::access`]), which honours
+    /// [`crate::StmConfig::read_strategy`]: under
+    /// [`crate::ReadStrategy::Batched`] the record's data moves as **one
+    /// MRAM DMA burst per contiguous run** while the per-word metadata
+    /// protocol still runs against the staged words.
     ///
     /// # Errors
     ///

@@ -129,6 +129,58 @@ impl fmt::Display for WriteBackStrategy {
     }
 }
 
+/// How transactional record reads ([`crate::TmAlgorithm::read_record`])
+/// move their data.
+///
+/// The metadata protocol is identical under both strategies — every word's
+/// ownership record / lock / sequence-lock check still runs — the knob only
+/// selects whether the *data* crosses the MRAM port word by word (one DMA
+/// setup per word) or as one [`crate::Platform::load_block`] burst per
+/// contiguous run (one setup per run, bounded by
+/// [`StmConfig::max_burst_words`]). See [`crate::access`] for the soundness
+/// argument and the per-design fallback rules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReadStrategy {
+    /// One data access per record word, in record order (the original
+    /// PIM-STM behaviour; kept as the comparison baseline).
+    WordWise,
+    /// Burst-load each contiguous run of record words, then run the
+    /// per-word metadata checks against the staged words, falling back to
+    /// the word-wise path for words whose metadata moved under the burst.
+    #[default]
+    Batched,
+}
+
+impl ReadStrategy {
+    /// Both strategies, for sweeps and A/B tests.
+    pub const ALL: [ReadStrategy; 2] = [ReadStrategy::WordWise, ReadStrategy::Batched];
+
+    /// Short lowercase name used in reports and by the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReadStrategy::WordWise => "word-wise",
+            ReadStrategy::Batched => "batched",
+        }
+    }
+
+    /// Parses the CLI form (`word-wise`/`wordwise` or `batched`).
+    pub fn parse(name: &str) -> Option<ReadStrategy> {
+        let canon: String =
+            name.to_ascii_lowercase().chars().filter(|c| c.is_ascii_alphanumeric()).collect();
+        match canon.as_str() {
+            "wordwise" => Some(ReadStrategy::WordWise),
+            "batched" => Some(ReadStrategy::Batched),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ReadStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// The seven viable STM designs of the paper's taxonomy (Fig. 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum StmKind {
@@ -253,10 +305,12 @@ pub struct StmConfig {
     pub write_set_capacity: u32,
     /// How write-back commits publish their redo log.
     pub write_back: WriteBackStrategy,
-    /// Longest run the coalesced write-back publishes as a single DMA burst,
-    /// in words — the size of the staging buffer a tasklet reserves in WRAM
-    /// (the hardware also caps one DMA transfer at 2 KB = 256 words).
-    /// Longer runs are split, never dropped.
+    /// How record reads move their data (see [`ReadStrategy`]).
+    pub read_strategy: ReadStrategy,
+    /// Longest run a coalesced write-back — or a batched record read —
+    /// moves as a single DMA burst, in words: the size of the staging
+    /// buffer a tasklet reserves in WRAM (the hardware also caps one DMA
+    /// transfer at 2 KB = 256 words). Longer runs are split, never dropped.
     pub max_burst_words: u32,
 }
 
@@ -281,6 +335,7 @@ impl StmConfig {
             read_set_capacity: 256,
             write_set_capacity: 64,
             write_back: WriteBackStrategy::default(),
+            read_strategy: ReadStrategy::default(),
             max_burst_words: DEFAULT_BURST_WORDS,
         }
     }
@@ -302,8 +357,15 @@ impl StmConfig {
         self
     }
 
-    /// Caps the coalesced write-back burst length (WRAM staging-buffer
-    /// pressure; see [`StmConfig::max_burst_words`]).
+    /// Selects how record reads move their data (the default is
+    /// [`ReadStrategy::Batched`]).
+    pub fn with_read_strategy(mut self, strategy: ReadStrategy) -> Self {
+        self.read_strategy = strategy;
+        self
+    }
+
+    /// Caps the write-back and batched-read burst length (WRAM
+    /// staging-buffer pressure; see [`StmConfig::max_burst_words`]).
     ///
     /// # Panics
     ///
@@ -415,6 +477,21 @@ mod tests {
         let cfg = StmConfig::new(StmKind::Norec, MetadataPlacement::Wram);
         assert_eq!(cfg.max_burst_words, DEFAULT_BURST_WORDS);
         assert_eq!(cfg.with_max_burst_words(8).max_burst_words, 8);
+    }
+
+    #[test]
+    fn read_strategy_defaults_to_batched_and_roundtrips_through_parse() {
+        let cfg = StmConfig::new(StmKind::Norec, MetadataPlacement::Wram);
+        assert_eq!(cfg.read_strategy, ReadStrategy::Batched);
+        assert_eq!(
+            cfg.with_read_strategy(ReadStrategy::WordWise).read_strategy,
+            ReadStrategy::WordWise
+        );
+        for strategy in ReadStrategy::ALL {
+            assert_eq!(ReadStrategy::parse(strategy.name()), Some(strategy));
+        }
+        assert_eq!(ReadStrategy::parse("WORD_WISE"), Some(ReadStrategy::WordWise));
+        assert_eq!(ReadStrategy::parse("bogus"), None);
     }
 
     #[test]

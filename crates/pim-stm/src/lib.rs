@@ -83,8 +83,26 @@
 //! module documentation for the full `TxOps` contract (abort propagation,
 //! no side effects in bodies) and `examples/quickstart.rs` for the
 //! two-executor tour. Multi-word values ([`var::TxRecord`]) move through
-//! [`TxOps::read_record`] / [`TxOps::write_record`], which NOrec fetches as
-//! a single MRAM DMA burst.
+//! [`TxOps::read_record`] / [`TxOps::write_record`].
+//!
+//! ## The record-access layer: DMA-batched reads for every design
+//!
+//! Record reads go through the shared access layer ([`access`]), which
+//! separates the per-design *metadata protocol* (ownership-record sample
+//! and re-check for Tiny, read-lock acquisition for VR, the sequence-lock
+//! bracket for NOrec — expressed as [`access::RecordReader`] hooks) from
+//! *data movement*. Under [`ReadStrategy::Batched`] (the default) each
+//! contiguous run of record words crosses the MRAM port as **one**
+//! [`Platform::load_block`] burst, bounded by
+//! [`StmConfig::max_burst_words`]; the per-word checks then run against the
+//! already-staged words and fall back to the word-wise read for any word
+//! whose metadata moved under the burst. [`ReadStrategy::WordWise`] keeps
+//! the original one-DMA-setup-per-word behaviour as the A/B baseline,
+//! mirroring the write-side [`WriteBackStrategy`] knob. Both strategies
+//! observe identical values and commit identically — only the DMA setup
+//! count (visible in [`ExecProfile::dma_setups`]) differs. See the
+//! [`access`] module documentation for the metadata-hook contract: when a
+//! batched read must re-validate, fall back, or abort.
 //!
 //! ## Execution profiles: one instrumentation spine for both executors
 //!
@@ -119,6 +137,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod algorithm;
 pub mod config;
 pub mod engine;
@@ -138,8 +157,8 @@ pub mod writeback;
 
 pub use algorithm::{algorithm_for, run_transaction, TmAlgorithm, TxView};
 pub use config::{
-    LockTiming, MetadataGranularity, MetadataPlacement, ReadVisibility, StmConfig, StmKind,
-    WriteBackStrategy, WritePolicy,
+    LockTiming, MetadataGranularity, MetadataPlacement, ReadStrategy, ReadVisibility, StmConfig,
+    StmKind, WriteBackStrategy, WritePolicy,
 };
 pub use engine::{run_retry_loop, TxCounters, TxEngine};
 pub use error::{Abort, AbortReason, RunError};

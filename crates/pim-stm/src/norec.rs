@@ -21,6 +21,7 @@
 
 use pim_sim::{Addr, Phase};
 
+use crate::access::{RecordReader, WordCheck, WordPlan};
 use crate::config::StmKind;
 use crate::error::{Abort, AbortReason};
 use crate::platform::Platform;
@@ -141,14 +142,15 @@ impl TmAlgorithm for Norec {
         Ok(())
     }
 
-    /// NOrec record reads fetch all words in **one MRAM DMA burst**.
-    ///
-    /// Value-based validation makes this sound without per-word metadata:
-    /// the burst is bracketed by sequence-lock checks, so if no transaction
-    /// committed while the DMA was in flight the words form a consistent
-    /// snapshot (exactly the argument the single-word read makes for its one
-    /// load). On the threaded executor, where `load_block` degenerates to
-    /// per-word atomic loads, the same bracket covers the whole sequence.
+    /// NOrec record reads run through the shared access layer with a
+    /// **record-level** bracket: value-based validation needs no per-word
+    /// metadata, so [`RecordReader::before_burst`] /
+    /// [`RecordReader::burst_stable`] wrap the whole burst pass in
+    /// sequence-lock checks — if no transaction committed while the DMA was
+    /// in flight the words form a consistent snapshot (exactly the argument
+    /// the single-word read makes for its one load). On the threaded
+    /// executor, where `load_block` degenerates to per-word atomic loads,
+    /// the same bracket covers the whole sequence.
     fn read_record(
         &self,
         shared: &StmShared,
@@ -157,77 +159,7 @@ impl TmAlgorithm for Norec {
         addr: Addr,
         out: &mut [u64],
     ) -> Result<(), Abort> {
-        p.set_phase(Phase::Reading);
-
-        // Probe redo-log coverage up front — one `find_write` log scan per
-        // record word, each charged to the cycle accounting — remembering the
-        // result in a bitmask so no word is probed again after the burst
-        // (records longer than 64 words fall back to the overlay-after-burst
-        // scan below).
-        let mut covered = 0u64;
-        let use_mask = out.len() <= u64::BITS as usize;
-        if use_mask {
-            for (i, slot) in out.iter_mut().enumerate() {
-                if let Some((_, value)) = tx.find_write(p, addr.offset(i as u32)) {
-                    *slot = value;
-                    covered |= 1u64 << i;
-                }
-            }
-            let full =
-                if out.len() == u64::BITS as usize { u64::MAX } else { (1u64 << out.len()) - 1 };
-            if covered == full {
-                // Fully buffered: no memory traffic, no validation (mirrors
-                // the single-word read's read-after-write early return).
-                p.set_phase(Phase::OtherExec);
-                return Ok(());
-            }
-        }
-
-        // Burst-load the record; a scratch buffer keeps the buffered values
-        // placed above intact.
-        let mut scratch = [0u64; u64::BITS as usize];
-        loop {
-            // Catch up with concurrent commits before issuing the burst.
-            while p.load(shared.seqlock_addr()) != tx.snapshot {
-                p.set_phase(Phase::ValidatingExec);
-                match self.validate(shared, tx, p) {
-                    Ok(snapshot) => tx.snapshot = snapshot,
-                    Err(abort) => {
-                        p.set_phase(Phase::OtherExec);
-                        return Err(abort);
-                    }
-                }
-                p.set_phase(Phase::Reading);
-            }
-            if use_mask {
-                p.load_block(addr, &mut scratch[..out.len()]);
-            } else {
-                p.load_block(addr, out);
-            }
-            // Unchanged sequence lock ⇒ no commit overlapped the burst ⇒ the
-            // snapshot is consistent.
-            if p.load(shared.seqlock_addr()) == tx.snapshot {
-                break;
-            }
-        }
-
-        // Merge and read-set bookkeeping, per word. Words served from the
-        // redo log get no read-set entry, exactly like the single-word path.
-        for (i, slot) in out.iter_mut().enumerate() {
-            let word_addr = addr.offset(i as u32);
-            if use_mask {
-                if covered & (1u64 << i) == 0 {
-                    *slot = scratch[i];
-                    tx.push_read(p, word_addr, *slot);
-                }
-            } else if let Some((_, value)) = tx.find_write(p, word_addr) {
-                *slot = value;
-            } else {
-                tx.push_read(p, word_addr, *slot);
-            }
-        }
-        p.set_phase(Phase::OtherExec);
-        Ok(())
+        crate::access::read_record_with(self, shared, tx, p, addr, out)
     }
 
     fn commit(
@@ -268,6 +200,82 @@ impl TmAlgorithm for Norec {
         p.store(shared.seqlock_addr(), tx.snapshot + 2);
         p.set_phase(Phase::OtherExec);
         Ok(())
+    }
+}
+
+impl RecordReader for Norec {
+    /// Only the redo log can serve a word locally — NOrec has no per-word
+    /// metadata to sample, so the token is unused.
+    fn plan_word(
+        &self,
+        _shared: &StmShared,
+        tx: &mut TxSlot,
+        p: &mut dyn Platform,
+        addr: Addr,
+    ) -> Result<WordPlan, Abort> {
+        match tx.find_write(p, addr) {
+            Some((_, value)) => Ok(WordPlan::Ready(value)),
+            None => Ok(WordPlan::Burst { token: 0 }),
+        }
+    }
+
+    /// Catches up with concurrent commits before issuing the burst, exactly
+    /// like the single-word read does before its load.
+    fn before_burst(
+        &self,
+        shared: &StmShared,
+        tx: &mut TxSlot,
+        p: &mut dyn Platform,
+    ) -> Result<(), Abort> {
+        while p.load(shared.seqlock_addr()) != tx.snapshot {
+            p.set_phase(Phase::ValidatingExec);
+            match self.validate(shared, tx, p) {
+                Ok(snapshot) => tx.snapshot = snapshot,
+                Err(abort) => {
+                    p.set_phase(Phase::OtherExec);
+                    return Err(abort);
+                }
+            }
+            p.set_phase(Phase::Reading);
+        }
+        Ok(())
+    }
+
+    /// Unchanged sequence lock ⇒ no commit overlapped the burst ⇒ the
+    /// staged words form a consistent snapshot; otherwise the driver
+    /// re-issues the pass after [`RecordReader::before_burst`] re-validates.
+    fn burst_stable(
+        &self,
+        shared: &StmShared,
+        tx: &mut TxSlot,
+        p: &mut dyn Platform,
+    ) -> Result<bool, Abort> {
+        Ok(p.load(shared.seqlock_addr()) == tx.snapshot)
+    }
+
+    /// Value-based validation: remember the observed value so later
+    /// validations can compare against it.
+    fn accept_word(
+        &self,
+        _shared: &StmShared,
+        tx: &mut TxSlot,
+        p: &mut dyn Platform,
+        addr: Addr,
+        value: u64,
+        _token: u64,
+    ) -> Result<WordCheck, Abort> {
+        tx.push_read(p, addr, value);
+        Ok(WordCheck::Accept)
+    }
+
+    fn reread_word(
+        &self,
+        shared: &StmShared,
+        tx: &mut TxSlot,
+        p: &mut dyn Platform,
+        addr: Addr,
+    ) -> Result<u64, Abort> {
+        self.read(shared, tx, p, addr)
     }
 }
 

@@ -170,6 +170,26 @@ impl ExecProfile {
         self.core.mram_dma_words
     }
 
+    /// MRAM DMA transfers per committed transaction — the batching
+    /// efficiency metric: coalesced write-back and batched record reads
+    /// lower this without changing the words moved. `0.0` when nothing
+    /// committed.
+    pub fn dma_setups_per_commit(&self) -> f64 {
+        per_commit(self.core.mram_dma_setups, self.core.commits)
+    }
+
+    /// Words moved over the MRAM port per committed transaction. `0.0` when
+    /// nothing committed.
+    pub fn dma_words_per_commit(&self) -> f64 {
+        per_commit(self.core.mram_dma_words, self.core.commits)
+    }
+
+    /// Bytes moved over the MRAM port per committed transaction (words are
+    /// 64-bit). `0.0` when nothing committed.
+    pub fn dma_bytes_per_commit(&self) -> f64 {
+        8.0 * self.dma_words_per_commit()
+    }
+
     /// Merges another profile of the **same** time domain into this one
     /// (tasklet → run aggregation).
     ///
@@ -196,6 +216,15 @@ impl ExecProfile {
             acc.merge(p);
         }
         Some(acc)
+    }
+}
+
+/// `count / commits` as a float, `0.0` for a run that committed nothing.
+fn per_commit(count: u64, commits: u64) -> f64 {
+    if commits == 0 {
+        0.0
+    } else {
+        count as f64 / commits as f64
     }
 }
 
@@ -230,6 +259,18 @@ mod tests {
         assert_eq!(p.dma_setups(), 1);
         assert_eq!(p.dma_words(), 8);
         assert!((p.abort_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_commit_efficiency_metrics() {
+        let p = sample(TimeDomain::Cycles);
+        assert!((p.dma_setups_per_commit() - 1.0).abs() < 1e-12);
+        assert!((p.dma_words_per_commit() - 8.0).abs() < 1e-12);
+        assert!((p.dma_bytes_per_commit() - 64.0).abs() < 1e-12);
+        // A run with zero commits reports zero instead of dividing by zero.
+        let empty = ExecProfile::new(TimeDomain::Cycles);
+        assert_eq!(empty.dma_setups_per_commit(), 0.0);
+        assert_eq!(empty.dma_bytes_per_commit(), 0.0);
     }
 
     #[test]

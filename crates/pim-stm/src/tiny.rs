@@ -18,6 +18,7 @@
 
 use pim_sim::{Addr, Phase};
 
+use crate::access::{RecordReader, WordCheck, WordPlan};
 use crate::config::{LockTiming, StmKind, WritePolicy};
 use crate::error::{Abort, AbortReason};
 use crate::locktable::OrecWord;
@@ -60,6 +61,12 @@ impl Tiny {
     /// Write policy of this variant.
     pub fn policy(&self) -> WritePolicy {
         self.policy
+    }
+
+    /// Value of a word whose ORec this transaction already holds (see
+    /// [`crate::access::owned_value`], shared with VR and the batched plan).
+    fn owned_value(&self, tx: &mut TxSlot, p: &mut dyn Platform, addr: Addr) -> u64 {
+        crate::access::owned_value(self.policy, tx, p, addr)
     }
 
     /// Checks that every read-set entry still holds the version observed when
@@ -218,16 +225,7 @@ impl TmAlgorithm for Tiny {
 
         // Encounter-time locking: the ORec may already be ours.
         if orec.is_locked_by(me) {
-            let value = match self.policy {
-                // Redo log holds our latest value (unless the ORec is ours
-                // only through hash aliasing with another address).
-                WritePolicy::WriteBack => match tx.find_write(p, addr) {
-                    Some((_, value)) => value,
-                    None => p.load(addr),
-                },
-                // Write-through already updated memory.
-                WritePolicy::WriteThrough => p.load(addr),
-            };
+            let value = self.owned_value(tx, p, addr);
             p.set_phase(Phase::OtherExec);
             return Ok(value);
         }
@@ -372,9 +370,90 @@ impl TmAlgorithm for Tiny {
         Ok(())
     }
 
+    /// Tiny record reads run through the shared access layer: the per-word
+    /// ORec protocol stays intact (sample at plan time, bit-identical
+    /// re-check after the burst, word-wise fallback when the ORec moved),
+    /// but the data crosses the MRAM port as one burst per contiguous run.
+    fn read_record(
+        &self,
+        shared: &StmShared,
+        tx: &mut TxSlot,
+        p: &mut dyn Platform,
+        addr: Addr,
+        out: &mut [u64],
+    ) -> Result<(), Abort> {
+        crate::access::read_record_with(self, shared, tx, p, addr, out)
+    }
+
     fn cancel(&self, shared: &StmShared, tx: &mut TxSlot, p: &mut dyn Platform) {
         self.rollback(shared, tx, p);
         p.set_phase(Phase::OtherExec);
+    }
+}
+
+impl RecordReader for Tiny {
+    /// Mirrors the first half of [`Tiny::read`]: serve redo-log / own-lock
+    /// words locally, abort on a foreign lock, extend a stale snapshot, and
+    /// otherwise hand back the sampled ORec as the re-check token.
+    fn plan_word(
+        &self,
+        shared: &StmShared,
+        tx: &mut TxSlot,
+        p: &mut dyn Platform,
+        addr: Addr,
+    ) -> Result<WordPlan, Abort> {
+        let me = p.tasklet_id();
+        if self.timing == LockTiming::Commit {
+            if let Some((_, value)) = tx.find_write(p, addr) {
+                return Ok(WordPlan::Ready(value));
+            }
+        }
+        let orec = OrecWord::from_raw(p.load(shared.orec_addr(addr)));
+        if orec.is_locked_by(me) {
+            let value = self.owned_value(tx, p, addr);
+            return Ok(WordPlan::Ready(value));
+        }
+        if orec.is_locked() {
+            return Err(self.abort(shared, tx, p, AbortReason::ReadConflict));
+        }
+        if orec.version() > tx.snapshot {
+            p.set_phase(Phase::ValidatingExec);
+            if self.extend(shared, tx, p).is_err() {
+                return Err(self.abort(shared, tx, p, AbortReason::ValidationFailed));
+            }
+            p.set_phase(Phase::Reading);
+        }
+        Ok(WordPlan::Burst { token: orec.raw() })
+    }
+
+    /// Mirrors the second half of [`Tiny::read`]'s bracket: the staged value
+    /// is consistent iff the ORec is bit-identical to the plan-time sample.
+    fn accept_word(
+        &self,
+        shared: &StmShared,
+        tx: &mut TxSlot,
+        p: &mut dyn Platform,
+        addr: Addr,
+        _value: u64,
+        token: u64,
+    ) -> Result<WordCheck, Abort> {
+        let recheck = p.load(shared.orec_addr(addr));
+        if recheck == token {
+            tx.push_read(p, addr, OrecWord::from_raw(token).version());
+            Ok(WordCheck::Accept)
+        } else {
+            Ok(WordCheck::Reread)
+        }
+    }
+
+    fn reread_word(
+        &self,
+        shared: &StmShared,
+        tx: &mut TxSlot,
+        p: &mut dyn Platform,
+        addr: Addr,
+    ) -> Result<u64, Abort> {
+        self.read(shared, tx, p, addr)
     }
 }
 

@@ -15,6 +15,7 @@
 
 use pim_sim::{Addr, Phase};
 
+use crate::access::{RecordReader, WordCheck, WordPlan};
 use crate::config::{LockTiming, StmKind, WritePolicy};
 use crate::error::{Abort, AbortReason};
 use crate::platform::Platform;
@@ -126,6 +127,13 @@ impl Vr {
         result
     }
 
+    /// Value of a word this transaction already write-locks (see
+    /// [`crate::access::owned_value`], shared with Tiny and the batched
+    /// plan).
+    fn owned_value(&self, tx: &mut TxSlot, p: &mut dyn Platform, addr: Addr) -> u64 {
+        crate::access::owned_value(self.policy, tx, p, addr)
+    }
+
     /// Releases every lock this transaction holds: write locks named by the
     /// write/undo log and read locks named by the read set. Both operations
     /// are idempotent, so hash aliasing and duplicate log entries are
@@ -214,15 +222,7 @@ impl TmAlgorithm for Vr {
             ReadAcquire::Conflict => {
                 return Err(self.abort(shared, tx, p, AbortReason::ReadConflict))
             }
-            ReadAcquire::OwnedWrite => match self.policy {
-                WritePolicy::WriteBack => match tx.find_write(p, addr) {
-                    Some((_, value)) => value,
-                    // We own the lock only through aliasing with another
-                    // address we wrote; memory still has the committed value.
-                    None => p.load(addr),
-                },
-                WritePolicy::WriteThrough => p.load(addr),
-            },
+            ReadAcquire::OwnedWrite => self.owned_value(tx, p, addr),
             ReadAcquire::Held => {
                 let value = p.load(addr);
                 tx.push_read(p, addr, 0);
@@ -320,6 +320,21 @@ impl TmAlgorithm for Vr {
         Ok(())
     }
 
+    /// VR record reads run through the shared access layer. Visible reads
+    /// make the batched path particularly clean: once every word's read
+    /// lock is held no writer can touch the record, so the data burst is
+    /// stable by construction and no post-burst re-check is needed.
+    fn read_record(
+        &self,
+        shared: &StmShared,
+        tx: &mut TxSlot,
+        p: &mut dyn Platform,
+        addr: Addr,
+        out: &mut [u64],
+    ) -> Result<(), Abort> {
+        crate::access::read_record_with(self, shared, tx, p, addr, out)
+    }
+
     fn cancel(&self, shared: &StmShared, tx: &mut TxSlot, p: &mut dyn Platform) {
         if self.policy == WritePolicy::WriteThrough {
             for i in (0..tx.write_set_len()).rev() {
@@ -329,6 +344,59 @@ impl TmAlgorithm for Vr {
         }
         self.release_locks(shared, tx, p);
         p.set_phase(Phase::OtherExec);
+    }
+}
+
+impl RecordReader for Vr {
+    /// Mirrors [`Vr::read`]'s lock protocol: serve redo-log / own-write-lock
+    /// words locally, abort on a foreign write lock, and otherwise take the
+    /// read lock — which *pins* the word for the rest of the transaction,
+    /// so the read-set entry can be pushed before the data even moves.
+    fn plan_word(
+        &self,
+        shared: &StmShared,
+        tx: &mut TxSlot,
+        p: &mut dyn Platform,
+        addr: Addr,
+    ) -> Result<WordPlan, Abort> {
+        if self.timing == LockTiming::Commit {
+            if let Some((_, value)) = tx.find_write(p, addr) {
+                return Ok(WordPlan::Ready(value));
+            }
+        }
+        match self.acquire_read(shared, p, addr) {
+            ReadAcquire::Conflict => Err(self.abort(shared, tx, p, AbortReason::ReadConflict)),
+            ReadAcquire::OwnedWrite => Ok(WordPlan::Ready(self.owned_value(tx, p, addr))),
+            ReadAcquire::Held => {
+                tx.push_read(p, addr, 0);
+                Ok(WordPlan::Burst { token: 0 })
+            }
+        }
+    }
+
+    /// The read lock acquired at plan time blocks every writer, so the
+    /// staged value is always consistent (the bookkeeping already happened
+    /// in [`RecordReader::plan_word`]).
+    fn accept_word(
+        &self,
+        _shared: &StmShared,
+        _tx: &mut TxSlot,
+        _p: &mut dyn Platform,
+        _addr: Addr,
+        _value: u64,
+        _token: u64,
+    ) -> Result<WordCheck, Abort> {
+        Ok(WordCheck::Accept)
+    }
+
+    fn reread_word(
+        &self,
+        shared: &StmShared,
+        tx: &mut TxSlot,
+        p: &mut dyn Platform,
+        addr: Addr,
+    ) -> Result<u64, Abort> {
+        self.read(shared, tx, p, addr)
     }
 }
 

@@ -31,8 +31,16 @@ pub struct ArrayBenchConfig {
     pub read_region: u32,
     /// Entries in the update region (`K` in the paper).
     pub update_region: u32,
-    /// Random reads performed in the first phase of each transaction.
+    /// Entries read in the first phase of each transaction, in total.
     pub reads_per_tx: u32,
+    /// Contiguous entries fetched per read operation: `1` reads individual
+    /// random entries (the paper's original access pattern); larger values
+    /// group the same `reads_per_tx` entries into `reads_per_tx /
+    /// record_words` random contiguous records, which the STM moves through
+    /// [`TxOps::read_words`] — one DMA burst per record under
+    /// `ReadStrategy::Batched`, exercising the read-side analogue of the
+    /// coalesced commit write-back.
+    pub record_words: u32,
     /// Random read-modify-writes performed in the second phase.
     pub updates_per_tx: u32,
     /// Transactions each tasklet executes.
@@ -40,13 +48,16 @@ pub struct ArrayBenchConfig {
 }
 
 impl ArrayBenchConfig {
-    /// Workload A of the paper: 100 reads over 2 500 entries followed by 20
-    /// updates over 10 000 entries.
+    /// Workload A of the paper: 100 entries read over 2 500 entries followed
+    /// by 20 updates over 10 000 entries. The read phase fetches its 100
+    /// entries as five random 20-entry records so the read-dominated cell
+    /// exercises record DMA (the per-word STM checks are unchanged).
     pub fn workload_a() -> Self {
         ArrayBenchConfig {
             read_region: 2_500,
             update_region: 10_000,
             reads_per_tx: 100,
+            record_words: 20,
             updates_per_tx: 20,
             transactions_per_tasklet: 100,
         }
@@ -58,9 +69,26 @@ impl ArrayBenchConfig {
             read_region: 0,
             update_region: 10,
             reads_per_tx: 0,
+            record_words: 1,
             updates_per_tx: 4,
             transactions_per_tasklet: 400,
         }
+    }
+
+    /// Number of read operations the first phase issues: `reads_per_tx`
+    /// entries grouped into records of `record_words` (the last record is
+    /// dropped rather than shortened if the division is not exact).
+    pub fn read_records_per_tx(&self) -> u32 {
+        self.reads_per_tx / self.record_words.max(1)
+    }
+
+    /// Overrides the record grouping of the read phase; `1` restores the
+    /// paper's original access pattern of independent single-entry reads
+    /// (note the RNG stream also changes: one draw per record, not per
+    /// entry).
+    pub fn with_record_words(mut self, words: u32) -> Self {
+        self.record_words = words;
+        self
     }
 
     /// Scales the per-tasklet transaction count (used to shorten benchmark
@@ -108,6 +136,22 @@ impl ArrayBenchData {
         alloc: &mut A,
         config: ArrayBenchConfig,
     ) -> Self {
+        if config.reads_per_tx > 0 {
+            assert!(
+                config.record_words >= 1 && config.record_words <= config.read_region,
+                "ArrayBench record_words ({}) must lie in 1..=read_region ({}) so every \
+                 record fits inside the read region",
+                config.record_words,
+                config.read_region
+            );
+            assert!(
+                config.record_words <= config.reads_per_tx,
+                "ArrayBench record_words ({}) must not exceed reads_per_tx ({}): the read \
+                 phase would silently vanish (reads_per_tx / record_words rounds to zero)",
+                config.record_words,
+                config.reads_per_tx
+            );
+        }
         let array = var::alloc_array(alloc, Tier::Mram, config.array_words())
             .expect("ArrayBench array must fit in MRAM");
         ArrayBenchData { array, config }
@@ -116,6 +160,13 @@ impl ArrayBenchData {
     fn read_entry(&self, index: u32) -> TVar<u64> {
         debug_assert!(index < self.config.read_region);
         self.array.at(index)
+    }
+
+    /// Address of a `record_words`-entry record starting at `index` in the
+    /// read region.
+    fn read_record_addr(&self, index: u32) -> pim_sim::Addr {
+        debug_assert!(index + self.config.record_words <= self.config.read_region);
+        self.array.at(index).addr()
     }
 
     fn update_entry(&self, index: u32) -> TVar<u64> {
@@ -131,21 +182,32 @@ impl ArrayBenchData {
 }
 
 /// One ArrayBench transaction: the read phase followed by the update phase,
-/// one array entry per step. [`ArrayBenchBody::prepare`] draws the random
-/// targets for the next transaction (outside the body, so retries reuse
-/// them, like the original benchmark).
+/// one read operation (a single entry or one contiguous record, depending
+/// on [`ArrayBenchConfig::record_words`]) or one update per step.
+/// [`ArrayBenchBody::prepare`] draws the random targets for the next
+/// transaction (outside the body, so retries reuse them, like the original
+/// benchmark).
 #[derive(Debug)]
 pub struct ArrayBenchBody {
     data: ArrayBenchData,
     read_targets: Vec<u32>,
     update_targets: Vec<u32>,
+    /// Staging buffer for record reads (the tasklet's WRAM scratch).
+    record_buf: Vec<u64>,
     position: usize,
 }
 
 impl ArrayBenchBody {
     /// Creates a body over the shared array.
     pub fn new(data: ArrayBenchData) -> Self {
-        ArrayBenchBody { data, read_targets: Vec::new(), update_targets: Vec::new(), position: 0 }
+        let record_buf = vec![0u64; data.config.record_words.max(1) as usize];
+        ArrayBenchBody {
+            data,
+            read_targets: Vec::new(),
+            update_targets: Vec::new(),
+            record_buf,
+            position: 0,
+        }
     }
 
     /// Draws the target entries of the next transaction.
@@ -153,8 +215,12 @@ impl ArrayBenchBody {
         let config = self.data.config;
         self.read_targets.clear();
         self.update_targets.clear();
-        for _ in 0..config.reads_per_tx {
-            self.read_targets.push(rng.next_range(u64::from(config.read_region)) as u32);
+        // Record starts stay inside the read region: a record spans
+        // `record_words` consecutive entries from its start.
+        let start_range =
+            u64::from(config.read_region.saturating_sub(config.record_words.saturating_sub(1)));
+        for _ in 0..config.read_records_per_tx() {
+            self.read_targets.push(rng.next_range(start_range) as u32);
         }
         for _ in 0..config.updates_per_tx {
             self.update_targets.push(rng.next_range(u64::from(config.update_region)) as u32);
@@ -174,7 +240,12 @@ impl TxBody for ArrayBenchBody {
     fn step<O: TxOps>(&mut self, tx: &mut O) -> Result<BodyStep, Abort> {
         let position = self.position;
         if position < self.read_targets.len() {
-            tx.get(self.data.read_entry(self.read_targets[position]))?;
+            let start = self.read_targets[position];
+            if self.data.config.record_words > 1 {
+                tx.read_words(self.data.read_record_addr(start), &mut self.record_buf)?;
+            } else {
+                tx.get(self.data.read_entry(start))?;
+            }
         } else if position < self.total_ops() {
             let entry =
                 self.data.update_entry(self.update_targets[position - self.read_targets.len()]);
@@ -321,9 +392,31 @@ mod tests {
         assert_eq!(a.array_words(), 12_500);
         assert_eq!(a.reads_per_tx, 100);
         assert_eq!(a.updates_per_tx, 20);
+        // The 100 read entries move as five 20-entry records.
+        assert_eq!(a.record_words, 20);
+        assert_eq!(a.read_records_per_tx(), 5);
         let b = ArrayBenchConfig::workload_b();
         assert_eq!(b.update_region, 10);
         assert_eq!(b.updates_per_tx, 4);
+        assert_eq!(b.record_words, 1);
+    }
+
+    #[test]
+    fn record_reads_fill_the_read_set_with_every_record_word() {
+        // A read-only single-tasklet cell: 2 records of 8 words each must
+        // leave 16 read-set entries (per-word metadata bookkeeping survives
+        // the batched data movement).
+        let cfg = ArrayBenchConfig {
+            read_region: 64,
+            update_region: 4,
+            reads_per_tx: 16,
+            record_words: 8,
+            updates_per_tx: 1,
+            transactions_per_tasklet: 3,
+        };
+        for kind in [StmKind::TinyEtlWb, StmKind::VrCtlWb, StmKind::Norec] {
+            run_arraybench(kind, cfg, 2);
+        }
     }
 
     #[test]
@@ -371,5 +464,40 @@ mod tests {
     fn scaling_keeps_at_least_one_transaction() {
         let cfg = ArrayBenchConfig::workload_a().scaled(0.0001);
         assert_eq!(cfg.transactions_per_tasklet, 1);
+    }
+
+    #[test]
+    fn single_entry_reads_remain_reachable() {
+        // `.with_record_words(1)` restores the paper's original scattered
+        // single-entry read phase.
+        let cfg = ArrayBenchConfig {
+            transactions_per_tasklet: 5,
+            ..ArrayBenchConfig::workload_a().with_record_words(1)
+        };
+        assert_eq!(cfg.read_records_per_tx(), 100);
+        run_arraybench(StmKind::TinyEtlWb, cfg, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "record_words")]
+    fn records_larger_than_the_read_region_are_rejected() {
+        let cfg = ArrayBenchConfig {
+            read_region: 10,
+            record_words: 20,
+            reads_per_tx: 20,
+            ..ArrayBenchConfig::workload_a()
+        };
+        let mut dpu = Dpu::new(DpuConfig::small());
+        let _ = ArrayBenchData::allocate(&mut dpu, cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "read phase would silently vanish")]
+    fn records_longer_than_the_read_budget_are_rejected() {
+        // 150-word records with a 100-entry read budget would floor the
+        // record count to zero and quietly drop the read phase.
+        let cfg = ArrayBenchConfig::workload_a().with_record_words(150);
+        let mut dpu = Dpu::new(DpuConfig::small());
+        let _ = ArrayBenchData::allocate(&mut dpu, cfg);
     }
 }

@@ -14,7 +14,8 @@ use pim_sim::{Dpu, DpuConfig, DpuRunReport, Scheduler};
 use pim_stm::threaded::{ThreadedDpu, DEFAULT_MRAM_WORDS, DEFAULT_WRAM_WORDS};
 use pim_stm::var::WordAccess;
 use pim_stm::{
-    ExecProfile, MetadataPlacement, StmConfig, StmKind, StmShared, TimeDomain, WriteBackStrategy,
+    ExecProfile, MetadataPlacement, ReadStrategy, StmConfig, StmKind, StmShared, TimeDomain,
+    WriteBackStrategy,
 };
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -195,6 +196,14 @@ pub struct RunSpec {
     pub scale: f64,
     /// How write-back commits publish their redo log.
     pub write_back: WriteBackStrategy,
+    /// How record reads move their data.
+    pub read_strategy: ReadStrategy,
+    /// Burst cap (in words) for coalesced write-back and batched reads.
+    pub max_burst_words: u32,
+    /// Override for ArrayBench's read-phase record grouping
+    /// ([`ArrayBenchConfig::record_words`]); `Some(1)` restores the paper's
+    /// original scattered single-entry reads. Ignored by other workloads.
+    pub record_words: Option<u32>,
 }
 
 impl RunSpec {
@@ -213,6 +222,9 @@ impl RunSpec {
             seed: 42,
             scale: 1.0,
             write_back: WriteBackStrategy::default(),
+            read_strategy: ReadStrategy::default(),
+            max_burst_words: pim_stm::config::DEFAULT_BURST_WORDS,
+            record_words: None,
         }
     }
 
@@ -234,11 +246,35 @@ impl RunSpec {
         self
     }
 
+    /// Overrides the record-read strategy (default: batched).
+    pub fn with_read_strategy(mut self, strategy: ReadStrategy) -> Self {
+        self.read_strategy = strategy;
+        self
+    }
+
+    /// Overrides the DMA burst cap shared by coalesced write-back and
+    /// batched reads (default: [`pim_stm::config::DEFAULT_BURST_WORDS`]).
+    pub fn with_max_burst_words(mut self, words: u32) -> Self {
+        self.max_burst_words = words;
+        self
+    }
+
+    /// Overrides ArrayBench's read-phase record grouping; `1` restores the
+    /// paper's original scattered single-entry reads (no effect on other
+    /// workloads).
+    pub fn with_record_words(mut self, words: u32) -> Self {
+        self.record_words = Some(words);
+        self
+    }
+
     /// The STM configuration (log capacities, lock-table size and placement)
     /// appropriate for this workload, mirroring the sizing discussion in the
     /// paper.
     pub fn stm_config(&self) -> StmConfig {
-        let base = StmConfig::new(self.kind, self.placement).with_write_back(self.write_back);
+        let base = StmConfig::new(self.kind, self.placement)
+            .with_write_back(self.write_back)
+            .with_read_strategy(self.read_strategy)
+            .with_max_burst_words(self.max_burst_words);
         match self.workload {
             Workload::ArrayA => {
                 let cfg = ArrayBenchConfig::workload_a();
@@ -284,10 +320,14 @@ impl RunSpec {
     }
 
     fn array_config(&self) -> ArrayBenchConfig {
-        match self.workload {
+        let config = match self.workload {
             Workload::ArrayA => ArrayBenchConfig::workload_a().scaled(self.scale),
             Workload::ArrayB => ArrayBenchConfig::workload_b().scaled(self.scale),
             _ => unreachable!("not an ArrayBench workload"),
+        };
+        match self.record_words {
+            Some(words) => config.with_record_words(words),
+            None => config,
         }
     }
 
@@ -720,6 +760,29 @@ mod tests {
     fn labyrinth_is_excluded_from_wram_metadata() {
         assert!(!Workload::LabyrinthL.supports_wram_metadata());
         assert!(Workload::ArrayA.supports_wram_metadata());
+    }
+
+    #[test]
+    fn read_strategy_and_burst_cap_thread_into_the_stm_config() {
+        let spec = RunSpec::new(Workload::ArrayA, StmKind::TinyEtlWb, MetadataPlacement::Mram, 4);
+        assert_eq!(spec.stm_config().read_strategy, ReadStrategy::Batched);
+        assert_eq!(spec.stm_config().max_burst_words, pim_stm::config::DEFAULT_BURST_WORDS);
+        let spec = spec.with_read_strategy(ReadStrategy::WordWise).with_max_burst_words(8);
+        assert_eq!(spec.stm_config().read_strategy, ReadStrategy::WordWise);
+        assert_eq!(spec.stm_config().max_burst_words, 8);
+    }
+
+    #[test]
+    fn record_words_override_reaches_the_array_config() {
+        let spec = RunSpec::new(Workload::ArrayA, StmKind::Norec, MetadataPlacement::Mram, 2);
+        assert_eq!(spec.array_config().record_words, 20, "workload A defaults to record reads");
+        let original = spec.with_record_words(1);
+        assert_eq!(
+            original.array_config().record_words,
+            1,
+            "the paper's scattered single-entry reads stay reachable"
+        );
+        assert_eq!(original.array_config().read_records_per_tx(), 100);
     }
 
     #[test]
