@@ -10,7 +10,9 @@
 //! threaded sweeps.
 
 use pim_sim::Phase;
-use pim_stm::{AbortReason, ExecProfile, MetadataPlacement, ReadStrategy, StmKind, TimeDomain};
+use pim_stm::{
+    AbortReason, ExecProfile, MetadataPlacement, ReadStrategy, RetryPolicy, StmKind, TimeDomain,
+};
 use pim_workloads::spec::Executor;
 use pim_workloads::{RunSpec, Workload};
 use serde::{Deserialize, Serialize};
@@ -35,6 +37,9 @@ pub struct SweepOptions {
     pub repeat: usize,
     /// How record reads move their data (A/B knob; default batched).
     pub read_strategy: ReadStrategy,
+    /// How aborted attempts back off before retrying (the retry axis of
+    /// the policy grid; default exponential, the legacy behaviour).
+    pub retry: RetryPolicy,
     /// DMA burst cap shared by coalesced write-back and batched reads.
     pub max_burst_words: u32,
     /// Override for ArrayBench's read-phase record grouping; `Some(1)`
@@ -51,6 +56,7 @@ impl Default for SweepOptions {
             executor: Executor::Simulator,
             repeat: 1,
             read_strategy: ReadStrategy::default(),
+            retry: RetryPolicy::default(),
             max_burst_words: pim_stm::config::DEFAULT_BURST_WORDS,
             record_words: None,
         }
@@ -80,6 +86,30 @@ pub struct DesignSpacePoint {
     pub profile: ExecProfile,
     /// Simulated makespan in seconds (simulator runs only).
     pub makespan_seconds: Option<f64>,
+    /// Spread over the `--repeat N` runs of this cell (`None` when the cell
+    /// ran once — including every simulator cell, which is deterministic).
+    /// The point's own numbers come from the run with the *median* total
+    /// time; the spread is what turns a threaded A/B comparison into a
+    /// confidence call: if two cells' `[min, max]` total-time ranges
+    /// overlap, the median difference is noise.
+    pub spread: Option<RepeatSpread>,
+}
+
+/// Min/median/max spread over the repeated runs of one cell.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RepeatSpread {
+    /// How many runs the cell was repeated for.
+    pub runs: usize,
+    /// Smallest merged total time across the runs (executor-native unit).
+    pub min_total_time: u64,
+    /// The kept (median) run's merged total time.
+    pub median_total_time: u64,
+    /// Largest merged total time across the runs.
+    pub max_total_time: u64,
+    /// Fewest aborted attempts across the runs.
+    pub min_aborts: u64,
+    /// Most aborted attempts across the runs.
+    pub max_aborts: u64,
 }
 
 /// The full sweep for one workload/placement/executor: the data behind one
@@ -99,6 +129,8 @@ pub struct DesignSpaceSweep {
     pub seed: u64,
     /// How record reads moved their data in every cell.
     pub read_strategy: ReadStrategy,
+    /// The retry policy every cell ran under.
+    pub retry: RetryPolicy,
     /// The DMA burst cap every cell ran under.
     pub max_burst_words: u32,
     /// ArrayBench record-grouping override in force (`None` = the
@@ -209,6 +241,7 @@ impl DesignSpaceSweep {
                     .with_scale(options.scale)
                     .with_seed(options.seed)
                     .with_read_strategy(options.read_strategy)
+                    .with_retry(options.retry)
                     .with_max_burst_words(options.max_burst_words);
                 if let Some(words) = options.record_words {
                     spec = spec.with_record_words(words);
@@ -223,6 +256,7 @@ impl DesignSpaceSweep {
             scale: options.scale,
             seed: options.seed,
             read_strategy: options.read_strategy,
+            retry: options.retry,
             max_burst_words: options.max_burst_words,
             record_words: options.record_words,
             points,
@@ -232,7 +266,9 @@ impl DesignSpaceSweep {
     /// Runs one cell `repeat` times (already clamped to 1 for deterministic
     /// simulator cells by the caller) and keeps the run with the median
     /// merged total time (commit/abort counts and the whole profile come
-    /// from that run, so the point stays internally consistent).
+    /// from that run, so the point stays internally consistent). With
+    /// `repeat > 1` the min/median/max spread over the runs rides along so
+    /// the report carries confidence information, not just a midpoint.
     fn run_cell(spec: &RunSpec, executor: Executor, repeat: usize) -> DesignSpacePoint {
         let mut reports: Vec<_> = (0..repeat)
             .map(|_| {
@@ -242,6 +278,14 @@ impl DesignSpaceSweep {
             })
             .collect();
         reports.sort_by_cached_key(|r| r.merged_profile().total_time());
+        let spread = (repeat > 1).then(|| RepeatSpread {
+            runs: repeat,
+            min_total_time: reports.first().map(|r| r.merged_profile().total_time()).unwrap_or(0),
+            median_total_time: reports[(reports.len() - 1) / 2].merged_profile().total_time(),
+            max_total_time: reports.last().map(|r| r.merged_profile().total_time()).unwrap_or(0),
+            min_aborts: reports.iter().map(|r| r.aborts).min().unwrap_or(0),
+            max_aborts: reports.iter().map(|r| r.aborts).max().unwrap_or(0),
+        });
         // Lower median: for an even repeat count this keeps the *faster*
         // middle run rather than degenerating to worst-of-N (repeat = 2
         // would otherwise always keep the slower run).
@@ -255,6 +299,7 @@ impl DesignSpaceSweep {
             aborts: report.aborts,
             profile: report.merged_profile(),
             makespan_seconds: report.sim.as_ref().map(|s| s.makespan_seconds()),
+            spread,
         }
     }
 
@@ -394,6 +439,50 @@ impl DesignSpaceSweep {
         render_table(&header, &rows)
     }
 
+    /// Whether any cell of this sweep carries a `--repeat` spread.
+    pub fn has_spread(&self) -> bool {
+        self.points.iter().any(|p| p.spread.is_some())
+    }
+
+    /// Renders the `--repeat` spread panel (at the largest swept tasklet
+    /// count): min/median/max total time and the abort range over the
+    /// repeated runs of each cell, in the executor's native unit. Rendered
+    /// only when [`DesignSpaceSweep::has_spread`].
+    pub fn repeat_spread_table(&self) -> String {
+        let unit = self.time_domain().unit();
+        let header = vec![
+            format!("{} repeat spread @{} tasklets [{}]", self.workload, self.max_tasklets(), unit),
+            "runs".to_string(),
+            format!("min total ({unit})"),
+            format!("median total ({unit})"),
+            format!("max total ({unit})"),
+            "aborts (min..max)".to_string(),
+        ];
+        let rows = self
+            .max_tasklet_points()
+            .into_iter()
+            .map(|(kind, point)| match &point.spread {
+                Some(s) => vec![
+                    kind.name().to_string(),
+                    s.runs.to_string(),
+                    s.min_total_time.to_string(),
+                    s.median_total_time.to_string(),
+                    s.max_total_time.to_string(),
+                    format!("{}..{}", s.min_aborts, s.max_aborts),
+                ],
+                None => vec![
+                    kind.name().to_string(),
+                    "1".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ],
+            })
+            .collect::<Vec<_>>();
+        render_table(&header, &rows)
+    }
+
     /// Renders the profile summary (at the largest swept tasklet count):
     /// attempts, memory movement — absolute and per commit, the
     /// DMA-efficiency metric the burst knobs move — and back-off/lock-wait
@@ -524,6 +613,7 @@ impl BurstSweep {
             && base.scale == options.scale
             && base.seed == options.seed
             && base.read_strategy == options.read_strategy
+            && base.retry == options.retry
             && base.record_words == options.record_words
             && base.max_burst_words == cap
             && kinds.iter().all(|&kind| base.point(kind, tasklets).is_some());
@@ -659,6 +749,73 @@ mod tests {
         assert!(sweep.breakdown_table().contains("[ns]"), "wall-clock domain must be named");
         assert!(sweep.throughput_table().contains('-'), "no cycle throughput on threads");
         let _ = sweep.abort_reason_table();
+    }
+
+    #[test]
+    fn repeated_threaded_cells_carry_a_min_median_max_spread() {
+        let sweep = DesignSpaceSweep::run_with(
+            Workload::ArrayB,
+            MetadataPlacement::Mram,
+            &[StmKind::Norec],
+            &[2],
+            SweepOptions { executor: Executor::Threaded, repeat: 3, ..SweepOptions::default() },
+        );
+        assert!(sweep.has_spread());
+        let point = sweep.point(StmKind::Norec, 2).unwrap();
+        let spread = point.spread.as_ref().expect("repeat > 1 must record a spread");
+        assert_eq!(spread.runs, 3);
+        assert!(spread.min_total_time <= spread.median_total_time);
+        assert!(spread.median_total_time <= spread.max_total_time);
+        assert!(spread.min_aborts <= spread.max_aborts);
+        // The kept point *is* the median run.
+        assert_eq!(point.profile.total_time(), spread.median_total_time);
+        let table = sweep.repeat_spread_table();
+        assert!(table.contains("repeat spread"));
+        assert!(table.contains("NOrec"));
+        assert!(table.contains("[ns]"), "spread times are in the executor's native unit");
+    }
+
+    #[test]
+    fn simulator_cells_are_deterministic_and_carry_no_spread() {
+        let sweep = DesignSpaceSweep::run_with(
+            Workload::ArrayB,
+            MetadataPlacement::Mram,
+            &[StmKind::Norec],
+            &[2],
+            SweepOptions { repeat: 5, ..SweepOptions::default() },
+        );
+        assert!(!sweep.has_spread(), "simulator repeats are clamped to one run");
+        assert!(sweep.point(StmKind::Norec, 2).unwrap().spread.is_none());
+    }
+
+    #[test]
+    fn retry_policy_threads_into_the_cells() {
+        // An adaptive-retry sweep is a *new* sweepable cell (same design
+        // axes, different retry axis): it must run, conserve its
+        // invariants, and record the policy it ran under.
+        let sweep = DesignSpaceSweep::run_with(
+            Workload::ArrayB,
+            MetadataPlacement::Mram,
+            &[StmKind::TinyEtlWb],
+            &[4],
+            SweepOptions { retry: RetryPolicy::Adaptive, scale: 0.05, ..SweepOptions::default() },
+        );
+        assert_eq!(sweep.retry, RetryPolicy::Adaptive);
+        let point = sweep.point(StmKind::TinyEtlWb, 4).unwrap();
+        assert!(point.commits > 0);
+        // The default-retry run of the same cell is the legacy behaviour;
+        // under contention the two back-off schedules diverge, which is
+        // exactly what makes the axis sweepable (deterministic check: the
+        // simulator reproduces each policy's schedule bit-for-bit).
+        let default_sweep = DesignSpaceSweep::run_with(
+            Workload::ArrayB,
+            MetadataPlacement::Mram,
+            &[StmKind::TinyEtlWb],
+            &[4],
+            SweepOptions { scale: 0.05, ..SweepOptions::default() },
+        );
+        let default_point = default_sweep.point(StmKind::TinyEtlWb, 4).unwrap();
+        assert_eq!(point.commits, default_point.commits, "same workload, same commits");
     }
 
     #[test]

@@ -330,6 +330,7 @@ pub fn sweeps_to_json(sweeps: &[DesignSpaceSweep]) -> Json {
                 ("scale".into(), Json::Num(sweep.scale)),
                 ("seed".into(), Json::u64(sweep.seed)),
                 ("read_strategy".into(), Json::str(sweep.read_strategy.name())),
+                ("retry".into(), Json::str(sweep.retry.name())),
                 ("max_burst_words".into(), Json::u64(u64::from(sweep.max_burst_words))),
                 (
                     "record_words".into(),
@@ -353,6 +354,19 @@ pub fn sweeps_to_json(sweeps: &[DesignSpaceSweep]) -> Json {
                 ("total_time".into(), Json::u64(p.total_time())),
                 ("phases".into(), phases),
                 ("aborts_by_reason".into(), aborts_by_reason),
+                (
+                    "repeat_spread".into(),
+                    point.spread.as_ref().map_or(Json::Null, |s| {
+                        Json::Obj(vec![
+                            ("runs".into(), Json::u64(s.runs as u64)),
+                            ("min_total_time".into(), Json::u64(s.min_total_time)),
+                            ("median_total_time".into(), Json::u64(s.median_total_time)),
+                            ("max_total_time".into(), Json::u64(s.max_total_time)),
+                            ("min_aborts".into(), Json::u64(s.min_aborts)),
+                            ("max_aborts".into(), Json::u64(s.max_aborts)),
+                        ])
+                    }),
+                ),
             ]));
         }
     }
@@ -420,8 +434,39 @@ mod tests {
         assert_eq!(cell.get("time_unit"), Some(&Json::Str("cyc".into())));
         assert_eq!(cell.get("seed"), Some(&Json::Num(9.0)));
         assert_eq!(cell.get("record_words"), Some(&Json::Null));
+        assert_eq!(cell.get("retry"), Some(&Json::Str("exponential".into())));
+        assert_eq!(cell.get("repeat_spread"), Some(&Json::Null), "single runs carry no spread");
         assert!(matches!(cell.get("dma_setups_per_commit"), Some(Json::Num(n)) if *n > 0.0));
         assert!(cell.get("phases").and_then(|p| p.get("Reading")).is_some());
         assert!(cell.get("aborts_by_reason").is_some());
+    }
+
+    #[test]
+    fn repeated_cells_dump_their_spread() {
+        use crate::design_space::SweepOptions;
+        use pim_stm::{MetadataPlacement, StmKind};
+        use pim_workloads::spec::Executor;
+        use pim_workloads::Workload;
+        let sweep = DesignSpaceSweep::run_with(
+            Workload::ArrayB,
+            MetadataPlacement::Mram,
+            &[StmKind::Norec],
+            &[2],
+            SweepOptions {
+                executor: Executor::Threaded,
+                repeat: 2,
+                scale: 0.05,
+                ..SweepOptions::default()
+            },
+        );
+        let json = sweeps_to_json(std::slice::from_ref(&sweep));
+        let parsed = parse(&json.to_string()).expect("sweep dump must parse");
+        let Json::Arr(cells) = parsed else { panic!("dump must be an array") };
+        let spread = cells[0].get("repeat_spread").expect("spread key present");
+        assert_eq!(spread.get("runs"), Some(&Json::Num(2.0)));
+        let min = spread.get("min_total_time").expect("min present");
+        let max = spread.get("max_total_time").expect("max present");
+        let (Json::Num(min), Json::Num(max)) = (min, max) else { panic!("numeric spread") };
+        assert!(min <= max);
     }
 }

@@ -23,7 +23,7 @@ use pim_exp::json::sweeps_to_json;
 use pim_exp::latency::LatencyComparison;
 use pim_exp::multi_dpu::{figure8_table, MultiDpuBenchmark, MultiDpuStudy};
 use pim_exp::peak::PeakDistribution;
-use pim_stm::{MetadataPlacement, ReadStrategy, StmKind};
+use pim_stm::{MetadataPlacement, ReadStrategy, RetryPolicy, StmKind, TmComposition};
 use pim_workloads::spec::Executor;
 use pim_workloads::Workload;
 use std::process::ExitCode;
@@ -41,6 +41,7 @@ struct Options {
     seed: u64,
     repeat: usize,
     read_strategy: ReadStrategy,
+    retry: RetryPolicy,
     record_words: Option<u32>,
     burst_words: Option<Vec<u32>>,
     json_out: Option<String>,
@@ -60,6 +61,7 @@ impl Default for Options {
             seed: 42,
             repeat: 1,
             read_strategy: ReadStrategy::default(),
+            retry: RetryPolicy::default(),
             record_words: None,
             burst_words: None,
             json_out: None,
@@ -76,6 +78,7 @@ impl Options {
             executor,
             repeat: self.repeat,
             read_strategy: self.read_strategy,
+            retry: self.retry,
             record_words: self.record_words,
             ..SweepOptions::default()
         }
@@ -115,9 +118,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--stm" => {
                 let name = value()?;
-                options.stm = Some(StmKind::parse(&name).ok_or_else(|| {
-                    format!("unknown STM design {name} (e.g. norec, tiny-etlwb, vr-ctlwb)")
-                })?);
+                options.stm = Some(parse_stm(&name)?);
             }
             "--tier" => {
                 let name = value()?;
@@ -147,6 +148,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let name = value()?;
                 options.read_strategy = ReadStrategy::parse(&name).ok_or_else(|| {
                     format!("unknown read strategy {name} (expected word-wise|batched)")
+                })?;
+            }
+            "--retry" => {
+                let name = value()?;
+                options.retry = RetryPolicy::parse(&name).ok_or_else(|| {
+                    format!("unknown retry policy {name} (expected fixed|exponential|adaptive)")
                 })?;
             }
             "--record-words" => {
@@ -197,21 +204,45 @@ fn usage() -> String {
      \x20              [--workload <name>] [--stm <kind>] [--tier wram|mram]\n\
      \x20              [--executor simulator|threaded|both] [--repeat <n>]\n\
      \x20              [--read-strategy word-wise|batched] [--record-words <n>]\n\
+     \x20              [--retry fixed|exponential|adaptive]\n\
      \x20              [--burst-words 8,16,64,...] [--json-out <path>]\n\
      \x20              [--tasklets 1,3,5,...] [--dpus 1,500,...]\n\
      \x20              [--scale <f>] [--seed <n>]\n\
      \x20 A --workload/--stm pair reruns a single cell of the design-space\n\
-     \x20 grid (e.g. --workload array-b --stm norec --tasklets 4);\n\
+     \x20 grid (e.g. --workload array-b --stm norec --tasklets 4). --stm\n\
+     \x20 accepts legacy names (norec, tiny-etlwb, vr-ctlwb, ...) and\n\
+     \x20 grid names composing the policy axes <read>-<timing>-<write>,\n\
+     \x20 e.g. orec-etl-wb, vr-ctl-wb, norec-ctl-wb. --retry selects the\n\
+     \x20 retry axis: fixed window, exponential (default), or adaptive\n\
+     \x20 back-off tuned from the per-reason abort histogram.\n\
      \x20 --executor threaded|both pipes the same profile tables (phase\n\
      \x20 breakdown, abort reasons) through the threaded executor, and\n\
-     \x20 --repeat N keeps the median-of-N run per cell (for noisy\n\
-     \x20 wall-clock cells). --burst-words sweeps the DMA burst cap and\n\
-     \x20 reports MRAM DMA setups per commit under each cap; --json-out\n\
-     \x20 dumps every swept cell's execution profile as JSON.\n\
+     \x20 --repeat N keeps the median-of-N run per cell and reports the\n\
+     \x20 min/median/max spread over the runs (for noisy wall-clock\n\
+     \x20 cells). --burst-words sweeps the DMA burst cap and reports MRAM\n\
+     \x20 DMA setups per commit under each cap; --json-out dumps every\n\
+     \x20 swept cell's execution profile as JSON.\n\
      \x20 --record-words overrides ArrayBench's read-phase record grouping\n\
      \x20 (1 = the paper's original scattered single-entry reads; other\n\
      \x20 workloads ignore it)."
         .to_string()
+}
+
+/// Parses `--stm`: legacy kind names and grid-style composition names both
+/// resolve; a *parseable but incoherent* grid cell (a struck-out cell of
+/// Fig. 2) is rejected with the reason it is struck out.
+fn parse_stm(name: &str) -> Result<StmKind, String> {
+    if let Some(kind) = StmKind::parse(name) {
+        return Ok(kind);
+    }
+    if let Some(composition) = TmComposition::parse(name) {
+        let reason = composition.rejection_reason().unwrap_or("not a coherent design");
+        return Err(format!("--stm {name} names a struck-out cell of the policy grid: {reason}"));
+    }
+    Err(format!(
+        "unknown STM design {name} (legacy: norec, tiny-etlwb, vr-ctlwb, ...; \
+         grid: orec-etl-wb, vr-ctl-wb, norec-ctl-wb, ...)"
+    ))
 }
 
 fn print_sweep(
@@ -240,6 +271,9 @@ fn print_sweep(
         println!("{}", sweep.breakdown_table());
         println!("{}", sweep.abort_reason_table());
         println!("{}", sweep.profile_table());
+        if sweep.has_spread() {
+            println!("{}", sweep.repeat_spread_table());
+        }
         if let Some(caps) = &options.burst_words {
             let tasklets = sweep.points.iter().map(|p| p.tasklets).max().unwrap_or(1);
             let burst = BurstSweep::run(
@@ -302,6 +336,7 @@ fn run_figure(
         ("--json-out", options.json_out.is_some()),
         ("--repeat", options.repeat > 1),
         ("--read-strategy", options.read_strategy != ReadStrategy::default()),
+        ("--retry", options.retry != RetryPolicy::default()),
         ("--record-words", options.record_words.is_some()),
     ] {
         if set && !is_sweep_figure {
@@ -462,6 +497,42 @@ mod tests {
         let options = parse_args(&args).unwrap();
         assert_eq!(options.workload, Some(Workload::ArrayB));
         assert_eq!(options.stm, Some(StmKind::TinyEtlWb));
+    }
+
+    #[test]
+    fn stm_filter_accepts_grid_names_and_explains_struck_cells() {
+        let args: Vec<String> = ["--workload", "array-b", "--stm", "orec-etl-wb"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parse_args(&args).unwrap().stm, Some(StmKind::TinyEtlWb));
+        // A parseable but incoherent cell gets a "why" message, not a bare
+        // "unknown".
+        let err = parse_args(&["--stm".into(), "norec-etl-wb".into()]).unwrap_err();
+        assert!(err.contains("struck-out"), "{err}");
+        assert!(err.contains("commit-time"), "{err}");
+        let err = parse_args(&["--stm".into(), "orec-ctl-wt".into()]).unwrap_err();
+        assert!(err.contains("encounter-time"), "{err}");
+        // Garbage still reads as unknown, naming both grammars.
+        let err = parse_args(&["--stm".into(), "bogus".into()]).unwrap_err();
+        assert!(err.contains("grid:"), "{err}");
+    }
+
+    #[test]
+    fn retry_flag_parses_and_is_rejected_for_non_sweep_figures() {
+        let args: Vec<String> = ["--workload", "array-b", "--retry", "adaptive"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parse_args(&args).unwrap().retry, RetryPolicy::Adaptive);
+        assert_eq!(
+            parse_args(&["--retry".into(), "exp".into()]).unwrap().retry,
+            RetryPolicy::Exponential
+        );
+        assert!(parse_args(&["--retry".into(), "bogus".into()]).is_err());
+        let options = Options { retry: RetryPolicy::Fixed, ..Options::default() };
+        let err = run_figure("fig6", &options, &mut Vec::new()).unwrap_err();
+        assert!(err.contains("--retry"), "{err}");
     }
 
     #[test]

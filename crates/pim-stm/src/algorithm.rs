@@ -4,14 +4,15 @@
 
 use pim_sim::Addr;
 
-use crate::config::{LockTiming, StmKind, WritePolicy};
+use crate::config::StmKind;
 use crate::error::Abort;
-use crate::norec::Norec;
 use crate::platform::Platform;
+use crate::policy::{
+    CommitTime, ComposedTm, EncounterTime, InvisibleOrec, ValueValidation, VisibleReadLocks,
+    WriteBack, WriteThrough,
+};
 use crate::shared::StmShared;
-use crate::tiny::Tiny;
 use crate::txslot::TxSlot;
-use crate::vr::Vr;
 
 /// A word-based software transactional memory algorithm.
 ///
@@ -138,21 +139,34 @@ pub trait TmAlgorithm: Send + Sync {
     }
 }
 
-static NOREC: Norec = Norec;
-static TINY_CTL_WB: Tiny = Tiny::new(LockTiming::Commit, WritePolicy::WriteBack);
-static TINY_ETL_WB: Tiny = Tiny::new(LockTiming::Encounter, WritePolicy::WriteBack);
-static TINY_ETL_WT: Tiny = Tiny::new(LockTiming::Encounter, WritePolicy::WriteThrough);
-static VR_CTL_WB: Vr = Vr::new(LockTiming::Commit, WritePolicy::WriteBack);
-static VR_ETL_WB: Vr = Vr::new(LockTiming::Encounter, WritePolicy::WriteBack);
-static VR_ETL_WT: Vr = Vr::new(LockTiming::Encounter, WritePolicy::WriteThrough);
+// The seven coherent cells of the policy grid (all other cells fail
+// `ComposedTm::new`'s coherence check at compile time). Each legacy
+// `StmKind` resolves onto one of these compositions; the retired monolithic
+// implementations live on only as the differential oracle in
+// [`crate::legacy`].
+static NOREC: ComposedTm<ValueValidation, CommitTime, WriteBack> = ComposedTm::new(ValueValidation);
+static OREC_CTL_WB: ComposedTm<InvisibleOrec, CommitTime, WriteBack> =
+    ComposedTm::new(InvisibleOrec);
+static OREC_ETL_WB: ComposedTm<InvisibleOrec, EncounterTime, WriteBack> =
+    ComposedTm::new(InvisibleOrec);
+static OREC_ETL_WT: ComposedTm<InvisibleOrec, EncounterTime, WriteThrough> =
+    ComposedTm::new(InvisibleOrec);
+static VR_CTL_WB: ComposedTm<VisibleReadLocks, CommitTime, WriteBack> =
+    ComposedTm::new(VisibleReadLocks);
+static VR_ETL_WB: ComposedTm<VisibleReadLocks, EncounterTime, WriteBack> =
+    ComposedTm::new(VisibleReadLocks);
+static VR_ETL_WT: ComposedTm<VisibleReadLocks, EncounterTime, WriteThrough> =
+    ComposedTm::new(VisibleReadLocks);
 
-/// Returns the (stateless, statically allocated) implementation of `kind`.
+/// Returns the (stateless, statically allocated) implementation of `kind` —
+/// the [`ComposedTm`] policy composition the kind's
+/// [`crate::config::TmComposition`] describes.
 pub fn algorithm_for(kind: StmKind) -> &'static dyn TmAlgorithm {
     match kind {
         StmKind::Norec => &NOREC,
-        StmKind::TinyCtlWb => &TINY_CTL_WB,
-        StmKind::TinyEtlWb => &TINY_ETL_WB,
-        StmKind::TinyEtlWt => &TINY_ETL_WT,
+        StmKind::TinyCtlWb => &OREC_CTL_WB,
+        StmKind::TinyEtlWb => &OREC_ETL_WB,
+        StmKind::TinyEtlWt => &OREC_ETL_WT,
         StmKind::VrCtlWb => &VR_CTL_WB,
         StmKind::VrEtlWb => &VR_ETL_WB,
         StmKind::VrEtlWt => &VR_ETL_WT,

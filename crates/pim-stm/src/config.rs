@@ -69,6 +69,64 @@ pub enum ReadVisibility {
     Visible,
 }
 
+/// The read-protocol axis of the policy grid: how a transaction observes
+/// memory and how that observation is kept consistent. Each variant names
+/// one [`crate::policy::ReadPolicy`] implementation.
+///
+/// This axis folds the paper's *metadata granularity* and *read visibility*
+/// dimensions into one: the choice of read protocol dictates both (per-word
+/// ORecs with invisible reads, per-word rw-locks with visible reads, or a
+/// single global sequence lock with value-based validation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ReadPolicyKind {
+    /// Invisible reads against per-word ownership records with a global
+    /// version clock and snapshot extension (the Tiny family's protocol).
+    Orec,
+    /// Visible reads: every read acquires the covering read-write lock in
+    /// read mode (the VR family's protocol).
+    VisibleLocks,
+    /// No per-word metadata at all: a single global sequence lock brackets
+    /// commits and reads re-validate *by value* (NOrec's protocol).
+    ValueValidation,
+}
+
+impl ReadPolicyKind {
+    /// All read policies, in grid order.
+    pub const ALL: [ReadPolicyKind; 3] =
+        [ReadPolicyKind::Orec, ReadPolicyKind::VisibleLocks, ReadPolicyKind::ValueValidation];
+
+    /// Short grid name (`orec` / `vr` / `norec`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ReadPolicyKind::Orec => "orec",
+            ReadPolicyKind::VisibleLocks => "vr",
+            ReadPolicyKind::ValueValidation => "norec",
+        }
+    }
+
+    /// The metadata granularity this read protocol implies.
+    pub fn granularity(self) -> MetadataGranularity {
+        match self {
+            ReadPolicyKind::ValueValidation => MetadataGranularity::NoOrec,
+            _ => MetadataGranularity::Orec,
+        }
+    }
+
+    /// The read visibility this read protocol implies.
+    pub fn visibility(self) -> ReadVisibility {
+        match self {
+            ReadPolicyKind::VisibleLocks => ReadVisibility::Visible,
+            _ => ReadVisibility::Invisible,
+        }
+    }
+}
+
+impl fmt::Display for ReadPolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// When write locks are acquired.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum LockTiming {
@@ -86,6 +144,105 @@ pub enum WritePolicy {
     /// Writes go straight to memory; an undo log restores old values on
     /// abort.
     WriteThrough,
+}
+
+/// The retry axis of the policy grid: how a tasklet waits between an
+/// aborted attempt and its retry. Unlike the read/lock/write axes this one
+/// is *orthogonal to correctness* — every policy composes with every design
+/// — so it is carried on [`StmConfig`] rather than baked into the engine.
+///
+/// The wait itself is charged through [`crate::Platform::spin_wait`], so it
+/// shows up as back-off time in [`crate::ExecProfile`] on both executors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RetryPolicy {
+    /// A constant-size wait window with per-tasklet jitter: cheap and
+    /// predictable, but livelock-prone under sustained symmetric contention
+    /// (the jitter is the only thing breaking duels).
+    Fixed,
+    /// Bounded randomised exponential back-off — the window doubles with
+    /// every consecutive abort up to a saturation cap. This is the
+    /// pre-policy-grid behaviour and the default.
+    #[default]
+    Exponential,
+    /// Histogram-adaptive back-off: the saturation cap is tuned from the
+    /// tasklet's own per-[`crate::AbortReason`] abort counts. Lock-shaped
+    /// conflicts (a holder must drain) keep the full exponential window;
+    /// validation failures (the conflicting commit has already finished)
+    /// cap the window low so the tasklet retries promptly.
+    Adaptive,
+}
+
+impl RetryPolicy {
+    /// All retry policies, for sweeps.
+    pub const ALL: [RetryPolicy; 3] =
+        [RetryPolicy::Fixed, RetryPolicy::Exponential, RetryPolicy::Adaptive];
+
+    /// Short lowercase name used by the CLI and in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RetryPolicy::Fixed => "fixed",
+            RetryPolicy::Exponential => "exponential",
+            RetryPolicy::Adaptive => "adaptive",
+        }
+    }
+
+    /// Parses the CLI form (`fixed`, `exp`/`exponential`, `adaptive`).
+    pub fn parse(name: &str) -> Option<RetryPolicy> {
+        let canon: String =
+            name.to_ascii_lowercase().chars().filter(|c| c.is_ascii_alphanumeric()).collect();
+        match canon.as_str() {
+            "fixed" => Some(RetryPolicy::Fixed),
+            "exp" | "exponential" => Some(RetryPolicy::Exponential),
+            "adaptive" => Some(RetryPolicy::Adaptive),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RetryPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// In which order a multi-word [`crate::TmAlgorithm::write_record`] acquires
+/// the ownership records covering the record (encounter-time-locking
+/// compositions only; commit-time locking buffers unlocked and NOrec has no
+/// per-word locks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LockOrder {
+    /// One full per-word write per record word, in record order — locks are
+    /// acquired interleaved with undo/redo logging and (for write-through)
+    /// data stores, exactly like issuing the writes one by one. Kept as the
+    /// comparison baseline.
+    RecordOrder,
+    /// Acquire every covering ORec **first**, sorted by lock-table address
+    /// and deduplicated, then log and store the data. The global acquisition
+    /// order turns symmetric lock-order duels (each transaction holding what
+    /// the other wants, both aborting) into single losers, and the
+    /// back-to-back acquisitions shrink the window in which a transaction
+    /// holds a partial lock set.
+    #[default]
+    AddressSorted,
+}
+
+impl LockOrder {
+    /// Both orders, for A/B tests.
+    pub const ALL: [LockOrder; 2] = [LockOrder::RecordOrder, LockOrder::AddressSorted];
+
+    /// Short lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            LockOrder::RecordOrder => "record-order",
+            LockOrder::AddressSorted => "address-sorted",
+        }
+    }
+}
+
+impl fmt::Display for LockOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// How commit-time write-back publishes the redo log to memory.
@@ -227,11 +384,14 @@ impl StmKind {
     }
 
     /// Parses the CLI form of a kind name (case-insensitive, `-`/`_`/space
-    /// separators accepted), e.g. `norec`, `tiny-etlwb`, `vr_ctlwb`.
+    /// separators accepted): either a legacy name (`norec`, `tiny-etlwb`,
+    /// `vr_ctlwb`) or a grid name composing the policy axes
+    /// (`orec-etl-wb`, `vr-ctl-wb`, `norec-ctl-wb` — see
+    /// [`StmKind::grid_name`]).
     pub fn parse(name: &str) -> Option<StmKind> {
         let canon: String =
             name.to_ascii_lowercase().chars().filter(|c| c.is_ascii_alphanumeric()).collect();
-        match canon.as_str() {
+        let legacy = match canon.as_str() {
             "norec" => Some(StmKind::Norec),
             "tinyctlwb" => Some(StmKind::TinyCtlWb),
             "tinyetlwb" => Some(StmKind::TinyEtlWb),
@@ -240,6 +400,42 @@ impl StmKind {
             "vretlwb" => Some(StmKind::VrEtlWb),
             "vretlwt" => Some(StmKind::VrEtlWt),
             _ => None,
+        };
+        legacy.or_else(|| TmComposition::parse(name).and_then(TmComposition::kind))
+    }
+
+    /// The grid-style name of this design's policy composition:
+    /// `<read>-<timing>-<write>` over the axes of [`TmComposition`].
+    pub fn grid_name(self) -> &'static str {
+        match self {
+            StmKind::Norec => "norec-ctl-wb",
+            StmKind::TinyCtlWb => "orec-ctl-wb",
+            StmKind::TinyEtlWb => "orec-etl-wb",
+            StmKind::TinyEtlWt => "orec-etl-wt",
+            StmKind::VrCtlWb => "vr-ctl-wb",
+            StmKind::VrEtlWb => "vr-etl-wb",
+            StmKind::VrEtlWt => "vr-etl-wt",
+        }
+    }
+
+    /// The policy composition this legacy kind resolves to. Every kind maps
+    /// onto exactly one coherent cell of the read × lock × write grid; the
+    /// actual engine ([`crate::policy::ComposedTm`]) is instantiated from
+    /// these axes, so this mapping *is* the design's definition.
+    pub fn composition(self) -> TmComposition {
+        TmComposition {
+            read: self.read_policy(),
+            timing: self.lock_timing(),
+            write: self.write_policy(),
+        }
+    }
+
+    /// Position of this design on the read-protocol axis.
+    pub fn read_policy(self) -> ReadPolicyKind {
+        match self {
+            StmKind::Norec => ReadPolicyKind::ValueValidation,
+            StmKind::TinyCtlWb | StmKind::TinyEtlWb | StmKind::TinyEtlWt => ReadPolicyKind::Orec,
+            StmKind::VrCtlWb | StmKind::VrEtlWb | StmKind::VrEtlWt => ReadPolicyKind::VisibleLocks,
         }
     }
 
@@ -287,6 +483,117 @@ impl fmt::Display for StmKind {
     }
 }
 
+/// One cell of the policy grid: a read protocol, a lock-acquisition time and
+/// a write policy. This is the *descriptor* form of an STM design — the
+/// engine itself is [`crate::policy::ComposedTm`], instantiated from these
+/// axes — and the grammar behind grid-style CLI names like `orec-etl-wb`.
+///
+/// Not every cell is coherent; [`TmComposition::rejection_reason`] names the
+/// constraint a cell violates and [`TmComposition::kind`] maps the seven
+/// coherent cells back onto the paper's [`StmKind`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TmComposition {
+    /// The read-protocol axis.
+    pub read: ReadPolicyKind,
+    /// The lock-timing axis.
+    pub timing: LockTiming,
+    /// The write-policy axis.
+    pub write: WritePolicy,
+}
+
+impl TmComposition {
+    /// Every cell of the 3 × 2 × 2 grid, coherent or not, in axis order.
+    pub fn all() -> impl Iterator<Item = TmComposition> {
+        ReadPolicyKind::ALL.into_iter().flat_map(|read| {
+            [LockTiming::Encounter, LockTiming::Commit].into_iter().flat_map(move |timing| {
+                [WritePolicy::WriteBack, WritePolicy::WriteThrough]
+                    .into_iter()
+                    .map(move |write| TmComposition { read, timing, write })
+            })
+        })
+    }
+
+    /// Whether this cell is a sound STM design (the unstruck cells of the
+    /// paper's Fig. 2). `const` so [`crate::policy::ComposedTm`] can reject
+    /// incoherent compositions when its statics are built.
+    pub const fn is_coherent(self) -> bool {
+        // Write-through exposes uncommitted stores, so the writer must
+        // already hold the lock: commit-time locking cannot write through.
+        if matches!(self.write, WritePolicy::WriteThrough)
+            && matches!(self.timing, LockTiming::Commit)
+        {
+            return false;
+        }
+        // Value validation has no per-word locks: there is nothing to
+        // acquire at encounter time, and nothing to hold while a
+        // write-through store is exposed.
+        if matches!(self.read, ReadPolicyKind::ValueValidation)
+            && (matches!(self.timing, LockTiming::Encounter)
+                || matches!(self.write, WritePolicy::WriteThrough))
+        {
+            return false;
+        }
+        true
+    }
+
+    /// Why this cell is incoherent, or `None` if it is a sound design.
+    pub fn rejection_reason(self) -> Option<&'static str> {
+        if self.is_coherent() {
+            return None;
+        }
+        if self.read == ReadPolicyKind::ValueValidation {
+            Some(
+                "value validation (norec) has no per-word locks, so it composes only with \
+                 commit-time locking and write-back (norec-ctl-wb)",
+            )
+        } else {
+            Some(
+                "write-through requires encounter-time locking: a commit-time-locking \
+                 transaction may still abort after exposing its stores (Fig. 2)",
+            )
+        }
+    }
+
+    /// The legacy [`StmKind`] this cell corresponds to, or `None` for
+    /// incoherent cells.
+    pub fn kind(self) -> Option<StmKind> {
+        StmKind::ALL.into_iter().find(|k| k.composition() == self)
+    }
+
+    /// The grid-style name of this cell, e.g. `orec-etl-wb` (rendered for
+    /// incoherent cells too, so rejection messages can name them).
+    pub fn grid_name(self) -> String {
+        let timing = match self.timing {
+            LockTiming::Encounter => "etl",
+            LockTiming::Commit => "ctl",
+        };
+        let write = match self.write {
+            WritePolicy::WriteBack => "wb",
+            WritePolicy::WriteThrough => "wt",
+        };
+        format!("{}-{timing}-{write}", self.read.name())
+    }
+
+    /// Parses a grid-style cell name (`<read>-<timing>-<write>`,
+    /// case-insensitive, separators optional). Incoherent cells parse too —
+    /// callers reject them with [`TmComposition::rejection_reason`] so the
+    /// user learns *why* the cell is struck out rather than just "unknown".
+    pub fn parse(name: &str) -> Option<TmComposition> {
+        let canon: String =
+            name.to_ascii_lowercase().chars().filter(|c| c.is_ascii_alphanumeric()).collect();
+        TmComposition::all().find(|c| {
+            c.grid_name().chars().filter(|ch| ch.is_ascii_alphanumeric()).collect::<String>()
+                == canon
+        })
+    }
+}
+
+impl fmt::Display for TmComposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.grid_name())
+    }
+}
+
 /// Complete configuration of an STM instance on one DPU.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct StmConfig {
@@ -307,6 +614,11 @@ pub struct StmConfig {
     pub write_back: WriteBackStrategy,
     /// How record reads move their data (see [`ReadStrategy`]).
     pub read_strategy: ReadStrategy,
+    /// How aborted attempts back off before retrying (see [`RetryPolicy`]).
+    pub retry: RetryPolicy,
+    /// In which order multi-word record writes acquire their ownership
+    /// records under encounter-time locking (see [`LockOrder`]).
+    pub lock_order: LockOrder,
     /// Longest run a coalesced write-back — or a batched record read —
     /// moves as a single DMA burst, in words: the size of the staging
     /// buffer a tasklet reserves in WRAM (the hardware also caps one DMA
@@ -336,6 +648,8 @@ impl StmConfig {
             write_set_capacity: 64,
             write_back: WriteBackStrategy::default(),
             read_strategy: ReadStrategy::default(),
+            retry: RetryPolicy::default(),
+            lock_order: LockOrder::default(),
             max_burst_words: DEFAULT_BURST_WORDS,
         }
     }
@@ -361,6 +675,20 @@ impl StmConfig {
     /// [`ReadStrategy::Batched`]).
     pub fn with_read_strategy(mut self, strategy: ReadStrategy) -> Self {
         self.read_strategy = strategy;
+        self
+    }
+
+    /// Selects the retry/back-off policy (the default is
+    /// [`RetryPolicy::Exponential`], the pre-policy-grid behaviour).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Selects the ORec acquisition order of multi-word record writes under
+    /// encounter-time locking (the default is [`LockOrder::AddressSorted`]).
+    pub fn with_lock_order(mut self, order: LockOrder) -> Self {
+        self.lock_order = order;
         self
     }
 
@@ -538,6 +866,77 @@ mod tests {
         assert_eq!(cfg.shared_metadata_words(), 130);
         let norec = StmConfig::new(StmKind::Norec, MetadataPlacement::Wram);
         assert_eq!(norec.shared_metadata_words(), 2);
+    }
+
+    #[test]
+    fn the_coherent_grid_cells_are_exactly_the_papers_seven_designs() {
+        let coherent: Vec<TmComposition> =
+            TmComposition::all().filter(|c| c.is_coherent()).collect();
+        assert_eq!(coherent.len(), 7, "the 3×2×2 grid has exactly 7 unstruck cells");
+        for cell in TmComposition::all() {
+            match cell.kind() {
+                Some(kind) => {
+                    assert!(cell.is_coherent(), "{cell} maps to {kind} but is incoherent");
+                    assert_eq!(kind.composition(), cell);
+                    assert_eq!(cell.rejection_reason(), None);
+                }
+                None => {
+                    assert!(!cell.is_coherent(), "{cell} is coherent but maps to no kind");
+                    assert!(cell.rejection_reason().is_some(), "{cell} needs a rejection message");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_names_roundtrip_through_both_parsers() {
+        for kind in StmKind::ALL {
+            assert_eq!(StmKind::parse(kind.grid_name()), Some(kind), "{}", kind.grid_name());
+            assert_eq!(kind.composition().grid_name(), kind.grid_name());
+            assert_eq!(
+                TmComposition::parse(kind.grid_name()),
+                Some(kind.composition()),
+                "{}",
+                kind.grid_name()
+            );
+        }
+        // Grid separators are flexible, like the legacy names.
+        assert_eq!(StmKind::parse("OREC_ETL_WB"), Some(StmKind::TinyEtlWb));
+        assert_eq!(StmKind::parse("vr ctl wb"), Some(StmKind::VrCtlWb));
+        // Incoherent cells parse as compositions (for error messages) but
+        // never as kinds.
+        let struck = TmComposition::parse("norec-etl-wb").unwrap();
+        assert_eq!(struck.kind(), None);
+        assert_eq!(StmKind::parse("norec-etl-wb"), None);
+        assert_eq!(StmKind::parse("orec-ctl-wt"), None);
+    }
+
+    #[test]
+    fn retry_policies_default_parse_and_display() {
+        let cfg = StmConfig::new(StmKind::Norec, MetadataPlacement::Wram);
+        assert_eq!(cfg.retry, RetryPolicy::Exponential, "default must match legacy behaviour");
+        assert_eq!(cfg.with_retry(RetryPolicy::Adaptive).retry, RetryPolicy::Adaptive);
+        for policy in RetryPolicy::ALL {
+            assert_eq!(RetryPolicy::parse(policy.name()), Some(policy));
+        }
+        assert_eq!(RetryPolicy::parse("exp"), Some(RetryPolicy::Exponential));
+        assert_eq!(RetryPolicy::parse("bogus"), None);
+    }
+
+    #[test]
+    fn lock_order_defaults_to_address_sorted() {
+        let cfg = StmConfig::new(StmKind::TinyEtlWb, MetadataPlacement::Wram);
+        assert_eq!(cfg.lock_order, LockOrder::AddressSorted);
+        assert_eq!(cfg.with_lock_order(LockOrder::RecordOrder).lock_order, LockOrder::RecordOrder);
+        assert_ne!(LockOrder::RecordOrder.name(), LockOrder::AddressSorted.name());
+    }
+
+    #[test]
+    fn read_policy_axis_implies_granularity_and_visibility() {
+        for kind in StmKind::ALL {
+            assert_eq!(kind.read_policy().granularity(), kind.granularity(), "{kind}");
+            assert_eq!(kind.read_policy().visibility(), kind.read_visibility(), "{kind}");
+        }
     }
 
     #[test]

@@ -40,13 +40,21 @@ fn account_commit(tx: &mut TxSlot, p: &mut dyn Platform) {
     tx.note_commit();
 }
 
-/// Accounts an aborted attempt — recording *why* it aborted, so the
-/// platform's profile can keep its abort-reason histogram — and applies
-/// bounded exponential back-off.
-fn account_abort(tx: &mut TxSlot, p: &mut dyn Platform, reason: AbortReason) {
+/// Accounts an aborted attempt — recording *why* it aborted, both in the
+/// platform's profile and in the descriptor's local histogram — and applies
+/// the configured [`crate::RetryPolicy`] back-off. This is the single
+/// emission point for the retry axis: every abort on every executor flows
+/// through here, so `--retry` sweeps need no per-algorithm (or per-body)
+/// support.
+fn account_abort(
+    tx: &mut TxSlot,
+    p: &mut dyn Platform,
+    reason: AbortReason,
+    retry: crate::config::RetryPolicy,
+) {
     p.abort_attempt_with(reason);
-    tx.note_abort();
-    backoff(p, tx.consecutive_aborts());
+    tx.note_abort(reason);
+    crate::retry::apply(retry, tx, p);
 }
 
 /// Runs `body` as a transaction, retrying on abort until it commits, and
@@ -83,7 +91,7 @@ pub fn run_retry_loop<R>(
                 return value;
             }
             Err(abort) => {
-                account_abort(tx, p, abort.reason);
+                account_abort(tx, p, abort.reason, shared.config().retry);
                 if let Some(c) = counters.as_deref_mut() {
                     c.aborts += 1;
                 }
@@ -93,30 +101,10 @@ pub fn run_retry_loop<R>(
     }
 }
 
-/// Bounded randomised exponential back-off charged as spin-wait
-/// instructions.
-///
-/// The jitter term (derived deterministically from the tasklet id and the
-/// attempt number, so simulated runs stay reproducible) is essential on the
-/// discrete-event executor: tasklets that abort in lockstep would otherwise
-/// retry in lockstep forever — the classic symmetric-livelock problem that
-/// real hardware escapes through timing noise.
-pub fn backoff(p: &mut dyn Platform, consecutive_aborts: u64) {
-    if consecutive_aborts == 0 {
-        return;
-    }
-    // The window keeps doubling well past the length of a typical
-    // transaction: designs that are prone to symmetric duels (most notably
-    // the commit-time-locking visible-reads variant, whose readers block each
-    // other's upgrades) need some competitor's window to grow large enough
-    // that the others can drain completely.
-    let exp = consecutive_aborts.min(14) as u32;
-    let seed = (p.tasklet_id() as u64 + 1)
-        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-        .wrapping_add(consecutive_aborts.wrapping_mul(0xbf58_476d_1ce4_e5b9));
-    let jitter = (seed >> 33) % (1u64 << exp);
-    p.spin_wait((1u64 << exp) + 3 * jitter);
-}
+// The legacy exponential back-off now lives on the retry axis
+// ([`crate::retry`], where `RetryPolicy::Fixed`/`Adaptive` sit next to it);
+// re-exported here because `backoff` predates the axis as this module's API.
+pub use crate::retry::backoff;
 
 /// Per-tasklet transactional machinery: one STM algorithm plus the shared
 /// metadata and this tasklet's descriptor, usable from both execution styles.
@@ -246,7 +234,7 @@ impl TxEngine {
     /// bounded exponential back-off. Callers hold the reason because the
     /// step that failed returned it inside [`Abort`].
     pub fn on_abort(&mut self, p: &mut dyn Platform, reason: AbortReason) {
-        account_abort(&mut self.slot, p, reason);
+        account_abort(&mut self.slot, p, reason, self.shared.config().retry);
         self.counters.aborts += 1;
     }
 

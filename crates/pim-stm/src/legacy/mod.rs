@@ -1,0 +1,65 @@
+//! The retired monolithic STM implementations, frozen as a differential
+//! oracle.
+//!
+//! Before the policy redesign ([`crate::policy`]) the seven designs were
+//! implemented as three hand-written [`TmAlgorithm`] families — [`Tiny`],
+//! [`Vr`] and [`Norec`] — with heavy duplication between the first two.
+//! The production path no longer reaches this code: [`crate::algorithm_for`]
+//! resolves every [`crate::StmKind`] to a [`crate::policy::ComposedTm`]
+//! instantiation.
+//!
+//! This module survives for exactly one purpose: the **policy equivalence
+//! suite** (`tests/policy_equivalence.rs`) replays identical seeded runs
+//! through both engines and asserts that commits, per-reason abort
+//! histograms and final memory agree bit-for-bit on the deterministic
+//! simulator. The code here is the pre-redesign behaviour, verbatim; do not
+//! "improve" it — any legitimate behaviour change belongs in
+//! [`crate::policy`], where the oracle comparison will flag it for an
+//! explicit test-side acknowledgement. Once the composed engine has carried
+//! a few PRs' worth of changes of its own, this module (and the comparison
+//! suite's oracle half) can be deleted.
+
+pub mod norec;
+pub mod tiny;
+pub mod vr;
+
+pub use norec::Norec;
+pub use tiny::Tiny;
+pub use vr::Vr;
+
+use crate::config::{LockTiming, StmKind, WritePolicy};
+use crate::TmAlgorithm;
+
+static NOREC: Norec = Norec;
+static TINY_CTL_WB: Tiny = Tiny::new(LockTiming::Commit, WritePolicy::WriteBack);
+static TINY_ETL_WB: Tiny = Tiny::new(LockTiming::Encounter, WritePolicy::WriteBack);
+static TINY_ETL_WT: Tiny = Tiny::new(LockTiming::Encounter, WritePolicy::WriteThrough);
+static VR_CTL_WB: Vr = Vr::new(LockTiming::Commit, WritePolicy::WriteBack);
+static VR_ETL_WB: Vr = Vr::new(LockTiming::Encounter, WritePolicy::WriteBack);
+static VR_ETL_WT: Vr = Vr::new(LockTiming::Encounter, WritePolicy::WriteThrough);
+
+/// Returns the *pre-redesign* implementation of `kind` — the oracle half of
+/// a differential test. Production code wants [`crate::algorithm_for`].
+pub fn legacy_algorithm_for(kind: StmKind) -> &'static dyn TmAlgorithm {
+    match kind {
+        StmKind::Norec => &NOREC,
+        StmKind::TinyCtlWb => &TINY_CTL_WB,
+        StmKind::TinyEtlWb => &TINY_ETL_WB,
+        StmKind::TinyEtlWt => &TINY_ETL_WT,
+        StmKind::VrCtlWb => &VR_CTL_WB,
+        StmKind::VrEtlWb => &VR_ETL_WB,
+        StmKind::VrEtlWt => &VR_ETL_WT,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_factory_returns_matching_kinds() {
+        for kind in StmKind::ALL {
+            assert_eq!(legacy_algorithm_for(kind).kind(), kind);
+        }
+    }
+}

@@ -57,7 +57,7 @@ pub struct Vr {
 impl Vr {
     /// Creates the variant with the given lock timing and write policy.
     ///
-    /// As in [`crate::tiny::Tiny`], write-through with commit-time locking is
+    /// As in [`crate::legacy::tiny::Tiny`], write-through with commit-time locking is
     /// rejected because it would expose uncommitted writes.
     pub const fn new(timing: LockTiming, policy: WritePolicy) -> Self {
         assert!(

@@ -7,17 +7,53 @@
 //! scratchpad, a 64 MB MRAM bank and a 256-entry atomic bit register (and
 //! nothing else — no compare-and-swap, no read/write locks).
 //!
-//! The library covers the paper's full design-space taxonomy (Fig. 2):
+//! The library covers the paper's full design-space taxonomy (Fig. 2) — as
+//! a real **policy grid**, not a flat list: every design is an instantiation
+//! of the generic [`ComposedTm`]`<R, L, W>` engine ([`policy`] module) from
+//! one value of each orthogonal axis, and every legacy [`StmKind`] is a
+//! descriptor ([`StmKind::composition`]) naming its cell:
 //!
-//! | [`StmKind`] | metadata | read visibility | lock timing | write policy |
+//! | [`StmKind`] | grid name | read policy `R` | lock timing `L` | write policy `W` |
 //! |---|---|---|---|---|
-//! | `Norec` | single sequence lock | invisible | commit time | write-back |
-//! | `TinyCtlWb` | ownership records | invisible | commit time | write-back |
-//! | `TinyEtlWb` | ownership records | invisible | encounter time | write-back |
-//! | `TinyEtlWt` | ownership records | invisible | encounter time | write-through |
-//! | `VrCtlWb` | rw-lock records | visible | commit time | write-back |
-//! | `VrEtlWb` | rw-lock records | visible | encounter time | write-back |
-//! | `VrEtlWt` | rw-lock records | visible | encounter time | write-through |
+//! | `Norec` | `norec-ctl-wb` | value validation (seqlock) | commit time | write-back |
+//! | `TinyCtlWb` | `orec-ctl-wb` | invisible ORec | commit time | write-back |
+//! | `TinyEtlWb` | `orec-etl-wb` | invisible ORec | encounter time | write-back |
+//! | `TinyEtlWt` | `orec-etl-wt` | invisible ORec | encounter time | write-through |
+//! | `VrCtlWb` | `vr-ctl-wb` | visible read-locks | commit time | write-back |
+//! | `VrEtlWb` | `vr-etl-wb` | visible read-locks | encounter time | write-back |
+//! | `VrEtlWt` | `vr-etl-wt` | visible read-locks | encounter time | write-through |
+//!
+//! ## The policy-trait contract
+//!
+//! Each axis owns a fixed set of hooks (see [`policy`] for the precise
+//! signatures and the equivalence guarantees):
+//!
+//! * [`policy::LockPolicy`] — pure *timing*: whether writes acquire
+//!   ownership at encounter time or buffer until a commit-time acquisition
+//!   pass, and whether reads must first consult the redo log;
+//! * [`policy::WritePolicy`] — what a write *does* once ownership is held:
+//!   redo log published by the shared [`writeback`] pass, or in-place store
+//!   plus undo log replayed on abort;
+//! * [`policy::ReadPolicy`] — everything touching conflict-detection
+//!   metadata: the single-word read protocol, write-lock
+//!   acquisition/release, commit-time acquisition, validation + commit
+//!   ticket, and the [`access::RecordReader`]-shaped hooks of batched
+//!   record reads. This axis subsumes the paper's metadata-granularity and
+//!   read-visibility dimensions;
+//! * [`RetryPolicy`] — the independent back-off axis ([`retry`] module),
+//!   owned by the shared retry core rather than the algorithm: fixed
+//!   window, bounded exponential (default), or adaptive back-off tuned from
+//!   the tasklet's per-[`AbortReason`] abort histogram.
+//!
+//! Incoherent cells are rejected **at construction** (at compile time for
+//! the built-in statics): commit-time locking cannot write through (a CTL
+//! transaction may abort after exposing stores that no reader ever saw a
+//! lock for), and value validation composes only with CTL + WB (no
+//! per-word locks to take at encounter time or to hold over an exposed
+//! store). [`TmComposition::is_coherent`] is the single source of truth;
+//! the seven coherent cells are exactly the paper's seven designs. The
+//! retired monolithic implementations survive in [`legacy`] purely as the
+//! differential oracle of the policy equivalence suite.
 //!
 //! STM metadata (lock table, sequence lock, global clock, per-tasklet read
 //! and write sets) can be placed in **WRAM** or **MRAM** via
@@ -104,6 +140,15 @@
 //! [`access`] module documentation for the metadata-hook contract: when a
 //! batched read must re-validate, fall back, or abort.
 //!
+//! On the write side, multi-word record writes under encounter-time locking
+//! acquire their ownership records in one pass **sorted by lock-table
+//! address and deduplicated** before any logging or data stores
+//! ([`LockOrder::AddressSorted`], the default): the global acquisition
+//! order turns symmetric lock-order duels into single losers, and a
+//! conflicting record write now aborts before it has exposed a single
+//! write-through store or pushed a single log entry.
+//! [`LockOrder::RecordOrder`] restores the per-word baseline for A/B runs.
+//!
 //! ## Execution profiles: one instrumentation spine for both executors
 //!
 //! Every run — simulated or threaded — produces the same per-tasklet
@@ -134,7 +179,10 @@
 //! [`threaded::ThreadedDpu::run`] returns them in
 //! [`threaded::ThreadedRunReport::profiles`].
 
-#![forbid(unsafe_code)]
+// Unsafe is denied everywhere except the two audited syscall shims of
+// `threaded::affinity` (best-effort thread pinning has no safe-Rust,
+// no-dependency equivalent).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod access;
@@ -142,27 +190,28 @@ pub mod algorithm;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod legacy;
 pub mod locktable;
-pub mod norec;
 pub mod platform;
+pub mod policy;
 pub mod profile;
+pub mod retry;
 pub mod rwlock;
 pub mod shared;
 pub mod threaded;
-pub mod tiny;
 pub mod txslot;
 pub mod var;
-pub mod vr;
 pub mod writeback;
 
 pub use algorithm::{algorithm_for, run_transaction, TmAlgorithm, TxView};
 pub use config::{
-    LockTiming, MetadataGranularity, MetadataPlacement, ReadStrategy, ReadVisibility, StmConfig,
-    StmKind, WriteBackStrategy, WritePolicy,
+    LockOrder, LockTiming, MetadataGranularity, MetadataPlacement, ReadPolicyKind, ReadStrategy,
+    ReadVisibility, RetryPolicy, StmConfig, StmKind, TmComposition, WriteBackStrategy, WritePolicy,
 };
 pub use engine::{run_retry_loop, TxCounters, TxEngine};
 pub use error::{Abort, AbortReason, RunError};
 pub use platform::Platform;
+pub use policy::ComposedTm;
 pub use profile::{ExecProfile, TimeDomain};
 pub use shared::StmShared;
 pub use txslot::TxSlot;

@@ -20,6 +20,8 @@
 //! directly comparable on counts and structure, not on absolute time — in
 //! addition to being the correctness cross-check.
 
+pub mod affinity;
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -302,6 +304,17 @@ impl TaskletTx<'_> {
     }
 }
 
+impl std::fmt::Debug for ThreadedDpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedDpu")
+            .field("config", &self.config)
+            .field("slots", &self.slots.len())
+            .field("pin_threads", &self.pin_threads)
+            .field("algorithm_override", &self.algorithm_override.map(|a| a.kind()))
+            .finish_non_exhaustive()
+    }
+}
+
 impl MetadataAllocator for ThreadedDpu {
     fn alloc_words(&mut self, tier: Tier, words: u32) -> Result<Addr, AllocError> {
         self.memory.alloc(tier, words)
@@ -329,6 +342,11 @@ pub struct ThreadedRunReport {
     /// One [`TimeDomain::WallNanos`] profile per tasklet, indexed by tasklet
     /// id.
     pub profiles: Vec<ExecProfile>,
+    /// How many tasklet threads were actually pinned to a core (see
+    /// [`affinity`]): between 0 (pinning unsupported, disabled, or more
+    /// tasklets than allowed CPUs) and the tasklet count. Unpinned runs are
+    /// correct but their wall-clock profiles carry more scheduling noise.
+    pub pinned_tasklets: usize,
 }
 
 impl ThreadedRunReport {
@@ -340,7 +358,6 @@ impl ThreadedRunReport {
 }
 
 /// A DPU whose tasklets are real threads over atomic shared memory.
-#[derive(Debug)]
 pub struct ThreadedDpu {
     memory: SharedMemory,
     shared: StmShared,
@@ -349,6 +366,14 @@ pub struct ThreadedDpu {
     /// reused by every subsequent [`ThreadedDpu::run`] call (the metadata
     /// allocator is bump-only, so re-registering each run would leak).
     slots: Vec<TxSlot>,
+    /// Whether tasklet threads should pin themselves to cores (default on;
+    /// see [`affinity`] for the best-effort rules).
+    pin_threads: bool,
+    /// Differential-testing hook: when set, [`ThreadedDpu::run`] drives this
+    /// algorithm instead of resolving the configured kind through
+    /// [`algorithm_for`]. Used by the policy equivalence suite to run the
+    /// frozen [`crate::legacy`] oracle on real threads.
+    algorithm_override: Option<&'static dyn TmAlgorithm>,
 }
 
 impl ThreadedDpu {
@@ -374,7 +399,35 @@ impl ThreadedDpu {
     ) -> Result<Self, AllocError> {
         let memory = SharedMemory::new(wram_words, mram_words);
         let shared = StmShared::allocate(&mut (&memory), config)?;
-        Ok(ThreadedDpu { memory, shared, config, slots: Vec::new() })
+        Ok(ThreadedDpu {
+            memory,
+            shared,
+            config,
+            slots: Vec::new(),
+            pin_threads: true,
+            algorithm_override: None,
+        })
+    }
+
+    /// Enables or disables best-effort thread→core pinning for subsequent
+    /// [`ThreadedDpu::run`] calls (default: enabled). See [`affinity`].
+    pub fn set_thread_pinning(&mut self, enabled: bool) {
+        self.pin_threads = enabled;
+    }
+
+    /// Overrides the algorithm [`ThreadedDpu::run`] drives, bypassing the
+    /// [`algorithm_for`] resolution of the configured kind. This exists for
+    /// differential testing (running the frozen [`crate::legacy`] oracle on
+    /// real threads next to the composed engine); the override must
+    /// implement the same [`crate::StmKind`] the DPU's metadata was
+    /// allocated for.
+    pub fn set_algorithm_override(&mut self, alg: &'static dyn TmAlgorithm) {
+        assert_eq!(
+            alg.kind(),
+            self.config.kind,
+            "the override must implement the design this DPU's metadata was allocated for"
+        );
+        self.algorithm_override = Some(alg);
     }
 
     /// The configuration this DPU was created with.
@@ -472,29 +525,42 @@ impl ThreadedDpu {
         for t in self.slots.len()..tasklets {
             self.slots.push(self.shared.register_tasklet(&mut (&self.memory), t)?);
         }
-        let alg = algorithm_for(self.config.kind);
+        let alg = self.algorithm_override.unwrap_or_else(|| algorithm_for(self.config.kind));
         let memory = &self.memory;
         let shared = &self.shared;
         let mut profiles: Vec<ExecProfile> =
             (0..tasklets).map(|_| ExecProfile::new(TimeDomain::WallNanos)).collect();
         let body = &body;
+        // Pin each tasklet thread to one allowed CPU (the PR-3 wall-clock
+        // noise follow-up) — but only when every tasklet can have its own
+        // core: doubling spinning tasklets up on one core serialises their
+        // back-off windows, which is worse than letting the OS balance them.
+        let allowed = if self.pin_threads { affinity::allowed_cpus() } else { Vec::new() };
+        let pin = tasklets <= allowed.len();
+        let allowed = &allowed;
+        let mut pinned_tasklets = 0;
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             let slots = self.slots.iter_mut().take(tasklets);
             for ((tasklet_id, slot), profile) in slots.enumerate().zip(profiles.iter_mut()) {
                 handles.push(scope.spawn(move || {
+                    let pinned = pin && affinity::pin_current_thread(allowed, tasklet_id);
                     let platform = ThreadPlatform::new(memory, profile, tasklet_id);
                     body(TaskletTx { platform, slot, shared, alg });
+                    pinned
                 }));
             }
             for handle in handles {
-                handle.join().expect("tasklet thread panicked");
+                if handle.join().expect("tasklet thread panicked") {
+                    pinned_tasklets += 1;
+                }
             }
         });
         Ok(ThreadedRunReport {
             commits: profiles.iter().map(ExecProfile::commits).sum(),
             aborts: profiles.iter().map(ExecProfile::aborts).sum(),
             profiles,
+            pinned_tasklets,
         })
     }
 }
@@ -637,6 +703,69 @@ mod tests {
         for profile in &report.profiles {
             assert_eq!(profile.commits(), 100);
         }
+    }
+
+    #[test]
+    fn thread_pinning_is_best_effort_and_reported() {
+        let mut dpu = ThreadedDpu::new(StmConfig::small_wram(StmKind::Norec)).unwrap();
+        let counter = dpu.alloc(Tier::Mram, 1).unwrap();
+        let body = |mut tx: TaskletTx<'_>| {
+            tx.transaction(|view| {
+                let v = view.read(counter)?;
+                view.write(counter, v + 1)?;
+                Ok(())
+            });
+        };
+        let report = dpu.run(2, body).unwrap();
+        // Pinning never exceeds the tasklet count and, with affinity
+        // support and >= 2 allowed CPUs, pins every tasklet.
+        assert!(report.pinned_tasklets <= 2);
+        if affinity::allowed_cpus().len() >= 2 {
+            assert_eq!(report.pinned_tasklets, 2, "both tasklets should pin on this platform");
+        }
+        // Disabling pinning is honoured regardless of platform support.
+        dpu.set_thread_pinning(false);
+        let unpinned = dpu.run(2, body).unwrap();
+        assert_eq!(unpinned.pinned_tasklets, 0);
+        assert_eq!(dpu.peek(counter), 4, "pinning must not affect correctness");
+    }
+
+    #[test]
+    fn oversubscribed_runs_skip_pinning() {
+        // More tasklets than allowed CPUs → pinning would double spinning
+        // tasklets up on one core, so the run proceeds unpinned.
+        let allowed = affinity::allowed_cpus().len();
+        if allowed == 0 || allowed >= MAX_TASKLETS {
+            return; // cannot oversubscribe on this machine
+        }
+        let mut dpu = ThreadedDpu::new(StmConfig::small_wram(StmKind::TinyEtlWb)).unwrap();
+        let report = dpu.run(allowed + 1, |_| {}).unwrap();
+        assert_eq!(report.pinned_tasklets, 0);
+    }
+
+    #[test]
+    fn algorithm_override_must_match_the_configured_kind() {
+        let mut dpu = ThreadedDpu::new(StmConfig::small_wram(StmKind::TinyEtlWb)).unwrap();
+        dpu.set_algorithm_override(crate::legacy::legacy_algorithm_for(StmKind::TinyEtlWb));
+        let counter = dpu.alloc(Tier::Mram, 1).unwrap();
+        let report = dpu
+            .run(2, |mut tx| {
+                tx.transaction(|view| {
+                    let v = view.read(counter)?;
+                    view.write(counter, v + 1)?;
+                    Ok(())
+                });
+            })
+            .unwrap();
+        assert_eq!(report.commits, 2);
+        assert_eq!(dpu.peek(counter), 2, "the legacy oracle must still be a correct STM");
+    }
+
+    #[test]
+    #[should_panic(expected = "must implement the design")]
+    fn mismatched_algorithm_override_is_rejected() {
+        let mut dpu = ThreadedDpu::new(StmConfig::small_wram(StmKind::TinyEtlWb)).unwrap();
+        dpu.set_algorithm_override(crate::legacy::legacy_algorithm_for(StmKind::Norec));
     }
 
     #[test]

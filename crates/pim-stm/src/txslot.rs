@@ -19,6 +19,7 @@
 
 use pim_sim::Addr;
 
+use crate::error::AbortReason;
 use crate::platform::{decode_addr, encode_addr, Platform, ENC_FLAG_BIT};
 
 /// Words per read-set entry.
@@ -65,6 +66,12 @@ pub struct TxSlot {
     /// Consecutive aborted attempts of the current transaction (reset on
     /// commit); drives contention back-off policies.
     consecutive_aborts: u64,
+    /// Cumulative aborts of this tasklet keyed by [`AbortReason`] — the
+    /// local signal the histogram-adaptive [`crate::RetryPolicy`] tunes its
+    /// back-off window from. Plain host-side state (like the abort counter):
+    /// back-off bookkeeping is not part of the instrumented metadata whose
+    /// placement the paper studies.
+    abort_reasons: [u64; AbortReason::COUNT],
 }
 
 impl TxSlot {
@@ -82,6 +89,7 @@ impl TxSlot {
             ws_len: 0,
             snapshot: 0,
             consecutive_aborts: 0,
+            abort_reasons: [0; AbortReason::COUNT],
         }
     }
 
@@ -127,9 +135,16 @@ impl TxSlot {
         self.ws_len = 0;
     }
 
-    /// Records that the current attempt aborted.
-    pub fn note_abort(&mut self) {
+    /// This tasklet's cumulative abort counts keyed by
+    /// [`AbortReason::index`] (the adaptive retry policy's input).
+    pub fn abort_histogram(&self) -> &[u64; AbortReason::COUNT] {
+        &self.abort_reasons
+    }
+
+    /// Records that the current attempt aborted, and why.
+    pub fn note_abort(&mut self, reason: AbortReason) {
         self.consecutive_aborts += 1;
+        self.abort_reasons[reason.index()] += 1;
     }
 
     /// Records that the transaction finally committed.
@@ -308,7 +323,7 @@ mod tests {
         with_platform(|p, slot| {
             slot.push_read(p, Addr::wram(1), 0);
             slot.push_write(p, Addr::wram(2), 0, 0, false);
-            slot.note_abort();
+            slot.note_abort(AbortReason::ReadConflict);
             slot.reset_logs();
             assert_eq!(slot.read_set_len(), 0);
             assert_eq!(slot.write_set_len(), 0);
@@ -316,6 +331,23 @@ mod tests {
             assert_eq!(slot.consecutive_aborts(), 1);
             slot.note_commit();
             assert_eq!(slot.consecutive_aborts(), 0);
+        });
+    }
+
+    #[test]
+    fn abort_histogram_accumulates_per_reason_across_commits() {
+        with_platform(|_, slot| {
+            slot.note_abort(AbortReason::WriteConflict);
+            slot.note_abort(AbortReason::WriteConflict);
+            slot.note_abort(AbortReason::ValidationFailed);
+            assert_eq!(slot.abort_histogram()[AbortReason::WriteConflict.index()], 2);
+            assert_eq!(slot.abort_histogram()[AbortReason::ValidationFailed.index()], 1);
+            // A commit resets the consecutive counter but keeps the
+            // histogram: the adaptive retry policy wants the tasklet's
+            // longer-term contention signature, not just the current duel.
+            slot.note_commit();
+            assert_eq!(slot.consecutive_aborts(), 0);
+            assert_eq!(slot.abort_histogram().iter().sum::<u64>(), 3);
         });
     }
 

@@ -41,8 +41,16 @@ pub struct ArrayBenchConfig {
     /// `ReadStrategy::Batched`, exercising the read-side analogue of the
     /// coalesced commit write-back.
     pub record_words: u32,
-    /// Random read-modify-writes performed in the second phase.
+    /// Random read-modify-writes performed in the second phase, in total.
     pub updates_per_tx: u32,
+    /// Contiguous entries written per update operation: `1` updates
+    /// individual random entries (the paper's original access pattern);
+    /// larger values group the same `updates_per_tx` entries into
+    /// contiguous records, read-modify-written through
+    /// [`TxOps::read_words`]/[`TxOps::write_words`] — under encounter-time
+    /// locking the record write exercises the multi-ORec acquisition path
+    /// ([`pim_stm::LockOrder`]).
+    pub update_record_words: u32,
     /// Transactions each tasklet executes.
     pub transactions_per_tasklet: u32,
 }
@@ -59,6 +67,7 @@ impl ArrayBenchConfig {
             reads_per_tx: 100,
             record_words: 20,
             updates_per_tx: 20,
+            update_record_words: 1,
             transactions_per_tasklet: 100,
         }
     }
@@ -71,6 +80,7 @@ impl ArrayBenchConfig {
             reads_per_tx: 0,
             record_words: 1,
             updates_per_tx: 4,
+            update_record_words: 1,
             transactions_per_tasklet: 400,
         }
     }
@@ -88,6 +98,28 @@ impl ArrayBenchConfig {
     /// entry).
     pub fn with_record_words(mut self, words: u32) -> Self {
         self.record_words = words;
+        self
+    }
+
+    /// Number of update operations the second phase issues: `updates_per_tx`
+    /// entries grouped into records of `update_record_words` (mirroring
+    /// [`ArrayBenchConfig::read_records_per_tx`]).
+    pub fn update_records_per_tx(&self) -> u32 {
+        self.updates_per_tx / self.update_record_words.max(1)
+    }
+
+    /// Entries actually incremented per committed transaction: with record
+    /// grouping, `updates_per_tx` rounded down to a whole number of records.
+    pub fn updates_applied_per_tx(&self) -> u32 {
+        self.update_records_per_tx() * self.update_record_words.max(1)
+    }
+
+    /// Overrides the record grouping of the update phase; `1` restores the
+    /// paper's original scattered single-entry read-modify-writes (as with
+    /// [`ArrayBenchConfig::with_record_words`], the RNG stream changes: one
+    /// draw per record).
+    pub fn with_update_record_words(mut self, words: u32) -> Self {
+        self.update_record_words = words;
         self
     }
 
@@ -152,6 +184,23 @@ impl ArrayBenchData {
                 config.reads_per_tx
             );
         }
+        if config.updates_per_tx > 0 {
+            assert!(
+                config.update_record_words >= 1
+                    && config.update_record_words <= config.update_region,
+                "ArrayBench update_record_words ({}) must lie in 1..=update_region ({}) so \
+                 every update record fits inside the update region",
+                config.update_record_words,
+                config.update_region
+            );
+            assert!(
+                config.update_record_words <= config.updates_per_tx,
+                "ArrayBench update_record_words ({}) must not exceed updates_per_tx ({}): \
+                 the update phase would silently vanish",
+                config.update_record_words,
+                config.updates_per_tx
+            );
+        }
         let array = var::alloc_array(alloc, Tier::Mram, config.array_words())
             .expect("ArrayBench array must fit in MRAM");
         ArrayBenchData { array, config }
@@ -174,6 +223,13 @@ impl ArrayBenchData {
         self.array.at(self.config.read_region + index)
     }
 
+    /// Address of an `update_record_words`-entry record starting at `index`
+    /// in the update region.
+    fn update_record_addr(&self, index: u32) -> pim_sim::Addr {
+        debug_assert!(index + self.config.update_record_words <= self.config.update_region);
+        self.update_entry(index).addr()
+    }
+
     /// Sum of the update region, read directly (host-side); used by tests to
     /// check that committed increments are not lost.
     pub fn update_region_sum<M: WordAccess + ?Sized>(&self, mem: &M) -> u64 {
@@ -194,6 +250,8 @@ pub struct ArrayBenchBody {
     update_targets: Vec<u32>,
     /// Staging buffer for record reads (the tasklet's WRAM scratch).
     record_buf: Vec<u64>,
+    /// Staging buffer for update-record read-modify-writes.
+    update_buf: Vec<u64>,
     position: usize,
 }
 
@@ -201,11 +259,13 @@ impl ArrayBenchBody {
     /// Creates a body over the shared array.
     pub fn new(data: ArrayBenchData) -> Self {
         let record_buf = vec![0u64; data.config.record_words.max(1) as usize];
+        let update_buf = vec![0u64; data.config.update_record_words.max(1) as usize];
         ArrayBenchBody {
             data,
             read_targets: Vec::new(),
             update_targets: Vec::new(),
             record_buf,
+            update_buf,
             position: 0,
         }
     }
@@ -222,8 +282,12 @@ impl ArrayBenchBody {
         for _ in 0..config.read_records_per_tx() {
             self.read_targets.push(rng.next_range(start_range) as u32);
         }
-        for _ in 0..config.updates_per_tx {
-            self.update_targets.push(rng.next_range(u64::from(config.update_region)) as u32);
+        // Update-record starts likewise stay inside the update region.
+        let update_range = u64::from(
+            config.update_region.saturating_sub(config.update_record_words.saturating_sub(1)),
+        );
+        for _ in 0..config.update_records_per_tx() {
+            self.update_targets.push(rng.next_range(update_range) as u32);
         }
     }
 
@@ -247,10 +311,22 @@ impl TxBody for ArrayBenchBody {
                 tx.get(self.data.read_entry(start))?;
             }
         } else if position < self.total_ops() {
-            let entry =
-                self.data.update_entry(self.update_targets[position - self.read_targets.len()]);
-            let value = tx.get(entry)?;
-            tx.set(entry, value.wrapping_add(1))?;
+            let start = self.update_targets[position - self.read_targets.len()];
+            if self.data.config.update_record_words > 1 {
+                // Read-modify-write one contiguous record: the record write
+                // takes the multi-ORec acquisition path under encounter-time
+                // locking.
+                let addr = self.data.update_record_addr(start);
+                tx.read_words(addr, &mut self.update_buf)?;
+                for value in &mut self.update_buf {
+                    *value = value.wrapping_add(1);
+                }
+                tx.write_words(addr, &self.update_buf)?;
+            } else {
+                let entry = self.data.update_entry(start);
+                let value = tx.get(entry)?;
+                tx.set(entry, value.wrapping_add(1))?;
+            }
         }
         self.position += 1;
         if self.position >= self.total_ops() {
@@ -381,7 +457,7 @@ mod tests {
         assert_eq!(report.total_commits(), expected_commits, "{kind}: committed tx count");
         // Every committed transaction increments `updates_per_tx` array
         // entries by one; lost updates would show up here.
-        let expected_sum = expected_commits * u64::from(cfg.updates_per_tx);
+        let expected_sum = expected_commits * u64::from(cfg.updates_applied_per_tx());
         assert_eq!(data.update_region_sum(&dpu), expected_sum, "{kind}: lost updates");
         (report.total_aborts(), report.throughput_tx_per_sec())
     }
@@ -412,11 +488,34 @@ mod tests {
             reads_per_tx: 16,
             record_words: 8,
             updates_per_tx: 1,
+            update_record_words: 1,
             transactions_per_tasklet: 3,
         };
         for kind in [StmKind::TinyEtlWb, StmKind::VrCtlWb, StmKind::Norec] {
             run_arraybench(kind, cfg, 2);
         }
+    }
+
+    #[test]
+    fn grouped_updates_conserve_increments_for_every_design() {
+        // Workload B with its 4 updates grouped into one contiguous 4-entry
+        // record: under encounter-time locking the record write goes through
+        // the sorted multi-ORec acquisition, and the conservation check
+        // (updates_applied_per_tx per commit) must still hold.
+        let cfg = ArrayBenchConfig::workload_b().with_update_record_words(4).scaled(0.1);
+        assert_eq!(cfg.update_records_per_tx(), 1);
+        assert_eq!(cfg.updates_applied_per_tx(), 4);
+        for kind in StmKind::ALL {
+            run_arraybench(kind, cfg, 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "update_record_words")]
+    fn update_records_larger_than_the_region_are_rejected() {
+        let cfg = ArrayBenchConfig::workload_b().with_update_record_words(20);
+        let mut dpu = Dpu::new(DpuConfig::small());
+        let _ = ArrayBenchData::allocate(&mut dpu, cfg);
     }
 
     #[test]

@@ -14,8 +14,8 @@ use pim_sim::{Dpu, DpuConfig, DpuRunReport, Scheduler};
 use pim_stm::threaded::{ThreadedDpu, DEFAULT_MRAM_WORDS, DEFAULT_WRAM_WORDS};
 use pim_stm::var::WordAccess;
 use pim_stm::{
-    ExecProfile, MetadataPlacement, ReadStrategy, StmConfig, StmKind, StmShared, TimeDomain,
-    WriteBackStrategy,
+    ExecProfile, MetadataPlacement, ReadStrategy, RetryPolicy, StmConfig, StmKind, StmShared,
+    TimeDomain, WriteBackStrategy,
 };
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -198,6 +198,9 @@ pub struct RunSpec {
     pub write_back: WriteBackStrategy,
     /// How record reads move their data.
     pub read_strategy: ReadStrategy,
+    /// How aborted attempts back off before retrying (the retry axis of the
+    /// policy grid; see [`RetryPolicy`]).
+    pub retry: RetryPolicy,
     /// Burst cap (in words) for coalesced write-back and batched reads.
     pub max_burst_words: u32,
     /// Override for ArrayBench's read-phase record grouping
@@ -223,6 +226,7 @@ impl RunSpec {
             scale: 1.0,
             write_back: WriteBackStrategy::default(),
             read_strategy: ReadStrategy::default(),
+            retry: RetryPolicy::default(),
             max_burst_words: pim_stm::config::DEFAULT_BURST_WORDS,
             record_words: None,
         }
@@ -252,6 +256,13 @@ impl RunSpec {
         self
     }
 
+    /// Overrides the retry/back-off policy (default: exponential, the
+    /// pre-policy-grid behaviour).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
     /// Overrides the DMA burst cap shared by coalesced write-back and
     /// batched reads (default: [`pim_stm::config::DEFAULT_BURST_WORDS`]).
     pub fn with_max_burst_words(mut self, words: u32) -> Self {
@@ -274,6 +285,7 @@ impl RunSpec {
         let base = StmConfig::new(self.kind, self.placement)
             .with_write_back(self.write_back)
             .with_read_strategy(self.read_strategy)
+            .with_retry(self.retry)
             .with_max_burst_words(self.max_burst_words);
         match self.workload {
             Workload::ArrayA => {
@@ -618,7 +630,7 @@ impl DataHandles {
                 if commits != expected_commits {
                     return Err(format!("committed {commits} txs, expected {expected_commits}"));
                 }
-                let expected_sum = expected_commits * u64::from(cfg.updates_per_tx);
+                let expected_sum = expected_commits * u64::from(cfg.updates_applied_per_tx());
                 let sum = data.update_region_sum(mem);
                 if sum != expected_sum {
                     return Err(format!(
@@ -783,6 +795,19 @@ mod tests {
             "the paper's scattered single-entry reads stay reachable"
         );
         assert_eq!(original.array_config().read_records_per_tx(), 100);
+    }
+
+    #[test]
+    fn retry_policy_threads_into_the_stm_config() {
+        let spec = RunSpec::new(Workload::ArrayB, StmKind::Norec, MetadataPlacement::Mram, 2);
+        assert_eq!(spec.stm_config().retry, RetryPolicy::Exponential, "legacy default");
+        let adaptive = spec.with_retry(RetryPolicy::Adaptive);
+        assert_eq!(adaptive.stm_config().retry, RetryPolicy::Adaptive);
+        // An adaptive-retry cell runs end to end and conserves invariants —
+        // the new sweepable axis is not just a recorded field.
+        let report = adaptive.with_scale(0.05).run_on(Executor::Simulator);
+        report.assert_invariants();
+        assert!(report.commits > 0);
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! Policy-composition equivalence: the composed engine
+//! (`pim_stm::policy::ComposedTm`, what `algorithm_for` now resolves every
+//! `StmKind` to) against the frozen pre-redesign monoliths
+//! (`pim_stm::legacy`), replaying identical seeded workloads through both.
+//!
+//! On the deterministic simulator the claim is *bit-for-bit*: each
+//! composition issues the same platform-operation sequence as the monolith
+//! it replaces, so commits, per-reason abort histograms, final memory and
+//! even the makespan cycle count must agree exactly — for every design,
+//! both metadata placements, contended and uncontended cells, word and
+//! record operations. On the threaded executor, single-tasklet runs are
+//! outcome-deterministic (same checks), and contended commutative runs must
+//! land both engines on the same conserved final state.
+//!
+//! The one deliberate divergence is the sorted multi-ORec acquisition of
+//! `write_record` under encounter-time locking (`LockOrder::AddressSorted`,
+//! the default): configuring `LockOrder::RecordOrder` restores the legacy
+//! per-word path, which these tests pin down too.
+
+use proptest::prelude::*;
+
+use pim_stm_suite::sim::{Dpu, DpuConfig, Scheduler};
+use pim_stm_suite::stm::legacy::legacy_algorithm_for;
+use pim_stm_suite::stm::threaded::ThreadedDpu;
+use pim_stm_suite::stm::var::peek_var;
+use pim_stm_suite::stm::{
+    algorithm_for, AbortReason, ExecProfile, LockOrder, MetadataPlacement, StmConfig, StmKind,
+    StmShared, TmAlgorithm,
+};
+use pim_stm_suite::workloads::array_bench::{
+    run_threaded, ArrayBenchConfig, ArrayBenchData, ArrayBenchProgram,
+};
+use pim_stm_suite::workloads::driver::{tasklet_rng, TxMachine};
+
+/// Everything a deterministic simulator run exposes, for exact comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SimOutcome {
+    commits: u64,
+    aborts: u64,
+    /// Per-tasklet abort histograms keyed by [`AbortReason`] order.
+    histograms: Vec<Vec<u64>>,
+    /// The whole shared array, word for word.
+    memory: Vec<u64>,
+    makespan_cycles: u64,
+}
+
+/// The STM configuration a differential cell runs under (both engines get
+/// the identical one).
+fn stm_config(kind: StmKind, placement: MetadataPlacement, cfg: &ArrayBenchConfig) -> StmConfig {
+    StmConfig::new(kind, placement)
+        .with_read_set_capacity(cfg.read_set_capacity())
+        .with_write_set_capacity(cfg.write_set_capacity())
+        .with_lock_table_entries(1024)
+}
+
+/// Runs one ArrayBench cell on the simulator under an explicit algorithm
+/// (the construction mirror of `pim_workloads::array_bench::build`, which
+/// hard-wires `algorithm_for`).
+fn run_sim(
+    alg: &'static dyn TmAlgorithm,
+    stm: StmConfig,
+    cfg: ArrayBenchConfig,
+    tasklets: usize,
+    seed: u64,
+) -> SimOutcome {
+    let mut dpu = Dpu::new(DpuConfig::default());
+    let shared = StmShared::allocate(&mut dpu, stm).expect("metadata fits");
+    let data = ArrayBenchData::allocate(&mut dpu, cfg);
+    let programs = (0..tasklets)
+        .map(|t| {
+            let slot = shared.register_tasklet(&mut dpu, t).expect("logs fit");
+            let tm = TxMachine::new(shared.clone(), slot, alg);
+            Box::new(ArrayBenchProgram::new(tm, data, tasklet_rng(seed, t)))
+                as Box<dyn pim_stm_suite::sim::TaskletProgram>
+        })
+        .collect();
+    let report = Scheduler::new().run(&mut dpu, programs);
+    let histograms = report
+        .tasklet_stats
+        .iter()
+        .map(|stats| {
+            let profile = ExecProfile::from_sim(stats);
+            AbortReason::ALL.iter().map(|&r| profile.aborts_for(r)).collect()
+        })
+        .collect();
+    let memory = (0..data.array.len()).map(|i| peek_var(&dpu, data.array.at(i))).collect();
+    SimOutcome {
+        commits: report.total_commits(),
+        aborts: report.total_aborts(),
+        histograms,
+        memory,
+        makespan_cycles: report.makespan_cycles,
+    }
+}
+
+/// Runs the cell under the legacy oracle and the composed engine and
+/// asserts exact agreement.
+fn assert_sim_equivalent(
+    kind: StmKind,
+    placement: MetadataPlacement,
+    cfg: ArrayBenchConfig,
+    stm: StmConfig,
+    tasklets: usize,
+    seed: u64,
+) {
+    let legacy = run_sim(legacy_algorithm_for(kind), stm, cfg, tasklets, seed);
+    let composed = run_sim(algorithm_for(kind), stm, cfg, tasklets, seed);
+    assert_eq!(
+        legacy.commits, composed.commits,
+        "{kind} ({placement}, {tasklets} tasklets, seed {seed}): commits diverged"
+    );
+    assert_eq!(legacy.aborts, composed.aborts, "{kind} ({placement}): aborts diverged");
+    assert_eq!(
+        legacy.histograms, composed.histograms,
+        "{kind} ({placement}): per-reason abort histograms diverged"
+    );
+    assert_eq!(legacy.memory, composed.memory, "{kind} ({placement}): final memory diverged");
+    assert_eq!(
+        legacy.makespan_cycles, composed.makespan_cycles,
+        "{kind} ({placement}): even the cycle count must agree — the composition must issue \
+         the same platform-operation sequence as the monolith"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The contended cell: arbitrary seeds and tasklet counts on the tiny,
+    /// high-conflict ArrayBench-B — aborts of every reason occur and the
+    /// back-off schedule matters, so divergence anywhere in the
+    /// begin/read/write/commit/rollback protocol shows up.
+    #[test]
+    fn composed_engine_is_bit_identical_to_the_legacy_monoliths(
+        kind_index in 0usize..StmKind::ALL.len(),
+        mram_metadata in any::<bool>(),
+        tasklets in 1usize..5,
+        seed in 0u64..10_000,
+    ) {
+        let kind = StmKind::ALL[kind_index];
+        let placement =
+            if mram_metadata { MetadataPlacement::Mram } else { MetadataPlacement::Wram };
+        let cfg = ArrayBenchConfig::workload_b().scaled(0.1);
+        let stm = stm_config(kind, placement, &cfg);
+        assert_sim_equivalent(kind, placement, cfg, stm, tasklets, seed);
+    }
+}
+
+/// The exhaustive record-path cell: ArrayBench-A's batched record reads run
+/// the access-layer hooks (plan/accept/burst brackets), covering the
+/// RecordReader half of every policy for all designs × both placements.
+#[test]
+fn record_reads_agree_for_every_kind_and_placement() {
+    let cfg = ArrayBenchConfig { transactions_per_tasklet: 6, ..ArrayBenchConfig::workload_a() };
+    for kind in StmKind::ALL {
+        for placement in MetadataPlacement::ALL {
+            let stm = stm_config(kind, placement, &cfg);
+            assert_sim_equivalent(kind, placement, cfg, stm, 3, 42);
+        }
+    }
+}
+
+/// Grouped update records under `LockOrder::RecordOrder` take the per-word
+/// path, which must be bit-identical to the legacy default `write_record`
+/// loop; under the sorted default the *outcome* (memory, commits) must
+/// still match on uncontended cells even though the acquisition order — and
+/// therefore the cycle count — legitimately differs.
+#[test]
+fn write_record_paths_agree_with_the_oracle() {
+    let cfg = ArrayBenchConfig::workload_b().with_update_record_words(4).scaled(0.1);
+    for kind in StmKind::ALL {
+        let stm =
+            stm_config(kind, MetadataPlacement::Mram, &cfg).with_lock_order(LockOrder::RecordOrder);
+        assert_sim_equivalent(kind, MetadataPlacement::Mram, cfg, stm, 4, 7);
+
+        // Sorted acquisition, single tasklet: no conflicts, so the only
+        // permitted difference is the operation order — final memory and
+        // commit counts are pinned.
+        let sorted = stm_config(kind, MetadataPlacement::Mram, &cfg)
+            .with_lock_order(LockOrder::AddressSorted);
+        let legacy = run_sim(legacy_algorithm_for(kind), stm, cfg, 1, 9);
+        let composed = run_sim(algorithm_for(kind), sorted, cfg, 1, 9);
+        assert_eq!(legacy.memory, composed.memory, "{kind}: sorted acquisition changed memory");
+        assert_eq!(legacy.commits, composed.commits, "{kind}: sorted acquisition lost commits");
+        assert_eq!(legacy.aborts, 0, "{kind}: single tasklet never conflicts");
+        assert_eq!(composed.aborts, 0, "{kind}: single tasklet never conflicts");
+    }
+}
+
+/// Threaded outcome of one cell: commits, aborts and the conserved
+/// update-region sum.
+fn run_threaded_cell(
+    oracle: bool,
+    kind: StmKind,
+    cfg: ArrayBenchConfig,
+    tasklets: usize,
+    seed: u64,
+) -> (u64, u64, u64) {
+    let stm = stm_config(kind, MetadataPlacement::Mram, &cfg);
+    let mut dpu = ThreadedDpu::new(stm).expect("metadata fits");
+    if oracle {
+        dpu.set_algorithm_override(legacy_algorithm_for(kind));
+    }
+    let (data, report) = run_threaded(&mut dpu, cfg, tasklets, seed).expect("run schedulable");
+    (report.commits, report.aborts, data.update_region_sum(&dpu))
+}
+
+/// Single-tasklet threaded runs are outcome-deterministic: both engines
+/// must commit every transaction, abort never, and leave the same sums —
+/// the threaded half of the equivalence claim, exact where exactness is
+/// well-defined.
+#[test]
+fn threaded_single_tasklet_outcomes_agree_for_every_kind() {
+    let cfg = ArrayBenchConfig::workload_b().scaled(0.2);
+    for kind in StmKind::ALL {
+        let (legacy_commits, legacy_aborts, legacy_sum) = run_threaded_cell(true, kind, cfg, 1, 42);
+        let (composed_commits, composed_aborts, composed_sum) =
+            run_threaded_cell(false, kind, cfg, 1, 42);
+        assert_eq!(legacy_commits, composed_commits, "{kind}: threaded commits diverged");
+        assert_eq!(legacy_aborts, 0, "{kind}: single-tasklet runs never abort");
+        assert_eq!(composed_aborts, 0, "{kind}: single-tasklet runs never abort");
+        assert_eq!(legacy_sum, composed_sum, "{kind}: threaded final state diverged");
+    }
+}
+
+/// Contended threaded runs are nondeterministic in interleaving but not in
+/// outcome (ArrayBench increments commute): both engines must conserve the
+/// same committed total under genuine concurrency.
+#[test]
+fn threaded_contended_runs_conserve_the_same_state_for_every_kind() {
+    let cfg = ArrayBenchConfig::workload_b().scaled(0.25);
+    let tasklets = 4;
+    let expected_commits = u64::from(cfg.transactions_per_tasklet) * tasklets as u64;
+    let expected_sum = expected_commits * u64::from(cfg.updates_applied_per_tx());
+    for kind in StmKind::ALL {
+        for oracle in [true, false] {
+            let (commits, _, sum) = run_threaded_cell(oracle, kind, cfg, tasklets, 7);
+            let engine = if oracle { "legacy" } else { "composed" };
+            assert_eq!(commits, expected_commits, "{kind} ({engine}): lost transactions");
+            assert_eq!(sum, expected_sum, "{kind} ({engine}): lost updates");
+        }
+    }
+}
