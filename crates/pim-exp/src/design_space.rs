@@ -95,7 +95,8 @@ pub struct DesignSpacePoint {
     pub spread: Option<RepeatSpread>,
 }
 
-/// Min/median/max spread over the repeated runs of one cell.
+/// Min/median/max spread plus a mean ± 95 % confidence interval over the
+/// repeated runs of one cell.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct RepeatSpread {
     /// How many runs the cell was repeated for.
@@ -106,10 +107,53 @@ pub struct RepeatSpread {
     pub median_total_time: u64,
     /// Largest merged total time across the runs.
     pub max_total_time: u64,
+    /// Mean merged total time across the runs (executor-native unit).
+    pub mean_total_time: f64,
+    /// Half-width of the 95 % confidence interval of the mean total time
+    /// (Student's t on `runs - 1` degrees of freedom, executor-native
+    /// unit): the true mean lies in `mean ± ci95` with 95 % confidence.
+    /// `0.0` for a single run, where no interval exists. Two cells whose
+    /// intervals do not overlap differ significantly — the statistical
+    /// grounding behind fleet and threaded A/B comparisons.
+    pub ci95_total_time: f64,
     /// Fewest aborted attempts across the runs.
     pub min_aborts: u64,
     /// Most aborted attempts across the runs.
     pub max_aborts: u64,
+}
+
+impl RepeatSpread {
+    /// `mean ± ci95` of the total time, computed from the per-run merged
+    /// totals. With fewer than two runs the interval half-width is zero.
+    pub fn mean_ci95(totals: &[u64]) -> (f64, f64) {
+        let n = totals.len().max(1) as f64;
+        let mean = totals.iter().sum::<u64>() as f64 / n;
+        if totals.len() < 2 {
+            return (mean, 0.0);
+        }
+        // Sample variance (n - 1 denominator) → standard error of the mean.
+        let var = totals.iter().map(|&t| (t as f64 - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        let se = (var / n).sqrt();
+        (mean, t_critical_95(totals.len() - 1) * se)
+    }
+}
+
+/// Two-sided 95 % critical value of Student's t distribution with `df`
+/// degrees of freedom; the normal approximation (1.96) beyond 30.
+fn t_critical_95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        // No interval exists; callers return 0 width before reaching here.
+        f64::INFINITY
+    } else if df <= TABLE.len() {
+        TABLE[df - 1]
+    } else {
+        1.96
+    }
 }
 
 /// The full sweep for one workload/placement/executor: the data behind one
@@ -278,13 +322,20 @@ impl DesignSpaceSweep {
             })
             .collect();
         reports.sort_by_cached_key(|r| r.merged_profile().total_time());
-        let spread = (repeat > 1).then(|| RepeatSpread {
-            runs: repeat,
-            min_total_time: reports.first().map(|r| r.merged_profile().total_time()).unwrap_or(0),
-            median_total_time: reports[(reports.len() - 1) / 2].merged_profile().total_time(),
-            max_total_time: reports.last().map(|r| r.merged_profile().total_time()).unwrap_or(0),
-            min_aborts: reports.iter().map(|r| r.aborts).min().unwrap_or(0),
-            max_aborts: reports.iter().map(|r| r.aborts).max().unwrap_or(0),
+        let spread = (repeat > 1).then(|| {
+            let totals: Vec<u64> =
+                reports.iter().map(|r| r.merged_profile().total_time()).collect();
+            let (mean_total_time, ci95_total_time) = RepeatSpread::mean_ci95(&totals);
+            RepeatSpread {
+                runs: repeat,
+                min_total_time: totals.first().copied().unwrap_or(0),
+                median_total_time: totals[(totals.len() - 1) / 2],
+                max_total_time: totals.last().copied().unwrap_or(0),
+                mean_total_time,
+                ci95_total_time,
+                min_aborts: reports.iter().map(|r| r.aborts).min().unwrap_or(0),
+                max_aborts: reports.iter().map(|r| r.aborts).max().unwrap_or(0),
+            }
         });
         // Lower median: for an even repeat count this keeps the *faster*
         // middle run rather than degenerating to worst-of-N (repeat = 2
@@ -456,6 +507,7 @@ impl DesignSpaceSweep {
             format!("min total ({unit})"),
             format!("median total ({unit})"),
             format!("max total ({unit})"),
+            format!("mean ± CI95 ({unit})"),
             "aborts (min..max)".to_string(),
         ];
         let rows = self
@@ -468,11 +520,13 @@ impl DesignSpaceSweep {
                     s.min_total_time.to_string(),
                     s.median_total_time.to_string(),
                     s.max_total_time.to_string(),
+                    format!("{} ± {}", fmt_f64(s.mean_total_time), fmt_f64(s.ci95_total_time)),
                     format!("{}..{}", s.min_aborts, s.max_aborts),
                 ],
                 None => vec![
                     kind.name().to_string(),
                     "1".into(),
+                    "-".into(),
                     "-".into(),
                     "-".into(),
                     "-".into(),
@@ -767,12 +821,40 @@ mod tests {
         assert!(spread.min_total_time <= spread.median_total_time);
         assert!(spread.median_total_time <= spread.max_total_time);
         assert!(spread.min_aborts <= spread.max_aborts);
+        // The mean lies inside the observed range and the interval is a
+        // well-formed half-width.
+        assert!(spread.mean_total_time >= spread.min_total_time as f64);
+        assert!(spread.mean_total_time <= spread.max_total_time as f64);
+        assert!(spread.ci95_total_time >= 0.0);
+        assert!(spread.ci95_total_time.is_finite());
         // The kept point *is* the median run.
         assert_eq!(point.profile.total_time(), spread.median_total_time);
         let table = sweep.repeat_spread_table();
         assert!(table.contains("repeat spread"));
         assert!(table.contains("NOrec"));
+        assert!(table.contains("CI95"), "the spread panel must show the interval");
         assert!(table.contains("[ns]"), "spread times are in the executor's native unit");
+    }
+
+    #[test]
+    fn confidence_intervals_follow_student_t() {
+        // Two runs (df = 1): mean 150, sample sd ≈ 70.71, se = 50,
+        // t(1) = 12.706 → half-width 635.3.
+        let (mean, ci) = RepeatSpread::mean_ci95(&[100, 200]);
+        assert!((mean - 150.0).abs() < 1e-9);
+        assert!((ci - 12.706 * 50.0).abs() < 1e-6, "got {ci}");
+        // Identical runs: zero-width interval.
+        let (mean, ci) = RepeatSpread::mean_ci95(&[42, 42, 42, 42]);
+        assert_eq!(mean, 42.0);
+        assert_eq!(ci, 0.0);
+        // A single run has no interval.
+        let (mean, ci) = RepeatSpread::mean_ci95(&[7]);
+        assert_eq!(mean, 7.0);
+        assert_eq!(ci, 0.0);
+        // Large df falls back to the normal critical value.
+        assert_eq!(t_critical_95(100), 1.96);
+        assert_eq!(t_critical_95(30), 2.042);
+        assert!(t_critical_95(0).is_infinite());
     }
 
     #[test]

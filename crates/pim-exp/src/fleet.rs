@@ -1,0 +1,334 @@
+//! The `--fleet` experiment: a *measured* multi-DPU scaling study on the
+//! [`pim_fleet`] sharded runtime.
+//!
+//! Where `--figure fig7` extrapolates one simulated DPU through the
+//! analytic [`pim_sim::MultiDpuPlan`], this sweep actually runs N shard
+//! simulators behind the fleet's host dispatcher and reports what they
+//! measured:
+//!
+//! * **Scaling curve** — a weak-scaling sweep over DPU counts: every DPU
+//!   owns the same keyspace slice and receives the same expected number of
+//!   transactions, so the total workload grows with N and ideal throughput
+//!   grows linearly. Each point carries the merged fleet
+//!   [`pim_stm::ExecProfile`], the per-shard imbalance summary, the
+//!   per-primitive transfer ledger and the analytic cross-check total.
+//! * **Skew sweep** — the largest fleet of the curve re-run under
+//!   increasingly skewed key popularity ([`KeyDist::Zipf`]); because a
+//!   round ends when its slowest shard does, the hottest shard's commit
+//!   share translates directly into lost fleet throughput, which the
+//!   imbalance columns quantify.
+
+use pim_fleet::{run, FleetConfig, FleetReport};
+use pim_sim::KeyDist;
+use pim_stm::{MetadataPlacement, StmKind};
+use pim_workloads::{RoutingPolicy, ShardedWorkloadConfig};
+
+use crate::report::{fmt_f64, render_table};
+
+/// DPU counts of the default scaling curve (three points minimum, up to
+/// 256 DPUs).
+pub const DEFAULT_FLEET_DPUS: [usize; 4] = [4, 16, 64, 256];
+
+/// Zipfian `theta` values of the default skew sweep (`0.0` = uniform).
+pub const DEFAULT_SKEW_THETAS: [f64; 4] = [0.0, 0.6, 0.9, 1.2];
+
+/// Keys every DPU owns at `--scale 1.0` (weak scaling: the keyspace grows
+/// with the fleet).
+const KEYS_PER_DPU_AT_FULL_SCALE: f64 = 1024.0;
+
+/// Transactions dispatched per DPU at `--scale 1.0`.
+const TXNS_PER_DPU_AT_FULL_SCALE: f64 = 256.0;
+
+/// Knobs of one `--fleet` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSweepOptions {
+    /// STM design every shard runs.
+    pub kind: StmKind,
+    /// Metadata placement on every shard.
+    pub placement: MetadataPlacement,
+    /// Cross-shard routing policy.
+    pub routing: RoutingPolicy,
+    /// Workload scale factor (`--scale`), shrinking the per-DPU work.
+    pub scale: f64,
+    /// Stream seed (`--seed`).
+    pub seed: u64,
+    /// Zipfian `theta` values of the skew sweep; empty skips it.
+    pub thetas: Vec<f64>,
+}
+
+impl Default for FleetSweepOptions {
+    fn default() -> Self {
+        FleetSweepOptions {
+            kind: StmKind::Norec,
+            placement: MetadataPlacement::Mram,
+            routing: RoutingPolicy::RouteToOwner,
+            scale: 0.25,
+            seed: 42,
+            thetas: DEFAULT_SKEW_THETAS.to_vec(),
+        }
+    }
+}
+
+/// One point of the scaling curve: a full fleet report at one DPU count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetScalingPoint {
+    /// DPUs in this fleet.
+    pub n_dpus: usize,
+    /// The measured fleet report.
+    pub report: FleetReport,
+}
+
+/// One point of the skew sweep: the largest fleet under one `theta`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSkewPoint {
+    /// Zipfian skew parameter (`0.0` = uniform).
+    pub theta: f64,
+    /// The measured fleet report.
+    pub report: FleetReport,
+}
+
+/// The full `--fleet` sweep: scaling curve plus skew sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSweep {
+    /// The knobs this sweep ran with.
+    pub options: FleetSweepOptions,
+    /// Keys each DPU owns (after scaling).
+    pub keys_per_dpu: u32,
+    /// Expected transactions per DPU (after scaling).
+    pub txns_per_dpu: u32,
+    /// Throughput-vs-DPU-count curve, in ascending DPU order.
+    pub scaling: Vec<FleetScalingPoint>,
+    /// Skew sweep at the curve's largest DPU count, in ascending `theta`
+    /// order.
+    pub skew: Vec<FleetSkewPoint>,
+}
+
+impl FleetSweep {
+    /// Runs the scaling curve over `dpus` and the skew sweep at
+    /// `dpus.iter().max()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dpus` is empty or contains a zero.
+    pub fn run(dpus: &[usize], options: FleetSweepOptions) -> Self {
+        assert!(!dpus.is_empty(), "--fleet needs at least one DPU count");
+        let keys_per_dpu = (KEYS_PER_DPU_AT_FULL_SCALE * options.scale).round().max(32.0) as u32;
+        let txns_per_dpu = (TXNS_PER_DPU_AT_FULL_SCALE * options.scale).round().max(16.0) as u32;
+        let mut counts = dpus.to_vec();
+        counts.sort_unstable();
+        counts.dedup();
+        let config = |n: usize, dist: KeyDist| {
+            let workload =
+                ShardedWorkloadConfig::new(keys_per_dpu * n as u32, txns_per_dpu * n as u32)
+                    .with_dist(dist);
+            FleetConfig {
+                kind: options.kind,
+                placement: options.placement,
+                seed: options.seed,
+                ..FleetConfig::new(n, workload)
+            }
+            .with_routing(options.routing)
+        };
+        let scaling = counts
+            .iter()
+            .map(|&n| FleetScalingPoint { n_dpus: n, report: run(&config(n, KeyDist::Uniform)) })
+            .collect();
+        let largest = *counts.last().expect("counts is non-empty");
+        let skew = options
+            .thetas
+            .iter()
+            .map(|&theta| {
+                let dist = if theta == 0.0 { KeyDist::Uniform } else { KeyDist::Zipf { theta } };
+                FleetSkewPoint { theta, report: run(&config(largest, dist)) }
+            })
+            .collect();
+        FleetSweep { options, keys_per_dpu, txns_per_dpu, scaling, skew }
+    }
+
+    /// The throughput-vs-DPU-count curve with the imbalance summary and
+    /// the analytic cross-check column.
+    pub fn scaling_table(&self) -> String {
+        let header: Vec<String> = [
+            "DPUs",
+            "txns",
+            "sub-txns",
+            "commits",
+            "rejected",
+            "rounds",
+            "makespan [s]",
+            "tx/s",
+            "analytic [s]",
+            "max/mean commits",
+            "cv busy",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let rows: Vec<Vec<String>> = self
+            .scaling
+            .iter()
+            .map(|p| {
+                let r = &p.report;
+                vec![
+                    p.n_dpus.to_string(),
+                    r.global_txns.to_string(),
+                    r.dispatched_subtxns.to_string(),
+                    r.total_commits.to_string(),
+                    r.total_rejected.to_string(),
+                    r.rounds.len().to_string(),
+                    fmt_f64(r.makespan_seconds),
+                    fmt_f64(r.throughput_tx_per_sec()),
+                    fmt_f64(r.analytic_total_seconds()),
+                    fmt_f64(r.imbalance.max_over_mean_commits),
+                    fmt_f64(r.imbalance.cv_busy),
+                ]
+            })
+            .collect();
+        format!(
+            "fleet scaling ({}, {}, {} keys + {} txns per DPU, seed {})\n{}",
+            self.options.kind.name(),
+            self.options.routing,
+            self.keys_per_dpu,
+            self.txns_per_dpu,
+            self.options.seed,
+            render_table(&header, &rows)
+        )
+    }
+
+    /// The merged fleet execution profile at every DPU count (same schema
+    /// as a single-DPU profile table, summed over the fleet).
+    pub fn profile_table(&self) -> String {
+        let header: Vec<String> = [
+            "DPUs",
+            "commits",
+            "aborts",
+            "abort rate",
+            "DMA setups",
+            "DMA words",
+            "total [cyc]",
+            "barrier [s]",
+            "transfer [s]",
+            "host [s]",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let rows: Vec<Vec<String>> = self
+            .scaling
+            .iter()
+            .map(|p| {
+                let r = &p.report;
+                vec![
+                    p.n_dpus.to_string(),
+                    r.profile.commits().to_string(),
+                    r.profile.aborts().to_string(),
+                    fmt_f64(r.profile.abort_rate()),
+                    r.profile.dma_setups().to_string(),
+                    r.profile.dma_words().to_string(),
+                    r.profile.total_time().to_string(),
+                    fmt_f64(r.dpu_barrier_seconds()),
+                    fmt_f64(r.ledger.total_seconds()),
+                    fmt_f64(r.host_seconds()),
+                ]
+            })
+            .collect();
+        format!("fleet merged profiles\n{}", render_table(&header, &rows))
+    }
+
+    /// The skew sweep at the largest fleet: how zipfian key popularity
+    /// concentrates commits and stretches the barrier.
+    pub fn skew_table(&self) -> String {
+        let n = self.scaling.last().map_or(0, |p| p.n_dpus);
+        let header: Vec<String> = [
+            "theta",
+            "commits",
+            "rejected",
+            "makespan [s]",
+            "tx/s",
+            "hottest shard",
+            "hottest share",
+            "max/mean commits",
+            "cv commits",
+            "cv busy",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let rows: Vec<Vec<String>> = self
+            .skew
+            .iter()
+            .map(|p| {
+                let r = &p.report;
+                vec![
+                    fmt_f64(p.theta),
+                    r.total_commits.to_string(),
+                    r.total_rejected.to_string(),
+                    fmt_f64(r.makespan_seconds),
+                    fmt_f64(r.throughput_tx_per_sec()),
+                    r.imbalance.hottest_shard.to_string(),
+                    fmt_f64(r.imbalance.hottest_commit_share),
+                    fmt_f64(r.imbalance.max_over_mean_commits),
+                    fmt_f64(r.imbalance.cv_commits),
+                    fmt_f64(r.imbalance.cv_busy),
+                ]
+            })
+            .collect();
+        format!("fleet skew sweep ({n} DPUs)\n{}", render_table(&header, &rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_options() -> FleetSweepOptions {
+        FleetSweepOptions { scale: 0.05, thetas: vec![0.0, 1.2], ..FleetSweepOptions::default() }
+    }
+
+    #[test]
+    fn weak_scaling_grows_throughput_with_the_fleet() {
+        let sweep = FleetSweep::run(&[2, 8], tiny_options());
+        assert_eq!(sweep.scaling.len(), 2);
+        let small = &sweep.scaling[0].report;
+        let large = &sweep.scaling[1].report;
+        // Weak scaling: four times the DPUs, four times the stream.
+        assert_eq!(large.global_txns, 4 * small.global_txns);
+        assert!(
+            large.throughput_tx_per_sec() > small.throughput_tx_per_sec(),
+            "more DPUs must commit more per modeled second ({} vs {})",
+            large.throughput_tx_per_sec(),
+            small.throughput_tx_per_sec()
+        );
+    }
+
+    #[test]
+    fn skew_points_run_at_the_largest_fleet() {
+        let sweep = FleetSweep::run(&[8, 2], tiny_options());
+        assert_eq!(sweep.skew.len(), 2);
+        for point in &sweep.skew {
+            assert_eq!(point.report.n_dpus, 8, "skew sweeps the largest count");
+        }
+        let uniform = &sweep.skew[0].report;
+        let skewed = &sweep.skew[1].report;
+        assert!(skewed.imbalance.cv_commits > uniform.imbalance.cv_commits);
+    }
+
+    #[test]
+    fn tables_render_every_point() {
+        let sweep = FleetSweep::run(&[2, 4], tiny_options());
+        let scaling = sweep.scaling_table();
+        assert!(scaling.contains("fleet scaling"));
+        assert!(scaling.contains("analytic [s]"));
+        let profile = sweep.profile_table();
+        assert!(profile.contains("DMA setups"));
+        let skew = sweep.skew_table();
+        assert!(skew.contains("hottest share"));
+        assert!(skew.contains("4 DPUs"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one DPU count")]
+    fn an_empty_curve_is_rejected() {
+        FleetSweep::run(&[], tiny_options());
+    }
+}

@@ -13,11 +13,18 @@
 //! full [`pim_stm::ExecProfile`] — counts, abort histogram, per-phase times
 //! in the executor-native unit, DMA traffic and the per-commit efficiency
 //! metrics — so external plotting needs no re-run.
+//!
+//! `--fleet` runs dump through [`fleet_to_json`] instead: one object
+//! holding the weak-scaling curve and the skew sweep, each point a full
+//! [`pim_fleet::FleetReport`] (totals, merged profile, imbalance summary,
+//! per-primitive transfer ledger, analytic cross-check total).
 
+use pim_fleet::{FleetReport, PrimitiveStats};
 use pim_sim::Phase;
-use pim_stm::AbortReason;
+use pim_stm::{AbortReason, ExecProfile};
 
 use crate::design_space::DesignSpaceSweep;
+use crate::fleet::FleetSweep;
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -362,6 +369,8 @@ pub fn sweeps_to_json(sweeps: &[DesignSpaceSweep]) -> Json {
                             ("min_total_time".into(), Json::u64(s.min_total_time)),
                             ("median_total_time".into(), Json::u64(s.median_total_time)),
                             ("max_total_time".into(), Json::u64(s.max_total_time)),
+                            ("mean_total_time".into(), Json::Num(s.mean_total_time)),
+                            ("ci95_total_time".into(), Json::Num(s.ci95_total_time)),
                             ("min_aborts".into(), Json::u64(s.min_aborts)),
                             ("max_aborts".into(), Json::u64(s.max_aborts)),
                         ])
@@ -371,6 +380,128 @@ pub fn sweeps_to_json(sweeps: &[DesignSpaceSweep]) -> Json {
         }
     }
     Json::Arr(cells)
+}
+
+/// Serialises a merged [`ExecProfile`] with the same keys the per-cell
+/// sweep dump uses (counts, abort histogram, phases, DMA traffic).
+fn profile_to_json(p: &ExecProfile) -> Json {
+    Json::Obj(vec![
+        ("time_unit".into(), Json::str(p.time_domain.unit())),
+        ("commits".into(), Json::u64(p.commits())),
+        ("aborts".into(), Json::u64(p.aborts())),
+        ("abort_rate".into(), Json::Num(p.abort_rate())),
+        ("total_time".into(), Json::u64(p.total_time())),
+        ("backoff_time".into(), Json::u64(p.backoff_time())),
+        ("dma_setups".into(), Json::u64(p.dma_setups())),
+        ("dma_words".into(), Json::u64(p.dma_words())),
+        (
+            "phases".into(),
+            Json::Obj(
+                Phase::ALL
+                    .iter()
+                    .map(|&ph| (ph.label().to_string(), Json::u64(p.phase(ph))))
+                    .collect(),
+            ),
+        ),
+        (
+            "aborts_by_reason".into(),
+            Json::Obj(
+                AbortReason::ALL
+                    .iter()
+                    .map(|&r| (r.label().to_string(), Json::u64(p.aborts_for(r))))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn primitive_to_json(stats: &PrimitiveStats) -> Json {
+    Json::Obj(vec![
+        ("calls".into(), Json::u64(stats.calls)),
+        ("bytes".into(), Json::u64(stats.bytes)),
+        ("seconds".into(), Json::Num(stats.seconds)),
+    ])
+}
+
+/// Serialises one fleet report: totals, the merged profile, the imbalance
+/// summary, the per-primitive transfer ledger and the analytic cross-check
+/// total.
+fn fleet_report_to_json(r: &FleetReport) -> Json {
+    Json::Obj(vec![
+        ("n_dpus".into(), Json::u64(r.n_dpus as u64)),
+        ("tasklets".into(), Json::u64(r.tasklets as u64)),
+        ("routing".into(), Json::str(r.routing.label())),
+        ("global_txns".into(), Json::u64(r.global_txns)),
+        ("dispatched_subtxns".into(), Json::u64(r.dispatched_subtxns)),
+        ("commits".into(), Json::u64(r.total_commits)),
+        ("aborts".into(), Json::u64(r.total_aborts)),
+        ("rejected".into(), Json::u64(r.total_rejected)),
+        ("increments".into(), Json::u64(r.total_increments)),
+        ("fingerprint".into(), Json::u64(r.fingerprint)),
+        ("rounds".into(), Json::u64(r.rounds.len() as u64)),
+        ("makespan_seconds".into(), Json::Num(r.makespan_seconds)),
+        ("throughput_tx_per_sec".into(), Json::Num(r.throughput_tx_per_sec())),
+        ("dpu_barrier_seconds".into(), Json::Num(r.dpu_barrier_seconds())),
+        ("host_seconds".into(), Json::Num(r.host_seconds())),
+        ("analytic_total_seconds".into(), Json::Num(r.analytic_total_seconds())),
+        (
+            "imbalance".into(),
+            Json::Obj(vec![
+                ("hottest_shard".into(), Json::u64(u64::from(r.imbalance.hottest_shard))),
+                ("hottest_commit_share".into(), Json::Num(r.imbalance.hottest_commit_share)),
+                ("max_over_mean_commits".into(), Json::Num(r.imbalance.max_over_mean_commits)),
+                ("cv_commits".into(), Json::Num(r.imbalance.cv_commits)),
+                ("max_over_mean_busy".into(), Json::Num(r.imbalance.max_over_mean_busy)),
+                ("cv_busy".into(), Json::Num(r.imbalance.cv_busy)),
+            ]),
+        ),
+        (
+            "transfers".into(),
+            Json::Obj(vec![
+                ("broadcast".into(), primitive_to_json(&r.ledger.broadcast)),
+                ("scatter".into(), primitive_to_json(&r.ledger.scatter)),
+                ("gather".into(), primitive_to_json(&r.ledger.gather)),
+                ("total_bytes".into(), Json::u64(r.ledger.total_bytes())),
+                ("total_seconds".into(), Json::Num(r.ledger.total_seconds())),
+            ]),
+        ),
+        ("profile".into(), profile_to_json(&r.profile)),
+    ])
+}
+
+/// Serialises a whole `--fleet` sweep: the weak-scaling curve and the skew
+/// sweep, each point carrying a full [`FleetReport`] object.
+pub fn fleet_to_json(sweep: &FleetSweep) -> Json {
+    Json::Obj(vec![
+        ("mode".into(), Json::str("fleet")),
+        ("stm".into(), Json::str(sweep.options.kind.name())),
+        ("routing".into(), Json::str(sweep.options.routing.label())),
+        ("scale".into(), Json::Num(sweep.options.scale)),
+        ("seed".into(), Json::u64(sweep.options.seed)),
+        ("keys_per_dpu".into(), Json::u64(u64::from(sweep.keys_per_dpu))),
+        ("txns_per_dpu".into(), Json::u64(u64::from(sweep.txns_per_dpu))),
+        (
+            "scaling".into(),
+            Json::Arr(sweep.scaling.iter().map(|p| fleet_report_to_json(&p.report)).collect()),
+        ),
+        (
+            "skew".into(),
+            Json::Arr(
+                sweep
+                    .skew
+                    .iter()
+                    .map(|p| {
+                        let mut obj = vec![("theta".into(), Json::Num(p.theta))];
+                        let Json::Obj(fields) = fleet_report_to_json(&p.report) else {
+                            unreachable!("fleet reports serialise as objects")
+                        };
+                        obj.extend(fields);
+                        Json::Obj(obj)
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 #[cfg(test)]
@@ -439,6 +570,36 @@ mod tests {
         assert!(matches!(cell.get("dma_setups_per_commit"), Some(Json::Num(n)) if *n > 0.0));
         assert!(cell.get("phases").and_then(|p| p.get("Reading")).is_some());
         assert!(cell.get("aborts_by_reason").is_some());
+    }
+
+    #[test]
+    fn fleet_dumps_parse_and_carry_scaling_skew_and_imbalance() {
+        use crate::fleet::{FleetSweep, FleetSweepOptions};
+        let sweep = FleetSweep::run(
+            &[2, 4],
+            FleetSweepOptions { scale: 0.05, thetas: vec![0.0, 1.2], ..Default::default() },
+        );
+        let json = fleet_to_json(&sweep);
+        let parsed = parse(&json.to_string()).expect("fleet dump must parse");
+        assert_eq!(parsed.get("mode"), Some(&Json::Str("fleet".into())));
+        assert_eq!(parsed.get("routing"), Some(&Json::Str("route-to-owner".into())));
+        let Some(Json::Arr(scaling)) = parsed.get("scaling") else {
+            panic!("scaling must be an array")
+        };
+        assert_eq!(scaling.len(), 2);
+        assert_eq!(scaling[0].get("n_dpus"), Some(&Json::Num(2.0)));
+        assert!(scaling[0].get("imbalance").and_then(|i| i.get("cv_commits")).is_some());
+        assert!(scaling[0].get("profile").and_then(|p| p.get("phases")).is_some());
+        assert!(scaling[0]
+            .get("transfers")
+            .and_then(|t| t.get("broadcast"))
+            .and_then(|b| b.get("calls"))
+            .is_some());
+        assert!(scaling[0].get("analytic_total_seconds").is_some());
+        let Some(Json::Arr(skew)) = parsed.get("skew") else { panic!("skew must be an array") };
+        assert_eq!(skew.len(), 2);
+        assert_eq!(skew[0].get("theta"), Some(&Json::Num(0.0)));
+        assert_eq!(skew[1].get("n_dpus"), Some(&Json::Num(4.0)), "skew runs the largest fleet");
     }
 
     #[test]

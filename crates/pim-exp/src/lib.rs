@@ -13,6 +13,9 @@
 //!   throughput normalised to the per-workload best;
 //! * [`multi_dpu`] — Fig. 7 and 8: multi-DPU KMeans/Labyrinth speed-up over
 //!   the CPU baseline and the TDP-based energy comparison;
+//! * [`fleet`] — the `--fleet` sweep: a *measured* weak-scaling curve and
+//!   skew sweep on the [`pim_fleet`] sharded multi-DPU runtime, with the
+//!   analytic multi-DPU plan as a cross-check column;
 //! * [`latency`] — the §3.1 measurement that motivates DPU-local
 //!   transactions (local MRAM read vs CPU-mediated remote read).
 
@@ -20,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod design_space;
+pub mod fleet;
 pub mod json;
 pub mod latency;
 pub mod multi_dpu;
@@ -27,6 +31,7 @@ pub mod peak;
 pub mod report;
 
 pub use design_space::{BurstSweep, DesignSpacePoint, DesignSpaceSweep, SweepOptions};
+pub use fleet::{FleetScalingPoint, FleetSkewPoint, FleetSweep, FleetSweepOptions};
 pub use latency::LatencyComparison;
 pub use multi_dpu::{MultiDpuBenchmark, MultiDpuStudy, SpeedupPoint};
 pub use peak::PeakDistribution;

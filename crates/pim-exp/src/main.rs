@@ -19,24 +19,30 @@
 //! runs.
 
 use pim_exp::design_space::{BurstSweep, DesignSpaceSweep, SweepOptions};
-use pim_exp::json::sweeps_to_json;
+use pim_exp::fleet::{FleetSweep, FleetSweepOptions, DEFAULT_FLEET_DPUS, DEFAULT_SKEW_THETAS};
+use pim_exp::json::{fleet_to_json, sweeps_to_json};
 use pim_exp::latency::LatencyComparison;
 use pim_exp::multi_dpu::{figure8_table, MultiDpuBenchmark, MultiDpuStudy};
 use pim_exp::peak::PeakDistribution;
 use pim_stm::{MetadataPlacement, ReadStrategy, RetryPolicy, StmKind, TmComposition};
 use pim_workloads::spec::Executor;
-use pim_workloads::Workload;
+use pim_workloads::{RoutingPolicy, Workload};
 use std::process::ExitCode;
 
 #[derive(Debug, Clone)]
 struct Options {
     figure: Option<String>,
+    fleet: bool,
     workload: Option<Workload>,
     stm: Option<StmKind>,
     placement: MetadataPlacement,
     executors: Vec<Executor>,
     tasklets: Vec<usize>,
-    dpus: Vec<usize>,
+    /// `--dpus`, when given; the analytic figures and the fleet sweep have
+    /// different defaults.
+    dpus: Option<Vec<usize>>,
+    routing: Option<RoutingPolicy>,
+    skew_thetas: Option<Vec<f64>>,
     scale: f64,
     seed: u64,
     repeat: usize,
@@ -51,12 +57,15 @@ impl Default for Options {
     fn default() -> Self {
         Options {
             figure: None,
+            fleet: false,
             workload: None,
             stm: None,
             placement: MetadataPlacement::Mram,
             executors: vec![Executor::Simulator],
             tasklets: vec![1, 3, 5, 7, 9, 11],
-            dpus: vec![1, 250, 500, 1000, 1500, 2000, 2500],
+            dpus: None,
+            routing: None,
+            skew_thetas: None,
             scale: 0.25,
             seed: 42,
             repeat: 1,
@@ -70,6 +79,16 @@ impl Default for Options {
 }
 
 impl Options {
+    /// DPU counts of the analytic multi-DPU figures (fig7/fig8).
+    fn analytic_dpus(&self) -> Vec<usize> {
+        self.dpus.clone().unwrap_or_else(|| vec![1, 250, 500, 1000, 1500, 2000, 2500])
+    }
+
+    /// DPU counts of the measured `--fleet` scaling curve.
+    fn fleet_dpus(&self) -> Vec<usize> {
+        self.dpus.clone().unwrap_or_else(|| DEFAULT_FLEET_DPUS.to_vec())
+    }
+
     /// The sweep knobs shared by every design-space run of this invocation.
     fn sweep_options(&self, executor: Executor) -> SweepOptions {
         SweepOptions {
@@ -130,7 +149,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--executor" => options.executors = parse_executors(&value()?)?,
             "--tasklets" => options.tasklets = parse_list(&value()?)?,
-            "--dpus" => options.dpus = parse_list(&value()?)?,
+            "--dpus" => options.dpus = Some(parse_list(&value()?)?),
+            "--fleet" => options.fleet = true,
+            "--routing" => options.routing = Some(RoutingPolicy::parse(&value()?)?),
+            "--skew-thetas" => {
+                let thetas: Vec<f64> = parse_list(&value()?)?;
+                if thetas.iter().any(|t| *t < 0.0 || !t.is_finite()) {
+                    return Err("--skew-thetas values must be finite and >= 0".to_string());
+                }
+                options.skew_thetas = Some(thetas);
+            }
             "--scale" => {
                 options.scale = value()?.parse().map_err(|e| format!("bad --scale value: {e}"))?
             }
@@ -201,6 +229,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 
 fn usage() -> String {
     "usage: pim-exp [--figure fig4|fig5|fig6|fig7|fig8|fig9|fig10|latency]\n\
+     \x20              [--fleet] [--routing route-to-owner|abort-retry]\n\
+     \x20              [--skew-thetas 0.0,0.9,...]\n\
      \x20              [--workload <name>] [--stm <kind>] [--tier wram|mram]\n\
      \x20              [--executor simulator|threaded|both] [--repeat <n>]\n\
      \x20              [--read-strategy word-wise|batched] [--record-words <n>]\n\
@@ -208,6 +238,11 @@ fn usage() -> String {
      \x20              [--burst-words 8,16,64,...] [--json-out <path>]\n\
      \x20              [--tasklets 1,3,5,...] [--dpus 1,500,...]\n\
      \x20              [--scale <f>] [--seed <n>]\n\
+     \x20 --fleet runs the measured multi-DPU sharded runtime instead of a\n\
+     \x20 figure: a weak-scaling curve over --dpus (default 4,16,64,256)\n\
+     \x20 plus a key-skew sweep at the largest fleet (--skew-thetas,\n\
+     \x20 default 0,0.6,0.9,1.2), honouring --stm, --tier, --routing,\n\
+     \x20 --scale, --seed and --json-out.\n\
      \x20 A --workload/--stm pair reruns a single cell of the design-space\n\
      \x20 grid (e.g. --workload array-b --stm norec --tasklets 4). --stm\n\
      \x20 accepts legacy names (norec, tiny-etlwb, vr-ctlwb, ...) and\n\
@@ -311,12 +346,59 @@ fn write_json(path: &str, sweeps: &[DesignSpaceSweep]) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the `--fleet` sweep and prints its three panels; returns the sweep
+/// for `--json-out`.
+fn run_fleet(options: &Options) -> Result<FleetSweep, String> {
+    for (flag, set) in [
+        ("--figure", options.figure.is_some()),
+        ("--workload", options.workload.is_some()),
+        ("--executor", options.executors != [Executor::Simulator]),
+        ("--repeat", options.repeat > 1),
+        ("--burst-words", options.burst_words.is_some()),
+        ("--record-words", options.record_words.is_some()),
+        ("--read-strategy", options.read_strategy != ReadStrategy::default()),
+        ("--retry", options.retry != RetryPolicy::default()),
+    ] {
+        if set {
+            return Err(format!("{flag} does not apply to the --fleet sweep"));
+        }
+    }
+    let fleet_options = FleetSweepOptions {
+        kind: options.stm.unwrap_or(StmKind::Norec),
+        placement: options.placement,
+        routing: options.routing.unwrap_or(RoutingPolicy::RouteToOwner),
+        scale: options.scale,
+        seed: options.seed,
+        thetas: options.skew_thetas.clone().unwrap_or_else(|| DEFAULT_SKEW_THETAS.to_vec()),
+    };
+    let dpus = options.fleet_dpus();
+    if dpus.is_empty() || dpus.contains(&0) {
+        return Err("--fleet needs a non-empty --dpus list of positive counts".to_string());
+    }
+    println!("== fleet: measured multi-DPU sharded runtime ==");
+    let sweep = FleetSweep::run(&dpus, fleet_options);
+    println!("{}", sweep.scaling_table());
+    println!("{}", sweep.profile_table());
+    if !sweep.skew.is_empty() {
+        println!("{}", sweep.skew_table());
+    }
+    Ok(sweep)
+}
+
 fn run_figure(
     figure: &str,
     options: &Options,
     collected: &mut Vec<DesignSpaceSweep>,
 ) -> Result<(), String> {
     let is_sweep_figure = matches!(figure, "fig4" | "fig5" | "fig9" | "fig10");
+    // The fleet-only flags belong to --fleet, not to any figure.
+    for (flag, set) in
+        [("--routing", options.routing.is_some()), ("--skew-thetas", options.skew_thetas.is_some())]
+    {
+        if set {
+            return Err(format!("{flag} applies to the --fleet sweep, not to {figure}"));
+        }
+    }
     // Only the per-design sweep figures can honour the sweep-level flags;
     // error out instead of silently ignoring them.
     if options.stm.is_some() && !is_sweep_figure {
@@ -393,8 +475,12 @@ fn run_figure(
                 MultiDpuBenchmark::LabyrinthL,
             ] {
                 println!("== Fig. 7: speed-up vs CPU ({benchmark}) ==");
-                let study =
-                    MultiDpuStudy::run(benchmark, &options.dpus, options.scale, options.seed);
+                let study = MultiDpuStudy::run(
+                    benchmark,
+                    &options.analytic_dpus(),
+                    options.scale,
+                    options.seed,
+                );
                 println!("{}", study.speedup_table());
             }
         }
@@ -425,18 +511,42 @@ fn main() -> ExitCode {
         }
     };
     let mut collected = Vec::new();
-    let result = if let Some(figure) = &options.figure {
-        run_figure(figure, &options, &mut collected)
-    } else if let Some(workload) = options.workload {
-        print_sweep(workload, options.placement, &options, &mut collected);
-        Ok(())
+    let result = if options.fleet {
+        run_fleet(&options).and_then(|sweep| match &options.json_out {
+            Some(path) => {
+                let json = fleet_to_json(&sweep).to_string();
+                std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!(
+                    "[json-out] wrote {} fleet point(s) to {path}",
+                    sweep.scaling.len() + sweep.skew.len()
+                );
+                Ok(())
+            }
+            None => Ok(()),
+        })
     } else {
-        Err(usage())
+        let result = if let Some(figure) = &options.figure {
+            run_figure(figure, &options, &mut collected)
+        } else if let Some(workload) = options.workload {
+            for (flag, set) in [
+                ("--routing", options.routing.is_some()),
+                ("--skew-thetas", options.skew_thetas.is_some()),
+            ] {
+                if set {
+                    eprintln!("{flag} applies to the --fleet sweep, not to a workload sweep");
+                    return ExitCode::FAILURE;
+                }
+            }
+            print_sweep(workload, options.placement, &options, &mut collected);
+            Ok(())
+        } else {
+            Err(usage())
+        };
+        result.and_then(|()| match &options.json_out {
+            Some(path) if !collected.is_empty() => write_json(path, &collected),
+            _ => Ok(()),
+        })
     };
-    let result = result.and_then(|()| match &options.json_out {
-        Some(path) if !collected.is_empty() => write_json(path, &collected),
-        _ => Ok(()),
-    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
@@ -474,7 +584,7 @@ mod tests {
         assert_eq!(options.stm, None);
         assert_eq!(options.placement, MetadataPlacement::Wram);
         assert_eq!(options.tasklets, vec![1, 2, 3]);
-        assert_eq!(options.dpus, vec![1, 10]);
+        assert_eq!(options.dpus, Some(vec![1, 10]));
         assert!((options.scale - 0.5).abs() < 1e-12);
         assert_eq!(options.seed, 7);
     }
@@ -588,6 +698,52 @@ mod tests {
             let err = run_figure(figure, &options, &mut Vec::new()).unwrap_err();
             assert!(err.contains("design-space sweeps"), "{figure}: {err}");
         }
+    }
+
+    #[test]
+    fn fleet_flags_parse_and_default_sensibly() {
+        let options = parse_args(&["--fleet".into()]).unwrap();
+        assert!(options.fleet);
+        assert_eq!(options.fleet_dpus(), DEFAULT_FLEET_DPUS.to_vec());
+        assert_eq!(
+            options.analytic_dpus(),
+            vec![1, 250, 500, 1000, 1500, 2000, 2500],
+            "fig7/fig8 keep their own default curve"
+        );
+        let args: Vec<String> =
+            ["--fleet", "--dpus", "2,8", "--routing", "abort-retry", "--skew-thetas", "0.0,0.9"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let options = parse_args(&args).unwrap();
+        assert_eq!(options.fleet_dpus(), vec![2, 8]);
+        assert_eq!(options.routing, Some(RoutingPolicy::AbortAndRetry));
+        assert_eq!(options.skew_thetas, Some(vec![0.0, 0.9]));
+        assert!(parse_args(&["--routing".into(), "bogus".into()]).is_err());
+        assert!(parse_args(&["--skew-thetas".into(), "-1.0".into()]).is_err());
+        assert!(parse_args(&["--skew-thetas".into(), "x".into()]).is_err());
+    }
+
+    #[test]
+    fn fleet_mode_rejects_sweep_only_flags() {
+        for options in [
+            Options { figure: Some("fig4".into()), ..Options::default() },
+            Options { workload: Some(Workload::ArrayB), ..Options::default() },
+            Options { repeat: 3, ..Options::default() },
+            Options { burst_words: Some(vec![8]), ..Options::default() },
+            Options { executors: vec![Executor::Threaded], ..Options::default() },
+            Options { retry: RetryPolicy::Fixed, ..Options::default() },
+        ] {
+            let options = Options { fleet: true, ..options };
+            assert!(run_fleet(&options).is_err());
+        }
+        // And figures reject the fleet-only flags.
+        let options = Options { routing: Some(RoutingPolicy::RouteToOwner), ..Options::default() };
+        let err = run_figure("fig6", &options, &mut Vec::new()).unwrap_err();
+        assert!(err.contains("--fleet"), "{err}");
+        let options = Options { skew_thetas: Some(vec![0.9]), ..Options::default() };
+        let err = run_figure("fig7", &options, &mut Vec::new()).unwrap_err();
+        assert!(err.contains("--skew-thetas"), "{err}");
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //! * **Energy** — UPMEM energy is TDP (370 W) × time, exactly the paper's
 //!   estimate; CPU energy is package+DRAM power × time (RAPL substitute).
 
+use pim_fleet::baseline::{
+    KMEANS_CPU_THREADS, KMEANS_POINTS_PER_DPU, KMEANS_ROUNDS, LABYRINTH_CPU_PROCESSES,
+    LABYRINTH_CPU_THREADS,
+};
 use pim_sim::{CpuTransferModel, EnergyModel, MultiDpuPlan, RoundPlan};
 use pim_stm::{MetadataPlacement, StmKind};
 use pim_workloads::{RunSpec, Workload};
@@ -27,19 +31,6 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::report::{fmt_f64, render_table};
-
-/// Points per DPU in the multi-DPU KMeans experiment (the paper assigns
-/// 200 k input points to every DPU).
-const KMEANS_POINTS_PER_DPU: u64 = 200_000;
-/// Assignment rounds in the multi-DPU KMeans experiment.
-const KMEANS_ROUNDS: usize = 3;
-/// Host threads used by the CPU KMeans baseline (paper: 4).
-const KMEANS_CPU_THREADS: usize = 4;
-/// Parallel host processes used by the CPU Labyrinth baseline (paper: 4
-/// processes of 8 threads each).
-const LABYRINTH_CPU_PROCESSES: usize = 4;
-/// Threads per host Labyrinth process (paper: 8).
-const LABYRINTH_CPU_THREADS: usize = 8;
 
 /// The five workloads of the multi-DPU study.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]

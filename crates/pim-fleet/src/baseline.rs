@@ -1,0 +1,25 @@
+//! The per-workload CPU-baseline extrapolation constants of the §4.3
+//! multi-DPU study — the **single source of truth** shared by the analytic
+//! path (`pim-exp`'s Fig. 7/8 model) and the real fleet runtime.
+//!
+//! These used to live privately inside `pim-exp`'s `multi_dpu` module;
+//! they are fleet configuration (how much work each DPU owns, how the CPU
+//! baseline parallelises) and both the analytic `MultiDpuPlan` and the
+//! measured fleet must agree on them, so they live here.
+
+/// Points per DPU in the multi-DPU KMeans experiment (the paper assigns
+/// 200 k input points to every DPU).
+pub const KMEANS_POINTS_PER_DPU: u64 = 200_000;
+
+/// Assignment rounds in the multi-DPU KMeans experiment.
+pub const KMEANS_ROUNDS: usize = 3;
+
+/// Host threads used by the CPU KMeans baseline (paper: 4).
+pub const KMEANS_CPU_THREADS: usize = 4;
+
+/// Parallel host processes used by the CPU Labyrinth baseline (paper: 4
+/// processes of 8 threads each).
+pub const LABYRINTH_CPU_PROCESSES: usize = 4;
+
+/// Threads per host Labyrinth process (paper: 8).
+pub const LABYRINTH_CPU_THREADS: usize = 8;

@@ -1,0 +1,75 @@
+//! # pim-fleet — a multi-DPU sharded runtime with a host orchestration layer
+//!
+//! The PIM-STM paper's multi-DPU study extrapolates from one simulated
+//! DPU. This crate replaces that extrapolation with *measurement*: it
+//! partitions a workload's data across N simulated DPUs (N scaling to
+//! thousands — each shard DPU's MRAM is sized to its slice, and the shard
+//! simulators run in parallel across host worker threads), drives them
+//! with a round-structured host dispatcher, and merges the per-DPU
+//! results into one fleet report. The analytic
+//! [`pim_sim::MultiDpuPlan`] stays available as a cross-check baseline
+//! ([`FleetReport::analytic_plan`]).
+//!
+//! ## The host-API contract
+//!
+//! **Primitive semantics** (SimplePIM-shaped, see [`host`]): the host owns
+//! three data-movement primitives, each charged against the same
+//! [`pim_sim::CpuTransferModel`] the analytic model uses —
+//!
+//! * `broadcast(bytes)` — one buffer replicated to all DPUs; the buffer
+//!   crosses the host bus once (rank hardware fans out), so cost is
+//!   DPU-count independent;
+//! * `scatter(bytes_per_dpu)` — per-DPU payloads pushed in one
+//!   rank-parallel bulk operation: one fixed overhead plus summed bytes
+//!   over bulk bandwidth;
+//! * `gather(bytes_per_dpu)` — the DPU→host mirror of scatter.
+//!
+//! Every invocation is recorded per primitive (calls/bytes/seconds) in a
+//! [`TransferLedger`], so transfer cost is *explicit and attributable*
+//! rather than folded into a constant.
+//!
+//! **Barrier/round model** (see [`runtime`]): the dispatcher cuts the
+//! global transaction stream into rounds of at most
+//! [`FleetConfig::txns_per_round`] transactions. One round is
+//!
+//! ```text
+//! host routing → broadcast(descriptor) → scatter(batches)
+//!   → [ all active shards run to completion, in parallel ]   ← barrier
+//!   → gather(summaries) → host merge
+//! ```
+//!
+//! The barrier means a round costs the *slowest* shard's DPU time; a
+//! skewed shard therefore stalls the whole fleet, which is exactly what
+//! the imbalance statistics ([`Imbalance`]) quantify. Transactions whose
+//! keys span shards are handled by the configured
+//! [`pim_workloads::RoutingPolicy`]: split up front (`route-to-owner`) or
+//! dispatched home, rejected by the DPU via an explicit abort, and
+//! re-dispatched split in the **next** round (`abort-retry`).
+//!
+//! **Transfer-cost accounting**: a round's modeled time is
+//! `broadcast + scatter + max(shard DPU seconds) + gather + host`, summed
+//! into [`FleetReport::makespan_seconds`]. All host costs are modeled
+//! ([`HostCostModel`]), never measured — a seeded fleet run is
+//! bit-identical on any machine and any `host_workers` setting.
+//!
+//! **Fleet reports vs single-DPU profiles**: every shard produces
+//! ordinary cycle-domain [`pim_stm::ExecProfile`]s; the fleet merges them
+//! unchanged ([`FleetReport::profile`]), so per-`AbortReason` histograms,
+//! per-phase cycles and DMA counters aggregate across the fleet with the
+//! same schema as a single-DPU run. Per-shard placement of that work
+//! lives alongside in [`FleetReport::shards`].
+//!
+//! [`baseline`] holds the CPU-baseline extrapolation constants shared
+//! with the analytic Fig. 7/8 path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod host;
+pub mod report;
+pub mod runtime;
+
+pub use host::{HostCostModel, PrimitiveStats, TransferLedger};
+pub use report::{FleetReport, Imbalance, RoundStats, ShardStats};
+pub use runtime::{run, FleetConfig, GATHER_SUMMARY_BYTES, ROUND_DESCRIPTOR_BYTES};

@@ -1,0 +1,291 @@
+//! The fleet-level report: merged execution profiles, per-shard load
+//! statistics, per-round accounting, and the analytic cross-check hook.
+//!
+//! A fleet run produces one [`FleetReport`]. Its relationship to the
+//! single-DPU instrumentation is strictly compositional:
+//!
+//! * every shard DPU's tasklets produce ordinary cycle-domain
+//!   [`ExecProfile`]s, exactly as a single-DPU run would;
+//! * the shard accumulates them across rounds, and the fleet merges the
+//!   shard accumulators with [`ExecProfile::merged`] — so
+//!   [`FleetReport::profile`] has the same schema (abort histogram keyed by
+//!   `AbortReason`, per-phase cycles, DMA setup/word counters) as any
+//!   single-DPU profile, just summed over the whole fleet;
+//! * what a merged profile *cannot* express — which shard did the work —
+//!   lives in [`ShardStats`] and the derived [`Imbalance`] summary.
+//!
+//! [`FleetReport::analytic_plan`] rebuilds the measured run as a
+//! [`MultiDpuPlan`], the analytic model `pim-exp --fig7` uses, from the
+//! per-round stats. See the method docs for the exact (small, documented)
+//! divergence between the two accountings — the cross-check regression
+//! test in the repository root pins it.
+
+use pim_sim::{MultiDpuPlan, RoundPlan};
+use pim_stm::ExecProfile;
+use pim_workloads::RoutingPolicy;
+use serde::{Deserialize, Serialize};
+
+use crate::host::TransferLedger;
+
+/// Per-shard totals over a whole fleet run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Shard (= DPU) index.
+    pub shard: u32,
+    /// Global keys this shard owns.
+    pub keys: u32,
+    /// Sub-transactions dispatched to this shard (probes included).
+    pub dispatched: u64,
+    /// Transactions this shard committed.
+    pub commits: u64,
+    /// Aborted attempts (probe rejections included).
+    pub aborts: u64,
+    /// Probe transactions rejected back to the host
+    /// (`AbortReason::Explicit`).
+    pub rejected: u64,
+    /// Cycles this shard's DPU spent across all its rounds.
+    pub busy_cycles: u64,
+}
+
+/// Per-round accounting: what was dispatched and where the time went.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundStats {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Sub-transactions dispatched this round (probes included).
+    pub dispatched_subtxns: u64,
+    /// Shards that received work this round.
+    pub active_shards: u64,
+    /// Commits this round, fleet-wide.
+    pub commits: u64,
+    /// Probe rejections this round, fleet-wide.
+    pub rejected: u64,
+    /// Seconds in the round-descriptor broadcast.
+    pub broadcast_seconds: f64,
+    /// Seconds scattering transaction descriptors to the shards.
+    pub scatter_seconds: f64,
+    /// Slowest shard's DPU compute this round, in seconds — the barrier
+    /// waits for it.
+    pub dpu_seconds: f64,
+    /// Mean DPU compute over the *active* shards this round, in seconds.
+    pub dpu_mean_seconds: f64,
+    /// Seconds gathering per-shard result summaries.
+    pub gather_seconds: f64,
+    /// Modeled host CPU seconds (routing + merge) this round.
+    pub host_seconds: f64,
+    /// Bytes moved host→DPUs this round (broadcast + scatter).
+    pub bytes_to_dpus: u64,
+    /// Bytes moved DPUs→host this round (gather).
+    pub bytes_from_dpus: u64,
+}
+
+impl RoundStats {
+    /// End-to-end seconds of this round: transfers + the DPU barrier +
+    /// host work.
+    pub fn total_seconds(&self) -> f64 {
+        self.broadcast_seconds
+            + self.scatter_seconds
+            + self.dpu_seconds
+            + self.gather_seconds
+            + self.host_seconds
+    }
+}
+
+/// Load/commit imbalance across the shards of one fleet run.
+///
+/// `max/mean` ratios answer "how much slower is the hottest shard than the
+/// average" (1.0 = perfectly balanced); the coefficient of variation
+/// (stddev/mean) summarises the whole distribution. Both are computed over
+/// **all** shards — an idle shard is imbalance, not a statistical nuisance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Imbalance {
+    /// Hottest shard by committed transactions.
+    pub hottest_shard: u32,
+    /// Fraction of all commits the hottest shard performed.
+    pub hottest_commit_share: f64,
+    /// Max-over-mean of per-shard commits (1.0 = balanced).
+    pub max_over_mean_commits: f64,
+    /// Coefficient of variation of per-shard commits.
+    pub cv_commits: f64,
+    /// Max-over-mean of per-shard busy cycles.
+    pub max_over_mean_busy: f64,
+    /// Coefficient of variation of per-shard busy cycles.
+    pub cv_busy: f64,
+}
+
+impl Imbalance {
+    /// Computes the summary from per-shard totals. All-zero inputs (an
+    /// empty run) yield ratios of 1.0 and CVs of 0.0.
+    pub fn from_shards(shards: &[ShardStats]) -> Self {
+        fn spread(values: impl Iterator<Item = u64> + Clone) -> (f64, f64) {
+            let n = values.clone().count().max(1) as f64;
+            let mean = values.clone().sum::<u64>() as f64 / n;
+            let max = values.clone().max().unwrap_or(0) as f64;
+            if mean == 0.0 {
+                return (1.0, 0.0);
+            }
+            let var = values.map(|v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
+            (max / mean, var.sqrt() / mean)
+        }
+        let (max_over_mean_commits, cv_commits) = spread(shards.iter().map(|s| s.commits));
+        let (max_over_mean_busy, cv_busy) = spread(shards.iter().map(|s| s.busy_cycles));
+        let hottest = shards.iter().max_by_key(|s| s.commits).map(|s| s.shard).unwrap_or(0);
+        let total_commits: u64 = shards.iter().map(|s| s.commits).sum();
+        let hottest_commits = shards.iter().map(|s| s.commits).max().unwrap_or(0);
+        Imbalance {
+            hottest_shard: hottest,
+            hottest_commit_share: if total_commits == 0 {
+                0.0
+            } else {
+                hottest_commits as f64 / total_commits as f64
+            },
+            max_over_mean_commits,
+            cv_commits,
+            max_over_mean_busy,
+            cv_busy,
+        }
+    }
+}
+
+/// Everything one fleet run produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// DPUs (= shards) in the fleet.
+    pub n_dpus: usize,
+    /// Tasklets per shard DPU.
+    pub tasklets: usize,
+    /// Cross-shard routing policy the dispatcher used.
+    pub routing: RoutingPolicy,
+    /// Transactions in the global stream.
+    pub global_txns: u64,
+    /// Sub-transactions dispatched in total (probes and re-dispatches
+    /// included — under abort-and-retry this exceeds the commit count).
+    pub dispatched_subtxns: u64,
+    /// Committed transactions, fleet-wide.
+    pub total_commits: u64,
+    /// Aborted attempts, fleet-wide (probe rejections included).
+    pub total_aborts: u64,
+    /// Probe transactions rejected back to the host.
+    pub total_rejected: u64,
+    /// Sum of all shard counters after the run — each committed
+    /// sub-transaction contributes its update count, so conservation is
+    /// checkable against the stream.
+    pub total_increments: u64,
+    /// FNV-1a fingerprint of the global counter array in key order —
+    /// partition-invariant for this commutative workload.
+    pub fingerprint: u64,
+    /// Per-round accounting, in dispatch order.
+    pub rounds: Vec<RoundStats>,
+    /// Per-shard totals.
+    pub shards: Vec<ShardStats>,
+    /// Load/commit imbalance summary over [`FleetReport::shards`].
+    pub imbalance: Imbalance,
+    /// All per-tasklet profiles of every shard, merged (cycle domain) —
+    /// same schema as a single-DPU run's merged profile.
+    pub profile: ExecProfile,
+    /// Per-primitive transfer accounting.
+    pub ledger: TransferLedger,
+    /// End-to-end modeled seconds: every round's transfers + DPU barrier +
+    /// host work, summed.
+    pub makespan_seconds: f64,
+}
+
+impl FleetReport {
+    /// Committed transactions per modeled second.
+    pub fn throughput_tx_per_sec(&self) -> f64 {
+        if self.makespan_seconds == 0.0 {
+            0.0
+        } else {
+            self.total_commits as f64 / self.makespan_seconds
+        }
+    }
+
+    /// Seconds the DPU barrier contributed across all rounds (the slowest
+    /// shard of each round).
+    pub fn dpu_barrier_seconds(&self) -> f64 {
+        self.rounds.iter().map(|r| r.dpu_seconds).sum()
+    }
+
+    /// Modeled host CPU seconds across all rounds.
+    pub fn host_seconds(&self) -> f64 {
+        self.rounds.iter().map(|r| r.host_seconds).sum()
+    }
+
+    /// Rebuilds this run as an analytic [`MultiDpuPlan`] — one
+    /// [`RoundPlan`] per measured round, with the measured per-round DPU
+    /// barrier time as the round's compute time and the measured byte
+    /// counts as its transfer sizes.
+    ///
+    /// The plan's accounting differs from the fleet's in exactly one way:
+    /// the fleet issues **two** host→DPU bulk operations per round
+    /// (broadcast + scatter) where the plan charges one combined bulk
+    /// transfer, so the plan is cheaper by one
+    /// [`pim_sim::CpuTransferModel::bulk_overhead_s`] per round. The
+    /// cross-check test asserts agreement to exactly that documented
+    /// tolerance.
+    pub fn analytic_plan(&self) -> MultiDpuPlan {
+        let mut plan = MultiDpuPlan::new(self.n_dpus);
+        for round in &self.rounds {
+            plan.push_round(RoundPlan {
+                dpu_compute_seconds: round.dpu_seconds,
+                bytes_to_dpus: round.bytes_to_dpus,
+                bytes_from_dpus: round.bytes_from_dpus,
+                cpu_merge_seconds: round.host_seconds,
+            });
+        }
+        plan
+    }
+
+    /// Executes [`FleetReport::analytic_plan`] against this run's own
+    /// transfer model and returns its end-to-end seconds. Differs from
+    /// [`FleetReport::makespan_seconds`] by exactly one bulk-transfer
+    /// overhead per round (see [`FleetReport::analytic_plan`]).
+    pub fn analytic_total_seconds(&self) -> f64 {
+        self.analytic_plan().execute(self.ledger.transfer_model()).total_seconds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(shard: u32, commits: u64, busy: u64) -> ShardStats {
+        ShardStats {
+            shard,
+            keys: 10,
+            dispatched: commits,
+            commits,
+            aborts: 0,
+            rejected: 0,
+            busy_cycles: busy,
+        }
+    }
+
+    #[test]
+    fn balanced_shards_have_unit_ratios() {
+        let shards = [shard(0, 50, 1000), shard(1, 50, 1000)];
+        let imb = Imbalance::from_shards(&shards);
+        assert!((imb.max_over_mean_commits - 1.0).abs() < 1e-12);
+        assert!(imb.cv_commits.abs() < 1e-12);
+        assert!((imb.hottest_commit_share - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_shards_show_up_in_every_statistic() {
+        let shards = [shard(0, 90, 9000), shard(1, 10, 1000)];
+        let imb = Imbalance::from_shards(&shards);
+        assert_eq!(imb.hottest_shard, 0);
+        assert!((imb.max_over_mean_commits - 1.8).abs() < 1e-12);
+        assert!(imb.cv_commits > 0.5);
+        assert!(imb.max_over_mean_busy > 1.5);
+        assert!((imb.hottest_commit_share - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_fleet_degenerates_gracefully() {
+        let imb = Imbalance::from_shards(&[]);
+        assert_eq!(imb.max_over_mean_commits, 1.0);
+        assert_eq!(imb.cv_commits, 0.0);
+        assert_eq!(imb.hottest_commit_share, 0.0);
+    }
+}

@@ -1,0 +1,456 @@
+//! The fleet runtime: N simulated shard DPUs behind one host dispatcher.
+//!
+//! [`run`] executes one sharded workload on a fleet described by
+//! [`FleetConfig`]:
+//!
+//! 1. **Partition** — the global keyspace is range-partitioned over the N
+//!    shard DPUs ([`ShardMap`]); each shard DPU is sized to its slice plus
+//!    its STM metadata, so fleets of thousands of DPUs do not allocate
+//!    thousands of 64 MB MRAM banks.
+//! 2. **Dispatch rounds** — the host takes up to
+//!    [`FleetConfig::txns_per_round`] transactions off the global stream,
+//!    routes them ([`RoutingPolicy`]), `broadcast`s the round descriptor,
+//!    `scatter`s each shard's batch, runs every active shard's simulator
+//!    — in parallel across host worker threads — to completion (the
+//!    inter-round **barrier**: the round ends when its slowest shard
+//!    does), `gather`s the per-shard summaries, and pays the modeled host
+//!    routing/merge cost. Probe rejections re-enter the stream as split
+//!    sub-transactions in the *next* round.
+//! 3. **Report** — per-shard stats, per-round stats, the merged
+//!    cycle-domain [`pim_stm::ExecProfile`], the transfer ledger and the
+//!    partition-invariant fingerprint land in one [`FleetReport`].
+//!
+//! Determinism: shard simulators are deterministic, the stream is seeded,
+//! and all host costs are modeled (never measured) — so the report is
+//! bit-identical regardless of `host_workers` and of the machine it runs
+//! on. The worker threads only decide *wall-clock* speed of the
+//! simulation itself.
+
+use std::collections::VecDeque;
+
+use pim_sim::{CpuTransferModel, Dpu, DpuConfig, Scheduler, TaskletProgram};
+use pim_stm::profile::TimeDomain;
+use pim_stm::{
+    algorithm_for, AbortReason, ExecProfile, MetadataPlacement, StmConfig, StmKind, StmShared,
+    TxSlot,
+};
+use pim_workloads::sharded::{
+    deal_batch, generate_stream, route, ShardData, ShardProgram, ShardTx, FINGERPRINT_SEED,
+};
+use pim_workloads::{RoutingPolicy, ShardMap, ShardedWorkloadConfig, TxMachine};
+
+use crate::host::{HostCostModel, TransferLedger};
+use crate::report::{FleetReport, Imbalance, RoundStats, ShardStats};
+
+/// Bytes of the per-round control block the host broadcasts to every DPU
+/// (round number, batch length, flags).
+pub const ROUND_DESCRIPTOR_BYTES: u64 = 64;
+
+/// Bytes of the per-shard result summary the host gathers after each round
+/// (commits, aborts, rejections, checksum).
+pub const GATHER_SUMMARY_BYTES: u64 = 32;
+
+/// Everything that defines one fleet run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// Shard DPUs in the fleet.
+    pub n_dpus: usize,
+    /// Tasklets per shard DPU.
+    pub tasklets: usize,
+    /// STM design every shard runs.
+    pub kind: StmKind,
+    /// Metadata placement on every shard.
+    pub placement: MetadataPlacement,
+    /// The global workload (keyspace, stream length, skew) — shard-count
+    /// independent by construction.
+    pub workload: ShardedWorkloadConfig,
+    /// Cross-shard routing policy.
+    pub routing: RoutingPolicy,
+    /// Global transactions the host dispatches per round (the round
+    /// granularity of the barrier).
+    pub txns_per_round: usize,
+    /// Seed of the global stream.
+    pub seed: u64,
+    /// Transfer-cost model every host primitive is charged against.
+    pub transfer: CpuTransferModel,
+    /// Modeled host CPU costs (routing, merge).
+    pub host: HostCostModel,
+    /// Host worker threads simulating shards in parallel; `0` = one per
+    /// available core. Affects wall-clock speed only, never results.
+    pub host_workers: usize,
+}
+
+impl FleetConfig {
+    /// A fleet of `n_dpus` over `workload`, with the defaults the `--fleet`
+    /// sweep uses: 8 tasklets, NOrec with MRAM metadata, route-to-owner,
+    /// four dispatch rounds.
+    pub fn new(n_dpus: usize, workload: ShardedWorkloadConfig) -> Self {
+        FleetConfig {
+            n_dpus,
+            tasklets: 8,
+            kind: StmKind::Norec,
+            placement: MetadataPlacement::Mram,
+            workload,
+            routing: RoutingPolicy::RouteToOwner,
+            txns_per_round: (workload.total_txns as usize).div_ceil(4).max(1),
+            seed: 42,
+            transfer: CpuTransferModel::default(),
+            host: HostCostModel::default(),
+            host_workers: 0,
+        }
+    }
+
+    /// Replaces the routing policy.
+    pub fn with_routing(mut self, routing: RoutingPolicy) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Replaces the stream seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The STM configuration every shard allocates, with transaction-set
+    /// capacities sized to the workload.
+    pub fn stm_config(&self) -> StmConfig {
+        StmConfig::new(self.kind, self.placement)
+            .with_read_set_capacity((self.workload.keys_per_tx() + 8).next_power_of_two())
+            .with_write_set_capacity((self.workload.updates_per_tx + 8).next_power_of_two())
+    }
+
+    fn validate(&self) {
+        assert!(self.n_dpus > 0, "a fleet needs at least one DPU");
+        assert!(
+            self.tasklets >= 1 && self.tasklets <= DpuConfig::default().max_tasklets,
+            "tasklets per shard must lie in 1..=24"
+        );
+        assert!(self.txns_per_round > 0, "txns_per_round must be positive");
+        assert!(self.workload.total_txns > 0, "the global stream must be non-empty");
+        assert!(self.workload.keys_per_tx() > 0, "transactions must touch at least one key");
+    }
+}
+
+/// One shard's persistent state across rounds.
+struct ShardState {
+    dpu: Dpu,
+    shared: StmShared,
+    data: ShardData,
+    slots: Vec<TxSlot>,
+    profile: ExecProfile,
+    dispatched: u64,
+    commits: u64,
+    aborts: u64,
+    rejected: u64,
+    busy_cycles: u64,
+    /// Outcome of the round that just ran (drained by the orchestrator).
+    last_round: Option<RoundOutcome>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RoundOutcome {
+    seconds: f64,
+    commits: u64,
+    rejected: u64,
+}
+
+impl ShardState {
+    /// Builds one shard: a DPU sized to its key slice + STM metadata, the
+    /// STM instance, the counter slice, and one registered slot per
+    /// tasklet (registered once; fresh transaction machines wrap them
+    /// every round).
+    fn new(config: &FleetConfig, base: u32, span: u32) -> Self {
+        let stm_cfg = config.stm_config();
+        let mram_words = span.max(1)
+            + stm_cfg.shared_metadata_words()
+            + stm_cfg.per_tasklet_metadata_words() * config.tasklets as u32
+            + 2048;
+        let mut dpu = Dpu::new(DpuConfig { mram_words, ..DpuConfig::default() });
+        let shared = StmShared::allocate(&mut dpu, stm_cfg)
+            .expect("shard STM metadata must fit the sized DPU");
+        let data = ShardData::allocate(&mut dpu, base, span);
+        let slots = (0..config.tasklets)
+            .map(|t| {
+                shared
+                    .register_tasklet(&mut dpu, t)
+                    .expect("per-tasklet STM logs must fit the sized DPU")
+            })
+            .collect();
+        ShardState {
+            dpu,
+            shared,
+            data,
+            slots,
+            profile: ExecProfile::new(TimeDomain::Cycles),
+            dispatched: 0,
+            commits: 0,
+            aborts: 0,
+            rejected: 0,
+            busy_cycles: 0,
+            last_round: None,
+        }
+    }
+
+    /// Runs one round's batch to completion on this shard's simulator and
+    /// folds the results into the shard accumulators.
+    fn run_round(&mut self, batch: Vec<ShardTx>) {
+        self.dispatched += batch.len() as u64;
+        let alg = algorithm_for(self.shared.config().kind);
+        let programs: Vec<Box<dyn TaskletProgram>> = deal_batch(batch, self.slots.len())
+            .into_iter()
+            .enumerate()
+            .map(|(t, hand)| {
+                let machine = TxMachine::new(self.shared.clone(), self.slots[t].clone(), alg);
+                Box::new(ShardProgram::new(machine, self.data, hand)) as Box<dyn TaskletProgram>
+            })
+            .collect();
+        let report = Scheduler::new().run(&mut self.dpu, programs);
+        let mut rejected = 0;
+        for stats in &report.tasklet_stats {
+            rejected += stats.profile.abort_codes[AbortReason::Explicit.index()];
+            self.profile.merge(&ExecProfile::from_sim(stats));
+        }
+        self.commits += report.total_commits();
+        self.aborts += report.total_aborts();
+        self.rejected += rejected;
+        self.busy_cycles += report.makespan_cycles;
+        self.last_round = Some(RoundOutcome {
+            seconds: report.makespan_seconds(),
+            commits: report.total_commits(),
+            rejected,
+        });
+    }
+
+    fn stats(&self, shard: u32) -> ShardStats {
+        ShardStats {
+            shard,
+            keys: self.data.span(),
+            dispatched: self.dispatched,
+            commits: self.commits,
+            aborts: self.aborts,
+            rejected: self.rejected,
+            busy_cycles: self.busy_cycles,
+        }
+    }
+}
+
+/// Runs the fleet to completion and returns its report.
+///
+/// # Panics
+///
+/// Panics on an inconsistent configuration (zero DPUs, zero-length
+/// stream, more tasklets than the hardware supports) or if a shard's STM
+/// metadata does not fit the DPU the sizing formula produced — both are
+/// configuration bugs, not runtime conditions.
+pub fn run(config: &FleetConfig) -> FleetReport {
+    config.validate();
+    let map = ShardMap::new(config.workload.total_keys, config.n_dpus as u32);
+    let stream = generate_stream(&config.workload, config.seed);
+    let global_txns = stream.len() as u64;
+    let mut pending: VecDeque<_> = stream.into();
+    let mut shards: Vec<ShardState> = (0..config.n_dpus as u32)
+        .map(|s| ShardState::new(config, map.base(s), map.span(s)))
+        .collect();
+    let mut ledger = TransferLedger::new(config.transfer);
+    let mut deferred: Vec<(u32, ShardTx)> = Vec::new();
+    let mut rounds: Vec<RoundStats> = Vec::new();
+    let mut makespan = 0.0f64;
+    let workers = if config.host_workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        config.host_workers
+    };
+
+    while !pending.is_empty() || !deferred.is_empty() {
+        // --- Host dispatch: deferred re-dispatches first, then the stream.
+        let mut batches: Vec<Vec<ShardTx>> = (0..config.n_dpus).map(|_| Vec::new()).collect();
+        let mut dispatched = 0u64;
+        for (shard, tx) in deferred.drain(..) {
+            dispatched += 1;
+            batches[shard as usize].push(tx);
+        }
+        let mut next_deferred = Vec::new();
+        for _ in 0..config.txns_per_round.min(pending.len()) {
+            let tx = pending.pop_front().expect("bounded by pending.len()");
+            let routed = route(&tx, &map, config.routing);
+            for (shard, sub) in routed.now {
+                dispatched += 1;
+                batches[shard as usize].push(sub);
+            }
+            next_deferred.extend(routed.deferred);
+        }
+
+        // --- Primitives: round descriptor to everyone, batches to owners.
+        let broadcast_seconds = ledger.broadcast(ROUND_DESCRIPTOR_BYTES);
+        let scatter_bytes: Vec<u64> =
+            batches.iter().map(|b| b.iter().map(ShardTx::wire_bytes).sum()).collect();
+        let scatter_seconds = ledger.scatter(&scatter_bytes);
+        let active: Vec<bool> = batches.iter().map(|b| !b.is_empty()).collect();
+
+        // --- Barrier: run every active shard, in parallel host workers.
+        let mut work: Vec<(&mut ShardState, Vec<ShardTx>)> =
+            shards.iter_mut().zip(batches).filter(|(_, batch)| !batch.is_empty()).collect();
+        std::thread::scope(|scope| {
+            let mut bins: Vec<Vec<(&mut ShardState, Vec<ShardTx>)>> =
+                (0..workers.max(1)).map(|_| Vec::new()).collect();
+            let bin_count = bins.len();
+            for (i, item) in work.drain(..).enumerate() {
+                bins[i % bin_count].push(item);
+            }
+            for bin in bins {
+                if bin.is_empty() {
+                    continue;
+                }
+                scope.spawn(move || {
+                    for (state, batch) in bin {
+                        state.run_round(batch);
+                    }
+                });
+            }
+        });
+
+        // --- Collect the barrier: the round waits for its slowest shard.
+        let outcomes: Vec<RoundOutcome> =
+            shards.iter_mut().filter_map(|s| s.last_round.take()).collect();
+        let active_shards = outcomes.len() as u64;
+        let dpu_seconds = outcomes.iter().map(|o| o.seconds).fold(0.0, f64::max);
+        let dpu_mean_seconds = if outcomes.is_empty() {
+            0.0
+        } else {
+            outcomes.iter().map(|o| o.seconds).sum::<f64>() / outcomes.len() as f64
+        };
+        let round_commits: u64 = outcomes.iter().map(|o| o.commits).sum();
+        let round_rejected: u64 = outcomes.iter().map(|o| o.rejected).sum();
+
+        let gather_bytes: Vec<u64> =
+            active.iter().map(|&a| if a { GATHER_SUMMARY_BYTES } else { 0 }).collect();
+        let gather_seconds = ledger.gather(&gather_bytes);
+        let host_seconds = config.host.round_seconds(dispatched, active_shards);
+
+        let stats = RoundStats {
+            round: rounds.len(),
+            dispatched_subtxns: dispatched,
+            active_shards,
+            commits: round_commits,
+            rejected: round_rejected,
+            broadcast_seconds,
+            scatter_seconds,
+            dpu_seconds,
+            dpu_mean_seconds,
+            gather_seconds,
+            host_seconds,
+            bytes_to_dpus: ROUND_DESCRIPTOR_BYTES + scatter_bytes.iter().sum::<u64>(),
+            bytes_from_dpus: gather_bytes.iter().sum(),
+        };
+        makespan += stats.total_seconds();
+        rounds.push(stats);
+        deferred = next_deferred;
+    }
+
+    // --- Fold the fleet report.
+    let shard_stats: Vec<ShardStats> =
+        shards.iter().enumerate().map(|(i, s)| s.stats(i as u32)).collect();
+    let fingerprint =
+        shards.iter().fold(FINGERPRINT_SEED, |hash, s| s.data.fold_fingerprint(&s.dpu, hash));
+    let total_increments: u64 = shards.iter().map(|s| s.data.counter_sum(&s.dpu)).sum();
+    let profile = ExecProfile::merged(shards.iter().map(|s| &s.profile))
+        .unwrap_or_else(|| ExecProfile::new(TimeDomain::Cycles));
+    let imbalance = Imbalance::from_shards(&shard_stats);
+
+    FleetReport {
+        n_dpus: config.n_dpus,
+        tasklets: config.tasklets,
+        routing: config.routing,
+        global_txns,
+        dispatched_subtxns: shard_stats.iter().map(|s| s.dispatched).sum(),
+        total_commits: shard_stats.iter().map(|s| s.commits).sum(),
+        total_aborts: shard_stats.iter().map(|s| s.aborts).sum(),
+        total_rejected: shard_stats.iter().map(|s| s.rejected).sum(),
+        total_increments,
+        fingerprint,
+        rounds,
+        shards: shard_stats,
+        imbalance,
+        profile,
+        ledger,
+        makespan_seconds: makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_sim::KeyDist;
+
+    fn small_workload() -> ShardedWorkloadConfig {
+        ShardedWorkloadConfig::new(256, 96)
+    }
+
+    #[test]
+    fn a_fleet_run_commits_every_transaction_exactly_once() {
+        let config = FleetConfig::new(4, small_workload());
+        let report = run(&config);
+        // Route-to-owner: every global transaction's updates land exactly
+        // once, so increments are conserved against the stream.
+        assert_eq!(
+            report.total_increments,
+            u64::from(config.workload.updates_per_tx) * report.global_txns
+        );
+        assert!(report.total_commits >= report.global_txns, "splits add commits");
+        assert_eq!(report.total_rejected, 0, "route-to-owner never probes");
+        assert!(report.makespan_seconds > 0.0);
+        assert!(report.throughput_tx_per_sec() > 0.0);
+        assert_eq!(report.rounds.len(), 4);
+        assert_eq!(report.shards.len(), 4);
+    }
+
+    #[test]
+    fn results_are_independent_of_host_worker_count() {
+        let base = FleetConfig::new(8, small_workload());
+        let serial = run(&FleetConfig { host_workers: 1, ..base });
+        let parallel = run(&FleetConfig { host_workers: 4, ..base });
+        assert_eq!(serial, parallel, "host workers must not affect results");
+    }
+
+    #[test]
+    fn abort_and_retry_probes_then_commits_the_same_state() {
+        let owner = run(&FleetConfig::new(4, small_workload()));
+        let retry =
+            run(&FleetConfig::new(4, small_workload()).with_routing(RoutingPolicy::AbortAndRetry));
+        assert!(retry.total_rejected > 0, "cross-shard txns must probe under abort-retry");
+        assert_eq!(
+            retry.profile.aborts_for(AbortReason::Explicit),
+            retry.total_rejected,
+            "every rejection is an Explicit abort in the merged histogram"
+        );
+        // Both policies apply the same global increments.
+        assert_eq!(owner.fingerprint, retry.fingerprint);
+        assert_eq!(owner.total_increments, retry.total_increments);
+        // The probe round costs extra dispatches and rounds.
+        assert!(retry.dispatched_subtxns > owner.dispatched_subtxns);
+        assert!(retry.rounds.len() > owner.rounds.len());
+    }
+
+    #[test]
+    fn skew_concentrates_load_on_the_head_shard() {
+        let workload = small_workload().with_dist(KeyDist::Zipf { theta: 1.2 });
+        let uniform = run(&FleetConfig::new(8, small_workload()));
+        let skewed = run(&FleetConfig::new(8, workload));
+        assert_eq!(skewed.imbalance.hottest_shard, 0, "zipf head keys live on shard 0");
+        assert!(
+            skewed.imbalance.cv_commits > uniform.imbalance.cv_commits,
+            "skew must raise commit imbalance ({} vs {})",
+            skewed.imbalance.cv_commits,
+            uniform.imbalance.cv_commits
+        );
+    }
+
+    #[test]
+    fn more_shards_than_keys_still_conserves() {
+        let workload = ShardedWorkloadConfig::new(16, 24);
+        let report = run(&FleetConfig::new(32, workload));
+        assert_eq!(report.total_increments, 2 * 24);
+        assert!(report.shards.iter().filter(|s| s.keys == 0).count() > 0);
+    }
+}

@@ -66,6 +66,7 @@ pub mod mem;
 pub mod program;
 pub mod rng;
 pub mod scheduler;
+pub mod skew;
 pub mod stats;
 pub mod system;
 
@@ -78,5 +79,6 @@ pub use mem::{Addr, AllocError, Tier};
 pub use program::{StepStatus, TaskletProgram};
 pub use rng::SimRng;
 pub use scheduler::{DpuRunReport, Scheduler};
+pub use skew::{KeyDist, KeySampler};
 pub use stats::{Phase, PhaseBreakdown, ProfileCore, TaskletStats, ABORT_CODE_SLOTS, PHASES};
 pub use system::{CpuTransferModel, MultiDpuPlan, MultiDpuReport, RoundPlan};

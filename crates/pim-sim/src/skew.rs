@@ -1,0 +1,205 @@
+//! Seeded, executor-agnostic key-skew generators.
+//!
+//! Fleet-scale studies (and the open-loop traffic generators they feed)
+//! need reproducible *skewed* key streams: a handful of hot keys
+//! concentrating load on whichever shard owns them. This module provides
+//! the two classic shapes behind every key-value benchmark —
+//!
+//! * **uniform** — every key equally likely; the no-skew baseline, and
+//! * **zipfian** — key of rank `r` (0-based) drawn with probability
+//!   proportional to `1 / (r + 1)^θ`. `θ = 0` degenerates to uniform;
+//!   `θ ≈ 0.99` is the YCSB default; larger values concentrate virtually
+//!   all probability on the first few ranks.
+//!
+//! Sampling is table-driven: [`KeySampler::new`] precomputes the CDF once
+//! (`O(n)` memory, `O(log n)` per draw via binary search), and every draw
+//! consumes exactly one [`SimRng::next_f64`] — so a seeded stream is
+//! reproducible across executors, shard counts and host thread counts.
+//! Ranks map to keys identity-style (`rank r` → key `r`): under a
+//! range-partitioned keyspace the hottest keys therefore cluster on the
+//! first shard, which is exactly the imbalance a skew sweep wants to
+//! provoke and measure.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::rng::SimRng;
+
+/// Shape of a key-popularity distribution over a keyspace `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum KeyDist {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipfian with exponent `theta`: rank `r` has weight `1/(r+1)^theta`.
+    Zipf {
+        /// Skew exponent `θ ≥ 0`; `0` is uniform, `0.99` the YCSB default.
+        theta: f64,
+    },
+}
+
+impl KeyDist {
+    /// Parses `"uniform"` or `"zipf:<theta>"` (e.g. `zipf:0.99`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the accepted forms when `text` matches
+    /// neither, or when the exponent is negative or not a finite number.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let text = text.trim();
+        if text.eq_ignore_ascii_case("uniform") {
+            return Ok(KeyDist::Uniform);
+        }
+        if let Some(theta) = text.strip_prefix("zipf:") {
+            let theta: f64 = theta
+                .parse()
+                .map_err(|_| format!("invalid zipf exponent {theta:?} (want e.g. zipf:0.99)"))?;
+            if !theta.is_finite() || theta < 0.0 {
+                return Err(format!("zipf exponent must be finite and >= 0, got {theta}"));
+            }
+            return Ok(KeyDist::Zipf { theta });
+        }
+        Err(format!("unknown key distribution {text:?} (want uniform or zipf:<theta>)"))
+    }
+
+    /// The skew exponent: `0` for uniform, `θ` for zipfian.
+    pub fn theta(self) -> f64 {
+        match self {
+            KeyDist::Uniform => 0.0,
+            KeyDist::Zipf { theta } => theta,
+        }
+    }
+}
+
+impl fmt::Display for KeyDist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyDist::Uniform => write!(f, "uniform"),
+            KeyDist::Zipf { theta } => write!(f, "zipf:{theta}"),
+        }
+    }
+}
+
+/// A sampler for one [`KeyDist`] over the keyspace `0..keys`.
+///
+/// Zipfian sampling precomputes the normalised CDF once and binary-searches
+/// it per draw; uniform sampling skips the table entirely. Either way a
+/// draw consumes exactly one `next_f64` from the caller's [`SimRng`], so
+/// streams are reproducible and executor-agnostic.
+#[derive(Debug, Clone)]
+pub struct KeySampler {
+    keys: u64,
+    /// `cdf[r]` = P(rank <= r); empty for the uniform fast path.
+    cdf: Vec<f64>,
+}
+
+impl KeySampler {
+    /// Builds a sampler over `0..keys`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is zero — an empty keyspace has nothing to draw.
+    pub fn new(dist: KeyDist, keys: u64) -> Self {
+        assert!(keys > 0, "key sampler needs a non-empty keyspace");
+        let cdf = match dist {
+            // theta == 0 degenerates to the uniform fast path.
+            KeyDist::Uniform | KeyDist::Zipf { theta: 0.0 } => Vec::new(),
+            KeyDist::Zipf { theta } => {
+                let mut cdf = Vec::with_capacity(keys as usize);
+                let mut total = 0.0f64;
+                for rank in 0..keys {
+                    total += 1.0 / ((rank + 1) as f64).powf(theta);
+                    cdf.push(total);
+                }
+                for value in &mut cdf {
+                    *value /= total;
+                }
+                cdf
+            }
+        };
+        KeySampler { keys, cdf }
+    }
+
+    /// Size of the keyspace this sampler draws from.
+    pub fn keys(&self) -> u64 {
+        self.keys
+    }
+
+    /// Draws one key in `0..keys`, consuming one `next_f64`.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        let u = rng.next_f64();
+        if self.cdf.is_empty() {
+            // Uniform fast path; `u < 1.0` keeps the result in range.
+            ((u * self.keys as f64) as u64).min(self.keys - 1)
+        } else {
+            // First rank whose cumulative probability reaches `u`.
+            self.cdf.partition_point(|&p| p < u).min(self.cdf.len() - 1) as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn histogram(dist: KeyDist, keys: u64, draws: usize, seed: u64) -> Vec<u64> {
+        let sampler = KeySampler::new(dist, keys);
+        let mut rng = SimRng::new(seed);
+        let mut counts = vec![0u64; keys as usize];
+        for _ in 0..draws {
+            counts[sampler.sample(&mut rng) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn draws_stay_in_range_and_are_seed_deterministic() {
+        for dist in [KeyDist::Uniform, KeyDist::Zipf { theta: 0.99 }] {
+            let sampler = KeySampler::new(dist, 100);
+            let mut a = SimRng::new(7);
+            let mut b = SimRng::new(7);
+            for _ in 0..1000 {
+                let x = sampler.sample(&mut a);
+                assert!(x < 100);
+                assert_eq!(x, sampler.sample(&mut b), "{dist}: same seed, same stream");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_spreads_and_zipf_concentrates() {
+        let uniform = histogram(KeyDist::Uniform, 50, 20_000, 11);
+        let zipf = histogram(KeyDist::Zipf { theta: 1.2 }, 50, 20_000, 11);
+        // Uniform: no key should dominate (expected 400 per key).
+        assert!(*uniform.iter().max().unwrap() < 800);
+        // Zipf 1.2: rank 0 takes a large multiple of the uniform share.
+        assert!(zipf[0] > 4 * uniform[0], "zipf head {} vs uniform {}", zipf[0], uniform[0]);
+        // Higher theta concentrates more mass on the head.
+        let hotter = histogram(KeyDist::Zipf { theta: 2.0 }, 50, 20_000, 11);
+        assert!(hotter[0] > zipf[0]);
+    }
+
+    #[test]
+    fn theta_zero_zipf_is_uniform() {
+        let a = histogram(KeyDist::Zipf { theta: 0.0 }, 10, 5_000, 3);
+        let b = histogram(KeyDist::Uniform, 10, 5_000, 3);
+        assert_eq!(a, b, "zipf theta=0 must take the uniform fast path");
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        assert_eq!(KeyDist::parse("uniform").unwrap(), KeyDist::Uniform);
+        assert_eq!(KeyDist::parse("zipf:0.99").unwrap(), KeyDist::Zipf { theta: 0.99 });
+        assert_eq!(KeyDist::parse(" Zipf:1.5 ".to_lowercase().trim()).unwrap().theta(), 1.5);
+        assert!(KeyDist::parse("zipf:-1").is_err());
+        assert!(KeyDist::parse("zipf:abc").is_err());
+        assert!(KeyDist::parse("pareto").is_err());
+        assert_eq!(KeyDist::Zipf { theta: 0.9 }.to_string(), "zipf:0.9");
+        assert_eq!(KeyDist::Uniform.to_string(), "uniform");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty keyspace")]
+    fn empty_keyspace_is_rejected() {
+        let _ = KeySampler::new(KeyDist::Uniform, 0);
+    }
+}

@@ -178,6 +178,19 @@
 //! thread fills its profile as it runs and
 //! [`threaded::ThreadedDpu::run`] returns them in
 //! [`threaded::ThreadedRunReport::profiles`].
+//!
+//! The same spine scales past one DPU: profiles are **merge-closed**
+//! ([`ExecProfile::merge`] sums two same-domain profiles field by field,
+//! and [`ExecProfile::merged`] folds any number of them), so a multi-DPU
+//! fleet aggregates by construction — each shard DPU merges its tasklets'
+//! cycle-domain profiles across dispatch rounds, and the fleet merges the
+//! shard accumulators into one profile with the *same schema* as a
+//! single-DPU run (this is how `pim-fleet` builds its fleet-wide report).
+//! Merging is associative and order-independent for every counter, so
+//! "merge per shard, then across shards" equals "merge everything at
+//! once"; what merging deliberately *erases* — which shard did the work —
+//! is reported alongside, not inside, the profile (the fleet's per-shard
+//! stats and imbalance summary).
 
 // Unsafe is denied everywhere except the two audited syscall shims of
 // `threaded::affinity` (best-effort thread pinning has no safe-Rust,

@@ -24,7 +24,12 @@
 //!   search, transactional centroid update), low and high contention;
 //! * [`labyrinth`] — the STAMP Labyrinth port (Lee maze router on a 3-D
 //!   grid; long transactions that copy the grid privately, route, then claim
-//!   the path transactionally), S/M/L grid sizes.
+//!   the path transactionally), S/M/L grid sizes;
+//! * [`sharded`] — the fleet-scale sharded counter array: a global,
+//!   shard-count-independent transaction stream range-partitioned across N
+//!   DPUs, with host-side routing of cross-shard transactions
+//!   (route-to-owner vs abort-and-retry). Driven by the `pim-fleet`
+//!   orchestration layer rather than [`spec::RunSpec`].
 //!
 //! [`spec`] ties everything together: a [`spec::Workload`] names a paper
 //! workload, and [`spec::RunSpec::run_on`] builds the DPU (simulated or
@@ -74,7 +79,9 @@ pub mod driver;
 pub mod kmeans;
 pub mod labyrinth;
 pub mod linked_list;
+pub mod sharded;
 pub mod spec;
 
 pub use driver::{run_tx_body, BodyStep, SimTxRunner, TxBody, TxMachine, TxStatus};
+pub use sharded::{GlobalTx, RoutingPolicy, ShardMap, ShardTx, ShardedWorkloadConfig};
 pub use spec::{Executor, RunSpec, Workload, WorkloadReport};

@@ -1,0 +1,710 @@
+//! The sharded counter-array workload behind the `pim-fleet` runtime.
+//!
+//! A fleet run partitions one *global* keyspace `0..total_keys` across N
+//! shard DPUs by contiguous range, then replays one *global* transaction
+//! stream against it. Each transaction reads `reads_per_tx` keys and
+//! increments `updates_per_tx` keys, all drawn i.i.d. from a seeded
+//! [`KeyDist`] — crucially the stream depends only on the workload config
+//! and seed, **never** on the shard count, so the committed global state
+//! (per-key increment counts) is partition-invariant. Increments commute,
+//! which is what lets the fleet conservation tests compare the merged
+//! fingerprint of an N-shard run against a single-shard run bit-for-bit.
+//!
+//! The pieces, host side first:
+//!
+//! * [`ShardedWorkloadConfig`] + [`generate_stream`] — the N-independent
+//!   global transaction stream;
+//! * [`ShardMap`] — the range partition (`owner`, `base`, `span`);
+//! * [`RoutingPolicy`] + [`route`] — what the host dispatcher does with a
+//!   transaction whose keys span shards: split it into per-shard sub-
+//!   transactions up front ([`RoutingPolicy::RouteToOwner`]) or dispatch it
+//!   to its home shard, let the DPU discover the foreign key and abort, and
+//!   re-dispatch split next round ([`RoutingPolicy::AbortAndRetry`]);
+//!
+//! and DPU side:
+//!
+//! * [`ShardData`] — the shard's slice of the counter array in MRAM;
+//! * [`ShardTx`] — one dispatched (sub-)transaction, or a *probe* that
+//!   must discover an off-shard key and cancel;
+//! * [`ShardProgram`] — the per-tasklet simulator program. It drives the
+//!   usual begin / step / commit machine, with one twist over
+//!   [`crate::driver::SimTxRunner`]: an [`AbortReason::Explicit`] abort of
+//!   a probe is *terminal* for that transaction (the DPU rejects it back to
+//!   the host; retrying locally would spin forever), while every other
+//!   abort retries as usual.
+
+use pim_sim::{KeyDist, KeySampler, SimRng, StepStatus, TaskletCtx, TaskletProgram, Tier};
+use pim_stm::shared::MetadataAllocator;
+use pim_stm::var::{self, TArray, TVar, WordAccess};
+use pim_stm::{Abort, AbortReason, TxOps};
+
+use crate::driver::{BodyStep, TxBody, TxMachine};
+
+/// Parameters of the global sharded workload. Everything here is
+/// shard-count independent: the same config + seed produces the same
+/// global stream whether it runs on 1 DPU or 1024.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardedWorkloadConfig {
+    /// Size of the global keyspace (counters).
+    pub total_keys: u32,
+    /// Transactions in the global stream.
+    pub total_txns: u32,
+    /// Keys read (without modification) per transaction.
+    pub reads_per_tx: u32,
+    /// Keys incremented per transaction.
+    pub updates_per_tx: u32,
+    /// Popularity distribution the keys are drawn from.
+    pub dist: KeyDist,
+}
+
+impl ShardedWorkloadConfig {
+    /// A small default: 4096 keys, 512 transactions of 2 reads + 2
+    /// uniform updates.
+    pub fn new(total_keys: u32, total_txns: u32) -> Self {
+        ShardedWorkloadConfig {
+            total_keys,
+            total_txns,
+            reads_per_tx: 2,
+            updates_per_tx: 2,
+            dist: KeyDist::Uniform,
+        }
+    }
+
+    /// Replaces the key-popularity distribution.
+    pub fn with_dist(mut self, dist: KeyDist) -> Self {
+        self.dist = dist;
+        self
+    }
+
+    /// Keys touched per transaction.
+    pub fn keys_per_tx(&self) -> u32 {
+        self.reads_per_tx + self.updates_per_tx
+    }
+}
+
+/// One transaction of the global stream: `reads` keys are read, `updates`
+/// keys are incremented. Keys are **global** (the dispatcher routes them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalTx {
+    /// Position in the global stream (stable across routing).
+    pub id: u32,
+    /// Keys read without modification.
+    pub reads: Vec<u32>,
+    /// Keys incremented by one.
+    pub updates: Vec<u32>,
+}
+
+/// Generates the seeded global stream. One [`SimRng`] draw per key, in
+/// transaction order — independent of shard count, round size and host
+/// thread count.
+pub fn generate_stream(config: &ShardedWorkloadConfig, seed: u64) -> Vec<GlobalTx> {
+    let sampler = KeySampler::new(config.dist, u64::from(config.total_keys));
+    let mut rng = SimRng::new(seed);
+    (0..config.total_txns)
+        .map(|id| {
+            let mut draw = || sampler.sample(&mut rng) as u32;
+            let reads = (0..config.reads_per_tx).map(|_| draw()).collect();
+            let updates = (0..config.updates_per_tx).map(|_| draw()).collect();
+            GlobalTx { id, reads, updates }
+        })
+        .collect()
+}
+
+/// The contiguous range partition of `0..total_keys` over `shards` DPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    total_keys: u32,
+    shards: u32,
+    /// Keys per shard (last shard may own fewer).
+    stride: u32,
+}
+
+impl ShardMap {
+    /// Partitions `0..total_keys` into `shards` contiguous ranges of
+    /// `ceil(total_keys / shards)` keys (the last range takes the
+    /// remainder).
+    ///
+    /// # Panics
+    ///
+    /// Panics when either count is zero.
+    pub fn new(total_keys: u32, shards: u32) -> Self {
+        assert!(total_keys > 0, "shard map needs a non-empty keyspace");
+        assert!(shards > 0, "shard map needs at least one shard");
+        let stride = total_keys.div_ceil(shards);
+        ShardMap { total_keys, shards, stride }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Size of the global keyspace.
+    pub fn total_keys(&self) -> u32 {
+        self.total_keys
+    }
+
+    /// The shard owning `key`.
+    pub fn owner(&self, key: u32) -> u32 {
+        debug_assert!(key < self.total_keys);
+        (key / self.stride).min(self.shards - 1)
+    }
+
+    /// First global key of `shard`'s range.
+    pub fn base(&self, shard: u32) -> u32 {
+        (shard * self.stride).min(self.total_keys)
+    }
+
+    /// Number of keys `shard` owns (zero is possible when there are more
+    /// shards than keys).
+    pub fn span(&self, shard: u32) -> u32 {
+        let base = self.base(shard);
+        (base + self.stride).min(self.total_keys) - base
+    }
+}
+
+/// What the host dispatcher does with a transaction whose keys span more
+/// than one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingPolicy {
+    /// The host inspects the key set up front and splits the transaction
+    /// into independent per-owner sub-transactions, all dispatched in the
+    /// same round. No DPU time is wasted; the host pays the routing work.
+    RouteToOwner,
+    /// The host dispatches the whole transaction to its *home* shard (the
+    /// owner of its first key). The DPU executes the home-local reads,
+    /// discovers the foreign key, and explicitly aborts ([`TxOps::cancel`]
+    /// → one [`AbortReason::Explicit`] abort, no commit, real cycles
+    /// burned). The host then re-dispatches the transaction split per
+    /// owner in the **next** round.
+    AbortAndRetry,
+}
+
+impl RoutingPolicy {
+    /// Parses `"route-to-owner"` / `"abort-retry"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the accepted spellings when `text` is neither.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text.trim() {
+            "route-to-owner" | "owner" => Ok(RoutingPolicy::RouteToOwner),
+            "abort-retry" | "abort-and-retry" => Ok(RoutingPolicy::AbortAndRetry),
+            other => Err(format!(
+                "unknown routing policy {other:?} (want route-to-owner or abort-retry)"
+            )),
+        }
+    }
+
+    /// Canonical CLI spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            RoutingPolicy::RouteToOwner => "route-to-owner",
+            RoutingPolicy::AbortAndRetry => "abort-retry",
+        }
+    }
+}
+
+impl std::fmt::Display for RoutingPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One dispatched (sub-)transaction as a shard DPU sees it. Keys are
+/// global; the shard translates through [`ShardData`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardTx {
+    /// Global stream id of the originating [`GlobalTx`].
+    pub origin: u32,
+    /// Shard-owned keys to read.
+    pub reads: Vec<u32>,
+    /// Shard-owned keys to increment.
+    pub updates: Vec<u32>,
+    /// A probe transaction under [`RoutingPolicy::AbortAndRetry`]: after
+    /// executing its reads it must cancel (the off-shard discovery), so it
+    /// never commits and its updates list is empty by construction.
+    pub probe: bool,
+}
+
+impl ShardTx {
+    /// Wire-format size of this descriptor in bytes (one 8-byte header +
+    /// 8 bytes per key) — what `scatter` charges for moving it host→DPU.
+    pub fn wire_bytes(&self) -> u64 {
+        8 + 8 * (self.reads.len() as u64 + self.updates.len() as u64)
+    }
+}
+
+/// The host dispatcher's routing decision for one global transaction.
+#[derive(Debug, Clone, Default)]
+pub struct Routed {
+    /// Sub-transactions to dispatch in the current round, `(shard, tx)`.
+    pub now: Vec<(u32, ShardTx)>,
+    /// Sub-transactions deferred to the next round (the abort-and-retry
+    /// re-dispatch after a probe rejection).
+    pub deferred: Vec<(u32, ShardTx)>,
+}
+
+/// Splits `tx` into per-owner sub-transactions, in ascending shard order.
+fn split(tx: &GlobalTx, map: &ShardMap) -> Vec<(u32, ShardTx)> {
+    let mut parts: Vec<(u32, ShardTx)> = Vec::new();
+    fn part(parts: &mut Vec<(u32, ShardTx)>, origin: u32, shard: u32) -> usize {
+        match parts.iter().position(|(s, _)| *s == shard) {
+            Some(i) => i,
+            None => {
+                parts.push((
+                    shard,
+                    ShardTx { origin, reads: Vec::new(), updates: Vec::new(), probe: false },
+                ));
+                parts.len() - 1
+            }
+        }
+    }
+    for &key in &tx.reads {
+        let i = part(&mut parts, tx.id, map.owner(key));
+        parts[i].1.reads.push(key);
+    }
+    for &key in &tx.updates {
+        let i = part(&mut parts, tx.id, map.owner(key));
+        parts[i].1.updates.push(key);
+    }
+    parts.sort_by_key(|(s, _)| *s);
+    parts
+}
+
+/// Routes one global transaction under `policy`. Local transactions (all
+/// keys on one shard) dispatch unchanged either way; see
+/// [`RoutingPolicy`] for the cross-shard behaviour.
+pub fn route(tx: &GlobalTx, map: &ShardMap, policy: RoutingPolicy) -> Routed {
+    let home = map.owner(*tx.reads.first().or_else(|| tx.updates.first()).expect("empty tx"));
+    let local = tx.reads.iter().chain(&tx.updates).all(|&k| map.owner(k) == home);
+    if local {
+        return Routed {
+            now: vec![(
+                home,
+                ShardTx {
+                    origin: tx.id,
+                    reads: tx.reads.clone(),
+                    updates: tx.updates.clone(),
+                    probe: false,
+                },
+            )],
+            deferred: Vec::new(),
+        };
+    }
+    match policy {
+        RoutingPolicy::RouteToOwner => Routed { now: split(tx, map), deferred: Vec::new() },
+        RoutingPolicy::AbortAndRetry => {
+            let home_reads = tx.reads.iter().copied().filter(|&k| map.owner(k) == home).collect();
+            let probe =
+                ShardTx { origin: tx.id, reads: home_reads, updates: Vec::new(), probe: true };
+            Routed { now: vec![(home, probe)], deferred: split(tx, map) }
+        }
+    }
+}
+
+/// One shard's slice of the global counter array, resident in its DPU's
+/// MRAM.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardData {
+    array: TArray<u64>,
+    base: u32,
+    span: u32,
+}
+
+impl ShardData {
+    /// Allocates the counters for the shard owning global keys
+    /// `base..base + span`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the DPU's MRAM cannot hold the slice (the fleet sizes
+    /// each DPU to its shard, so this indicates a sizing bug).
+    pub fn allocate<A: MetadataAllocator + ?Sized>(alloc: &mut A, base: u32, span: u32) -> Self {
+        let array = var::alloc_array(alloc, Tier::Mram, span.max(1))
+            .expect("shard counter slice must fit in the shard DPU's MRAM");
+        ShardData { array, base, span }
+    }
+
+    /// First global key this shard owns.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Number of keys this shard owns.
+    pub fn span(&self) -> u32 {
+        self.span
+    }
+
+    /// The counter for global key `key` (must be shard-owned).
+    pub fn counter(&self, key: u32) -> TVar<u64> {
+        debug_assert!(
+            key >= self.base && key < self.base + self.span,
+            "key {key} is not owned by shard [{}, {})",
+            self.base,
+            self.base + self.span
+        );
+        self.array.at(key - self.base)
+    }
+
+    /// Sum of this shard's counters, read host-side.
+    pub fn counter_sum<M: WordAccess + ?Sized>(&self, mem: &M) -> u64 {
+        (0..self.span).map(|i| var::peek_var(mem, self.array.at(i))).sum()
+    }
+
+    /// Folds this shard's counters (in global key order) into an FNV-1a
+    /// hash state. Folding every shard in shard order therefore hashes the
+    /// whole global array in key order — the partition-invariant
+    /// fingerprint.
+    pub fn fold_fingerprint<M: WordAccess + ?Sized>(&self, mem: &M, hash: u64) -> u64 {
+        let mut hash = hash;
+        for i in 0..self.span {
+            let word = var::peek_var(mem, self.array.at(i));
+            for byte in word.to_le_bytes() {
+                hash = (hash ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        hash
+    }
+}
+
+/// FNV-1a offset basis — seed value for [`ShardData::fold_fingerprint`].
+pub const FINGERPRINT_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The resumable body of one [`ShardTx`]: reads, then increment
+/// read-modify-writes, one operation per simulator step; a probe issues
+/// its reads and then cancels.
+#[derive(Debug)]
+struct ShardTxBody {
+    data: ShardData,
+    tx: ShardTx,
+    position: usize,
+}
+
+impl ShardTxBody {
+    fn total_ops(&self) -> usize {
+        self.tx.reads.len() + self.tx.updates.len()
+    }
+}
+
+impl TxBody for ShardTxBody {
+    fn reset(&mut self) {
+        self.position = 0;
+    }
+
+    fn step<O: TxOps>(&mut self, tx: &mut O) -> Result<BodyStep, Abort> {
+        let position = self.position;
+        if position < self.tx.reads.len() {
+            tx.get(self.data.counter(self.tx.reads[position]))?;
+        } else if position < self.total_ops() {
+            let counter = self.data.counter(self.tx.updates[position - self.tx.reads.len()]);
+            let value = tx.get(counter)?;
+            tx.set(counter, value.wrapping_add(1))?;
+        } else {
+            // A probe has run out of local work: this is the step where the
+            // DPU "discovers" the off-shard key and rejects the transaction
+            // back to the host.
+            debug_assert!(self.tx.probe);
+            return Err(tx.cancel());
+        }
+        self.position += 1;
+        if self.position >= self.total_ops() && !self.tx.probe {
+            Ok(BodyStep::Done)
+        } else {
+            Ok(BodyStep::Continue)
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ShardState {
+    Idle,
+    Begin,
+    Step,
+    Commit,
+}
+
+/// One shard tasklet's program for one fleet round: drains its batch of
+/// [`ShardTx`]s through the begin / step / commit machine.
+///
+/// Differs from [`crate::driver::SimTxRunner`] in exactly one rule: an
+/// [`AbortReason::Explicit`] abort (a probe's cancel) is **terminal** for
+/// the current transaction — it is counted as rejected and the program
+/// moves on, because the host, not the DPU, will retry it. All other abort
+/// reasons rewind and retry locally as usual.
+pub struct ShardProgram {
+    machine: TxMachine,
+    body: ShardTxBody,
+    batch: std::vec::IntoIter<ShardTx>,
+    state: ShardState,
+    rejected: u64,
+}
+
+impl ShardProgram {
+    /// Creates the program for one tasklet's share of a round batch.
+    pub fn new(machine: TxMachine, data: ShardData, batch: Vec<ShardTx>) -> Self {
+        ShardProgram {
+            machine,
+            body: ShardTxBody {
+                data,
+                tx: ShardTx { origin: 0, reads: Vec::new(), updates: Vec::new(), probe: false },
+                position: 0,
+            },
+            batch: batch.into_iter(),
+            state: ShardState::Idle,
+            rejected: 0,
+        }
+    }
+
+    /// Transactions this tasklet committed.
+    pub fn commits(&self) -> u64 {
+        self.machine.commits()
+    }
+
+    /// Probe transactions rejected back to the host.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+}
+
+impl TaskletProgram for ShardProgram {
+    fn step(&mut self, ctx: &mut TaskletCtx<'_>) -> StepStatus {
+        match self.state {
+            ShardState::Idle => match self.batch.next() {
+                None => StepStatus::Finished,
+                Some(tx) => {
+                    self.body.tx = tx;
+                    self.state = ShardState::Begin;
+                    StepStatus::Running
+                }
+            },
+            ShardState::Begin => {
+                self.machine.begin(ctx);
+                self.body.reset();
+                self.state = ShardState::Step;
+                StepStatus::Running
+            }
+            ShardState::Step => {
+                match self.body.step(&mut self.machine.ops(ctx)) {
+                    Ok(BodyStep::Continue) => {}
+                    Ok(BodyStep::Done) => self.state = ShardState::Commit,
+                    Err(abort) => {
+                        self.machine.on_abort(ctx, abort.reason);
+                        self.state = if abort.reason == AbortReason::Explicit {
+                            // Probe rejection: the host re-dispatches; the
+                            // DPU must not spin on the cancel.
+                            self.rejected += 1;
+                            ShardState::Idle
+                        } else {
+                            ShardState::Begin
+                        };
+                    }
+                }
+                StepStatus::Running
+            }
+            ShardState::Commit => {
+                match self.machine.commit(ctx) {
+                    Ok(()) => self.state = ShardState::Idle,
+                    Err(abort) => {
+                        self.machine.on_abort(ctx, abort.reason);
+                        self.state = ShardState::Begin;
+                    }
+                }
+                StepStatus::Running
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "fleet-shard"
+    }
+}
+
+/// Deals a round batch across `tasklets` round-robin, preserving relative
+/// order within each tasklet's hand.
+pub fn deal_batch(batch: Vec<ShardTx>, tasklets: usize) -> Vec<Vec<ShardTx>> {
+    let mut hands: Vec<Vec<ShardTx>> = (0..tasklets.max(1)).map(|_| Vec::new()).collect();
+    for (i, tx) in batch.into_iter().enumerate() {
+        let hand = i % tasklets.max(1);
+        hands[hand].push(tx);
+    }
+    hands
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_sim::{Dpu, DpuConfig, Scheduler};
+    use pim_stm::{algorithm_for, MetadataPlacement, StmConfig, StmKind, StmShared};
+
+    fn local_tx(id: u32, reads: Vec<u32>, updates: Vec<u32>) -> GlobalTx {
+        GlobalTx { id, reads, updates }
+    }
+
+    #[test]
+    fn shard_map_partitions_the_whole_keyspace() {
+        let map = ShardMap::new(1000, 7);
+        let mut covered = 0;
+        for s in 0..7 {
+            for k in map.base(s)..map.base(s) + map.span(s) {
+                assert_eq!(map.owner(k), s, "key {k}");
+            }
+            covered += map.span(s);
+        }
+        assert_eq!(covered, 1000);
+        // More shards than keys: trailing shards own zero keys.
+        let tiny = ShardMap::new(3, 8);
+        assert_eq!((0..8).map(|s| tiny.span(s)).sum::<u32>(), 3);
+    }
+
+    #[test]
+    fn stream_generation_is_shard_count_independent() {
+        let config = ShardedWorkloadConfig::new(4096, 64).with_dist(KeyDist::Zipf { theta: 0.9 });
+        let a = generate_stream(&config, 42);
+        let b = generate_stream(&config, 42);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|t| t.reads.len() == 2 && t.updates.len() == 2));
+        assert!(a.iter().flat_map(|t| t.reads.iter().chain(&t.updates)).all(|&k| k < 4096));
+    }
+
+    #[test]
+    fn route_to_owner_splits_cross_shard_txns() {
+        let map = ShardMap::new(100, 4); // shards own 25 keys each
+        let tx = local_tx(7, vec![3, 30], vec![60, 4]);
+        let routed = route(&tx, &map, RoutingPolicy::RouteToOwner);
+        assert!(routed.deferred.is_empty());
+        assert_eq!(routed.now.len(), 3);
+        let total_keys: usize =
+            routed.now.iter().map(|(_, t)| t.reads.len() + t.updates.len()).sum();
+        assert_eq!(total_keys, 4);
+        assert!(routed
+            .now
+            .iter()
+            .all(|(s, t)| { t.reads.iter().chain(&t.updates).all(|&k| map.owner(k) == *s) }));
+    }
+
+    #[test]
+    fn abort_retry_probes_home_and_defers_the_split() {
+        let map = ShardMap::new(100, 4);
+        let tx = local_tx(9, vec![3, 30], vec![60]);
+        let routed = route(&tx, &map, RoutingPolicy::AbortAndRetry);
+        assert_eq!(routed.now.len(), 1);
+        let (home, probe) = &routed.now[0];
+        assert_eq!(*home, 0, "home = owner of the first key");
+        assert!(probe.probe);
+        assert_eq!(probe.reads, vec![3], "probe only reads home-local keys");
+        assert!(probe.updates.is_empty(), "a probe must not apply partial updates");
+        assert_eq!(routed.deferred.len(), 3);
+    }
+
+    #[test]
+    fn local_txns_dispatch_unchanged_under_both_policies() {
+        let map = ShardMap::new(100, 4);
+        let tx = local_tx(1, vec![26, 30], vec![49]);
+        for policy in [RoutingPolicy::RouteToOwner, RoutingPolicy::AbortAndRetry] {
+            let routed = route(&tx, &map, policy);
+            assert!(routed.deferred.is_empty());
+            assert_eq!(routed.now.len(), 1);
+            assert_eq!(routed.now[0].0, 1);
+            assert!(!routed.now[0].1.probe);
+        }
+    }
+
+    fn run_one_shard(batch: Vec<ShardTx>, span: u32) -> (Dpu, ShardData, u64, u64) {
+        let mut dpu = Dpu::new(DpuConfig::small());
+        let cfg = StmConfig::new(StmKind::Norec, MetadataPlacement::Mram);
+        let shared = StmShared::allocate(&mut dpu, cfg).unwrap();
+        let data = ShardData::allocate(&mut dpu, 0, span);
+        let alg = algorithm_for(shared.config().kind);
+        let tasklets = 4;
+        let programs: Vec<Box<dyn TaskletProgram>> = deal_batch(batch, tasklets)
+            .into_iter()
+            .enumerate()
+            .map(|(t, hand)| {
+                let slot = shared.register_tasklet(&mut dpu, t).unwrap();
+                let tm = TxMachine::new(shared.clone(), slot, alg);
+                Box::new(ShardProgram::new(tm, data, hand)) as Box<dyn TaskletProgram>
+            })
+            .collect();
+        let report = Scheduler::new().run(&mut dpu, programs);
+        let explicit: u64 = report
+            .tasklet_stats
+            .iter()
+            .map(|s| s.profile.abort_codes[AbortReason::Explicit.index()])
+            .sum();
+        let commits = report.total_commits();
+        (dpu, data, commits, explicit)
+    }
+
+    #[test]
+    fn shard_program_commits_local_batches_and_conserves_increments() {
+        let batch: Vec<ShardTx> = (0..40)
+            .map(|i| ShardTx {
+                origin: i,
+                reads: vec![i % 16],
+                updates: vec![(i * 7) % 16, (i * 3) % 16],
+                probe: false,
+            })
+            .collect();
+        let (dpu, data, commits, explicit) = run_one_shard(batch, 16);
+        assert_eq!(commits, 40);
+        assert_eq!(explicit, 0);
+        assert_eq!(data.counter_sum(&dpu), 80, "two increments per committed tx");
+    }
+
+    #[test]
+    fn probes_reject_exactly_once_and_commit_nothing() {
+        let mut batch: Vec<ShardTx> = (0..10)
+            .map(|i| ShardTx { origin: i, reads: vec![i % 8], updates: vec![], probe: true })
+            .collect();
+        // One probe with no local reads at all: cancels on its first step.
+        batch.push(ShardTx { origin: 99, reads: vec![], updates: vec![], probe: true });
+        let (dpu, data, commits, explicit) = run_one_shard(batch, 8);
+        assert_eq!(commits, 0, "probes never commit");
+        assert_eq!(explicit, 11, "every probe rejects exactly once");
+        assert_eq!(data.counter_sum(&dpu), 0);
+    }
+
+    #[test]
+    fn fingerprint_folding_is_partition_invariant() {
+        // Hash 8 counters as one shard vs two 4-counter shards: identical.
+        let mut dpu = Dpu::new(DpuConfig::small());
+        let whole = ShardData::allocate(&mut dpu, 0, 8);
+        for i in 0..8 {
+            var::poke_var(&mut dpu, whole.array.at(i), u64::from(i) * 3);
+        }
+        let one = whole.fold_fingerprint(&dpu, FINGERPRINT_SEED);
+
+        let mut dpu2 = Dpu::new(DpuConfig::small());
+        let lo = ShardData::allocate(&mut dpu2, 0, 4);
+        let mut dpu3 = Dpu::new(DpuConfig::small());
+        let hi = ShardData::allocate(&mut dpu3, 4, 4);
+        for i in 0..4 {
+            var::poke_var(&mut dpu2, lo.array.at(i), u64::from(i) * 3);
+            var::poke_var(&mut dpu3, hi.array.at(i), u64::from(i + 4) * 3);
+        }
+        let two = hi.fold_fingerprint(&dpu3, lo.fold_fingerprint(&dpu2, FINGERPRINT_SEED));
+        assert_eq!(one, two);
+    }
+
+    #[test]
+    fn policy_parsing_round_trips() {
+        for policy in [RoutingPolicy::RouteToOwner, RoutingPolicy::AbortAndRetry] {
+            assert_eq!(RoutingPolicy::parse(policy.label()).unwrap(), policy);
+        }
+        assert!(RoutingPolicy::parse("teleport").is_err());
+    }
+
+    #[test]
+    fn deal_batch_preserves_every_transaction() {
+        let batch: Vec<ShardTx> = (0..13)
+            .map(|i| ShardTx { origin: i, reads: vec![], updates: vec![0], probe: false })
+            .collect();
+        let hands = deal_batch(batch, 4);
+        assert_eq!(hands.len(), 4);
+        assert_eq!(hands.iter().map(Vec::len).sum::<usize>(), 13);
+        let mut origins: Vec<u32> = hands.iter().flat_map(|h| h.iter().map(|t| t.origin)).collect();
+        origins.sort_unstable();
+        assert_eq!(origins, (0..13).collect::<Vec<_>>());
+    }
+}

@@ -7,6 +7,8 @@
 //! * [`stm`] — the PIM-STM library itself (`pim-stm`);
 //! * [`workloads`] — the paper's evaluation workloads (`pim-workloads`);
 //! * [`host`] — the CPU-side NOrec baseline (`host-stm`);
+//! * [`fleet`] — the measured multi-DPU sharded runtime and its host
+//!   orchestration layer (`pim-fleet`);
 //! * [`exp`] — the experiment harness that regenerates every figure
 //!   (`pim-exp`).
 //!
@@ -18,6 +20,7 @@
 
 pub use host_stm as host;
 pub use pim_exp as exp;
+pub use pim_fleet as fleet;
 pub use pim_sim as sim;
 pub use pim_stm as stm;
 pub use pim_workloads as workloads;

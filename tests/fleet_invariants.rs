@@ -1,0 +1,116 @@
+//! Regression tests pinning the measured fleet runtime (`pim-fleet`) to
+//! the analytic multi-DPU model (`pim_sim::MultiDpuPlan`) and to the
+//! conservation laws of its sharded workload:
+//!
+//! * the analytic plan rebuilt from a fleet run's per-round stats agrees
+//!   with the measured makespan to the **documented** tolerance — the
+//!   fleet issues two host→DPU bulk operations per round (broadcast +
+//!   scatter) where the plan charges one, so the plan is cheaper by
+//!   exactly one `bulk_overhead_s` per round, and nothing else;
+//! * counter increments are conserved against the generated stream, for
+//!   any shard count and both routing policies;
+//! * the final-state fingerprint is partition-invariant: one shard or
+//!   sixteen, route-to-owner or abort-and-retry, the merged global state
+//!   is the same.
+
+use pim_stm_suite::fleet::{run, FleetConfig, FleetReport};
+use pim_stm_suite::sim::KeyDist;
+use pim_stm_suite::workloads::{RoutingPolicy, ShardedWorkloadConfig};
+
+fn workload() -> ShardedWorkloadConfig {
+    ShardedWorkloadConfig::new(512, 160)
+}
+
+fn fleet(n_dpus: usize) -> FleetReport {
+    run(&FleetConfig::new(n_dpus, workload()))
+}
+
+#[test]
+fn analytic_plan_agrees_to_the_documented_tolerance() {
+    for n in [1, 4, 16] {
+        let report = fleet(n);
+        let overhead = report.ledger.transfer_model().bulk_overhead_s;
+        // The only divergence: one extra bulk overhead per round on the
+        // fleet side (broadcast and scatter are separate bulk calls).
+        let expected = report.makespan_seconds - report.rounds.len() as f64 * overhead;
+        let analytic = report.analytic_total_seconds();
+        assert!(
+            (analytic - expected).abs() < 1e-12,
+            "{n} DPUs: analytic {analytic} vs expected {expected}"
+        );
+        // Sanity: the divergence is small relative to the whole run.
+        assert!(analytic <= report.makespan_seconds);
+        assert!(analytic > 0.5 * report.makespan_seconds);
+    }
+}
+
+#[test]
+fn analytic_rounds_mirror_the_measured_rounds() {
+    let report = fleet(8);
+    let plan = report.analytic_plan();
+    assert_eq!(plan.rounds.len(), report.rounds.len());
+    for (analytic, measured) in plan.rounds.iter().zip(&report.rounds) {
+        // The DPU barrier, byte counts and modeled host merge transfer
+        // verbatim into the plan.
+        assert!((analytic.dpu_compute_seconds - measured.dpu_seconds).abs() < 1e-15);
+        assert!((analytic.cpu_merge_seconds - measured.host_seconds).abs() < 1e-15);
+        assert_eq!(analytic.bytes_to_dpus, measured.bytes_to_dpus);
+        assert_eq!(analytic.bytes_from_dpus, measured.bytes_from_dpus);
+    }
+    let executed = plan.execute(report.ledger.transfer_model());
+    assert_eq!(executed.rounds, report.rounds.len());
+}
+
+#[test]
+fn increments_are_conserved_for_any_shard_count() {
+    let expected = u64::from(workload().updates_per_tx) * u64::from(workload().total_txns);
+    for n in [1, 3, 8, 32] {
+        let report = fleet(n);
+        assert_eq!(report.total_increments, expected, "{n} DPUs");
+        assert_eq!(
+            report.shards.iter().map(|s| s.commits).sum::<u64>(),
+            report.total_commits,
+            "{n} DPUs: shard commits must fold to the fleet total"
+        );
+    }
+}
+
+#[test]
+fn fingerprint_is_partition_invariant() {
+    let single = fleet(1);
+    assert_eq!(single.total_rejected, 0, "one shard has no cross-shard traffic");
+    for n in [2, 5, 16] {
+        let sharded = fleet(n);
+        assert_eq!(
+            sharded.fingerprint, single.fingerprint,
+            "{n}-way sharding must produce the single-shard final state"
+        );
+    }
+}
+
+#[test]
+fn routing_policies_reach_the_same_state_at_different_cost() {
+    let owner = fleet(8);
+    let retry = run(&FleetConfig::new(8, workload()).with_routing(RoutingPolicy::AbortAndRetry));
+    assert_eq!(owner.fingerprint, retry.fingerprint);
+    assert_eq!(owner.total_increments, retry.total_increments);
+    assert!(retry.total_rejected > 0, "abort-and-retry must probe cross-shard txns");
+    assert_eq!(
+        retry.total_rejected,
+        retry.profile.aborts_for(pim_stm_suite::stm::AbortReason::Explicit),
+        "every rejection must appear as an explicit abort in the merged profile"
+    );
+    assert!(retry.dispatched_subtxns > owner.dispatched_subtxns);
+}
+
+#[test]
+fn skewed_streams_conserve_and_report_imbalance() {
+    let config = FleetConfig::new(
+        8,
+        ShardedWorkloadConfig::new(512, 160).with_dist(KeyDist::Zipf { theta: 1.2 }),
+    );
+    let report = run(&config);
+    assert_eq!(report.total_increments, 2 * 160, "skew must not break conservation");
+    assert!(report.imbalance.hottest_commit_share > 1.5 / 8.0);
+    assert!(report.imbalance.max_over_mean_commits > 1.5);
+}
