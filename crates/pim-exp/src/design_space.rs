@@ -126,16 +126,24 @@ impl RepeatSpread {
     /// `mean ± ci95` of the total time, computed from the per-run merged
     /// totals. With fewer than two runs the interval half-width is zero.
     pub fn mean_ci95(totals: &[u64]) -> (f64, f64) {
-        let n = totals.len().max(1) as f64;
-        let mean = totals.iter().sum::<u64>() as f64 / n;
-        if totals.len() < 2 {
-            return (mean, 0.0);
-        }
-        // Sample variance (n - 1 denominator) → standard error of the mean.
-        let var = totals.iter().map(|&t| (t as f64 - mean).powi(2)).sum::<f64>() / (n - 1.0);
-        let se = (var / n).sqrt();
-        (mean, t_critical_95(totals.len() - 1) * se)
+        mean_ci95(&totals.iter().map(|&t| t as f64).collect::<Vec<_>>())
     }
+}
+
+/// `mean ± ci95` of arbitrary repeated samples (Student's t on `n - 1`
+/// degrees of freedom). With fewer than two samples the interval
+/// half-width is zero. Shared by single-DPU cell spreads and fleet
+/// makespan spreads so both report the same statistic.
+pub fn mean_ci95(samples: &[f64]) -> (f64, f64) {
+    let n = samples.len().max(1) as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    if samples.len() < 2 {
+        return (mean, 0.0);
+    }
+    // Sample variance (n - 1 denominator) → standard error of the mean.
+    let var = samples.iter().map(|&t| (t - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    let se = (var / n).sqrt();
+    (mean, t_critical_95(samples.len() - 1) * se)
 }
 
 /// Two-sided 95 % critical value of Student's t distribution with `df`

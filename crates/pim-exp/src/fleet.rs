@@ -16,13 +16,22 @@
 //!   increasingly skewed key popularity ([`KeyDist::Zipf`]); because a
 //!   round ends when its slowest shard does, the hottest shard's commit
 //!   share translates directly into lost fleet throughput, which the
-//!   imbalance columns quantify.
+//!   imbalance columns quantify. With `--rebalance` each skew point also
+//!   runs the static-partition baseline, so the table shows the
+//!   throughput the recut *recovered*; with `--overlap` the pipeline
+//!   panel shows the barrier seconds the double-buffered rounds hid.
+//!
+//! `--repeat N` re-runs every fleet under seeds `seed..seed+N`, keeps the
+//! (lower-)median-makespan run as the representative and reports
+//! mean ± 95 % CI spread columns, the same statistic single-DPU cells
+//! use.
 
-use pim_fleet::{run, FleetConfig, FleetReport};
+use pim_fleet::{run, FleetConfig, FleetReport, RebalancePolicy};
 use pim_sim::KeyDist;
 use pim_stm::{MetadataPlacement, StmKind};
 use pim_workloads::{RoutingPolicy, ShardedWorkloadConfig};
 
+use crate::design_space::mean_ci95;
 use crate::report::{fmt_f64, render_table};
 
 /// DPU counts of the default scaling curve (three points minimum, up to
@@ -54,6 +63,17 @@ pub struct FleetSweepOptions {
     pub seed: u64,
     /// Zipfian `theta` values of the skew sweep; empty skips it.
     pub thetas: Vec<f64>,
+    /// Rebalance policy every fleet runs under (`--rebalance`).
+    pub rebalance: RebalancePolicy,
+    /// Double-buffered round pipeline (`--overlap`).
+    pub overlap: bool,
+    /// Runs per point under consecutive seeds (`--repeat`); the
+    /// median-makespan run is kept as the representative.
+    pub repeat: usize,
+    /// Phases of the skewed stream (`--skew-phases`): with more than one,
+    /// the hot region rotates through the keyspace mid-stream, which is
+    /// the moving target rebalancing exists to chase.
+    pub phases: u32,
 }
 
 impl Default for FleetSweepOptions {
@@ -65,8 +85,32 @@ impl Default for FleetSweepOptions {
             scale: 0.25,
             seed: 42,
             thetas: DEFAULT_SKEW_THETAS.to_vec(),
+            rebalance: RebalancePolicy::Off,
+            overlap: false,
+            repeat: 1,
+            phases: 1,
         }
     }
+}
+
+/// Mean ± 95 % CI spread over the repeated runs of one fleet point (the
+/// fleet counterpart of the single-DPU `RepeatSpread`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetSpread {
+    /// How many seeds the point was run under.
+    pub runs: usize,
+    /// Smallest makespan across the runs, in seconds.
+    pub min_makespan_seconds: f64,
+    /// Mean makespan across the runs, in seconds.
+    pub mean_makespan_seconds: f64,
+    /// Largest makespan across the runs, in seconds.
+    pub max_makespan_seconds: f64,
+    /// Half-width of the 95 % CI of the mean makespan (Student's t).
+    pub ci95_makespan_seconds: f64,
+    /// Mean throughput across the runs, in committed tx/s.
+    pub mean_tx_per_sec: f64,
+    /// Half-width of the 95 % CI of the mean throughput.
+    pub ci95_tx_per_sec: f64,
 }
 
 /// One point of the scaling curve: a full fleet report at one DPU count.
@@ -74,8 +118,10 @@ impl Default for FleetSweepOptions {
 pub struct FleetScalingPoint {
     /// DPUs in this fleet.
     pub n_dpus: usize,
-    /// The measured fleet report.
+    /// The measured fleet report (median-makespan run under `--repeat`).
     pub report: FleetReport,
+    /// Repeat spread; `None` for a single run.
+    pub spread: Option<FleetSpread>,
 }
 
 /// One point of the skew sweep: the largest fleet under one `theta`.
@@ -83,8 +129,68 @@ pub struct FleetScalingPoint {
 pub struct FleetSkewPoint {
     /// Zipfian skew parameter (`0.0` = uniform).
     pub theta: f64,
-    /// The measured fleet report.
+    /// The measured fleet report (median-makespan run under `--repeat`).
     pub report: FleetReport,
+    /// Repeat spread; `None` for a single run.
+    pub spread: Option<FleetSpread>,
+    /// The static-partition baseline of the same point, run only when
+    /// rebalancing is enabled — the "recovered throughput" reference.
+    pub baseline: Option<FleetReport>,
+}
+
+impl FleetSkewPoint {
+    /// Committed tx/s this point gained over its static baseline
+    /// (`None` without a baseline).
+    pub fn recovered_tx_per_sec(&self) -> Option<f64> {
+        self.baseline
+            .as_ref()
+            .map(|b| self.report.throughput_tx_per_sec() - b.throughput_tx_per_sec())
+    }
+
+    /// First round whose cumulative throughput overtakes the static
+    /// baseline's — the round where the migration paid for itself.
+    /// `None` without a baseline or if the adaptive run never catches up.
+    pub fn break_even_round(&self) -> Option<usize> {
+        let baseline = self.baseline.as_ref()?;
+        let adaptive = self.report.cumulative_throughput_series();
+        let static_ = baseline.cumulative_throughput_series();
+        adaptive.iter().zip(&static_).position(|(a, s)| a >= s)
+    }
+}
+
+/// Runs one fleet `repeat` times under consecutive seeds and returns the
+/// (lower-)median-makespan run plus the spread (`None` for one run).
+fn run_repeated(config: &FleetConfig, repeat: usize) -> (FleetReport, Option<FleetSpread>) {
+    let repeat = repeat.max(1);
+    let mut reports: Vec<FleetReport> = (0..repeat as u64)
+        .map(|i| run(&FleetConfig { seed: config.seed + i, ..*config }))
+        .collect();
+    let spread = (repeat > 1).then(|| {
+        let makespans: Vec<f64> = reports.iter().map(|r| r.makespan_seconds).collect();
+        let rates: Vec<f64> = reports.iter().map(FleetReport::throughput_tx_per_sec).collect();
+        let (mean_makespan_seconds, ci95_makespan_seconds) = mean_ci95(&makespans);
+        let (mean_tx_per_sec, ci95_tx_per_sec) = mean_ci95(&rates);
+        FleetSpread {
+            runs: repeat,
+            min_makespan_seconds: makespans.iter().copied().fold(f64::INFINITY, f64::min),
+            mean_makespan_seconds,
+            max_makespan_seconds: makespans.iter().copied().fold(0.0, f64::max),
+            ci95_makespan_seconds,
+            mean_tx_per_sec,
+            ci95_tx_per_sec,
+        }
+    });
+    // Lower median, same convention as single-DPU cells: for an even
+    // repeat count keep the faster middle run.
+    let mut order: Vec<usize> = (0..reports.len()).collect();
+    order.sort_by(|&a, &b| {
+        reports[a]
+            .makespan_seconds
+            .partial_cmp(&reports[b].makespan_seconds)
+            .expect("makespans are finite")
+    });
+    let keep = order[(order.len() - 1) / 2];
+    (reports.swap_remove(keep), spread)
 }
 
 /// The full `--fleet` sweep: scaling curve plus skew sweep.
@@ -120,7 +226,8 @@ impl FleetSweep {
         let config = |n: usize, dist: KeyDist| {
             let workload =
                 ShardedWorkloadConfig::new(keys_per_dpu * n as u32, txns_per_dpu * n as u32)
-                    .with_dist(dist);
+                    .with_dist(dist)
+                    .with_phases(options.phases);
             FleetConfig {
                 kind: options.kind,
                 placement: options.placement,
@@ -128,10 +235,15 @@ impl FleetSweep {
                 ..FleetConfig::new(n, workload)
             }
             .with_routing(options.routing)
+            .with_rebalance(options.rebalance)
+            .with_overlap(options.overlap)
         };
         let scaling = counts
             .iter()
-            .map(|&n| FleetScalingPoint { n_dpus: n, report: run(&config(n, KeyDist::Uniform)) })
+            .map(|&n| {
+                let (report, spread) = run_repeated(&config(n, KeyDist::Uniform), options.repeat);
+                FleetScalingPoint { n_dpus: n, report, spread }
+            })
             .collect();
         let largest = *counts.last().expect("counts is non-empty");
         let skew = options
@@ -139,16 +251,28 @@ impl FleetSweep {
             .iter()
             .map(|&theta| {
                 let dist = if theta == 0.0 { KeyDist::Uniform } else { KeyDist::Zipf { theta } };
-                FleetSkewPoint { theta, report: run(&config(largest, dist)) }
+                let adaptive = config(largest, dist);
+                let (report, spread) = run_repeated(&adaptive, options.repeat);
+                let baseline = options.rebalance.is_enabled().then(|| {
+                    run_repeated(&adaptive.with_rebalance(RebalancePolicy::Off), options.repeat).0
+                });
+                FleetSkewPoint { theta, report, spread, baseline }
             })
             .collect();
         FleetSweep { options, keys_per_dpu, txns_per_dpu, scaling, skew }
     }
 
+    /// Whether the sweep carries repeat spreads.
+    pub fn has_spread(&self) -> bool {
+        self.scaling.iter().any(|p| p.spread.is_some())
+            || self.skew.iter().any(|p| p.spread.is_some())
+    }
+
     /// The throughput-vs-DPU-count curve with the imbalance summary and
-    /// the analytic cross-check column.
+    /// the analytic cross-check column. With `--repeat`, mean ± 95 % CI
+    /// spread columns are appended.
     pub fn scaling_table(&self) -> String {
-        let header: Vec<String> = [
+        let mut header: Vec<String> = [
             "DPUs",
             "txns",
             "sub-txns",
@@ -164,12 +288,19 @@ impl FleetSweep {
         .iter()
         .map(|s| s.to_string())
         .collect();
+        if self.has_spread() {
+            header.extend(
+                ["mean tx/s", "ci95 tx/s", "mean makespan [s]", "ci95 [s]"]
+                    .iter()
+                    .map(|s| s.to_string()),
+            );
+        }
         let rows: Vec<Vec<String>> = self
             .scaling
             .iter()
             .map(|p| {
                 let r = &p.report;
-                vec![
+                let mut row = vec![
                     p.n_dpus.to_string(),
                     r.global_txns.to_string(),
                     r.dispatched_subtxns.to_string(),
@@ -181,16 +312,33 @@ impl FleetSweep {
                     fmt_f64(r.analytic_total_seconds()),
                     fmt_f64(r.imbalance.max_over_mean_commits),
                     fmt_f64(r.imbalance.cv_busy),
-                ]
+                ];
+                if self.has_spread() {
+                    match &p.spread {
+                        Some(s) => row.extend([
+                            fmt_f64(s.mean_tx_per_sec),
+                            fmt_f64(s.ci95_tx_per_sec),
+                            fmt_f64(s.mean_makespan_seconds),
+                            fmt_f64(s.ci95_makespan_seconds),
+                        ]),
+                        None => row.extend(["-"; 4].map(String::from)),
+                    }
+                }
+                row
             })
             .collect();
         format!(
-            "fleet scaling ({}, {}, {} keys + {} txns per DPU, seed {})\n{}",
+            "fleet scaling ({}, {}, {} keys + {} txns per DPU, seed {}{})\n{}",
             self.options.kind.name(),
             self.options.routing,
             self.keys_per_dpu,
             self.txns_per_dpu,
             self.options.seed,
+            if self.options.repeat > 1 {
+                format!(", repeat {}", self.options.repeat)
+            } else {
+                String::new()
+            },
             render_table(&header, &rows)
         )
     }
@@ -236,10 +384,14 @@ impl FleetSweep {
     }
 
     /// The skew sweep at the largest fleet: how zipfian key popularity
-    /// concentrates commits and stretches the barrier.
+    /// concentrates commits and stretches the barrier. With `--rebalance`
+    /// each row also shows the static-partition baseline and the
+    /// throughput the recut recovered; with `--repeat`, the tx/s
+    /// mean ± 95 % CI.
     pub fn skew_table(&self) -> String {
         let n = self.scaling.last().map_or(0, |p| p.n_dpus);
-        let header: Vec<String> = [
+        let rebalancing = self.options.rebalance.is_enabled();
+        let mut header: Vec<String> = [
             "theta",
             "commits",
             "rejected",
@@ -254,26 +406,132 @@ impl FleetSweep {
         .iter()
         .map(|s| s.to_string())
         .collect();
+        if rebalancing {
+            header.extend(
+                ["rebalances", "migrated keys", "static tx/s", "recovered tx/s", "break-even rnd"]
+                    .iter()
+                    .map(|s| s.to_string()),
+            );
+        }
+        if self.has_spread() {
+            header.extend(["mean tx/s", "ci95 tx/s"].iter().map(|s| s.to_string()));
+        }
+        let rows: Vec<Vec<String>> =
+            self.skew
+                .iter()
+                .map(|p| {
+                    let r = &p.report;
+                    let mut row = vec![
+                        fmt_f64(p.theta),
+                        r.total_commits.to_string(),
+                        r.total_rejected.to_string(),
+                        fmt_f64(r.makespan_seconds),
+                        fmt_f64(r.throughput_tx_per_sec()),
+                        r.imbalance.hottest_shard.to_string(),
+                        fmt_f64(r.imbalance.hottest_commit_share),
+                        fmt_f64(r.imbalance.max_over_mean_commits),
+                        fmt_f64(r.imbalance.cv_commits),
+                        fmt_f64(r.imbalance.cv_busy),
+                    ];
+                    if rebalancing {
+                        row.push(r.rebalance.rebalances.to_string());
+                        row.push(r.rebalance.migrated_keys.to_string());
+                        row.push(p.baseline.as_ref().map_or_else(
+                            || "-".to_string(),
+                            |b| fmt_f64(b.throughput_tx_per_sec()),
+                        ));
+                        row.push(p.recovered_tx_per_sec().map_or_else(|| "-".to_string(), fmt_f64));
+                        row.push(
+                            p.break_even_round().map_or_else(|| "-".to_string(), |r| r.to_string()),
+                        );
+                    }
+                    if self.has_spread() {
+                        match &p.spread {
+                            Some(s) => {
+                                row.extend([fmt_f64(s.mean_tx_per_sec), fmt_f64(s.ci95_tx_per_sec)])
+                            }
+                            None => row.extend(["-"; 2].map(String::from)),
+                        }
+                    }
+                    row
+                })
+                .collect();
+        format!("fleet skew sweep ({n} DPUs)\n{}", render_table(&header, &rows))
+    }
+
+    /// The pipeline panel: per scaling point, how many rounds overlapped
+    /// and how many transfer seconds the double buffering hid vs exposed.
+    pub fn pipeline_table(&self) -> String {
+        let header: Vec<String> = [
+            "DPUs",
+            "rounds",
+            "overlapped",
+            "stalled",
+            "hidden [s]",
+            "exposed pre [s]",
+            "makespan [s]",
+            "analytic [s]",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let rows: Vec<Vec<String>> = self
-            .skew
+            .scaling
             .iter()
             .map(|p| {
                 let r = &p.report;
                 vec![
-                    fmt_f64(p.theta),
-                    r.total_commits.to_string(),
-                    r.total_rejected.to_string(),
+                    p.n_dpus.to_string(),
+                    r.rounds.len().to_string(),
+                    r.pipeline.overlapped_rounds.to_string(),
+                    r.pipeline.stalled_rounds.to_string(),
+                    fmt_f64(r.pipeline.hidden_seconds),
+                    fmt_f64(r.pipeline.exposed_pre_seconds),
                     fmt_f64(r.makespan_seconds),
-                    fmt_f64(r.throughput_tx_per_sec()),
-                    r.imbalance.hottest_shard.to_string(),
-                    fmt_f64(r.imbalance.hottest_commit_share),
-                    fmt_f64(r.imbalance.max_over_mean_commits),
-                    fmt_f64(r.imbalance.cv_commits),
-                    fmt_f64(r.imbalance.cv_busy),
+                    fmt_f64(r.analytic_total_seconds()),
                 ]
             })
             .collect();
-        format!("fleet skew sweep ({n} DPUs)\n{}", render_table(&header, &rows))
+        format!("fleet round pipeline (overlap on)\n{}", render_table(&header, &rows))
+    }
+
+    /// The rebalance break-even panel: the per-round cumulative
+    /// throughput of the most skewed point, adaptive vs static — making
+    /// the round where the migration paid for itself visible.
+    pub fn rebalance_rounds_table(&self) -> Option<String> {
+        let point = self
+            .skew
+            .iter()
+            .filter(|p| p.baseline.is_some())
+            .max_by(|a, b| a.theta.partial_cmp(&b.theta).expect("thetas are finite"))?;
+        let baseline = point.baseline.as_ref()?;
+        let adaptive = point.report.cumulative_throughput_series();
+        let static_ = baseline.cumulative_throughput_series();
+        let header: Vec<String> = ["round", "migrated keys", "adaptive tx/s", "static tx/s"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let rows: Vec<Vec<String>> = adaptive
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                vec![
+                    i.to_string(),
+                    point.report.rounds[i].migrated_keys.to_string(),
+                    fmt_f64(a),
+                    static_.get(i).map_or_else(|| "-".to_string(), |&s| fmt_f64(s)),
+                ]
+            })
+            .collect();
+        Some(format!(
+            "rebalance break-even at theta {} ({} migrations, {} keys, {} bytes; break-even round {})\n{}",
+            point.theta,
+            point.report.rebalance.rebalances,
+            point.report.rebalance.migrated_keys,
+            point.report.rebalance.migration_bytes,
+            point.break_even_round().map_or_else(|| "-".to_string(), |r| r.to_string()),
+            render_table(&header, &rows)
+        ))
     }
 }
 
@@ -330,5 +588,82 @@ mod tests {
     #[should_panic(expected = "at least one DPU count")]
     fn an_empty_curve_is_rejected() {
         FleetSweep::run(&[], tiny_options());
+    }
+
+    #[test]
+    fn repeat_produces_spread_columns_and_a_median_representative() {
+        let sweep = FleetSweep::run(&[2], FleetSweepOptions { repeat: 3, ..tiny_options() });
+        assert!(sweep.has_spread());
+        let point = &sweep.scaling[0];
+        let spread = point.spread.expect("repeat > 1 must carry a spread");
+        assert_eq!(spread.runs, 3);
+        assert!(spread.min_makespan_seconds <= spread.mean_makespan_seconds);
+        assert!(spread.mean_makespan_seconds <= spread.max_makespan_seconds);
+        assert!(spread.ci95_makespan_seconds >= 0.0);
+        // The representative is one of the actual runs (its makespan lies
+        // inside the spread).
+        assert!(point.report.makespan_seconds >= spread.min_makespan_seconds);
+        assert!(point.report.makespan_seconds <= spread.max_makespan_seconds);
+        assert!(sweep.scaling_table().contains("ci95 tx/s"));
+        assert!(sweep.skew_table().contains("mean tx/s"));
+        // A single-run sweep has no spread and no spread columns.
+        let single = FleetSweep::run(&[2], tiny_options());
+        assert!(!single.has_spread());
+        assert!(single.scaling[0].spread.is_none());
+        assert!(!single.scaling_table().contains("ci95"));
+    }
+
+    #[test]
+    fn rebalancing_skew_points_carry_a_baseline_and_recovery() {
+        let sweep = FleetSweep::run(
+            &[8],
+            FleetSweepOptions {
+                rebalance: RebalancePolicy::Threshold { max_over_mean: 1.25 },
+                ..tiny_options()
+            },
+        );
+        let skewed = sweep.skew.last().expect("theta 1.2 point");
+        let baseline = skewed.baseline.as_ref().expect("rebalance points run a static baseline");
+        assert_eq!(baseline.rebalance.rebalances, 0);
+        assert!(skewed.report.rebalance.rebalances > 0);
+        assert_eq!(skewed.report.fingerprint, baseline.fingerprint, "same results either way");
+        assert!(
+            skewed.recovered_tx_per_sec().expect("baseline present") > 0.0,
+            "recut must beat the static partition under skew"
+        );
+        assert!(sweep.skew_table().contains("recovered tx/s"));
+        let rounds = sweep.rebalance_rounds_table().expect("baseline present");
+        assert!(rounds.contains("break-even"));
+        // Without rebalancing there is no baseline and no rounds panel.
+        let plain = FleetSweep::run(&[2], tiny_options());
+        assert!(plain.skew.iter().all(|p| p.baseline.is_none()));
+        assert!(plain.rebalance_rounds_table().is_none());
+        assert!(!plain.skew_table().contains("recovered"));
+    }
+
+    #[test]
+    fn overlap_fills_the_pipeline_panel() {
+        let sweep = FleetSweep::run(&[4], FleetSweepOptions { overlap: true, ..tiny_options() });
+        let report = &sweep.scaling[0].report;
+        assert!(report.pipeline.enabled);
+        assert!(report.pipeline.hidden_seconds > 0.0);
+        let panel = sweep.pipeline_table();
+        assert!(panel.contains("hidden [s]"));
+        assert!(panel.contains("overlapped"));
+    }
+
+    #[test]
+    fn phased_streams_move_the_hot_shard() {
+        let options = FleetSweepOptions { thetas: vec![1.2], ..tiny_options() };
+        let stationary = FleetSweep::run(&[8], options.clone());
+        let phased = FleetSweep::run(&[8], FleetSweepOptions { phases: 2, ..options });
+        // Phase 1 rotates the zipf head to mid-keyspace, so the commit
+        // mass no longer concentrates on shard 0 alone.
+        assert_eq!(stationary.skew[0].report.imbalance.hottest_shard, 0);
+        assert!(
+            phased.skew[0].report.imbalance.hottest_commit_share
+                < stationary.skew[0].report.imbalance.hottest_commit_share,
+            "rotating the hot region must spread commits over more shards"
+        );
     }
 }

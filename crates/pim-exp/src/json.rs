@@ -17,7 +17,10 @@
 //! `--fleet` runs dump through [`fleet_to_json`] instead: one object
 //! holding the weak-scaling curve and the skew sweep, each point a full
 //! [`pim_fleet::FleetReport`] (totals, merged profile, imbalance summary,
-//! per-primitive transfer ledger, analytic cross-check total).
+//! per-primitive transfer ledger, rebalance and pipeline panels, the
+//! per-round throughput series, analytic cross-check total). Repeated
+//! points carry a `repeat_spread` block, and rebalanced skew points their
+//! static baseline, recovered throughput and break-even round.
 
 use pim_fleet::{FleetReport, PrimitiveStats};
 use pim_sim::Phase;
@@ -423,10 +426,45 @@ fn primitive_to_json(stats: &PrimitiveStats) -> Json {
     ])
 }
 
+fn fleet_spread_to_json(spread: Option<&crate::fleet::FleetSpread>) -> Json {
+    spread.map_or(Json::Null, |s| {
+        Json::Obj(vec![
+            ("runs".into(), Json::u64(s.runs as u64)),
+            ("min_makespan_seconds".into(), Json::Num(s.min_makespan_seconds)),
+            ("mean_makespan_seconds".into(), Json::Num(s.mean_makespan_seconds)),
+            ("max_makespan_seconds".into(), Json::Num(s.max_makespan_seconds)),
+            ("ci95_makespan_seconds".into(), Json::Num(s.ci95_makespan_seconds)),
+            ("mean_tx_per_sec".into(), Json::Num(s.mean_tx_per_sec)),
+            ("ci95_tx_per_sec".into(), Json::Num(s.ci95_tx_per_sec)),
+        ])
+    })
+}
+
 /// Serialises one fleet report: totals, the merged profile, the imbalance
-/// summary, the per-primitive transfer ledger and the analytic cross-check
+/// summary, the per-primitive transfer ledger, the pipeline and rebalance
+/// panels, the per-round throughput series and the analytic cross-check
 /// total.
 fn fleet_report_to_json(r: &FleetReport) -> Json {
+    let per_round = r.round_throughput_series();
+    let cumulative = r.cumulative_throughput_series();
+    let rounds_detail = Json::Arr(
+        r.rounds
+            .iter()
+            .zip(per_round.iter().zip(&cumulative))
+            .map(|(round, (&tx, &cum))| {
+                Json::Obj(vec![
+                    ("round".into(), Json::u64(round.round as u64)),
+                    ("commits".into(), Json::u64(round.commits)),
+                    ("migrated_keys".into(), Json::u64(round.migrated_keys)),
+                    ("overlapped".into(), Json::Bool(round.overlapped)),
+                    ("hidden_seconds".into(), Json::Num(round.hidden_seconds)),
+                    ("pipelined_seconds".into(), Json::Num(round.pipelined_seconds())),
+                    ("tx_per_sec".into(), Json::Num(tx)),
+                    ("cumulative_tx_per_sec".into(), Json::Num(cum)),
+                ])
+            })
+            .collect(),
+    );
     Json::Obj(vec![
         ("n_dpus".into(), Json::u64(r.n_dpus as u64)),
         ("tasklets".into(), Json::u64(r.tasklets as u64)),
@@ -465,6 +503,27 @@ fn fleet_report_to_json(r: &FleetReport) -> Json {
                 ("total_seconds".into(), Json::Num(r.ledger.total_seconds())),
             ]),
         ),
+        (
+            "pipeline".into(),
+            Json::Obj(vec![
+                ("enabled".into(), Json::Bool(r.pipeline.enabled)),
+                ("overlapped_rounds".into(), Json::u64(r.pipeline.overlapped_rounds)),
+                ("stalled_rounds".into(), Json::u64(r.pipeline.stalled_rounds)),
+                ("hidden_seconds".into(), Json::Num(r.pipeline.hidden_seconds)),
+                ("exposed_pre_seconds".into(), Json::Num(r.pipeline.exposed_pre_seconds)),
+            ]),
+        ),
+        (
+            "rebalance".into(),
+            Json::Obj(vec![
+                ("policy".into(), Json::str(r.rebalance.policy.to_string())),
+                ("rebalances".into(), Json::u64(r.rebalance.rebalances)),
+                ("migrated_keys".into(), Json::u64(r.rebalance.migrated_keys)),
+                ("migration_bytes".into(), Json::u64(r.rebalance.migration_bytes)),
+                ("migration_seconds".into(), Json::Num(r.rebalance.migration_seconds)),
+            ]),
+        ),
+        ("rounds_detail".into(), rounds_detail),
         ("profile".into(), profile_to_json(&r.profile)),
     ])
 }
@@ -478,11 +537,30 @@ pub fn fleet_to_json(sweep: &FleetSweep) -> Json {
         ("routing".into(), Json::str(sweep.options.routing.label())),
         ("scale".into(), Json::Num(sweep.options.scale)),
         ("seed".into(), Json::u64(sweep.options.seed)),
+        ("rebalance_policy".into(), Json::str(sweep.options.rebalance.to_string())),
+        ("overlap".into(), Json::Bool(sweep.options.overlap)),
+        ("repeat".into(), Json::u64(sweep.options.repeat as u64)),
+        ("phases".into(), Json::u64(u64::from(sweep.options.phases))),
         ("keys_per_dpu".into(), Json::u64(u64::from(sweep.keys_per_dpu))),
         ("txns_per_dpu".into(), Json::u64(u64::from(sweep.txns_per_dpu))),
         (
             "scaling".into(),
-            Json::Arr(sweep.scaling.iter().map(|p| fleet_report_to_json(&p.report)).collect()),
+            Json::Arr(
+                sweep
+                    .scaling
+                    .iter()
+                    .map(|p| {
+                        let Json::Obj(mut fields) = fleet_report_to_json(&p.report) else {
+                            unreachable!("fleet reports serialise as objects")
+                        };
+                        fields.push((
+                            "repeat_spread".into(),
+                            fleet_spread_to_json(p.spread.as_ref()),
+                        ));
+                        Json::Obj(fields)
+                    })
+                    .collect(),
+            ),
         ),
         (
             "skew".into(),
@@ -496,6 +574,21 @@ pub fn fleet_to_json(sweep: &FleetSweep) -> Json {
                             unreachable!("fleet reports serialise as objects")
                         };
                         obj.extend(fields);
+                        obj.push(("repeat_spread".into(), fleet_spread_to_json(p.spread.as_ref())));
+                        obj.push((
+                            "baseline_tx_per_sec".into(),
+                            p.baseline
+                                .as_ref()
+                                .map_or(Json::Null, |b| Json::Num(b.throughput_tx_per_sec())),
+                        ));
+                        obj.push((
+                            "recovered_throughput".into(),
+                            p.recovered_tx_per_sec().map_or(Json::Null, Json::Num),
+                        ));
+                        obj.push((
+                            "break_even_round".into(),
+                            p.break_even_round().map_or(Json::Null, |r| Json::u64(r as u64)),
+                        ));
                         Json::Obj(obj)
                     })
                     .collect(),
@@ -600,6 +693,85 @@ mod tests {
         assert_eq!(skew.len(), 2);
         assert_eq!(skew[0].get("theta"), Some(&Json::Num(0.0)));
         assert_eq!(skew[1].get("n_dpus"), Some(&Json::Num(4.0)), "skew runs the largest fleet");
+        // Defaults: the new panels exist but report the features off.
+        assert_eq!(parsed.get("rebalance_policy"), Some(&Json::Str("off".into())));
+        assert_eq!(parsed.get("overlap"), Some(&Json::Bool(false)));
+        assert_eq!(parsed.get("repeat"), Some(&Json::Num(1.0)));
+        assert_eq!(parsed.get("phases"), Some(&Json::Num(1.0)));
+        let pipeline = scaling[0].get("pipeline").expect("pipeline block present");
+        assert_eq!(pipeline.get("enabled"), Some(&Json::Bool(false)));
+        assert_eq!(pipeline.get("hidden_seconds"), Some(&Json::Num(0.0)));
+        let rebalance = scaling[0].get("rebalance").expect("rebalance block present");
+        assert_eq!(rebalance.get("policy"), Some(&Json::Str("off".into())));
+        assert_eq!(rebalance.get("migrated_keys"), Some(&Json::Num(0.0)));
+        let Some(Json::Arr(rounds)) = scaling[0].get("rounds_detail") else {
+            panic!("rounds_detail must be an array")
+        };
+        assert!(!rounds.is_empty());
+        assert!(matches!(rounds[0].get("tx_per_sec"), Some(Json::Num(n)) if *n > 0.0));
+        assert_eq!(scaling[0].get("repeat_spread"), Some(&Json::Null));
+        assert_eq!(skew[0].get("baseline_tx_per_sec"), Some(&Json::Null));
+        assert_eq!(skew[0].get("recovered_throughput"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn rebalancing_overlapped_fleet_dumps_carry_their_panels() {
+        use crate::fleet::{FleetSweep, FleetSweepOptions};
+        use pim_fleet::RebalancePolicy;
+        let sweep = FleetSweep::run(
+            &[8],
+            FleetSweepOptions {
+                scale: 0.1,
+                thetas: vec![1.2],
+                rebalance: RebalancePolicy::Threshold { max_over_mean: 1.25 },
+                overlap: true,
+                repeat: 2,
+                ..Default::default()
+            },
+        );
+        let json = fleet_to_json(&sweep);
+        let parsed = parse(&json.to_string()).expect("fleet dump must parse");
+        assert_eq!(parsed.get("rebalance_policy"), Some(&Json::Str("threshold:1.25".into())));
+        assert_eq!(parsed.get("overlap"), Some(&Json::Bool(true)));
+        assert_eq!(parsed.get("repeat"), Some(&Json::Num(2.0)));
+        // The uniform scaling run overlaps freely (no migration boundaries).
+        let Some(Json::Arr(scaling)) = parsed.get("scaling") else {
+            panic!("scaling must be an array")
+        };
+        let uniform = scaling[0].get("pipeline").expect("pipeline block present");
+        assert!(
+            matches!(uniform.get("hidden_seconds"), Some(Json::Num(n)) if *n > 0.0),
+            "overlap must hide some transfer time on the uniform run"
+        );
+        let Some(Json::Arr(skew)) = parsed.get("skew") else { panic!("skew must be an array") };
+        let point = &skew[0];
+        let pipeline = point.get("pipeline").expect("pipeline block present");
+        assert_eq!(pipeline.get("enabled"), Some(&Json::Bool(true)));
+        let rebalance = point.get("rebalance").expect("rebalance block present");
+        assert!(
+            matches!(rebalance.get("rebalances"), Some(Json::Num(n)) if *n > 0.0),
+            "theta 1.2 on 8 DPUs must trigger at least one recut"
+        );
+        assert!(matches!(rebalance.get("migration_bytes"), Some(Json::Num(n)) if *n > 0.0));
+        assert!(matches!(
+            point.get("baseline_tx_per_sec"),
+            Some(Json::Num(n)) if *n > 0.0
+        ));
+        assert!(point.get("recovered_throughput").is_some());
+        let spread = point.get("repeat_spread").expect("spread key present");
+        assert_eq!(spread.get("runs"), Some(&Json::Num(2.0)));
+        assert!(matches!(spread.get("mean_tx_per_sec"), Some(Json::Num(n)) if *n > 0.0));
+        let Some(Json::Arr(rounds)) = point.get("rounds_detail") else {
+            panic!("rounds_detail must be an array")
+        };
+        let migrated: f64 = rounds
+            .iter()
+            .map(|r| match r.get("migrated_keys") {
+                Some(Json::Num(n)) => *n,
+                _ => 0.0,
+            })
+            .sum();
+        assert!(migrated > 0.0, "per-round detail must show where migrations landed");
     }
 
     #[test]

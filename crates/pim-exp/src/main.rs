@@ -24,6 +24,7 @@ use pim_exp::json::{fleet_to_json, sweeps_to_json};
 use pim_exp::latency::LatencyComparison;
 use pim_exp::multi_dpu::{figure8_table, MultiDpuBenchmark, MultiDpuStudy};
 use pim_exp::peak::PeakDistribution;
+use pim_fleet::RebalancePolicy;
 use pim_stm::{MetadataPlacement, ReadStrategy, RetryPolicy, StmKind, TmComposition};
 use pim_workloads::spec::Executor;
 use pim_workloads::{RoutingPolicy, Workload};
@@ -43,6 +44,9 @@ struct Options {
     dpus: Option<Vec<usize>>,
     routing: Option<RoutingPolicy>,
     skew_thetas: Option<Vec<f64>>,
+    rebalance: Option<RebalancePolicy>,
+    overlap: bool,
+    skew_phases: Option<u32>,
     scale: f64,
     seed: u64,
     repeat: usize,
@@ -66,6 +70,9 @@ impl Default for Options {
             dpus: None,
             routing: None,
             skew_thetas: None,
+            rebalance: None,
+            overlap: false,
+            skew_phases: None,
             scale: 0.25,
             seed: 42,
             repeat: 1,
@@ -159,6 +166,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
                 options.skew_thetas = Some(thetas);
             }
+            "--rebalance" => options.rebalance = Some(RebalancePolicy::parse(&value()?)?),
+            "--overlap" => options.overlap = true,
+            "--skew-phases" => {
+                let phases: u32 =
+                    value()?.parse().map_err(|e| format!("bad --skew-phases value: {e}"))?;
+                if phases == 0 {
+                    return Err("--skew-phases needs at least one phase".to_string());
+                }
+                options.skew_phases = Some(phases);
+            }
             "--scale" => {
                 options.scale = value()?.parse().map_err(|e| format!("bad --scale value: {e}"))?
             }
@@ -230,7 +247,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 fn usage() -> String {
     "usage: pim-exp [--figure fig4|fig5|fig6|fig7|fig8|fig9|fig10|latency]\n\
      \x20              [--fleet] [--routing route-to-owner|abort-retry]\n\
-     \x20              [--skew-thetas 0.0,0.9,...]\n\
+     \x20              [--skew-thetas 0.0,0.9,...] [--skew-phases <n>]\n\
+     \x20              [--rebalance off|threshold[:f]|periodic[:k]] [--overlap]\n\
      \x20              [--workload <name>] [--stm <kind>] [--tier wram|mram]\n\
      \x20              [--executor simulator|threaded|both] [--repeat <n>]\n\
      \x20              [--read-strategy word-wise|batched] [--record-words <n>]\n\
@@ -242,7 +260,13 @@ fn usage() -> String {
      \x20 figure: a weak-scaling curve over --dpus (default 4,16,64,256)\n\
      \x20 plus a key-skew sweep at the largest fleet (--skew-thetas,\n\
      \x20 default 0,0.6,0.9,1.2), honouring --stm, --tier, --routing,\n\
-     \x20 --scale, --seed and --json-out.\n\
+     \x20 --scale, --seed, --repeat and --json-out. --rebalance recuts the\n\
+     \x20 range partition toward the observed key load (each skew point\n\
+     \x20 then also runs the static baseline and reports the recovered\n\
+     \x20 throughput), --overlap double-buffers rounds so scatter/routing\n\
+     \x20 hides behind the previous round's compute, and --skew-phases\n\
+     \x20 rotates the hot region mid-stream so rebalancing has a moving\n\
+     \x20 target to chase.\n\
      \x20 A --workload/--stm pair reruns a single cell of the design-space\n\
      \x20 grid (e.g. --workload array-b --stm norec --tasklets 4). --stm\n\
      \x20 accepts legacy names (norec, tiny-etlwb, vr-ctlwb, ...) and\n\
@@ -353,7 +377,6 @@ fn run_fleet(options: &Options) -> Result<FleetSweep, String> {
         ("--figure", options.figure.is_some()),
         ("--workload", options.workload.is_some()),
         ("--executor", options.executors != [Executor::Simulator]),
-        ("--repeat", options.repeat > 1),
         ("--burst-words", options.burst_words.is_some()),
         ("--record-words", options.record_words.is_some()),
         ("--read-strategy", options.read_strategy != ReadStrategy::default()),
@@ -370,6 +393,10 @@ fn run_fleet(options: &Options) -> Result<FleetSweep, String> {
         scale: options.scale,
         seed: options.seed,
         thetas: options.skew_thetas.clone().unwrap_or_else(|| DEFAULT_SKEW_THETAS.to_vec()),
+        rebalance: options.rebalance.unwrap_or(RebalancePolicy::Off),
+        overlap: options.overlap,
+        repeat: options.repeat,
+        phases: options.skew_phases.unwrap_or(1),
     };
     let dpus = options.fleet_dpus();
     if dpus.is_empty() || dpus.contains(&0) {
@@ -379,8 +406,14 @@ fn run_fleet(options: &Options) -> Result<FleetSweep, String> {
     let sweep = FleetSweep::run(&dpus, fleet_options);
     println!("{}", sweep.scaling_table());
     println!("{}", sweep.profile_table());
+    if sweep.options.overlap {
+        println!("{}", sweep.pipeline_table());
+    }
     if !sweep.skew.is_empty() {
         println!("{}", sweep.skew_table());
+    }
+    if let Some(rounds) = sweep.rebalance_rounds_table() {
+        println!("{rounds}");
     }
     Ok(sweep)
 }
@@ -392,9 +425,13 @@ fn run_figure(
 ) -> Result<(), String> {
     let is_sweep_figure = matches!(figure, "fig4" | "fig5" | "fig9" | "fig10");
     // The fleet-only flags belong to --fleet, not to any figure.
-    for (flag, set) in
-        [("--routing", options.routing.is_some()), ("--skew-thetas", options.skew_thetas.is_some())]
-    {
+    for (flag, set) in [
+        ("--routing", options.routing.is_some()),
+        ("--skew-thetas", options.skew_thetas.is_some()),
+        ("--skew-phases", options.skew_phases.is_some()),
+        ("--rebalance", options.rebalance.is_some()),
+        ("--overlap", options.overlap),
+    ] {
         if set {
             return Err(format!("{flag} applies to the --fleet sweep, not to {figure}"));
         }
@@ -531,6 +568,9 @@ fn main() -> ExitCode {
             for (flag, set) in [
                 ("--routing", options.routing.is_some()),
                 ("--skew-thetas", options.skew_thetas.is_some()),
+                ("--skew-phases", options.skew_phases.is_some()),
+                ("--rebalance", options.rebalance.is_some()),
+                ("--overlap", options.overlap),
             ] {
                 if set {
                     eprintln!("{flag} applies to the --fleet sweep, not to a workload sweep");
@@ -722,6 +762,18 @@ mod tests {
         assert!(parse_args(&["--routing".into(), "bogus".into()]).is_err());
         assert!(parse_args(&["--skew-thetas".into(), "-1.0".into()]).is_err());
         assert!(parse_args(&["--skew-thetas".into(), "x".into()]).is_err());
+        let args: Vec<String> =
+            ["--fleet", "--rebalance", "threshold:2.0", "--overlap", "--skew-phases", "2"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let options = parse_args(&args).unwrap();
+        assert_eq!(options.rebalance, Some(RebalancePolicy::Threshold { max_over_mean: 2.0 }));
+        assert!(options.overlap);
+        assert_eq!(options.skew_phases, Some(2));
+        assert!(parse_args(&["--rebalance".into(), "bogus".into()]).is_err());
+        assert!(parse_args(&["--rebalance".into(), "threshold:0.5".into()]).is_err());
+        assert!(parse_args(&["--skew-phases".into(), "0".into()]).is_err());
     }
 
     #[test]
@@ -729,7 +781,6 @@ mod tests {
         for options in [
             Options { figure: Some("fig4".into()), ..Options::default() },
             Options { workload: Some(Workload::ArrayB), ..Options::default() },
-            Options { repeat: 3, ..Options::default() },
             Options { burst_words: Some(vec![8]), ..Options::default() },
             Options { executors: vec![Executor::Threaded], ..Options::default() },
             Options { retry: RetryPolicy::Fixed, ..Options::default() },
@@ -744,6 +795,18 @@ mod tests {
         let options = Options { skew_thetas: Some(vec![0.9]), ..Options::default() };
         let err = run_figure("fig7", &options, &mut Vec::new()).unwrap_err();
         assert!(err.contains("--skew-thetas"), "{err}");
+        let options = Options {
+            rebalance: Some(RebalancePolicy::parse("threshold").unwrap()),
+            ..Options::default()
+        };
+        let err = run_figure("fig6", &options, &mut Vec::new()).unwrap_err();
+        assert!(err.contains("--rebalance"), "{err}");
+        let options = Options { overlap: true, ..Options::default() };
+        let err = run_figure("latency", &options, &mut Vec::new()).unwrap_err();
+        assert!(err.contains("--overlap"), "{err}");
+        let options = Options { skew_phases: Some(2), ..Options::default() };
+        let err = run_figure("fig7", &options, &mut Vec::new()).unwrap_err();
+        assert!(err.contains("--skew-phases"), "{err}");
     }
 
     #[test]

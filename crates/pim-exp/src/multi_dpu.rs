@@ -172,6 +172,7 @@ impl MultiDpuStudy {
                         bytes_to_dpus: scatter,
                         bytes_from_dpus: 4096 * n_dpus as u64,
                         cpu_merge_seconds: 2e-8 * n_dpus as f64 * 64.0,
+                        ..RoundPlan::default()
                     });
                 }
                 plan.execute(&transfer).total_seconds()
@@ -184,6 +185,7 @@ impl MultiDpuStudy {
                     bytes_to_dpus: grid_bytes * n_dpus as u64,
                     bytes_from_dpus: grid_bytes * n_dpus as u64,
                     cpu_merge_seconds: 1e-6 * n_dpus as f64,
+                    ..RoundPlan::default()
                 });
                 plan.execute(&transfer).total_seconds()
             };

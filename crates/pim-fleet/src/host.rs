@@ -44,11 +44,24 @@ impl Default for HostCostModel {
 }
 
 impl HostCostModel {
-    /// Host seconds for one round that dispatched `subtxns` sub-transactions
-    /// to `active_shards` shards.
-    pub fn round_seconds(&self, subtxns: u64, active_shards: u64) -> f64 {
+    /// Pre-barrier host seconds: routing `subtxns` dispatched
+    /// sub-transactions to their shards. This is the half of the host work
+    /// the round pipeline can hide behind the previous round's compute.
+    pub fn route_seconds(&self, subtxns: u64) -> f64 {
         self.dispatch_seconds_per_tx * subtxns as f64
-            + self.merge_seconds_per_shard * active_shards as f64
+    }
+
+    /// Post-barrier host seconds: merging `active_shards` shards' round
+    /// results. Merge depends on the round's own outputs, so the pipeline
+    /// can never hide it.
+    pub fn merge_seconds(&self, active_shards: u64) -> f64 {
+        self.merge_seconds_per_shard * active_shards as f64
+    }
+
+    /// Host seconds for one round that dispatched `subtxns` sub-transactions
+    /// to `active_shards` shards (route + merge).
+    pub fn round_seconds(&self, subtxns: u64, active_shards: u64) -> f64 {
+        self.route_seconds(subtxns) + self.merge_seconds(active_shards)
     }
 }
 
@@ -173,5 +186,7 @@ mod tests {
         let ten = host.round_seconds(10, 10);
         assert!((ten - 10.0 * one).abs() < 1e-15);
         assert_eq!(host.round_seconds(0, 0), 0.0);
+        // round = route + merge, exactly.
+        assert_eq!(host.round_seconds(7, 3), host.route_seconds(7) + host.merge_seconds(3));
     }
 }

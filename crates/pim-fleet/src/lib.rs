@@ -46,11 +46,47 @@
 //! dispatched home, rejected by the DPU via an explicit abort, and
 //! re-dispatched split in the **next** round (`abort-retry`).
 //!
-//! **Transfer-cost accounting**: a round's modeled time is
-//! `broadcast + scatter + max(shard DPU seconds) + gather + host`, summed
-//! into [`FleetReport::makespan_seconds`]. All host costs are modeled
+//! **Transfer-cost accounting**: a round's modeled serial time is
+//! `pre + compute + post` with
+//! `pre = broadcast + scatter + host routing`,
+//! `compute = max(shard DPU seconds)` and
+//! `post = gather + host merge + migration`, summed into
+//! [`FleetReport::makespan_seconds`]. All host costs are modeled
 //! ([`HostCostModel`]), never measured — a seeded fleet run is
 //! bit-identical on any machine and any `host_workers` setting.
+//!
+//! **Pipeline round model** (opt-in via [`FleetConfig::overlap`]): the
+//! host double-buffers rounds — while round *k*'s shards compute, it
+//! routes and scatters round *k+1*. Execution order and results never
+//! change; the cost model changes to
+//!
+//! ```text
+//! round k contributes   pre_k − hidden_k + compute_k + post_k
+//! hidden_k            = min(pre_k, compute_{k−1})   if overlap-eligible
+//!                     = 0                            otherwise
+//! ```
+//!
+//! which is the `max(compute_{k−1}, pre_k)` double-buffering identity
+//! written as a per-round credit. A round is overlap-eligible iff its
+//! inputs needed nothing from the previous round: not round 0, no
+//! deferred abort-retry re-dispatches entering it (those are discovered
+//! *during* the previous compute), and no migration at the previous
+//! boundary. [`PipelineStats`] reports hidden vs exposed pre-work.
+//!
+//! **Rebalance migration-cost accounting** (opt-in via
+//! [`FleetConfig::rebalance`]): between rounds a [`RebalancePolicy`] may
+//! recut the range partition toward the *dispatched* key-load window
+//! (dispatch-side data only, so the trigger is deterministic and does
+//! not stall the pipeline decision). A recut that moves keys pays for
+//! itself inside the model: each moved key's 8-byte counter is charged
+//! through the ledger as a real `gather` (old owner → host) plus
+//! `scatter` (host → new owner). The migration seconds land in the
+//! boundary round's `post`; the byte counts fold into the analytic
+//! cross-check as documented on [`RoundStats::bytes_to_dpus`]. The next
+//! round is never overlap-eligible, and deferred sub-transactions are
+//! re-routed under the new map. [`RebalanceStats`] totals what moved and
+//! what it cost, and [`FleetReport::cumulative_throughput_series`]
+//! exposes the break-even round.
 //!
 //! **Fleet reports vs single-DPU profiles**: every shard produces
 //! ordinary cycle-domain [`pim_stm::ExecProfile`]s; the fleet merges them
@@ -67,9 +103,13 @@
 
 pub mod baseline;
 pub mod host;
+pub mod rebalance;
 pub mod report;
 pub mod runtime;
 
 pub use host::{HostCostModel, PrimitiveStats, TransferLedger};
-pub use report::{FleetReport, Imbalance, RoundStats, ShardStats};
-pub use runtime::{run, FleetConfig, GATHER_SUMMARY_BYTES, ROUND_DESCRIPTOR_BYTES};
+pub use rebalance::{RebalancePolicy, Rebalancer};
+pub use report::{FleetReport, Imbalance, PipelineStats, RebalanceStats, RoundStats, ShardStats};
+pub use runtime::{
+    run, FleetConfig, GATHER_SUMMARY_BYTES, MIGRATION_BYTES_PER_KEY, ROUND_DESCRIPTOR_BYTES,
+};

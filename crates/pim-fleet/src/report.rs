@@ -26,6 +26,7 @@ use pim_workloads::RoutingPolicy;
 use serde::{Deserialize, Serialize};
 
 use crate::host::TransferLedger;
+use crate::rebalance::RebalancePolicy;
 
 /// Per-shard totals over a whole fleet run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -71,24 +72,102 @@ pub struct RoundStats {
     pub dpu_mean_seconds: f64,
     /// Seconds gathering per-shard result summaries.
     pub gather_seconds: f64,
-    /// Modeled host CPU seconds (routing + merge) this round.
-    pub host_seconds: f64,
-    /// Bytes moved host→DPUs this round (broadcast + scatter).
+    /// Modeled host routing seconds this round (pre-barrier work).
+    pub host_route_seconds: f64,
+    /// Modeled host merge seconds this round (post-barrier work).
+    pub host_merge_seconds: f64,
+    /// Bytes attributable to this round, host→DPUs. Broadcast + scatter,
+    /// plus — when the *previous* round boundary migrated keys — the
+    /// migration's scatter bytes (the recut state arrives with this
+    /// round's inputs, so the analytic plan charges it here).
     pub bytes_to_dpus: u64,
-    /// Bytes moved DPUs→host this round (gather).
+    /// Bytes attributable to this round, DPUs→host. Gather, plus the
+    /// migration gather bytes when this round's boundary migrated keys.
     pub bytes_from_dpus: u64,
+    /// Keys whose owner changed at this round's trailing boundary.
+    pub migrated_keys: u64,
+    /// Seconds spent migrating those keys (gather + scatter of 8 bytes
+    /// per key each way), charged at this round's trailing boundary.
+    pub migration_seconds: f64,
+    /// True when the pipeline overlapped this round's pre-work with the
+    /// previous round's compute (never true for round 0, for a round
+    /// consuming deferred cross-shard work, or directly after a
+    /// migration).
+    pub overlapped: bool,
+    /// Pre-work seconds the pipeline hid behind the previous round's
+    /// compute: `min(pre_seconds, previous dpu_seconds)` when
+    /// [`RoundStats::overlapped`], else 0.
+    pub hidden_seconds: f64,
 }
 
 impl RoundStats {
-    /// End-to-end seconds of this round: transfers + the DPU barrier +
-    /// host work.
-    pub fn total_seconds(&self) -> f64 {
-        self.broadcast_seconds
-            + self.scatter_seconds
-            + self.dpu_seconds
-            + self.gather_seconds
-            + self.host_seconds
+    /// Pre-barrier seconds: the work the host does *before* this round's
+    /// shards can start (descriptor broadcast + payload scatter + host
+    /// routing). This is exactly the portion the pipeline may overlap
+    /// with the previous round's compute.
+    pub fn pre_seconds(&self) -> f64 {
+        self.broadcast_seconds + self.scatter_seconds + self.host_route_seconds
     }
+
+    /// Post-barrier seconds: result gather + host merge + any migration
+    /// at this round's trailing boundary. Never hideable — it depends on
+    /// this round's own outputs.
+    pub fn post_seconds(&self) -> f64 {
+        self.gather_seconds + self.host_merge_seconds + self.migration_seconds
+    }
+
+    /// Modeled host CPU seconds (routing + merge) this round.
+    pub fn host_seconds(&self) -> f64 {
+        self.host_route_seconds + self.host_merge_seconds
+    }
+
+    /// End-to-end serial seconds of this round: transfers + the DPU
+    /// barrier + host work + migration, with no pipeline credit.
+    pub fn total_seconds(&self) -> f64 {
+        self.pre_seconds() + self.dpu_seconds + self.post_seconds()
+    }
+
+    /// Seconds this round contributes to the pipelined makespan:
+    /// [`RoundStats::total_seconds`] minus the pre-work hidden behind the
+    /// previous round's compute.
+    pub fn pipelined_seconds(&self) -> f64 {
+        self.total_seconds() - self.hidden_seconds
+    }
+}
+
+/// What the double-buffered round pipeline achieved over a whole run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PipelineStats {
+    /// Whether pipelining was enabled for the run.
+    pub enabled: bool,
+    /// Rounds whose pre-work overlapped the previous round's compute.
+    pub overlapped_rounds: u64,
+    /// Rounds that paid their pre-work on the critical path (round 0,
+    /// rounds consuming deferred cross-shard work, rounds directly after
+    /// a migration — and every round when the pipeline is off).
+    pub stalled_rounds: u64,
+    /// Pre-work seconds hidden behind compute, summed over all rounds.
+    pub hidden_seconds: f64,
+    /// Pre-work seconds that stayed on the critical path
+    /// (`Σ pre_seconds − hidden_seconds`).
+    pub exposed_pre_seconds: f64,
+}
+
+/// What skew-adaptive rebalancing did and what it cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RebalanceStats {
+    /// The policy the run used.
+    pub policy: RebalancePolicy,
+    /// Boundary recuts that actually migrated keys.
+    pub rebalances: u64,
+    /// Keys whose owner changed, summed over all recuts.
+    pub migrated_keys: u64,
+    /// Bytes the migrations moved through the transfer ledger
+    /// (8 per moved key in each direction: gather old owner → host,
+    /// scatter host → new owner).
+    pub migration_bytes: u64,
+    /// Modeled seconds those migrations cost.
+    pub migration_seconds: f64,
 }
 
 /// Load/commit imbalance across the shards of one fleet run.
@@ -114,15 +193,36 @@ pub struct Imbalance {
 }
 
 impl Imbalance {
-    /// Computes the summary from per-shard totals. All-zero inputs (an
-    /// empty run) yield ratios of 1.0 and CVs of 0.0.
+    /// The all-zero summary: what a run with no commits reports. Every
+    /// field is 0 — including the ratios, which would otherwise be a
+    /// 0/0 division dressed up as "balanced".
+    pub fn zero() -> Self {
+        Imbalance {
+            hottest_shard: 0,
+            hottest_commit_share: 0.0,
+            max_over_mean_commits: 0.0,
+            cv_commits: 0.0,
+            max_over_mean_busy: 0.0,
+            cv_busy: 0.0,
+        }
+    }
+
+    /// Computes the summary from per-shard totals.
+    ///
+    /// A fleet where **no shard commits** (an empty shard list, or an
+    /// all-reject round stream) has no load signal to summarise: the
+    /// result is [`Imbalance::zero`] rather than a fabricated ratio.
     pub fn from_shards(shards: &[ShardStats]) -> Self {
+        let total_commits: u64 = shards.iter().map(|s| s.commits).sum();
+        if total_commits == 0 {
+            return Imbalance::zero();
+        }
         fn spread(values: impl Iterator<Item = u64> + Clone) -> (f64, f64) {
             let n = values.clone().count().max(1) as f64;
             let mean = values.clone().sum::<u64>() as f64 / n;
             let max = values.clone().max().unwrap_or(0) as f64;
             if mean == 0.0 {
-                return (1.0, 0.0);
+                return (0.0, 0.0);
             }
             let var = values.map(|v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
             (max / mean, var.sqrt() / mean)
@@ -130,15 +230,10 @@ impl Imbalance {
         let (max_over_mean_commits, cv_commits) = spread(shards.iter().map(|s| s.commits));
         let (max_over_mean_busy, cv_busy) = spread(shards.iter().map(|s| s.busy_cycles));
         let hottest = shards.iter().max_by_key(|s| s.commits).map(|s| s.shard).unwrap_or(0);
-        let total_commits: u64 = shards.iter().map(|s| s.commits).sum();
         let hottest_commits = shards.iter().map(|s| s.commits).max().unwrap_or(0);
         Imbalance {
             hottest_shard: hottest,
-            hottest_commit_share: if total_commits == 0 {
-                0.0
-            } else {
-                hottest_commits as f64 / total_commits as f64
-            },
+            hottest_commit_share: hottest_commits as f64 / total_commits as f64,
             max_over_mean_commits,
             cv_commits,
             max_over_mean_busy,
@@ -185,8 +280,13 @@ pub struct FleetReport {
     pub profile: ExecProfile,
     /// Per-primitive transfer accounting.
     pub ledger: TransferLedger,
-    /// End-to-end modeled seconds: every round's transfers + DPU barrier +
-    /// host work, summed.
+    /// What the double-buffered round pipeline hid (all-zero when off).
+    pub pipeline: PipelineStats,
+    /// What skew-adaptive rebalancing did and cost (all-zero when off).
+    pub rebalance: RebalanceStats,
+    /// End-to-end modeled seconds: every round's
+    /// [`RoundStats::pipelined_seconds`], summed. With the pipeline off
+    /// this is the plain serial sum of round totals.
     pub makespan_seconds: f64,
 }
 
@@ -208,21 +308,65 @@ impl FleetReport {
 
     /// Modeled host CPU seconds across all rounds.
     pub fn host_seconds(&self) -> f64 {
-        self.rounds.iter().map(|r| r.host_seconds).sum()
+        self.rounds.iter().map(|r| r.host_seconds()).sum()
+    }
+
+    /// Per-round throughput series: committed transactions per pipelined
+    /// second, round by round. This is what makes a rebalance break-even
+    /// visible — the rounds before a recut run at the skewed rate, the
+    /// migration round absorbs the transfer cost, and later rounds run at
+    /// the recovered rate.
+    pub fn round_throughput_series(&self) -> Vec<f64> {
+        self.rounds
+            .iter()
+            .map(|r| {
+                let s = r.pipelined_seconds();
+                if s == 0.0 {
+                    0.0
+                } else {
+                    r.commits as f64 / s
+                }
+            })
+            .collect()
+    }
+
+    /// Cumulative throughput after each round: commits so far over
+    /// pipelined seconds so far. The rebalance break-even round is the
+    /// first index where this series overtakes the static baseline's.
+    pub fn cumulative_throughput_series(&self) -> Vec<f64> {
+        let mut commits = 0u64;
+        let mut seconds = 0.0f64;
+        self.rounds
+            .iter()
+            .map(|r| {
+                commits += r.commits;
+                seconds += r.pipelined_seconds();
+                if seconds == 0.0 {
+                    0.0
+                } else {
+                    commits as f64 / seconds
+                }
+            })
+            .collect()
     }
 
     /// Rebuilds this run as an analytic [`MultiDpuPlan`] — one
     /// [`RoundPlan`] per measured round, with the measured per-round DPU
-    /// barrier time as the round's compute time and the measured byte
-    /// counts as its transfer sizes.
+    /// barrier time as the round's compute time, the measured byte counts
+    /// (migration bytes folded in, as documented on
+    /// [`RoundStats::bytes_to_dpus`]) as its transfer sizes, and the
+    /// round's overlap eligibility as [`RoundPlan::overlappable`].
     ///
     /// The plan's accounting differs from the fleet's in exactly one way:
-    /// the fleet issues **two** host→DPU bulk operations per round
-    /// (broadcast + scatter) where the plan charges one combined bulk
-    /// transfer, so the plan is cheaper by one
-    /// [`pim_sim::CpuTransferModel::bulk_overhead_s`] per round. The
-    /// cross-check test asserts agreement to exactly that documented
-    /// tolerance.
+    /// bulk-operation *count*. The fleet issues **two** host→DPU bulk
+    /// operations per round (broadcast + scatter) where the plan charges
+    /// one combined transfer, and each migration issues two more (its
+    /// gather + scatter) whose bytes the plan folds into adjacent rounds.
+    /// The plan is therefore cheaper by exactly
+    /// `(rounds + 2 · rebalances) ×`
+    /// [`pim_sim::CpuTransferModel::bulk_overhead_s`] in the serial case;
+    /// with the pipeline on, part of that gap may itself be hidden, so the
+    /// cross-check pins `0 ≤ makespan − analytic ≤` the same bound.
     pub fn analytic_plan(&self) -> MultiDpuPlan {
         let mut plan = MultiDpuPlan::new(self.n_dpus);
         for round in &self.rounds {
@@ -230,18 +374,26 @@ impl FleetReport {
                 dpu_compute_seconds: round.dpu_seconds,
                 bytes_to_dpus: round.bytes_to_dpus,
                 bytes_from_dpus: round.bytes_from_dpus,
-                cpu_merge_seconds: round.host_seconds,
+                cpu_route_seconds: round.host_route_seconds,
+                cpu_merge_seconds: round.host_merge_seconds,
+                overlappable: round.overlapped,
             });
         }
         plan
     }
 
     /// Executes [`FleetReport::analytic_plan`] against this run's own
-    /// transfer model and returns its end-to-end seconds. Differs from
-    /// [`FleetReport::makespan_seconds`] by exactly one bulk-transfer
-    /// overhead per round (see [`FleetReport::analytic_plan`]).
+    /// transfer model — pipelined when this run pipelined — and returns
+    /// its end-to-end seconds. See [`FleetReport::analytic_plan`] for the
+    /// exact divergence from [`FleetReport::makespan_seconds`].
     pub fn analytic_total_seconds(&self) -> f64 {
-        self.analytic_plan().execute(self.ledger.transfer_model()).total_seconds()
+        let plan = self.analytic_plan();
+        let model = self.ledger.transfer_model();
+        if self.pipeline.enabled {
+            plan.execute_pipelined(model).total_seconds()
+        } else {
+            plan.execute(model).total_seconds()
+        }
     }
 }
 
@@ -284,8 +436,103 @@ mod tests {
     #[test]
     fn empty_fleet_degenerates_gracefully() {
         let imb = Imbalance::from_shards(&[]);
-        assert_eq!(imb.max_over_mean_commits, 1.0);
+        assert_eq!(imb, Imbalance::zero());
+        assert_eq!(imb.max_over_mean_commits, 0.0);
         assert_eq!(imb.cv_commits, 0.0);
         assert_eq!(imb.hottest_commit_share, 0.0);
+    }
+
+    #[test]
+    fn commitless_fleet_reports_zero_imbalance() {
+        // An all-reject round stream: shards were busy but nothing
+        // committed. No load signal → the zero summary, not a 0/0 ratio.
+        let shards = [
+            ShardStats {
+                shard: 0,
+                keys: 10,
+                dispatched: 40,
+                commits: 0,
+                aborts: 40,
+                rejected: 40,
+                busy_cycles: 5000,
+            },
+            ShardStats {
+                shard: 1,
+                keys: 10,
+                dispatched: 10,
+                commits: 0,
+                aborts: 10,
+                rejected: 10,
+                busy_cycles: 800,
+            },
+        ];
+        assert_eq!(Imbalance::from_shards(&shards), Imbalance::zero());
+    }
+
+    fn round(round: usize, commits: u64, dpu: f64, hidden: f64) -> RoundStats {
+        RoundStats {
+            round,
+            dispatched_subtxns: commits,
+            active_shards: 2,
+            commits,
+            rejected: 0,
+            broadcast_seconds: 0.001,
+            scatter_seconds: 0.004,
+            dpu_seconds: dpu,
+            dpu_mean_seconds: dpu,
+            gather_seconds: 0.002,
+            host_route_seconds: 0.003,
+            host_merge_seconds: 0.001,
+            bytes_to_dpus: 100,
+            bytes_from_dpus: 64,
+            migrated_keys: 0,
+            migration_seconds: 0.0,
+            overlapped: hidden > 0.0,
+            hidden_seconds: hidden,
+        }
+    }
+
+    #[test]
+    fn round_stats_split_pre_and_post_work() {
+        let r = round(1, 10, 0.5, 0.008);
+        assert!((r.pre_seconds() - 0.008).abs() < 1e-15);
+        assert!((r.post_seconds() - 0.003).abs() < 1e-15);
+        assert!((r.host_seconds() - 0.004).abs() < 1e-15);
+        assert!((r.total_seconds() - (0.008 + 0.5 + 0.003)).abs() < 1e-15);
+        // Fully hidden pre-work leaves compute + post on the critical path.
+        assert!((r.pipelined_seconds() - (0.5 + 0.003)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn throughput_series_expose_the_per_round_rate() {
+        let rounds = vec![round(0, 10, 1.0, 0.0), round(1, 30, 1.0, 0.008)];
+        let report = FleetReport {
+            n_dpus: 2,
+            tasklets: 1,
+            routing: RoutingPolicy::AbortAndRetry,
+            global_txns: 40,
+            dispatched_subtxns: 40,
+            total_commits: 40,
+            total_aborts: 0,
+            total_rejected: 0,
+            total_increments: 40,
+            fingerprint: 0,
+            rounds,
+            shards: Vec::new(),
+            imbalance: Imbalance::zero(),
+            profile: ExecProfile::new(pim_stm::profile::TimeDomain::Cycles),
+            ledger: TransferLedger::new(pim_sim::CpuTransferModel::default()),
+            pipeline: PipelineStats::default(),
+            rebalance: RebalanceStats::default(),
+            makespan_seconds: 2.0,
+        };
+        let per_round = report.round_throughput_series();
+        assert_eq!(per_round.len(), 2);
+        assert!((per_round[0] - 10.0 / report.rounds[0].pipelined_seconds()).abs() < 1e-9);
+        assert!(per_round[1] > per_round[0], "round 1 commits more in less time");
+        let cumulative = report.cumulative_throughput_series();
+        let total: f64 = report.rounds.iter().map(|r| r.pipelined_seconds()).sum();
+        assert!((cumulative[1] - 40.0 / total).abs() < 1e-9);
+        assert!(cumulative[1] > cumulative[0]);
     }
 }

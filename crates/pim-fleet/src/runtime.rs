@@ -16,22 +16,35 @@
 //!    does), `gather`s the per-shard summaries, and pays the modeled host
 //!    routing/merge cost. Probe rejections re-enter the stream as split
 //!    sub-transactions in the *next* round.
-//! 3. **Report** — per-shard stats, per-round stats, the merged
-//!    cycle-domain [`pim_stm::ExecProfile`], the transfer ledger and the
-//!    partition-invariant fingerprint land in one [`FleetReport`].
+//! 3. **Rebalance (optional)** — with a [`RebalancePolicy`] other than
+//!    `Off`, the host tracks the dispatched key stream and recuts the
+//!    range partition between rounds; moved key ranges are paid for as
+//!    real `gather` + `scatter` bytes through the ledger, and deferred
+//!    sub-transactions are re-routed under the new map.
+//! 4. **Pipeline (optional)** — with [`FleetConfig::overlap`] the host
+//!    routes and scatters round *k+1* while round *k*'s shards compute.
+//!    Execution order never changes; only the *cost model* does: an
+//!    overlap-eligible round's pre-work (broadcast + scatter + routing)
+//!    is hidden up to the previous round's compute time.
+//! 5. **Report** — per-shard stats, per-round stats, the merged
+//!    cycle-domain [`pim_stm::ExecProfile`], the transfer ledger,
+//!    pipeline/rebalance panels and the partition-invariant fingerprint
+//!    land in one [`FleetReport`].
 //!
 //! Determinism: shard simulators are deterministic, the stream is seeded,
 //! and all host costs are modeled (never measured) — so the report is
 //! bit-identical regardless of `host_workers` and of the machine it runs
 //! on. The worker threads only decide *wall-clock* speed of the
-//! simulation itself.
+//! simulation itself. Rebalancing keeps this property because its trigger
+//! reads only the dispatch-order key window, and pipelining keeps it
+//! because hiding is pure arithmetic over modeled costs.
 
 use std::collections::VecDeque;
 
 use pim_sim::{CpuTransferModel, Dpu, DpuConfig, Scheduler, TaskletProgram};
 use pim_stm::profile::TimeDomain;
 use pim_stm::{
-    algorithm_for, AbortReason, ExecProfile, MetadataPlacement, StmConfig, StmKind, StmShared,
+    algorithm_for, var, AbortReason, ExecProfile, MetadataPlacement, StmConfig, StmKind, StmShared,
     TxSlot,
 };
 use pim_workloads::sharded::{
@@ -40,7 +53,10 @@ use pim_workloads::sharded::{
 use pim_workloads::{RoutingPolicy, ShardMap, ShardedWorkloadConfig, TxMachine};
 
 use crate::host::{HostCostModel, TransferLedger};
-use crate::report::{FleetReport, Imbalance, RoundStats, ShardStats};
+use crate::rebalance::{RebalancePolicy, Rebalancer};
+use crate::report::{
+    FleetReport, Imbalance, PipelineStats, RebalanceStats, RoundStats, ShardStats,
+};
 
 /// Bytes of the per-round control block the host broadcasts to every DPU
 /// (round number, batch length, flags).
@@ -49,6 +65,10 @@ pub const ROUND_DESCRIPTOR_BYTES: u64 = 64;
 /// Bytes of the per-shard result summary the host gathers after each round
 /// (commits, aborts, rejections, checksum).
 pub const GATHER_SUMMARY_BYTES: u64 = 32;
+
+/// Bytes a migrated key costs in **each** direction (its 8-byte counter
+/// word): gathered from the old owner, scattered to the new owner.
+pub const MIGRATION_BYTES_PER_KEY: u64 = 8;
 
 /// Everything that defines one fleet run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -78,6 +98,13 @@ pub struct FleetConfig {
     /// Host worker threads simulating shards in parallel; `0` = one per
     /// available core. Affects wall-clock speed only, never results.
     pub host_workers: usize,
+    /// When to recut the range partition between rounds (default `Off` —
+    /// the static partition of every previous fleet).
+    pub rebalance: RebalancePolicy,
+    /// Double-buffered round pipeline: model round *k+1*'s pre-work as
+    /// overlapping round *k*'s compute (default `false` — the serial
+    /// round structure of every previous fleet).
+    pub overlap: bool,
 }
 
 impl FleetConfig {
@@ -97,6 +124,8 @@ impl FleetConfig {
             transfer: CpuTransferModel::default(),
             host: HostCostModel::default(),
             host_workers: 0,
+            rebalance: RebalancePolicy::Off,
+            overlap: false,
         }
     }
 
@@ -109,6 +138,18 @@ impl FleetConfig {
     /// Replaces the stream seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Replaces the rebalance policy.
+    pub fn with_rebalance(mut self, rebalance: RebalancePolicy) -> Self {
+        self.rebalance = rebalance;
+        self
+    }
+
+    /// Enables or disables the double-buffered round pipeline.
+    pub fn with_overlap(mut self, overlap: bool) -> Self {
+        self.overlap = overlap;
         self
     }
 
@@ -235,6 +276,98 @@ impl ShardState {
     }
 }
 
+/// Applies a recut: rebuilds every shard whose slice changed (counter
+/// values move with their keys; the shard's cumulative accumulators are
+/// carried over) and returns `(moved_keys, gather_bytes, scatter_bytes)` —
+/// the per-shard byte vectors the caller charges through the ledger
+/// ([`MIGRATION_BYTES_PER_KEY`] per moved key in each direction).
+fn migrate(
+    config: &FleetConfig,
+    shards: &mut [ShardState],
+    old: &ShardMap,
+    new: &ShardMap,
+) -> (u64, Vec<u64>, Vec<u64>) {
+    let mut moved = 0u64;
+    let mut gather_bytes = vec![0u64; shards.len()];
+    let mut scatter_bytes = vec![0u64; shards.len()];
+    for key in 0..old.total_keys() {
+        let from = old.owner(key);
+        let to = new.owner(key);
+        if from != to {
+            moved += 1;
+            gather_bytes[from as usize] += MIGRATION_BYTES_PER_KEY;
+            scatter_bytes[to as usize] += MIGRATION_BYTES_PER_KEY;
+        }
+    }
+    // Snapshot every counter host-side, then rebuild the shards whose
+    // slice changed and replay the values into the new owners.
+    let mut counters = vec![0u64; old.total_keys() as usize];
+    for (s, state) in shards.iter().enumerate() {
+        let s = s as u32;
+        for key in old.base(s)..old.base(s) + old.span(s) {
+            counters[key as usize] = var::peek_var(&state.dpu, state.data.counter(key));
+        }
+    }
+    for (s, state) in shards.iter_mut().enumerate() {
+        let s_id = s as u32;
+        if new.base(s_id) == old.base(s_id) && new.span(s_id) == old.span(s_id) {
+            continue;
+        }
+        let mut fresh = ShardState::new(config, new.base(s_id), new.span(s_id));
+        fresh.profile = state.profile;
+        fresh.dispatched = state.dispatched;
+        fresh.commits = state.commits;
+        fresh.aborts = state.aborts;
+        fresh.rejected = state.rejected;
+        fresh.busy_cycles = state.busy_cycles;
+        for key in new.base(s_id)..new.base(s_id) + new.span(s_id) {
+            var::poke_var(&mut fresh.dpu, fresh.data.counter(key), counters[key as usize]);
+        }
+        *state = fresh;
+    }
+    (moved, gather_bytes, scatter_bytes)
+}
+
+/// Re-splits deferred sub-transactions under a recut map: each deferred
+/// `ShardTx` was split by the old owners, so its keys may now live on
+/// different shards. Emits per-new-owner parts (ascending shard order per
+/// origin, preserving the deferred order otherwise) — pure function of
+/// its inputs, so determinism is preserved.
+fn reroute(deferred: Vec<(u32, ShardTx)>, map: &ShardMap) -> Vec<(u32, ShardTx)> {
+    let mut out: Vec<(u32, ShardTx)> = Vec::new();
+    for (_, tx) in deferred {
+        let mut parts: Vec<(u32, ShardTx)> = Vec::new();
+        let part = |parts: &mut Vec<(u32, ShardTx)>, shard: u32| -> usize {
+            match parts.iter().position(|(s, _)| *s == shard) {
+                Some(i) => i,
+                None => {
+                    parts.push((
+                        shard,
+                        ShardTx {
+                            origin: tx.origin,
+                            reads: Vec::new(),
+                            updates: Vec::new(),
+                            probe: tx.probe,
+                        },
+                    ));
+                    parts.len() - 1
+                }
+            }
+        };
+        for &key in &tx.reads {
+            let i = part(&mut parts, map.owner(key));
+            parts[i].1.reads.push(key);
+        }
+        for &key in &tx.updates {
+            let i = part(&mut parts, map.owner(key));
+            parts[i].1.updates.push(key);
+        }
+        parts.sort_by_key(|(s, _)| *s);
+        out.extend(parts);
+    }
+    out
+}
+
 /// Runs the fleet to completion and returns its report.
 ///
 /// # Panics
@@ -245,7 +378,7 @@ impl ShardState {
 /// configuration bugs, not runtime conditions.
 pub fn run(config: &FleetConfig) -> FleetReport {
     config.validate();
-    let map = ShardMap::new(config.workload.total_keys, config.n_dpus as u32);
+    let mut map = ShardMap::new(config.workload.total_keys, config.n_dpus as u32);
     let stream = generate_stream(&config.workload, config.seed);
     let global_txns = stream.len() as u64;
     let mut pending: VecDeque<_> = stream.into();
@@ -253,9 +386,18 @@ pub fn run(config: &FleetConfig) -> FleetReport {
         .map(|s| ShardState::new(config, map.base(s), map.span(s)))
         .collect();
     let mut ledger = TransferLedger::new(config.transfer);
+    let mut rebalancer = Rebalancer::new(config.rebalance, config.workload.total_keys);
+    let mut rebalance_stats =
+        RebalanceStats { policy: config.rebalance, ..RebalanceStats::default() };
     let mut deferred: Vec<(u32, ShardTx)> = Vec::new();
     let mut rounds: Vec<RoundStats> = Vec::new();
     let mut makespan = 0.0f64;
+    // Migration scatter bytes from the previous round boundary: the recut
+    // state arrives with the next round's inputs, so the byte count is
+    // attributed there (the ledger charged it at migration time).
+    let mut carry_to_dpus = 0u64;
+    let mut migrated_last_boundary = false;
+    let mut prev_dpu_seconds = 0.0f64;
     let workers = if config.host_workers == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     } else {
@@ -263,7 +405,13 @@ pub fn run(config: &FleetConfig) -> FleetReport {
     };
 
     while !pending.is_empty() || !deferred.is_empty() {
+        // Migration scatter bytes from the previous boundary belong to
+        // this round's host→DPU byte count.
+        let carry_in = carry_to_dpus;
+        carry_to_dpus = 0;
+
         // --- Host dispatch: deferred re-dispatches first, then the stream.
+        let deferred_in = deferred.len() as u64;
         let mut batches: Vec<Vec<ShardTx>> = (0..config.n_dpus).map(|_| Vec::new()).collect();
         let mut dispatched = 0u64;
         for (shard, tx) in deferred.drain(..) {
@@ -273,6 +421,7 @@ pub fn run(config: &FleetConfig) -> FleetReport {
         let mut next_deferred = Vec::new();
         for _ in 0..config.txns_per_round.min(pending.len()) {
             let tx = pending.pop_front().expect("bounded by pending.len()");
+            rebalancer.note(&tx);
             let routed = route(&tx, &map, config.routing);
             for (shard, sub) in routed.now {
                 dispatched += 1;
@@ -287,6 +436,17 @@ pub fn run(config: &FleetConfig) -> FleetReport {
             batches.iter().map(|b| b.iter().map(ShardTx::wire_bytes).sum()).collect();
         let scatter_seconds = ledger.scatter(&scatter_bytes);
         let active: Vec<bool> = batches.iter().map(|b| !b.is_empty()).collect();
+        let host_route_seconds = config.host.route_seconds(dispatched);
+
+        // --- Pipeline eligibility: this round's pre-work can overlap the
+        // previous round's compute only if routing it needed nothing from
+        // that round — no deferred re-dispatches (discovered *during* the
+        // previous compute) and no migration at the previous boundary
+        // (the recut state is only available after that compute).
+        let overlapped =
+            config.overlap && !rounds.is_empty() && deferred_in == 0 && !migrated_last_boundary;
+        let pre_seconds = broadcast_seconds + scatter_seconds + host_route_seconds;
+        let hidden_seconds = if overlapped { pre_seconds.min(prev_dpu_seconds) } else { 0.0 };
 
         // --- Barrier: run every active shard, in parallel host workers.
         let mut work: Vec<(&mut ShardState, Vec<ShardTx>)> =
@@ -326,7 +486,30 @@ pub fn run(config: &FleetConfig) -> FleetReport {
         let gather_bytes: Vec<u64> =
             active.iter().map(|&a| if a { GATHER_SUMMARY_BYTES } else { 0 }).collect();
         let gather_seconds = ledger.gather(&gather_bytes);
-        let host_seconds = config.host.round_seconds(dispatched, active_shards);
+        let host_merge_seconds = config.host.merge_seconds(active_shards);
+
+        // --- Rebalance boundary: recut the partition if the policy fires
+        // (trigger data is dispatch-side only, so this stays deterministic)
+        // and there is future work to amortize the migration.
+        let more_work = !pending.is_empty() || !next_deferred.is_empty();
+        let mut migrated_keys = 0u64;
+        let mut migration_seconds = 0.0f64;
+        let mut migration_from_dpus = 0u64;
+        migrated_last_boundary = false;
+        if let Some(new_map) = rebalancer.plan(&map, more_work) {
+            let (moved, from_bytes, to_bytes) = migrate(config, &mut shards, &map, &new_map);
+            migrated_keys = moved;
+            migration_from_dpus = from_bytes.iter().sum();
+            carry_to_dpus = to_bytes.iter().sum();
+            migration_seconds = ledger.gather(&from_bytes) + ledger.scatter(&to_bytes);
+            next_deferred = reroute(next_deferred, &new_map);
+            map = new_map;
+            rebalance_stats.rebalances += 1;
+            rebalance_stats.migrated_keys += migrated_keys;
+            rebalance_stats.migration_bytes += migration_from_dpus + carry_to_dpus;
+            rebalance_stats.migration_seconds += migration_seconds;
+            migrated_last_boundary = true;
+        }
 
         let stats = RoundStats {
             round: rounds.len(),
@@ -339,13 +522,19 @@ pub fn run(config: &FleetConfig) -> FleetReport {
             dpu_seconds,
             dpu_mean_seconds,
             gather_seconds,
-            host_seconds,
-            bytes_to_dpus: ROUND_DESCRIPTOR_BYTES + scatter_bytes.iter().sum::<u64>(),
-            bytes_from_dpus: gather_bytes.iter().sum(),
+            host_route_seconds,
+            host_merge_seconds,
+            bytes_to_dpus: ROUND_DESCRIPTOR_BYTES + scatter_bytes.iter().sum::<u64>() + carry_in,
+            bytes_from_dpus: gather_bytes.iter().sum::<u64>() + migration_from_dpus,
+            migrated_keys,
+            migration_seconds,
+            overlapped,
+            hidden_seconds,
         };
-        makespan += stats.total_seconds();
+        makespan += stats.pipelined_seconds();
         rounds.push(stats);
         deferred = next_deferred;
+        prev_dpu_seconds = dpu_seconds;
     }
 
     // --- Fold the fleet report.
@@ -357,6 +546,15 @@ pub fn run(config: &FleetConfig) -> FleetReport {
     let profile = ExecProfile::merged(shards.iter().map(|s| &s.profile))
         .unwrap_or_else(|| ExecProfile::new(TimeDomain::Cycles));
     let imbalance = Imbalance::from_shards(&shard_stats);
+    let hidden_total: f64 = rounds.iter().map(|r| r.hidden_seconds).sum();
+    let overlapped_rounds = rounds.iter().filter(|r| r.overlapped).count() as u64;
+    let pipeline = PipelineStats {
+        enabled: config.overlap,
+        overlapped_rounds,
+        stalled_rounds: rounds.len() as u64 - overlapped_rounds,
+        hidden_seconds: hidden_total,
+        exposed_pre_seconds: rounds.iter().map(RoundStats::pre_seconds).sum::<f64>() - hidden_total,
+    };
 
     FleetReport {
         n_dpus: config.n_dpus,
@@ -374,6 +572,8 @@ pub fn run(config: &FleetConfig) -> FleetReport {
         imbalance,
         profile,
         ledger,
+        pipeline,
+        rebalance: rebalance_stats,
         makespan_seconds: makespan,
     }
 }
@@ -411,6 +611,62 @@ mod tests {
         let serial = run(&FleetConfig { host_workers: 1, ..base });
         let parallel = run(&FleetConfig { host_workers: 4, ..base });
         assert_eq!(serial, parallel, "host workers must not affect results");
+        // The same holds with both new mechanisms switched on.
+        let tuned = FleetConfig::new(8, small_workload().with_dist(KeyDist::Zipf { theta: 1.2 }))
+            .with_rebalance(RebalancePolicy::Threshold { max_over_mean: 1.25 })
+            .with_overlap(true);
+        let serial = run(&FleetConfig { host_workers: 1, ..tuned });
+        let parallel = run(&FleetConfig { host_workers: 4, ..tuned });
+        assert_eq!(serial, parallel, "rebalance + overlap must stay deterministic");
+    }
+
+    #[test]
+    fn rebalancing_pays_for_itself_and_preserves_results() {
+        let workload = small_workload().with_dist(KeyDist::Zipf { theta: 1.2 });
+        let static_run = run(&FleetConfig::new(8, workload));
+        let adaptive = run(&FleetConfig::new(8, workload)
+            .with_rebalance(RebalancePolicy::Threshold { max_over_mean: 1.25 }));
+        assert!(adaptive.rebalance.rebalances > 0, "skewed stream must trigger a recut");
+        assert!(adaptive.rebalance.migrated_keys > 0);
+        assert_eq!(
+            adaptive.rebalance.migration_bytes,
+            2 * MIGRATION_BYTES_PER_KEY * adaptive.rebalance.migrated_keys
+        );
+        // Results are partition-invariant: same fingerprint and increments.
+        assert_eq!(adaptive.fingerprint, static_run.fingerprint);
+        assert_eq!(adaptive.total_increments, static_run.total_increments);
+        // The recut spreads later rounds' load off the head shard.
+        assert!(
+            adaptive.imbalance.max_over_mean_busy < static_run.imbalance.max_over_mean_busy,
+            "recut must flatten busy-cycle imbalance ({} vs {})",
+            adaptive.imbalance.max_over_mean_busy,
+            static_run.imbalance.max_over_mean_busy
+        );
+    }
+
+    #[test]
+    fn overlap_changes_only_the_cost_accounting() {
+        let base = FleetConfig::new(8, small_workload());
+        let serial = run(&base);
+        let pipelined = run(&base.with_overlap(true));
+        assert!(pipelined.pipeline.enabled);
+        assert!(!serial.pipeline.enabled);
+        assert_eq!(serial.pipeline.hidden_seconds, 0.0);
+        assert!(pipelined.pipeline.hidden_seconds > 0.0, "some pre-work must hide");
+        assert!(pipelined.pipeline.overlapped_rounds > 0);
+        assert!(pipelined.makespan_seconds < serial.makespan_seconds);
+        assert!(
+            (serial.makespan_seconds
+                - pipelined.makespan_seconds
+                - pipelined.pipeline.hidden_seconds)
+                .abs()
+                < 1e-12,
+            "makespan shrinks by exactly the hidden seconds"
+        );
+        // Execution results are untouched: only the cost model changed.
+        assert_eq!(pipelined.fingerprint, serial.fingerprint);
+        assert_eq!(pipelined.total_commits, serial.total_commits);
+        assert_eq!(pipelined.ledger, serial.ledger);
     }
 
     #[test]

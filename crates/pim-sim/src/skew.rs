@@ -124,6 +124,12 @@ impl KeySampler {
         self.keys
     }
 
+    /// The precomputed normalised CDF (`cdf[r]` = P(rank <= r)); empty on
+    /// the uniform fast path. Exposed so tests can check monotonicity.
+    pub fn cdf(&self) -> &[f64] {
+        &self.cdf
+    }
+
     /// Draws one key in `0..keys`, consuming one `next_f64`.
     pub fn sample(&self, rng: &mut SimRng) -> u64 {
         let u = rng.next_f64();
@@ -134,6 +140,18 @@ impl KeySampler {
             // First rank whose cumulative probability reaches `u`.
             self.cdf.partition_point(|&p| p < u).min(self.cdf.len() - 1) as u64
         }
+    }
+
+    /// Draws one key with the rank→key mapping rotated by `offset`
+    /// (modulo the keyspace), consuming exactly one `next_f64` — the same
+    /// draw discipline as [`KeySampler::sample`], so shifted and unshifted
+    /// streams stay in lockstep on the same [`SimRng`].
+    ///
+    /// A phase-changing workload uses this to move the hot ranks to a
+    /// different region of the keyspace mid-stream: with `offset = 0` the
+    /// result is identical to `sample`.
+    pub fn sample_shifted(&self, rng: &mut SimRng, offset: u64) -> u64 {
+        (self.sample(rng) + offset % self.keys) % self.keys
     }
 }
 
@@ -201,5 +219,23 @@ mod tests {
     #[should_panic(expected = "non-empty keyspace")]
     fn empty_keyspace_is_rejected() {
         let _ = KeySampler::new(KeyDist::Uniform, 0);
+    }
+
+    #[test]
+    fn shifted_sampling_rotates_the_keyspace() {
+        let sampler = KeySampler::new(KeyDist::Zipf { theta: 1.2 }, 64);
+        let mut a = SimRng::new(5);
+        let mut b = SimRng::new(5);
+        for _ in 0..500 {
+            let plain = sampler.sample(&mut a);
+            let shifted = sampler.sample_shifted(&mut b, 16);
+            assert_eq!(shifted, (plain + 16) % 64, "shift is a pure rotation of the same draw");
+            assert!(shifted < 64);
+        }
+        // Offset 0 degenerates to plain sampling, even past the keyspace.
+        let mut c = SimRng::new(5);
+        let mut d = SimRng::new(5);
+        assert_eq!(sampler.sample_shifted(&mut c, 0), sampler.sample(&mut d));
+        assert_eq!(sampler.sample_shifted(&mut c, 64), sampler.sample(&mut d));
     }
 }

@@ -55,6 +55,12 @@ pub struct ShardedWorkloadConfig {
     pub updates_per_tx: u32,
     /// Popularity distribution the keys are drawn from.
     pub dist: KeyDist,
+    /// Phases the stream is cut into (>= 1). Phase `p` rotates the
+    /// rank→key mapping by `p * total_keys / phases`, so under a skewed
+    /// distribution the hot keys *move* to a different keyspace region at
+    /// each phase change — the moving target adaptive rebalancing chases.
+    /// `1` (the default) is the classic stationary stream.
+    pub phases: u32,
 }
 
 impl ShardedWorkloadConfig {
@@ -67,12 +73,20 @@ impl ShardedWorkloadConfig {
             reads_per_tx: 2,
             updates_per_tx: 2,
             dist: KeyDist::Uniform,
+            phases: 1,
         }
     }
 
     /// Replaces the key-popularity distribution.
     pub fn with_dist(mut self, dist: KeyDist) -> Self {
         self.dist = dist;
+        self
+    }
+
+    /// Replaces the phase count (must be >= 1).
+    pub fn with_phases(mut self, phases: u32) -> Self {
+        assert!(phases >= 1, "a stream has at least one phase");
+        self.phases = phases;
         self
     }
 
@@ -96,13 +110,21 @@ pub struct GlobalTx {
 
 /// Generates the seeded global stream. One [`SimRng`] draw per key, in
 /// transaction order — independent of shard count, round size and host
-/// thread count.
+/// thread count. With `phases > 1` the stream is cut into equal
+/// contiguous segments and phase `p` rotates every drawn key by
+/// `p * total_keys / phases` ([`KeySampler::sample_shifted`]), keeping
+/// the draw discipline (and therefore phase-count-independent prefixes
+/// within a phase) intact.
 pub fn generate_stream(config: &ShardedWorkloadConfig, seed: u64) -> Vec<GlobalTx> {
     let sampler = KeySampler::new(config.dist, u64::from(config.total_keys));
     let mut rng = SimRng::new(seed);
+    let phases = config.phases.max(1);
+    let phase_shift = u64::from(config.total_keys / phases);
     (0..config.total_txns)
         .map(|id| {
-            let mut draw = || sampler.sample(&mut rng) as u32;
+            let phase = u64::from(id) * u64::from(phases) / u64::from(config.total_txns.max(1));
+            let offset = phase * phase_shift;
+            let mut draw = || sampler.sample_shifted(&mut rng, offset) as u32;
             let reads = (0..config.reads_per_tx).map(|_| draw()).collect();
             let updates = (0..config.updates_per_tx).map(|_| draw()).collect();
             GlobalTx { id, reads, updates }
@@ -110,13 +132,19 @@ pub fn generate_stream(config: &ShardedWorkloadConfig, seed: u64) -> Vec<GlobalT
         .collect()
 }
 
-/// The contiguous range partition of `0..total_keys` over `shards` DPUs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The contiguous range partition of `0..total_keys` over N shards, as a
+/// mutable boundary map: `bounds[s]` is the first global key shard `s`
+/// owns, so shard `s` owns `bounds[s]..bounds[s+1]` (the last shard runs
+/// to `total_keys`). The equal-stride constructor reproduces the classic
+/// static partition; [`ShardMap::rebalanced`] recuts the boundaries from
+/// measured per-key load, which is what skew-adaptive rebalancing swaps
+/// in between fleet rounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardMap {
     total_keys: u32,
-    shards: u32,
-    /// Keys per shard (last shard may own fewer).
-    stride: u32,
+    /// `bounds[s]` = first key of shard `s`; ascending, `bounds[0] == 0`,
+    /// every entry `<= total_keys` (a shard may own an empty range).
+    bounds: Vec<u32>,
 }
 
 impl ShardMap {
@@ -131,12 +159,29 @@ impl ShardMap {
         assert!(total_keys > 0, "shard map needs a non-empty keyspace");
         assert!(shards > 0, "shard map needs at least one shard");
         let stride = total_keys.div_ceil(shards);
-        ShardMap { total_keys, shards, stride }
+        let bounds = (0..shards).map(|s| (s * stride).min(total_keys)).collect();
+        ShardMap { total_keys, bounds }
+    }
+
+    /// Builds a map from explicit boundaries (`bounds[s]` = first key of
+    /// shard `s`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bounds` is non-empty, starts at 0, is
+    /// non-decreasing, and stays within the keyspace.
+    pub fn with_bounds(total_keys: u32, bounds: Vec<u32>) -> Self {
+        assert!(total_keys > 0, "shard map needs a non-empty keyspace");
+        assert!(!bounds.is_empty(), "shard map needs at least one shard");
+        assert_eq!(bounds[0], 0, "the first shard must start at key 0");
+        assert!(bounds.windows(2).all(|w| w[0] <= w[1]), "boundaries must be non-decreasing");
+        assert!(*bounds.last().expect("non-empty") <= total_keys, "boundaries exceed the keyspace");
+        ShardMap { total_keys, bounds }
     }
 
     /// Number of shards.
     pub fn shards(&self) -> u32 {
-        self.shards
+        self.bounds.len() as u32
     }
 
     /// Size of the global keyspace.
@@ -144,22 +189,63 @@ impl ShardMap {
         self.total_keys
     }
 
+    /// The shard boundaries (`bounds[s]` = first key of shard `s`).
+    pub fn bounds(&self) -> &[u32] {
+        &self.bounds
+    }
+
     /// The shard owning `key`.
     pub fn owner(&self, key: u32) -> u32 {
         debug_assert!(key < self.total_keys);
-        (key / self.stride).min(self.shards - 1)
+        // Last boundary at or below `key`; bounds[0] == 0 guarantees one.
+        self.bounds.partition_point(|&b| b <= key) as u32 - 1
     }
 
     /// First global key of `shard`'s range.
     pub fn base(&self, shard: u32) -> u32 {
-        (shard * self.stride).min(self.total_keys)
+        self.bounds[shard as usize]
     }
 
     /// Number of keys `shard` owns (zero is possible when there are more
     /// shards than keys).
     pub fn span(&self, shard: u32) -> u32 {
-        let base = self.base(shard);
-        (base + self.stride).min(self.total_keys) - base
+        let next = self.bounds.get(shard as usize + 1).copied().unwrap_or(self.total_keys);
+        next - self.base(shard)
+    }
+
+    /// Recuts the boundaries so each shard carries an (approximately)
+    /// equal share of `key_load` — measured touches per global key. Each
+    /// key is weighted `load + 1`, so unreferenced regions still spread
+    /// across shards instead of collapsing onto one; a single key hotter
+    /// than a whole fair share still caps the cut at key granularity
+    /// (keys are never split). The result has the same shard count and is
+    /// fully determined by the inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `key_load` covers the keyspace exactly.
+    pub fn rebalanced(&self, key_load: &[u64]) -> ShardMap {
+        assert_eq!(key_load.len(), self.total_keys as usize, "one load entry per key");
+        let shards = self.shards() as u128;
+        let total: u128 = key_load.iter().map(|&l| u128::from(l) + 1).sum();
+        let mut bounds = Vec::with_capacity(self.bounds.len());
+        bounds.push(0u32);
+        let mut prefix: u128 = 0;
+        let mut next = 1u128;
+        for (key, &load) in key_load.iter().enumerate() {
+            prefix += u128::from(load) + 1;
+            // Cut shard `next` as soon as the prefix reaches its target
+            // share `next * total / shards`; a very hot key may cross
+            // several targets at once, leaving empty shards behind it.
+            while next < shards && prefix * shards >= next * total {
+                bounds.push(key as u32 + 1);
+                next += 1;
+            }
+        }
+        while (bounds.len() as u128) < shards {
+            bounds.push(self.total_keys);
+        }
+        ShardMap { total_keys: self.total_keys, bounds }
     }
 }
 
@@ -555,6 +641,65 @@ mod tests {
         // More shards than keys: trailing shards own zero keys.
         let tiny = ShardMap::new(3, 8);
         assert_eq!((0..8).map(|s| tiny.span(s)).sum::<u32>(), 3);
+    }
+
+    #[test]
+    fn rebalancing_recuts_boundaries_toward_the_load() {
+        let map = ShardMap::new(100, 4);
+        // All load on keys 0..10: the hot decile spreads over the shards
+        // and the cold tail compresses.
+        let mut load = vec![0u64; 100];
+        for entry in load.iter_mut().take(10) {
+            *entry = 1000;
+        }
+        let hot = map.rebalanced(&load);
+        assert_eq!(hot.shards(), 4);
+        assert_eq!(hot.total_keys(), 100);
+        // Every shard still owns a contiguous range covering the keyspace.
+        assert_eq!((0..4).map(|s| hot.span(s)).sum::<u32>(), 100);
+        for s in 0..4 {
+            for k in hot.base(s)..hot.base(s) + hot.span(s) {
+                assert_eq!(hot.owner(k), s);
+            }
+        }
+        // The hot region no longer sits on one shard: shard 0 shrank from
+        // 25 keys to a handful, and per-shard load is near-balanced.
+        assert!(hot.span(0) < 10, "hot shard must shrink (span {})", hot.span(0));
+        let shard_load = |m: &ShardMap, s: u32| -> u64 {
+            (m.base(s)..m.base(s) + m.span(s)).map(|k| load[k as usize]).sum()
+        };
+        let max_hot = (0..4).map(|s| shard_load(&hot, s)).max().unwrap();
+        let max_static = (0..4).map(|s| shard_load(&map, s)).max().unwrap();
+        assert!(max_hot * 2 < max_static, "rebalance must split the hot range");
+        // Uniform load reproduces a near-equal partition.
+        let flat = map.rebalanced(&vec![5u64; 100]);
+        assert!((0..4).all(|s| flat.span(s) == 25));
+        // Explicit bounds round-trip and bad bounds are rejected.
+        let explicit = ShardMap::with_bounds(100, hot.bounds().to_vec());
+        assert_eq!(explicit, hot);
+        assert!(std::panic::catch_unwind(|| ShardMap::with_bounds(100, vec![1, 50])).is_err());
+        assert!(std::panic::catch_unwind(|| ShardMap::with_bounds(100, vec![0, 60, 40])).is_err());
+    }
+
+    #[test]
+    fn phased_streams_move_the_hot_region_and_stay_deterministic() {
+        let base = ShardedWorkloadConfig::new(1024, 400).with_dist(KeyDist::Zipf { theta: 1.2 });
+        let stationary = generate_stream(&base, 7);
+        let phased = generate_stream(&base.with_phases(2), 7);
+        assert_eq!(phased.len(), stationary.len());
+        // Phase 0 is untouched; phase 1 rotates every key by half the
+        // keyspace (same underlying draws).
+        for (a, b) in stationary.iter().zip(&phased) {
+            let keys = |t: &GlobalTx| t.reads.iter().chain(&t.updates).copied().collect::<Vec<_>>();
+            if b.id < 200 {
+                assert_eq!(keys(a), keys(b), "phase 0 must match the stationary stream");
+            } else {
+                let rotated: Vec<u32> = keys(a).iter().map(|&k| (k + 512) % 1024).collect();
+                assert_eq!(keys(b), rotated, "phase 1 is the rotated mapping");
+            }
+        }
+        assert_eq!(generate_stream(&base.with_phases(2), 7), phased, "seeded and reproducible");
+        assert_eq!(generate_stream(&base.with_phases(1), 7), stationary);
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! Property tests over `pim_sim::skew::KeySampler`, the skewed key-stream
+//! source behind every sharded fleet workload: its precomputed CDF must be
+//! a valid distribution function, every draw must land in the keyspace at
+//! both ends of the skew range, and each draw must consume exactly one
+//! uniform variate regardless of the keyspace size — the property that
+//! keeps fleet streams reproducible across shard counts.
+
+use proptest::prelude::*;
+
+use pim_stm_suite::sim::{KeyDist, KeySampler, SimRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The Zipf CDF is strictly positive, non-decreasing and normalised.
+    #[test]
+    fn zipf_cdf_is_monotone_and_normalised(
+        keys in 1u64..512,
+        theta in prop::sample::select(vec![0.01, 0.3, 0.6, 0.99, 1.2, 2.0]),
+    ) {
+        let sampler = KeySampler::new(KeyDist::Zipf { theta }, keys);
+        let cdf = sampler.cdf();
+        prop_assert_eq!(cdf.len() as u64, keys);
+        prop_assert!(cdf[0] > 0.0);
+        for pair in cdf.windows(2) {
+            prop_assert!(pair[1] >= pair[0], "CDF must be non-decreasing");
+        }
+        prop_assert!((cdf[cdf.len() - 1] - 1.0).abs() < 1e-12, "CDF must end at 1");
+    }
+
+    /// Draws stay inside `0..keys` at both extremes of the supported skew
+    /// range (θ=0 hits the uniform fast path, θ=2 the heaviest head).
+    #[test]
+    fn samples_stay_in_range_at_both_skew_extremes(
+        keys in 1u64..512,
+        seed in any::<u64>(),
+        draws in 1usize..64,
+    ) {
+        for theta in [0.0, 2.0] {
+            let sampler = KeySampler::new(KeyDist::Zipf { theta }, keys);
+            let mut rng = SimRng::new(seed);
+            for _ in 0..draws {
+                let key = sampler.sample(&mut rng);
+                prop_assert!(key < keys, "theta {theta}: key {key} out of 0..{keys}");
+                let shifted = sampler.sample_shifted(&mut rng, keys / 2);
+                prop_assert!(shifted < keys, "theta {theta}: shifted {shifted} out of range");
+            }
+        }
+    }
+
+    /// Every draw consumes exactly one variate, independent of the
+    /// keyspace size or skew: after `draws` samples, the RNG sits exactly
+    /// `draws` `next_f64` calls ahead of a fresh twin.
+    #[test]
+    fn each_draw_consumes_exactly_one_variate(
+        keys in 1u64..512,
+        theta in prop::sample::select(vec![0.0, 0.6, 0.99, 2.0]),
+        seed in any::<u64>(),
+        draws in 0usize..64,
+    ) {
+        let sampler = KeySampler::new(KeyDist::Zipf { theta }, keys);
+        let mut sampled = SimRng::new(seed);
+        for _ in 0..draws {
+            sampler.sample(&mut sampled);
+        }
+        let mut advanced = SimRng::new(seed);
+        for _ in 0..draws {
+            advanced.next_f64();
+        }
+        prop_assert_eq!(
+            &sampled, &advanced,
+            "sampling must advance the RNG by exactly one variate per draw"
+        );
+        // The streams stay in lockstep afterwards too.
+        prop_assert_eq!(sampled.next_u64(), advanced.next_u64());
+    }
+}
