@@ -8,10 +8,21 @@
 //! the header names the [`TimeDomain`] so the units are never confused.
 //! Cycle-only metrics (throughput, makespan) are simply absent from
 //! threaded sweeps.
+//!
+//! # Seeding contract
+//!
+//! Every cell of a sweep (and of the [`crate::grid`] full-grid search) runs
+//! under the *same* seed sequence: iteration `i` of a `--repeat N` cell runs
+//! with [`repeat_seed`]`(base, i)`, and iteration 0 is always the base seed
+//! itself. Because the sequence depends only on the base seed — never on the
+//! cell's design, knobs or position in the sweep — any two cells are
+//! comparable run-for-run: they saw identical workloads in the same order.
+//! The fleet's `--repeat` path derives its per-iteration seeds the same way.
 
 use pim_sim::Phase;
 use pim_stm::{
     AbortReason, ExecProfile, MetadataPlacement, ReadStrategy, RetryPolicy, StmKind, TimeDomain,
+    TunePolicy,
 };
 use pim_workloads::spec::Executor;
 use pim_workloads::{RunSpec, Workload};
@@ -46,6 +57,9 @@ pub struct SweepOptions {
     /// restores the paper's original scattered single-entry reads. Ignored
     /// by other workloads.
     pub record_words: Option<u32>,
+    /// Online-tuning policy every cell runs under (default static — no
+    /// tuning; see [`pim_stm::tune`]).
+    pub tune: TunePolicy,
 }
 
 impl Default for SweepOptions {
@@ -59,8 +73,17 @@ impl Default for SweepOptions {
             retry: RetryPolicy::default(),
             max_burst_words: pim_stm::config::DEFAULT_BURST_WORDS,
             record_words: None,
+            tune: TunePolicy::Static,
         }
     }
+}
+
+/// The seed iteration `i` of a `--repeat N` cell runs under: iteration 0 is
+/// the base seed itself (so `--repeat 1` reproduces a plain run exactly),
+/// later iterations step deterministically. The sequence depends only on the
+/// base seed, never on the cell — see the module-level seeding contract.
+pub fn repeat_seed(base: u64, iteration: usize) -> u64 {
+    base.wrapping_add(iteration as u64)
 }
 
 /// One configuration: a workload run with one STM design and one tasklet
@@ -188,6 +211,8 @@ pub struct DesignSpaceSweep {
     /// ArrayBench record-grouping override in force (`None` = the
     /// workload's default).
     pub record_words: Option<u32>,
+    /// The online-tuning policy every cell ran under.
+    pub tune: TunePolicy,
     /// All points.
     pub points: Vec<DesignSpacePoint>,
 }
@@ -294,7 +319,8 @@ impl DesignSpaceSweep {
                     .with_seed(options.seed)
                     .with_read_strategy(options.read_strategy)
                     .with_retry(options.retry)
-                    .with_max_burst_words(options.max_burst_words);
+                    .with_max_burst_words(options.max_burst_words)
+                    .with_tune(options.tune);
                 if let Some(words) = options.record_words {
                     spec = spec.with_record_words(words);
                 }
@@ -311,6 +337,7 @@ impl DesignSpaceSweep {
             retry: options.retry,
             max_burst_words: options.max_burst_words,
             record_words: options.record_words,
+            tune: options.tune,
             points,
         }
     }
@@ -321,10 +348,15 @@ impl DesignSpaceSweep {
     /// from that run, so the point stays internally consistent). With
     /// `repeat > 1` the min/median/max spread over the runs rides along so
     /// the report carries confidence information, not just a midpoint.
+    ///
+    /// Iteration `i` runs under [`repeat_seed`]`(spec.seed, i)` — the same
+    /// derived sequence for every cell (see the module-level seeding
+    /// contract), so repeated runs sample workload variation instead of
+    /// re-measuring one workload instance, and cells stay comparable.
     fn run_cell(spec: &RunSpec, executor: Executor, repeat: usize) -> DesignSpacePoint {
         let mut reports: Vec<_> = (0..repeat)
-            .map(|_| {
-                let report = spec.run_on(executor);
+            .map(|i| {
+                let report = spec.with_seed(repeat_seed(spec.seed, i)).run_on(executor);
                 report.assert_invariants();
                 report
             })
@@ -677,6 +709,7 @@ impl BurstSweep {
             && base.read_strategy == options.read_strategy
             && base.retry == options.retry
             && base.record_words == options.record_words
+            && base.tune == options.tune
             && base.max_burst_words == cap
             && kinds.iter().all(|&kind| base.point(kind, tasklets).is_some());
         if !matches {
@@ -738,6 +771,19 @@ mod tests {
 
     fn tiny_sweep(workload: Workload, placement: MetadataPlacement) -> DesignSpaceSweep {
         DesignSpaceSweep::run(workload, placement, &[1, 4], 0.05, 9)
+    }
+
+    /// The documented seeding contract: iteration 0 runs the base seed
+    /// itself (so `--repeat 1` and an unrepeated run are the same run), and
+    /// iteration `i` runs `base + i` — a sequence that depends only on the
+    /// base seed, so every cell of a sweep sees the same seeds.
+    #[test]
+    fn repeat_iterations_follow_the_documented_seed_sequence() {
+        assert_eq!(repeat_seed(42, 0), 42);
+        assert_eq!(repeat_seed(42, 3), 45);
+        assert_eq!(repeat_seed(u64::MAX, 1), 0, "the sequence wraps instead of panicking");
+        let seeds: Vec<u64> = (0..4).map(|i| repeat_seed(7, i)).collect();
+        assert_eq!(seeds, vec![7, 8, 9, 10]);
     }
 
     #[test]

@@ -20,7 +20,21 @@
 //! per-primitive transfer ledger, rebalance and pipeline panels, the
 //! per-round throughput series, analytic cross-check total). Repeated
 //! points carry a `repeat_spread` block, and rebalanced skew points their
-//! static baseline, recovered throughput and break-even round.
+//! static baseline, recovered throughput and break-even round. When the
+//! online tuner ran, each point also carries a `tuning` block: aggregate
+//! window/switch counts plus a per-shard array with each shard's final
+//! settled knob values (`knobs` is `null` on shards whose tuner never
+//! fired).
+//!
+//! `--grid` searches dump through [`grid_to_json`]: one object with the
+//! search coordinates (`mode: "grid"`, workload, placement, tasklets,
+//! scale, seed, the burst-cap ladder) and a ranked `cells` array — each
+//! cell its full knob vector (`stm` as the grid composition name, `retry`,
+//! `read_strategy`, `write_back`, `lock_order`, `max_burst_words`), its
+//! measured `throughput_tx_per_sec`, `makespan_seconds`, `total_time`,
+//! `commits`/`aborts`/`abort_rate`, its 1-based `rank`, its
+//! `slowdown_vs_best` (1.0 for the winner) and an `is_default` marker on
+//! the static-defaults cell.
 
 use pim_fleet::{FleetReport, PrimitiveStats};
 use pim_sim::Phase;
@@ -28,6 +42,7 @@ use pim_stm::{AbortReason, ExecProfile};
 
 use crate::design_space::DesignSpaceSweep;
 use crate::fleet::FleetSweep;
+use crate::grid::GridSearch;
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -341,6 +356,9 @@ pub fn sweeps_to_json(sweeps: &[DesignSpaceSweep]) -> Json {
                 ("seed".into(), Json::u64(sweep.seed)),
                 ("read_strategy".into(), Json::str(sweep.read_strategy.name())),
                 ("retry".into(), Json::str(sweep.retry.name())),
+                ("tune".into(), Json::str(sweep.tune.to_string())),
+                ("tune_windows".into(), Json::u64(p.core.tune_windows)),
+                ("tune_switches".into(), Json::u64(p.core.tune_switches)),
                 ("max_burst_words".into(), Json::u64(u64::from(sweep.max_burst_words))),
                 (
                     "record_words".into(),
@@ -397,6 +415,8 @@ fn profile_to_json(p: &ExecProfile) -> Json {
         ("backoff_time".into(), Json::u64(p.backoff_time())),
         ("dma_setups".into(), Json::u64(p.dma_setups())),
         ("dma_words".into(), Json::u64(p.dma_words())),
+        ("tune_windows".into(), Json::u64(p.core.tune_windows)),
+        ("tune_switches".into(), Json::u64(p.core.tune_switches)),
         (
             "phases".into(),
             Json::Obj(
@@ -523,6 +543,48 @@ fn fleet_report_to_json(r: &FleetReport) -> Json {
                 ("migration_seconds".into(), Json::Num(r.rebalance.migration_seconds)),
             ]),
         ),
+        (
+            "tuning".into(),
+            Json::Obj(vec![
+                ("windows".into(), Json::u64(r.profile.core.tune_windows)),
+                ("switches".into(), Json::u64(r.profile.core.tune_switches)),
+                (
+                    "shards".into(),
+                    Json::Arr(
+                        r.shards
+                            .iter()
+                            .map(|s| {
+                                Json::Obj(vec![
+                                    ("shard".into(), Json::u64(u64::from(s.shard))),
+                                    ("windows".into(), Json::u64(s.tune_windows)),
+                                    ("switches".into(), Json::u64(s.tune_switches)),
+                                    (
+                                        "knobs".into(),
+                                        s.tuned_knobs.map_or(Json::Null, |k| {
+                                            Json::Obj(vec![
+                                                ("retry".into(), Json::str(k.retry.name())),
+                                                (
+                                                    "read_strategy".into(),
+                                                    Json::str(k.read_strategy.name()),
+                                                ),
+                                                (
+                                                    "max_burst_words".into(),
+                                                    Json::u64(u64::from(k.max_burst_words)),
+                                                ),
+                                                (
+                                                    "lock_order".into(),
+                                                    Json::str(k.lock_order.name()),
+                                                ),
+                                            ])
+                                        }),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
         ("rounds_detail".into(), rounds_detail),
         ("profile".into(), profile_to_json(&r.profile)),
     ])
@@ -541,6 +603,7 @@ pub fn fleet_to_json(sweep: &FleetSweep) -> Json {
         ("overlap".into(), Json::Bool(sweep.options.overlap)),
         ("repeat".into(), Json::u64(sweep.options.repeat as u64)),
         ("phases".into(), Json::u64(u64::from(sweep.options.phases))),
+        ("tune".into(), Json::str(sweep.options.tune.to_string())),
         ("keys_per_dpu".into(), Json::u64(u64::from(sweep.keys_per_dpu))),
         ("txns_per_dpu".into(), Json::u64(u64::from(sweep.txns_per_dpu))),
         (
@@ -590,6 +653,51 @@ pub fn fleet_to_json(sweep: &FleetSweep) -> Json {
                             p.break_even_round().map_or(Json::Null, |r| Json::u64(r as u64)),
                         ));
                         Json::Obj(obj)
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Serialises a `--grid` full-grid search: the search coordinates and the
+/// ranked cell array (see the [module documentation](self) for the schema).
+pub fn grid_to_json(search: &GridSearch) -> Json {
+    Json::Obj(vec![
+        ("mode".into(), Json::str("grid")),
+        ("workload".into(), Json::str(search.workload.name())),
+        ("placement".into(), Json::str(search.placement.name())),
+        ("tasklets".into(), Json::u64(search.tasklets as u64)),
+        ("scale".into(), Json::Num(search.scale)),
+        ("seed".into(), Json::u64(search.seed)),
+        ("caps".into(), Json::Arr(search.caps.iter().map(|&c| Json::u64(u64::from(c))).collect())),
+        (
+            "cells".into(),
+            Json::Arr(
+                search
+                    .cells
+                    .iter()
+                    .map(|c| {
+                        Json::Obj(vec![
+                            ("rank".into(), Json::u64(c.rank as u64)),
+                            ("stm".into(), Json::str(c.spec.kind.grid_name())),
+                            ("retry".into(), Json::str(c.spec.retry.name())),
+                            ("read_strategy".into(), Json::str(c.spec.read_strategy.name())),
+                            ("write_back".into(), Json::str(c.spec.write_back.name())),
+                            ("lock_order".into(), Json::str(c.spec.lock_order.name())),
+                            (
+                                "max_burst_words".into(),
+                                Json::u64(u64::from(c.spec.max_burst_words)),
+                            ),
+                            ("throughput_tx_per_sec".into(), Json::Num(c.throughput_tx_per_sec)),
+                            ("makespan_seconds".into(), Json::Num(c.makespan_seconds)),
+                            ("total_time".into(), Json::u64(c.total_time)),
+                            ("commits".into(), Json::u64(c.commits)),
+                            ("aborts".into(), Json::u64(c.aborts)),
+                            ("abort_rate".into(), Json::Num(c.abort_rate)),
+                            ("slowdown_vs_best".into(), Json::Num(c.slowdown_vs_best)),
+                            ("is_default".into(), Json::Bool(c.is_default)),
+                        ])
                     })
                     .collect(),
             ),
@@ -772,6 +880,70 @@ mod tests {
             })
             .sum();
         assert!(migrated > 0.0, "per-round detail must show where migrations landed");
+    }
+
+    #[test]
+    fn grid_dumps_parse_and_carry_the_ranked_cells() {
+        use crate::grid::{GridOptions, GridSearch};
+        use pim_stm::MetadataPlacement;
+        use pim_workloads::Workload;
+        let search = GridSearch::run(
+            Workload::ArrayB,
+            MetadataPlacement::Mram,
+            GridOptions { scale: 0.02, tasklets: 2, caps: vec![64], ..GridOptions::default() },
+        );
+        let json = grid_to_json(&search);
+        let parsed = parse(&json.to_string()).expect("grid dump must parse");
+        assert_eq!(parsed.get("mode"), Some(&Json::Str("grid".into())));
+        assert_eq!(parsed.get("workload"), Some(&Json::Str("array-b".into())));
+        let Some(Json::Arr(cells)) = parsed.get("cells") else { panic!("cells must be an array") };
+        assert_eq!(cells.len(), 108);
+        assert_eq!(cells[0].get("rank"), Some(&Json::Num(1.0)));
+        assert_eq!(cells[0].get("slowdown_vs_best"), Some(&Json::Num(1.0)));
+        assert!(matches!(cells[0].get("throughput_tx_per_sec"), Some(Json::Num(n)) if *n > 0.0));
+        assert!(cells.iter().any(|c| c.get("is_default") == Some(&Json::Bool(true))));
+        for pair in cells.windows(2) {
+            let (Some(Json::Num(a)), Some(Json::Num(b))) =
+                (pair[0].get("rank"), pair[1].get("rank"))
+            else {
+                panic!("numeric ranks")
+            };
+            assert!(a < b, "cells must dump in rank order");
+        }
+    }
+
+    #[test]
+    fn tuned_fleet_dumps_carry_the_tuning_block() {
+        use crate::fleet::{FleetSweep, FleetSweepOptions};
+        use pim_stm::TunePolicy;
+        let sweep = FleetSweep::run(
+            &[4],
+            FleetSweepOptions {
+                scale: 0.1,
+                thetas: vec![],
+                tune: TunePolicy::Windowed { window: 8 },
+                ..Default::default()
+            },
+        );
+        let json = fleet_to_json(&sweep);
+        let parsed = parse(&json.to_string()).expect("fleet dump must parse");
+        assert_eq!(parsed.get("tune"), Some(&Json::Str("windowed:8".into())));
+        let Some(Json::Arr(scaling)) = parsed.get("scaling") else {
+            panic!("scaling must be an array")
+        };
+        let tuning = scaling[0].get("tuning").expect("tuning block present");
+        assert!(matches!(tuning.get("windows"), Some(Json::Num(n)) if *n > 0.0));
+        let Some(Json::Arr(shards)) = tuning.get("shards") else {
+            panic!("per-shard tuning must be an array")
+        };
+        assert_eq!(shards.len(), 4);
+        assert!(
+            shards.iter().any(|s| s.get("knobs").is_some_and(|k| k.get("retry").is_some())),
+            "at least one shard must report settled knob values"
+        );
+        // The per-point profile carries the aggregate counters too.
+        let profile = scaling[0].get("profile").expect("profile block present");
+        assert!(matches!(profile.get("tune_windows"), Some(Json::Num(n)) if *n > 0.0));
     }
 
     #[test]

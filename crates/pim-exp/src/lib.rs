@@ -16,6 +16,9 @@
 //! * [`fleet`] — the `--fleet` sweep: a *measured* weak-scaling curve and
 //!   skew sweep on the [`pim_fleet`] sharded multi-DPU runtime, with the
 //!   analytic multi-DPU plan as a cross-check column;
+//! * [`grid`] — the `--grid` full-grid design-space search: every coherent
+//!   composition × knob combination of one workload×placement cell, ranked,
+//!   with the static defaults' slowdown-vs-best called out;
 //! * [`latency`] — the §3.1 measurement that motivates DPU-local
 //!   transactions (local MRAM read vs CPU-mediated remote read).
 
@@ -24,6 +27,7 @@
 
 pub mod design_space;
 pub mod fleet;
+pub mod grid;
 pub mod json;
 pub mod latency;
 pub mod multi_dpu;
@@ -32,6 +36,7 @@ pub mod report;
 
 pub use design_space::{BurstSweep, DesignSpacePoint, DesignSpaceSweep, SweepOptions};
 pub use fleet::{FleetScalingPoint, FleetSkewPoint, FleetSweep, FleetSweepOptions};
+pub use grid::{GridCell, GridOptions, GridSearch};
 pub use latency::LatencyComparison;
 pub use multi_dpu::{MultiDpuBenchmark, MultiDpuStudy, SpeedupPoint};
 pub use peak::PeakDistribution;

@@ -20,12 +20,13 @@
 
 use pim_exp::design_space::{BurstSweep, DesignSpaceSweep, SweepOptions};
 use pim_exp::fleet::{FleetSweep, FleetSweepOptions, DEFAULT_FLEET_DPUS, DEFAULT_SKEW_THETAS};
-use pim_exp::json::{fleet_to_json, sweeps_to_json};
+use pim_exp::grid::{GridOptions, GridSearch};
+use pim_exp::json::{fleet_to_json, grid_to_json, sweeps_to_json};
 use pim_exp::latency::LatencyComparison;
 use pim_exp::multi_dpu::{figure8_table, MultiDpuBenchmark, MultiDpuStudy};
 use pim_exp::peak::PeakDistribution;
 use pim_fleet::RebalancePolicy;
-use pim_stm::{MetadataPlacement, ReadStrategy, RetryPolicy, StmKind, TmComposition};
+use pim_stm::{MetadataPlacement, ReadStrategy, RetryPolicy, StmKind, TmComposition, TunePolicy};
 use pim_workloads::spec::Executor;
 use pim_workloads::{RoutingPolicy, Workload};
 use std::process::ExitCode;
@@ -34,6 +35,7 @@ use std::process::ExitCode;
 struct Options {
     figure: Option<String>,
     fleet: bool,
+    grid: bool,
     workload: Option<Workload>,
     stm: Option<StmKind>,
     placement: MetadataPlacement,
@@ -52,6 +54,7 @@ struct Options {
     repeat: usize,
     read_strategy: ReadStrategy,
     retry: RetryPolicy,
+    tune: TunePolicy,
     record_words: Option<u32>,
     burst_words: Option<Vec<u32>>,
     json_out: Option<String>,
@@ -62,6 +65,7 @@ impl Default for Options {
         Options {
             figure: None,
             fleet: false,
+            grid: false,
             workload: None,
             stm: None,
             placement: MetadataPlacement::Mram,
@@ -78,6 +82,7 @@ impl Default for Options {
             repeat: 1,
             read_strategy: ReadStrategy::default(),
             retry: RetryPolicy::default(),
+            tune: TunePolicy::Static,
             record_words: None,
             burst_words: None,
             json_out: None,
@@ -105,6 +110,7 @@ impl Options {
             repeat: self.repeat,
             read_strategy: self.read_strategy,
             retry: self.retry,
+            tune: self.tune,
             record_words: self.record_words,
             ..SweepOptions::default()
         }
@@ -158,6 +164,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--tasklets" => options.tasklets = parse_list(&value()?)?,
             "--dpus" => options.dpus = Some(parse_list(&value()?)?),
             "--fleet" => options.fleet = true,
+            "--grid" => options.grid = true,
+            "--tune" => options.tune = TunePolicy::windowed(),
+            "--tune-window" => {
+                let window: u32 =
+                    value()?.parse().map_err(|e| format!("bad --tune-window value: {e}"))?;
+                if window == 0 {
+                    return Err("--tune-window needs at least one transaction".to_string());
+                }
+                options.tune = TunePolicy::Windowed { window };
+            }
             "--routing" => options.routing = Some(RoutingPolicy::parse(&value()?)?),
             "--skew-thetas" => {
                 let thetas: Vec<f64> = parse_list(&value()?)?;
@@ -249,6 +265,7 @@ fn usage() -> String {
      \x20              [--fleet] [--routing route-to-owner|abort-retry]\n\
      \x20              [--skew-thetas 0.0,0.9,...] [--skew-phases <n>]\n\
      \x20              [--rebalance off|threshold[:f]|periodic[:k]] [--overlap]\n\
+     \x20              [--grid] [--tune] [--tune-window <n>]\n\
      \x20              [--workload <name>] [--stm <kind>] [--tier wram|mram]\n\
      \x20              [--executor simulator|threaded|both] [--repeat <n>]\n\
      \x20              [--read-strategy word-wise|batched] [--record-words <n>]\n\
@@ -283,7 +300,19 @@ fn usage() -> String {
      \x20 swept cell's execution profile as JSON.\n\
      \x20 --record-words overrides ArrayBench's read-phase record grouping\n\
      \x20 (1 = the paper's original scattered single-entry reads; other\n\
-     \x20 workloads ignore it)."
+     \x20 workloads ignore it).\n\
+     \x20 --grid runs the full-grid offline search: every coherent STM\n\
+     \x20 composition x retry x read-strategy x write-back x lock-order x\n\
+     \x20 burst-cap combination of one --workload (default array-b) and\n\
+     \x20 --tier, ranked by throughput, with the static defaults' gap to\n\
+     \x20 the per-workload best called out. It honours --scale, --seed,\n\
+     \x20 --tasklets (largest count), --burst-words (the cap ladder),\n\
+     \x20 --record-words and --json-out.\n\
+     \x20 --tune turns on the online self-tuner (windowed, one decision\n\
+     \x20 per abort-histogram window; --tune-window overrides the window\n\
+     \x20 size) on sweeps and on the fleet, where every shard DPU tunes\n\
+     \x20 its own knobs independently. Tuner decisions appear as\n\
+     \x20 cycle-stamped simulator events and in the JSON dump."
         .to_string()
 }
 
@@ -397,6 +426,7 @@ fn run_fleet(options: &Options) -> Result<FleetSweep, String> {
         overlap: options.overlap,
         repeat: options.repeat,
         phases: options.skew_phases.unwrap_or(1),
+        tune: options.tune,
     };
     let dpus = options.fleet_dpus();
     if dpus.is_empty() || dpus.contains(&0) {
@@ -406,6 +436,9 @@ fn run_fleet(options: &Options) -> Result<FleetSweep, String> {
     let sweep = FleetSweep::run(&dpus, fleet_options);
     println!("{}", sweep.scaling_table());
     println!("{}", sweep.profile_table());
+    if sweep.options.tune != TunePolicy::Static {
+        println!("{}", sweep.tuning_table());
+    }
     if sweep.options.overlap {
         println!("{}", sweep.pipeline_table());
     }
@@ -416,6 +449,48 @@ fn run_fleet(options: &Options) -> Result<FleetSweep, String> {
         println!("{rounds}");
     }
     Ok(sweep)
+}
+
+/// Runs the `--grid` full-grid search and prints its two panels; returns
+/// the search for `--json-out`.
+fn run_grid(options: &Options) -> Result<GridSearch, String> {
+    for (flag, set) in [
+        ("--figure", options.figure.is_some()),
+        ("--fleet", options.fleet),
+        ("--executor", options.executors != [Executor::Simulator]),
+        ("--repeat", options.repeat > 1),
+        ("--routing", options.routing.is_some()),
+        ("--skew-thetas", options.skew_thetas.is_some()),
+        ("--skew-phases", options.skew_phases.is_some()),
+        ("--rebalance", options.rebalance.is_some()),
+        ("--overlap", options.overlap),
+        // The grid enumerates these axes itself; a filter would silently
+        // shrink the space the mode exists to cover.
+        ("--stm", options.stm.is_some()),
+        ("--read-strategy", options.read_strategy != ReadStrategy::default()),
+        ("--retry", options.retry != RetryPolicy::default()),
+        ("--tune", options.tune != TunePolicy::Static),
+    ] {
+        if set {
+            return Err(format!("{flag} does not apply to the --grid search"));
+        }
+    }
+    let workload = options.workload.unwrap_or(Workload::ArrayB);
+    let defaults = GridOptions::default();
+    let grid_options = GridOptions {
+        scale: options.scale,
+        seed: options.seed,
+        // One tasklet count per grid; the largest requested is the
+        // contended end where the knobs matter most.
+        tasklets: options.tasklets.iter().copied().max().unwrap_or(defaults.tasklets),
+        caps: options.burst_words.clone().unwrap_or(defaults.caps),
+        record_words: options.record_words,
+    };
+    println!("== grid: full design-space search ==");
+    let search = GridSearch::run(workload, options.placement, grid_options);
+    println!("{}", search.ranked_table(12));
+    println!("{}", search.defaults_table());
+    Ok(search)
 }
 
 fn run_figure(
@@ -456,6 +531,7 @@ fn run_figure(
         ("--repeat", options.repeat > 1),
         ("--read-strategy", options.read_strategy != ReadStrategy::default()),
         ("--retry", options.retry != RetryPolicy::default()),
+        ("--tune", options.tune != TunePolicy::Static),
         ("--record-words", options.record_words.is_some()),
     ] {
         if set && !is_sweep_figure {
@@ -548,7 +624,17 @@ fn main() -> ExitCode {
         }
     };
     let mut collected = Vec::new();
-    let result = if options.fleet {
+    let result = if options.grid {
+        run_grid(&options).and_then(|search| match &options.json_out {
+            Some(path) => {
+                let json = grid_to_json(&search).to_string();
+                std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!("[json-out] wrote {} grid cell(s) to {path}", search.cells.len());
+                Ok(())
+            }
+            None => Ok(()),
+        })
+    } else if options.fleet {
         run_fleet(&options).and_then(|sweep| match &options.json_out {
             Some(path) => {
                 let json = fleet_to_json(&sweep).to_string();
@@ -807,6 +893,37 @@ mod tests {
         let options = Options { skew_phases: Some(2), ..Options::default() };
         let err = run_figure("fig7", &options, &mut Vec::new()).unwrap_err();
         assert!(err.contains("--skew-phases"), "{err}");
+    }
+
+    #[test]
+    fn grid_and_tune_flags_parse_and_are_scoped() {
+        assert!(parse_args(&["--grid".into()]).unwrap().grid);
+        assert_eq!(parse_args(&["--tune".into()]).unwrap().tune, TunePolicy::windowed());
+        assert_eq!(
+            parse_args(&["--tune-window".into(), "16".into()]).unwrap().tune,
+            TunePolicy::Windowed { window: 16 }
+        );
+        assert!(parse_args(&["--tune-window".into(), "0".into()]).is_err());
+        assert!(parse_args(&["--tune-window".into(), "x".into()]).is_err());
+        // --grid owns the knob axes it enumerates, and runs cells exactly
+        // once on the simulator.
+        for options in [
+            Options { stm: Some(StmKind::Norec), ..Options::default() },
+            Options { retry: RetryPolicy::Fixed, ..Options::default() },
+            Options { read_strategy: ReadStrategy::WordWise, ..Options::default() },
+            Options { tune: TunePolicy::windowed(), ..Options::default() },
+            Options { fleet: true, ..Options::default() },
+            Options { repeat: 2, ..Options::default() },
+            Options { executors: vec![Executor::Threaded], ..Options::default() },
+            Options { overlap: true, ..Options::default() },
+        ] {
+            let options = Options { grid: true, ..options };
+            assert!(run_grid(&options).is_err());
+        }
+        // --tune is rejected by figures that cannot honour it.
+        let options = Options { tune: TunePolicy::windowed(), ..Options::default() };
+        let err = run_figure("fig6", &options, &mut Vec::new()).unwrap_err();
+        assert!(err.contains("--tune"), "{err}");
     }
 
     #[test]

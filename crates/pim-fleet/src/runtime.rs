@@ -45,7 +45,7 @@ use pim_sim::{CpuTransferModel, Dpu, DpuConfig, Scheduler, TaskletProgram};
 use pim_stm::profile::TimeDomain;
 use pim_stm::{
     algorithm_for, var, AbortReason, ExecProfile, MetadataPlacement, StmConfig, StmKind, StmShared,
-    TxSlot,
+    TunePolicy, Tuner, TxSlot,
 };
 use pim_workloads::sharded::{
     deal_batch, generate_stream, route, ShardData, ShardProgram, ShardTx, FINGERPRINT_SEED,
@@ -105,6 +105,11 @@ pub struct FleetConfig {
     /// overlapping round *k*'s compute (default `false` — the serial
     /// round structure of every previous fleet).
     pub overlap: bool,
+    /// Online self-tuning policy every shard's tasklets run (default
+    /// `Static` — fixed knobs, the behaviour of every previous fleet).
+    /// Each shard DPU tunes independently: tuner state persists across
+    /// that shard's rounds and survives rebalance recuts.
+    pub tune: TunePolicy,
 }
 
 impl FleetConfig {
@@ -126,6 +131,7 @@ impl FleetConfig {
             host_workers: 0,
             rebalance: RebalancePolicy::Off,
             overlap: false,
+            tune: TunePolicy::Static,
         }
     }
 
@@ -153,12 +159,19 @@ impl FleetConfig {
         self
     }
 
+    /// Replaces the online self-tuning policy.
+    pub fn with_tune(mut self, tune: TunePolicy) -> Self {
+        self.tune = tune;
+        self
+    }
+
     /// The STM configuration every shard allocates, with transaction-set
     /// capacities sized to the workload.
     pub fn stm_config(&self) -> StmConfig {
         StmConfig::new(self.kind, self.placement)
             .with_read_set_capacity((self.workload.keys_per_tx() + 8).next_power_of_two())
             .with_write_set_capacity((self.workload.updates_per_tx + 8).next_power_of_two())
+            .with_tune(self.tune)
     }
 
     fn validate(&self) {
@@ -185,6 +198,12 @@ struct ShardState {
     aborts: u64,
     rejected: u64,
     busy_cycles: u64,
+    /// Per-tasklet tuner state, persisted across rounds (and across
+    /// rebalance recuts): `TxMachine`s are rebuilt fresh every round, so
+    /// the shard re-installs each tasklet's tuner into its machine before
+    /// the round and harvests it back afterwards. `None` entries mean the
+    /// tasklet has not run a tuned round yet (or tuning is off).
+    tuners: Vec<Option<Tuner>>,
     /// Outcome of the round that just ran (drained by the orchestrator).
     last_round: Option<RoundOutcome>,
 }
@@ -229,6 +248,7 @@ impl ShardState {
             aborts: 0,
             rejected: 0,
             busy_cycles: 0,
+            tuners: (0..config.tasklets).map(|_| None).collect(),
             last_round: None,
         }
     }
@@ -238,15 +258,29 @@ impl ShardState {
     fn run_round(&mut self, batch: Vec<ShardTx>) {
         self.dispatched += batch.len() as u64;
         let alg = algorithm_for(self.shared.config().kind);
+        // Per-tasklet tuners outlive the round's machines: each machine
+        // starts from the tuner its tasklet ended the previous round with
+        // and deposits it back through the stash when the scheduler drops
+        // the program. The stashes never leave this shard's worker thread.
+        let mut stashes: Vec<std::rc::Rc<std::cell::RefCell<Option<Tuner>>>> = Vec::new();
         let programs: Vec<Box<dyn TaskletProgram>> = deal_batch(batch, self.slots.len())
             .into_iter()
             .enumerate()
             .map(|(t, hand)| {
-                let machine = TxMachine::new(self.shared.clone(), self.slots[t].clone(), alg);
-                Box::new(ShardProgram::new(machine, self.data, hand)) as Box<dyn TaskletProgram>
+                let mut machine = TxMachine::new(self.shared.clone(), self.slots[t].clone(), alg);
+                if let Some(prev) = self.tuners[t].take() {
+                    machine.install_tuner(prev);
+                }
+                let stash = std::rc::Rc::new(std::cell::RefCell::new(None));
+                stashes.push(std::rc::Rc::clone(&stash));
+                Box::new(ShardProgram::new(machine, self.data, hand).with_tuner_stash(stash))
+                    as Box<dyn TaskletProgram>
             })
             .collect();
         let report = Scheduler::new().run(&mut self.dpu, programs);
+        for (t, stash) in stashes.into_iter().enumerate() {
+            self.tuners[t] = stash.borrow_mut().take();
+        }
         let mut rejected = 0;
         for stats in &report.tasklet_stats {
             rejected += stats.profile.abort_codes[AbortReason::Explicit.index()];
@@ -272,6 +306,9 @@ impl ShardState {
             aborts: self.aborts,
             rejected: self.rejected,
             busy_cycles: self.busy_cycles,
+            tune_windows: self.profile.core.tune_windows,
+            tune_switches: self.profile.core.tune_switches,
+            tuned_knobs: self.tuners.iter().flatten().next().map(Tuner::knobs),
         }
     }
 }
@@ -320,6 +357,7 @@ fn migrate(
         fresh.aborts = state.aborts;
         fresh.rejected = state.rejected;
         fresh.busy_cycles = state.busy_cycles;
+        fresh.tuners = std::mem::take(&mut state.tuners);
         for key in new.base(s_id)..new.base(s_id) + new.span(s_id) {
             var::poke_var(&mut fresh.dpu, fresh.data.counter(key), counters[key as usize]);
         }
@@ -700,6 +738,40 @@ mod tests {
             skewed.imbalance.cv_commits,
             uniform.imbalance.cv_commits
         );
+    }
+
+    #[test]
+    fn per_shard_tuners_persist_across_rounds_and_stay_deterministic() {
+        let workload = ShardedWorkloadConfig::new(256, 384).with_dist(KeyDist::Zipf { theta: 1.2 });
+        let static_run = run(&FleetConfig::new(4, workload));
+        // A short window so the hot shard's tasklets complete several
+        // signal windows within this small stream.
+        let tuned_cfg = FleetConfig::new(4, workload).with_tune(TunePolicy::Windowed { window: 8 });
+        let tuned = run(&tuned_cfg);
+        // Tuning moves timing knobs, never outcomes: same fingerprint and
+        // the same conserved increment count as the static fleet.
+        assert_eq!(tuned.fingerprint, static_run.fingerprint);
+        assert_eq!(tuned.total_increments, static_run.total_increments);
+        // The tuners actually ran and their state surfaced in the report.
+        assert!(
+            tuned.shards.iter().any(|s| s.tune_windows > 0),
+            "some shard must evaluate at least one tuning window"
+        );
+        assert!(tuned.profile.core.tune_windows > 0, "merged profile carries tuner counters");
+        assert!(
+            tuned.shards.iter().filter(|s| s.tune_windows > 0).all(|s| s.tuned_knobs.is_some()),
+            "every shard that tuned reports its settled knobs"
+        );
+        // The static fleet reports no tuner state at all.
+        assert!(static_run
+            .shards
+            .iter()
+            .all(|s| s.tune_windows == 0 && s.tune_switches == 0 && s.tuned_knobs.is_none()));
+        // Tuner decisions are part of the deterministic state machine:
+        // host worker count still must not affect any result.
+        let serial = run(&FleetConfig { host_workers: 1, ..tuned_cfg });
+        let parallel = run(&FleetConfig { host_workers: 4, ..tuned_cfg });
+        assert_eq!(serial, parallel, "tuned fleets must stay worker-count invariant");
     }
 
     #[test]

@@ -21,7 +21,10 @@
 //! provoke and measure.
 
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::rng::SimRng;
 
@@ -79,17 +82,49 @@ impl fmt::Display for KeyDist {
     }
 }
 
+/// Process-wide memo of normalised zipf CDF tables, keyed by
+/// `(theta bit pattern, keyspace size)`.
+///
+/// The table for a given `(θ, n)` is a pure function of its key, so sharing
+/// one `Arc` across samplers changes nothing observable — but it turns the
+/// `O(n)` construction into a one-time cost per distinct distribution
+/// instead of a per-run cost: a `--repeat` loop, every cell of a `--grid`
+/// sweep and every round of a fleet run re-create their `KeySampler` from
+/// the same `(θ, n)` and now share one table.
+fn cdf_cache() -> &'static Mutex<CdfCache> {
+    static CACHE: OnceLock<Mutex<CdfCache>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Memo table behind [`cdf_cache`]: `(theta bits, keys)` → shared CDF.
+type CdfCache = HashMap<(u64, u64), Arc<[f64]>>;
+
+/// Number of zipf CDF tables actually *constructed* (cache misses) since
+/// process start.
+static CDF_BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// How many zipf CDF tables have been built (not served from the cache)
+/// since process start. Tests use this to assert that repeated sampler
+/// construction over the same distribution does not redo the `O(n)` work.
+pub fn cdf_builds() -> u64 {
+    CDF_BUILDS.load(Ordering::Relaxed)
+}
+
 /// A sampler for one [`KeyDist`] over the keyspace `0..keys`.
 ///
 /// Zipfian sampling precomputes the normalised CDF once and binary-searches
 /// it per draw; uniform sampling skips the table entirely. Either way a
 /// draw consumes exactly one `next_f64` from the caller's [`SimRng`], so
-/// streams are reproducible and executor-agnostic.
+/// streams are reproducible and executor-agnostic. CDF tables are memoised
+/// process-wide (see [`cdf_builds`]), so constructing the same sampler
+/// repeatedly — across `--repeat` iterations, grid cells or fleet rounds —
+/// pays the `O(n)` table construction only once.
 #[derive(Debug, Clone)]
 pub struct KeySampler {
     keys: u64,
-    /// `cdf[r]` = P(rank <= r); empty for the uniform fast path.
-    cdf: Vec<f64>,
+    /// `cdf[r]` = P(rank <= r); empty for the uniform fast path. Shared
+    /// with every other sampler of the same `(θ, keys)`.
+    cdf: Arc<[f64]>,
 }
 
 impl KeySampler {
@@ -102,21 +137,29 @@ impl KeySampler {
         assert!(keys > 0, "key sampler needs a non-empty keyspace");
         let cdf = match dist {
             // theta == 0 degenerates to the uniform fast path.
-            KeyDist::Uniform | KeyDist::Zipf { theta: 0.0 } => Vec::new(),
+            KeyDist::Uniform | KeyDist::Zipf { theta: 0.0 } => Arc::from(Vec::<f64>::new()),
             KeyDist::Zipf { theta } => {
-                let mut cdf = Vec::with_capacity(keys as usize);
-                let mut total = 0.0f64;
-                for rank in 0..keys {
-                    total += 1.0 / ((rank + 1) as f64).powf(theta);
-                    cdf.push(total);
-                }
-                for value in &mut cdf {
-                    *value /= total;
-                }
-                cdf
+                let cache_key = (theta.to_bits(), keys);
+                let mut cache = cdf_cache().lock().expect("cdf cache poisoned");
+                cache.entry(cache_key).or_insert_with(|| Self::build_cdf(theta, keys)).clone()
             }
         };
         KeySampler { keys, cdf }
+    }
+
+    /// The `O(n)` zipf table construction (cache-miss path).
+    fn build_cdf(theta: f64, keys: u64) -> Arc<[f64]> {
+        CDF_BUILDS.fetch_add(1, Ordering::Relaxed);
+        let mut cdf = Vec::with_capacity(keys as usize);
+        let mut total = 0.0f64;
+        for rank in 0..keys {
+            total += 1.0 / ((rank + 1) as f64).powf(theta);
+            cdf.push(total);
+        }
+        for value in &mut cdf {
+            *value /= total;
+        }
+        Arc::from(cdf)
     }
 
     /// Size of the keyspace this sampler draws from.
@@ -219,6 +262,40 @@ mod tests {
     #[should_panic(expected = "non-empty keyspace")]
     fn empty_keyspace_is_rejected() {
         let _ = KeySampler::new(KeyDist::Uniform, 0);
+    }
+
+    #[test]
+    fn repeated_construction_reuses_the_cached_cdf() {
+        // A distribution distinct from every other test's, so parallel test
+        // execution cannot interfere with the build count.
+        let dist = KeyDist::Zipf { theta: 1.017_25 };
+        let first = KeySampler::new(dist, 777);
+        let builds_after_first = cdf_builds();
+        for _ in 0..10 {
+            // Repeated builds — the shape every `--repeat` loop and grid
+            // sweep has — must be served from the cache.
+            let again = KeySampler::new(dist, 777);
+            assert!(Arc::ptr_eq(&first.cdf, &again.cdf), "same (θ, n) must share one table");
+        }
+        assert_eq!(cdf_builds(), builds_after_first, "no rebuilds for a cached distribution");
+        // A different keyspace is a different table.
+        let other = KeySampler::new(dist, 778);
+        assert!(!Arc::ptr_eq(&first.cdf, &other.cdf));
+        // The cached table still samples correctly and deterministically.
+        let mut a = SimRng::new(9);
+        let mut b = SimRng::new(9);
+        let fresh = KeySampler::new(dist, 777);
+        for _ in 0..200 {
+            assert_eq!(first.sample(&mut a), fresh.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn uniform_samplers_skip_the_cache_entirely() {
+        let builds_before = cdf_builds();
+        let _ = KeySampler::new(KeyDist::Uniform, 123_457);
+        let _ = KeySampler::new(KeyDist::Zipf { theta: 0.0 }, 123_457);
+        assert_eq!(cdf_builds(), builds_before, "the uniform fast path builds no table");
     }
 
     #[test]

@@ -624,6 +624,11 @@ pub struct StmConfig {
     /// buffer a tasklet reserves in WRAM (the hardware also caps one DMA
     /// transfer at 2 KB = 256 words). Longer runs are split, never dropped.
     pub max_burst_words: u32,
+    /// Whether the engine tunes its runtime-switchable knobs online (see
+    /// [`crate::tune`] for the knob-ownership contract). The default is
+    /// [`crate::tune::TunePolicy::Static`]: knobs stay where the
+    /// configuration put them.
+    pub tune: crate::tune::TunePolicy,
 }
 
 /// Default coalesced-write-back burst cap, in words (a 512-byte WRAM staging
@@ -651,6 +656,7 @@ impl StmConfig {
             retry: RetryPolicy::default(),
             lock_order: LockOrder::default(),
             max_burst_words: DEFAULT_BURST_WORDS,
+            tune: crate::tune::TunePolicy::Static,
         }
     }
 
@@ -708,6 +714,17 @@ impl StmConfig {
              limit of {HARDWARE_MAX_BURST_WORDS} words"
         );
         self.max_burst_words = words;
+        self
+    }
+
+    /// Selects the online-tuning policy (the default is
+    /// [`crate::tune::TunePolicy::Static`], i.e. no tuning). Under
+    /// [`crate::tune::TunePolicy::Windowed`] each tasklet's engine
+    /// re-evaluates its runtime-switchable knobs — retry policy, read
+    /// strategy, burst cap (downward only) and lock order — every window of
+    /// attempts; see [`crate::tune`].
+    pub fn with_tune(mut self, policy: crate::tune::TunePolicy) -> Self {
+        self.tune = policy;
         self
     }
 

@@ -22,6 +22,7 @@ use crate::algorithm::{algorithm_for, TmAlgorithm, TxView};
 use crate::error::{Abort, AbortReason};
 use crate::platform::Platform;
 use crate::shared::StmShared;
+use crate::tune::Tuner;
 use crate::txslot::TxSlot;
 
 /// Commit/abort tallies of one engine (or one retry loop).
@@ -70,7 +71,28 @@ pub fn run_retry_loop<R>(
     shared: &StmShared,
     tx: &mut TxSlot,
     p: &mut dyn Platform,
+    counters: Option<&mut TxCounters>,
+    body: impl FnMut(&mut TxView<'_>) -> Result<R, Abort>,
+) -> R {
+    // The caller holds `shared` immutably, so this path cannot tune — hand
+    // the tuned loop a private clone (cheap: a config plus three addresses)
+    // and no tuner.
+    let mut shared = shared.clone();
+    run_tuned_retry_loop(alg, &mut shared, tx, p, counters, &mut None, body)
+}
+
+/// The tuner-aware form of [`run_retry_loop`]: identical accounting, but
+/// after every resolved attempt the [`Tuner`] (when present) observes the
+/// outcome and — at window boundaries — may rewrite the runtime-switchable
+/// knobs in `shared`'s configuration copy. Takes `shared` mutably for
+/// exactly that reason; pass `&mut None` for a static run.
+pub(crate) fn run_tuned_retry_loop<R>(
+    alg: &dyn TmAlgorithm,
+    shared: &mut StmShared,
+    tx: &mut TxSlot,
+    p: &mut dyn Platform,
     mut counters: Option<&mut TxCounters>,
+    tuner: &mut Option<Tuner>,
     mut body: impl FnMut(&mut TxView<'_>) -> Result<R, Abort>,
 ) -> R {
     loop {
@@ -87,6 +109,7 @@ pub fn run_retry_loop<R>(
                 if let Some(c) = counters.as_deref_mut() {
                     c.commits += 1;
                 }
+                tune_observe(shared, tuner, p, None);
                 p.set_phase(Phase::OtherExec);
                 return value;
             }
@@ -95,9 +118,32 @@ pub fn run_retry_loop<R>(
                 if let Some(c) = counters.as_deref_mut() {
                     c.aborts += 1;
                 }
+                tune_observe(shared, tuner, p, Some(abort.reason));
             }
         }
         p.set_phase(Phase::OtherExec);
+    }
+}
+
+/// Feeds one resolved attempt (`aborted.is_none()` = committed) to the
+/// tuner and, when the observation completed a signal window, evaluates it
+/// and applies any knob switches to `shared`'s configuration copy. The
+/// single tuning emission point, mirroring how [`account_abort`] is the
+/// single abort emission point: both executors and both execution styles
+/// funnel through here.
+pub(crate) fn tune_observe(
+    shared: &mut StmShared,
+    tuner: &mut Option<Tuner>,
+    p: &mut dyn Platform,
+    aborted: Option<AbortReason>,
+) {
+    let Some(t) = tuner.as_mut() else { return };
+    let window_complete = match aborted {
+        None => t.observe_commit(),
+        Some(reason) => t.observe_abort(reason),
+    };
+    if let Some(knobs) = crate::tune::drive(t, window_complete, p) {
+        knobs.apply_to(shared.config_mut());
     }
 }
 
@@ -123,12 +169,18 @@ pub struct TxEngine {
     slot: TxSlot,
     alg: &'static dyn TmAlgorithm,
     counters: TxCounters,
+    /// The online tuner, present when the configuration's
+    /// [`crate::tune::TunePolicy`] enables it. Owned per engine — i.e. per
+    /// tasklet — like the descriptor, so tuning needs no cross-tasklet
+    /// synchronisation (see [`crate::tune`]).
+    tuner: Option<Tuner>,
 }
 
 impl TxEngine {
     /// Creates the machinery for one tasklet with an explicit algorithm.
     pub fn new(shared: StmShared, slot: TxSlot, alg: &'static dyn TmAlgorithm) -> Self {
-        TxEngine { shared, slot, alg, counters: TxCounters::default() }
+        let tuner = Tuner::new(shared.config().tune, shared.config());
+        TxEngine { shared, slot, alg, counters: TxCounters::default(), tuner }
     }
 
     /// Creates the machinery for one tasklet, picking the algorithm from the
@@ -145,7 +197,15 @@ impl TxEngine {
         p: &mut dyn Platform,
         body: impl FnMut(&mut TxView<'_>) -> Result<R, Abort>,
     ) -> R {
-        run_retry_loop(self.alg, &self.shared, &mut self.slot, p, Some(&mut self.counters), body)
+        run_tuned_retry_loop(
+            self.alg,
+            &mut self.shared,
+            &mut self.slot,
+            p,
+            Some(&mut self.counters),
+            &mut self.tuner,
+            body,
+        )
     }
 
     /// Binds `p` to this engine so one or more *individual* operations can go
@@ -219,6 +279,7 @@ impl TxEngine {
         self.alg.commit(&self.shared, &mut self.slot, p)?;
         account_commit(&mut self.slot, p);
         self.counters.commits += 1;
+        tune_observe(&mut self.shared, &mut self.tuner, p, None);
         Ok(())
     }
 
@@ -236,6 +297,7 @@ impl TxEngine {
     pub fn on_abort(&mut self, p: &mut dyn Platform, reason: AbortReason) {
         account_abort(&mut self.slot, p, reason, self.shared.config().retry);
         self.counters.aborts += 1;
+        tune_observe(&mut self.shared, &mut self.tuner, p, Some(reason));
     }
 
     /// Shared STM metadata handles.
@@ -261,6 +323,27 @@ impl TxEngine {
     /// Both tallies at once.
     pub fn counters(&self) -> TxCounters {
         self.counters
+    }
+
+    /// The online tuner, when the configuration enables one.
+    pub fn tuner(&self) -> Option<&Tuner> {
+        self.tuner.as_ref()
+    }
+
+    /// Detaches the online tuner, leaving the knobs at their last tuned
+    /// values. Round-based hosts (the fleet dispatcher) rebuild engines
+    /// between rounds; taking the tuner out and re-installing it into the
+    /// next round's engine preserves the decaying signal across rounds.
+    pub fn take_tuner(&mut self) -> Option<Tuner> {
+        self.tuner.take()
+    }
+
+    /// Installs (or re-installs) an online tuner, adopting its current knob
+    /// values into this engine's configuration copy so the tuned state
+    /// carries over seamlessly — the counterpart of [`TxEngine::take_tuner`].
+    pub fn install_tuner(&mut self, tuner: Tuner) {
+        tuner.knobs().apply_to(self.shared.config_mut());
+        self.tuner = Some(tuner);
     }
 }
 

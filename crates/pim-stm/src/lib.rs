@@ -149,6 +149,28 @@
 //! write-through store or pushed a single log entry.
 //! [`LockOrder::RecordOrder`] restores the per-word baseline for A/B runs.
 //!
+//! ## Online self-tuning: the engine picks its own knobs
+//!
+//! The design-space grid has no single best cell — and a phase-changing
+//! workload has no single best cell *over time*. The [`tune`] module closes
+//! the loop: under [`tune::TunePolicy::Windowed`]
+//! ([`StmConfig::with_tune`]), each tasklet's engine watches a windowed,
+//! decaying per-[`AbortReason`] + DMA-rate signal and switches its
+//! **runtime-switchable** knobs on the fly, on both executors and through
+//! both execution styles (closure bodies and step-granular machines).
+//!
+//! The knob-ownership contract is strict and documented in [`tune`]: the
+//! tuner owns exactly the axes the engine consults afresh on every
+//! operation — [`RetryPolicy`], [`ReadStrategy`], [`LockOrder`], and
+//! [`StmConfig::max_burst_words`] *downward only* (the WRAM staging buffer
+//! is reserved at construction size). Everything baked into allocated
+//! metadata or the chosen algorithm — the R×L×W composition itself,
+//! placement, capacities, [`WriteBackStrategy`] — stays construction-time.
+//! Tuning is per tasklet (no cross-tasklet synchronisation, determinism
+//! preserved) and never free: window evaluations and knob switches are
+//! charged through [`Platform::compute`], and the simulator records each
+//! switch as a cycle-stamped `pim_sim::TuneEvent`.
+//!
 //! ## Execution profiles: one instrumentation spine for both executors
 //!
 //! Every run — simulated or threaded — produces the same per-tasklet
@@ -212,6 +234,7 @@ pub mod retry;
 pub mod rwlock;
 pub mod shared;
 pub mod threaded;
+pub mod tune;
 pub mod txslot;
 pub mod var;
 pub mod writeback;
@@ -227,6 +250,7 @@ pub use platform::Platform;
 pub use policy::ComposedTm;
 pub use profile::{ExecProfile, TimeDomain};
 pub use shared::StmShared;
+pub use tune::{TuneDecision, TuneKnobs, TunePolicy, TunedKnob, Tuner};
 pub use txslot::TxSlot;
 pub use var::{TArray, TVar, TxOps, TxRecord, TxWord};
 

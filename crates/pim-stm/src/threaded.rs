@@ -28,12 +28,13 @@ use std::time::Instant;
 
 use pim_sim::{Addr, AllocError, Phase, Tier};
 
-use crate::algorithm::{algorithm_for, run_transaction, TmAlgorithm, TxView};
+use crate::algorithm::{algorithm_for, TmAlgorithm, TxView};
 use crate::config::StmConfig;
 use crate::error::{Abort, AbortReason, RunError};
 use crate::platform::{AtomicOutcome, Platform};
 use crate::profile::{ExecProfile, TimeDomain};
 use crate::shared::{MetadataAllocator, StmShared};
+use crate::tune::Tuner;
 use crate::txslot::TxSlot;
 use crate::var::{self, TArray, TVar, TxRecord};
 
@@ -278,6 +279,22 @@ impl Platform for ThreadPlatform<'_> {
         let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.profile.core.note_backoff(nanos);
     }
+
+    fn dma_stats(&self) -> (u64, u64) {
+        (self.profile.core.mram_dma_setups, self.profile.core.mram_dma_words)
+    }
+
+    fn note_tune_window(&mut self) {
+        self.profile.core.note_tune_window();
+    }
+
+    fn note_tune_switch(&mut self, knob: u8, from: u8, to: u8) {
+        // The wall-clock domain has no cycle stamps, so threads keep only
+        // the aggregate switch count — the cycle-stamped event log is a
+        // simulator-side detail (see `pim_sim::TuneEvent`).
+        let _ = (knob, from, to);
+        self.profile.core.note_tune_switch();
+    }
 }
 
 /// Handle given to each tasklet closure by [`ThreadedDpu::run`]; wraps the
@@ -287,15 +304,29 @@ impl Platform for ThreadPlatform<'_> {
 pub struct TaskletTx<'a> {
     platform: ThreadPlatform<'a>,
     slot: &'a mut TxSlot,
-    shared: &'a StmShared,
+    /// This tasklet's own copy of the shared-metadata handle, so the online
+    /// tuner (when enabled) can rewrite its runtime-switchable knobs without
+    /// touching the other threads' copies.
+    shared: StmShared,
     alg: &'a dyn TmAlgorithm,
+    /// Per-tasklet online tuner, present when the configuration's
+    /// [`crate::tune::TunePolicy`] enables it (see [`crate::tune`]).
+    tuner: Option<Tuner>,
 }
 
 impl TaskletTx<'_> {
     /// Runs `body` as a transaction, retrying until it commits, and returns
     /// its result.
     pub fn transaction<R>(&mut self, body: impl FnMut(&mut TxView<'_>) -> Result<R, Abort>) -> R {
-        run_transaction(self.alg, self.shared, self.slot, &mut self.platform, body)
+        crate::engine::run_tuned_retry_loop(
+            self.alg,
+            &mut self.shared,
+            self.slot,
+            &mut self.platform,
+            None,
+            &mut self.tuner,
+            body,
+        )
     }
 
     /// Identifier of this tasklet (0-based).
@@ -546,7 +577,8 @@ impl ThreadedDpu {
                 handles.push(scope.spawn(move || {
                     let pinned = pin && affinity::pin_current_thread(allowed, tasklet_id);
                     let platform = ThreadPlatform::new(memory, profile, tasklet_id);
-                    body(TaskletTx { platform, slot, shared, alg });
+                    let tuner = Tuner::new(shared.config().tune, shared.config());
+                    body(TaskletTx { platform, slot, shared: shared.clone(), alg, tuner });
                     pinned
                 }));
             }

@@ -524,6 +524,13 @@ pub struct ShardProgram {
     batch: std::vec::IntoIter<ShardTx>,
     state: ShardState,
     rejected: u64,
+    /// Where the machine's online tuner is deposited when this program is
+    /// dropped (i.e. after the round's scheduler run): the scheduler
+    /// consumes its programs, so this side channel is how a round-based
+    /// host persists per-tasklet tuner state — window signal, decision log
+    /// and tuned knobs — across rounds. `None` discards the tuner with the
+    /// machine.
+    tuner_stash: Option<std::rc::Rc<std::cell::RefCell<Option<pim_stm::Tuner>>>>,
 }
 
 impl ShardProgram {
@@ -539,7 +546,18 @@ impl ShardProgram {
             batch: batch.into_iter(),
             state: ShardState::Idle,
             rejected: 0,
+            tuner_stash: None,
         }
+    }
+
+    /// Arranges for the machine's online tuner to be deposited into `stash`
+    /// when the program drops (see the field documentation).
+    pub fn with_tuner_stash(
+        mut self,
+        stash: std::rc::Rc<std::cell::RefCell<Option<pim_stm::Tuner>>>,
+    ) -> Self {
+        self.tuner_stash = Some(stash);
+        self
     }
 
     /// Transactions this tasklet committed.
@@ -550,6 +568,14 @@ impl ShardProgram {
     /// Probe transactions rejected back to the host.
     pub fn rejected(&self) -> u64 {
         self.rejected
+    }
+}
+
+impl Drop for ShardProgram {
+    fn drop(&mut self) {
+        if let Some(stash) = &self.tuner_stash {
+            *stash.borrow_mut() = self.machine.take_tuner();
+        }
     }
 }
 

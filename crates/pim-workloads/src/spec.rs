@@ -14,8 +14,8 @@ use pim_sim::{Dpu, DpuConfig, DpuRunReport, Scheduler};
 use pim_stm::threaded::{ThreadedDpu, DEFAULT_MRAM_WORDS, DEFAULT_WRAM_WORDS};
 use pim_stm::var::WordAccess;
 use pim_stm::{
-    ExecProfile, MetadataPlacement, ReadStrategy, RetryPolicy, StmConfig, StmKind, StmShared,
-    TimeDomain, WriteBackStrategy,
+    ExecProfile, LockOrder, MetadataPlacement, ReadStrategy, RetryPolicy, StmConfig, StmKind,
+    StmShared, TimeDomain, TunePolicy, WriteBackStrategy,
 };
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -203,6 +203,13 @@ pub struct RunSpec {
     pub retry: RetryPolicy,
     /// Burst cap (in words) for coalesced write-back and batched reads.
     pub max_burst_words: u32,
+    /// Multi-ORec acquisition order for grouped record writes under
+    /// encounter-time locking (the lock-order axis of the policy grid; no
+    /// effect on commit-time designs).
+    pub lock_order: LockOrder,
+    /// Whether each tasklet's engine tunes its runtime-switchable knobs
+    /// online (see [`pim_stm::tune`]); default [`TunePolicy::Static`].
+    pub tune: TunePolicy,
     /// Override for ArrayBench's read-phase record grouping
     /// ([`ArrayBenchConfig::record_words`]); `Some(1)` restores the paper's
     /// original scattered single-entry reads. Ignored by other workloads.
@@ -228,6 +235,8 @@ impl RunSpec {
             read_strategy: ReadStrategy::default(),
             retry: RetryPolicy::default(),
             max_burst_words: pim_stm::config::DEFAULT_BURST_WORDS,
+            lock_order: LockOrder::default(),
+            tune: TunePolicy::Static,
             record_words: None,
         }
     }
@@ -270,6 +279,22 @@ impl RunSpec {
         self
     }
 
+    /// Overrides the multi-ORec acquisition order for grouped record writes
+    /// (default: address-sorted; only encounter-time designs consult it).
+    pub fn with_lock_order(mut self, order: LockOrder) -> Self {
+        self.lock_order = order;
+        self
+    }
+
+    /// Overrides the online-tuning policy (default: static, i.e. no
+    /// tuning). Under [`TunePolicy::Windowed`] every tasklet engine — on
+    /// either executor — re-evaluates its runtime-switchable knobs each
+    /// window of attempts; see [`pim_stm::tune`].
+    pub fn with_tune(mut self, policy: TunePolicy) -> Self {
+        self.tune = policy;
+        self
+    }
+
     /// Overrides ArrayBench's read-phase record grouping; `1` restores the
     /// paper's original scattered single-entry reads (no effect on other
     /// workloads).
@@ -286,7 +311,9 @@ impl RunSpec {
             .with_write_back(self.write_back)
             .with_read_strategy(self.read_strategy)
             .with_retry(self.retry)
-            .with_max_burst_words(self.max_burst_words);
+            .with_max_burst_words(self.max_burst_words)
+            .with_lock_order(self.lock_order)
+            .with_tune(self.tune);
         match self.workload {
             Workload::ArrayA => {
                 let cfg = ArrayBenchConfig::workload_a();
@@ -782,6 +809,9 @@ mod tests {
         let spec = spec.with_read_strategy(ReadStrategy::WordWise).with_max_burst_words(8);
         assert_eq!(spec.stm_config().read_strategy, ReadStrategy::WordWise);
         assert_eq!(spec.stm_config().max_burst_words, 8);
+        assert_eq!(spec.stm_config().lock_order, LockOrder::AddressSorted, "default");
+        let spec = spec.with_lock_order(LockOrder::RecordOrder);
+        assert_eq!(spec.stm_config().lock_order, LockOrder::RecordOrder);
     }
 
     #[test]
@@ -854,6 +884,67 @@ mod tests {
         let sim = report.sim.as_ref().unwrap();
         assert_eq!(profile.phases().total(), sim.breakdown().total());
         assert_eq!(profile.dma_setups(), sim.total_mram_dma_setups());
+    }
+
+    /// The online tuner converges on a contended NOrec run: its decisions
+    /// surface as cycle-stamped simulator events, the drained-abort rule
+    /// flips the retry knob off the exponential default, and the whole run
+    /// stays deterministic and invariant-clean.
+    #[test]
+    fn tuner_decisions_surface_as_cycle_stamped_events_and_converge() {
+        let spec = RunSpec::new(Workload::ArrayB, StmKind::Norec, MetadataPlacement::Mram, 8)
+            .with_scale(0.1)
+            .with_tune(pim_stm::TunePolicy::Windowed { window: 8 });
+        let report = spec.run_on(Executor::Simulator);
+        report.assert_invariants();
+        let profile = report.merged_profile();
+        assert!(profile.core.tune_windows > 0, "windows must complete on a contended run");
+        assert!(profile.core.tune_switches > 0, "the defaults must not already be optimal");
+        let sim = report.sim.as_ref().unwrap();
+        let events: Vec<pim_sim::TuneEvent> =
+            sim.tasklet_stats.iter().flat_map(|s| s.tune_events.iter().copied()).collect();
+        assert_eq!(events.len() as u64, profile.core.tune_switches);
+        // Every decision is stamped with the simulated cycle it was taken
+        // at, after the run began and before it ended.
+        for event in &events {
+            assert!(event.at_cycles > 0);
+            assert!(event.at_cycles <= sim.makespan_cycles);
+            assert_ne!(event.from, event.to, "a switch must change the knob");
+        }
+        // Per tasklet, decisions arrive in simulated-time order.
+        for stats in &sim.tasklet_stats {
+            for pair in stats.tune_events.windows(2) {
+                assert!(pair[0].at_cycles <= pair[1].at_cycles);
+            }
+        }
+        // NOrec's aborts drain through validation failures, so the retry
+        // rule (knob 0) must move some tasklet off the exponential default
+        // (1) onto adaptive back-off (2).
+        assert!(
+            events.iter().any(|e| e.knob == 0 && e.to == 2),
+            "contended NOrec must tune retry toward adaptive: {events:?}"
+        );
+        // Convergence: tasklets settle instead of thrashing — strictly
+        // fewer switches than evaluated windows.
+        assert!(
+            profile.core.tune_switches < profile.core.tune_windows,
+            "{} switches over {} windows is thrash, not convergence",
+            profile.core.tune_switches,
+            profile.core.tune_windows
+        );
+        // Determinism: the tuner feeds from the deterministic abort
+        // histogram, so a rerun reproduces every decision bit for bit.
+        let rerun = spec.run_on(Executor::Simulator);
+        assert_eq!(rerun.fingerprint, report.fingerprint);
+        let rerun_events: Vec<pim_sim::TuneEvent> = rerun
+            .sim
+            .as_ref()
+            .unwrap()
+            .tasklet_stats
+            .iter()
+            .flat_map(|s| s.tune_events.iter().copied())
+            .collect();
+        assert_eq!(rerun_events, events);
     }
 
     #[test]

@@ -1,26 +1,26 @@
-//! Policy-composition equivalence: the composed engine
-//! (`pim_stm::policy::ComposedTm`, what `algorithm_for` now resolves every
-//! `StmKind` to) against the frozen pre-redesign monoliths
-//! (`pim_stm::legacy`), replaying identical seeded workloads through both.
+//! Policy-composition regression anchor: the composed engine
+//! (`pim_stm::policy::ComposedTm`, what `algorithm_for` resolves every
+//! `StmKind` to) against *pinned golden outcomes* captured from the frozen
+//! pre-redesign monoliths at the revision where the two were proven
+//! bit-for-bit identical (the `pim_stm::legacy` differential, PR 5–7).
 //!
-//! On the deterministic simulator the claim is *bit-for-bit*: each
-//! composition issues the same platform-operation sequence as the monolith
-//! it replaces, so commits, per-reason abort histograms, final memory and
-//! even the makespan cycle count must agree exactly — for every design,
-//! both metadata placements, contended and uncontended cells, word and
-//! record operations. On the threaded executor, single-tasklet runs are
-//! outcome-deterministic (same checks), and contended commutative runs must
-//! land both engines on the same conserved final state.
+//! The goldens replace the live legacy oracle: each pinned cell records the
+//! exact commits, aborts, per-run abort total, makespan cycle count and an
+//! FNV-1a fingerprint of the final shared array that the monoliths (and the
+//! composed engine) produced on the deterministic simulator. Any change to
+//! the composed engine's platform-operation sequence — an extra read, a
+//! reordered lock acquisition, a different back-off — moves the cycle count
+//! or the memory fingerprint and trips the anchor. This is what lets the
+//! `legacy` module itself be deleted without losing the equivalence claim.
 //!
-//! The one deliberate divergence is the sorted multi-ORec acquisition of
-//! `write_record` under encounter-time locking (`LockOrder::AddressSorted`,
-//! the default): configuring `LockOrder::RecordOrder` restores the legacy
-//! per-word path, which these tests pin down too.
+//! Alongside the goldens, the file keeps the properties that need no
+//! oracle: simulator determinism (same seed → same everything), the
+//! `LockOrder` outcome contract for grouped record writes, and the threaded
+//! executor's conservation invariants.
 
 use proptest::prelude::*;
 
 use pim_stm_suite::sim::{Dpu, DpuConfig, Scheduler};
-use pim_stm_suite::stm::legacy::legacy_algorithm_for;
 use pim_stm_suite::stm::threaded::ThreadedDpu;
 use pim_stm_suite::stm::var::peek_var;
 use pim_stm_suite::stm::{
@@ -44,8 +44,21 @@ struct SimOutcome {
     makespan_cycles: u64,
 }
 
-/// The STM configuration a differential cell runs under (both engines get
-/// the identical one).
+impl SimOutcome {
+    /// FNV-1a over the final array — one word of drift anywhere flips it.
+    fn memory_fingerprint(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for &word in &self.memory {
+            for byte in word.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        hash
+    }
+}
+
+/// The STM configuration a pinned cell runs under.
 fn stm_config(kind: StmKind, placement: MetadataPlacement, cfg: &ArrayBenchConfig) -> StmConfig {
     StmConfig::new(kind, placement)
         .with_read_set_capacity(cfg.read_set_capacity())
@@ -93,44 +106,281 @@ fn run_sim(
     }
 }
 
-/// Runs the cell under the legacy oracle and the composed engine and
-/// asserts exact agreement.
-fn assert_sim_equivalent(
+/// One pinned golden: the contended ArrayBench-B cell (scaled 0.1,
+/// 4 tasklets, seed 42) for one design × placement, as the legacy
+/// monoliths — and, bit-for-bit, the composed engine — produced it.
+struct Golden {
     kind: StmKind,
     placement: MetadataPlacement,
-    cfg: ArrayBenchConfig,
-    stm: StmConfig,
-    tasklets: usize,
-    seed: u64,
-) {
-    let legacy = run_sim(legacy_algorithm_for(kind), stm, cfg, tasklets, seed);
-    let composed = run_sim(algorithm_for(kind), stm, cfg, tasklets, seed);
+    commits: u64,
+    aborts: u64,
+    makespan_cycles: u64,
+    memory_fingerprint: u64,
+}
+
+/// Runs the canonical golden cell for one design × placement.
+fn run_golden_cell(kind: StmKind, placement: MetadataPlacement) -> SimOutcome {
+    let cfg = ArrayBenchConfig::workload_b().scaled(0.1);
+    let stm = stm_config(kind, placement, &cfg);
+    run_sim(algorithm_for(kind), stm, cfg, 4, 42)
+}
+
+/// Runs the record-path golden cell (ArrayBench-A's batched record reads,
+/// which exercise the RecordReader plan/accept/burst hooks) for one design.
+fn run_record_golden_cell(kind: StmKind) -> SimOutcome {
+    let cfg = ArrayBenchConfig { transactions_per_tasklet: 6, ..ArrayBenchConfig::workload_a() };
+    let stm = stm_config(kind, MetadataPlacement::Mram, &cfg);
+    run_sim(algorithm_for(kind), stm, cfg, 3, 42)
+}
+
+/// The contended-cell goldens (ArrayBench-B scaled 0.1, 4 tasklets,
+/// seed 42): captured from the composed engine at the revision where the
+/// live `pim_stm::legacy` differential still proved it bit-identical to the
+/// monoliths. Aborts of every reason occur here and the back-off schedule
+/// matters, so any drift in the begin/read/write/commit/rollback protocol
+/// moves the cycle count.
+const CONTENDED_GOLDENS: [Golden; 14] = [
+    Golden {
+        kind: StmKind::TinyCtlWb,
+        placement: MetadataPlacement::Wram,
+        commits: 160,
+        aborts: 198,
+        makespan_cycles: 251290,
+        memory_fingerprint: 0x1624fa6d90b29e7b,
+    },
+    Golden {
+        kind: StmKind::TinyCtlWb,
+        placement: MetadataPlacement::Mram,
+        commits: 160,
+        aborts: 185,
+        makespan_cycles: 2723765,
+        memory_fingerprint: 0x1624fa6d90b29e7b,
+    },
+    Golden {
+        kind: StmKind::TinyEtlWb,
+        placement: MetadataPlacement::Wram,
+        commits: 160,
+        aborts: 173,
+        makespan_cycles: 223153,
+        memory_fingerprint: 0x1624fa6d90b29e7b,
+    },
+    Golden {
+        kind: StmKind::TinyEtlWb,
+        placement: MetadataPlacement::Mram,
+        commits: 160,
+        aborts: 241,
+        makespan_cycles: 1559607,
+        memory_fingerprint: 0x1624fa6d90b29e7b,
+    },
+    Golden {
+        kind: StmKind::TinyEtlWt,
+        placement: MetadataPlacement::Wram,
+        commits: 160,
+        aborts: 239,
+        makespan_cycles: 359840,
+        memory_fingerprint: 0x1624fa6d90b29e7b,
+    },
+    Golden {
+        kind: StmKind::TinyEtlWt,
+        placement: MetadataPlacement::Mram,
+        commits: 160,
+        aborts: 250,
+        makespan_cycles: 1719038,
+        memory_fingerprint: 0x1624fa6d90b29e7b,
+    },
+    Golden {
+        kind: StmKind::Norec,
+        placement: MetadataPlacement::Wram,
+        commits: 160,
+        aborts: 172,
+        makespan_cycles: 255210,
+        memory_fingerprint: 0x1624fa6d90b29e7b,
+    },
+    Golden {
+        kind: StmKind::Norec,
+        placement: MetadataPlacement::Mram,
+        commits: 160,
+        aborts: 188,
+        makespan_cycles: 1548956,
+        memory_fingerprint: 0x1624fa6d90b29e7b,
+    },
+    Golden {
+        kind: StmKind::VrEtlWt,
+        placement: MetadataPlacement::Wram,
+        commits: 160,
+        aborts: 196,
+        makespan_cycles: 372247,
+        memory_fingerprint: 0x1624fa6d90b29e7b,
+    },
+    Golden {
+        kind: StmKind::VrEtlWt,
+        placement: MetadataPlacement::Mram,
+        commits: 160,
+        aborts: 214,
+        makespan_cycles: 1731112,
+        memory_fingerprint: 0x1624fa6d90b29e7b,
+    },
+    Golden {
+        kind: StmKind::VrEtlWb,
+        placement: MetadataPlacement::Wram,
+        commits: 160,
+        aborts: 282,
+        makespan_cycles: 197888,
+        memory_fingerprint: 0x1624fa6d90b29e7b,
+    },
+    Golden {
+        kind: StmKind::VrEtlWb,
+        placement: MetadataPlacement::Mram,
+        commits: 160,
+        aborts: 333,
+        makespan_cycles: 1858522,
+        memory_fingerprint: 0x1624fa6d90b29e7b,
+    },
+    Golden {
+        kind: StmKind::VrCtlWb,
+        placement: MetadataPlacement::Wram,
+        commits: 160,
+        aborts: 156,
+        makespan_cycles: 297096,
+        memory_fingerprint: 0x1624fa6d90b29e7b,
+    },
+    Golden {
+        kind: StmKind::VrCtlWb,
+        placement: MetadataPlacement::Mram,
+        commits: 160,
+        aborts: 139,
+        makespan_cycles: 2523561,
+        memory_fingerprint: 0x1624fa6d90b29e7b,
+    },
+];
+
+/// The record-path goldens (ArrayBench-A's batched record reads, 3
+/// tasklets, seed 42, MRAM metadata): the RecordReader plan/accept/burst
+/// hooks for every design, captured under the same oracle-proven revision.
+const RECORD_GOLDENS: [Golden; 7] = [
+    Golden {
+        kind: StmKind::TinyCtlWb,
+        placement: MetadataPlacement::Mram,
+        commits: 18,
+        aborts: 17,
+        makespan_cycles: 4317130,
+        memory_fingerprint: 0xb0b2ecc82892e0e5,
+    },
+    Golden {
+        kind: StmKind::TinyEtlWb,
+        placement: MetadataPlacement::Mram,
+        commits: 18,
+        aborts: 63,
+        makespan_cycles: 4006073,
+        memory_fingerprint: 0xb0b2ecc82892e0e5,
+    },
+    Golden {
+        kind: StmKind::TinyEtlWt,
+        placement: MetadataPlacement::Mram,
+        commits: 18,
+        aborts: 63,
+        makespan_cycles: 4097977,
+        memory_fingerprint: 0xb0b2ecc82892e0e5,
+    },
+    Golden {
+        kind: StmKind::Norec,
+        placement: MetadataPlacement::Mram,
+        commits: 18,
+        aborts: 1,
+        makespan_cycles: 1843591,
+        memory_fingerprint: 0xb0b2ecc82892e0e5,
+    },
+    Golden {
+        kind: StmKind::VrEtlWt,
+        placement: MetadataPlacement::Mram,
+        commits: 18,
+        aborts: 68,
+        makespan_cycles: 7614078,
+        memory_fingerprint: 0xb0b2ecc82892e0e5,
+    },
+    Golden {
+        kind: StmKind::VrEtlWb,
+        placement: MetadataPlacement::Mram,
+        commits: 18,
+        aborts: 61,
+        makespan_cycles: 6952705,
+        memory_fingerprint: 0xb0b2ecc82892e0e5,
+    },
+    Golden {
+        kind: StmKind::VrCtlWb,
+        placement: MetadataPlacement::Mram,
+        commits: 18,
+        aborts: 18,
+        makespan_cycles: 5584378,
+        memory_fingerprint: 0xb0b2ecc82892e0e5,
+    },
+];
+
+fn assert_matches_golden(outcome: &SimOutcome, golden: &Golden, cell: &str) {
+    let Golden { kind, placement, commits, aborts, makespan_cycles, memory_fingerprint } = golden;
+    assert_eq!(outcome.commits, *commits, "{kind} ({placement}, {cell}): commits drifted");
+    assert_eq!(outcome.aborts, *aborts, "{kind} ({placement}, {cell}): aborts drifted");
     assert_eq!(
-        legacy.commits, composed.commits,
-        "{kind} ({placement}, {tasklets} tasklets, seed {seed}): commits diverged"
+        outcome.makespan_cycles, *makespan_cycles,
+        "{kind} ({placement}, {cell}): the platform-operation sequence changed — the composed \
+         engine no longer issues what the legacy monolith issued"
     );
-    assert_eq!(legacy.aborts, composed.aborts, "{kind} ({placement}): aborts diverged");
     assert_eq!(
-        legacy.histograms, composed.histograms,
-        "{kind} ({placement}): per-reason abort histograms diverged"
+        outcome.memory_fingerprint(),
+        *memory_fingerprint,
+        "{kind} ({placement}, {cell}): final memory drifted"
     );
-    assert_eq!(legacy.memory, composed.memory, "{kind} ({placement}): final memory diverged");
     assert_eq!(
-        legacy.makespan_cycles, composed.makespan_cycles,
-        "{kind} ({placement}): even the cycle count must agree — the composition must issue \
-         the same platform-operation sequence as the monolith"
+        outcome.aborts,
+        outcome.histograms.iter().flatten().sum::<u64>(),
+        "{kind} ({placement}, {cell}): histogram does not account for every abort"
     );
+}
+
+/// The contended anchor: every design × both placements against the pinned
+/// legacy-equivalent outcome.
+#[test]
+fn composed_engine_matches_the_pinned_contended_goldens() {
+    for golden in &CONTENDED_GOLDENS {
+        let outcome = run_golden_cell(golden.kind, golden.placement);
+        assert_matches_golden(&outcome, golden, "contended B");
+    }
+    // The table covers the whole design space — nothing silently dropped.
+    for kind in StmKind::ALL {
+        for placement in MetadataPlacement::ALL {
+            assert!(
+                CONTENDED_GOLDENS.iter().any(|g| g.kind == kind && g.placement == placement),
+                "{kind} ({placement}) has no pinned golden"
+            );
+        }
+    }
+}
+
+/// The record-path anchor: the batched-record cell for every design.
+#[test]
+fn composed_engine_matches_the_pinned_record_goldens() {
+    for golden in &RECORD_GOLDENS {
+        let outcome = run_record_golden_cell(golden.kind);
+        assert_matches_golden(&outcome, golden, "record A");
+    }
+    for kind in StmKind::ALL {
+        assert!(
+            RECORD_GOLDENS.iter().any(|g| g.kind == kind),
+            "{kind} has no pinned record golden"
+        );
+    }
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
-    /// The contended cell: arbitrary seeds and tasklet counts on the tiny,
-    /// high-conflict ArrayBench-B — aborts of every reason occur and the
-    /// back-off schedule matters, so divergence anywhere in the
-    /// begin/read/write/commit/rollback protocol shows up.
+    /// Simulator determinism over the whole design space: the same seeded
+    /// cell replayed twice produces the identical outcome — commits,
+    /// histograms, memory, cycle count. This is the property the goldens
+    /// lean on (a nondeterministic simulator would make pinned literals
+    /// meaningless), kept live over arbitrary seeds and tasklet counts.
     #[test]
-    fn composed_engine_is_bit_identical_to_the_legacy_monoliths(
+    fn seeded_cells_replay_bit_identically(
         kind_index in 0usize..StmKind::ALL.len(),
         mram_metadata in any::<bool>(),
         tasklets in 1usize..5,
@@ -141,55 +391,42 @@ proptest! {
             if mram_metadata { MetadataPlacement::Mram } else { MetadataPlacement::Wram };
         let cfg = ArrayBenchConfig::workload_b().scaled(0.1);
         let stm = stm_config(kind, placement, &cfg);
-        assert_sim_equivalent(kind, placement, cfg, stm, tasklets, seed);
+        let first = run_sim(algorithm_for(kind), stm, cfg, tasklets, seed);
+        let second = run_sim(algorithm_for(kind), stm, cfg, tasklets, seed);
+        prop_assert_eq!(first, second);
     }
 }
 
-/// The exhaustive record-path cell: ArrayBench-A's batched record reads run
-/// the access-layer hooks (plan/accept/burst brackets), covering the
-/// RecordReader half of every policy for all designs × both placements.
+/// The `LockOrder` outcome contract for grouped update records: sorted
+/// multi-ORec acquisition may reorder platform operations relative to the
+/// legacy per-word `RecordOrder` path, but on uncontended cells the
+/// *outcome* — final memory, commit count, zero aborts — must be identical.
 #[test]
-fn record_reads_agree_for_every_kind_and_placement() {
-    let cfg = ArrayBenchConfig { transactions_per_tasklet: 6, ..ArrayBenchConfig::workload_a() };
-    for kind in StmKind::ALL {
-        for placement in MetadataPlacement::ALL {
-            let stm = stm_config(kind, placement, &cfg);
-            assert_sim_equivalent(kind, placement, cfg, stm, 3, 42);
-        }
-    }
-}
-
-/// Grouped update records under `LockOrder::RecordOrder` take the per-word
-/// path, which must be bit-identical to the legacy default `write_record`
-/// loop; under the sorted default the *outcome* (memory, commits) must
-/// still match on uncontended cells even though the acquisition order — and
-/// therefore the cycle count — legitimately differs.
-#[test]
-fn write_record_paths_agree_with_the_oracle() {
+fn write_record_lock_orders_agree_on_uncontended_outcomes() {
     let cfg = ArrayBenchConfig::workload_b().with_update_record_words(4).scaled(0.1);
     for kind in StmKind::ALL {
-        let stm =
+        let record_order =
             stm_config(kind, MetadataPlacement::Mram, &cfg).with_lock_order(LockOrder::RecordOrder);
-        assert_sim_equivalent(kind, MetadataPlacement::Mram, cfg, stm, 4, 7);
-
-        // Sorted acquisition, single tasklet: no conflicts, so the only
-        // permitted difference is the operation order — final memory and
-        // commit counts are pinned.
         let sorted = stm_config(kind, MetadataPlacement::Mram, &cfg)
             .with_lock_order(LockOrder::AddressSorted);
-        let legacy = run_sim(legacy_algorithm_for(kind), stm, cfg, 1, 9);
-        let composed = run_sim(algorithm_for(kind), sorted, cfg, 1, 9);
-        assert_eq!(legacy.memory, composed.memory, "{kind}: sorted acquisition changed memory");
-        assert_eq!(legacy.commits, composed.commits, "{kind}: sorted acquisition lost commits");
-        assert_eq!(legacy.aborts, 0, "{kind}: single tasklet never conflicts");
-        assert_eq!(composed.aborts, 0, "{kind}: single tasklet never conflicts");
+        let legacy_path = run_sim(algorithm_for(kind), record_order, cfg, 1, 9);
+        let sorted_path = run_sim(algorithm_for(kind), sorted, cfg, 1, 9);
+        assert_eq!(
+            legacy_path.memory, sorted_path.memory,
+            "{kind}: acquisition order changed memory"
+        );
+        assert_eq!(
+            legacy_path.commits, sorted_path.commits,
+            "{kind}: acquisition order lost commits"
+        );
+        assert_eq!(legacy_path.aborts, 0, "{kind}: single tasklet never conflicts");
+        assert_eq!(sorted_path.aborts, 0, "{kind}: single tasklet never conflicts");
     }
 }
 
 /// Threaded outcome of one cell: commits, aborts and the conserved
 /// update-region sum.
 fn run_threaded_cell(
-    oracle: bool,
     kind: StmKind,
     cfg: ArrayBenchConfig,
     tasklets: usize,
@@ -197,46 +434,38 @@ fn run_threaded_cell(
 ) -> (u64, u64, u64) {
     let stm = stm_config(kind, MetadataPlacement::Mram, &cfg);
     let mut dpu = ThreadedDpu::new(stm).expect("metadata fits");
-    if oracle {
-        dpu.set_algorithm_override(legacy_algorithm_for(kind));
-    }
     let (data, report) = run_threaded(&mut dpu, cfg, tasklets, seed).expect("run schedulable");
     (report.commits, report.aborts, data.update_region_sum(&dpu))
 }
 
-/// Single-tasklet threaded runs are outcome-deterministic: both engines
-/// must commit every transaction, abort never, and leave the same sums —
-/// the threaded half of the equivalence claim, exact where exactness is
-/// well-defined.
+/// Single-tasklet threaded runs are outcome-deterministic: every design
+/// must commit every transaction, abort never, and apply the analytically
+/// known number of updates.
 #[test]
-fn threaded_single_tasklet_outcomes_agree_for_every_kind() {
+fn threaded_single_tasklet_outcomes_are_exact_for_every_kind() {
     let cfg = ArrayBenchConfig::workload_b().scaled(0.2);
+    let expected_commits = u64::from(cfg.transactions_per_tasklet);
+    let expected_sum = expected_commits * u64::from(cfg.updates_applied_per_tx());
     for kind in StmKind::ALL {
-        let (legacy_commits, legacy_aborts, legacy_sum) = run_threaded_cell(true, kind, cfg, 1, 42);
-        let (composed_commits, composed_aborts, composed_sum) =
-            run_threaded_cell(false, kind, cfg, 1, 42);
-        assert_eq!(legacy_commits, composed_commits, "{kind}: threaded commits diverged");
-        assert_eq!(legacy_aborts, 0, "{kind}: single-tasklet runs never abort");
-        assert_eq!(composed_aborts, 0, "{kind}: single-tasklet runs never abort");
-        assert_eq!(legacy_sum, composed_sum, "{kind}: threaded final state diverged");
+        let (commits, aborts, sum) = run_threaded_cell(kind, cfg, 1, 42);
+        assert_eq!(commits, expected_commits, "{kind}: lost transactions");
+        assert_eq!(aborts, 0, "{kind}: single-tasklet runs never abort");
+        assert_eq!(sum, expected_sum, "{kind}: threaded final state diverged");
     }
 }
 
 /// Contended threaded runs are nondeterministic in interleaving but not in
-/// outcome (ArrayBench increments commute): both engines must conserve the
+/// outcome (ArrayBench increments commute): every design must conserve the
 /// same committed total under genuine concurrency.
 #[test]
-fn threaded_contended_runs_conserve_the_same_state_for_every_kind() {
+fn threaded_contended_runs_conserve_the_final_state_for_every_kind() {
     let cfg = ArrayBenchConfig::workload_b().scaled(0.25);
     let tasklets = 4;
     let expected_commits = u64::from(cfg.transactions_per_tasklet) * tasklets as u64;
     let expected_sum = expected_commits * u64::from(cfg.updates_applied_per_tx());
     for kind in StmKind::ALL {
-        for oracle in [true, false] {
-            let (commits, _, sum) = run_threaded_cell(oracle, kind, cfg, tasklets, 7);
-            let engine = if oracle { "legacy" } else { "composed" };
-            assert_eq!(commits, expected_commits, "{kind} ({engine}): lost transactions");
-            assert_eq!(sum, expected_sum, "{kind} ({engine}): lost updates");
-        }
+        let (commits, _, sum) = run_threaded_cell(kind, cfg, tasklets, 7);
+        assert_eq!(commits, expected_commits, "{kind}: lost transactions");
+        assert_eq!(sum, expected_sum, "{kind}: lost updates");
     }
 }
