@@ -1,0 +1,641 @@
+//! Content-addressed cache of completed simulator runs.
+//!
+//! The experiment harness re-simulates identical cells all the time: the
+//! grid's defaults panel re-reads cells the ranked pass already ran, the
+//! `grid best ≥ tuned ≥ static` comparisons re-run the defaults cell, and
+//! overlapping burst-cap ladders share most of their grid. Every one of
+//! those runs is a pure function of its [`RunSpec`] — the simulator is
+//! deterministic under a seed — so a completed run can be memoized under a
+//! **canonical key** and replayed bit for bit.
+//!
+//! ## The canonical key
+//!
+//! [`SimCache::key`] renders every field that can change a simulator
+//! result: the workload spec (workload, composition/design, metadata
+//! placement, tasklets, scale, record grouping), every knob (retry,
+//! read strategy, write-back strategy, lock order, burst cap, tune
+//! policy), the PRNG seed, the executor, and [`CACHE_SCHEMA_VERSION`].
+//! Changing *any* of those fields — including the schema version — yields
+//! a different key and therefore a miss; there is no partial matching and
+//! no time-based expiry. Bumping [`CACHE_SCHEMA_VERSION`] is the
+//! invalidation policy: do it whenever the simulator, an STM algorithm or
+//! the cached summary shape changes semantics, and every stale entry
+//! (memory and disk) silently misses.
+//!
+//! ## Tiers
+//!
+//! The first tier is a process-wide in-memory map shared across every
+//! search and sweep of one invocation. The optional `--cache-dir` second
+//! tier persists entries as JSON files (written and re-read with the
+//! [`crate::json`] writer/parser — no external serializer), so repeated CI
+//! and sweep invocations skip warm cells. A disk entry that fails to
+//! parse, carries the wrong schema version, or does not match its key is
+//! **discarded, never trusted**: the cell re-simulates and the entry is
+//! rewritten.
+//!
+//! Only deterministic simulator runs are cacheable. Threaded-executor
+//! runs measure wall-clock on live OS threads; replaying one would report
+//! a stale measurement as a fresh one, so [`SimCache::get_or_run`] always
+//! executes those and touches neither tier nor the hit/miss statistics.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use pim_sim::{Phase, ProfileCore, ABORT_CODE_SLOTS};
+use pim_stm::{ExecProfile, TimeDomain};
+use pim_workloads::spec::Executor;
+use pim_workloads::{RunSpec, WorkloadReport};
+use serde::{Deserialize, Serialize};
+
+use crate::json::Json;
+
+/// Version of the cached-entry semantics. Part of every canonical key:
+/// bump it whenever the simulator's cycle model, an STM algorithm, or the
+/// [`CachedRun`] shape changes meaning, and all previously cached entries
+/// (in memory and on disk) stop matching.
+pub const CACHE_SCHEMA_VERSION: u32 = 1;
+
+/// The memoized summary of one completed simulator run: exactly the
+/// fields the grid/sweep consumers read from a [`WorkloadReport`], so a
+/// cache hit reconstructs a bit-identical cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedRun {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted attempts.
+    pub aborts: u64,
+    /// Deterministic fingerprint of the final memory state.
+    pub fingerprint: u64,
+    /// The execution profile merged over all tasklets.
+    pub profile: ExecProfile,
+    /// Committed transactions per simulated second (`None` only for the
+    /// never-cached threaded executor).
+    pub throughput_tx_per_sec: Option<f64>,
+    /// Simulated makespan in seconds (`None` only for the threaded
+    /// executor).
+    pub makespan_seconds: Option<f64>,
+}
+
+impl CachedRun {
+    /// Summarizes a finished report. The caller has already gated on
+    /// [`WorkloadReport::assert_invariants`], so cached entries are
+    /// invariant-clean by construction.
+    pub fn from_report(report: &WorkloadReport) -> Self {
+        CachedRun {
+            commits: report.commits,
+            aborts: report.aborts,
+            fingerprint: report.fingerprint,
+            profile: report.merged_profile(),
+            throughput_tx_per_sec: report.throughput_tx_per_sec(),
+            makespan_seconds: report.sim.as_ref().map(|s| s.makespan_seconds()),
+        }
+    }
+
+    /// Aborted attempts / all attempts — the same statistic as
+    /// [`WorkloadReport::abort_rate`].
+    pub fn abort_rate(&self) -> f64 {
+        if self.commits + self.aborts == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / (self.commits + self.aborts) as f64
+        }
+    }
+}
+
+/// Hit/miss/byte counters of one [`SimCache`], as a plain snapshot
+/// (rendered in the grid report panel and the JSON schema).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from either tier without simulating.
+    pub hits: u64,
+    /// Lookups that had to simulate (includes discarded disk entries).
+    pub misses: u64,
+    /// The subset of `hits` answered by reading a `--cache-dir` file.
+    pub disk_hits: u64,
+    /// Bytes of cache files read (successfully parsed entries only).
+    pub bytes_read: u64,
+    /// Bytes of cache files written.
+    pub bytes_written: u64,
+}
+
+impl CacheStats {
+    /// The counter movement from `before` to `self` — the per-search
+    /// delta a report panel shows when one cache serves many searches.
+    pub fn since(&self, before: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(before.hits),
+            misses: self.misses.saturating_sub(before.misses),
+            disk_hits: self.disk_hits.saturating_sub(before.disk_hits),
+            bytes_read: self.bytes_read.saturating_sub(before.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(before.bytes_written),
+        }
+    }
+}
+
+/// A two-tier content-addressed cache of simulator runs. Internally
+/// synchronised: pool workers share one instance by reference.
+#[derive(Debug)]
+pub struct SimCache {
+    memory: Mutex<HashMap<String, CachedRun>>,
+    dir: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    disk_hits: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+impl Default for SimCache {
+    fn default() -> Self {
+        SimCache::in_memory()
+    }
+}
+
+impl SimCache {
+    /// A memory-only cache (no `--cache-dir` tier).
+    pub fn in_memory() -> Self {
+        SimCache {
+            memory: Mutex::new(HashMap::new()),
+            dir: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache backed by an on-disk tier at `dir` (created if missing).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error if the directory cannot be created.
+    pub fn with_dir(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut cache = SimCache::in_memory();
+        cache.dir = Some(dir);
+        Ok(cache)
+    }
+
+    /// Whether this cache persists entries to disk.
+    pub fn has_disk_tier(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// The canonical key of one run: every result-bearing field of the
+    /// spec, the executor, and the schema version. Two specs collide on a
+    /// key exactly when the simulator provably returns the same report
+    /// for both.
+    pub fn key(spec: &RunSpec, executor: Executor) -> String {
+        format!(
+            "v{}|{}|{}|{}|tasklets={}|seed={}|scale={}|retry={}|read={}|wb={}|order={}|cap={}|tune={}|rw={}|{}",
+            CACHE_SCHEMA_VERSION,
+            spec.workload.name(),
+            spec.kind.grid_name(),
+            spec.placement.name(),
+            spec.tasklets,
+            spec.seed,
+            spec.scale,
+            spec.retry.name(),
+            spec.read_strategy.name(),
+            spec.write_back.name(),
+            spec.lock_order.name(),
+            spec.max_burst_words,
+            spec.tune,
+            match spec.record_words {
+                Some(w) => w.to_string(),
+                None => "default".to_string(),
+            },
+            executor.name(),
+        )
+    }
+
+    /// Returns the memoized summary for `spec` × `executor`, simulating
+    /// via `run` only on a miss. Hits return a bit-identical summary —
+    /// the stored entry came from the same deterministic run the miss
+    /// path would repeat.
+    ///
+    /// Threaded-executor specs always execute (wall-clock measurements
+    /// must be measured, not replayed) and leave the statistics untouched.
+    ///
+    /// Two pool workers racing on the *same* key may both simulate; both
+    /// compute the identical summary, so the winner of the final insert
+    /// is irrelevant (the stats then count an extra miss, never a wrong
+    /// cell).
+    pub fn get_or_run(
+        &self,
+        spec: &RunSpec,
+        executor: Executor,
+        run: impl FnOnce() -> WorkloadReport,
+    ) -> CachedRun {
+        if executor != Executor::Simulator {
+            return CachedRun::from_report(&run());
+        }
+        let key = Self::key(spec, executor);
+        if let Some(found) = self.memory.lock().expect("cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return found.clone();
+        }
+        if let Some(found) = self.load_disk(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            self.memory.lock().expect("cache poisoned").insert(key, found.clone());
+            return found;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let cached = CachedRun::from_report(&run());
+        self.store_disk(&key, &cached);
+        self.memory.lock().expect("cache poisoned").insert(key, cached.clone());
+        cached
+    }
+
+    /// A snapshot of the hit/miss/byte counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The disk-tier path of `key`: an FNV-1a hash names the file, and the
+    /// full key stored *inside* the file guards both hash collisions and
+    /// corruption.
+    fn disk_path(&self, key: &str) -> Option<PathBuf> {
+        self.dir.as_ref().map(|dir| dir.join(format!("{:016x}.json", fnv1a(key))))
+    }
+
+    fn load_disk(&self, key: &str) -> Option<CachedRun> {
+        let path = self.disk_path(key)?;
+        let text = std::fs::read_to_string(&path).ok()?;
+        match parse_entry(&text, key) {
+            Some(cached) => {
+                self.bytes_read.fetch_add(text.len() as u64, Ordering::Relaxed);
+                Some(cached)
+            }
+            None => {
+                // Corrupt, stale-schema or mismatched entry: discard it —
+                // the re-simulated run overwrites the file below.
+                eprintln!("[cache] discarding unreadable entry {}", path.display());
+                None
+            }
+        }
+    }
+
+    fn store_disk(&self, key: &str, cached: &CachedRun) {
+        let Some(path) = self.disk_path(key) else { return };
+        let text = entry_to_json(key, cached).to_string();
+        match std::fs::write(&path, &text) {
+            Ok(()) => {
+                self.bytes_written.fetch_add(text.len() as u64, Ordering::Relaxed);
+            }
+            Err(err) => eprintln!("[cache] cannot write {}: {err}", path.display()),
+        }
+    }
+}
+
+/// FNV-1a, the repo-standard cheap stable hash (same construction as the
+/// workload fingerprints) — names disk-tier files.
+fn fnv1a(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Serializes one disk-tier entry with the [`crate::json`] writer.
+fn entry_to_json(key: &str, cached: &CachedRun) -> Json {
+    let core = &cached.profile.core;
+    Json::Obj(vec![
+        ("schema_version".into(), Json::UInt(CACHE_SCHEMA_VERSION as u64)),
+        ("key".into(), Json::Str(key.to_string())),
+        ("commits".into(), Json::UInt(cached.commits)),
+        ("aborts".into(), Json::UInt(cached.aborts)),
+        // Hex string, not a number: the strict parser reads numbers as
+        // f64, which cannot carry a full 64-bit hash exactly.
+        ("fingerprint".into(), Json::Str(format!("{:016x}", cached.fingerprint))),
+        (
+            "throughput_tx_per_sec".into(),
+            cached.throughput_tx_per_sec.map_or(Json::Null, Json::Num),
+        ),
+        ("makespan_seconds".into(), cached.makespan_seconds.map_or(Json::Null, Json::Num)),
+        (
+            "profile".into(),
+            Json::Obj(vec![
+                (
+                    "time_domain".into(),
+                    Json::Str(
+                        match cached.profile.time_domain {
+                            TimeDomain::Cycles => "cycles",
+                            TimeDomain::WallNanos => "wall-nanos",
+                        }
+                        .into(),
+                    ),
+                ),
+                ("commits".into(), Json::UInt(core.commits)),
+                ("aborts".into(), Json::UInt(core.aborts)),
+                (
+                    "abort_codes".into(),
+                    Json::Arr(core.abort_codes.iter().map(|&c| Json::UInt(c)).collect()),
+                ),
+                (
+                    "breakdown".into(),
+                    Json::Arr(
+                        Phase::ALL.iter().map(|&p| Json::UInt(core.breakdown.get(p))).collect(),
+                    ),
+                ),
+                (
+                    "attempt".into(),
+                    Json::Arr(
+                        Phase::ALL.iter().map(|&p| Json::UInt(core.attempt.get(p))).collect(),
+                    ),
+                ),
+                ("mram_dma_setups".into(), Json::UInt(core.mram_dma_setups)),
+                ("mram_dma_words".into(), Json::UInt(core.mram_dma_words)),
+                ("backoff_time".into(), Json::UInt(core.backoff_time)),
+                ("tune_windows".into(), Json::UInt(core.tune_windows)),
+                ("tune_switches".into(), Json::UInt(core.tune_switches)),
+            ]),
+        ),
+    ])
+}
+
+/// Parses and validates one disk-tier entry. `None` on *any* deviation —
+/// unparseable text, wrong schema version, key mismatch, missing or
+/// ill-typed field — so corrupt entries are discarded, never trusted.
+fn parse_entry(text: &str, expected_key: &str) -> Option<CachedRun> {
+    let json = crate::json::parse(text).ok()?;
+    if as_u64(json.get("schema_version")?)? != CACHE_SCHEMA_VERSION as u64 {
+        return None;
+    }
+    if as_str(json.get("key")?)? != expected_key {
+        return None;
+    }
+    let profile = json.get("profile")?;
+    let time_domain = match as_str(profile.get("time_domain")?)? {
+        "cycles" => TimeDomain::Cycles,
+        "wall-nanos" => TimeDomain::WallNanos,
+        _ => return None,
+    };
+    let mut core = ProfileCore::new();
+    core.commits = as_u64(profile.get("commits")?)?;
+    core.aborts = as_u64(profile.get("aborts")?)?;
+    let codes = parse_u64_array(profile.get("abort_codes")?, ABORT_CODE_SLOTS)?;
+    core.abort_codes.copy_from_slice(&codes);
+    for (breakdown, field) in [(&mut core.breakdown, "breakdown"), (&mut core.attempt, "attempt")] {
+        let cycles = parse_u64_array(profile.get(field)?, Phase::ALL.len())?;
+        for (&phase, &value) in Phase::ALL.iter().zip(&cycles) {
+            breakdown.charge(phase, value);
+        }
+    }
+    core.mram_dma_setups = as_u64(profile.get("mram_dma_setups")?)?;
+    core.mram_dma_words = as_u64(profile.get("mram_dma_words")?)?;
+    core.backoff_time = as_u64(profile.get("backoff_time")?)?;
+    core.tune_windows = as_u64(profile.get("tune_windows")?)?;
+    core.tune_switches = as_u64(profile.get("tune_switches")?)?;
+    Some(CachedRun {
+        commits: as_u64(json.get("commits")?)?,
+        aborts: as_u64(json.get("aborts")?)?,
+        fingerprint: u64::from_str_radix(as_str(json.get("fingerprint")?)?, 16).ok()?,
+        profile: ExecProfile { time_domain, core },
+        throughput_tx_per_sec: parse_opt_f64(json.get("throughput_tx_per_sec")?)?,
+        makespan_seconds: parse_opt_f64(json.get("makespan_seconds")?)?,
+    })
+}
+
+/// Reads an unsigned integer back out of a parsed number. The strict
+/// parser returns every number as `f64`; values beyond 2^53 cannot have
+/// round-tripped exactly, so they reject the entry rather than smuggle a
+/// rounded counter in.
+fn as_u64(json: &Json) -> Option<u64> {
+    const EXACT: f64 = (1u64 << 53) as f64;
+    match json {
+        Json::UInt(n) => Some(*n),
+        Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n < EXACT => Some(*n as u64),
+        _ => None,
+    }
+}
+
+/// The string payload, or `None` for non-strings.
+fn as_str(json: &Json) -> Option<&str> {
+    match json {
+        Json::Str(text) => Some(text),
+        _ => None,
+    }
+}
+
+/// An exactly-`len` array of unsigned integers, or `None`.
+fn parse_u64_array(json: &Json, len: usize) -> Option<Vec<u64>> {
+    let Json::Arr(items) = json else { return None };
+    if items.len() != len {
+        return None;
+    }
+    items.iter().map(as_u64).collect()
+}
+
+/// `null` → `Some(None)`, a number → `Some(Some(n))`, anything else →
+/// `None` (reject the entry).
+fn parse_opt_f64(json: &Json) -> Option<Option<f64>> {
+    match json {
+        Json::Null => Some(None),
+        Json::Num(n) => Some(Some(*n)),
+        Json::UInt(n) => Some(Some(*n as f64)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_stm::{MetadataPlacement, RetryPolicy, StmKind};
+    use pim_workloads::Workload;
+    use std::sync::atomic::AtomicUsize;
+
+    fn tiny_spec() -> RunSpec {
+        RunSpec::new(Workload::ArrayA, StmKind::Norec, MetadataPlacement::Mram, 2)
+            .with_scale(0.05)
+            .with_seed(9)
+    }
+
+    /// A scratch directory unique to one test (std-only stand-in for a
+    /// tempdir crate); removed best-effort on drop.
+    struct ScratchDir(PathBuf);
+    impl ScratchDir {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir()
+                .join(format!("pim-exp-cache-test-{}-{tag}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            ScratchDir(dir)
+        }
+    }
+    impl Drop for ScratchDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn run_counted(cache: &SimCache, spec: &RunSpec, runs: &AtomicUsize) -> CachedRun {
+        cache.get_or_run(spec, Executor::Simulator, || {
+            runs.fetch_add(1, Ordering::SeqCst);
+            let report = spec.run_on(Executor::Simulator);
+            report.assert_invariants();
+            report
+        })
+    }
+
+    #[test]
+    fn repeated_identical_cells_hit_and_return_the_bit_identical_summary() {
+        let cache = SimCache::in_memory();
+        let spec = tiny_spec();
+        let runs = AtomicUsize::new(0);
+        let first = run_counted(&cache, &spec, &runs);
+        let second = run_counted(&cache, &spec, &runs);
+        assert_eq!(first, second, "a hit must replay the run bit for bit");
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "the second lookup must not simulate");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.disk_hits), (1, 1, 0));
+        assert_eq!(stats.bytes_written, 0, "no disk tier, no bytes");
+    }
+
+    #[test]
+    fn every_result_bearing_field_is_part_of_the_key() {
+        let base = tiny_spec();
+        let base_key = SimCache::key(&base, Executor::Simulator);
+        assert!(
+            base_key.starts_with(&format!("v{CACHE_SCHEMA_VERSION}|")),
+            "the schema version must prefix the key: {base_key}"
+        );
+        let variants = [
+            base.with_seed(10),
+            base.with_retry(RetryPolicy::Adaptive),
+            base.with_max_burst_words(8),
+        ];
+        for variant in &variants {
+            assert_ne!(
+                SimCache::key(variant, Executor::Simulator),
+                base_key,
+                "changing a knob must change the key"
+            );
+        }
+        assert_ne!(SimCache::key(&base, Executor::Threaded), base_key);
+        // A seed change misses even with the base cell already cached.
+        let cache = SimCache::in_memory();
+        let runs = AtomicUsize::new(0);
+        run_counted(&cache, &base, &runs);
+        run_counted(&cache, &base.with_seed(10), &runs);
+        assert_eq!(runs.load(Ordering::SeqCst), 2);
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn threaded_runs_always_execute_and_touch_no_statistics() {
+        let cache = SimCache::in_memory();
+        let spec = tiny_spec();
+        let runs = AtomicUsize::new(0);
+        for _ in 0..2 {
+            cache.get_or_run(&spec, Executor::Threaded, || {
+                runs.fetch_add(1, Ordering::SeqCst);
+                spec.run_on(Executor::Threaded)
+            });
+        }
+        assert_eq!(runs.load(Ordering::SeqCst), 2, "wall-clock cells are measured, not replayed");
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn disk_entries_round_trip_bit_identically_into_a_fresh_process() {
+        let scratch = ScratchDir::new("roundtrip");
+        let spec = tiny_spec();
+        let runs = AtomicUsize::new(0);
+        let warm = SimCache::with_dir(&scratch.0).unwrap();
+        assert!(warm.has_disk_tier());
+        let first = run_counted(&warm, &spec, &runs);
+        assert!(warm.stats().bytes_written > 0, "the miss must persist its entry");
+        // A fresh cache over the same directory models a new process.
+        let cold = SimCache::with_dir(&scratch.0).unwrap();
+        let second = cold.get_or_run(&spec, Executor::Simulator, || {
+            unreachable!("a valid disk entry must be read back, not re-simulated")
+        });
+        assert_eq!(first, second, "the disk tier must replay the run bit for bit");
+        let stats = cold.stats();
+        assert_eq!((stats.hits, stats.misses, stats.disk_hits), (1, 0, 1));
+        assert!(stats.bytes_read > 0);
+        // Promotion: the same lookup now hits memory, not disk.
+        let third = cold.get_or_run(&spec, Executor::Simulator, || unreachable!());
+        assert_eq!(first, third);
+        assert_eq!(cold.stats().disk_hits, 1);
+    }
+
+    #[test]
+    fn corrupt_or_stale_disk_entries_are_discarded_and_rewritten() {
+        let scratch = ScratchDir::new("corrupt");
+        let spec = tiny_spec();
+        let runs = AtomicUsize::new(0);
+        let first = run_counted(&SimCache::with_dir(&scratch.0).unwrap(), &spec, &runs);
+        let key = SimCache::key(&spec, Executor::Simulator);
+        let path = scratch.0.join(format!("{:016x}.json", fnv1a(&key)));
+        let good = std::fs::read_to_string(&path).unwrap();
+        let stale_version = good.replace(
+            &format!("\"schema_version\":{CACHE_SCHEMA_VERSION}"),
+            "\"schema_version\":999",
+        );
+        let wrong_key = good.replace("array-a", "array-x");
+        for (tag, bad) in
+            [("garbage", "{not json".to_string()), ("stale", stale_version), ("key", wrong_key)]
+        {
+            std::fs::write(&path, &bad).unwrap();
+            let cache = SimCache::with_dir(&scratch.0).unwrap();
+            let replayed = run_counted(&cache, &spec, &runs);
+            assert_eq!(first, replayed, "{tag}: the re-simulated cell must match");
+            let stats = cache.stats();
+            assert_eq!(
+                (stats.hits, stats.misses),
+                (0, 1),
+                "{tag}: a discarded entry is a miss, never a hit"
+            );
+            assert!(stats.bytes_written > 0, "{tag}: the entry must be rewritten");
+            assert_eq!(
+                std::fs::read_to_string(&path).unwrap(),
+                good,
+                "{tag}: the rewritten entry must be the valid one again"
+            );
+        }
+    }
+
+    #[test]
+    fn entry_parser_rejects_every_structural_deviation() {
+        let spec = tiny_spec();
+        let cached = CachedRun::from_report(&spec.run_on(Executor::Simulator));
+        let key = SimCache::key(&spec, Executor::Simulator);
+        let good = entry_to_json(&key, &cached).to_string();
+        assert_eq!(parse_entry(&good, &key).as_ref(), Some(&cached), "round trip must be exact");
+        // Counters above 2^53 cannot round-trip through the f64 parser;
+        // the hex-string fingerprint can.
+        assert!(cached.fingerprint > 0);
+        for bad in [
+            good.replace("\"commits\"", "\"commitz\""),
+            good.replace("\"time_domain\":\"cycles\"", "\"time_domain\":\"eons\""),
+            good.replace("\"fingerprint\":\"", "\"fingerprint\":\"zz"),
+            format!("{good} trailing"),
+        ] {
+            assert!(parse_entry(&bad, &key).is_none(), "must reject: {bad:.80}");
+        }
+        assert!(parse_entry(&good, "some-other-key").is_none());
+        assert_eq!(as_u64(&Json::UInt(u64::MAX)), Some(u64::MAX));
+        assert_eq!(
+            as_u64(&Json::Num((1u64 << 53) as f64)),
+            None,
+            "counters at or beyond 2^53 cannot have round-tripped exactly"
+        );
+        assert_eq!(as_u64(&Json::Num(-1.0)), None);
+        assert_eq!(as_u64(&Json::Num(1.5)), None);
+    }
+}

@@ -28,6 +28,8 @@ use pim_workloads::spec::Executor;
 use pim_workloads::{RunSpec, Workload};
 use serde::{Deserialize, Serialize};
 
+use crate::cache::{CachedRun, SimCache};
+use crate::pool::WorkerPool;
 use crate::report::{fmt_f64, render_table};
 
 /// Tuning knobs of a design-space sweep beyond the workload × design ×
@@ -296,15 +298,58 @@ impl DesignSpaceSweep {
         tasklet_counts: &[usize],
         options: SweepOptions,
     ) -> Self {
+        Self::run_with_pool(
+            workload,
+            placement,
+            kinds,
+            tasklet_counts,
+            options,
+            &WorkerPool::default(),
+            &SimCache::in_memory(),
+        )
+    }
+
+    /// Runs the sweep on an explicit worker pool and simulation cache (the
+    /// `--workers` / `--cache-dir` entry point): every cell × `--repeat`
+    /// iteration fans out as one independent job, and results are
+    /// regrouped in cell order, so the sweep — points, tables, JSON — is
+    /// bit-identical for any worker count.
+    ///
+    /// Threaded-executor sweeps force [`WorkerPool::serial`]: their cells
+    /// time real OS threads, and running two at once would contend for
+    /// the cores being measured. They also bypass the cache (see
+    /// [`SimCache::get_or_run`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`DesignSpaceSweep::run_with`] does.
+    pub fn run_with_pool(
+        workload: Workload,
+        placement: MetadataPlacement,
+        kinds: &[StmKind],
+        tasklet_counts: &[usize],
+        options: SweepOptions,
+        pool: &WorkerPool,
+        cache: &SimCache,
+    ) -> Self {
         assert!(!kinds.is_empty(), "design-space sweep needs at least one STM design");
         assert!(options.repeat >= 1, "median-of-N needs at least one run per cell");
         let executor = options.executor;
         // Simulator cells are deterministic — every repeat provably returns
         // identical results — so they run (and report) once regardless.
         let repeat = if executor == Executor::Simulator { 1 } else { options.repeat };
-        let mut points = Vec::new();
+        let serial = WorkerPool::serial();
+        let pool = if executor == Executor::Simulator { pool } else { &serial };
+        let mut jobs = Vec::new();
         for &kind in kinds {
             for &tasklets in tasklet_counts {
+                for iteration in 0..repeat {
+                    jobs.push((kind, tasklets, iteration));
+                }
+            }
+        }
+        let runs = pool.run(jobs, |_, (kind, tasklets, iteration)| {
+            if iteration == 0 {
                 eprintln!(
                     "[design-space] {} {} {} {} tasklets={}{}",
                     workload,
@@ -314,19 +359,30 @@ impl DesignSpaceSweep {
                     tasklets,
                     if repeat > 1 { format!(" (median of {repeat})") } else { String::new() }
                 );
-                let mut spec = RunSpec::new(workload, kind, placement, tasklets)
-                    .with_scale(options.scale)
-                    .with_seed(options.seed)
-                    .with_read_strategy(options.read_strategy)
-                    .with_retry(options.retry)
-                    .with_max_burst_words(options.max_burst_words)
-                    .with_tune(options.tune);
-                if let Some(words) = options.record_words {
-                    spec = spec.with_record_words(words);
-                }
-                points.push(Self::run_cell(&spec, executor, repeat));
             }
-        }
+            let mut spec = RunSpec::new(workload, kind, placement, tasklets)
+                .with_scale(options.scale)
+                .with_seed(repeat_seed(options.seed, iteration))
+                .with_read_strategy(options.read_strategy)
+                .with_retry(options.retry)
+                .with_max_burst_words(options.max_burst_words)
+                .with_tune(options.tune);
+            if let Some(words) = options.record_words {
+                spec = spec.with_record_words(words);
+            }
+            cache.get_or_run(&spec, executor, || {
+                let report = spec.run_on(executor);
+                report.assert_invariants();
+                report
+            })
+        });
+        let points = runs
+            .chunks(repeat)
+            .zip(kinds.iter().flat_map(|&kind| tasklet_counts.iter().map(move |&t| (kind, t))))
+            .map(|(cell_runs, (kind, tasklets))| {
+                Self::point_from_runs(kind, tasklets, cell_runs.to_vec())
+            })
+            .collect();
         DesignSpaceSweep {
             workload,
             placement,
@@ -342,29 +398,27 @@ impl DesignSpaceSweep {
         }
     }
 
-    /// Runs one cell `repeat` times (already clamped to 1 for deterministic
-    /// simulator cells by the caller) and keeps the run with the median
-    /// merged total time (commit/abort counts and the whole profile come
-    /// from that run, so the point stays internally consistent). With
-    /// `repeat > 1` the min/median/max spread over the runs rides along so
-    /// the report carries confidence information, not just a midpoint.
+    /// Builds one point from a cell's `repeat` runs (already clamped to 1
+    /// for deterministic simulator cells by the caller), keeping the run
+    /// with the median merged total time (commit/abort counts and the
+    /// whole profile come from that run, so the point stays internally
+    /// consistent). With `repeat > 1` the min/median/max spread over the
+    /// runs rides along so the report carries confidence information, not
+    /// just a midpoint.
     ///
-    /// Iteration `i` runs under [`repeat_seed`]`(spec.seed, i)` — the same
+    /// Iteration `i` ran under [`repeat_seed`]`(base, i)` — the same
     /// derived sequence for every cell (see the module-level seeding
     /// contract), so repeated runs sample workload variation instead of
     /// re-measuring one workload instance, and cells stay comparable.
-    fn run_cell(spec: &RunSpec, executor: Executor, repeat: usize) -> DesignSpacePoint {
-        let mut reports: Vec<_> = (0..repeat)
-            .map(|i| {
-                let report = spec.with_seed(repeat_seed(spec.seed, i)).run_on(executor);
-                report.assert_invariants();
-                report
-            })
-            .collect();
-        reports.sort_by_cached_key(|r| r.merged_profile().total_time());
+    fn point_from_runs(
+        kind: StmKind,
+        tasklets: usize,
+        mut runs: Vec<CachedRun>,
+    ) -> DesignSpacePoint {
+        let repeat = runs.len();
+        runs.sort_by_cached_key(|r| r.profile.total_time());
         let spread = (repeat > 1).then(|| {
-            let totals: Vec<u64> =
-                reports.iter().map(|r| r.merged_profile().total_time()).collect();
+            let totals: Vec<u64> = runs.iter().map(|r| r.profile.total_time()).collect();
             let (mean_total_time, ci95_total_time) = RepeatSpread::mean_ci95(&totals);
             RepeatSpread {
                 runs: repeat,
@@ -373,23 +427,23 @@ impl DesignSpaceSweep {
                 max_total_time: totals.last().copied().unwrap_or(0),
                 mean_total_time,
                 ci95_total_time,
-                min_aborts: reports.iter().map(|r| r.aborts).min().unwrap_or(0),
-                max_aborts: reports.iter().map(|r| r.aborts).max().unwrap_or(0),
+                min_aborts: runs.iter().map(|r| r.aborts).min().unwrap_or(0),
+                max_aborts: runs.iter().map(|r| r.aborts).max().unwrap_or(0),
             }
         });
         // Lower median: for an even repeat count this keeps the *faster*
         // middle run rather than degenerating to worst-of-N (repeat = 2
         // would otherwise always keep the slower run).
-        let report = reports.swap_remove((reports.len() - 1) / 2);
+        let run = runs.swap_remove((runs.len() - 1) / 2);
         DesignSpacePoint {
-            kind: spec.kind,
-            tasklets: spec.tasklets,
-            throughput_tx_per_sec: report.throughput_tx_per_sec(),
-            abort_rate: report.abort_rate(),
-            commits: report.commits,
-            aborts: report.aborts,
-            profile: report.merged_profile(),
-            makespan_seconds: report.sim.as_ref().map(|s| s.makespan_seconds()),
+            kind,
+            tasklets,
+            throughput_tx_per_sec: run.throughput_tx_per_sec,
+            abort_rate: run.abort_rate(),
+            commits: run.commits,
+            aborts: run.aborts,
+            profile: run.profile,
+            makespan_seconds: run.makespan_seconds,
             spread,
         }
     }
@@ -644,15 +698,18 @@ pub struct BurstSweep {
 impl BurstSweep {
     /// Runs `kinds` × `caps` at one tasklet count; everything else
     /// (executor, repeat, read strategy) comes from `options` —
-    /// `options.max_burst_words` is overridden by each cap in turn. When a
-    /// cap matches a `base` sweep that already ran the same cells (same
-    /// knobs, same kinds, same tasklet count), those cells are reused
-    /// instead of re-run.
+    /// `options.max_burst_words` is overridden by each cap in turn. Cells
+    /// an earlier sweep already ran under the same knobs (e.g. the main
+    /// design-space sweep sharing `cache`, or a warm `--cache-dir`) are
+    /// replayed from the cache instead of re-simulated — the
+    /// content-addressed generalisation of the old ad-hoc base-sweep
+    /// reuse.
     ///
     /// # Panics
     ///
     /// Panics if `kinds` or `caps` is empty, or as
     /// [`DesignSpaceSweep::run_with`] does.
+    #[allow(clippy::too_many_arguments)]
     pub fn run(
         workload: Workload,
         placement: MetadataPlacement,
@@ -660,23 +717,21 @@ impl BurstSweep {
         tasklets: usize,
         caps: &[u32],
         options: SweepOptions,
-        base: Option<&DesignSpaceSweep>,
+        pool: &WorkerPool,
+        cache: &SimCache,
     ) -> Self {
         assert!(!caps.is_empty(), "the burst-cap sweep needs at least one cap");
         let sweeps = caps
             .iter()
             .map(|&cap| {
-                if let Some(reused) = base.and_then(|b| {
-                    Self::reuse_base(b, workload, placement, kinds, tasklets, cap, options)
-                }) {
-                    return reused;
-                }
-                DesignSpaceSweep::run_with(
+                DesignSpaceSweep::run_with_pool(
                     workload,
                     placement,
                     kinds,
                     &[tasklets],
                     SweepOptions { max_burst_words: cap, ..options },
+                    pool,
+                    cache,
                 )
             })
             .collect();
@@ -688,36 +743,6 @@ impl BurstSweep {
             caps: caps.to_vec(),
             sweeps,
         }
-    }
-
-    /// The single-tasklet-count sub-sweep of `base` for `cap`, if `base`
-    /// ran exactly these cells under the same knobs.
-    fn reuse_base(
-        base: &DesignSpaceSweep,
-        workload: Workload,
-        placement: MetadataPlacement,
-        kinds: &[StmKind],
-        tasklets: usize,
-        cap: u32,
-        options: SweepOptions,
-    ) -> Option<DesignSpaceSweep> {
-        let matches = base.workload == workload
-            && base.placement == placement
-            && base.executor == options.executor
-            && base.scale == options.scale
-            && base.seed == options.seed
-            && base.read_strategy == options.read_strategy
-            && base.retry == options.retry
-            && base.record_words == options.record_words
-            && base.tune == options.tune
-            && base.max_burst_words == cap
-            && kinds.iter().all(|&kind| base.point(kind, tasklets).is_some());
-        if !matches {
-            return None;
-        }
-        let mut sub = base.clone();
-        sub.points.retain(|p| p.tasklets == tasklets && kinds.contains(&p.kind));
-        Some(sub)
     }
 
     /// The merged profile of one design under each cap, in cap order.
@@ -922,6 +947,82 @@ mod tests {
         );
         assert!(!sweep.has_spread(), "simulator repeats are clamped to one run");
         assert!(sweep.point(StmKind::Norec, 2).unwrap().spread.is_none());
+    }
+
+    /// The `--workers` acceptance criterion for sweeps, including the
+    /// flattened `--repeat` iterations: any worker count produces the same
+    /// JSON dump byte for byte.
+    #[test]
+    fn sweep_results_are_bit_identical_for_any_worker_count() {
+        use crate::cache::SimCache;
+        use crate::pool::WorkerPool;
+        let options = SweepOptions { scale: 0.05, seed: 9, repeat: 2, ..SweepOptions::default() };
+        let run = |pool: &WorkerPool| {
+            DesignSpaceSweep::run_with_pool(
+                Workload::ArrayB,
+                MetadataPlacement::Mram,
+                &[StmKind::Norec, StmKind::TinyEtlWb],
+                &[1, 4],
+                options,
+                pool,
+                &SimCache::in_memory(),
+            )
+        };
+        let serial = run(&WorkerPool::serial());
+        let wide = run(&WorkerPool::new(8));
+        assert_eq!(
+            crate::json::sweeps_to_json(&[serial]).to_string(),
+            crate::json::sweeps_to_json(&[wide]).to_string(),
+            "worker count must never change a single swept number"
+        );
+    }
+
+    /// A burst ladder sharing the base sweep's cache replays the cells the
+    /// base already ran: the cap equal to the base's is pure hits — the
+    /// content-addressed form of the old ad-hoc base-sweep reuse.
+    #[test]
+    fn burst_sweeps_reuse_base_cells_through_the_cache() {
+        use crate::cache::SimCache;
+        use crate::pool::WorkerPool;
+        let cache = SimCache::in_memory();
+        let pool = WorkerPool::serial();
+        let options = SweepOptions { scale: 0.05, seed: 9, ..SweepOptions::default() };
+        let base = DesignSpaceSweep::run_with_pool(
+            Workload::ArrayB,
+            MetadataPlacement::Mram,
+            &[StmKind::TinyEtlWb],
+            &[4],
+            options,
+            &pool,
+            &cache,
+        );
+        let before = cache.stats();
+        assert_eq!(before.misses, 1, "the base sweep simulates its one cell");
+        let burst = BurstSweep::run(
+            Workload::ArrayB,
+            MetadataPlacement::Mram,
+            &[StmKind::TinyEtlWb],
+            4,
+            &[base.max_burst_words, 8],
+            options,
+            &pool,
+            &cache,
+        );
+        let delta = cache.stats().since(&before);
+        assert_eq!(delta.hits, 1, "the base-cap cell must replay from the cache");
+        assert_eq!(delta.misses, 1, "only the new cap simulates");
+        let reused = burst
+            .sweeps
+            .iter()
+            .find(|s| s.max_burst_words == base.max_burst_words)
+            .expect("the base cap was swept");
+        let (a, b) = (
+            reused.point(StmKind::TinyEtlWb, 4).unwrap(),
+            base.point(StmKind::TinyEtlWb, 4).unwrap(),
+        );
+        assert_eq!(a.commits, b.commits);
+        assert_eq!(a.profile.total_time(), b.profile.total_time());
+        assert_eq!(a.throughput_tx_per_sec, b.throughput_tx_per_sec);
     }
 
     #[test]

@@ -32,6 +32,7 @@ use pim_stm::{MetadataPlacement, StmKind, TunePolicy};
 use pim_workloads::{RoutingPolicy, ShardedWorkloadConfig};
 
 use crate::design_space::{mean_ci95, repeat_seed};
+use crate::pool::WorkerPool;
 use crate::report::{fmt_f64, render_table};
 
 /// DPU counts of the default scaling curve (three points minimum, up to
@@ -163,13 +164,11 @@ impl FleetSkewPoint {
     }
 }
 
-/// Runs one fleet `repeat` times under consecutive seeds and returns the
-/// (lower-)median-makespan run plus the spread (`None` for one run).
-fn run_repeated(config: &FleetConfig, repeat: usize) -> (FleetReport, Option<FleetSpread>) {
-    let repeat = repeat.max(1);
-    let mut reports: Vec<FleetReport> = (0..repeat)
-        .map(|i| run(&FleetConfig { seed: repeat_seed(config.seed, i), ..*config }))
-        .collect();
+/// Collapses one fleet point's `repeat` runs (consecutive seeds, already
+/// executed) into the (lower-)median-makespan run plus the spread
+/// (`None` for one run).
+fn collapse_runs(mut reports: Vec<FleetReport>) -> (FleetReport, Option<FleetSpread>) {
+    let repeat = reports.len();
     let spread = (repeat > 1).then(|| {
         let makespans: Vec<f64> = reports.iter().map(|r| r.makespan_seconds).collect();
         let rates: Vec<f64> = reports.iter().map(FleetReport::throughput_tx_per_sec).collect();
@@ -222,6 +221,25 @@ impl FleetSweep {
     ///
     /// Panics if `dpus` is empty or contains a zero.
     pub fn run(dpus: &[usize], options: FleetSweepOptions) -> Self {
+        Self::run_with(dpus, options, &WorkerPool::default())
+    }
+
+    /// Runs the sweep on an explicit worker pool (the `--workers` entry
+    /// point): every fleet run — each scaling point, each skew point, the
+    /// static baselines, every `--repeat` iteration — fans out as one
+    /// independent job, and results regroup in enumeration order, so the
+    /// sweep is bit-identical for any worker count.
+    ///
+    /// The pool's thread budget is shared with the shard workers *inside*
+    /// each point: every job's [`FleetConfig::with_host_workers`] quota is
+    /// [`WorkerPool::inner_budget`], so concurrent points × shard workers
+    /// never exceed `pool.workers()` (`host_workers` affects wall-clock
+    /// only, never results).
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`FleetSweep::run`] does.
+    pub fn run_with(dpus: &[usize], options: FleetSweepOptions, pool: &WorkerPool) -> Self {
         assert!(!dpus.is_empty(), "--fleet needs at least one DPU count");
         let keys_per_dpu = (KEYS_PER_DPU_AT_FULL_SCALE * options.scale).round().max(32.0) as u32;
         let txns_per_dpu = (TXNS_PER_DPU_AT_FULL_SCALE * options.scale).round().max(16.0) as u32;
@@ -244,24 +262,53 @@ impl FleetSweep {
             .with_overlap(options.overlap)
             .with_tune(options.tune)
         };
+        let repeat = options.repeat.max(1);
+        let largest = *counts.last().expect("counts is non-empty");
+        // Flatten every fleet run into one job list: scaling points, then
+        // per-theta adaptive runs and (with rebalancing) their static
+        // baselines, each × `repeat` consecutive seeds. Seeds come from
+        // the job spec, never from execution order.
+        let mut jobs: Vec<FleetConfig> = Vec::new();
+        let push_repeats = |jobs: &mut Vec<FleetConfig>, base: FleetConfig| {
+            jobs.extend(
+                (0..repeat).map(|i| FleetConfig { seed: repeat_seed(base.seed, i), ..base }),
+            );
+        };
+        for &n in &counts {
+            push_repeats(&mut jobs, config(n, KeyDist::Uniform));
+        }
+        for &theta in &options.thetas {
+            let dist = if theta == 0.0 { KeyDist::Uniform } else { KeyDist::Zipf { theta } };
+            let adaptive = config(largest, dist);
+            push_repeats(&mut jobs, adaptive);
+            if options.rebalance.is_enabled() {
+                push_repeats(&mut jobs, adaptive.with_rebalance(RebalancePolicy::Off));
+            }
+        }
+        // One thread budget: concurrent points × per-point shard workers
+        // stays within the pool.
+        let host_workers = pool.inner_budget(jobs.len());
+        let mut reports =
+            pool.run(jobs, |_, job| run(&job.with_host_workers(host_workers))).into_iter();
+        let next_group = |reports: &mut std::vec::IntoIter<FleetReport>| -> Vec<FleetReport> {
+            reports.by_ref().take(repeat).collect()
+        };
         let scaling = counts
             .iter()
             .map(|&n| {
-                let (report, spread) = run_repeated(&config(n, KeyDist::Uniform), options.repeat);
+                let (report, spread) = collapse_runs(next_group(&mut reports));
                 FleetScalingPoint { n_dpus: n, report, spread }
             })
             .collect();
-        let largest = *counts.last().expect("counts is non-empty");
         let skew = options
             .thetas
             .iter()
             .map(|&theta| {
-                let dist = if theta == 0.0 { KeyDist::Uniform } else { KeyDist::Zipf { theta } };
-                let adaptive = config(largest, dist);
-                let (report, spread) = run_repeated(&adaptive, options.repeat);
-                let baseline = options.rebalance.is_enabled().then(|| {
-                    run_repeated(&adaptive.with_rebalance(RebalancePolicy::Off), options.repeat).0
-                });
+                let (report, spread) = collapse_runs(next_group(&mut reports));
+                let baseline = options
+                    .rebalance
+                    .is_enabled()
+                    .then(|| collapse_runs(next_group(&mut reports)).0);
                 FleetSkewPoint { theta, report, spread, baseline }
             })
             .collect();
@@ -622,6 +669,43 @@ mod tests {
         let uniform = &sweep.skew[0].report;
         let skewed = &sweep.skew[1].report;
         assert!(skewed.imbalance.cv_commits > uniform.imbalance.cv_commits);
+    }
+
+    /// The `--workers` acceptance criterion for the fleet: the whole sweep
+    /// — scaling points, skew points, repeats — is equal report for report
+    /// under any worker count, even though the inner per-shard host-worker
+    /// quota differs between the two pools.
+    #[test]
+    fn fleet_sweeps_are_bit_identical_for_any_worker_count() {
+        let options = FleetSweepOptions { repeat: 2, ..tiny_options() };
+        let serial = FleetSweep::run_with(&[2, 4], options.clone(), &WorkerPool::serial());
+        let wide = FleetSweep::run_with(&[2, 4], options, &WorkerPool::new(8));
+        assert_eq!(serial, wide, "worker count must never change a measured fleet number");
+    }
+
+    /// The oversubscription regression: a fleet point running as one of
+    /// the pool's jobs must get a shard-worker quota that keeps
+    /// `concurrent points × shard workers ≤ pool budget` — the arithmetic
+    /// `run_with` applies, pinned here against every awkward shape,
+    /// including the quota's pass-through into [`pim_fleet`]'s resolver.
+    #[test]
+    fn fleet_points_under_the_pool_never_oversubscribe_the_budget() {
+        for (workers, jobs) in [(8, 3), (8, 16), (4, 1), (1, 5), (6, 4), (16, 2)] {
+            let pool = WorkerPool::new(workers);
+            let inner = pool.inner_budget(jobs);
+            assert!(inner >= 1, "every point gets at least one shard worker");
+            let concurrent = pool.workers().min(jobs);
+            assert!(
+                concurrent * inner <= pool.workers(),
+                "{workers} workers × {jobs} jobs: {concurrent} concurrent points × \
+                 {inner} shard workers would oversubscribe"
+            );
+            // The quota reaches the fleet runtime verbatim — an explicit
+            // (non-zero) host_workers is never re-widened to all cores.
+            assert_eq!(pim_fleet::resolve_host_workers(inner), inner);
+        }
+        // The unpooled default stays "all cores".
+        assert!(pim_fleet::resolve_host_workers(0) >= 1);
     }
 
     #[test]

@@ -40,6 +40,8 @@ use pim_workloads::spec::Executor;
 use pim_workloads::{RunSpec, Workload};
 use serde::{Deserialize, Serialize};
 
+use crate::cache::{CacheStats, SimCache};
+use crate::pool::WorkerPool;
 use crate::report::{fmt_f64, render_table};
 
 /// Knobs of one `--grid` search beyond the workload × placement cell.
@@ -160,6 +162,9 @@ pub struct GridSearch {
     pub caps: Vec<u32>,
     /// All measured cells, ranked best-first (rank 1 first).
     pub cells: Vec<GridCell>,
+    /// Simulation-cache movement attributable to *this* search (hits,
+    /// misses, disk bytes) — the report panel behind `--cache-dir`.
+    pub cache: CacheStats,
 }
 
 /// Enumerates the full coherent grid for one burst-cap ladder: every
@@ -209,28 +214,45 @@ impl GridSearch {
     /// Panics if `options.caps` is empty, or if the workload cannot host
     /// its metadata in the requested tier.
     pub fn run(workload: Workload, placement: MetadataPlacement, options: GridOptions) -> Self {
+        Self::run_with(workload, placement, options, &WorkerPool::default(), &SimCache::in_memory())
+    }
+
+    /// Runs the full grid on an explicit worker pool and simulation cache
+    /// (the `--workers` / `--cache-dir` entry point). Cells fan out as
+    /// independent jobs; the result — ranking, defaults gap, JSON — is
+    /// bit-identical for any worker count, and cells the cache has
+    /// already seen (defaults-gap passes, overlapping burst ladders,
+    /// warm `--cache-dir` runs) are replayed instead of re-simulated.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`GridSearch::run`] does.
+    pub fn run_with(
+        workload: Workload,
+        placement: MetadataPlacement,
+        options: GridOptions,
+        pool: &WorkerPool,
+        cache: &SimCache,
+    ) -> Self {
         assert!(!options.caps.is_empty(), "--grid needs at least one burst cap");
+        let stats_before = cache.stats();
         let specs = enumerate_cells(&options.caps);
         let total = specs.len();
-        let mut cells: Vec<GridCell> = specs
-            .into_iter()
-            .enumerate()
-            .map(|(i, spec)| {
-                eprintln!(
-                    "[grid {}/{}] {} {} retry={} read={} wb={} order={} cap={}",
-                    i + 1,
-                    total,
-                    workload,
-                    spec.kind.name(),
-                    spec.retry.name(),
-                    spec.read_strategy.name(),
-                    spec.write_back.name(),
-                    spec.lock_order.name(),
-                    spec.max_burst_words,
-                );
-                Self::run_cell(workload, placement, spec, &options)
-            })
-            .collect();
+        let mut cells: Vec<GridCell> = pool.run(specs, |i, spec| {
+            eprintln!(
+                "[grid {}/{}] {} {} retry={} read={} wb={} order={} cap={}",
+                i + 1,
+                total,
+                workload,
+                spec.kind.name(),
+                spec.retry.name(),
+                spec.read_strategy.name(),
+                spec.write_back.name(),
+                spec.lock_order.name(),
+                spec.max_burst_words,
+            );
+            Self::run_cell(workload, placement, spec, &options, cache)
+        });
         // Rank by throughput, best first; ties break toward fewer aborted
         // attempts (less wasted work for the same committed rate), then
         // stay in enumeration order, which is deterministic.
@@ -257,6 +279,7 @@ impl GridSearch {
             seed: options.seed,
             caps: options.caps,
             cells,
+            cache: cache.stats().since(&stats_before),
         }
     }
 
@@ -265,6 +288,7 @@ impl GridSearch {
         placement: MetadataPlacement,
         spec: GridCellSpec,
         options: &GridOptions,
+        cache: &SimCache,
     ) -> GridCell {
         let mut run = RunSpec::new(workload, spec.kind, placement, options.tasklets)
             .with_scale(options.scale)
@@ -277,18 +301,22 @@ impl GridSearch {
         if let Some(words) = options.record_words {
             run = run.with_record_words(words);
         }
-        let report = run.run_on(Executor::Simulator);
-        report.assert_invariants();
-        let sim = report.sim.as_ref().expect("simulator runs carry the full report");
+        let cached = cache.get_or_run(&run, Executor::Simulator, || {
+            let report = run.run_on(Executor::Simulator);
+            report.assert_invariants();
+            report
+        });
         GridCell {
             spec,
             rank: 0, // filled in after ranking
-            throughput_tx_per_sec: sim.throughput_tx_per_sec(),
-            makespan_seconds: sim.makespan_seconds(),
-            total_time: report.merged_profile().total_time(),
-            commits: report.commits,
-            aborts: report.aborts,
-            abort_rate: report.abort_rate(),
+            throughput_tx_per_sec: cached
+                .throughput_tx_per_sec
+                .expect("simulator runs carry the full report"),
+            makespan_seconds: cached.makespan_seconds.expect("simulator runs carry a makespan"),
+            total_time: cached.profile.total_time(),
+            commits: cached.commits,
+            aborts: cached.aborts,
+            abort_rate: cached.abort_rate(),
             slowdown_vs_best: 1.0, // filled in after ranking
             is_default: spec.is_default(&options.caps),
         }
@@ -411,6 +439,27 @@ impl GridSearch {
             render_table(&header, &rows)
         )
     }
+
+    /// Renders the simulation-cache panel: how many of this search's cells
+    /// were replayed from the cache vs simulated fresh, and the
+    /// `--cache-dir` traffic. All zeros reads as "cold cache, nothing
+    /// persisted".
+    pub fn cache_table(&self) -> String {
+        let header: Vec<String> =
+            ["cells", "cache hits", "misses", "disk hits", "read B", "written B"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let rows = vec![vec![
+            self.cells.len().to_string(),
+            self.cache.hits.to_string(),
+            self.cache.misses.to_string(),
+            self.cache.disk_hits.to_string(),
+            self.cache.bytes_read.to_string(),
+            self.cache.bytes_written.to_string(),
+        ]];
+        format!("simulation cache\n{}", render_table(&header, &rows))
+    }
 }
 
 #[cfg(test)]
@@ -504,6 +553,65 @@ mod tests {
         let defaults = grid.defaults_table();
         assert!(defaults.contains("default rank"));
         assert!(defaults.contains("norec-ctl-wb"));
+    }
+
+    /// The `--workers` acceptance criterion: a grid search is bit-identical
+    /// for any worker count — same cells, same ranking, same JSON — because
+    /// cells are independent jobs collected by index.
+    #[test]
+    fn grid_results_are_bit_identical_for_any_worker_count() {
+        let options =
+            GridOptions { scale: 0.02, tasklets: 2, caps: vec![64], ..GridOptions::default() };
+        let serial = GridSearch::run_with(
+            Workload::ArrayB,
+            MetadataPlacement::Mram,
+            options.clone(),
+            &WorkerPool::serial(),
+            &SimCache::in_memory(),
+        );
+        let wide = GridSearch::run_with(
+            Workload::ArrayB,
+            MetadataPlacement::Mram,
+            options,
+            &WorkerPool::new(8),
+            &SimCache::in_memory(),
+        );
+        assert_eq!(serial, wide, "worker count must never change a single reported number");
+        assert_eq!(
+            crate::json::grid_to_json(&serial).to_string(),
+            crate::json::grid_to_json(&wide).to_string(),
+            "and the JSON dumps must be byte-identical"
+        );
+    }
+
+    /// The cache acceptance criterion: repeating an identical search over a
+    /// shared cache replays every cell (hits == cells, zero duplicate
+    /// simulations) and returns bit-identical cells.
+    #[test]
+    fn warm_grid_reruns_hit_every_cell_and_change_nothing() {
+        let options =
+            GridOptions { scale: 0.02, tasklets: 2, caps: vec![64], ..GridOptions::default() };
+        let cache = SimCache::in_memory();
+        let cold = GridSearch::run_with(
+            Workload::ArrayB,
+            MetadataPlacement::Mram,
+            options.clone(),
+            &WorkerPool::serial(),
+            &cache,
+        );
+        assert_eq!(cold.cache.misses, cold.cells.len() as u64, "a cold search simulates all");
+        assert_eq!(cold.cache.hits, 0);
+        let warm = GridSearch::run_with(
+            Workload::ArrayB,
+            MetadataPlacement::Mram,
+            options,
+            &WorkerPool::serial(),
+            &cache,
+        );
+        assert_eq!(warm.cache.hits, warm.cells.len() as u64, "a warm search replays all");
+        assert_eq!(warm.cache.misses, 0, "zero duplicate simulations");
+        assert_eq!(warm.cells, cold.cells, "replayed cells are bit-identical");
+        assert!(warm.cache_table().contains("simulation cache"));
     }
 
     #[test]

@@ -34,7 +34,10 @@
 //! measured `throughput_tx_per_sec`, `makespan_seconds`, `total_time`,
 //! `commits`/`aborts`/`abort_rate`, its 1-based `rank`, its
 //! `slowdown_vs_best` (1.0 for the winner) and an `is_default` marker on
-//! the static-defaults cell.
+//! the static-defaults cell. A `cache` object records the simulation-cache
+//! movement of the search itself (`hits`, `misses`, `disk_hits`,
+//! `bytes_read`, `bytes_written`), so a warm re-run is distinguishable
+//! from a cold one in the dump alone.
 
 use pim_fleet::{FleetReport, PrimitiveStats};
 use pim_sim::Phase;
@@ -672,6 +675,16 @@ pub fn grid_to_json(search: &GridSearch) -> Json {
         ("seed".into(), Json::u64(search.seed)),
         ("caps".into(), Json::Arr(search.caps.iter().map(|&c| Json::u64(u64::from(c))).collect())),
         (
+            "cache".into(),
+            Json::Obj(vec![
+                ("hits".into(), Json::u64(search.cache.hits)),
+                ("misses".into(), Json::u64(search.cache.misses)),
+                ("disk_hits".into(), Json::u64(search.cache.disk_hits)),
+                ("bytes_read".into(), Json::u64(search.cache.bytes_read)),
+                ("bytes_written".into(), Json::u64(search.cache.bytes_written)),
+            ]),
+        ),
+        (
             "cells".into(),
             Json::Arr(
                 search
@@ -898,6 +911,11 @@ mod tests {
         assert_eq!(parsed.get("workload"), Some(&Json::Str("array-b".into())));
         let Some(Json::Arr(cells)) = parsed.get("cells") else { panic!("cells must be an array") };
         assert_eq!(cells.len(), 108);
+        // A cold search misses once per cell and hits nothing.
+        let cache = parsed.get("cache").expect("grid dump must carry the cache panel");
+        assert_eq!(cache.get("hits"), Some(&Json::Num(0.0)));
+        assert_eq!(cache.get("misses"), Some(&Json::Num(108.0)));
+        assert_eq!(cache.get("disk_hits"), Some(&Json::Num(0.0)));
         assert_eq!(cells[0].get("rank"), Some(&Json::Num(1.0)));
         assert_eq!(cells[0].get("slowdown_vs_best"), Some(&Json::Num(1.0)));
         assert!(matches!(cells[0].get("throughput_tx_per_sec"), Some(Json::Num(n)) if *n > 0.0));

@@ -18,6 +18,7 @@
 //! figure regenerates in minutes; use `--scale 1.0` for the paper-sized
 //! runs.
 
+use pim_exp::cache::SimCache;
 use pim_exp::design_space::{BurstSweep, DesignSpaceSweep, SweepOptions};
 use pim_exp::fleet::{FleetSweep, FleetSweepOptions, DEFAULT_FLEET_DPUS, DEFAULT_SKEW_THETAS};
 use pim_exp::grid::{GridOptions, GridSearch};
@@ -25,6 +26,7 @@ use pim_exp::json::{fleet_to_json, grid_to_json, sweeps_to_json};
 use pim_exp::latency::LatencyComparison;
 use pim_exp::multi_dpu::{figure8_table, MultiDpuBenchmark, MultiDpuStudy};
 use pim_exp::peak::PeakDistribution;
+use pim_exp::pool::WorkerPool;
 use pim_fleet::RebalancePolicy;
 use pim_stm::{MetadataPlacement, ReadStrategy, RetryPolicy, StmKind, TmComposition, TunePolicy};
 use pim_workloads::spec::Executor;
@@ -58,6 +60,11 @@ struct Options {
     record_words: Option<u32>,
     burst_words: Option<Vec<u32>>,
     json_out: Option<String>,
+    /// `--workers`: the one worker budget shared by the outer experiment
+    /// fan-out and the fleet's inner per-shard host workers (0 = all
+    /// available cores).
+    workers: usize,
+    cache_dir: Option<String>,
 }
 
 impl Default for Options {
@@ -86,6 +93,8 @@ impl Default for Options {
             record_words: None,
             burst_words: None,
             json_out: None,
+            workers: 0,
+            cache_dir: None,
         }
     }
 }
@@ -113,6 +122,22 @@ impl Options {
             tune: self.tune,
             record_words: self.record_words,
             ..SweepOptions::default()
+        }
+    }
+
+    /// The worker pool fanning out this invocation's independent jobs.
+    fn worker_pool(&self) -> WorkerPool {
+        WorkerPool::new(self.workers)
+    }
+
+    /// The simulation cache of this invocation: in-memory always, plus the
+    /// `--cache-dir` on-disk tier when requested.
+    fn sim_cache(&self) -> Result<SimCache, String> {
+        match &self.cache_dir {
+            Some(dir) => {
+                SimCache::with_dir(dir).map_err(|e| format!("cannot open --cache-dir {dir}: {e}"))
+            }
+            None => Ok(SimCache::in_memory()),
         }
     }
 }
@@ -253,6 +278,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 options.burst_words = Some(caps);
             }
             "--json-out" => options.json_out = Some(value()?),
+            "--workers" => {
+                options.workers =
+                    value()?.parse().map_err(|e| format!("bad --workers value: {e}"))?;
+            }
+            "--cache-dir" => options.cache_dir = Some(value()?),
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument {other}\n{}", usage())),
         }
@@ -273,6 +303,7 @@ fn usage() -> String {
      \x20              [--burst-words 8,16,64,...] [--json-out <path>]\n\
      \x20              [--tasklets 1,3,5,...] [--dpus 1,500,...]\n\
      \x20              [--scale <f>] [--seed <n>]\n\
+     \x20              [--workers <n>] [--cache-dir <path>]\n\
      \x20 --fleet runs the measured multi-DPU sharded runtime instead of a\n\
      \x20 figure: a weak-scaling curve over --dpus (default 4,16,64,256)\n\
      \x20 plus a key-skew sweep at the largest fleet (--skew-thetas,\n\
@@ -312,7 +343,17 @@ fn usage() -> String {
      \x20 per abort-histogram window; --tune-window overrides the window\n\
      \x20 size) on sweeps and on the fleet, where every shard DPU tunes\n\
      \x20 its own knobs independently. Tuner decisions appear as\n\
-     \x20 cycle-stamped simulator events and in the JSON dump."
+     \x20 cycle-stamped simulator events and in the JSON dump.\n\
+     \x20 --workers N caps the one worker budget shared by the experiment\n\
+     \x20 fan-out (grid cells, sweep cells, --repeat iterations, fleet\n\
+     \x20 points) and the fleet's inner per-shard host workers (0 = all\n\
+     \x20 cores, the default); any N yields bit-identical output. Sweeps\n\
+     \x20 on the threaded executor stay serial regardless (wall-clock\n\
+     \x20 cells must not contend for cores). --cache-dir adds an on-disk\n\
+     \x20 tier to the content-addressed simulation cache so repeated\n\
+     \x20 identical cells are read back instead of re-simulated; it\n\
+     \x20 applies to --grid and to the design-space sweeps, never to the\n\
+     \x20 measured --fleet runtime."
         .to_string()
 }
 
@@ -337,6 +378,8 @@ fn print_sweep(
     workload: Workload,
     placement: MetadataPlacement,
     options: &Options,
+    pool: &WorkerPool,
+    cache: &SimCache,
     collected: &mut Vec<DesignSpaceSweep>,
 ) {
     let kinds = match options.stm {
@@ -345,12 +388,14 @@ fn print_sweep(
     };
     for &executor in &options.executors {
         println!("== {workload} ({} metadata, {}, {executor}) ==", placement, workload.figure());
-        let sweep = DesignSpaceSweep::run_with(
+        let sweep = DesignSpaceSweep::run_with_pool(
             workload,
             placement,
             &kinds,
             &options.tasklets,
             options.sweep_options(executor),
+            pool,
+            cache,
         );
         if executor == Executor::Simulator {
             println!("{}", sweep.throughput_table());
@@ -364,6 +409,8 @@ fn print_sweep(
         }
         if let Some(caps) = &options.burst_words {
             let tasklets = sweep.points.iter().map(|p| p.tasklets).max().unwrap_or(1);
+            // A cap equal to the base sweep's hits the shared simulation
+            // cache cell-for-cell instead of re-running.
             let burst = BurstSweep::run(
                 workload,
                 placement,
@@ -371,9 +418,8 @@ fn print_sweep(
                 tasklets,
                 caps,
                 options.sweep_options(executor),
-                // A cap equal to the base sweep's reuses its cells instead
-                // of re-running them.
-                Some(&sweep),
+                pool,
+                cache,
             );
             println!("{}", burst.table());
             // The per-cap cells are full sweeps; --json-out dumps them too —
@@ -410,6 +456,9 @@ fn run_fleet(options: &Options) -> Result<FleetSweep, String> {
         ("--record-words", options.record_words.is_some()),
         ("--read-strategy", options.read_strategy != ReadStrategy::default()),
         ("--retry", options.retry != RetryPolicy::default()),
+        // The fleet is a measured runtime, not a memoisable pure function
+        // of its spec — its cells never enter the simulation cache.
+        ("--cache-dir", options.cache_dir.is_some()),
     ] {
         if set {
             return Err(format!("{flag} does not apply to the --fleet sweep"));
@@ -433,7 +482,7 @@ fn run_fleet(options: &Options) -> Result<FleetSweep, String> {
         return Err("--fleet needs a non-empty --dpus list of positive counts".to_string());
     }
     println!("== fleet: measured multi-DPU sharded runtime ==");
-    let sweep = FleetSweep::run(&dpus, fleet_options);
+    let sweep = FleetSweep::run_with(&dpus, fleet_options, &options.worker_pool());
     println!("{}", sweep.scaling_table());
     println!("{}", sweep.profile_table());
     if sweep.options.tune != TunePolicy::Static {
@@ -487,9 +536,17 @@ fn run_grid(options: &Options) -> Result<GridSearch, String> {
         record_words: options.record_words,
     };
     println!("== grid: full design-space search ==");
-    let search = GridSearch::run(workload, options.placement, grid_options);
+    let cache = options.sim_cache()?;
+    let search = GridSearch::run_with(
+        workload,
+        options.placement,
+        grid_options,
+        &options.worker_pool(),
+        &cache,
+    );
     println!("{}", search.ranked_table(12));
     println!("{}", search.defaults_table());
+    println!("{}", search.cache_table());
     Ok(search)
 }
 
@@ -533,6 +590,7 @@ fn run_figure(
         ("--retry", options.retry != RetryPolicy::default()),
         ("--tune", options.tune != TunePolicy::Static),
         ("--record-words", options.record_words.is_some()),
+        ("--cache-dir", options.cache_dir.is_some()),
     ] {
         if set && !is_sweep_figure {
             return Err(format!(
@@ -541,29 +599,34 @@ fn run_figure(
             ));
         }
     }
+    // One pool and one cache span the whole figure, so its workloads run
+    // under a single worker budget and repeated cells (e.g. a burst cap
+    // equal to the base sweep's) hit instead of re-simulating.
+    let pool = options.worker_pool();
+    let cache = options.sim_cache()?;
     match figure {
         "fig4" => {
             for workload in [Workload::ArrayA, Workload::ArrayB, Workload::ListLc, Workload::ListHc]
             {
-                print_sweep(workload, MetadataPlacement::Mram, options, collected);
+                print_sweep(workload, MetadataPlacement::Mram, options, &pool, &cache, collected);
             }
         }
         "fig5" => {
             for workload in
                 [Workload::KmeansLc, Workload::KmeansHc, Workload::LabyrinthS, Workload::LabyrinthL]
             {
-                print_sweep(workload, MetadataPlacement::Mram, options, collected);
+                print_sweep(workload, MetadataPlacement::Mram, options, &pool, &cache, collected);
             }
         }
         "fig9" => {
             for workload in [Workload::ArrayA, Workload::ArrayB, Workload::ListLc, Workload::ListHc]
             {
-                print_sweep(workload, MetadataPlacement::Wram, options, collected);
+                print_sweep(workload, MetadataPlacement::Wram, options, &pool, &cache, collected);
             }
         }
         "fig10" => {
             for workload in [Workload::KmeansLc, Workload::KmeansHc] {
-                print_sweep(workload, MetadataPlacement::Wram, options, collected);
+                print_sweep(workload, MetadataPlacement::Wram, options, &pool, &cache, collected);
             }
         }
         "fig6" => {
@@ -663,7 +726,23 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
-            print_sweep(workload, options.placement, &options, &mut collected);
+            match options.sim_cache() {
+                Ok(cache) => {
+                    let pool = options.worker_pool();
+                    print_sweep(
+                        workload,
+                        options.placement,
+                        &options,
+                        &pool,
+                        &cache,
+                        &mut collected,
+                    );
+                }
+                Err(message) => {
+                    eprintln!("{message}");
+                    return ExitCode::FAILURE;
+                }
+            }
             Ok(())
         } else {
             Err(usage())
@@ -924,6 +1003,32 @@ mod tests {
         let options = Options { tune: TunePolicy::windowed(), ..Options::default() };
         let err = run_figure("fig6", &options, &mut Vec::new()).unwrap_err();
         assert!(err.contains("--tune"), "{err}");
+    }
+
+    #[test]
+    fn workers_and_cache_dir_flags_parse_and_are_scoped() {
+        assert_eq!(parse_args(&[]).unwrap().workers, 0, "default = every available core");
+        let args: Vec<String> = ["--workers", "4", "--cache-dir", "/tmp/pim-cache"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let options = parse_args(&args).unwrap();
+        assert_eq!(options.workers, 4);
+        assert_eq!(options.cache_dir.as_deref(), Some("/tmp/pim-cache"));
+        assert_eq!(options.worker_pool().workers(), 4);
+        // 0 stays the explicit spelling of "all cores".
+        assert_eq!(parse_args(&["--workers".into(), "0".into()]).unwrap().workers, 0);
+        assert!(parse_args(&["--workers".into(), "x".into()]).is_err());
+        assert!(parse_args(&["--workers".into()]).is_err());
+        // The measured fleet never enters the simulation cache, and the
+        // non-sweep figures have no simulator cells to memoise.
+        let options =
+            Options { fleet: true, cache_dir: Some("/tmp/c".into()), ..Options::default() };
+        let err = run_fleet(&options).unwrap_err();
+        assert!(err.contains("--cache-dir"), "{err}");
+        let options = Options { cache_dir: Some("/tmp/c".into()), ..Options::default() };
+        let err = run_figure("fig6", &options, &mut Vec::new()).unwrap_err();
+        assert!(err.contains("--cache-dir"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! Deterministic bounded worker pool for the experiment harness.
+//!
+//! Every outer loop in `pim-exp` — grid cells, design-space sweep cells,
+//! `--repeat` iterations, fleet scaling/skew points — is a map over
+//! *independent* jobs: each job is a pure function of its spec (the
+//! simulator is deterministic under a seed and shares no state between
+//! runs). [`WorkerPool::run`] fans such a job list out over a bounded set
+//! of threads and collects the results **by job index**, so tables and
+//! JSON built from the result vector are bit-identical for any worker
+//! count — the same property [`pim_fleet::runtime`] pins for its shard
+//! workers, lifted one level up to whole experiment points.
+//!
+//! ## Job independence rules
+//!
+//! A loop may be routed through the pool only if its iterations
+//!
+//! * share no mutable state (caches used from jobs must be internally
+//!   synchronised, as [`crate::cache::SimCache`] is),
+//! * derive every PRNG seed from the job spec, never from execution order,
+//! * and write nothing ordered to stdout (progress chatter on stderr may
+//!   interleave; the report/JSON layer renders only from the collected,
+//!   index-ordered results).
+//!
+//! Wall-clock *measurement* loops are excluded: threaded-executor cells
+//! time real OS threads, and running several at once would contend for the
+//! very cores being measured. Callers force [`WorkerPool::serial`] there.
+//!
+//! ## One worker budget, shared with `pim-fleet`
+//!
+//! A fleet sweep point is itself parallel inside: [`pim_fleet::FleetConfig`]
+//! spawns `host_workers` shard-simulation threads per round. Running N
+//! points under an N-worker pool with each point also claiming every core
+//! would oversubscribe the host quadratically. The pool owns the *single*
+//! thread budget: [`WorkerPool::inner_budget`] splits `workers()` between
+//! the concurrently running outer jobs, and the fleet sweep plants that
+//! quota into each point's `host_workers` — so outer × inner ≤ budget,
+//! always. (`host_workers` affects wall-clock speed only, never results,
+//! so the split cannot perturb any report.)
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A bounded worker pool that maps independent jobs to index-ordered
+/// results. Cheap to construct (it holds only the worker budget; threads
+/// are scoped per [`WorkerPool::run`] call).
+#[derive(Debug, Clone)]
+pub struct WorkerPool {
+    workers: usize,
+}
+
+impl Default for WorkerPool {
+    /// A pool with one worker per available core.
+    fn default() -> Self {
+        WorkerPool::new(0)
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool with `workers` threads; `0` means one per available
+    /// core (the `--workers` default).
+    pub fn new(workers: usize) -> Self {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            workers
+        };
+        WorkerPool { workers }
+    }
+
+    /// A single-worker pool: jobs run serially on the calling thread, in
+    /// order. Used for wall-clock-measuring loops (threaded executor) and
+    /// as the `--workers 1` baseline.
+    pub fn serial() -> Self {
+        WorkerPool { workers: 1 }
+    }
+
+    /// The resolved worker budget (≥ 1).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Splits the worker budget between `outer_jobs` concurrently running
+    /// jobs: the thread quota each job may itself spend on inner
+    /// parallelism (e.g. a fleet point's `host_workers`). At most
+    /// `min(workers, outer_jobs)` jobs run at once, so
+    /// `concurrent jobs × inner_budget ≤ workers` always holds.
+    pub fn inner_budget(&self, outer_jobs: usize) -> usize {
+        let concurrent = self.workers.min(outer_jobs.max(1));
+        (self.workers / concurrent).max(1)
+    }
+
+    /// Runs `job` over every element of `jobs` and returns the results in
+    /// job order: `result[i] = job(i, jobs[i])`, regardless of worker
+    /// count or completion order.
+    ///
+    /// With one worker (or ≤ 1 job) the jobs run serially on the calling
+    /// thread — the `--workers 1` baseline that parallel runs must match
+    /// bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// A panic inside `job` (e.g. a workload invariant violation)
+    /// propagates to the caller once the scope unwinds.
+    pub fn run<I, T, F>(&self, jobs: Vec<I>, job: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(usize, I) -> T + Sync,
+    {
+        let n = jobs.len();
+        if self.workers <= 1 || n <= 1 {
+            return jobs.into_iter().enumerate().map(|(i, input)| job(i, input)).collect();
+        }
+        // Hand out jobs through an atomic cursor; park each result in its
+        // job's slot so collection order is the job order, not the
+        // completion order.
+        let inputs: Vec<Mutex<Option<I>>> =
+            jobs.into_iter().map(|input| Mutex::new(Some(input))).collect();
+        let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers.min(n) {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let input = inputs[i]
+                        .lock()
+                        .expect("job slot poisoned")
+                        .take()
+                        .expect("each job index is claimed exactly once");
+                    let output = job(i, input);
+                    *results[i].lock().expect("result slot poisoned") = Some(output);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .unwrap_or_else(|| panic!("job {i} finished without a result"))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicIsize;
+
+    #[test]
+    fn results_are_collected_in_job_order_for_any_worker_count() {
+        let jobs: Vec<usize> = (0..64).collect();
+        let expected: Vec<usize> = jobs.iter().map(|&v| v * v).collect();
+        for workers in [1, 2, 3, 8, 64, 200] {
+            let pool = WorkerPool::new(workers);
+            let got = pool.run(jobs.clone(), |i, v| {
+                assert_eq!(i, v, "job index must match the job's position");
+                // Stagger completion so late-indexed jobs often finish
+                // first — ordering must come from collection, not timing.
+                std::thread::sleep(std::time::Duration::from_micros(((64 - v) % 7) as u64 * 50));
+                v * v
+            });
+            assert_eq!(got, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn pool_never_runs_more_jobs_at_once_than_its_budget() {
+        let pool = WorkerPool::new(3);
+        let running = AtomicIsize::new(0);
+        let peak = AtomicIsize::new(0);
+        pool.run((0..32).collect::<Vec<usize>>(), |_, _| {
+            let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            running.fetch_sub(1, Ordering::SeqCst);
+        });
+        let peak = peak.load(Ordering::SeqCst);
+        assert!(peak <= 3, "peak concurrency {peak} exceeded the 3-worker budget");
+    }
+
+    #[test]
+    fn zero_workers_means_available_cores_and_budget_is_at_least_one() {
+        let pool = WorkerPool::new(0);
+        assert!(pool.workers() >= 1);
+        assert_eq!(WorkerPool::serial().workers(), 1);
+        assert_eq!(pool.run(vec![1, 2, 3], |_, v| v + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn inner_budget_splits_without_oversubscribing() {
+        // outer concurrency × inner budget ≤ total budget, for a spread of
+        // shapes (more jobs than workers, fewer, equal, degenerate).
+        for (workers, jobs) in [(8, 2), (8, 8), (8, 32), (2, 4), (1, 10), (3, 2), (5, 1)] {
+            let pool = WorkerPool::new(workers);
+            let inner = pool.inner_budget(jobs);
+            let concurrent = workers.min(jobs.max(1));
+            assert!(inner >= 1, "every job may use at least one thread");
+            assert!(
+                concurrent * inner <= workers,
+                "workers={workers} jobs={jobs}: {concurrent} × {inner} oversubscribes"
+            );
+        }
+        assert_eq!(WorkerPool::new(8).inner_budget(2), 4);
+        assert_eq!(WorkerPool::new(8).inner_budget(0), 8);
+    }
+
+    #[test]
+    fn empty_job_lists_are_fine() {
+        let pool = WorkerPool::new(4);
+        let got: Vec<u32> = pool.run(Vec::<u32>::new(), |_, v| v);
+        assert!(got.is_empty());
+    }
+}

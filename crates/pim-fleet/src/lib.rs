@@ -111,5 +111,6 @@ pub use host::{HostCostModel, PrimitiveStats, TransferLedger};
 pub use rebalance::{RebalancePolicy, Rebalancer};
 pub use report::{FleetReport, Imbalance, PipelineStats, RebalanceStats, RoundStats, ShardStats};
 pub use runtime::{
-    run, FleetConfig, GATHER_SUMMARY_BYTES, MIGRATION_BYTES_PER_KEY, ROUND_DESCRIPTOR_BYTES,
+    resolve_host_workers, run, FleetConfig, GATHER_SUMMARY_BYTES, MIGRATION_BYTES_PER_KEY,
+    ROUND_DESCRIPTOR_BYTES,
 };

@@ -165,6 +165,16 @@ impl FleetConfig {
         self
     }
 
+    /// Caps the host worker threads that simulate shards in parallel
+    /// (`0` = one per available core). Results never depend on it, so an
+    /// outer experiment runner holding a machine-wide thread budget (e.g.
+    /// `pim_exp::pool::WorkerPool::inner_budget`) plants its per-job quota
+    /// here to keep `outer jobs × shard workers` within that budget.
+    pub fn with_host_workers(mut self, host_workers: usize) -> Self {
+        self.host_workers = host_workers;
+        self
+    }
+
     /// The STM configuration every shard allocates, with transaction-set
     /// capacities sized to the workload.
     pub fn stm_config(&self) -> StmConfig {
@@ -406,6 +416,18 @@ fn reroute(deferred: Vec<(u32, ShardTx)>, map: &ShardMap) -> Vec<(u32, ShardTx)>
     out
 }
 
+/// The shard-worker thread count a `host_workers` setting resolves to:
+/// itself, or one per available core for `0`. This — not the raw field —
+/// is what [`run`] spawns at most per round, and what budget-holding
+/// callers audit against their quota.
+pub fn resolve_host_workers(host_workers: usize) -> usize {
+    if host_workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        host_workers
+    }
+}
+
 /// Runs the fleet to completion and returns its report.
 ///
 /// # Panics
@@ -436,11 +458,7 @@ pub fn run(config: &FleetConfig) -> FleetReport {
     let mut carry_to_dpus = 0u64;
     let mut migrated_last_boundary = false;
     let mut prev_dpu_seconds = 0.0f64;
-    let workers = if config.host_workers == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        config.host_workers
-    };
+    let workers = resolve_host_workers(config.host_workers);
 
     while !pending.is_empty() || !deferred.is_empty() {
         // Migration scatter bytes from the previous boundary belong to

@@ -142,8 +142,8 @@ pub trait TmAlgorithm: Send + Sync {
 // The seven coherent cells of the policy grid (all other cells fail
 // `ComposedTm::new`'s coherence check at compile time). Each legacy
 // `StmKind` resolves onto one of these compositions; the retired monolithic
-// implementations live on only as the differential oracle in
-// [`crate::legacy`].
+// implementations are deleted, their behaviour pinned as goldens by the
+// policy equivalence suite.
 static NOREC: ComposedTm<ValueValidation, CommitTime, WriteBack> = ComposedTm::new(ValueValidation);
 static OREC_CTL_WB: ComposedTm<InvisibleOrec, CommitTime, WriteBack> =
     ComposedTm::new(InvisibleOrec);

@@ -52,8 +52,9 @@
 //! per-word locks to take at encounter time or to hold over an exposed
 //! store). [`TmComposition::is_coherent`] is the single source of truth;
 //! the seven coherent cells are exactly the paper's seven designs. The
-//! retired monolithic implementations survive in [`legacy`] purely as the
-//! differential oracle of the policy equivalence suite.
+//! retired monolithic implementations are gone: the policy equivalence
+//! suite pins each composition to golden outcomes recorded while the
+//! monoliths still existed, so the equivalence claim outlives the code.
 //!
 //! STM metadata (lock table, sequence lock, global clock, per-tasklet read
 //! and write sets) can be placed in **WRAM** or **MRAM** via
@@ -213,6 +214,34 @@
 //! once"; what merging deliberately *erases* — which shard did the work —
 //! is reported alongside, not inside, the profile (the fleet's per-shard
 //! stats and imbalance summary).
+//!
+//! ## Determinism as an API: parallel fan-out and memoisation upstream
+//!
+//! A simulated run is a *pure function* of its configuration: same
+//! [`StmConfig`] (kind, placement, retry, read strategy, write-back,
+//! lock order, burst cap, tune policy), same workload parameters, same
+//! seed → bit-identical commits, abort histograms, cycle counts and
+//! memory fingerprint, on any machine. The experiment harness leans on
+//! that contract twice (`pim_exp::pool` / `pim_exp::cache`):
+//!
+//! * **Independence** — distinct cells share no mutable state, so the
+//!   harness may run them on any number of worker threads
+//!   (`pim-exp --workers N`) and collect by index; every table and JSON
+//!   dump is bit-identical for any `N`. Anything that would break this —
+//!   global mutable state, iteration-order-dependent results, wall-clock
+//!   reads inside the simulator — is a bug against this contract, not a
+//!   harness concern. (Threaded-executor cells *measure* wall clock and
+//!   are therefore excluded: they run serially and are never cached.)
+//! * **Memoisability** — because the full knob vector plus seed *is* the
+//!   result's identity, completed simulator runs are content-addressed:
+//!   the cache key is exactly the canonical spelling of every field above
+//!   plus the executor and a schema version, and the only invalidation
+//!   policy is bumping that version when the simulator's semantics or the
+//!   cached summary's shape change. Repeated cells (defaults-gap passes,
+//!   overlapping burst ladders, warm `--cache-dir` CI re-runs) are read
+//!   back instead of re-simulated, with zero tolerance for drift: a
+//!   disk entry that fails any structural check is discarded and
+//!   re-simulated, never trusted.
 
 // Unsafe is denied everywhere except the two audited syscall shims of
 // `threaded::affinity` (best-effort thread pinning has no safe-Rust,
@@ -225,7 +254,6 @@ pub mod algorithm;
 pub mod config;
 pub mod engine;
 pub mod error;
-pub mod legacy;
 pub mod locktable;
 pub mod platform;
 pub mod policy;

@@ -63,9 +63,9 @@
 //!
 //! The seven coherent cells are exactly the paper's seven designs;
 //! [`crate::algorithm_for`] resolves every legacy [`StmKind`] to its
-//! composition. The retired monolithic implementations survive only as the
-//! frozen differential oracle in [`crate::legacy`], which the policy
-//! equivalence suite replays against this engine.
+//! composition. The retired monolithic implementations have been deleted;
+//! the policy equivalence suite replays this engine against golden
+//! outcomes pinned while they still existed.
 //!
 //! # Equivalence contract
 //!
@@ -74,7 +74,7 @@
 //! same order), so on the deterministic simulator a composed run is
 //! bit-identical to a pre-redesign run: same commits, same per-reason abort
 //! histogram, same final memory, same cycle counts. `tests/
-//! policy_equivalence.rs` enforces this against [`crate::legacy`]. The one
+//! policy_equivalence.rs` enforces this against pinned goldens. The one
 //! deliberate behavioural extension is the sorted multi-ORec acquisition of
 //! [`ComposedTm::write_record`] under encounter-time locking
 //! ([`crate::LockOrder::AddressSorted`]); configuring

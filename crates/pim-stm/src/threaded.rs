@@ -402,8 +402,8 @@ pub struct ThreadedDpu {
     pin_threads: bool,
     /// Differential-testing hook: when set, [`ThreadedDpu::run`] drives this
     /// algorithm instead of resolving the configured kind through
-    /// [`algorithm_for`]. Used by the policy equivalence suite to run the
-    /// frozen [`crate::legacy`] oracle on real threads.
+    /// [`algorithm_for`] — historically how the policy equivalence suite ran
+    /// the (since-deleted) frozen legacy oracle on real threads.
     algorithm_override: Option<&'static dyn TmAlgorithm>,
 }
 
@@ -448,10 +448,9 @@ impl ThreadedDpu {
 
     /// Overrides the algorithm [`ThreadedDpu::run`] drives, bypassing the
     /// [`algorithm_for`] resolution of the configured kind. This exists for
-    /// differential testing (running the frozen [`crate::legacy`] oracle on
-    /// real threads next to the composed engine); the override must
-    /// implement the same [`crate::StmKind`] the DPU's metadata was
-    /// allocated for.
+    /// differential testing (running an alternative implementation on real
+    /// threads next to the composed engine); the override must implement
+    /// the same [`crate::StmKind`] the DPU's metadata was allocated for.
     pub fn set_algorithm_override(&mut self, alg: &'static dyn TmAlgorithm) {
         assert_eq!(
             alg.kind(),
@@ -778,7 +777,7 @@ mod tests {
     #[test]
     fn algorithm_override_must_match_the_configured_kind() {
         let mut dpu = ThreadedDpu::new(StmConfig::small_wram(StmKind::TinyEtlWb)).unwrap();
-        dpu.set_algorithm_override(crate::legacy::legacy_algorithm_for(StmKind::TinyEtlWb));
+        dpu.set_algorithm_override(crate::algorithm_for(StmKind::TinyEtlWb));
         let counter = dpu.alloc(Tier::Mram, 1).unwrap();
         let report = dpu
             .run(2, |mut tx| {
@@ -790,14 +789,14 @@ mod tests {
             })
             .unwrap();
         assert_eq!(report.commits, 2);
-        assert_eq!(dpu.peek(counter), 2, "the legacy oracle must still be a correct STM");
+        assert_eq!(dpu.peek(counter), 2, "an overridden run must still be a correct STM");
     }
 
     #[test]
     #[should_panic(expected = "must implement the design")]
     fn mismatched_algorithm_override_is_rejected() {
         let mut dpu = ThreadedDpu::new(StmConfig::small_wram(StmKind::TinyEtlWb)).unwrap();
-        dpu.set_algorithm_override(crate::legacy::legacy_algorithm_for(StmKind::Norec));
+        dpu.set_algorithm_override(crate::algorithm_for(StmKind::Norec));
     }
 
     #[test]
