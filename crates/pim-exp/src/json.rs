@@ -38,6 +38,20 @@
 //! movement of the search itself (`hits`, `misses`, `disk_hits`,
 //! `bytes_read`, `bytes_written`), so a warm re-run is distinguishable
 //! from a cold one in the dump alone.
+//!
+//! `--service` sweeps dump through [`service_to_json`]: one object with
+//! the sweep coordinates (`mode: "service"`, the arrival shape, mix,
+//! skew, STM design/tier, tasklets, scale, seed, repeat, the request
+//! count, the rate ladder and a `fleet` block when sharded) and a
+//! `points` / `fleet_points` array, one object per offered rate ×
+//! executor. Each point carries the rates (`offered_rate`,
+//! `achieved_rate`), the commit/abort totals, the makespan, and a
+//! `latency` object with the three panel components — `queueing`,
+//! `service`, `sojourn` — each as quantile ticks (`p50`/`p95`/`p99`/
+//! `max`, exact integers in the executor's native unit) plus the same
+//! quantiles converted to seconds. `--repeat` points carry a
+//! `repeat_spread` block with the mean ± CI95 of the p99 sojourn and the
+//! achieved rate.
 
 use pim_fleet::{FleetReport, PrimitiveStats};
 use pim_sim::Phase;
@@ -46,6 +60,7 @@ use pim_stm::{AbortReason, ExecProfile};
 use crate::design_space::DesignSpaceSweep;
 use crate::fleet::FleetSweep;
 use crate::grid::GridSearch;
+use crate::service::{ServiceSpread, ServiceSweep};
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -718,6 +733,140 @@ pub fn grid_to_json(search: &GridSearch) -> Json {
     ])
 }
 
+/// One latency-panel component: the quantile ticks (exact integers in the
+/// executor-native unit) plus the same quantiles in seconds.
+fn service_histogram_to_json(hist: &pim_service::ServiceHistogram, ticks_per_second: f64) -> Json {
+    let secs = |ticks: u64| Json::Num(hist.seconds(ticks, ticks_per_second));
+    Json::Obj(vec![
+        ("count".into(), Json::u64(hist.count())),
+        ("p50".into(), Json::u64(hist.quantile(0.50))),
+        ("p95".into(), Json::u64(hist.quantile(0.95))),
+        ("p99".into(), Json::u64(hist.quantile(0.99))),
+        ("max".into(), Json::u64(hist.hist.max())),
+        ("mean".into(), Json::Num(hist.hist.mean())),
+        ("p50_seconds".into(), secs(hist.quantile(0.50))),
+        ("p95_seconds".into(), secs(hist.quantile(0.95))),
+        ("p99_seconds".into(), secs(hist.quantile(0.99))),
+        ("max_seconds".into(), secs(hist.hist.max())),
+    ])
+}
+
+fn latency_panel_to_json(panel: &pim_service::LatencyPanel, ticks_per_second: f64) -> Json {
+    Json::Obj(vec![
+        ("queueing".into(), service_histogram_to_json(&panel.queueing, ticks_per_second)),
+        ("service".into(), service_histogram_to_json(&panel.service, ticks_per_second)),
+        ("sojourn".into(), service_histogram_to_json(&panel.sojourn, ticks_per_second)),
+    ])
+}
+
+fn service_spread_to_json(spread: Option<&ServiceSpread>) -> Json {
+    spread.map_or(Json::Null, |s| {
+        Json::Obj(vec![
+            ("runs".into(), Json::u64(s.runs as u64)),
+            ("mean_p99_sojourn_seconds".into(), Json::Num(s.mean_p99_sojourn_seconds)),
+            ("ci95_p99_sojourn_seconds".into(), Json::Num(s.ci95_p99_sojourn_seconds)),
+            ("mean_achieved_rate".into(), Json::Num(s.mean_achieved_rate)),
+            ("ci95_achieved_rate".into(), Json::Num(s.ci95_achieved_rate)),
+        ])
+    })
+}
+
+/// Serialises a `--service` sweep (see the [module documentation](self)
+/// for the schema).
+pub fn service_to_json(sweep: &ServiceSweep) -> Json {
+    let o = &sweep.options;
+    Json::Obj(vec![
+        ("mode".into(), Json::str("service")),
+        ("arrival".into(), Json::str(o.arrival.clone())),
+        ("mix".into(), Json::str(format!("{}:{}:{}", o.mix.get, o.mix.put, o.mix.transfer))),
+        ("dist".into(), Json::str(o.dist.to_string())),
+        ("stm".into(), Json::str(o.kind.name())),
+        ("tier".into(), Json::str(o.placement.name())),
+        ("tasklets".into(), Json::u64(o.tasklets as u64)),
+        ("scale".into(), Json::Num(o.scale)),
+        ("seed".into(), Json::u64(o.seed)),
+        ("repeat".into(), Json::u64(o.repeat as u64)),
+        ("requests".into(), Json::u64(o.requests())),
+        ("rates".into(), Json::Arr(o.effective_rates().iter().map(|&r| Json::Num(r)).collect())),
+        (
+            "fleet".into(),
+            sweep.fleet.as_ref().map_or(Json::Null, |f| {
+                Json::Obj(vec![
+                    ("shards".into(), Json::u64(u64::from(f.shards))),
+                    ("rebalance".into(), Json::str(f.rebalance.to_string())),
+                    ("overlap".into(), Json::Bool(f.overlap)),
+                ])
+            }),
+        ),
+        (
+            "points".into(),
+            Json::Arr(
+                sweep
+                    .points
+                    .iter()
+                    .map(|p| {
+                        let r = &p.report;
+                        Json::Obj(vec![
+                            ("executor".into(), Json::str(p.executor.name())),
+                            ("arrival".into(), Json::str(r.arrival.to_string())),
+                            ("time_unit".into(), Json::str(r.panel.time_domain().unit())),
+                            ("offered_rate".into(), Json::Num(r.offered_rate())),
+                            ("achieved_rate".into(), Json::Num(r.achieved_rate())),
+                            ("completed".into(), Json::u64(r.completed)),
+                            ("commits".into(), Json::u64(r.commits)),
+                            ("aborts".into(), Json::u64(r.aborts)),
+                            ("abort_rate".into(), Json::Num(r.abort_rate())),
+                            ("makespan_seconds".into(), Json::Num(r.makespan_seconds)),
+                            ("ticks_per_second".into(), Json::Num(r.ticks_per_second)),
+                            ("latency".into(), latency_panel_to_json(&r.panel, r.ticks_per_second)),
+                            ("repeat_spread".into(), service_spread_to_json(p.spread.as_ref())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "fleet_points".into(),
+            Json::Arr(
+                sweep
+                    .fleet_points
+                    .iter()
+                    .map(|p| {
+                        let r = &p.report;
+                        Json::Obj(vec![
+                            ("shards".into(), Json::u64(u64::from(r.shards))),
+                            ("arrival".into(), Json::str(r.arrival.to_string())),
+                            ("time_unit".into(), Json::str(r.panel.time_domain().unit())),
+                            ("offered_rate".into(), Json::Num(r.offered_rate())),
+                            ("achieved_rate".into(), Json::Num(r.achieved_rate())),
+                            ("completed".into(), Json::u64(r.completed)),
+                            ("commits".into(), Json::u64(r.commits)),
+                            ("aborts".into(), Json::u64(r.aborts)),
+                            ("abort_rate".into(), Json::Num(r.abort_rate())),
+                            ("rounds".into(), Json::u64(r.rounds)),
+                            ("rebalances".into(), Json::u64(r.rebalances)),
+                            ("migrated_keys".into(), Json::u64(r.migrated_keys)),
+                            ("makespan_seconds".into(), Json::Num(r.makespan_seconds)),
+                            ("dpu_seconds".into(), Json::Num(r.dpu_seconds)),
+                            ("host_seconds".into(), Json::Num(r.host_seconds)),
+                            ("hidden_seconds".into(), Json::Num(r.hidden_seconds)),
+                            (
+                                "per_shard_completed".into(),
+                                Json::Arr(
+                                    r.per_shard_completed.iter().map(|&c| Json::u64(c)).collect(),
+                                ),
+                            ),
+                            ("ticks_per_second".into(), Json::Num(r.ticks_per_second)),
+                            ("latency".into(), latency_panel_to_json(&r.panel, r.ticks_per_second)),
+                            ("repeat_spread".into(), service_spread_to_json(p.spread.as_ref())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -991,5 +1140,70 @@ mod tests {
         let max = spread.get("max_total_time").expect("max present");
         let (Json::Num(min), Json::Num(max)) = (min, max) else { panic!("numeric spread") };
         assert!(min <= max);
+    }
+
+    fn tiny_service_options() -> crate::service::ServiceSweepOptions {
+        crate::service::ServiceSweepOptions {
+            rates: vec![50_000.0],
+            tasklets: 4,
+            scale: 0.05,
+            ..crate::service::ServiceSweepOptions::default()
+        }
+    }
+
+    #[test]
+    fn service_dump_parses_with_ordered_quantiles() {
+        let sweep = ServiceSweep::run(tiny_service_options(), None).unwrap();
+        let parsed = parse(&service_to_json(&sweep).to_string()).expect("dump must parse");
+        assert_eq!(parsed.get("mode"), Some(&Json::str("service")));
+        let Some(Json::Arr(points)) = parsed.get("points") else { panic!("points array") };
+        assert_eq!(points.len(), 1);
+        let latency = points[0].get("latency").expect("latency block");
+        for component in ["queueing", "service", "sojourn"] {
+            let hist = latency.get(component).expect("panel component");
+            let quantile = |key: &str| match hist.get(key) {
+                Some(&Json::Num(n)) => n,
+                other => panic!("{component}.{key} must be numeric, got {other:?}"),
+            };
+            assert!(quantile("p50") <= quantile("p95"));
+            assert!(quantile("p95") <= quantile("p99"));
+            assert!(quantile("p99_seconds") >= quantile("p50_seconds"));
+        }
+        assert_eq!(points[0].get("repeat_spread"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn service_dump_is_bit_identical_under_one_seed() {
+        // The simulator is deterministic under a seed, so the whole latency
+        // JSON — every histogram bucket included — must be reproducible
+        // byte for byte.
+        let first =
+            service_to_json(&ServiceSweep::run(tiny_service_options(), None).unwrap()).to_string();
+        let second =
+            service_to_json(&ServiceSweep::run(tiny_service_options(), None).unwrap()).to_string();
+        assert_eq!(first, second, "same seed must reproduce the exact latency dump");
+        let other_seed = crate::service::ServiceSweepOptions { seed: 43, ..tiny_service_options() };
+        let third = service_to_json(&ServiceSweep::run(other_seed, None).unwrap()).to_string();
+        assert_ne!(first, third, "a different seed must shuffle arrivals and payloads");
+    }
+
+    #[test]
+    fn service_fleet_dump_carries_the_shard_block() {
+        use pim_fleet::RebalancePolicy;
+        let knobs = crate::service::ServiceFleetKnobs {
+            shards: 4,
+            rebalance: RebalancePolicy::Off,
+            overlap: false,
+        };
+        let sweep = ServiceSweep::run(tiny_service_options(), Some(knobs)).unwrap();
+        let parsed = parse(&service_to_json(&sweep).to_string()).expect("dump must parse");
+        let fleet = parsed.get("fleet").expect("fleet block");
+        assert_eq!(fleet.get("shards"), Some(&Json::Num(4.0)));
+        let Some(Json::Arr(points)) = parsed.get("fleet_points") else { panic!("fleet points") };
+        assert_eq!(points.len(), 1);
+        let Some(Json::Arr(per_shard)) = points[0].get("per_shard_completed") else {
+            panic!("per-shard array")
+        };
+        assert_eq!(per_shard.len(), 4);
     }
 }

@@ -20,7 +20,11 @@
 //!   composition × knob combination of one workload×placement cell, ranked,
 //!   with the static defaults' slowdown-vs-best called out;
 //! * [`latency`] — the §3.1 measurement that motivates DPU-local
-//!   transactions (local MRAM read vs CPU-mediated remote read).
+//!   transactions (local MRAM read vs CPU-mediated remote read);
+//! * [`service`] — the `--service` mode: open-loop latency under offered
+//!   load on the [`pim_service`] layer, single-DPU (both executors) and
+//!   sharded across the fleet, reported as queueing / STM-service /
+//!   sojourn quantiles per offered rate.
 //!
 //! Two infrastructure modules make the harness fast without changing a
 //! single reported number:
@@ -50,6 +54,7 @@ pub mod multi_dpu;
 pub mod peak;
 pub mod pool;
 pub mod report;
+pub mod service;
 
 pub use cache::{CacheStats, CachedRun, SimCache, CACHE_SCHEMA_VERSION};
 pub use design_space::{BurstSweep, DesignSpacePoint, DesignSpaceSweep, SweepOptions};
@@ -60,3 +65,7 @@ pub use multi_dpu::{MultiDpuBenchmark, MultiDpuStudy, SpeedupPoint};
 pub use peak::PeakDistribution;
 pub use pool::WorkerPool;
 pub use report::render_table;
+pub use service::{
+    ServiceFleetKnobs, ServiceFleetPoint, ServicePoint, ServiceSpread, ServiceSweep,
+    ServiceSweepOptions, DEFAULT_SERVICE_RATES,
+};

@@ -22,12 +22,17 @@ use pim_exp::cache::SimCache;
 use pim_exp::design_space::{BurstSweep, DesignSpaceSweep, SweepOptions};
 use pim_exp::fleet::{FleetSweep, FleetSweepOptions, DEFAULT_FLEET_DPUS, DEFAULT_SKEW_THETAS};
 use pim_exp::grid::{GridOptions, GridSearch};
-use pim_exp::json::{fleet_to_json, grid_to_json, sweeps_to_json};
+use pim_exp::json::{fleet_to_json, grid_to_json, service_to_json, sweeps_to_json};
 use pim_exp::latency::LatencyComparison;
 use pim_exp::multi_dpu::{figure8_table, MultiDpuBenchmark, MultiDpuStudy};
 use pim_exp::peak::PeakDistribution;
 use pim_exp::pool::WorkerPool;
+use pim_exp::service::{
+    ServiceFleetKnobs, ServiceSweep, ServiceSweepOptions, DEFAULT_SERVICE_RATES,
+};
 use pim_fleet::RebalancePolicy;
+use pim_service::RequestMix;
+use pim_sim::KeyDist;
 use pim_stm::{MetadataPlacement, ReadStrategy, RetryPolicy, StmKind, TmComposition, TunePolicy};
 use pim_workloads::spec::Executor;
 use pim_workloads::{RoutingPolicy, Workload};
@@ -38,9 +43,21 @@ struct Options {
     figure: Option<String>,
     fleet: bool,
     grid: bool,
+    service: bool,
+    /// `--arrival`: the service arrival-process shape.
+    arrival: Option<String>,
+    /// `--rate`: the service offered-rate ladder (requests/second).
+    rates: Option<Vec<f64>>,
+    /// `--mix`: the service get:put:transfer weights.
+    mix: Option<RequestMix>,
+    /// `--skew`: the service key distribution.
+    skew: Option<KeyDist>,
     workload: Option<Workload>,
     stm: Option<StmKind>,
     placement: MetadataPlacement,
+    /// Whether `--tier` was given explicitly (the service mode defaults to
+    /// WRAM metadata, unlike the figures' MRAM default).
+    tier_set: bool,
     executors: Vec<Executor>,
     tasklets: Vec<usize>,
     /// `--dpus`, when given; the analytic figures and the fleet sweep have
@@ -73,9 +90,15 @@ impl Default for Options {
             figure: None,
             fleet: false,
             grid: false,
+            service: false,
+            arrival: None,
+            rates: None,
+            mix: None,
+            skew: None,
             workload: None,
             stm: None,
             placement: MetadataPlacement::Mram,
+            tier_set: false,
             executors: vec![Executor::Simulator],
             tasklets: vec![1, 3, 5, 7, 9, 11],
             dpus: None,
@@ -184,12 +207,27 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     "mram" => MetadataPlacement::Mram,
                     other => return Err(format!("unknown tier {other} (expected wram|mram)")),
                 };
+                options.tier_set = true;
             }
             "--executor" => options.executors = parse_executors(&value()?)?,
             "--tasklets" => options.tasklets = parse_list(&value()?)?,
             "--dpus" => options.dpus = Some(parse_list(&value()?)?),
             "--fleet" => options.fleet = true,
             "--grid" => options.grid = true,
+            "--service" => options.service = true,
+            "--arrival" => options.arrival = Some(value()?),
+            "--rate" => {
+                let rates: Vec<f64> = parse_list(&value()?)?;
+                if rates.is_empty() {
+                    return Err("--rate needs at least one offered rate".to_string());
+                }
+                if rates.iter().any(|r| !r.is_finite() || *r <= 0.0) {
+                    return Err("--rate values must be finite and positive".to_string());
+                }
+                options.rates = Some(rates);
+            }
+            "--mix" => options.mix = Some(RequestMix::parse(&value()?)?),
+            "--skew" => options.skew = Some(KeyDist::parse(&value()?)?),
             "--tune" => options.tune = TunePolicy::windowed(),
             "--tune-window" => {
                 let window: u32 =
@@ -296,6 +334,8 @@ fn usage() -> String {
      \x20              [--skew-thetas 0.0,0.9,...] [--skew-phases <n>]\n\
      \x20              [--rebalance off|threshold[:f]|periodic[:k]] [--overlap]\n\
      \x20              [--grid] [--tune] [--tune-window <n>]\n\
+     \x20              [--service] [--arrival poisson|bursty[:b[:d]]|closed-loop]\n\
+     \x20              [--rate 25000,50000,...] [--mix g:p:t] [--skew uniform|zipf:t]\n\
      \x20              [--workload <name>] [--stm <kind>] [--tier wram|mram]\n\
      \x20              [--executor simulator|threaded|both] [--repeat <n>]\n\
      \x20              [--read-strategy word-wise|batched] [--record-words <n>]\n\
@@ -315,6 +355,23 @@ fn usage() -> String {
      \x20 hides behind the previous round's compute, and --skew-phases\n\
      \x20 rotates the hot region mid-stream so rebalancing has a moving\n\
      \x20 target to chase.\n\
+     \x20 --service measures latency under offered load instead of\n\
+     \x20 capacity: an open-loop --arrival process (poisson, bursty with\n\
+     \x20 optional burst size and duty cycle, or the closed-loop baseline)\n\
+     \x20 offers each --rate of the ladder (default 25k,50k,100k,200k\n\
+     \x20 req/s) against the STM-backed hashmap + journal-queue service\n\
+     \x20 structures, under a --mix of get:put:transfer weights (default\n\
+     \x20 80:15:5) and a --skew key distribution (uniform or zipf:theta).\n\
+     \x20 Every committed request is stamped arrival -> dispatch -> first\n\
+     \x20 attempt -> commit, so the report separates queueing delay from\n\
+     \x20 STM service time (p50/p95/p99/max, in the executor's native\n\
+     \x20 unit). Honours --stm, --tier (default wram), --tasklets (the\n\
+     \x20 largest count), --executor, --scale, --seed, --repeat (lower-\n\
+     \x20 median collapse + CI95 spread) and --json-out. With --fleet the\n\
+     \x20 same stream is sharded across --dpus DPUs (largest count,\n\
+     \x20 default 4) with arrivals routed by key ownership; --rebalance\n\
+     \x20 and --overlap exercise shard rebalancing and round pipelining\n\
+     \x20 under load.\n\
      \x20 A --workload/--stm pair reruns a single cell of the design-space\n\
      \x20 grid (e.g. --workload array-b --stm norec --tasklets 4). --stm\n\
      \x20 accepts legacy names (norec, tiny-etlwb, vr-ctlwb, ...) and\n\
@@ -550,6 +607,92 @@ fn run_grid(options: &Options) -> Result<GridSearch, String> {
     Ok(search)
 }
 
+/// Runs the `--service` latency-under-load sweep and prints its tables;
+/// returns the sweep for `--json-out`.
+fn run_service_mode(options: &Options) -> Result<ServiceSweep, String> {
+    for (flag, set) in [
+        ("--figure", options.figure.is_some()),
+        ("--workload", options.workload.is_some()),
+        ("--grid", options.grid),
+        ("--burst-words", options.burst_words.is_some()),
+        ("--record-words", options.record_words.is_some()),
+        ("--read-strategy", options.read_strategy != ReadStrategy::default()),
+        ("--retry", options.retry != RetryPolicy::default()),
+        ("--tune", options.tune != TunePolicy::Static),
+        ("--routing", options.routing.is_some()),
+        ("--skew-thetas", options.skew_thetas.is_some()),
+        ("--skew-phases", options.skew_phases.is_some()),
+        ("--workers", options.workers != 0),
+        // A latency cell is measured end to end — queueing delay depends on
+        // the whole stream's interleaving — so it is never memoised.
+        ("--cache-dir", options.cache_dir.is_some()),
+    ] {
+        if set {
+            return Err(format!("{flag} does not apply to the --service mode"));
+        }
+    }
+    let fleet = if options.fleet {
+        if options.executors != [Executor::Simulator] {
+            return Err(
+                "--executor does not apply to --service --fleet (shards run on the simulator)"
+                    .to_string(),
+            );
+        }
+        let shards = match &options.dpus {
+            None => 4,
+            Some(dpus) => match dpus.iter().copied().max() {
+                Some(n) if n >= 1 && n <= u32::MAX as usize => n as u32,
+                _ => return Err("--dpus needs a positive shard count".to_string()),
+            },
+        };
+        Some(ServiceFleetKnobs {
+            shards,
+            rebalance: options.rebalance.unwrap_or(RebalancePolicy::Off),
+            overlap: options.overlap,
+        })
+    } else {
+        for (flag, set) in [
+            ("--dpus", options.dpus.is_some()),
+            ("--rebalance", options.rebalance.is_some()),
+            ("--overlap", options.overlap),
+        ] {
+            if set {
+                return Err(format!(
+                    "{flag} applies to --service --fleet, not to single-DPU --service"
+                ));
+            }
+        }
+        None
+    };
+    let defaults = ServiceSweepOptions::default();
+    let sweep_options = ServiceSweepOptions {
+        arrival: options.arrival.clone().unwrap_or(defaults.arrival),
+        rates: options.rates.clone().unwrap_or_else(|| DEFAULT_SERVICE_RATES.to_vec()),
+        mix: options.mix.unwrap_or(defaults.mix),
+        dist: options.skew.unwrap_or(defaults.dist),
+        kind: options.stm.unwrap_or(defaults.kind),
+        // The service layer defaults to WRAM metadata (the low-latency
+        // placement); --tier overrides.
+        placement: if options.tier_set { options.placement } else { defaults.placement },
+        tasklets: options.tasklets.iter().copied().max().unwrap_or(defaults.tasklets),
+        scale: options.scale,
+        seed: options.seed,
+        repeat: options.repeat,
+        executors: options.executors.clone(),
+    };
+    println!("== service: latency under offered load ==");
+    let sweep = ServiceSweep::run(sweep_options, fleet)?;
+    if sweep.fleet.is_some() {
+        println!("{}", sweep.fleet_table());
+    } else {
+        println!("{}", sweep.latency_table());
+    }
+    if sweep.has_spread() {
+        println!("{}", sweep.spread_table());
+    }
+    Ok(sweep)
+}
+
 fn run_figure(
     figure: &str,
     options: &Options,
@@ -651,11 +794,12 @@ fn run_figure(
                 MultiDpuBenchmark::LabyrinthL,
             ] {
                 println!("== Fig. 7: speed-up vs CPU ({benchmark}) ==");
-                let study = MultiDpuStudy::run(
+                let study = MultiDpuStudy::run_with_cache(
                     benchmark,
                     &options.analytic_dpus(),
                     options.scale,
                     options.seed,
+                    &cache,
                 );
                 println!("{}", study.speedup_table());
             }
@@ -664,7 +808,9 @@ fn run_figure(
             println!("== Fig. 8: speed-up and energy gain at {} DPUs ==", 2500);
             let studies: Vec<MultiDpuStudy> = MultiDpuBenchmark::ALL
                 .into_iter()
-                .map(|b| MultiDpuStudy::run(b, &[2500], options.scale, options.seed))
+                .map(|b| {
+                    MultiDpuStudy::run_with_cache(b, &[2500], options.scale, options.seed, &cache)
+                })
                 .collect();
             println!("{}", figure8_table(&studies));
         }
@@ -686,8 +832,34 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if !options.service {
+        for (flag, set) in [
+            ("--arrival", options.arrival.is_some()),
+            ("--rate", options.rates.is_some()),
+            ("--mix", options.mix.is_some()),
+            ("--skew", options.skew.is_some()),
+        ] {
+            if set {
+                eprintln!("{flag} applies to the --service mode");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let mut collected = Vec::new();
-    let result = if options.grid {
+    let result = if options.service {
+        run_service_mode(&options).and_then(|sweep| match &options.json_out {
+            Some(path) => {
+                let json = service_to_json(&sweep).to_string();
+                std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!(
+                    "[json-out] wrote {} service point(s) to {path}",
+                    sweep.points.len() + sweep.fleet_points.len()
+                );
+                Ok(())
+            }
+            None => Ok(()),
+        })
+    } else if options.grid {
         run_grid(&options).and_then(|search| match &options.json_out {
             Some(path) => {
                 let json = grid_to_json(&search).to_string();
@@ -1059,5 +1231,102 @@ mod tests {
             let err = run_figure(figure, &options, &mut Vec::new()).unwrap_err();
             assert!(err.contains("--stm"), "{figure}: {err}");
         }
+    }
+
+    #[test]
+    fn service_flags_parse_with_defaults_and_validation() {
+        let args: Vec<String> = [
+            "--service",
+            "--arrival",
+            "bursty:32:0.5",
+            "--rate",
+            "1000,2000",
+            "--mix",
+            "60:30:10",
+            "--skew",
+            "zipf:0.9",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let options = parse_args(&args).unwrap();
+        assert!(options.service);
+        assert_eq!(options.arrival.as_deref(), Some("bursty:32:0.5"));
+        assert_eq!(options.rates, Some(vec![1000.0, 2000.0]));
+        assert_eq!(options.mix, Some(RequestMix { get: 60, put: 30, transfer: 10 }));
+        assert_eq!(options.skew, Some(KeyDist::Zipf { theta: 0.9 }));
+        // Bad values are usage errors, not mid-run panics.
+        assert!(parse_args(&["--rate".into(), "0".into()]).is_err());
+        assert!(parse_args(&["--rate".into(), "-5".into()]).is_err());
+        assert!(parse_args(&["--rate".into(), "x".into()]).is_err());
+        assert!(parse_args(&["--mix".into(), "0:0:0".into()]).is_err());
+        assert!(parse_args(&["--skew".into(), "zipf:-1".into()]).is_err());
+        assert!(parse_args(&["--skew".into(), "pareto".into()]).is_err());
+    }
+
+    #[test]
+    fn service_mode_rejects_foreign_flags() {
+        for options in [
+            Options { figure: Some("fig4".into()), ..Options::default() },
+            Options { workload: Some(Workload::ArrayB), ..Options::default() },
+            Options { grid: true, ..Options::default() },
+            Options { burst_words: Some(vec![8]), ..Options::default() },
+            Options { record_words: Some(1), ..Options::default() },
+            Options { read_strategy: ReadStrategy::WordWise, ..Options::default() },
+            Options { retry: RetryPolicy::Fixed, ..Options::default() },
+            Options { tune: TunePolicy::windowed(), ..Options::default() },
+            Options { routing: Some(RoutingPolicy::RouteToOwner), ..Options::default() },
+            Options { skew_thetas: Some(vec![0.9]), ..Options::default() },
+            Options { skew_phases: Some(2), ..Options::default() },
+            Options { workers: 4, ..Options::default() },
+            Options { cache_dir: Some("/tmp/c".into()), ..Options::default() },
+        ] {
+            let options = Options { service: true, ..options };
+            assert!(run_service_mode(&options).is_err());
+        }
+        // The fleet-only knobs need --fleet even under --service.
+        for options in [
+            Options { dpus: Some(vec![4]), ..Options::default() },
+            Options { rebalance: Some(RebalancePolicy::Off), ..Options::default() },
+            Options { overlap: true, ..Options::default() },
+        ] {
+            let options = Options { service: true, ..options };
+            let err = run_service_mode(&options).unwrap_err();
+            assert!(err.contains("--service --fleet"), "{err}");
+        }
+        // And the fleet variant runs on the simulator only.
+        let options = Options {
+            service: true,
+            fleet: true,
+            executors: vec![Executor::Threaded],
+            ..Options::default()
+        };
+        let err = run_service_mode(&options).unwrap_err();
+        assert!(err.contains("--executor"), "{err}");
+    }
+
+    #[test]
+    fn service_mode_runs_and_honours_the_tier_default() {
+        // Small stream, one rate: the smoke path of both variants.
+        let base = Options {
+            service: true,
+            rates: Some(vec![50_000.0]),
+            tasklets: vec![4],
+            scale: 0.05,
+            ..Options::default()
+        };
+        let sweep = run_service_mode(&base).unwrap();
+        assert_eq!(sweep.points.len(), 1);
+        assert_eq!(
+            sweep.options.placement,
+            MetadataPlacement::Wram,
+            "the service mode defaults to WRAM metadata"
+        );
+        let mram = Options { placement: MetadataPlacement::Mram, tier_set: true, ..base.clone() };
+        assert_eq!(run_service_mode(&mram).unwrap().options.placement, MetadataPlacement::Mram);
+        let fleet = Options { fleet: true, dpus: Some(vec![2]), ..base };
+        let sweep = run_service_mode(&fleet).unwrap();
+        assert_eq!(sweep.fleet_points.len(), 1);
+        assert_eq!(sweep.fleet_points[0].report.shards, 2);
     }
 }

@@ -1,0 +1,499 @@
+//! Fleet service runs: the open-loop stream routed across sharded DPUs.
+//!
+//! One global request stream is generated exactly as for a single DPU, then
+//! **routed by key ownership** ([`ShardMap::owner`]) to per-shard simulated
+//! DPUs, round by round, with the host's broadcast/scatter/gather costs
+//! charged through the same [`TransferLedger`] / [`HostCostModel`] the
+//! `pim-fleet` runtime uses. Each shard serves its slice of a round through
+//! the same admission + [`ServiceTasklet`](crate::single) machinery as the
+//! single-DPU driver; per-round latencies are anchored to the fleet's global
+//! clock (the round's start tick), so queueing delay includes time spent
+//! waiting for the owning shard's round to begin — the round-barrier penalty
+//! the latency-vs-load curve is supposed to expose.
+//!
+//! Two deliberate simplifications keep the service fleet inside the measured
+//! runtime's scope:
+//!
+//! * **Owner-local transfers** — a transfer whose destination key lives on a
+//!   different shard is remapped into the owner's key range (deterministic
+//!   fold, same stream position). Cross-shard two-phase service transactions
+//!   stay with the roadmap's open 2PC item.
+//! * **Authoritative copy at the owner** — every shard's hashmap covers the
+//!   full keyspace; a rebalance boundary copies moved keys from the old
+//!   owner to the new one (host-side, charged at
+//!   [`MIGRATION_BYTES_PER_KEY`]). Stale copies on former owners are
+//!   unreachable (requests route to the current owner) and are overwritten
+//!   if ownership ever returns.
+
+use std::collections::VecDeque;
+
+use pim_sim::{CpuTransferModel, Dpu, DpuConfig, Tier};
+use pim_stm::{StmShared, TimeDomain, TxSlot};
+use pim_workloads::{GlobalTx, ShardMap};
+
+use pim_fleet::runtime::{GATHER_SUMMARY_BYTES, MIGRATION_BYTES_PER_KEY, ROUND_DESCRIPTOR_BYTES};
+use pim_fleet::{HostCostModel, RebalancePolicy, Rebalancer, TransferLedger};
+
+use crate::arrival::ArrivalProcess;
+use crate::latency::LatencyPanel;
+use crate::request::{generate_requests, Request, RequestOp, ServiceTables};
+use crate::single::{run_sim_round, ServiceConfig};
+
+/// Wire bytes of one routed request descriptor (arrival stamp + packed
+/// op/keys/value), for scatter accounting.
+pub const REQUEST_WIRE_BYTES: u64 = 32;
+
+/// Configuration of a fleet service run.
+#[derive(Debug, Clone)]
+pub struct ServiceFleetConfig {
+    /// The per-shard service configuration (STM design, tasklets, keyspace,
+    /// stream length, arrivals, mix, skew, seed). `keys` is the *global*
+    /// keyspace, partitioned over the shards.
+    pub service: ServiceConfig,
+    /// Number of shards (DPUs).
+    pub shards: u32,
+    /// Requests dispatched per round.
+    pub round_requests: u32,
+    /// Skew-adaptive rebalancing policy between rounds.
+    pub rebalance: RebalancePolicy,
+    /// Whether a round's host pre-work may overlap the previous round's
+    /// compute (the fleet pipeline).
+    pub overlap: bool,
+    /// Host↔DPU transfer cost model.
+    pub transfer: CpuTransferModel,
+    /// Host-side routing/merge cost model.
+    pub host: HostCostModel,
+}
+
+impl ServiceFleetConfig {
+    /// A fleet of `shards` DPUs serving `service`, 256 requests per round,
+    /// no rebalancing, serial host.
+    pub fn new(service: ServiceConfig, shards: u32) -> Self {
+        ServiceFleetConfig {
+            service,
+            shards,
+            round_requests: 256,
+            rebalance: RebalancePolicy::Off,
+            overlap: false,
+            transfer: CpuTransferModel::default(),
+            host: HostCostModel::default(),
+        }
+    }
+
+    /// Replaces the rebalancing policy.
+    pub fn with_rebalance(mut self, rebalance: RebalancePolicy) -> Self {
+        self.rebalance = rebalance;
+        self
+    }
+
+    /// Enables or disables the host/compute pipeline.
+    pub fn with_overlap(mut self, overlap: bool) -> Self {
+        self.overlap = overlap;
+        self
+    }
+
+    /// Replaces the round batch size.
+    pub fn with_round_requests(mut self, round_requests: u32) -> Self {
+        self.round_requests = round_requests;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(self.shards >= 1, "a fleet needs at least one shard");
+        assert!(self.round_requests >= 1, "rounds must dispatch at least one request");
+        assert!(
+            self.service.keys <= 1 << 20,
+            "fleet service keyspace capped at 2^20 keys (got {})",
+            self.service.keys
+        );
+        assert!(
+            u64::from(self.shards) <= self.service.keys,
+            "more shards than keys cannot be partitioned"
+        );
+    }
+}
+
+/// One shard of the service fleet: a persistent simulated DPU with its own
+/// STM instance and service tables (full-keyspace map, see the
+/// [module documentation](self)).
+struct ServiceShard {
+    dpu: Dpu,
+    shared: StmShared,
+    slots: Vec<TxSlot>,
+    tables: ServiceTables,
+    completed: u64,
+}
+
+impl ServiceShard {
+    fn new(config: &ServiceConfig) -> Self {
+        let stm = config.stm;
+        let table_words = ServiceTables::words(config.keys, config.journal_capacity);
+        let mram_words = table_words
+            + stm.shared_metadata_words()
+            + stm.per_tasklet_metadata_words() * config.tasklets as u32
+            + 2048;
+        let mut dpu = Dpu::new(DpuConfig { mram_words, ..DpuConfig::default() });
+        let shared =
+            StmShared::allocate(&mut dpu, stm).expect("shard STM metadata must fit the sized DPU");
+        let tables =
+            ServiceTables::allocate(&mut dpu, Tier::Mram, config.keys, config.journal_capacity)
+                .expect("service tables must fit the sized DPU");
+        let slots = (0..config.tasklets)
+            .map(|t| shared.register_tasklet(&mut dpu, t).expect("per-tasklet logs must fit"))
+            .collect();
+        ServiceShard { dpu, shared, slots, tables, completed: 0 }
+    }
+}
+
+/// Report of one fleet service run. Latencies are global simulator cycles.
+#[derive(Debug, Clone)]
+pub struct ServiceFleetReport {
+    /// Shard count.
+    pub shards: u32,
+    /// Rounds dispatched.
+    pub rounds: u64,
+    /// Requests served to commit.
+    pub completed: u64,
+    /// Committed transactions across all shards.
+    pub commits: u64,
+    /// Aborted attempts across all shards.
+    pub aborts: u64,
+    /// End-to-end pipelined makespan in seconds (compute + exposed host).
+    pub makespan_seconds: f64,
+    /// Per-round max shard compute, summed (includes open-loop idle waits).
+    pub dpu_seconds: f64,
+    /// Host pre/post work actually exposed on the critical path.
+    pub host_seconds: f64,
+    /// Host pre-work hidden by the pipeline.
+    pub hidden_seconds: f64,
+    /// Rebalance recuts taken.
+    pub rebalances: u64,
+    /// Keys copied across shards at rebalance boundaries.
+    pub migrated_keys: u64,
+    /// Requests served per shard (by final routing).
+    pub per_shard_completed: Vec<u64>,
+    /// Ticks per second of the panel's (cycle) domain.
+    pub ticks_per_second: f64,
+    /// The arrival process that offered the load.
+    pub arrival: ArrivalProcess,
+    /// Merged queueing / service / sojourn panel, global clock.
+    pub panel: LatencyPanel,
+}
+
+impl ServiceFleetReport {
+    /// Offered load in requests/second (0 for closed-loop).
+    pub fn offered_rate(&self) -> f64 {
+        self.arrival.offered_rate()
+    }
+
+    /// Achieved throughput in requests/second.
+    pub fn achieved_rate(&self) -> f64 {
+        if self.makespan_seconds > 0.0 {
+            self.completed as f64 / self.makespan_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Abort rate in `[0, 1]`.
+    pub fn abort_rate(&self) -> f64 {
+        if self.commits + self.aborts == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / (self.commits + self.aborts) as f64
+        }
+    }
+}
+
+/// The load-tracking view of a routed request (what the rebalancer sees).
+fn as_global_tx(id: u32, request: &Request) -> GlobalTx {
+    match request.op {
+        RequestOp::Get => GlobalTx { id, reads: vec![request.key as u32], updates: Vec::new() },
+        RequestOp::Put => GlobalTx { id, reads: Vec::new(), updates: vec![request.key as u32] },
+        RequestOp::Transfer => GlobalTx {
+            id,
+            reads: Vec::new(),
+            updates: vec![request.key as u32, request.key2 as u32],
+        },
+    }
+}
+
+/// Folds a transfer destination into the owning shard's key range (see the
+/// module notes on owner-local transfers).
+fn localize(request: &Request, map: &ShardMap, shard: u32) -> Request {
+    if request.op != RequestOp::Transfer {
+        return *request;
+    }
+    let base = u64::from(map.base(shard));
+    let span = u64::from(map.span(shard));
+    if map.owner(request.key2 as u32) == shard {
+        return *request;
+    }
+    Request { key2: base + request.key2 % span.max(1), ..*request }
+}
+
+/// Runs the service fleet to stream exhaustion.
+///
+/// # Panics
+///
+/// Panics when the configuration is infeasible (see
+/// `ServiceFleetConfig::validate` assertions and per-shard allocation).
+pub fn run_service_fleet(config: &ServiceFleetConfig) -> ServiceFleetReport {
+    config.validate();
+    let service = &config.service;
+    let total_keys = service.keys as u32;
+    let mut map = ShardMap::new(total_keys, config.shards);
+    let mut shards: Vec<ServiceShard> =
+        (0..config.shards).map(|_| ServiceShard::new(service)).collect();
+    let clock_hz = shards[0].dpu.latency().clock_hz;
+    let closed_loop = service.arrival.is_closed_loop();
+
+    let stream = generate_requests(
+        service.arrival,
+        service.mix,
+        service.dist,
+        service.keys,
+        service.requests,
+        service.seed,
+        clock_hz as f64,
+    );
+    let mut pending: VecDeque<(u32, Request)> =
+        stream.into_iter().enumerate().map(|(i, r)| (i as u32, r)).collect();
+
+    let mut ledger = TransferLedger::new(config.transfer);
+    let mut rebalancer = Rebalancer::new(config.rebalance, total_keys);
+    let mut panel = LatencyPanel::new(TimeDomain::Cycles);
+    let mut commits = 0u64;
+    let mut aborts = 0u64;
+    let mut rounds = 0u64;
+    let mut rebalances = 0u64;
+    let mut migrated_keys = 0u64;
+    let mut makespan = 0.0f64;
+    let mut dpu_seconds = 0.0f64;
+    let mut host_exposed = 0.0f64;
+    let mut hidden_total = 0.0f64;
+    let mut prev_compute = 0.0f64;
+    let mut migrated_last_boundary = false;
+
+    while !pending.is_empty() {
+        // --- Host dispatch: route this round's batch by current ownership.
+        let mut batches: Vec<Vec<Request>> = (0..config.shards).map(|_| Vec::new()).collect();
+        let take = (config.round_requests as usize).min(pending.len());
+        for _ in 0..take {
+            let (id, request) = pending.pop_front().expect("bounded by pending.len()");
+            rebalancer.note(&as_global_tx(id, &request));
+            let shard = map.owner(request.key as u32);
+            batches[shard as usize].push(localize(&request, &map, shard));
+        }
+        let dispatched: u64 = batches.iter().map(|b| b.len() as u64).sum();
+
+        // --- Host pre-work: descriptor broadcast + request scatter + route.
+        let broadcast_seconds = ledger.broadcast(ROUND_DESCRIPTOR_BYTES);
+        let scatter_bytes: Vec<u64> =
+            batches.iter().map(|b| b.len() as u64 * REQUEST_WIRE_BYTES).collect();
+        let scatter_seconds = ledger.scatter(&scatter_bytes);
+        let pre_seconds =
+            broadcast_seconds + scatter_seconds + config.host.route_seconds(dispatched);
+
+        // Pipeline: this round's pre-work hides under the previous round's
+        // compute unless a migration just rewrote shard contents.
+        let overlapped = config.overlap && rounds > 0 && !migrated_last_boundary;
+        let hidden = if overlapped { pre_seconds.min(prev_compute) } else { 0.0 };
+        hidden_total += hidden;
+        host_exposed += pre_seconds - hidden;
+        makespan += pre_seconds - hidden;
+
+        // --- Compute: each active shard serves its slice, anchored at the
+        // global round-start tick so latencies compose across rounds.
+        let base_ticks = (makespan * clock_hz as f64) as u64;
+        let mut compute = 0.0f64;
+        let mut active = 0u64;
+        for (s, shard) in shards.iter_mut().enumerate() {
+            if batches[s].is_empty() {
+                continue;
+            }
+            active += 1;
+            let batch = std::mem::take(&mut batches[s]);
+            shard.completed += batch.len() as u64;
+            let round = run_sim_round(
+                &mut shard.dpu,
+                &shard.shared,
+                &shard.slots,
+                shard.tables,
+                batch,
+                closed_loop,
+                base_ticks,
+            );
+            commits += round.report.total_commits();
+            aborts += round.report.total_aborts();
+            compute = compute.max(round.report.makespan_seconds());
+            panel.merge(&round.panel);
+        }
+        dpu_seconds += compute;
+        makespan += compute;
+
+        // --- Host post-work: gather per-shard summaries and merge.
+        let gather_bytes: Vec<u64> = (0..config.shards)
+            .map(|s| if shards[s as usize].completed > 0 { GATHER_SUMMARY_BYTES } else { 0 })
+            .collect();
+        let gather_seconds = ledger.gather(&gather_bytes);
+        let post_seconds = gather_seconds + config.host.merge_seconds(active);
+        host_exposed += post_seconds;
+        makespan += post_seconds;
+        prev_compute = compute;
+        rounds += 1;
+
+        // --- Rebalance boundary: recut, then copy moved keys old → new.
+        migrated_last_boundary = false;
+        if let Some(new_map) = rebalancer.plan(&map, !pending.is_empty()) {
+            let mut migration_bytes: Vec<u64> = vec![0; config.shards as usize];
+            for key in 0..total_keys {
+                let old = map.owner(key);
+                let new = new_map.owner(key);
+                if old == new {
+                    continue;
+                }
+                let value = {
+                    let donor = &shards[old as usize];
+                    donor.tables.map.host_get(&donor.dpu, u64::from(key))
+                };
+                if let Some(value) = value {
+                    let receiver = &mut shards[new as usize];
+                    receiver
+                        .tables
+                        .map
+                        .host_put(&mut receiver.dpu, u64::from(key), value)
+                        .expect("full-keyspace shard maps cannot fill");
+                    migrated_keys += 1;
+                    migration_bytes[new as usize] += MIGRATION_BYTES_PER_KEY;
+                }
+            }
+            let migrate_seconds = ledger.scatter(&migration_bytes);
+            host_exposed += migrate_seconds;
+            makespan += migrate_seconds;
+            map = new_map;
+            rebalances += 1;
+            migrated_last_boundary = true;
+        }
+    }
+
+    ServiceFleetReport {
+        shards: config.shards,
+        rounds,
+        completed: panel.completed(),
+        commits,
+        aborts,
+        makespan_seconds: makespan,
+        dpu_seconds,
+        host_seconds: host_exposed,
+        hidden_seconds: hidden_total,
+        rebalances,
+        migrated_keys,
+        per_shard_completed: shards.iter().map(|s| s.completed).collect(),
+        ticks_per_second: clock_hz as f64,
+        arrival: config.arrival(),
+        panel,
+    }
+}
+
+impl ServiceFleetConfig {
+    /// The configured arrival process.
+    pub fn arrival(&self) -> ArrivalProcess {
+        self.service.arrival
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_sim::KeyDist;
+
+    fn fleet_config() -> ServiceFleetConfig {
+        let service = ServiceConfig::new(ArrivalProcess::Poisson { rate: 4_000_000.0 })
+            .with_tasklets(3)
+            .with_keys(256)
+            .with_requests(600)
+            .with_seed(11);
+        ServiceFleetConfig::new(service, 4).with_round_requests(128)
+    }
+
+    #[test]
+    fn fleet_serves_the_whole_stream_across_shards() {
+        let report = run_service_fleet(&fleet_config());
+        assert_eq!(report.completed, 600);
+        assert_eq!(report.commits, 600);
+        assert_eq!(report.shards, 4);
+        assert_eq!(report.rounds, 5, "600 requests at 128/round");
+        assert_eq!(report.per_shard_completed.iter().sum::<u64>(), 600);
+        assert!(
+            report.per_shard_completed.iter().filter(|&&c| c > 0).count() >= 2,
+            "uniform traffic must reach multiple shards: {:?}",
+            report.per_shard_completed
+        );
+        assert!(report.makespan_seconds > 0.0);
+        assert!(report.host_seconds > 0.0, "host primitives must be charged");
+        assert!(report.panel.sojourn.quantile(0.99) >= report.panel.sojourn.quantile(0.50));
+    }
+
+    #[test]
+    fn fleet_runs_are_deterministic_per_seed() {
+        let a = run_service_fleet(&fleet_config());
+        let b = run_service_fleet(&fleet_config());
+        assert_eq!(a.panel, b.panel);
+        assert_eq!(a.makespan_seconds, b.makespan_seconds);
+        assert_eq!(a.per_shard_completed, b.per_shard_completed);
+    }
+
+    #[test]
+    fn fleet_closed_loop_queueing_is_zero() {
+        let mut config = fleet_config();
+        config.service.arrival = ArrivalProcess::ClosedLoop;
+        let report = run_service_fleet(&config);
+        assert_eq!(report.completed, 600);
+        assert_eq!(report.panel.queueing.hist.max(), 0);
+    }
+
+    #[test]
+    fn skewed_traffic_with_rebalancing_recuts_and_migrates() {
+        let mut config = fleet_config();
+        config.service =
+            config.service.with_dist(KeyDist::Zipf { theta: 0.99 }).with_requests(1000);
+        let config = config
+            .with_rebalance(RebalancePolicy::Threshold { max_over_mean: 1.2 })
+            .with_round_requests(200);
+        let report = run_service_fleet(&config);
+        assert_eq!(report.completed, 1000);
+        assert!(report.rebalances > 0, "zipf 0.99 must trigger a threshold recut");
+        assert!(report.migrated_keys > 0, "a recut must move populated keys");
+        // Served counts must balance better than the static cut would under
+        // this skew (weak check: nobody serves everything).
+        let max = report.per_shard_completed.iter().max().copied().unwrap_or(0);
+        assert!(max < 1000, "rebalancing must spread the load: {:?}", report.per_shard_completed);
+    }
+
+    #[test]
+    fn overlap_hides_prework_without_changing_service_results() {
+        let serial = run_service_fleet(&fleet_config());
+        let pipelined = run_service_fleet(&fleet_config().with_overlap(true));
+        assert_eq!(serial.panel.service, pipelined.panel.service, "compute must be unchanged");
+        assert_eq!(serial.completed, pipelined.completed);
+        assert_eq!(serial.hidden_seconds, 0.0);
+        assert!(pipelined.hidden_seconds > 0.0, "some pre-work must hide");
+        let shrink = serial.makespan_seconds - pipelined.makespan_seconds;
+        assert!(
+            (shrink - pipelined.hidden_seconds).abs() < 1e-12,
+            "makespan shrinks by exactly the hidden seconds"
+        );
+    }
+
+    #[test]
+    fn transfer_destinations_are_owner_local() {
+        let service = ServiceConfig::new(ArrivalProcess::Poisson { rate: 4_000_000.0 })
+            .with_keys(256)
+            .with_requests(400)
+            .with_mix(crate::request::RequestMix { get: 0, put: 1, transfer: 1 })
+            .with_tasklets(2);
+        let report = run_service_fleet(&ServiceFleetConfig::new(service, 4));
+        assert_eq!(report.completed, 400, "remapped transfers must still all commit");
+    }
+}

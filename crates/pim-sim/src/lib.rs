@@ -61,6 +61,7 @@ pub mod atomic_reg;
 pub mod ctx;
 pub mod dpu;
 pub mod energy;
+pub mod histogram;
 pub mod latency;
 pub mod mem;
 pub mod program;
@@ -74,6 +75,7 @@ pub use atomic_reg::AtomicBitRegister;
 pub use ctx::TaskletCtx;
 pub use dpu::{Dpu, DpuConfig};
 pub use energy::EnergyModel;
+pub use histogram::LatencyHistogram;
 pub use latency::{Cycles, LatencyModel};
 pub use mem::{Addr, AllocError, Tier};
 pub use program::{StepStatus, TaskletProgram};

@@ -10,12 +10,20 @@
 //! tasklets genuinely overlap and conflict.
 
 use crate::ctx::TaskletCtx;
+use crate::latency::Cycles;
 
 /// Result of one program step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StepStatus {
     /// The program has more work to do.
     Running,
+    /// The program has no work until the given absolute cycle (an open-loop
+    /// service tasklet waiting for its next request arrival). The scheduler
+    /// advances the tasklet's clock to that cycle **without charging busy
+    /// cycles** — idle waiting is not compute, back-off or queueing inside
+    /// the STM — and steps the program again once it is due. A target in the
+    /// past degrades to [`StepStatus::Running`].
+    IdleUntil(Cycles),
     /// The program is finished and must not be stepped again.
     Finished,
 }

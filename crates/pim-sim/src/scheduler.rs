@@ -87,6 +87,12 @@ impl Scheduler {
             };
             // Guarantee forward progress even if a step charged nothing.
             clocks[tid] = if end > start { end } else { start + instr_floor };
+            // An idle-until step additionally advances the clock to the
+            // requested cycle without charging anything: the tasklet is
+            // parked until its next request arrival, not burning issue slots.
+            if let StepStatus::IdleUntil(target) = status {
+                clocks[tid] = clocks[tid].max(target);
+            }
 
             if status == StepStatus::Finished {
                 finished[tid] = true;
@@ -320,6 +326,64 @@ mod tests {
         let report =
             Scheduler::new().run(&mut dpu, vec![Box::new(prog) as Box<dyn TaskletProgram>]);
         assert!(report.makespan_cycles > 0, "scheduler must advance time even for no-op steps");
+    }
+
+    #[test]
+    fn idle_until_advances_time_without_charging_cycles() {
+        let mut dpu = Dpu::new(DpuConfig::small());
+        let mut state = 0u32;
+        let prog = FnProgram::new(move |ctx: &mut TaskletCtx<'_>| {
+            state += 1;
+            match state {
+                // Park until cycle 10_000 without doing any work.
+                1 => StepStatus::IdleUntil(10_000),
+                // Woken at (or after) the requested cycle.
+                2 => {
+                    assert!(ctx.now() >= 10_000, "woke too early at {}", ctx.now());
+                    ctx.compute(1);
+                    StepStatus::Running
+                }
+                // A target in the past must not rewind the clock.
+                3 => StepStatus::IdleUntil(5),
+                _ => StepStatus::Finished,
+            }
+        });
+        let report =
+            Scheduler::new().run(&mut dpu, vec![Box::new(prog) as Box<dyn TaskletProgram>]);
+        assert!(report.makespan_cycles >= 10_000);
+        // Only the single compute(1) charged cycles; idling charged nothing.
+        let charged: u64 = report.tasklet_stats[0].breakdown.total();
+        assert!(charged < 100, "idle waiting must not be charged as busy time, got {charged}");
+    }
+
+    #[test]
+    fn idle_tasklet_yields_to_runnable_peers() {
+        // One tasklet parks far in the future; another does real work. The
+        // worker must finish long before the sleeper's wake-up time, i.e. the
+        // sleeper never blocks the DPU.
+        let mut dpu = Dpu::new(DpuConfig::small());
+        let mut parked = false;
+        let sleeper = FnProgram::new(move |_ctx: &mut TaskletCtx<'_>| {
+            if parked {
+                StepStatus::Finished
+            } else {
+                parked = true;
+                StepStatus::IdleUntil(1_000_000)
+            }
+        });
+        let mut remaining = 10u32;
+        let worker = FnProgram::new(move |ctx: &mut TaskletCtx<'_>| {
+            if remaining == 0 {
+                return StepStatus::Finished;
+            }
+            ctx.compute(1);
+            remaining -= 1;
+            StepStatus::Running
+        });
+        let report = Scheduler::new()
+            .run(&mut dpu, vec![Box::new(sleeper) as Box<dyn TaskletProgram>, Box::new(worker)]);
+        assert!(report.tasklet_stats[1].finish_cycles < 1_000_000);
+        assert!(report.tasklet_stats[0].finish_cycles >= 1_000_000);
     }
 
     #[test]

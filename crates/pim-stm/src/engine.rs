@@ -95,8 +95,11 @@ pub(crate) fn run_tuned_retry_loop<R>(
     tuner: &mut Option<Tuner>,
     mut body: impl FnMut(&mut TxView<'_>) -> Result<R, Abort>,
 ) -> R {
+    // One call = one transaction: fresh stamps for the service layer.
+    tx.clear_stamps();
     loop {
         p.begin_attempt();
+        tx.stamp_first_attempt(p.timestamp());
         alg.begin(shared, tx, p);
         let result = {
             let mut view = TxView::new(alg, shared, tx, p);
@@ -105,6 +108,7 @@ pub(crate) fn run_tuned_retry_loop<R>(
         let committed = result.and_then(|value| alg.commit(shared, tx, p).map(|()| value));
         match committed {
             Ok(value) => {
+                tx.stamp_commit(p.timestamp());
                 account_commit(tx, p);
                 if let Some(c) = counters.as_deref_mut() {
                     c.commits += 1;
@@ -216,8 +220,12 @@ impl TxEngine {
     }
 
     /// Starts a transaction attempt (also used to restart after an abort).
+    ///
+    /// The first attempt since the last [`TxEngine::take_stamps`] harvest is
+    /// stamped with the platform clock; retries keep the original stamp.
     pub fn begin(&mut self, p: &mut dyn Platform) {
         p.begin_attempt();
+        self.slot.stamp_first_attempt(p.timestamp());
         self.alg.begin(&self.shared, &mut self.slot, p);
     }
 
@@ -277,6 +285,7 @@ impl TxEngine {
     /// [`TxEngine::on_abort`] and restart the transaction body.
     pub fn commit(&mut self, p: &mut dyn Platform) -> Result<(), Abort> {
         self.alg.commit(&self.shared, &mut self.slot, p)?;
+        self.slot.stamp_commit(p.timestamp());
         account_commit(&mut self.slot, p);
         self.counters.commits += 1;
         tune_observe(&mut self.shared, &mut self.tuner, p, None);
@@ -323,6 +332,19 @@ impl TxEngine {
     /// Both tallies at once.
     pub fn counters(&self) -> TxCounters {
         self.counters
+    }
+
+    /// The in-flight (or just-committed) transaction's platform-clock stamps
+    /// (see [`crate::txslot::TxStamps`]).
+    pub fn stamps(&self) -> crate::txslot::TxStamps {
+        self.slot.stamps()
+    }
+
+    /// Harvests the last transaction's stamps and clears them so the next
+    /// [`TxEngine::begin`] stamps a fresh first attempt. Service drivers
+    /// call this once per committed request.
+    pub fn take_stamps(&mut self) -> crate::txslot::TxStamps {
+        self.slot.take_stamps()
     }
 
     /// The online tuner, when the configuration enables one.

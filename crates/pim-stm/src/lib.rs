@@ -242,6 +242,39 @@
 //!   back instead of re-simulated, with zero tolerance for drift: a
 //!   disk entry that fails any structural check is discarded and
 //!   re-simulated, never trusted.
+//!
+//! ## The service layer: STM under open-loop traffic
+//!
+//! Everything above measures *throughput*: a fixed batch of transactions,
+//! run to completion, makespan on the clock. The `pim-service` crate puts
+//! the same engines behind a **request queue** and measures *latency under
+//! offered load* instead — the question a key-value or ledger service
+//! actually asks of its STM:
+//!
+//! * an **arrival process** (`pim_service::ArrivalProcess`) stamps each
+//!   request with an arrival time — Poisson, bursty on/off, or closed-loop
+//!   (the degenerate case where a request "arrives" the moment a tasklet
+//!   frees up, so queueing delay is identically zero by construction);
+//! * an **admission queue** sits between the stream and the tasklet pool;
+//!   each committed request carries three stamps — arrival → dispatch →
+//!   commit — split into **queueing delay**, **STM service time**, and
+//!   total **sojourn time** (`pim_service::LatencyPanel`);
+//! * the served state is built from the transactional structures of
+//!   `pim_workloads` (`TxHashMap` key→balance store, `TxQueue` transfer
+//!   journal) under a get/put/transfer mix with optional Zipfian skew —
+//!   every operation is one STM transaction, so aborts and retries show
+//!   up as service-time tail, exactly where a service would feel them.
+//!
+//! Latency quantiles ride the same merge-closed spine as the profiles:
+//! samples land in a log-bucketed `pim_sim::LatencyHistogram` whose merge
+//! is element-wise and therefore exact, associative and commutative — so
+//! per-tasklet, per-worker and per-shard panels aggregate into fleet-wide
+//! p50/p95/p99 without keeping a single raw sample, and the result is
+//! independent of worker and shard count. Both executors serve the same
+//! streams (cycles vs. wall nanoseconds, domain-tagged like
+//! [`profile::TimeDomain`]), and `pim-fleet` runs the service sharded
+//! across many simulated DPUs. The harness front-end is
+//! `pim-exp --service` (latency-vs-offered-load tables and JSON).
 
 // Unsafe is denied everywhere except the two audited syscall shims of
 // `threaded::affinity` (best-effort thread pinning has no safe-Rust,
@@ -279,7 +312,7 @@ pub use policy::ComposedTm;
 pub use profile::{ExecProfile, TimeDomain};
 pub use shared::StmShared;
 pub use tune::{TuneDecision, TuneKnobs, TunePolicy, TunedKnob, Tuner};
-pub use txslot::TxSlot;
+pub use txslot::{TxSlot, TxStamps};
 pub use var::{TArray, TVar, TxOps, TxRecord, TxWord};
 
 // Re-export the simulator types that appear in this crate's public API so

@@ -103,6 +103,17 @@ pub trait Platform {
     /// Identifier of the executing tasklet (0-based, < 24).
     fn tasklet_id(&self) -> usize;
 
+    /// Current reading of this platform's clock in its native time domain:
+    /// the tasklet's virtual cycle count on the simulator, nanoseconds since
+    /// the process-wide epoch on the threaded executor. The retry core
+    /// stamps each transaction's first attempt and commit with this clock so
+    /// the service layer can separate queueing delay from STM retry time
+    /// (see [`crate::txslot::TxStamps`]). Platforms without a clock report 0
+    /// — stamps then carry no information but nothing breaks.
+    fn timestamp(&self) -> u64 {
+        0
+    }
+
     /// Models `instructions` instructions of non-memory work.
     fn compute(&mut self, instructions: u64);
 
@@ -242,6 +253,10 @@ impl Platform for TaskletCtx<'_> {
 
     fn tasklet_id(&self) -> usize {
         TaskletCtx::tasklet_id(self)
+    }
+
+    fn timestamp(&self) -> u64 {
+        TaskletCtx::now(self)
     }
 
     fn compute(&mut self, instructions: u64) {

@@ -23,7 +23,7 @@
 pub mod affinity;
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 use pim_sim::{Addr, AllocError, Phase, Tier};
@@ -46,6 +46,18 @@ pub const DEFAULT_WRAM_WORDS: u32 = 64 * 1024 / 8;
 /// 64 MB bank to keep test fixtures cheap; use
 /// [`ThreadedDpu::with_capacity`] for the full size.
 pub const DEFAULT_MRAM_WORDS: u32 = 1 << 20;
+
+/// Monotonic nanoseconds since the process-wide epoch (first call wins).
+///
+/// This is the threaded executor's [`Platform::timestamp`] clock **and** the
+/// clock a service driver should stamp arrivals/dispatches with, so queueing
+/// delay (`dispatch − arrival`) and STM service time (`commit −
+/// first_attempt`) are measured on one time base across all threads.
+pub fn wall_clock_nanos() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Atomic word storage shared by all tasklet threads.
 #[derive(Debug)]
@@ -267,6 +279,10 @@ impl Platform for ThreadPlatform<'_> {
         self.tasklet_id
     }
 
+    fn timestamp(&self) -> u64 {
+        wall_clock_nanos()
+    }
+
     fn compute(&mut self, instructions: u64) {
         for _ in 0..instructions.min(1024) {
             std::hint::spin_loop();
@@ -332,6 +348,14 @@ impl TaskletTx<'_> {
     /// Identifier of this tasklet (0-based).
     pub fn tasklet_id(&self) -> usize {
         self.platform.tasklet_id
+    }
+
+    /// Platform-clock stamps (first attempt / commit, in wall nanoseconds —
+    /// see [`wall_clock_nanos`]) of the most recent
+    /// [`TaskletTx::transaction`] call. Service drivers read these to
+    /// separate STM retry time from queueing delay.
+    pub fn last_tx_stamps(&self) -> crate::txslot::TxStamps {
+        self.slot.stamps()
     }
 }
 

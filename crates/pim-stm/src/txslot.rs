@@ -49,6 +49,36 @@ pub struct ReadEntry {
     pub aux: u64,
 }
 
+/// Platform-clock timestamps of one transaction's life inside the STM, in
+/// the platform's native time domain (simulator cycles / wall nanoseconds —
+/// see [`Platform::timestamp`]).
+///
+/// The shared retry core stamps the **first** attempt's begin (retries do
+/// not overwrite it) and the successful commit. Together with the service
+/// layer's arrival and dispatch stamps this splits a request's sojourn into
+/// queueing delay (`dispatch − arrival`, spent waiting for a free tasklet)
+/// and STM service time (`committed − first_attempt`, which includes all
+/// aborted attempts and back-off).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxStamps {
+    /// Clock reading when the first attempt began (`None` before any
+    /// attempt, or on platforms without a clock that report only 0s).
+    pub first_attempt: Option<u64>,
+    /// Clock reading when the transaction committed.
+    pub committed: Option<u64>,
+}
+
+impl TxStamps {
+    /// STM service time: `committed − first_attempt`, saturating; `None`
+    /// until the transaction committed.
+    pub fn service_time(&self) -> Option<u64> {
+        match (self.first_attempt, self.committed) {
+            (Some(begin), Some(end)) => Some(end.saturating_sub(begin)),
+            _ => None,
+        }
+    }
+}
+
 /// Per-tasklet transaction descriptor: read set, write/undo log and snapshot
 /// bookkeeping.
 #[derive(Debug, Clone)]
@@ -72,6 +102,10 @@ pub struct TxSlot {
     /// back-off bookkeeping is not part of the instrumented metadata whose
     /// placement the paper studies.
     abort_reasons: [u64; AbortReason::COUNT],
+    /// First-attempt/commit stamps of the transaction currently in flight
+    /// (host-side bookkeeping like the abort counter — not instrumented
+    /// metadata).
+    stamps: TxStamps,
 }
 
 impl TxSlot {
@@ -90,6 +124,7 @@ impl TxSlot {
             snapshot: 0,
             consecutive_aborts: 0,
             abort_reasons: [0; AbortReason::COUNT],
+            stamps: TxStamps::default(),
         }
     }
 
@@ -150,6 +185,35 @@ impl TxSlot {
     /// Records that the transaction finally committed.
     pub fn note_commit(&mut self) {
         self.consecutive_aborts = 0;
+    }
+
+    /// Stamps the begin of the current transaction's **first** attempt;
+    /// retries of the same transaction keep the original stamp.
+    pub fn stamp_first_attempt(&mut self, at: u64) {
+        if self.stamps.first_attempt.is_none() {
+            self.stamps.first_attempt = Some(at);
+        }
+    }
+
+    /// Stamps the successful commit of the current transaction.
+    pub fn stamp_commit(&mut self, at: u64) {
+        self.stamps.committed = Some(at);
+    }
+
+    /// The current transaction's stamps (see [`TxStamps`]).
+    pub fn stamps(&self) -> TxStamps {
+        self.stamps
+    }
+
+    /// Clears the stamps for the next transaction.
+    pub fn clear_stamps(&mut self) {
+        self.stamps = TxStamps::default();
+    }
+
+    /// Returns the stamps and clears them — the harvest call a service
+    /// driver makes after each committed request.
+    pub fn take_stamps(&mut self) -> TxStamps {
+        std::mem::take(&mut self.stamps)
     }
 
     fn rs_entry_addr(&self, index: u32) -> Addr {

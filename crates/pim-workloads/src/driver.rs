@@ -124,6 +124,13 @@ impl SimTxRunner {
         &self.machine
     }
 
+    /// Mutable access to the underlying machine. Service drivers use this to
+    /// harvest per-transaction latency stamps ([`TxMachine::take_stamps`])
+    /// after each committed request.
+    pub fn machine_mut(&mut self) -> &mut TxMachine {
+        &mut self.machine
+    }
+
     /// Advances the in-flight transaction by one scheduler step: begin, one
     /// body operation, or commit. Returns [`TxStatus::Committed`] on the
     /// step that commits; aborted attempts rewind transparently.

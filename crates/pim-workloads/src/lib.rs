@@ -81,7 +81,9 @@ pub mod labyrinth;
 pub mod linked_list;
 pub mod sharded;
 pub mod spec;
+pub mod structs;
 
 pub use driver::{run_tx_body, BodyStep, SimTxRunner, TxBody, TxMachine, TxStatus};
 pub use sharded::{GlobalTx, RoutingPolicy, ShardMap, ShardTx, ShardedWorkloadConfig};
 pub use spec::{Executor, RunSpec, Workload, WorkloadReport};
+pub use structs::{MapFull, TxHashMap, TxQueue};

@@ -9,6 +9,8 @@
 //! * [`host`] — the CPU-side NOrec baseline (`host-stm`);
 //! * [`fleet`] — the measured multi-DPU sharded runtime and its host
 //!   orchestration layer (`pim-fleet`);
+//! * [`service`] — the open-loop traffic generator, request admission and
+//!   latency-under-load accounting layer (`pim-service`);
 //! * [`exp`] — the experiment harness that regenerates every figure
 //!   (`pim-exp`).
 //!
@@ -21,6 +23,7 @@
 pub use host_stm as host;
 pub use pim_exp as exp;
 pub use pim_fleet as fleet;
+pub use pim_service as service;
 pub use pim_sim as sim;
 pub use pim_stm as stm;
 pub use pim_workloads as workloads;

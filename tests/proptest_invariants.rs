@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 
-use pim_stm_suite::sim::{Addr, Dpu, DpuConfig, Phase, PhaseBreakdown, SimRng, Tier};
+use pim_stm_suite::sim::{
+    Addr, Dpu, DpuConfig, LatencyHistogram, Phase, PhaseBreakdown, SimRng, Tier,
+};
 use pim_stm_suite::stm::locktable::OrecWord;
 use pim_stm_suite::stm::platform::{decode_addr, encode_addr};
 use pim_stm_suite::stm::rwlock::{RwLockWord, MAX_TASKLETS};
@@ -91,6 +93,73 @@ proptest! {
         collapsed.collapse_into_wasted();
         prop_assert_eq!(collapsed.total(), expected_total);
         prop_assert_eq!(collapsed.get(Phase::Wasted), expected_total);
+    }
+
+    /// Histogram merging is element-wise addition, so it is commutative,
+    /// associative, and *exactly* equal to histogramming the concatenated
+    /// sample stream — the property that makes fleet-merged percentiles
+    /// independent of shard count and worker count.
+    #[test]
+    fn histogram_merge_is_exact_commutative_and_associative(
+        a in prop::collection::vec(any::<u64>(), 0..48),
+        b in prop::collection::vec(any::<u64>(), 0..48),
+        c in prop::collection::vec(any::<u64>(), 0..48),
+    ) {
+        let hist = |samples: &[u64]| {
+            let mut h = LatencyHistogram::new();
+            for &s in samples {
+                h.record(s);
+            }
+            h
+        };
+        let (ha, hb, hc) = (hist(&a), hist(&b), hist(&c));
+
+        // Commutativity: a ∪ b == b ∪ a.
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+
+        // Associativity: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+        let mut ab_c = ab.clone();
+        ab_c.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut a_bc = ha.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        // Exactness: the merge equals one histogram over the whole stream,
+        // bucket for bucket (LatencyHistogram derives Eq).
+        let whole: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&ab_c, &hist(&whole));
+        prop_assert_eq!(ab_c.count(), whole.len() as u64);
+    }
+
+    /// Every `u64` lands in a bucket that actually contains it, unit buckets
+    /// below 16 are exact, and log-bucket widths respect the 12.5% relative
+    /// error bound (width ≤ bucket_low / 8).
+    #[test]
+    fn histogram_buckets_contain_their_values_within_the_error_bound(value in any::<u64>()) {
+        let index = LatencyHistogram::bucket_of(value);
+        let low = LatencyHistogram::bucket_low(index);
+        let high = LatencyHistogram::bucket_high(index);
+        prop_assert!(low <= value && value <= high, "{low} <= {value} <= {high}");
+        if value < 16 {
+            prop_assert_eq!(low, value);
+            prop_assert_eq!(high, value);
+        } else {
+            let width = high - low + 1;
+            prop_assert!(width * 8 <= low, "width {width} must be at most low {low} / 8");
+        }
+        // A single-sample histogram reports the sample exactly at every
+        // quantile: the bucket cap is clamped to the recorded max.
+        let mut h = LatencyHistogram::new();
+        h.record(value);
+        prop_assert_eq!(h.quantile(0.5), value);
+        prop_assert_eq!(h.quantile(1.0), value);
+        prop_assert_eq!(h.max(), value);
     }
 
     /// The lock-table hash always lands inside the table, for every design
